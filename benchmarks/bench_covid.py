@@ -1,0 +1,38 @@
+"""§6.4's COVID-19 slowdown: quarterly additions dip in 2020-H1, recover.
+
+"We also noticed a slowdown during the COVID-19 pandemic, but growth
+continued when the economy opened again in Summer 2020 and especially in
+the first months of 2021."
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import render_table
+from repro.analysis.growth import covid_slowdown
+
+
+def test_covid_slowdown(rapid7, benchmark):
+    rows = []
+
+    def measure():
+        rows.clear()
+        for hypergiant in ("google", "facebook", "netflix"):
+            pre, lockdown, recovery = covid_slowdown(rapid7, hypergiant)
+            rows.append(
+                (hypergiant, f"{pre:.1f}", f"{lockdown:.1f}", f"{recovery:.1f}")
+            )
+        return rows
+
+    benchmark(measure)
+    write_output(
+        "covid_slowdown",
+        render_table(
+            ["HG", "2019 avg adds/quarter", "2020-H1 (lockdown)", "2020-10..2021-04"],
+            rows,
+            title="§6.4 — COVID-19 slowdown and recovery in quarterly additions",
+        ),
+    )
+    # Aggregate shape: the lockdown window adds fewer hosts per quarter
+    # than the recovery window for the growing HGs.
+    lockdown_total = sum(float(row[2]) for row in rows)
+    recovery_total = sum(float(row[3]) for row in rows)
+    assert recovery_total > lockdown_total

@@ -1,0 +1,60 @@
+"""Figure 10 — multi-HG hosting.
+
+Paper: the number of ASes hosting ≥1 top-4 HG nearly triples 2013→2021;
+>96% of ASes hosting *any* HG host a top-4 one; the share hosting 2-4 of
+them grows from <30% (2013) to >70% (2020); among always-hosting networks,
+none hosted all four in 2013 but 250+ did in 2021.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import render_series, stable_host_distribution, top4_multiplicity
+from repro.analysis.overlap import top4_share_of_all_hosts
+
+
+def test_fig10(rapid7, benchmark):
+    end = rapid7.snapshots[-1]
+    start = rapid7.snapshots[0]
+    distribution = benchmark(top4_multiplicity, rapid7, end)
+
+    per_snapshot = {s: top4_multiplicity(rapid7, s) for s in rapid7.snapshots}
+    series = {
+        f"{k} top-4 HG{'s' if k > 1 else ''}": [
+            per_snapshot[s][k] for s in rapid7.snapshots
+        ]
+        for k in (1, 2, 3, 4)
+    }
+    series["% hosting any top-4"] = [
+        f"{top4_share_of_all_hosts(rapid7, s):.1f}" for s in rapid7.snapshots
+    ]
+    write_output(
+        "fig10_overlap",
+        render_series(
+            series,
+            [s.label for s in rapid7.snapshots],
+            title="Figure 10b — ASes by number of top-4 HGs hosted",
+        ),
+    )
+
+    def multi_share(dist):
+        total = sum(dist.values()) or 1
+        return (total - dist[1]) / total
+
+    assert sum(distribution.values()) > 1.5 * sum(per_snapshot[start].values())
+    assert multi_share(distribution) > multi_share(per_snapshot[start])
+    assert multi_share(distribution) > 0.4  # paper: >70% by 2020
+    assert top4_share_of_all_hosts(rapid7, end) > 85.0  # paper: >96%
+
+    # Fig 10a: the stable-host population concentrates over time.
+    stable = stable_host_distribution(rapid7)
+    assert multi_share(stable[end]) > multi_share(stable[start])
+    write_output(
+        "fig10a_stable_hosts",
+        render_series(
+            {
+                f"{k} HGs": [stable[s][k] for s in rapid7.snapshots]
+                for k in (1, 2, 3, 4)
+            },
+            [s.label for s in rapid7.snapshots],
+            title="Figure 10a — always-hosting networks by multiplicity",
+        ),
+    )

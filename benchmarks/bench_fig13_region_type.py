@@ -1,0 +1,64 @@
+"""Figure 13 — off-net growth per continent × network type (Appendix A.7).
+
+Paper: stub expansion slows into early 2020 (COVID) then resumes; Akamai
+sheds stub/small hosts in North America while growing medium hosts in Asia.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import region_type_series, render_series
+from repro.topology.categories import ConeCategory
+from repro.topology.geography import Continent
+
+
+def test_fig13(world, rapid7, benchmark):
+    series = benchmark(
+        region_type_series, rapid7, world.topology, "google", ConeCategory.SMALL
+    )
+    labels = [s.label for s in rapid7.snapshots]
+    write_output(
+        "fig13_google_small",
+        render_series(
+            {c.value: series[c] for c in Continent},
+            labels,
+            title="Figure 13e — Google Small-AS hosts per continent",
+        ),
+    )
+
+    akamai_stub = region_type_series(
+        rapid7, world.topology, "akamai", ConeCategory.STUB
+    )
+    akamai_medium = region_type_series(
+        rapid7, world.topology, "akamai", ConeCategory.MEDIUM
+    )
+    write_output(
+        "fig13_akamai",
+        render_series(
+            {
+                "stub " + c.value: akamai_stub[c]
+                for c in (Continent.NORTH_AMERICA, Continent.ASIA)
+            }
+            | {
+                "medium " + c.value: akamai_medium[c]
+                for c in (Continent.NORTH_AMERICA, Continent.ASIA)
+            },
+            labels,
+            title="Figure 13d/l — Akamai stub vs medium hosts, NA vs Asia",
+        ),
+    )
+
+    # Google's small-AS growth concentrates in SA/Asia/Europe.
+    total_growth = {
+        c: series[c][-1] - series[c][0] for c in Continent
+    }
+    big_three = (
+        total_growth[Continent.SOUTH_AMERICA]
+        + total_growth[Continent.ASIA]
+        + total_growth[Continent.EUROPE]
+    )
+    assert big_three >= total_growth[Continent.NORTH_AMERICA]
+
+    # Akamai: stub hosts decline from their peak.
+    stub_total = [
+        sum(akamai_stub[c][i] for c in Continent) for i in range(len(labels))
+    ]
+    assert stub_total[-1] <= max(stub_total)

@@ -1,0 +1,56 @@
+"""Figure 14 (Appendix A.8) — persistent top-4 hosting.
+
+Paper: restricting to ASes hosting ≥1 top-4 HG in ≥25% (resp. ≥50%) of the
+snapshots, the share of single-HG hosts falls over time while 2-4-HG
+hosting rises; the ≥50% population is a subset of the ≥25% one.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import persistence_distribution, render_series
+from repro.analysis.overlap import newcomer_fractions
+
+
+def test_newcomers(rapid7, benchmark):
+    """A.8: ~5% of each snapshot's host ASes are first-time hosts."""
+    fractions = benchmark(newcomer_fractions, rapid7)
+    steady_state = [
+        value for snapshot, value in fractions.items() if snapshot.year >= 2016
+    ]
+    average = sum(steady_state) / len(steady_state)
+    write_output(
+        "fig14_newcomers",
+        "newcomer share of top-4 host ASes per snapshot (steady state "
+        f"2016+): avg {average:.1f}% (paper: ~5%)",
+    )
+    assert 1.0 < average < 15.0
+
+
+def test_fig14(rapid7, benchmark):
+    loose = benchmark(persistence_distribution, rapid7, 0.25)
+    strict = persistence_distribution(rapid7, 0.50)
+
+    labels = [s.label for s in rapid7.snapshots]
+    for name, data in (("25pct", loose), ("50pct", strict)):
+        series = {
+            f"{k} HGs": [data[s][0][k] for s in rapid7.snapshots] for k in (1, 2, 3, 4)
+        }
+        series["% of ever-hosts"] = [f"{data[s][1]:.1f}" for s in rapid7.snapshots]
+        write_output(
+            f"fig14_persistence_{name}",
+            render_series(
+                series, labels, title=f"Figure 14 — hosts in ≥{name} of snapshots"
+            ),
+        )
+
+    end = rapid7.snapshots[-1]
+    start = rapid7.snapshots[0]
+
+    def multi_share(distribution):
+        total = sum(distribution.values()) or 1
+        return (total - distribution[1]) / total
+
+    # Multi-HG hosting among persistent hosts grows over the study.
+    assert multi_share(loose[end][0]) > multi_share(loose[start][0])
+    # The 50% population is a subset of the 25% population at every snapshot.
+    for snapshot in rapid7.snapshots:
+        assert sum(strict[snapshot][0].values()) <= sum(loose[snapshot][0].values())

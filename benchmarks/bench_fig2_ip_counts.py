@@ -1,0 +1,36 @@
+"""Figure 2 — IPs with certificates over time, and the HG share.
+
+Paper: the Rapid7 corpus grows ~8M → ~40M IPs over 2013-2021; at the start
+of 2021 only ~3.8% of IPs with valid certificates are associated with any
+examined HG, split between HG ASes (dashed) and non-HG ASes (dotted), with
+the off-net share growing to exceed the on-net share.  More than a third of
+hosts return invalid certificates throughout.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import ip_count_series, render_series
+
+
+def test_fig2(rapid7, benchmark):
+    points = benchmark(ip_count_series, rapid7)
+    text = render_series(
+        {
+            "#IPs": [p.raw_ip_count for p in points],
+            "% HG on-net": [f"{p.pct_hg_onnet:.2f}" for p in points],
+            "% HG off-net": [f"{p.pct_hg_offnet:.2f}" for p in points],
+            "invalid frac": [f"{p.invalid_fraction:.2f}" for p in points],
+        },
+        [p.snapshot.label for p in points],
+        title="Figure 2 — corpus size and HG certificate share",
+    )
+    write_output("fig2_ip_counts", text)
+
+    # Corpus growth: ~4x over the study (paper: 8M -> 35M+).
+    assert points[-1].raw_ip_count > 2.5 * points[0].raw_ip_count
+    # The HG share is a small minority of all certificate-serving IPs.
+    assert points[-1].pct_hg_onnet + points[-1].pct_hg_offnet < 40
+    # The off-net share grows over the study and ends above the on-net one.
+    assert points[-1].pct_hg_offnet > points[0].pct_hg_offnet
+    assert points[-1].pct_hg_offnet > points[-1].pct_hg_onnet
+    # Invalid certificates stay a large minority (paper: > 1/3).
+    assert all(0.2 < p.invalid_fraction < 0.55 for p in points)

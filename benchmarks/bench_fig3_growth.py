@@ -1,0 +1,44 @@
+"""Figure 3 — top-4 off-net footprint growth, with the Netflix envelope.
+
+Paper shapes: Google grows steadily 1044 → 3810; Facebook launches its CDN
+mid-2016 and rockets to 2214; Netflix's raw series collapses during the
+2017-2019 expired-certificate era and is restored by the "w/ expired" and
+"w/ expired, non-tls" corrections; Akamai peaks in 2018 then shrinks.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import render_series, top4_growth
+from repro.core import restore_netflix
+from repro.timeline import FACEBOOK_CDN_LAUNCH, NETFLIX_EXPIRED_ERA, Snapshot
+
+
+def test_fig3(rapid7, benchmark):
+    series = benchmark(top4_growth, rapid7)
+    labels = [s.label for s in rapid7.snapshots]
+    write_output(
+        "fig3_growth",
+        render_series(series, labels, title="Figure 3 — top-4 off-net growth"),
+    )
+
+    index = {snapshot: i for i, snapshot in enumerate(rapid7.snapshots)}
+
+    # Google roughly triples.
+    assert series["google"][-1] > 2.5 * series["google"][0]
+    # Facebook is zero until its CDN launch, then overtakes Akamai.
+    before_launch = index[FACEBOOK_CDN_LAUNCH.plus_months(-3)]
+    assert series["facebook"][before_launch] == 0
+    assert series["facebook"][-1] > series["akamai"][-1]
+    # Akamai peaks around 2018 and declines.
+    akamai_peak = max(range(len(labels)), key=lambda i: series["akamai"][i])
+    assert 2017 <= rapid7.snapshots[akamai_peak].year <= 2019
+    assert series["akamai"][-1] < series["akamai"][akamai_peak]
+
+    # Netflix: the raw line dips inside the expired era; the envelope doesn't.
+    envelope = restore_netflix(rapid7)
+    era_mid = index[Snapshot(2018, 4)]
+    assert envelope.initial[era_mid] < envelope.with_expired[era_mid]
+    assert envelope.with_expired_nontls[era_mid] >= envelope.with_expired[era_mid]
+    assert envelope.dip_depth() > 0.15
+    # Outside the era the three lines coincide.
+    pre_era = index[NETFLIX_EXPIRED_ERA[0].plus_months(-3)]
+    assert envelope.initial[pre_era] == envelope.with_expired[pre_era]

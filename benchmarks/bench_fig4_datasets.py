@@ -1,0 +1,38 @@
+"""Figure 4 — dataset sensitivity: Rapid7 vs Censys, certs vs certs+headers.
+
+Paper: "the differences are minimal, as all straight and dotted lines seem
+to converge" — certificate-only and header-confirmed AS counts track each
+other closely, and Censys (available from late 2019) roughly agrees with
+Rapid7.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import dataset_comparison, render_series
+from repro.timeline import CENSYS_AVAILABLE
+
+
+def test_fig4(rapid7, censys, benchmark):
+    series = benchmark(
+        dataset_comparison, {"rapid7": rapid7, "censys": censys}, "google"
+    )
+    labels = [s.label for s in rapid7.snapshots]
+    aligned = {}
+    for name, points in series.items():
+        by_snapshot = dict(points)
+        aligned[name] = [by_snapshot.get(s, "") for s in rapid7.snapshots]
+    write_output(
+        "fig4_datasets",
+        render_series(aligned, labels, title="Figure 4 — Google across datasets/variants"),
+    )
+
+    r7_certs = dict(series["R7 - Only Certs"])
+    r7_or = dict(series["R7 - Certs & (HTTP or HTTPS)"])
+    cs_certs = dict(series["CS - Only Certs"])
+    for snapshot in rapid7.snapshots:
+        # Headers remove only a small slice of the cert-only footprint.
+        assert r7_or[snapshot] <= r7_certs[snapshot]
+        if r7_certs[snapshot] > 10:
+            assert r7_or[snapshot] >= 0.85 * r7_certs[snapshot]
+        # Censys agrees with Rapid7 within ~15% once available.
+        if snapshot >= CENSYS_AVAILABLE and r7_certs[snapshot] > 10:
+            assert abs(cs_certs[snapshot] - r7_certs[snapshot]) <= 0.15 * r7_certs[snapshot]

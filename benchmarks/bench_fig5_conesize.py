@@ -1,0 +1,50 @@
+"""Figure 5 — top-4 footprint growth by customer-cone category.
+
+Paper: stub+small+medium ASes contribute 93-96% of Google/Netflix/Facebook
+hosts (84% for Akamai), yet host mixes diverge sharply from the Internet
+census (85% stubs overall vs 27-31% of hosts; >0.5% large+xlarge overall vs
+>5% of hosts, >16% for Akamai).
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import footprint_by_category, internet_category_shares, render_series
+from repro.analysis.demographics import category_share_table
+from repro.hypergiants.profiles import TOP4
+from repro.topology.categories import ConeCategory
+
+
+def test_fig5(world, rapid7, benchmark):
+    end = rapid7.snapshots[-1]
+    by_category = benchmark(footprint_by_category, rapid7, world.topology, "google")
+
+    labels = [s.label for s in rapid7.snapshots]
+    series = {
+        category.value: [by_category[s][category] for s in rapid7.snapshots]
+        for category in ConeCategory
+    }
+    write_output(
+        "fig5_conesize",
+        render_series(series, labels, title="Figure 5a — Google hosts by cone category"),
+    )
+
+    shares = category_share_table(rapid7, world.topology, TOP4, end)
+    internet = internet_category_shares(world.topology, end)
+
+    for hypergiant in ("google", "netflix", "facebook"):
+        mix = shares[hypergiant]
+        small_sum = (
+            mix[ConeCategory.STUB] + mix[ConeCategory.SMALL] + mix[ConeCategory.MEDIUM]
+        )
+        assert small_sum > 0.80  # paper: 93-96%
+        # Stubs are heavily under-represented vs the census.
+        assert mix[ConeCategory.STUB] < internet[ConeCategory.STUB] * 0.6
+        # Large+xlarge over-represented by an order of magnitude.
+        big = mix[ConeCategory.LARGE] + mix[ConeCategory.XLARGE]
+        internet_big = internet[ConeCategory.LARGE] + internet[ConeCategory.XLARGE]
+        assert big > 3 * internet_big
+
+    # Akamai skews larger than the others.
+    akamai_big = shares["akamai"][ConeCategory.LARGE] + shares["akamai"][ConeCategory.XLARGE]
+    google_big = shares["google"][ConeCategory.LARGE] + shares["google"][ConeCategory.XLARGE]
+    assert akamai_big > google_big
+    assert shares["akamai"][ConeCategory.STUB] < shares["google"][ConeCategory.STUB] + 0.05

@@ -1,0 +1,47 @@
+"""Figure 6 — top-4 growth per continent.
+
+Paper: strongest growth in Asia, Europe and (exponentially) South America;
+North America consolidated; Africa/Oceania small markets.  Alibaba grows
+almost exclusively in Asia.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import regional_growth, render_series
+from repro.hypergiants.profiles import TOP4
+from repro.topology.geography import Continent
+
+
+def test_fig6(world, rapid7, benchmark):
+    hypergiants = TOP4 + ("alibaba",)
+    growth = benchmark(regional_growth, rapid7, world.topology, hypergiants)
+    labels = [s.label for s in rapid7.snapshots]
+    for continent in Continent:
+        write_output(
+            f"fig6_regions_{continent.name.lower()}",
+            render_series(
+                {hg: growth[continent][hg] for hg in hypergiants},
+                labels,
+                title=f"Figure 6 — growth in {continent.value}",
+            ),
+        )
+
+    google_sa = growth[Continent.SOUTH_AMERICA]["google"]
+    google_na = growth[Continent.NORTH_AMERICA]["google"]
+    google_eu = growth[Continent.EUROPE]["google"]
+
+    # South America: exponential growth — the second half of the study adds
+    # far more than the first half.
+    mid = len(google_sa) // 2
+    first_half = google_sa[mid] - google_sa[0]
+    second_half = google_sa[-1] - google_sa[mid]
+    assert second_half > first_half
+    # South America ends above North America for Google (paper: ~1200 vs ~400).
+    assert google_sa[-1] > google_na[-1]
+    # Europe grows substantially too.
+    assert google_eu[-1] > 1.5 * google_eu[0]
+
+    # Alibaba is overwhelmingly Asian.
+    alibaba_asia = growth[Continent.ASIA]["alibaba"][-1]
+    alibaba_total = sum(growth[c]["alibaba"][-1] for c in Continent)
+    if alibaba_total:
+        assert alibaba_asia / alibaba_total > 0.6

@@ -1,0 +1,51 @@
+"""Figure 7 — per-country Internet user coverage (Google/Netflix/Akamai,
+April 2021).
+
+Paper: the top HGs sit inside the networks serving most users; coverage
+changed little 2017→2021 because large eyeballs hosted off-nets early.
+Akamai's AS-count decline does not dent its population coverage.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import country_coverage, render_table, worldwide_coverage
+from repro.timeline import Snapshot
+
+
+def test_fig7(world, rapid7, benchmark):
+    end = rapid7.snapshots[-1]
+    google = benchmark(country_coverage, rapid7, world.topology, "google", end)
+    coverage = {
+        "google": google,
+        "netflix": country_coverage(rapid7, world.topology, "netflix", end),
+        "akamai": country_coverage(rapid7, world.topology, "akamai", end),
+    }
+    codes = sorted(set().union(*[set(c) for c in coverage.values()]))
+    table = render_table(
+        ["country"] + list(coverage),
+        [
+            [code] + [f"{coverage[hg].get(code, 0.0):.1f}" for hg in coverage]
+            for code in codes
+        ],
+        title="Figure 7 — % of country's users in ASes hosting HG off-nets (2021-04)",
+    )
+    write_output("fig7_coverage", table)
+
+    google_world = worldwide_coverage(rapid7, world.topology, "google", end)
+    netflix_world = worldwide_coverage(rapid7, world.topology, "netflix", end)
+    akamai_world = worldwide_coverage(rapid7, world.topology, "akamai", end)
+    summary = (
+        f"worldwide: google={google_world:.1f}% netflix={netflix_world:.1f}% "
+        f"akamai={akamai_world:.1f}%  (paper: google 57.8%)"
+    )
+    write_output("fig7_worldwide", summary)
+
+    # A significant fraction of users can be served from within their ISP.
+    assert google_world > 30.0
+    # Coverage is stable 2017 -> 2021 (the big eyeballs hosted early).
+    early = Snapshot(2017, 10)
+    google_early = worldwide_coverage(rapid7, world.topology, "google", early)
+    assert google_world >= google_early - 5.0
+    # Akamai's population coverage stays disproportionate to its AS count.
+    akamai_ases = len(rapid7.effective_footprint("akamai", end))
+    google_ases = len(rapid7.effective_footprint("google", end))
+    assert akamai_world / max(google_world, 1e-9) > 0.5 * akamai_ases / google_ases

@@ -1,0 +1,49 @@
+"""Figure 9 — Facebook's population coverage, October 2017 vs April 2021.
+
+Paper: Facebook's coverage grew dramatically as its CDN expanded — e.g.
+Africa 34.7% → 74.8%, Europe 16.9% → 39.8%, South America 51.6% → 68%; and
+5 well-chosen US ASes would nearly double US coverage (33.9% → 61.8%).
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import country_coverage, render_table, worldwide_coverage
+from repro.analysis.coverage import top_missing_ases
+from repro.timeline import Snapshot
+
+
+def test_fig9(world, rapid7, benchmark):
+    early = Snapshot(2017, 10)
+    end = rapid7.snapshots[-1]
+    early_coverage = benchmark(country_coverage, rapid7, world.topology, "facebook", early)
+    late_coverage = country_coverage(rapid7, world.topology, "facebook", end)
+
+    codes = sorted(set(early_coverage) | set(late_coverage))
+    table = render_table(
+        ["country", "2017-10", "2021-04"],
+        [
+            (code, f"{early_coverage.get(code, 0.0):.1f}", f"{late_coverage.get(code, 0.0):.1f}")
+            for code in codes
+        ],
+        title="Figure 9 — Facebook coverage per country, 2017-10 vs 2021-04",
+    )
+    write_output("fig9_facebook", table)
+
+    early_world = worldwide_coverage(rapid7, world.topology, "facebook", early)
+    late_world = worldwide_coverage(rapid7, world.topology, "facebook", end)
+    write_output(
+        "fig9_facebook_worldwide",
+        f"facebook worldwide coverage: {early_world:.1f}% (2017-10) -> {late_world:.1f}% (2021-04)",
+    )
+    # Facebook's coverage grows strongly between the two dates.
+    assert late_world > early_world * 1.2
+
+    # §6.5's what-if: a handful of top missing eyeballs adds big coverage.
+    missing = top_missing_ases(rapid7, world.topology, "facebook", end, "US", limit=5)
+    gain = sum(share for _, share in missing)
+    us_now = late_coverage.get("US", 0.0)
+    write_output(
+        "fig9_us_whatif",
+        f"US coverage now {us_now:.1f}%; +5 best ASes would add {gain:.1f} points",
+    )
+    if missing:
+        assert gain > 0.0

@@ -1,0 +1,67 @@
+"""§7 Limitations, quantified: the IPv6-only blind spot and SNI defaults.
+
+The paper lists what its IPv4, no-SNI methodology cannot see.  This bench
+builds a world where a share of late-arriving eyeballs are IPv6-only mobile
+operators and measures how much footprint the pipeline loses per HG.
+"""
+
+from benchmarks.conftest import BENCH_SEED, write_output
+from repro.analysis import render_table
+from repro.core import OffnetPipeline
+from repro.scan.server import ServerKind
+from repro.timeline import STUDY_SNAPSHOTS
+from repro.world import WorldConfig, build_world
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+def test_ipv6_blind_spot(benchmark):
+    def measure():
+        world = build_world(
+            config=WorldConfig(seed=BENCH_SEED, scale=0.03, ipv6_only_fraction=0.4)
+        )
+        result = OffnetPipeline.for_world(world).run(snapshots=(END,))
+        dual = OffnetPipeline.for_world(world, include_ipv6=True).run(snapshots=(END,))
+        rows = []
+        for hypergiant in ("google", "facebook", "netflix", "akamai"):
+            truth = world.true_offnet_ases(hypergiant, END)
+            inferred = result.effective_footprint(hypergiant, END)
+            v6_hosts = {
+                s.asn
+                for s in world.servers
+                if s.ipv6_only
+                and s.kind is ServerKind.HG_OFFNET
+                and s.hypergiant == hypergiant
+                and s.alive_at(END)
+            }
+            dual_inferred = dual.effective_footprint(hypergiant, END)
+            recall = len(truth & inferred) / len(truth) if truth else 1.0
+            dual_recall = len(truth & dual_inferred) / len(truth) if truth else 1.0
+            rows.append(
+                (
+                    hypergiant,
+                    len(truth),
+                    len(v6_hosts & truth),
+                    len(inferred & v6_hosts & truth),
+                    len(dual_inferred & v6_hosts & truth),
+                    f"{recall * 100:.0f}%",
+                    f"{dual_recall * 100:.0f}%",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_output(
+        "limitations_ipv6",
+        render_table(
+            ["HG", "true hosts", "v6-only hosts", "v4 finds", "dual-stack finds",
+             "v4 recall", "dual recall"],
+            rows,
+            title="§7 — the IPv6-only blind spot, and closing it with a v6 corpus",
+        ),
+    )
+    total_v6 = sum(row[2] for row in rows)
+    assert total_v6 > 0, "expected some IPv6-only hosts at this scale"
+    for _hg, _truth, v6_hosts, v4_found, dual_found, _r4, _rd in rows:
+        assert v4_found == 0          # IPv4 corpuses can never see them
+        assert dual_found == v6_hosts  # the v6 corpus recovers all of them

@@ -1,0 +1,85 @@
+"""Pipeline-stage throughput: how fast does each §4 step chew a corpus?
+
+Not a paper exhibit — the engineering counterpart: per-stage timings over
+the benchmark world's final snapshot so regressions in the hot paths
+(validation, fingerprinting, the candidate rule, header confirmation,
+IP-to-AS construction) are caught.
+"""
+
+from benchmarks.conftest import bench_world, write_output
+from repro.bgp import IPToASMap
+from repro.core import (
+    CertificateValidator,
+    OffnetPipeline,
+    find_candidates,
+    learn_tls_fingerprint,
+)
+
+
+def _prepared(world):
+    end = world.snapshots[-1]
+    scan = world.scan("rapid7", end)
+    validator = CertificateValidator(world.root_store)
+    records, _ = validator.validate_snapshot(scan, allow_expired=True)
+    ip2as = world.ip2as(end)
+    hg_ases = world.topology.organizations.search_by_name("google")
+    fingerprint = learn_tls_fingerprint("google", records, hg_ases, ip2as)
+    return end, scan, records, ip2as, hg_ases, fingerprint
+
+
+def test_validation_throughput(world, benchmark):
+    end = world.snapshots[-1]
+    scan = world.scan("rapid7", end)
+    validator = CertificateValidator(world.root_store)
+    validator.validate_snapshot(scan)  # warm the static cache
+
+    records, stats = benchmark(validator.validate_snapshot, scan)
+    rate = stats.total / benchmark.stats["mean"]
+    write_output(
+        "perf_validation",
+        f"§4.1 validation: {stats.total} records/snapshot, "
+        f"{rate / 1000:.0f}k records/s (static-cache warm)",
+    )
+    assert stats.total > 0
+
+
+def test_fingerprint_throughput(world, benchmark):
+    end, scan, records, ip2as, hg_ases, _ = _prepared(world)
+    fingerprint = benchmark(
+        learn_tls_fingerprint, "google", records, hg_ases, ip2as
+    )
+    assert not fingerprint.is_empty
+
+
+def test_candidate_rule_throughput(world, benchmark):
+    end, scan, records, ip2as, hg_ases, fingerprint = _prepared(world)
+    candidates = benchmark(
+        find_candidates, fingerprint, records, hg_ases, ip2as
+    )
+    assert candidates
+
+
+def test_ip2as_build_throughput(world, benchmark):
+    end = world.snapshots[-1]
+    ribs = world.ribs(end)
+    mapping = benchmark(IPToASMap.from_ribs, ribs)
+    assert mapping.prefix_count > 0
+
+
+def test_full_snapshot_throughput(world, benchmark):
+    """One complete pipeline snapshot, end to end."""
+    end = world.snapshots[-1]
+    pipeline = OffnetPipeline.for_world(world)
+    pipeline.header_rules()  # learn once outside the timed region
+
+    result = benchmark.pedantic(
+        pipeline.run, kwargs={"snapshots": (end,)}, rounds=3, iterations=1
+    )
+    footprint = result.at(end)
+    write_output(
+        "perf_full_snapshot",
+        f"full §4 snapshot over {footprint.raw_ip_count} IPs: "
+        f"{benchmark.stats['mean']:.2f}s "
+        f"({footprint.raw_ip_count / benchmark.stats['mean'] / 1000:.0f}k IPs/s)",
+    )
+    assert footprint.confirmed_ases

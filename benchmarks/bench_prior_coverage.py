@@ -1,0 +1,101 @@
+"""§1's coverage critique, quantified: prior DNS techniques vs this paper.
+
+The introduction argues earlier approaches "neither scale nor generalize":
+open-resolver probing covers only where resolvers sit; ECS sweeps work for
+one HG and break when the HG changes DNS behaviour; naming-convention
+enumeration is fragile.  This bench measures each technique's recall of
+ground truth next to the certificate pipeline's, on the same world.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import render_table
+from repro.dns import (
+    ecs_google_mapper,
+    facebook_naming_mapper,
+    netflix_oca_mapper,
+    open_resolver_mapper,
+)
+from repro.timeline import Snapshot
+
+
+def test_prior_technique_coverage(world, rapid7, benchmark):
+    end = rapid7.snapshots[-1]
+
+    rows = []
+
+    def run_all():
+        rows.clear()
+        cases = (
+            ("google", "ECS sweep", ecs_google_mapper(world, end)),
+            ("facebook", "FNA enumeration", facebook_naming_mapper(world, end)),
+            ("netflix", "OCA enumeration", netflix_oca_mapper(world, end)),
+            ("akamai", "open resolvers", open_resolver_mapper(world, "akamai", end)),
+            ("google", "open resolvers", open_resolver_mapper(world, "google", end)),
+        )
+        for hypergiant, technique, found in cases:
+            truth = world.true_offnet_ases(hypergiant, end)
+            pipeline = rapid7.effective_footprint(hypergiant, end)
+            prior_recall = len(found & truth) / len(truth) if truth else 1.0
+            pipeline_recall = len(pipeline & truth) / len(truth) if truth else 1.0
+            rows.append(
+                (
+                    hypergiant,
+                    technique,
+                    len(found),
+                    f"{prior_recall * 100:.0f}%",
+                    f"{pipeline_recall * 100:.0f}%",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_output(
+        "prior_coverage",
+        render_table(
+            ["HG", "technique", "#ASes found", "technique recall", "pipeline recall"],
+            rows,
+            title="§1 — prior DNS techniques vs the certificate pipeline (2021-04)",
+        ),
+    )
+
+    by_case = {(hg, tech): row for hg, tech, *row in rows}
+    # Open-resolver probing is clearly partial; the pipeline is not.
+    akamai_prior = float(by_case[("akamai", "open resolvers")][1].rstrip("%"))
+    akamai_pipeline = float(by_case[("akamai", "open resolvers")][2].rstrip("%"))
+    assert akamai_prior < akamai_pipeline
+    # Enumeration/ECS techniques are good but below the pipeline.
+    for key in (("google", "ECS sweep"), ("facebook", "FNA enumeration")):
+        prior = float(by_case[key][1].rstrip("%"))
+        pipeline = float(by_case[key][2].rstrip("%"))
+        assert prior <= pipeline + 5.0
+
+
+def test_google_first_party_blindness(world, benchmark):
+    """§1: ECS sweeps of www.google.com stopped revealing off-nets in 2016."""
+
+    def sweep(qname, when):
+        found = set()
+        ip2as = world.ip2as(when)
+        google = world.onnet_ases("google")
+        for prefix in ip2as.prefixes()[:600]:
+            answer = world.dns.resolve(qname, when, ecs_prefix=prefix)
+            for ip in answer.ips:
+                found |= {a for a in ip2as.lookup(ip) if a not in google}
+        return found
+
+    before = Snapshot(2016, 1)
+    after = Snapshot(2016, 7)
+    found_before = benchmark.pedantic(
+        sweep, args=("www.google.com", before), rounds=1, iterations=1
+    )
+    found_after = sweep("www.google.com", after)
+    serving_after = sweep("cache.googlevideo.com", after)
+    write_output(
+        "prior_google_firstparty",
+        f"ECS sweep of www.google.com: {len(found_before)} off-net ASes before "
+        f"Apr 2016, {len(found_after)} after; the serving hostname still exposes "
+        f"{len(serving_after)}",
+    )
+    assert found_before
+    assert not found_after
+    assert serving_after

@@ -1,0 +1,86 @@
+"""Robustness: the reproduced shapes must not depend on seed or scale.
+
+Every claim in EXPERIMENTS.md is about shape (rankings, growth factors,
+mixes).  This bench re-runs the pipeline on worlds with different seeds and
+scales and asserts the headline shapes hold in all of them:
+
+* Table 3 ranking: Google > Facebook ≥ Netflix > Akamai at the end;
+* Akamai peaks mid-study and shrinks;
+* Facebook launches mid-2016;
+* survey recall stays high.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import render_table
+from repro.core import OffnetPipeline
+from repro.hypergiants.profiles import TOP4
+from repro.timeline import Snapshot, STUDY_SNAPSHOTS
+from repro.validation import survey_hypergiant
+from repro.world import WorldConfig, build_world
+
+END = STUDY_SNAPSHOTS[-1]
+
+_VARIANTS = (
+    ("seed=7 scale=0.015", WorldConfig(seed=7, scale=0.015)),
+    ("seed=11 scale=0.015", WorldConfig(seed=11, scale=0.015)),
+    ("seed=23 scale=0.015", WorldConfig(seed=23, scale=0.015)),
+    ("seed=7 scale=0.03", WorldConfig(seed=7, scale=0.03)),
+)
+
+
+def test_shape_robustness(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for label, config in _VARIANTS:
+            world = build_world(config=config)
+            result = OffnetPipeline.for_world(world).run()
+            counts = {
+                hg: len(result.effective_footprint(hg, END)) for hg in TOP4
+            }
+            akamai_series = [
+                len(result.effective_footprint("akamai", s)) for s in result.snapshots
+            ]
+            akamai_peak_index = max(
+                range(len(akamai_series)), key=lambda i: akamai_series[i]
+            )
+            facebook_prelaunch = len(
+                result.effective_footprint("facebook", Snapshot(2016, 4))
+            )
+            recalls = []
+            for hg in TOP4:
+                report = survey_hypergiant(result, world, hg, END)
+                recalls.append(report.recall)
+            rows.append(
+                (
+                    label,
+                    counts["google"],
+                    counts["facebook"],
+                    counts["netflix"],
+                    counts["akamai"],
+                    result.snapshots[akamai_peak_index].label,
+                    facebook_prelaunch,
+                    f"{min(recalls) * 100:.0f}%",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_output(
+        "robustness",
+        render_table(
+            ["variant", "google", "facebook", "netflix", "akamai",
+             "akamai peak", "fb pre-launch", "min recall"],
+            rows,
+            title="Shape robustness across seeds and scales (2021-04 counts)",
+        ),
+    )
+
+    for label, google, facebook, netflix, akamai, peak, prelaunch, min_recall in rows:
+        assert google > facebook >= netflix - 2, label
+        assert facebook > akamai, label
+        assert netflix > akamai, label
+        assert 2017 <= Snapshot.parse(peak).year <= 2019, label
+        assert prelaunch == 0, label
+        assert float(min_recall.rstrip("%")) > 70, label

@@ -1,0 +1,46 @@
+"""§6.1/§5 — the hypergiants' deployment strategies differ structurally.
+
+Paper facts to reproduce in shape: Akamai packs far more IPs per host AS
+than Facebook (105,686 IPs / 1,194 ASes vs 33,769 / 1,708 in the authors'
+Nov 2019 scan); Apple/Twitter have big certificate-only footprints with
+almost no metal; Google/Akamai footprints are nearly all hardware.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import render_table
+from repro.analysis.strategies import strategy_indicators
+
+
+def test_strategies(rapid7, benchmark):
+    end = rapid7.snapshots[-1]
+    hypergiants = ("google", "facebook", "netflix", "akamai", "apple", "twitter", "amazon")
+
+    def compute():
+        return [strategy_indicators(rapid7, hg, end) for hg in hypergiants]
+
+    indicators = benchmark(compute)
+    write_output(
+        "strategies",
+        render_table(
+            ["HG", "off-net IPs", "off-net ASes", "IPs/AS", "certs-only ASes", "hardware frac"],
+            [
+                (
+                    s.hypergiant,
+                    s.offnet_ips,
+                    s.offnet_ases,
+                    f"{s.ips_per_as:.1f}",
+                    s.certs_only_ases,
+                    f"{s.hardware_fraction:.2f}",
+                )
+                for s in indicators
+            ],
+            title="§6.1 — deployment strategy indicators (2021-04)",
+        ),
+    )
+    by_hg = {s.hypergiant: s for s in indicators}
+    # Akamai: densest off-net IP packing among the top-4 (§5's point).
+    assert by_hg["akamai"].ips_per_as > by_hg["facebook"].ips_per_as
+    assert by_hg["akamai"].ips_per_as > by_hg["netflix"].ips_per_as
+    # Google/Akamai are nearly all hardware; Apple is nearly none.
+    assert by_hg["google"].hardware_fraction > 0.9
+    assert by_hg["apple"].hardware_fraction < 0.3

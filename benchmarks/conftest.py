@@ -1,0 +1,106 @@
+"""Shared benchmark fixtures.
+
+The benchmark world is larger than the test world (scale 0.05 ≈ 3.5k ASes,
+denser background web) so the paper's demographics reproduce closely.  It
+is built once per session; each bench then times its analysis step and
+writes the regenerated table/figure rows to ``benchmarks/output/``.
+
+Set ``REPRO_BENCH_SCALE`` to override the scale (e.g. ``0.1`` for a ~7k-AS
+world closer to the paper's proportions, at ~4x the build time).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import OffnetPipeline
+from repro.timeline import Snapshot
+from repro.world import WorldConfig, build_world
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_cache: dict[str, object] = {}
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+#: The Table 2 comparison snapshot (the paper's November 2019).
+NOV_2019 = Snapshot(2019, 10)
+
+
+def bench_world():
+    world = _cache.get("world")
+    if world is None:
+        world = build_world(
+            config=WorldConfig(
+                seed=BENCH_SEED,
+                scale=BENCH_SCALE,
+                background_density=1.5,
+            )
+        )
+        _cache["world"] = world
+    return world
+
+
+def rapid7_result():
+    result = _cache.get("rapid7")
+    if result is None:
+        result = OffnetPipeline.for_world(bench_world()).run()
+        _cache["rapid7"] = result
+    return result
+
+
+def censys_result():
+    result = _cache.get("censys")
+    if result is None:
+        result = OffnetPipeline.for_world(bench_world(), corpus="censys").run()
+        _cache["censys"] = result
+    return result
+
+
+def certigo_result():
+    result = _cache.get("certigo")
+    if result is None:
+        result = OffnetPipeline.for_world(bench_world(), corpus="certigo").run(
+            snapshots=(NOV_2019,)
+        )
+        _cache["certigo"] = result
+    return result
+
+
+@pytest.fixture(scope="session")
+def world():
+    return bench_world()
+
+
+@pytest.fixture(scope="session")
+def rapid7():
+    return rapid7_result()
+
+
+@pytest.fixture(scope="session")
+def censys():
+    return censys_result()
+
+
+@pytest.fixture(scope="session")
+def certigo():
+    return certigo_result()
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a bench's regenerated rows and echo them to stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def scale_note() -> str:
+    """A header reminding readers that counts are world-scaled."""
+    return (
+        f"(synthetic world at scale {BENCH_SCALE}: multiply AS counts by "
+        f"~{1 / BENCH_SCALE:.0f} to compare with paper-level magnitudes; "
+        "shapes/ratios compare directly)"
+    )

@@ -1,0 +1,55 @@
+"""File-backed workflow: write scan corpuses to JSONL, analyse them later.
+
+Run with::
+
+    python examples/file_based_corpus.py
+
+The real pipeline consumes sonar.ssl-style files; this example shows the
+same split between *collection* (scan once, persist) and *analysis*
+(reload, validate, fingerprint) using :mod:`repro.scan.corpus`.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import build_world
+from repro.core import CertificateValidator, find_candidates, learn_tls_fingerprint
+from repro.scan.corpus import load_snapshot, save_snapshot
+from repro.timeline import Snapshot
+
+
+def main() -> None:
+    world = build_world(seed=7, scale=0.015)
+    snapshot = Snapshot(2019, 10)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # --- collection phase -------------------------------------------------
+        path = Path(tmp) / f"rapid7-{snapshot.label}.jsonl"
+        scan = world.scan("rapid7", snapshot)
+        save_snapshot(scan, path)
+        size_kb = path.stat().st_size / 1024
+        print(f"wrote {path.name}: {scan.ip_count} IPs, "
+              f"{scan.unique_certificates()} unique certificates, {size_kb:.0f} KiB")
+
+        # --- analysis phase (a different process, typically) -------------------
+        corpus = load_snapshot(path)
+        print(f"reloaded {corpus.scanner} corpus for {corpus.snapshot}")
+
+        records, stats = CertificateValidator(world.root_store).validate_snapshot(corpus)
+        print(f"valid records: {stats.valid}/{stats.total} "
+              f"({stats.invalid_fraction * 100:.0f}% invalid)")
+
+        ip2as = world.ip2as(snapshot)
+        for hypergiant in ("google", "facebook", "akamai"):
+            hg_ases = world.topology.organizations.search_by_name(hypergiant)
+            fingerprint = learn_tls_fingerprint(hypergiant, records, hg_ases, ip2as)
+            candidates = find_candidates(fingerprint, records, hg_ases, ip2as)
+            ases = set()
+            for candidate in candidates:
+                ases |= candidate.ases
+            print(f"  {hypergiant:9s} fingerprint={len(fingerprint.dns_names):2d} names, "
+                  f"candidate off-nets: {len(candidates):4d} IPs in {len(ases):3d} ASes")
+
+
+if __name__ == "__main__":
+    main()

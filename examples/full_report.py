@@ -1,0 +1,98 @@
+"""One-call reproduction report: every analysis, one markdown file + CSVs.
+
+Run with::
+
+    python examples/full_report.py [output-dir]
+
+Builds a world, runs the pipeline, and writes ``report.md`` plus a CSV per
+figure into the output directory (default ``./report-out``) — the artefact
+a downstream user would attach to a replication study.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import build_world
+from repro.analysis import build_table3, render_table, top4_growth, worldwide_coverage
+from repro.analysis.export_csv import export_all_csv
+from repro.analysis.overlap import newcomer_fractions, top4_multiplicity
+from repro.core import OffnetPipeline, restore_netflix
+from repro.hypergiants.profiles import TOP4
+from repro.validation import survey_hypergiant
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("report-out")
+    out.mkdir(parents=True, exist_ok=True)
+
+    world = build_world(seed=7, scale=0.015)
+    result = OffnetPipeline.for_world(world).run()
+    end = result.snapshots[-1]
+
+    sections: list[str] = ["# Off-net reproduction report\n"]
+    sections.append(
+        f"World: seed {world.config.seed}, scale {world.config.scale} "
+        f"({len(world.topology.graph)} ASes, {len(world.servers)} servers), "
+        f"{len(result.snapshots)} snapshots.\n"
+    )
+
+    rows = build_table3(result)
+    sections.append("## Table 3 — footprints\n")
+    sections.append("```")
+    sections.append(
+        render_table(
+            ["Hypergiant", "2013-10 (certs)", "max [when]", "2021-04 (certs)"],
+            [row.format() for row in rows],
+        )
+    )
+    sections.append("```\n")
+
+    envelope = restore_netflix(result)
+    sections.append("## Netflix envelope (§6.2)\n")
+    sections.append(
+        f"Raw series dips to {(1 - envelope.dip_depth()) * 100:.0f}% of the restored "
+        "footprint at its worst inside the expired-certificate era.\n"
+    )
+
+    sections.append("## Survey validation (§5)\n")
+    sections.append("```")
+    survey_rows = []
+    for hypergiant in TOP4:
+        report = survey_hypergiant(result, world, hypergiant, end)
+        survey_rows.append(
+            (hypergiant, report.inferred, report.actual,
+             f"{report.recall * 100:.1f}%", report.grade)
+        )
+    sections.append(
+        render_table(["HG", "inferred", "actual", "recall", "grade"], survey_rows)
+    )
+    sections.append("```\n")
+
+    sections.append("## Coverage & overlap\n")
+    google_coverage = worldwide_coverage(result, world.topology, "google", end)
+    distribution = top4_multiplicity(result, end)
+    total_hosts = sum(distribution.values()) or 1
+    multi = (total_hosts - distribution[1]) / total_hosts * 100
+    newcomers = newcomer_fractions(result)
+    steady = [v for s, v in newcomers.items() if s.year >= 2016]
+    sections.append(
+        f"- Google worldwide user coverage: {google_coverage:.1f}%\n"
+        f"- ASes hosting ≥2 of the top-4: {multi:.0f}% of {total_hosts}\n"
+        f"- newcomer host share (2016+): {sum(steady) / len(steady):.1f}%\n"
+    )
+
+    csv_paths = export_all_csv(result, world.topology, out / "csv")
+    sections.append(f"\nCSV series written: {len(csv_paths)} files under {out / 'csv'}\n")
+
+    report_path = out / "report.md"
+    report_path.write_text("\n".join(sections), encoding="utf-8")
+    print(f"wrote {report_path} and {len(csv_paths)} CSV files")
+
+    growth = top4_growth(result)
+    print("\nheadline growth (first -> last snapshot):")
+    for name in ("google", "facebook", "akamai"):
+        print(f"  {name:9s} {growth[name][0]:4d} -> {growth[name][-1]:4d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Prior mapping techniques vs the certificate pipeline (§1, §5).
+
+Run with::
+
+    python examples/prior_techniques.py
+
+Re-enacts the earlier, DNS-based off-net mapping studies over the synthetic
+world's DNS substrate and compares each against both ground truth and the
+paper's certificate methodology — including the 2016 moment when Google's
+first-party domains went dark to ECS sweeps.
+"""
+
+from repro import build_world
+from repro.analysis import render_table
+from repro.core import OffnetPipeline
+from repro.dns import (
+    ecs_google_mapper,
+    facebook_naming_mapper,
+    netflix_oca_mapper,
+    open_resolver_mapper,
+)
+from repro.timeline import Snapshot
+
+
+def main() -> None:
+    world = build_world(seed=7, scale=0.015)
+    result = OffnetPipeline.for_world(world).run()
+    end = result.snapshots[-1]
+
+    rows = []
+    for hypergiant, label, mapper in (
+        ("google", "ECS sweep (Calder et al.)", lambda: ecs_google_mapper(world, end)),
+        ("facebook", "FNA enumeration (Bhatia)", lambda: facebook_naming_mapper(world, end)),
+        ("netflix", "OCA enumeration (Böttger et al.)", lambda: netflix_oca_mapper(world, end)),
+        ("akamai", "open resolvers (Huang et al.)", lambda: open_resolver_mapper(world, "akamai", end)),
+    ):
+        found = mapper()
+        truth = world.true_offnet_ases(hypergiant, end)
+        pipeline = result.effective_footprint(hypergiant, end)
+        rows.append(
+            (
+                label,
+                len(found),
+                f"{len(found & truth) / len(truth) * 100:.0f}%" if truth else "-",
+                f"{len(pipeline & truth) / len(truth) * 100:.0f}%" if truth else "-",
+            )
+        )
+    print(
+        render_table(
+            ["technique", "#ASes found", "technique recall", "pipeline recall"],
+            rows,
+            title="Prior DNS techniques vs the certificate pipeline (2021-04)",
+        )
+    )
+
+    # The 2016 change: www.google.com goes on-net-only for ECS clients.
+    print()
+    print("Google first-party domains and ECS (§1):")
+    for when in (Snapshot(2016, 1), Snapshot(2016, 7)):
+        hits = set()
+        ip2as = world.ip2as(when)
+        for prefix in ip2as.prefixes()[:400]:
+            answer = world.dns.resolve("www.google.com", when, ecs_prefix=prefix)
+            for ip in answer.ips:
+                hits |= ip2as.lookup(ip) - world.onnet_ases("google")
+        print(f"  {when}: ECS sweep of www.google.com reveals {len(hits)} off-net ASes")
+    print("  -> after April 2016 the sweep goes dark; the certificate method")
+    print("     is unaffected because off-nets must still present certificates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a full reproduction of "Seven Years in the Life of Hypergiants'
+Off-Nets" (SIGCOMM 2021).
+
+The package is organised in layers:
+
+* substrates: :mod:`repro.net`, :mod:`repro.x509`, :mod:`repro.topology`,
+  :mod:`repro.bgp`, :mod:`repro.hypergiants`, :mod:`repro.scan`;
+* world orchestration: :mod:`repro.world` builds the synthetic Internet and
+  its scan corpuses, with ground truth for validation;
+* the paper's methodology: :mod:`repro.core` (fingerprint learning, candidate
+  identification, header confirmation, longitudinal pipeline);
+* evaluation: :mod:`repro.analysis` and :mod:`repro.validation` regenerate
+  every table and figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import build_world, OffnetPipeline
+
+    world = build_world(seed=7, scale=0.05)
+    pipeline = OffnetPipeline.for_world(world)
+    result = pipeline.run(world.corpus("rapid7"))
+    print(result.footprint("google").as_count(world.snapshots[-1]))
+"""
+
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Snapshot",
+    "STUDY_SNAPSHOTS",
+    "build_world",
+    "WorldConfig",
+    "OffnetPipeline",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # the heavy world/pipeline modules pull in the whole substrate stack.
+    if name == "build_world":
+        from repro.world import build_world
+
+        return build_world
+    if name == "WorldConfig":
+        from repro.world import WorldConfig
+
+        return WorldConfig
+    if name == "OffnetPipeline":
+        from repro.core import OffnetPipeline
+
+        return OffnetPipeline
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,52 @@
+"""Evaluation-section analyses: every table and figure of §5/§6 + appendix.
+
+Each module maps to specific exhibits (see DESIGN.md's experiment index):
+
+* :mod:`repro.analysis.growth` — Figures 2, 3, 4.
+* :mod:`repro.analysis.demographics` — Figures 5, 13 and the §6.3 census.
+* :mod:`repro.analysis.regions` — Figure 6.
+* :mod:`repro.analysis.coverage` — Figures 7, 8, 9, 12 (§6.5, A.6).
+* :mod:`repro.analysis.overlap` — Figures 10, 14 (§6.6, A.8).
+* :mod:`repro.analysis.certgroups` — Figure 11, Appendix A.3.
+* :mod:`repro.analysis.comparison` — Table 2 (§5).
+* :mod:`repro.analysis.tables` — Table 3 (§6.1).
+* :mod:`repro.analysis.report` — plain-text table/series rendering.
+"""
+
+from repro.analysis.comparison import ScannerComparison, compare_scanners
+from repro.analysis.coverage import cone_country_coverage, country_coverage, worldwide_coverage
+from repro.analysis.demographics import (
+    footprint_by_category,
+    internet_category_shares,
+    region_type_series,
+)
+from repro.analysis.growth import dataset_comparison, ip_count_series, top4_growth
+from repro.analysis.overlap import persistence_distribution, stable_host_distribution, top4_multiplicity
+from repro.analysis.regions import regional_growth
+from repro.analysis.certgroups import certificate_ip_groups, validity_medians
+from repro.analysis.tables import Table3Row, build_table3
+from repro.analysis.report import render_series, render_table
+
+__all__ = [
+    "ip_count_series",
+    "top4_growth",
+    "dataset_comparison",
+    "footprint_by_category",
+    "internet_category_shares",
+    "region_type_series",
+    "regional_growth",
+    "country_coverage",
+    "cone_country_coverage",
+    "worldwide_coverage",
+    "top4_multiplicity",
+    "stable_host_distribution",
+    "persistence_distribution",
+    "certificate_ip_groups",
+    "validity_medians",
+    "ScannerComparison",
+    "compare_scanners",
+    "Table3Row",
+    "build_table3",
+    "render_table",
+    "render_series",
+]

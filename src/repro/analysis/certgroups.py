@@ -1,0 +1,80 @@
+"""Certificate population analyses — Figure 11 and Appendix A.3.
+
+* Figure 11: for one HG, the share of its certificate-serving IPs behind
+  each of the top-10 certificates (IP groups) per snapshot — Google stays
+  heavily aggregated (the ``*.googlevideo.com`` group covers >50%),
+  Facebook disaggregates over time.
+* Appendix A.3: certificate counts and median validity periods per HG.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.footprint import PipelineResult
+from repro.scan.records import ScanSnapshot
+from repro.timeline import Snapshot
+
+__all__ = ["certificate_ip_groups", "validity_medians", "certificate_count"]
+
+
+def _hg_ips(result: PipelineResult, hypergiant: str, snapshot: Snapshot) -> frozenset[int]:
+    footprint = result.at(snapshot)
+    onnet = footprint.onnet_ips.get(hypergiant, frozenset())
+    offnet = footprint.candidate_ips.get(hypergiant, frozenset())
+    return onnet | offnet
+
+
+def certificate_ip_groups(
+    result: PipelineResult,
+    scan: ScanSnapshot,
+    hypergiant: str,
+    top: int = 10,
+) -> list[float]:
+    """Figure 11: % of the HG's certificate-serving IPs per top-``top``
+    certificate at ``scan.snapshot`` (descending)."""
+    ips = _hg_ips(result, hypergiant, scan.snapshot)
+    if not ips:
+        return []
+    groups: Counter = Counter()
+    total = 0
+    for record in scan.tls_records:
+        if record.ip in ips:
+            groups[record.chain.end_entity.fingerprint] += 1
+            total += 1
+    if total == 0:
+        return []
+    return [count / total * 100.0 for _, count in groups.most_common(top)]
+
+
+def certificate_count(
+    result: PipelineResult, scan: ScanSnapshot, hypergiant: str
+) -> int:
+    """Number of distinct certificates the HG serves at a snapshot (A.3)."""
+    ips = _hg_ips(result, hypergiant, scan.snapshot)
+    return len(
+        {
+            record.chain.end_entity.fingerprint
+            for record in scan.tls_records
+            if record.ip in ips
+        }
+    )
+
+
+def validity_medians(
+    result: PipelineResult, scan: ScanSnapshot, hypergiant: str
+) -> float:
+    """Median certificate validity period in months (A.3's expiry study:
+    Google ~3 months; Netflix dropping to ~1 month within 2019)."""
+    ips = _hg_ips(result, hypergiant, scan.snapshot)
+    durations = sorted(
+        record.chain.end_entity.validity_months
+        for record in scan.tls_records
+        if record.ip in ips
+    )
+    if not durations:
+        return 0.0
+    middle = len(durations) // 2
+    if len(durations) % 2:
+        return float(durations[middle])
+    return (durations[middle - 1] + durations[middle]) / 2.0

@@ -1,0 +1,75 @@
+"""Scan-corpus comparison — Table 2 (§5).
+
+For one snapshot (the paper: November 2019) the three corpuses are compared
+on: IPs with certificates, ASes with certificates, ASes unique to the
+corpus, ASes with any HG certificate, and per-HG AS counts for the top-4.
+All counts here are certificate-level (candidates), matching the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.footprint import PipelineResult
+from repro.hypergiants.profiles import TOP4
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+
+__all__ = ["ScannerComparison", "compare_scanners"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScannerComparison:
+    """One Table 2 row."""
+
+    scanner: str
+    snapshot: Snapshot
+    ips_with_certs: int
+    ases_with_certs: int
+    ases_unique: int
+    ases_with_any_hg: int
+    per_hg: dict[str, int]
+
+
+def _ases_with_certs(world, corpus: str, snapshot: Snapshot) -> frozenset[ASN]:
+    scan = world.scan(corpus, snapshot)
+    ip2as = world.ip2as(snapshot)
+    ases: set[ASN] = set()
+    for record in scan.tls_records:
+        ases |= ip2as.lookup(record.ip)
+    return frozenset(ases)
+
+
+def compare_scanners(
+    world,
+    results: dict[str, PipelineResult],
+    snapshot: Snapshot,
+) -> list[ScannerComparison]:
+    """Build Table 2 rows for every corpus in ``results`` at ``snapshot``."""
+    cert_ases = {
+        corpus: _ases_with_certs(world, corpus, snapshot) for corpus in results
+    }
+    rows: list[ScannerComparison] = []
+    for corpus, result in results.items():
+        footprint = result.at(snapshot)
+        others: set[ASN] = set()
+        for other_corpus, ases in cert_ases.items():
+            if other_corpus != corpus:
+                others |= ases
+        any_hg: set[ASN] = set()
+        for ases in footprint.candidate_ases.values():
+            any_hg |= ases
+        rows.append(
+            ScannerComparison(
+                scanner=corpus,
+                snapshot=snapshot,
+                ips_with_certs=footprint.raw_ip_count,
+                ases_with_certs=len(cert_ases[corpus]),
+                ases_unique=len(cert_ases[corpus] - others),
+                ases_with_any_hg=len(any_hg),
+                per_hg={
+                    hg: len(footprint.candidate_ases.get(hg, frozenset())) for hg in TOP4
+                },
+            )
+        )
+    return rows

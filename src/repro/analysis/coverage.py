@@ -1,0 +1,116 @@
+"""Internet user population coverage — Figures 7, 8, 9, 12 (§6.5, A.6).
+
+Coverage of a country = sum of the APNIC-style market shares of that
+country's ASes that host the HG's off-nets.  The *customer cone* variant
+additionally counts users inside the customer cones of hosting ASes (a HG
+can serve a hosting AS's customers through the same off-net).
+"""
+
+from __future__ import annotations
+
+from repro.core.footprint import PipelineResult
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+from repro.topology.generator import GeneratedTopology
+
+__all__ = [
+    "country_coverage",
+    "cone_country_coverage",
+    "worldwide_coverage",
+    "coverage_increase",
+    "top_missing_ases",
+]
+
+
+def _hosting_ases(
+    result: PipelineResult, hypergiant: str, snapshot: Snapshot
+) -> frozenset[ASN]:
+    return result.effective_footprint(hypergiant, snapshot)
+
+
+def _expand_with_cones(
+    topology: GeneratedTopology, hosting: frozenset[ASN], snapshot: Snapshot
+) -> frozenset[ASN]:
+    expanded: set[ASN] = set()
+    alive = topology.alive(snapshot)
+    for asn in hosting:
+        if asn not in alive:
+            continue
+        expanded.update(member for member in topology.cone_members(asn) if member in alive)
+    return frozenset(expanded)
+
+
+def country_coverage(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+    snapshot: Snapshot,
+) -> dict[str, float]:
+    """Figure 7/9: country code → % of that country's users covered."""
+    view = topology.population.monthly_view(snapshot)
+    return view.country_coverage(_hosting_ases(result, hypergiant, snapshot))
+
+
+def cone_country_coverage(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+    snapshot: Snapshot,
+) -> dict[str, float]:
+    """Figure 8/12: coverage when off-nets also serve the hosting ASes'
+    customer cones."""
+    view = topology.population.monthly_view(snapshot)
+    hosting = _hosting_ases(result, hypergiant, snapshot)
+    return view.country_coverage(_expand_with_cones(topology, hosting, snapshot))
+
+
+def worldwide_coverage(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+    snapshot: Snapshot,
+    include_cones: bool = False,
+) -> float:
+    """User-weighted worldwide coverage % (e.g. Google 57.8% → 68.2% with
+    cones in the paper)."""
+    view = topology.population.monthly_view(snapshot)
+    hosting = _hosting_ases(result, hypergiant, snapshot)
+    if include_cones:
+        hosting = _expand_with_cones(topology, hosting, snapshot)
+    return view.worldwide_coverage(hosting)
+
+
+def coverage_increase(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+    early: Snapshot,
+    late: Snapshot,
+) -> tuple[float, float]:
+    """(worldwide coverage at ``early``, at ``late``) — the Figure 9 deltas."""
+    return (
+        worldwide_coverage(result, topology, hypergiant, early),
+        worldwide_coverage(result, topology, hypergiant, late),
+    )
+
+
+def top_missing_ases(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+    snapshot: Snapshot,
+    country_code: str,
+    limit: int = 5,
+) -> list[tuple[ASN, float]]:
+    """§6.5's what-if: the non-hosting ASes of a country whose adoption
+    would raise the HG's coverage the most (the paper's "Facebook could
+    increase US coverage from 33.9% to 61.8% with 5 ASes")."""
+    view = topology.population.monthly_view(snapshot)
+    hosting = _hosting_ases(result, hypergiant, snapshot)
+    missing = [
+        (entry.asn, entry.market_share * 100.0)
+        for entry in view.entries
+        if entry.country.code == country_code and entry.asn not in hosting
+    ]
+    missing.sort(key=lambda pair: (-pair[1], pair[0]))
+    return missing[:limit]

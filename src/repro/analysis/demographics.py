@@ -1,0 +1,97 @@
+"""Host-AS demographics — Figures 5 and 13, and the §6.3 census.
+
+The paper buckets hypergiant host ASes by customer-cone size and contrasts
+the mix with the Internet-wide census (stubs ~85% of all ASes but only
+~27-31% of Google/Netflix/Facebook hosts; large+xlarge <0.5% of ASes but
+>5% of hosts, >16% for Akamai).
+"""
+
+from __future__ import annotations
+
+from repro.core.footprint import PipelineResult
+from repro.timeline import Snapshot
+from repro.topology.categories import ConeCategory
+from repro.topology.generator import GeneratedTopology
+from repro.topology.geography import Continent
+
+__all__ = [
+    "footprint_by_category",
+    "internet_category_shares",
+    "category_share_table",
+    "region_type_series",
+]
+
+
+def footprint_by_category(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+) -> dict[Snapshot, dict[ConeCategory, int]]:
+    """Figure 5: per snapshot, the HG's host ASes bucketed by cone size.
+
+    Uses the effective footprint (the Netflix envelope for Netflix).
+    """
+    series: dict[Snapshot, dict[ConeCategory, int]] = {}
+    for snapshot in result.snapshots:
+        counts = {category: 0 for category in ConeCategory}
+        for asn in result.effective_footprint(hypergiant, snapshot):
+            if not topology.is_alive(asn, snapshot):
+                continue
+            counts[topology.category_at(asn, snapshot)] += 1
+        series[snapshot] = counts
+    return series
+
+
+def internet_category_shares(
+    topology: GeneratedTopology, snapshot: Snapshot
+) -> dict[ConeCategory, float]:
+    """The Internet-wide census shares at ``snapshot`` (§6.3 baseline)."""
+    counts = topology.category_counts_at(snapshot)
+    total = sum(counts.values()) or 1
+    return {category: count / total for category, count in counts.items()}
+
+
+def category_share_table(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiants: tuple[str, ...],
+    snapshot: Snapshot,
+) -> dict[str, dict[ConeCategory, float]]:
+    """§6.3's comparison: per HG, the share of its hosts per category,
+    with the Internet census under the ``"internet"`` key."""
+    table: dict[str, dict[ConeCategory, float]] = {
+        "internet": internet_category_shares(topology, snapshot)
+    }
+    for hypergiant in hypergiants:
+        counts = {category: 0 for category in ConeCategory}
+        hosts = result.effective_footprint(hypergiant, snapshot)
+        for asn in hosts:
+            if topology.is_alive(asn, snapshot):
+                counts[topology.category_at(asn, snapshot)] += 1
+        total = sum(counts.values()) or 1
+        table[hypergiant] = {c: n / total for c, n in counts.items()}
+    return table
+
+
+def region_type_series(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiant: str,
+    category: ConeCategory,
+) -> dict[Continent, list[int]]:
+    """Figure 13: one HG × one network type, host counts per continent
+    across ``result.snapshots``."""
+    series: dict[Continent, list[int]] = {continent: [] for continent in Continent}
+    for snapshot in result.snapshots:
+        counts = {continent: 0 for continent in Continent}
+        for asn in result.effective_footprint(hypergiant, snapshot):
+            if not topology.is_alive(asn, snapshot):
+                continue
+            if topology.category_at(asn, snapshot) is not category:
+                continue
+            country = topology.countries.get(asn)
+            if country is not None:
+                counts[country.continent] += 1
+        for continent in Continent:
+            series[continent].append(counts[continent])
+    return series

@@ -1,0 +1,124 @@
+"""CSV export of every figure's data series.
+
+The benchmark harness prints figures as aligned text; this module writes
+the same series as CSV files so they can be re-plotted with any external
+tool.  One file per exhibit, one row per snapshot (or per country for the
+coverage maps), header row first.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.coverage import cone_country_coverage, country_coverage
+from repro.analysis.demographics import footprint_by_category
+from repro.analysis.growth import ip_count_series, top4_growth
+from repro.analysis.overlap import top4_multiplicity
+from repro.analysis.regions import regional_growth
+from repro.core.footprint import PipelineResult
+from repro.hypergiants.profiles import TOP4
+from repro.topology.categories import ConeCategory
+from repro.topology.generator import GeneratedTopology
+from repro.topology.geography import Continent
+
+__all__ = ["export_all_csv"]
+
+
+def _write(path: Path, headers: list[str], rows: list[list]) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_all_csv(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    directory: str | Path,
+) -> list[Path]:
+    """Write the Figure 2/3/5/6/7/10 series as CSV files; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    labels = [s.label for s in result.snapshots]
+
+    # Figure 2.
+    points = ip_count_series(result)
+    path = directory / "fig2_ip_counts.csv"
+    _write(
+        path,
+        ["snapshot", "ips_with_certs", "pct_hg_onnet", "pct_hg_offnet", "invalid_fraction"],
+        [
+            [p.snapshot.label, p.raw_ip_count, round(p.pct_hg_onnet, 3),
+             round(p.pct_hg_offnet, 3), round(p.invalid_fraction, 3)]
+            for p in points
+        ],
+    )
+    written.append(path)
+
+    # Figure 3.
+    growth = top4_growth(result)
+    path = directory / "fig3_growth.csv"
+    _write(
+        path,
+        ["snapshot"] + list(growth),
+        [[label] + [series[i] for series in growth.values()] for i, label in enumerate(labels)],
+    )
+    written.append(path)
+
+    # Figure 5 (one file per top-4 HG).
+    for hypergiant in TOP4:
+        by_category = footprint_by_category(result, topology, hypergiant)
+        path = directory / f"fig5_conesize_{hypergiant}.csv"
+        _write(
+            path,
+            ["snapshot"] + [c.value for c in ConeCategory],
+            [
+                [s.label] + [by_category[s][c] for c in ConeCategory]
+                for s in result.snapshots
+            ],
+        )
+        written.append(path)
+
+    # Figure 6 (one file per continent).
+    per_region = regional_growth(result, topology, TOP4)
+    for continent in Continent:
+        path = directory / f"fig6_{continent.name.lower()}.csv"
+        _write(
+            path,
+            ["snapshot"] + list(TOP4),
+            [
+                [label] + [per_region[continent][hg][i] for hg in TOP4]
+                for i, label in enumerate(labels)
+            ],
+        )
+        written.append(path)
+
+    # Figures 7/8: per-country coverage at the final snapshot.
+    end = result.snapshots[-1]
+    try:
+        rows = []
+        for hypergiant in ("google", "netflix", "akamai", "facebook"):
+            direct = country_coverage(result, topology, hypergiant, end)
+            cones = cone_country_coverage(result, topology, hypergiant, end)
+            for code in sorted(direct):
+                rows.append([hypergiant, code, round(direct[code], 2), round(cones.get(code, 0.0), 2)])
+        path = directory / "fig7_coverage.csv"
+        _write(path, ["hypergiant", "country", "pct_direct", "pct_with_cones"], rows)
+        written.append(path)
+    except ValueError:
+        pass  # population data horizon not reached by this result
+
+    # Figure 10.
+    path = directory / "fig10_overlap.csv"
+    _write(
+        path,
+        ["snapshot", "hosting_1", "hosting_2", "hosting_3", "hosting_4"],
+        [
+            [s.label] + [top4_multiplicity(result, s)[k] for k in (1, 2, 3, 4)]
+            for s in result.snapshots
+        ],
+    )
+    written.append(path)
+    return written

@@ -1,0 +1,124 @@
+"""Longitudinal growth analyses — Figures 2, 3, and 4.
+
+* Figure 2: IPs with certificates per snapshot, and the share holding a
+  hypergiant certificate split by on-net vs off-net location.
+* Figure 3: the top-4 off-net AS footprints over time, with the three
+  Netflix variants.
+* Figure 4: dataset sensitivity — Rapid7 vs Censys, certs-only vs
+  certs+headers (or/and).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.footprint import PipelineResult
+from repro.core.netflix import restore_netflix
+from repro.hypergiants.profiles import TOP4
+from repro.timeline import Snapshot
+
+__all__ = ["IPCountPoint", "ip_count_series", "top4_growth", "dataset_comparison"]
+
+
+@dataclass(frozen=True, slots=True)
+class IPCountPoint:
+    """One Figure 2 data point."""
+
+    snapshot: Snapshot
+    raw_ip_count: int
+    pct_hg_onnet: float
+    pct_hg_offnet: float
+    invalid_fraction: float
+
+
+def ip_count_series(result: PipelineResult) -> list[IPCountPoint]:
+    """The Figure 2 series for one corpus."""
+    points: list[IPCountPoint] = []
+    for snapshot in result.snapshots:
+        footprint = result.at(snapshot)
+        points.append(
+            IPCountPoint(
+                snapshot=snapshot,
+                raw_ip_count=footprint.raw_ip_count,
+                pct_hg_onnet=footprint.hg_ip_share_onnet(),
+                pct_hg_offnet=footprint.hg_ip_share_offnet(),
+                invalid_fraction=footprint.validation.invalid_fraction,
+            )
+        )
+    return points
+
+
+def top4_growth(result: PipelineResult) -> dict[str, list[int]]:
+    """Figure 3's series: google/facebook/akamai confirmed counts plus the
+    three Netflix lines, all on ``result.snapshots``."""
+    series: dict[str, list[int]] = {}
+    for hypergiant in ("google", "facebook", "akamai"):
+        series[hypergiant] = [count for _, count in result.series(hypergiant, "confirmed")]
+    envelope = restore_netflix(result)
+    series["netflix (initial)"] = list(envelope.initial)
+    series["netflix (w/ expired)"] = list(envelope.with_expired)
+    series["netflix (w/ expired, non-tls)"] = list(envelope.with_expired_nontls)
+    return series
+
+
+def dataset_comparison(
+    results: dict[str, PipelineResult],
+    hypergiant: str,
+) -> dict[str, list[tuple[Snapshot, int]]]:
+    """Figure 4's series for one HG: per corpus, certs-only and the two
+    header-confirmation modes.  Keys look like ``"R7 - Only Certs"``."""
+    label = {"rapid7": "R7", "censys": "CS", "certigo": "AC"}
+    series: dict[str, list[tuple[Snapshot, int]]] = {}
+    for corpus, result in results.items():
+        prefix = label.get(corpus, corpus)
+        series[f"{prefix} - Only Certs"] = result.series(hypergiant, "candidates")
+        series[f"{prefix} - Certs & (HTTP or HTTPS)"] = result.series(hypergiant, "confirmed")
+        series[f"{prefix} - Certs & (HTTP & HTTPS)"] = result.series(
+            hypergiant, "confirmed_and"
+        )
+    return series
+
+
+def top4_effective_counts(result: PipelineResult, snapshot: Snapshot) -> dict[str, int]:
+    """Effective (envelope-corrected) footprint sizes of the top-4 HGs."""
+    return {
+        hypergiant: len(result.effective_footprint(hypergiant, snapshot))
+        for hypergiant in TOP4
+    }
+
+
+def quarterly_additions(result: PipelineResult, hypergiant: str) -> list[tuple[Snapshot, int]]:
+    """Net new host ASes per quarter — the §6.4 growth-rate view.
+
+    The COVID-19 slowdown shows as depressed additions through 2020-H1
+    followed by reacceleration in late 2020 / early 2021.
+    """
+    series = [
+        len(result.effective_footprint(hypergiant, snapshot))
+        for snapshot in result.snapshots
+    ]
+    return [
+        (snapshot, series[index] - series[index - 1])
+        for index, snapshot in enumerate(result.snapshots)
+        if index > 0
+    ]
+
+
+def covid_slowdown(result: PipelineResult, hypergiant: str) -> tuple[float, float, float]:
+    """(pre-COVID, lockdown, recovery) average quarterly additions.
+
+    Windows: 2019-01..2019-10 / 2020-01..2020-07 / 2020-10..2021-04 (§6.4:
+    "a slowdown during the COVID-19 pandemic, but growth continued when the
+    economy opened again ... especially in the first months of 2021").
+    """
+    additions = dict(quarterly_additions(result, hypergiant))
+
+    def window(start: Snapshot, end: Snapshot) -> float:
+        values = [v for s, v in additions.items() if start <= s <= end]
+        return sum(values) / len(values) if values else 0.0
+
+    return (
+        window(Snapshot(2019, 1), Snapshot(2019, 10)),
+        window(Snapshot(2020, 1), Snapshot(2020, 7)),
+        window(Snapshot(2020, 10), Snapshot(2021, 4)),
+    )

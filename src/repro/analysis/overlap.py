@@ -1,0 +1,120 @@
+"""Multi-hypergiant hosting — Figures 10 and 14 (§6.6, Appendix A.8).
+
+The key observations: almost every AS hosting any HG hosts at least one of
+the top-4; and ASes that host one top-4 HG increasingly host more.
+"""
+
+from __future__ import annotations
+
+from repro.core.footprint import PipelineResult
+from repro.hypergiants.profiles import TOP4
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+
+__all__ = [
+    "top4_multiplicity",
+    "top4_share_of_all_hosts",
+    "stable_host_distribution",
+    "persistence_distribution",
+    "newcomer_fractions",
+]
+
+
+def _top4_count(result: PipelineResult, asn: ASN, snapshot: Snapshot) -> int:
+    return sum(
+        1 for hg in TOP4 if asn in result.effective_footprint(hg, snapshot)
+    )
+
+
+def _top4_hosts(result: PipelineResult, snapshot: Snapshot) -> frozenset[ASN]:
+    hosts: set[ASN] = set()
+    for hypergiant in TOP4:
+        hosts |= result.effective_footprint(hypergiant, snapshot)
+    return frozenset(hosts)
+
+
+def top4_multiplicity(
+    result: PipelineResult, snapshot: Snapshot
+) -> dict[int, int]:
+    """Figure 10b: among ASes hosting ≥1 top-4 HG at ``snapshot``, how many
+    host exactly k of them (k=1..4)."""
+    distribution = {1: 0, 2: 0, 3: 0, 4: 0}
+    for asn in _top4_hosts(result, snapshot):
+        distribution[_top4_count(result, asn, snapshot)] += 1
+    return distribution
+
+
+def top4_share_of_all_hosts(result: PipelineResult, snapshot: Snapshot) -> float:
+    """Figure 10b's percentages: of all ASes hosting *any* HG, the share
+    hosting at least one top-4 HG (the paper: >96-97%)."""
+    all_hosts: set[ASN] = set()
+    for hypergiant in result.hypergiants():
+        all_hosts |= result.effective_footprint(hypergiant, snapshot)
+    if not all_hosts:
+        return 0.0
+    top4 = _top4_hosts(result, snapshot)
+    return len(top4 & all_hosts) / len(all_hosts) * 100.0
+
+
+def stable_host_distribution(result: PipelineResult) -> dict[Snapshot, dict[int, int]]:
+    """Figure 10a: restrict to ASes hosting ≥1 top-4 HG in *every* snapshot
+    (the paper finds 1,002 such networks) and report their multiplicity
+    distribution per snapshot."""
+    stable: set[ASN] | None = None
+    for snapshot in result.snapshots:
+        hosts = set(_top4_hosts(result, snapshot))
+        stable = hosts if stable is None else stable & hosts
+    stable = stable or set()
+    output: dict[Snapshot, dict[int, int]] = {}
+    for snapshot in result.snapshots:
+        distribution = {1: 0, 2: 0, 3: 0, 4: 0}
+        for asn in stable:
+            distribution[_top4_count(result, asn, snapshot)] += 1
+        output[snapshot] = distribution
+    return output
+
+
+def newcomer_fractions(result: PipelineResult) -> dict[Snapshot, float]:
+    """Appendix A.8: per snapshot, the share of top-4 host ASes never seen
+    hosting in any earlier snapshot (the paper: ~5% on average)."""
+    seen: set[ASN] = set()
+    output: dict[Snapshot, float] = {}
+    for snapshot in result.snapshots:
+        hosts = _top4_hosts(result, snapshot)
+        if hosts:
+            newcomers = hosts - seen
+            output[snapshot] = len(newcomers) / len(hosts) * 100.0
+        else:
+            output[snapshot] = 0.0
+        seen |= hosts
+    return output
+
+
+def persistence_distribution(
+    result: PipelineResult, min_fraction: float
+) -> dict[Snapshot, tuple[dict[int, int], float]]:
+    """Figure 14: ASes hosting ≥1 top-4 HG in at least ``min_fraction`` of
+    the snapshots.  Per snapshot: the multiplicity distribution of those
+    ASes (among the ones hosting then) and their share of all ASes that
+    ever hosted ≥1 examined HG."""
+    if not 0.0 < min_fraction <= 1.0:
+        raise ValueError(f"min_fraction out of range: {min_fraction}")
+    appearances: dict[ASN, int] = {}
+    ever_any: set[ASN] = set()
+    for snapshot in result.snapshots:
+        for asn in _top4_hosts(result, snapshot):
+            appearances[asn] = appearances.get(asn, 0) + 1
+        for hypergiant in result.hypergiants():
+            ever_any |= result.effective_footprint(hypergiant, snapshot)
+    threshold = min_fraction * len(result.snapshots)
+    qualifying = {asn for asn, count in appearances.items() if count >= threshold}
+    denominator = len(ever_any) or 1
+
+    output: dict[Snapshot, tuple[dict[int, int], float]] = {}
+    for snapshot in result.snapshots:
+        distribution = {1: 0, 2: 0, 3: 0, 4: 0}
+        present = qualifying & _top4_hosts(result, snapshot)
+        for asn in present:
+            distribution[_top4_count(result, asn, snapshot)] += 1
+        output[snapshot] = (distribution, len(present) / denominator * 100.0)
+    return output

@@ -1,0 +1,45 @@
+"""Regional growth — Figure 6 (§6.4).
+
+Each host AS is assigned to one country via the organisation dataset
+(Appendix A.2's AS-to-country mapping covers 99.9% of study ASes) and
+aggregated per continent.
+"""
+
+from __future__ import annotations
+
+from repro.core.footprint import PipelineResult
+from repro.topology.generator import GeneratedTopology
+from repro.topology.geography import Continent
+
+__all__ = ["regional_growth", "continent_of_as"]
+
+
+def continent_of_as(topology: GeneratedTopology, asn: int) -> Continent | None:
+    """The continent an AS operates in, via its organisation's country."""
+    country = topology.organizations.country_of(asn)
+    if country is None:
+        country = topology.countries.get(asn)
+    return None if country is None else country.continent
+
+
+def regional_growth(
+    result: PipelineResult,
+    topology: GeneratedTopology,
+    hypergiants: tuple[str, ...],
+) -> dict[Continent, dict[str, list[int]]]:
+    """Figure 6: per continent, per HG, the host-AS count series."""
+    output: dict[Continent, dict[str, list[int]]] = {
+        continent: {hg: [] for hg in hypergiants} for continent in Continent
+    }
+    for snapshot in result.snapshots:
+        tallies: dict[tuple[Continent, str], int] = {}
+        for hypergiant in hypergiants:
+            for asn in result.effective_footprint(hypergiant, snapshot):
+                continent = continent_of_as(topology, asn)
+                if continent is not None:
+                    key = (continent, hypergiant)
+                    tallies[key] = tallies.get(key, 0) + 1
+        for continent in Continent:
+            for hypergiant in hypergiants:
+                output[continent][hypergiant].append(tallies.get((continent, hypergiant), 0))
+    return output

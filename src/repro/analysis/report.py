@@ -1,0 +1,53 @@
+"""Plain-text rendering for benchmark and example output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, Sequence[object]],
+    labels: Sequence[str],
+    title: str = "",
+    label_header: str = "snapshot",
+) -> str:
+    """Render named series against a shared label axis (figures-as-text)."""
+    headers = [label_header] + list(series.keys())
+    rows = []
+    for index, label in enumerate(labels):
+        row: list[object] = [label]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

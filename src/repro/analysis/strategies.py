@@ -1,0 +1,63 @@
+"""Per-hypergiant deployment strategy indicators (§6.1, §5).
+
+The paper stresses that HGs differ structurally, not just in size:
+
+* IP-per-AS density varies by an order of magnitude (Akamai ~88 IPs per
+  host AS in the authors' scan vs Facebook ~20) — so "the absolute number
+  of IP addresses is not relevant to the size ... of the corresponding
+  HGs' off-nets";
+* some HGs' certificate-only footprints vastly exceed their hardware
+  footprints (Apple, Twitter: third-party delivery; Amazon, Microsoft:
+  on-premise appliances);
+* some HGs rely on their own metal everywhere, others only regionally
+  (Alibaba: own servers in Asia, other HGs elsewhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.footprint import PipelineResult
+from repro.timeline import Snapshot
+
+__all__ = ["StrategyIndicators", "strategy_indicators"]
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyIndicators:
+    """One HG's §6.1 strategy row at a snapshot."""
+
+    hypergiant: str
+    snapshot: Snapshot
+    offnet_ips: int
+    offnet_ases: int
+    certs_only_ases: int
+    onnet_ips: int
+
+    @property
+    def ips_per_as(self) -> float:
+        """Off-net IP density — Akamai ≫ Facebook in the paper."""
+        return 0.0 if self.offnet_ases == 0 else self.offnet_ips / self.offnet_ases
+
+    @property
+    def hardware_fraction(self) -> float:
+        """Share of the certificate footprint backed by the HG's own metal
+        (≈1.0 for Google/Akamai; ≪1 for Apple/Twitter, §6.1)."""
+        if self.certs_only_ases == 0:
+            return 1.0
+        return min(1.0, self.offnet_ases / self.certs_only_ases)
+
+
+def strategy_indicators(
+    result: PipelineResult, hypergiant: str, snapshot: Snapshot
+) -> StrategyIndicators:
+    """Compute the §6.1 indicators for one HG from a pipeline result."""
+    footprint = result.at(snapshot)
+    return StrategyIndicators(
+        hypergiant=hypergiant,
+        snapshot=snapshot,
+        offnet_ips=len(footprint.confirmed_ips.get(hypergiant, ())),
+        offnet_ases=len(footprint.confirmed_ases.get(hypergiant, ())),
+        certs_only_ases=len(footprint.candidate_ases.get(hypergiant, ())),
+        onnet_ips=len(footprint.onnet_ips.get(hypergiant, ())),
+    )

@@ -1,0 +1,24 @@
+"""BGP substrate: route collectors, RIB snapshots, noise, and IP-to-AS
+mapping (Appendix A.1).
+
+The paper derives its IP-to-AS mapping from RIPE RIS and RouteViews RIB
+dumps: daily data aggregated into monthly snapshots, bogon prefixes and
+reserved ASNs filtered, mappings kept only when they persist for more than
+25% of the month (hijack/leak suppression), and the two collectors merged
+with conflicting origins treated as MOAS.  This package reproduces every one
+of those steps over the synthetic topology.
+"""
+
+from repro.bgp.collector import RouteCollector, build_ribs
+from repro.bgp.ip2as import IPToASMap
+from repro.bgp.noise import NoiseConfig
+from repro.bgp.rib import RibEntry, RibSnapshot
+
+__all__ = [
+    "RibEntry",
+    "RibSnapshot",
+    "RouteCollector",
+    "build_ribs",
+    "NoiseConfig",
+    "IPToASMap",
+]

@@ -1,0 +1,93 @@
+"""Route collectors — RIPE RIS and RouteViews substitutes.
+
+Each collector independently observes the prefixes announced by the
+synthetic topology's ASes.  Neither sees everything: some prefixes are not
+announced at all (internal or dark space) and each collector's peer set
+misses a further slice.  Combined with the persistence filter, this
+reproduces the paper's ~75.8% coverage of routable IPv4 space.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.bgp.noise import NoiseConfig, inject_noise
+from repro.bgp.rib import RibEntry, RibSnapshot
+from repro.net.asn import ASN
+from repro.net.ipv4 import IPv4Prefix
+from repro.timeline import Snapshot
+from repro.topology.generator import GeneratedTopology
+
+__all__ = ["RouteCollector", "build_ribs", "DEFAULT_COLLECTORS"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouteCollector:
+    """One BGP collector with its own (incomplete) visibility."""
+
+    name: str
+    #: Probability the collector's peers carry a given announced prefix.
+    visibility: float = 0.95
+
+    def observe(
+        self,
+        announced: list[tuple[IPv4Prefix, ASN]],
+        snapshot: Snapshot,
+        all_ases: tuple[ASN, ...],
+        noise: NoiseConfig,
+        rng: random.Random,
+    ) -> RibSnapshot:
+        """Aggregate one month of daily dumps into a RIB snapshot."""
+        entries: list[RibEntry] = []
+        for prefix, origin in announced:
+            if rng.random() >= self.visibility:
+                continue
+            # Stable legitimate routes are visible nearly all month; a small
+            # tail of flapping routes dips lower but stays above the filter.
+            fraction = rng.uniform(0.9, 1.0) if rng.random() < 0.97 else rng.uniform(0.3, 0.9)
+            entries.append(RibEntry(prefix, origin, fraction))
+        entries.extend(inject_noise(entries, all_ases, noise, rng))
+        return RibSnapshot(collector=self.name, snapshot=snapshot, entries=tuple(entries))
+
+
+#: The two collectors the paper merges (Appendix A.1).
+DEFAULT_COLLECTORS: tuple[RouteCollector, ...] = (
+    RouteCollector("ripe-ris", visibility=0.96),
+    RouteCollector("routeviews", visibility=0.95),
+)
+
+
+def build_ribs(
+    topology: GeneratedTopology,
+    snapshot: Snapshot,
+    rng: random.Random,
+    announce_probability: float = 0.97,
+    collectors: tuple[RouteCollector, ...] = DEFAULT_COLLECTORS,
+    noise: NoiseConfig | None = None,
+) -> list[RibSnapshot]:
+    """Build each collector's monthly RIB for ``snapshot``.
+
+    Every alive AS announces (most of) its prefixes; each collector then
+    observes the announcement mix independently, with noise injected.
+    """
+    noise = noise or NoiseConfig()
+    alive = topology.alive(snapshot)
+    announced: list[tuple[IPv4Prefix, ASN]] = []
+    # Whether a prefix is announced is a *property of the prefix* (public
+    # vs internal/dark space), not a per-month coin flip: a network's
+    # routed space does not flicker in and out of the global table.  The
+    # decision is therefore a stable hash of the prefix itself.
+    threshold = int(announce_probability * 2**32)
+    for asn in sorted(alive):
+        for prefix in topology.prefixes.get(asn, ()):
+            draw = zlib.crc32(f"announce:{prefix.network}/{prefix.length}".encode())
+            if draw < threshold:
+                announced.append((prefix, asn))
+
+    all_ases = tuple(sorted(alive))
+    return [
+        collector.observe(announced, snapshot, all_ases, noise, rng)
+        for collector in collectors
+    ]

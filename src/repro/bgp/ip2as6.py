@@ -1,0 +1,59 @@
+"""IPv6 prefix-to-AS mapping and the dual-stack wrapper.
+
+The v6 control plane in the synthetic world is simple — every v6-enabled
+AS announces one /48 — so the map is an exact-length dictionary rather
+than a trie.  :class:`DualStackMap` lets the unchanged pipeline look up
+both families through one object: integer addresses ≥ 2^32 are IPv6 by
+construction (all allocations come from ``2001::/16``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.ip2as import IPToASMap
+from repro.net.asn import ASN
+from repro.net.ipv6 import IPv6Prefix, is_ipv6_int
+
+__all__ = ["IPv6ToASMap", "DualStackMap"]
+
+_V6_MASK_48 = ((2**128 - 1) << 80) & (2**128 - 1)
+
+
+@dataclass(slots=True)
+class IPv6ToASMap:
+    """Exact /48 mapping for the world's IPv6 announcements."""
+
+    _by_network: dict[int, frozenset[ASN]] = field(default_factory=dict)
+
+    def insert(self, prefix: IPv6Prefix, origins: frozenset[ASN]) -> None:
+        """Register a /48 announcement with its origin set."""
+        if prefix.length != 48:
+            raise ValueError(f"the v6 substrate announces /48s; got /{prefix.length}")
+        self._by_network[prefix.network] = origins
+
+    def lookup(self, address: int) -> frozenset[ASN]:
+        """Origins for the covering /48 (empty when unmapped)."""
+        return self._by_network.get(address & _V6_MASK_48, frozenset())
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self._by_network)
+
+
+@dataclass(frozen=True, slots=True)
+class DualStackMap:
+    """Route lookups to the right family by address value."""
+
+    v4: IPToASMap
+    v6: IPv6ToASMap
+
+    def lookup(self, address: int) -> frozenset[ASN]:
+        """Origins for an address of either family (empty when unmapped)."""
+        if is_ipv6_int(address):
+            return self.v6.lookup(address)
+        return self.v4.lookup(address)
+
+    def prefixes(self):
+        """The v4 routed prefixes (v6 exposes none — ECS mappers are v4)."""
+        return self.v4.prefixes()

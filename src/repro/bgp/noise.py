@@ -1,0 +1,97 @@
+"""Control-plane noise: hijacks, route leaks, and MOAS.
+
+Appendix A.1 motivates the 25% persistence filter with exactly these
+phenomena: "some of the information (such as the origin AS of the prefix)
+seen in BGP might be tainted, e.g., due to BGP hijacks or route leaks ...
+less than 2% of BGP hijacks last longer than a week".  The noise model
+injects:
+
+* **origin hijacks** — a random AS briefly originates someone else's prefix
+  (short-lived, so the persistence filter should drop them);
+* **long-lived hijacks** — the rare (<2%) hijack that survives past a week
+  and therefore *pollutes* the mapping, as in the real data;
+* **route leaks** — an AS re-originates a prefix it learned, briefly;
+* **legitimate MOAS** — sibling ASes announcing the same prefix durably
+  (kept, and treated as multi-origin by the mapping).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bgp.rib import RibEntry
+from repro.net.asn import ASN
+from repro.net.ipv4 import IPv4Prefix
+
+__all__ = ["NoiseConfig", "inject_noise"]
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseConfig:
+    """Noise intensity knobs (fractions of announced prefixes per month)."""
+
+    hijack_rate: float = 0.01
+    long_hijack_fraction: float = 0.02  # of hijacks, per the paper's citation
+    leak_rate: float = 0.005
+    moas_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("hijack_rate", "long_hijack_fraction", "leak_rate", "moas_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+
+
+def inject_noise(
+    legitimate: list[RibEntry],
+    all_ases: tuple[ASN, ...],
+    config: NoiseConfig,
+    rng: random.Random,
+) -> list[RibEntry]:
+    """Return extra RIB entries representing tainted/multi-origin routes."""
+    extra: list[RibEntry] = []
+    if not legitimate or not all_ases:
+        return extra
+
+    n = len(legitimate)
+    hijack_count = int(n * config.hijack_rate)
+    leak_count = int(n * config.leak_rate)
+    moas_count = int(n * config.moas_rate)
+
+    for _ in range(hijack_count):
+        victim = rng.choice(legitimate)
+        attacker = rng.choice(all_ases)
+        if attacker == victim.origin:
+            continue
+        if rng.random() < config.long_hijack_fraction:
+            fraction = rng.uniform(0.3, 0.6)  # survives the filter
+        else:
+            fraction = rng.uniform(0.01, 0.2)  # dropped by the filter
+        extra.append(_sub_prefix_or_same(victim.prefix, rng, attacker, fraction))
+
+    for _ in range(leak_count):
+        victim = rng.choice(legitimate)
+        leaker = rng.choice(all_ases)
+        if leaker == victim.origin:
+            continue
+        extra.append(RibEntry(victim.prefix, leaker, rng.uniform(0.01, 0.15)))
+
+    for _ in range(moas_count):
+        victim = rng.choice(legitimate)
+        sibling = rng.choice(all_ases)
+        if sibling == victim.origin:
+            continue
+        extra.append(RibEntry(victim.prefix, sibling, rng.uniform(0.8, 1.0)))
+
+    return extra
+
+
+def _sub_prefix_or_same(
+    prefix: IPv4Prefix, rng: random.Random, origin: ASN, fraction: float
+) -> RibEntry:
+    """Hijacks often announce a more-specific; half the time do that."""
+    if prefix.length < 24 and rng.random() < 0.5:
+        sub = next(iter(prefix.subnets(prefix.length + 1)))
+        return RibEntry(sub, origin, fraction)
+    return RibEntry(prefix, origin, fraction)

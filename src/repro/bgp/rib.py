@@ -1,0 +1,60 @@
+"""RIB snapshot records.
+
+A :class:`RibSnapshot` is one collector's view of one month: for each
+announced prefix, the origin AS(es) seen and the fraction of the month each
+(prefix, origin) pair was visible.  The fraction is what the Appendix A.1
+persistence filter keys on — long-lived legitimate routes sit near 1.0,
+hijacks and leaks flicker below 0.25.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.net.asn import ASN
+from repro.net.ipv4 import IPv4Prefix
+from repro.timeline import Snapshot
+
+__all__ = ["RibEntry", "RibSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class RibEntry:
+    """One (prefix, origin) observation aggregated over a month."""
+
+    prefix: IPv4Prefix
+    origin: ASN
+    #: Fraction of the month's daily dumps this mapping appeared in (0..1).
+    seen_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.seen_fraction <= 1.0:
+            raise ValueError(f"seen_fraction out of range: {self.seen_fraction}")
+
+
+@dataclass(frozen=True, slots=True)
+class RibSnapshot:
+    """One collector's aggregated monthly RIB."""
+
+    collector: str
+    snapshot: Snapshot
+    entries: tuple[RibEntry, ...]
+
+    def __iter__(self) -> Iterator[RibEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def origins_of(self, prefix: IPv4Prefix) -> frozenset[ASN]:
+        """All origins observed for ``prefix`` (pre-filter)."""
+        return frozenset(entry.origin for entry in self.entries if entry.prefix == prefix)
+
+    @staticmethod
+    def merge_entry_lists(groups: Iterable[Iterable[RibEntry]]) -> tuple[RibEntry, ...]:
+        """Concatenate entry groups (helper for builders)."""
+        merged: list[RibEntry] = []
+        for group in groups:
+            merged.extend(group)
+        return tuple(merged)

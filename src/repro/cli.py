@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    python -m repro run        --seed 7 --scale 0.02            # Table 3
+    python -m repro validate   --seed 7 --scale 0.02            # §5 checks
+    python -m repro coverage   --hypergiant google              # §6.5
+    python -m repro growth     --hypergiant netflix             # Fig. 3 series
+    python -m repro dump       --snapshot 2019-10 --out r7.jsonl
+
+Every command builds the same deterministic world from ``--seed``/``--scale``
+and runs the relevant slice of the pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import build_table3, render_table
+from repro.analysis.coverage import country_coverage, worldwide_coverage
+from repro.core import OffnetPipeline, restore_netflix
+from repro.hypergiants.profiles import TOP4
+from repro.scan.corpus import save_snapshot
+from repro.timeline import Snapshot
+from repro.validation import survey_hypergiant
+from repro.world import WorldConfig, build_world
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Seven Years in the Life of Hypergiants' Off-Nets'",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
+    parser.add_argument(
+        "--scale", type=float, default=0.02, help="Internet scale factor (default 0.02)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("run", help="run the pipeline and print the Table 3 footprints")
+
+    sub.add_parser("validate", help="survey-style validation against ground truth")
+
+    coverage = sub.add_parser("coverage", help="user-population coverage (§6.5)")
+    coverage.add_argument("--hypergiant", default="google")
+    coverage.add_argument(
+        "--cones", action="store_true", help="also serve hosting ASes' customer cones"
+    )
+
+    growth = sub.add_parser("growth", help="off-net AS growth series (Fig. 3)")
+    growth.add_argument("--hypergiant", default="google")
+
+    dump = sub.add_parser("dump", help="write one scan snapshot as JSONL")
+    dump.add_argument("--corpus", default="rapid7", choices=("rapid7", "censys", "certigo"))
+    dump.add_argument("--snapshot", default="2019-10", help="YYYY-MM")
+    dump.add_argument("--out", required=True, help="output path")
+
+    export = sub.add_parser(
+        "export", help="export corpuses + support datasets to a directory"
+    )
+    export.add_argument("--dir", required=True, help="output directory")
+    export.add_argument(
+        "--corpus", action="append", default=None, help="corpus name (repeatable)"
+    )
+    export.add_argument(
+        "--snapshot", action="append", default=None, help="YYYY-MM (repeatable; default all)"
+    )
+
+    run_files = sub.add_parser(
+        "run-files", help="run the pipeline from an exported dataset directory"
+    )
+    run_files.add_argument("--dir", required=True, help="dataset directory")
+    run_files.add_argument("--corpus", default=None, help="corpus to analyse")
+    return parser
+
+
+def _world(args: argparse.Namespace):
+    return build_world(config=WorldConfig(seed=args.seed, scale=args.scale))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    world = _world(args)
+    result = OffnetPipeline.for_world(world).run()
+    rows = build_table3(result)
+    print(
+        render_table(
+            ["Hypergiant", "2013-10 (certs)", "max [when]", "2021-04 (certs)"],
+            [row.format() for row in rows],
+            title=f"Off-net footprints (seed={args.seed}, scale={args.scale})",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    world = _world(args)
+    result = OffnetPipeline.for_world(world).run()
+    end = result.snapshots[-1]
+    rows = []
+    for hypergiant in TOP4:
+        report = survey_hypergiant(result, world, hypergiant, end)
+        rows.append(
+            (
+                hypergiant,
+                report.inferred,
+                report.actual,
+                f"{report.recall * 100:.1f}%",
+                f"{report.false_fraction * 100:.1f}%",
+                report.grade,
+            )
+        )
+    print(
+        render_table(
+            ["HG", "inferred", "actual", "recall", "false", "grade"],
+            rows,
+            title="Survey validation (paper: 89-95% recall)",
+        )
+    )
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    world = _world(args)
+    result = OffnetPipeline.for_world(world).run()
+    end = result.snapshots[-1]
+    per_country = country_coverage(result, world.topology, args.hypergiant, end)
+    rows = sorted(per_country.items(), key=lambda kv: -kv[1])
+    print(
+        render_table(
+            ["country", "% users covered"],
+            [(code, f"{value:.1f}") for code, value in rows],
+            title=f"{args.hypergiant} coverage at {end}",
+        )
+    )
+    total = worldwide_coverage(
+        result, world.topology, args.hypergiant, end, include_cones=args.cones
+    )
+    suffix = " (serving customer cones)" if args.cones else ""
+    print(f"\nworldwide: {total:.1f}%{suffix}")
+    return 0
+
+
+def _cmd_growth(args: argparse.Namespace) -> int:
+    world = _world(args)
+    result = OffnetPipeline.for_world(world).run()
+    if args.hypergiant == "netflix":
+        envelope = restore_netflix(result)
+        rows = [
+            (s.label, raw, expired, nontls)
+            for s, raw, expired, nontls in zip(
+                result.snapshots,
+                envelope.initial,
+                envelope.with_expired,
+                envelope.with_expired_nontls,
+            )
+        ]
+        print(
+            render_table(
+                ["snapshot", "initial", "w/ expired", "w/ expired, non-tls"],
+                rows,
+                title="Netflix off-net growth (Fig. 3 envelope)",
+            )
+        )
+        return 0
+    rows = [(s.label, count) for s, count in result.series(args.hypergiant)]
+    print(
+        render_table(
+            ["snapshot", "#ASes"], rows, title=f"{args.hypergiant} off-net growth"
+        )
+    )
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    world = _world(args)
+    snapshot = Snapshot.parse(args.snapshot)
+    scan = world.scan(args.corpus, snapshot)
+    save_snapshot(scan, args.out)
+    print(
+        f"wrote {args.out}: {scan.ip_count} IPs, "
+        f"{scan.unique_certificates()} unique certificates"
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.datasets import export_dataset
+
+    world = _world(args)
+    corpora = tuple(args.corpus) if args.corpus else ("rapid7",)
+    snapshots = (
+        tuple(Snapshot.parse(label) for label in args.snapshot) if args.snapshot else None
+    )
+    directory = export_dataset(world, args.dir, corpora=corpora, snapshots=snapshots)
+    print(f"exported {', '.join(corpora)} to {directory}")
+    return 0
+
+
+def _cmd_run_files(args: argparse.Namespace) -> int:
+    from repro.core import PipelineOptions
+    from repro.datasets import FileDataset
+
+    dataset = FileDataset(args.dir)
+    corpus = args.corpus or next(iter(dataset.manifest["corpora"]))
+    options = PipelineOptions(
+        corpus=corpus, header_learning_snapshot=dataset.snapshots[-1]
+    )
+    result = OffnetPipeline(dataset, options).run()
+    rows = build_table3(result)
+    print(
+        render_table(
+            ["Hypergiant", "first (certs)", "max [when]", "last (certs)"],
+            [row.format() for row in rows],
+            title=f"Off-net footprints from {args.dir} ({corpus})",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "validate": _cmd_validate,
+    "coverage": _cmd_coverage,
+    "growth": _cmd_growth,
+    "dump": _cmd_dump,
+    "export": _cmd_export,
+    "run-files": _cmd_run_files,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's methodology (§4): from certificate corpuses to off-net
+footprints.
+
+* :mod:`repro.core.validation` — §4.1 certificate validation against the
+  WebPKI (with an "accept expired" variant used by the Netflix analysis).
+* :mod:`repro.core.tls_fingerprint` — §4.2 learning per-HG TLS fingerprints
+  from the HG's own address space.
+* :mod:`repro.core.candidates` — §4.3 the all-dNSNames-subset candidate
+  rule applied outside the HG's ASes.
+* :mod:`repro.core.header_fingerprint` — §4.4 learning HTTP(S) header
+  fingerprints from on-net responses (automating the paper's manual step).
+* :mod:`repro.core.confirm` — §4.5 confirming candidates with headers,
+  including the Netflix default-nginx acceptance and the §7 edge-CDN
+  conflict priority.
+* :mod:`repro.core.cloudflare` — the §7 Cloudflare customer-certificate
+  filter.
+* :mod:`repro.core.netflix` — the §6.2 Netflix envelope restoration
+  (expired certificates, HTTP-only era).
+* :mod:`repro.core.pipeline` — the longitudinal orchestration producing
+  every number the evaluation section reports.
+"""
+
+from repro.core.candidates import find_candidates
+from repro.core.cloudflare import is_cloudflare_customer_cert
+from repro.core.confirm import EDGE_CDNS, confirm_candidates
+from repro.core.footprint import FootprintSnapshot, PipelineResult
+from repro.core.header_fingerprint import learn_header_fingerprints
+from repro.core.netflix import NetflixEnvelope, restore_netflix
+from repro.core.pipeline import OffnetPipeline, PipelineOptions
+from repro.core.tls_fingerprint import TLSFingerprint, learn_tls_fingerprint
+from repro.core.validation import CertificateValidator, ValidatedRecord
+
+__all__ = [
+    "CertificateValidator",
+    "ValidatedRecord",
+    "TLSFingerprint",
+    "learn_tls_fingerprint",
+    "find_candidates",
+    "learn_header_fingerprints",
+    "confirm_candidates",
+    "EDGE_CDNS",
+    "is_cloudflare_customer_cert",
+    "NetflixEnvelope",
+    "restore_netflix",
+    "FootprintSnapshot",
+    "PipelineResult",
+    "OffnetPipeline",
+    "PipelineOptions",
+]

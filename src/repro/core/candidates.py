@@ -1,0 +1,77 @@
+"""§4.3 — identifying candidate off-nets with the dNSName-subset rule.
+
+A record outside the hypergiant's ASes is a candidate off-net when
+
+* its Organization contains the HG keyword (case-insensitive), and
+* **all** of its dNSNames appear in the fingerprint's on-net name set.
+
+Requiring *all* names filters the two §3 confusions: certificate-provider
+HGs (a Cloudflare-issued customer certificate carries the customer's own
+domain — unless Cloudflare also serves it on-net, see §7) and certificates
+a HG shares with another organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.ip2as import IPToASMap
+from repro.core.tls_fingerprint import TLSFingerprint, organization_matches
+from repro.core.validation import ValidatedRecord
+from repro.net.asn import ASN
+from repro.x509.certificate import Certificate
+
+__all__ = ["Candidate", "find_candidates"]
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One candidate off-net IP for one hypergiant."""
+
+    ip: int
+    certificate: Certificate
+    #: Origin AS(es) of the IP (all of them for MOAS prefixes).
+    ases: frozenset[ASN]
+    #: The record's chain was expired (kept only in allow-expired passes).
+    expired_only: bool = False
+
+
+def find_candidates(
+    fingerprint: TLSFingerprint,
+    records: list[ValidatedRecord],
+    hg_ases: frozenset[ASN],
+    ip2as: IPToASMap,
+    require_all_dnsnames: bool = True,
+) -> list[Candidate]:
+    """Apply the §4.3 rule to one snapshot's validated records.
+
+    ``require_all_dnsnames=False`` ablates the subset rule (the organisation
+    match alone), quantifying how many false positives the rule removes.
+    """
+    if fingerprint.is_empty:
+        return []
+    keyword = fingerprint.hypergiant
+    names = fingerprint.dns_names
+    candidates: list[Candidate] = []
+    for record in records:
+        certificate = record.certificate
+        if not organization_matches(certificate.subject.organization, keyword):
+            continue
+        origins = ip2as.lookup(record.ip)
+        if not origins:
+            continue  # unmapped address space: cannot attribute an AS
+        if origins & hg_ases:
+            continue  # on-net, not a candidate off-net
+        if require_all_dnsnames and not all(
+            name.lower() in names for name in certificate.dns_names
+        ):
+            continue
+        candidates.append(
+            Candidate(
+                ip=record.ip,
+                certificate=certificate,
+                ases=origins,
+                expired_only=record.expired_only,
+            )
+        )
+    return candidates

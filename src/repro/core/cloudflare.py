@@ -1,0 +1,28 @@
+"""§7 — the Cloudflare customer-certificate filter.
+
+Cloudflare issues certificates to customers of its proxy service, so a
+customer back-end offering a Cloudflare-issued certificate masquerades as a
+Cloudflare off-net.  The paper notices free Universal SSL certificates
+carry an extra dNSName matching ``(ssl|sni)[0-9]*.cloudflaressl.com`` and
+filters on it — while observing that paid dedicated/custom certificates
+lack the marker and still require manual investigation (§6.1's residual
+misidentification).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.x509.certificate import Certificate
+
+__all__ = ["is_cloudflare_customer_cert", "CLOUDFLARE_CUSTOMER_PATTERN"]
+
+#: The paper's filter pattern, §7.
+CLOUDFLARE_CUSTOMER_PATTERN = re.compile(r"^(ssl|sni)[0-9]*\.cloudflaressl\.com$")
+
+
+def is_cloudflare_customer_cert(certificate: Certificate) -> bool:
+    """True when any dNSName matches the Universal SSL marker pattern."""
+    return any(
+        CLOUDFLARE_CUSTOMER_PATTERN.match(name.lower()) for name in certificate.dns_names
+    )

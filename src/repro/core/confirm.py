@@ -1,0 +1,127 @@
+"""§4.5 — confirming candidate off-nets with HTTP(S) header fingerprints.
+
+A candidate is confirmed when its response headers match the hypergiant's
+fingerprint, with two paper-specific refinements:
+
+* **Netflix default-nginx**: a server holding a Netflix certificate that
+  answers with nothing but a stock ``Server: nginx`` banner counts as a
+  Netflix off-net (§4.4's "interesting case").
+* **Edge-CDN priority** (§7 Reverse Proxies): when a response matches both
+  the candidate HG *and* a third-party delivery CDN (Akamai, Cloudflare,
+  ...), the edge CDN is taken to be the server operator and the candidate
+  is rejected — unless the candidate *is* that CDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import Candidate
+from repro.hypergiants.profiles import HeaderRule, STANDARD_HEADERS
+from repro.scan.records import HTTPRecord, ScanSnapshot
+
+__all__ = ["EDGE_CDNS", "ConfirmedOffnet", "confirm_candidates", "is_default_nginx"]
+
+#: CDNs that operate edges on behalf of content owners (§7's conflict list).
+EDGE_CDNS: tuple[str, ...] = (
+    "akamai",
+    "cloudflare",
+    "fastly",
+    "verizon",
+    "cdnetworks",
+    "limelight",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfirmedOffnet:
+    """A candidate that passed header confirmation."""
+
+    candidate: Candidate
+    #: Which port(s) produced the match: "http", "https", or "both".
+    matched_on: str
+
+
+def is_default_nginx(headers: dict[str, str]) -> bool:
+    """A stock nginx response: ``Server: nginx`` and nothing non-standard."""
+    server = None
+    for name, value in headers.items():
+        lowered = name.lower()
+        if lowered == "server":
+            server = value
+        elif lowered not in STANDARD_HEADERS:
+            return False
+    return server is not None and server.lower().startswith("nginx")
+
+
+def _matches(rules: tuple[HeaderRule, ...], headers: dict[str, str]) -> bool:
+    return any(rule.matches_any(headers) for rule in rules)
+
+
+def _record_headers(record: HTTPRecord | None) -> dict[str, str] | None:
+    return None if record is None else record.header_dict()
+
+
+def confirm_candidates(
+    hypergiant: str,
+    candidates: list[Candidate],
+    scan: ScanSnapshot,
+    rules: dict[str, tuple[HeaderRule, ...]],
+    mode: str = "or",
+    netflix_nginx_rule: bool = True,
+    edge_priority: bool = True,
+) -> list[ConfirmedOffnet]:
+    """Confirm candidates against the header corpus of ``scan``.
+
+    ``mode`` selects Figure 4's variants: ``"or"`` confirms when either the
+    HTTP or the HTTPS response matches, ``"and"`` requires both corpuses to
+    agree (missing corpus ⇒ no match in that corpus).
+    """
+    if mode not in ("or", "and"):
+        raise ValueError(f"mode must be 'or' or 'and', not {mode!r}")
+    own_rules = rules.get(hypergiant, ())
+    confirmed: list[ConfirmedOffnet] = []
+    for candidate in candidates:
+        https_headers = _record_headers(scan.http_for(candidate.ip, 443))
+        http_headers = _record_headers(scan.http_for(candidate.ip, 80))
+
+        https_match = _port_match(
+            hypergiant, own_rules, https_headers, rules, netflix_nginx_rule, edge_priority
+        )
+        http_match = _port_match(
+            hypergiant, own_rules, http_headers, rules, netflix_nginx_rule, edge_priority
+        )
+
+        if mode == "or":
+            ok = https_match or http_match
+        else:
+            ok = https_match and http_match
+        if not ok:
+            continue
+        matched_on = "both" if (https_match and http_match) else (
+            "https" if https_match else "http"
+        )
+        confirmed.append(ConfirmedOffnet(candidate=candidate, matched_on=matched_on))
+    return confirmed
+
+
+def _port_match(
+    hypergiant: str,
+    own_rules: tuple[HeaderRule, ...],
+    headers: dict[str, str] | None,
+    all_rules: dict[str, tuple[HeaderRule, ...]],
+    netflix_nginx_rule: bool,
+    edge_priority: bool,
+) -> bool:
+    if headers is None:
+        return False
+    matched = _matches(own_rules, headers)
+    if not matched and netflix_nginx_rule and hypergiant == "netflix":
+        matched = is_default_nginx(headers)
+    if not matched:
+        return False
+    if edge_priority and hypergiant not in EDGE_CDNS:
+        for edge in EDGE_CDNS:
+            if _matches(all_rules.get(edge, ()), headers):
+                return False  # the edge CDN operates this box, not the HG
+    return True

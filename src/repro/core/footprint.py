@@ -1,0 +1,136 @@
+"""Result containers for the longitudinal pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.validation import ValidationStats
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+
+__all__ = ["FootprintSnapshot", "PipelineResult"]
+
+
+@dataclass(slots=True)
+class FootprintSnapshot:
+    """Everything the pipeline inferred for one corpus snapshot."""
+
+    snapshot: Snapshot
+    #: Raw corpus size: IPs presenting any certificate (Fig. 2 left axis).
+    raw_ip_count: int
+    #: Distinct end-entity certificates in the raw corpus.
+    raw_certificate_count: int
+    validation: ValidationStats
+    #: §4.3 candidates per HG (the "only certs" numbers).
+    candidate_ips: dict[str, frozenset[int]] = field(default_factory=dict)
+    candidate_ases: dict[str, frozenset[ASN]] = field(default_factory=dict)
+    #: §4.5 confirmed off-nets per HG, "http or https" headers (default).
+    confirmed_ips: dict[str, frozenset[int]] = field(default_factory=dict)
+    confirmed_ases: dict[str, frozenset[ASN]] = field(default_factory=dict)
+    #: Figure 4's stricter "http AND https" variant.
+    confirmed_and_ases: dict[str, frozenset[ASN]] = field(default_factory=dict)
+    #: On-net IPs per HG (learned fingerprint support, Fig. 2 dashed line).
+    onnet_ips: dict[str, frozenset[int]] = field(default_factory=dict)
+    #: Cloudflare candidates surviving the §7 customer-cert filter.
+    cloudflare_filtered_ases: frozenset[ASN] = frozenset()
+    #: Netflix variants (§6.2): candidates/confirmed including expired
+    #: certificates, and ASes restored via the HTTP-only evidence.
+    netflix_with_expired_ases: frozenset[ASN] = frozenset()
+    netflix_restored_ases: frozenset[ASN] = frozenset()
+
+    def hg_ip_share_onnet(self) -> float:
+        """% of corpus IPs holding a HG certificate inside HG ASes."""
+        if self.raw_ip_count == 0:
+            return 0.0
+        ips = set().union(*self.onnet_ips.values()) if self.onnet_ips else set()
+        return len(ips) / self.raw_ip_count * 100.0
+
+    def hg_ip_share_offnet(self) -> float:
+        """% of corpus IPs holding a HG certificate outside HG ASes."""
+        if self.raw_ip_count == 0:
+            return 0.0
+        ips = set().union(*self.candidate_ips.values()) if self.candidate_ips else set()
+        return len(ips) / self.raw_ip_count * 100.0
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """The pipeline's output across a corpus's snapshots."""
+
+    corpus: str
+    snapshots: tuple[Snapshot, ...]
+    by_snapshot: dict[Snapshot, FootprintSnapshot]
+
+    def at(self, snapshot: Snapshot) -> FootprintSnapshot:
+        """The footprint snapshot for one date."""
+        return self.by_snapshot[snapshot]
+
+    def as_count(self, hypergiant: str, snapshot: Snapshot, metric: str = "confirmed") -> int:
+        """Off-net AS count for one HG at one snapshot.
+
+        ``metric``: ``"confirmed"`` (certs + headers, the headline numbers),
+        ``"candidates"`` (certs only — Table 3's parenthesised values),
+        ``"confirmed_and"`` (headers on both ports), or the Netflix
+        variants ``"with_expired"`` / ``"with_expired_nontls"``.
+        """
+        footprint = self.by_snapshot[snapshot]
+        if metric == "confirmed":
+            return len(footprint.confirmed_ases.get(hypergiant, ()))
+        if metric == "candidates":
+            return len(footprint.candidate_ases.get(hypergiant, ()))
+        if metric == "confirmed_and":
+            return len(footprint.confirmed_and_ases.get(hypergiant, ()))
+        if metric == "with_expired":
+            if hypergiant != "netflix":
+                raise ValueError("the with_expired metric is Netflix-specific (§6.2)")
+            return len(footprint.netflix_with_expired_ases)
+        if metric == "with_expired_nontls":
+            if hypergiant != "netflix":
+                raise ValueError("the with_expired_nontls metric is Netflix-specific (§6.2)")
+            return len(footprint.netflix_with_expired_ases | footprint.netflix_restored_ases)
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def series(
+        self, hypergiant: str, metric: str = "confirmed"
+    ) -> list[tuple[Snapshot, int]]:
+        """(snapshot, AS count) series for one HG across the corpus."""
+        return [
+            (snapshot, self.as_count(hypergiant, snapshot, metric))
+            for snapshot in self.snapshots
+        ]
+
+    def footprint_ases(
+        self, hypergiant: str, snapshot: Snapshot, metric: str = "confirmed"
+    ) -> frozenset[ASN]:
+        """The inferred host-AS set itself (for demographic analyses)."""
+        footprint = self.by_snapshot[snapshot]
+        if metric == "confirmed":
+            return footprint.confirmed_ases.get(hypergiant, frozenset())
+        if metric == "candidates":
+            return footprint.candidate_ases.get(hypergiant, frozenset())
+        if metric == "confirmed_and":
+            return footprint.confirmed_and_ases.get(hypergiant, frozenset())
+        if metric == "envelope" and hypergiant == "netflix":
+            # §6.2: "the envelope of these two lines" is Netflix's footprint.
+            return (
+                footprint.netflix_with_expired_ases
+                | footprint.netflix_restored_ases
+                | footprint.confirmed_ases.get("netflix", frozenset())
+            )
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def effective_footprint(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
+        """The footprint the paper uses downstream: the Netflix envelope for
+        Netflix, plain confirmed for everyone else."""
+        if hypergiant == "netflix":
+            return self.footprint_ases("netflix", snapshot, "envelope")
+        return self.footprint_ases(hypergiant, snapshot, "confirmed")
+
+    def hypergiants(self) -> tuple[str, ...]:
+        """HGs with a nonzero confirmed footprint anywhere in the corpus."""
+        seen: set[str] = set()
+        for footprint in self.by_snapshot.values():
+            for hypergiant, ases in footprint.confirmed_ases.items():
+                if ases:
+                    seen.add(hypergiant)
+        return tuple(sorted(seen))

@@ -1,0 +1,60 @@
+"""§6.2 — the Netflix envelope.
+
+Netflix's curve needed manual investigation: from 2017-04 a large share of
+its off-nets answered with an *expired* certificate, and from 2017-10 about
+a quarter stopped answering HTTPS entirely, serving plain HTTP instead.
+The paper restores both populations — "for the rest of the paper, we will
+use the envelope of these two lines" — and this module assembles the three
+Figure 3 series from a pipeline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.footprint import PipelineResult
+from repro.timeline import Snapshot
+
+__all__ = ["NetflixEnvelope", "restore_netflix"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetflixEnvelope:
+    """The three Netflix series of Figure 3 plus their envelope."""
+
+    snapshots: tuple[Snapshot, ...]
+    initial: tuple[int, ...]
+    with_expired: tuple[int, ...]
+    with_expired_nontls: tuple[int, ...]
+
+    def envelope(self) -> tuple[int, ...]:
+        """Pointwise maximum — the footprint used for the rest of the paper."""
+        return tuple(
+            max(a, b, c)
+            for a, b, c in zip(self.initial, self.with_expired, self.with_expired_nontls)
+        )
+
+    def dip_depth(self) -> float:
+        """How far the uncorrected series falls below the envelope at its
+        worst, as a fraction (0 = never dips; 0.6 = drops to 40%)."""
+        worst = 0.0
+        for raw, restored in zip(self.initial, self.envelope()):
+            if restored > 0:
+                worst = max(worst, 1.0 - raw / restored)
+        return worst
+
+
+def restore_netflix(result: PipelineResult) -> NetflixEnvelope:
+    """Assemble the three Netflix series from a pipeline result."""
+    snapshots = result.snapshots
+    initial = tuple(result.as_count("netflix", s, "confirmed") for s in snapshots)
+    with_expired = tuple(result.as_count("netflix", s, "with_expired") for s in snapshots)
+    with_nontls = tuple(
+        result.as_count("netflix", s, "with_expired_nontls") for s in snapshots
+    )
+    return NetflixEnvelope(
+        snapshots=snapshots,
+        initial=initial,
+        with_expired=with_expired,
+        with_expired_nontls=with_nontls,
+    )

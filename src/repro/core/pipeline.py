@@ -1,0 +1,374 @@
+"""The longitudinal off-net pipeline — §4 end to end, per snapshot.
+
+For every snapshot of a corpus the pipeline:
+
+1. validates certificates (§4.1), keeping an expired-but-structurally-sound
+   side channel for the Netflix analysis;
+2. learns each hypergiant's TLS fingerprint from its own address space
+   (§4.2, with the HG AS sets from the Appendix A.2 reverse org lookup);
+3. finds candidate off-nets with the all-dNSNames rule (§4.3);
+4. confirms candidates against HTTP(S) header fingerprints (§4.5) learned
+   once from the configured learning snapshot (§4.4; the paper uses the
+   September 2020 Rapid7 corpus);
+5. maps confirmed IPs to ASes (Appendix A.1) and records every variant the
+   evaluation section needs (certs-only, or/and header modes, the Netflix
+   expired and HTTP-only restorations, the Cloudflare filter).
+
+The per-HG steps are also available as standalone functions
+(:mod:`repro.core.tls_fingerprint`, :mod:`repro.core.candidates`, ...); the
+pipeline fuses their loops for speed but keeps identical semantics — a
+property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import Candidate
+from repro.core.cloudflare import is_cloudflare_customer_cert
+from repro.core.confirm import confirm_candidates
+from repro.core.footprint import FootprintSnapshot, PipelineResult
+from repro.core.header_fingerprint import learn_header_fingerprints
+from repro.core.validation import CertificateValidator, ValidatedRecord, ValidationStats
+from repro.hypergiants.profiles import HEADER_RULES, HYPERGIANTS, HeaderRule
+from repro.scan.records import ScanSnapshot
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+from repro.x509.certificate import Certificate
+
+__all__ = ["PipelineOptions", "OffnetPipeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineOptions:
+    """Pipeline switches (defaults = the paper's methodology; each switch
+    exists for an ablation bench)."""
+
+    corpus: str = "rapid7"
+    #: §4.1 on/off (off admits expired/self-signed/untrusted certificates).
+    validate_certificates: bool = True
+    #: §4.3's all-dNSNames-subset rule on/off.
+    require_all_dnsnames: bool = True
+    #: §4.5 header confirmation on/off (off reports candidates as final).
+    header_confirmation: bool = True
+    #: Learn Table 4 from the corpus (§4.4) or use the curated rules.
+    learn_headers: bool = True
+    #: Which snapshot to learn header fingerprints from (paper: Sep. 2020).
+    header_learning_snapshot: Snapshot = Snapshot(2020, 10)
+    #: The Netflix default-nginx acceptance (§4.4).
+    netflix_nginx_rule: bool = True
+    #: The §7 edge-CDN conflict priority.
+    edge_priority: bool = True
+    #: §7 future work: merge the IPv6 research corpus and use dual-stack
+    #: IP-to-AS lookups ("our inference approach is IP protocol-agnostic").
+    include_ipv6: bool = False
+
+
+class OffnetPipeline:
+    """Runs the §4 methodology over a world's scan corpuses."""
+
+    def __init__(self, world, options: PipelineOptions | None = None) -> None:
+        self.world = world
+        self.options = options or PipelineOptions()
+        self._validator = CertificateValidator(world.root_store)
+        self._keywords = tuple(hg.key for hg in HYPERGIANTS)
+        # Appendix A.2: reverse org lookup per HG keyword.
+        organizations = world.topology.organizations
+        self._hg_ases: dict[str, frozenset[ASN]] = {
+            key: organizations.search_by_name(key) for key in self._keywords
+        }
+        self._all_hg_ases = frozenset(
+            asn for ases in self._hg_ases.values() for asn in ases
+        )
+        self._org_cache: dict[str, tuple[str, ...]] = {}
+        self._header_rules: dict[str, tuple[HeaderRule, ...]] | None = None
+
+    # -- public API ------------------------------------------------------------
+
+    @classmethod
+    def for_world(cls, world, **option_overrides) -> "OffnetPipeline":
+        """Convenience constructor with keyword option overrides."""
+        options = PipelineOptions(**option_overrides) if option_overrides else None
+        return cls(world, options)
+
+    def run(self, snapshots: tuple[Snapshot, ...] | None = None) -> PipelineResult:
+        """Run the full pipeline over ``snapshots`` (default: all the corpus
+        offers) and return the longitudinal result."""
+        profile = self.world.scanner(self.options.corpus).profile
+        if snapshots is None:
+            snapshots = tuple(
+                s for s in self.world.snapshots if s >= profile.available_since
+            )
+        netflix_ever_candidates: set[int] = set()
+        by_snapshot: dict[Snapshot, FootprintSnapshot] = {}
+        for snapshot in snapshots:
+            by_snapshot[snapshot] = self._run_snapshot(snapshot, netflix_ever_candidates)
+        return PipelineResult(
+            corpus=self.options.corpus,
+            snapshots=tuple(snapshots),
+            by_snapshot=by_snapshot,
+        )
+
+    def header_rules(self) -> dict[str, tuple[HeaderRule, ...]]:
+        """The header fingerprints in force: learned from the learning
+        snapshot when possible (§4.4), else the curated Table 4."""
+        if self._header_rules is not None:
+            return self._header_rules
+        rules: dict[str, tuple[HeaderRule, ...]] = dict(HEADER_RULES)
+        if self.options.learn_headers:
+            learned = self._learn_rules()
+            if learned is not None:
+                # Keep curated rules for HGs the learning pass missed
+                # entirely (no on-net header responses in the corpus).
+                for hypergiant, hg_rules in learned.items():
+                    if hg_rules:
+                        rules[hypergiant] = hg_rules
+        self._header_rules = rules
+        return rules
+
+    # -- internals ---------------------------------------------------------------
+
+    def _learn_rules(self) -> dict[str, tuple[HeaderRule, ...]] | None:
+        options = self.options
+        profile = self.world.scanner(options.corpus).profile
+        learning_snapshot = options.header_learning_snapshot
+        if learning_snapshot < profile.available_since:
+            return None
+        scan = self.world.scan(options.corpus, learning_snapshot)
+        if not scan.http_records:
+            return None
+        records, _ = self._validated(scan)
+        ip2as = self.world.ip2as(learning_snapshot)
+        onnet_ips: dict[str, frozenset[int]] = {}
+        for keyword in self._keywords:
+            hg_ases = self._hg_ases[keyword]
+            ips = set()
+            for record in records:
+                if record.expired_only:
+                    continue
+                if keyword not in self._hgs_for_org(record.certificate.subject.organization):
+                    continue
+                if ip2as.lookup(record.ip) & hg_ases:
+                    ips.add(record.ip)
+            onnet_ips[keyword] = frozenset(ips)
+        all_onnet = frozenset(ip for ips in onnet_ips.values() for ip in ips)
+        background = frozenset(
+            record.ip
+            for index, record in enumerate(scan.http_records)
+            if index % 3 == 0 and record.ip not in all_onnet
+        )
+        return learn_header_fingerprints(scan, onnet_ips, background)
+
+    def _validated(self, scan) -> tuple[list[ValidatedRecord], ValidationStats]:
+        if not self.options.validate_certificates:
+            records = [
+                ValidatedRecord(ip=r.ip, certificate=r.chain.end_entity)
+                for r in scan.tls_records
+            ]
+            stats = ValidationStats(
+                total=len(scan.tls_records),
+                valid=len(records),
+                expired_only=0,
+                rejected=0,
+            )
+            return records, stats
+        return self._validator.validate_snapshot(scan, allow_expired=True)
+
+    def _hgs_for_org(self, organization: str) -> tuple[str, ...]:
+        """Which HG keywords appear in an Organization string (memoised —
+        organisation strings repeat heavily across records and snapshots)."""
+        cached = self._org_cache.get(organization)
+        if cached is None:
+            lowered = organization.lower()
+            cached = tuple(k for k in self._keywords if k in lowered)
+            self._org_cache[organization] = cached
+        return cached
+
+    def _scan_and_map(self, snapshot: Snapshot):
+        """The corpus and IP-to-AS view for one snapshot, optionally merged
+        with the IPv6 research corpus (§7 future work)."""
+        world = self.world
+        scan = world.scan(self.options.corpus, snapshot)
+        ip2as = world.ip2as(snapshot)
+        if self.options.include_ipv6:
+            ipv6_scan = getattr(world, "ipv6_scan", None)
+            if ipv6_scan is None:
+                raise ValueError(
+                    "include_ipv6 requires a world with an IPv6 corpus "
+                    "(file-backed datasets are IPv4-only)"
+                )
+            v6 = ipv6_scan(snapshot)
+            merged = ScanSnapshot(
+                scanner=f"{scan.scanner}+ipv6", snapshot=snapshot
+            )
+            merged.tls_records = scan.tls_records + v6.tls_records
+            merged.http_records = scan.http_records + v6.http_records
+            scan = merged
+            ip2as = world.ip2as_dual(snapshot)
+        return scan, ip2as
+
+    def _run_snapshot(
+        self, snapshot: Snapshot, netflix_ever_candidates: set[int]
+    ) -> FootprintSnapshot:
+        options = self.options
+        scan, ip2as = self._scan_and_map(snapshot)
+        records, stats = self._validated(scan)
+
+        # Single pass: resolve origins and keyword matches per record.
+        onnet_ips: dict[str, set[int]] = {k: set() for k in self._keywords}
+        fingerprints: dict[str, set[str]] = {k: set() for k in self._keywords}
+        matching: list[tuple[ValidatedRecord, frozenset[ASN], tuple[str, ...]]] = []
+        for record in records:
+            hgs = self._hgs_for_org(record.certificate.subject.organization)
+            if not hgs:
+                continue
+            origins = ip2as.lookup(record.ip)
+            if not origins:
+                continue
+            matching.append((record, origins, hgs))
+            if record.expired_only:
+                continue
+            for keyword in hgs:
+                if origins & self._hg_ases[keyword]:
+                    onnet_ips[keyword].add(record.ip)
+                    fingerprints[keyword].update(
+                        n.lower() for n in record.certificate.dns_names
+                    )
+
+        # §4.3 candidates per HG (plus the Netflix expired variant).
+        candidates: dict[str, list[Candidate]] = {k: [] for k in self._keywords}
+        netflix_expired: list[Candidate] = []
+        for record, origins, hgs in matching:
+            for keyword in hgs:
+                names = fingerprints[keyword]
+                if not names:
+                    continue
+                if origins & self._hg_ases[keyword]:
+                    continue
+                if options.require_all_dnsnames and not all(
+                    n.lower() in names for n in record.certificate.dns_names
+                ):
+                    continue
+                candidate = Candidate(
+                    ip=record.ip,
+                    certificate=record.certificate,
+                    ases=origins,
+                    expired_only=record.expired_only,
+                )
+                if record.expired_only:
+                    if keyword == "netflix":
+                        netflix_expired.append(candidate)
+                    continue
+                candidates[keyword].append(candidate)
+
+        footprint = FootprintSnapshot(
+            snapshot=snapshot,
+            raw_ip_count=scan.ip_count,
+            raw_certificate_count=scan.unique_certificates(),
+            validation=stats,
+        )
+        footprint.onnet_ips = {k: frozenset(v) for k, v in onnet_ips.items() if v}
+
+        rules = self.header_rules() if options.header_confirmation else {}
+        for keyword in self._keywords:
+            found = candidates[keyword]
+            if not found:
+                continue
+            footprint.candidate_ips[keyword] = frozenset(c.ip for c in found)
+            footprint.candidate_ases[keyword] = _ases_of(found)
+            if options.header_confirmation:
+                confirmed = confirm_candidates(
+                    keyword, found, scan, rules,
+                    mode="or",
+                    netflix_nginx_rule=options.netflix_nginx_rule,
+                    edge_priority=options.edge_priority,
+                )
+                confirmed_and = confirm_candidates(
+                    keyword, found, scan, rules,
+                    mode="and",
+                    netflix_nginx_rule=options.netflix_nginx_rule,
+                    edge_priority=options.edge_priority,
+                )
+                footprint.confirmed_ips[keyword] = frozenset(
+                    c.candidate.ip for c in confirmed
+                )
+                footprint.confirmed_ases[keyword] = _ases_of(
+                    [c.candidate for c in confirmed]
+                )
+                footprint.confirmed_and_ases[keyword] = _ases_of(
+                    [c.candidate for c in confirmed_and]
+                )
+            else:
+                footprint.confirmed_ips[keyword] = footprint.candidate_ips[keyword]
+                footprint.confirmed_ases[keyword] = footprint.candidate_ases[keyword]
+                footprint.confirmed_and_ases[keyword] = footprint.candidate_ases[keyword]
+
+        # §7: the Cloudflare customer-certificate filter.
+        cloudflare_candidates = candidates.get("cloudflare", [])
+        surviving = [
+            c for c in cloudflare_candidates
+            if not is_cloudflare_customer_cert(c.certificate)
+        ]
+        footprint.cloudflare_filtered_ases = _ases_of(surviving)
+
+        # §6.2: Netflix restorations.
+        footprint.netflix_with_expired_ases = self._netflix_with_expired(
+            snapshot, scan, candidates.get("netflix", []), netflix_expired, rules
+        )
+        footprint.netflix_restored_ases = self._netflix_nontls_restore(
+            snapshot, scan, netflix_ever_candidates, ip2as
+        )
+        netflix_ever_candidates.update(footprint.candidate_ips.get("netflix", ()))
+        netflix_ever_candidates.update(c.ip for c in netflix_expired)
+        return footprint
+
+    def _netflix_with_expired(
+        self,
+        snapshot: Snapshot,
+        scan,
+        valid_candidates: list[Candidate],
+        expired_candidates: list[Candidate],
+        rules,
+    ) -> frozenset[ASN]:
+        """Confirmed Netflix ASes when expired certificates are admitted."""
+        merged = valid_candidates + expired_candidates
+        if not merged:
+            return frozenset()
+        if not self.options.header_confirmation:
+            return _ases_of(merged)
+        confirmed = confirm_candidates(
+            "netflix", merged, scan, rules,
+            mode="or",
+            netflix_nginx_rule=self.options.netflix_nginx_rule,
+            edge_priority=self.options.edge_priority,
+        )
+        return _ases_of([c.candidate for c in confirmed])
+
+    def _netflix_nontls_restore(
+        self,
+        snapshot: Snapshot,
+        scan,
+        ever_candidates: set[int],
+        ip2as,
+    ) -> frozenset[ASN]:
+        """IPs that served Netflix certificates in the past, answer on port
+        80 now, but are silent on 443 — restored as in §6.2."""
+        if not ever_candidates:
+            return frozenset()
+        current_tls_ips = {record.ip for record in scan.tls_records}
+        restored: set[ASN] = set()
+        for record in scan.http_records:
+            if record.port != 80:
+                continue
+            ip = record.ip
+            if ip not in ever_candidates or ip in current_tls_ips:
+                continue
+            restored.update(ip2as.lookup(ip))
+        return frozenset(restored)
+
+
+def _ases_of(candidates: list[Candidate]) -> frozenset[ASN]:
+    ases: set[ASN] = set()
+    for candidate in candidates:
+        ases |= candidate.ases
+    return frozenset(ases)

@@ -1,0 +1,75 @@
+"""§4.2 — learning a hypergiant's TLS fingerprint from its own on-nets.
+
+Input: the HG keyword (e.g. ``"google"``) and the validated records of a
+full TLS scan, plus the HG's own AS set (from the reverse organisation
+lookup of Appendix A.2) and the IP-to-AS map.
+
+Records whose IP maps inside the HG's address space and whose end-entity
+``Subject.Organization`` contains the keyword (case-insensitively) are the
+HG's on-net servers; their authenticated ``dNSNames`` form the fingerprint.
+The unvalidated Organization alone is *not* trusted — that is the entire
+point of collecting the dNSName set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.ip2as import IPToASMap
+from repro.core.validation import ValidatedRecord
+from repro.net.asn import ASN
+
+__all__ = ["TLSFingerprint", "learn_tls_fingerprint", "organization_matches"]
+
+
+def organization_matches(organization: str, keyword: str) -> bool:
+    """The paper's case-insensitive keyword search in the Organization."""
+    return keyword.lower() in organization.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class TLSFingerprint:
+    """A hypergiant's learned TLS fingerprint."""
+
+    hypergiant: str
+    #: The authenticated DNS names served from the HG's own address space.
+    dns_names: frozenset[str]
+    #: On-net IPs the fingerprint was learned from (used again in §4.4).
+    onnet_ips: frozenset[int]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.dns_names
+
+
+def learn_tls_fingerprint(
+    hypergiant: str,
+    records: list[ValidatedRecord],
+    hg_ases: frozenset[ASN],
+    ip2as: IPToASMap,
+) -> TLSFingerprint:
+    """Learn the HG's fingerprint from one snapshot's validated records.
+
+    ``hg_ases`` comes from the organisation dataset's reverse lookup
+    (Appendix A.2); expired-only records never contribute (on-nets serve
+    valid certificates).
+    """
+    names: set[str] = set()
+    onnet_ips: set[int] = set()
+    if not hg_ases:
+        return TLSFingerprint(hypergiant, frozenset(), frozenset())
+    for record in records:
+        if record.expired_only:
+            continue
+        origins = ip2as.lookup(record.ip)
+        if not origins or not (origins & hg_ases):
+            continue
+        if not organization_matches(record.certificate.subject.organization, hypergiant):
+            continue
+        onnet_ips.add(record.ip)
+        names.update(name.lower() for name in record.certificate.dns_names)
+    return TLSFingerprint(
+        hypergiant=hypergiant,
+        dns_names=frozenset(names),
+        onnet_ips=frozenset(onnet_ips),
+    )

@@ -1,0 +1,19 @@
+"""File-backed datasets: run the pipeline from corpuses on disk.
+
+The real study consumes archived files — sonar.ssl certificate dumps,
+header corpuses, BGP-derived prefix→AS tables, the CAIDA organisations
+dataset.  This package gives the reproduction the same workflow:
+
+* :func:`export_dataset` writes a world's corpuses and support datasets to
+  a directory (JSONL corpora, TSV prefix→AS tables, TSV organisations,
+  JSONL trust anchors);
+* :class:`FileDataset` loads such a directory and satisfies the same
+  interface :class:`~repro.core.pipeline.OffnetPipeline` uses on a live
+  :class:`~repro.world.World` — so the *identical* pipeline code runs from
+  files, which is exactly how it would run on real Rapid7/Censys data.
+"""
+
+from repro.datasets.export import export_dataset
+from repro.datasets.fileview import FileDataset
+
+__all__ = ["export_dataset", "FileDataset"]

@@ -1,0 +1,88 @@
+"""Export a world's datasets to a directory.
+
+Layout::
+
+    <dir>/manifest.json                  corpora, snapshots, provenance
+    <dir>/corpora/<corpus>/<YYYY-MM>.jsonl   scan snapshots (repro.scan.corpus)
+    <dir>/ip2as/<YYYY-MM>.tsv            prefix <TAB> comma-separated origins
+    <dir>/organizations.tsv              asn <TAB> org name <TAB> country code
+    <dir>/anchors.jsonl                  trusted root/intermediate certificates
+
+The formats intentionally mirror the public datasets' spirit (pfx2as-style
+TSV, CAIDA-organizations-style TSV, JSONL certs) so adapting a loader to
+the real files is a matter of column mapping, not architecture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.scan.corpus import _cert_to_json, save_snapshot
+from repro.timeline import Snapshot
+
+__all__ = ["export_dataset"]
+
+
+def export_dataset(
+    world,
+    directory: str | Path,
+    corpora: Sequence[str] = ("rapid7",),
+    snapshots: Sequence[Snapshot] | None = None,
+) -> Path:
+    """Write the datasets the pipeline needs to ``directory``.
+
+    ``snapshots`` defaults to every study snapshot each corpus offers.
+    Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    manifest: dict = {"corpora": {}, "seed": world.config.seed, "scale": world.config.scale}
+
+    wanted = tuple(snapshots) if snapshots is not None else tuple(world.snapshots)
+    exported_snapshots: set[Snapshot] = set()
+    for corpus in corpora:
+        profile = world.scanner(corpus).profile
+        corpus_dir = directory / "corpora" / corpus
+        corpus_dir.mkdir(parents=True, exist_ok=True)
+        labels = []
+        for snapshot in wanted:
+            if snapshot < profile.available_since:
+                continue
+            scan = world.scan(corpus, snapshot)
+            save_snapshot(scan, corpus_dir / f"{snapshot.label}.jsonl")
+            labels.append(snapshot.label)
+            exported_snapshots.add(snapshot)
+        manifest["corpora"][corpus] = labels
+
+    ip2as_dir = directory / "ip2as"
+    ip2as_dir.mkdir(exist_ok=True)
+    for snapshot in sorted(exported_snapshots):
+        mapping = world.ip2as(snapshot)
+        lines = []
+        for prefix in mapping.prefixes():
+            origins = ",".join(str(a) for a in sorted(mapping.lookup(prefix.first)))
+            lines.append(f"{prefix}\t{origins}")
+        (ip2as_dir / f"{snapshot.label}.tsv").write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+
+    organizations = world.topology.organizations
+    org_lines = []
+    for asn in sorted(organizations.mapped_ases()):
+        organization = organizations.organization_of(asn)
+        org_lines.append(f"{asn}\t{organization.name}\t{organization.country.code}")
+    (directory / "organizations.tsv").write_text(
+        "\n".join(org_lines) + "\n", encoding="utf-8"
+    )
+
+    with (directory / "anchors.jsonl").open("w", encoding="utf-8") as handle:
+        for anchor in world.root_store.anchors():
+            handle.write(json.dumps(_cert_to_json(anchor)) + "\n")
+
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return directory

@@ -1,0 +1,155 @@
+"""Load an exported dataset directory and drive the pipeline from it.
+
+:class:`FileDataset` satisfies the duck-typed interface
+:class:`~repro.core.pipeline.OffnetPipeline` expects of a world:
+
+* ``snapshots`` and ``scanner(name).profile.available_since``,
+* ``scan(corpus, snapshot)``,
+* ``ip2as(snapshot)``,
+* ``topology.organizations`` (for the Appendix A.2 reverse lookup),
+* ``root_store`` (for §4.1 validation).
+
+No ground truth is present in a dataset directory — file-backed runs are
+inference-only, exactly like running on real archived corpuses.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bgp.ip2as import IPToASMap
+from repro.bgp.rib import RibEntry, RibSnapshot
+from repro.net.ipv4 import IPv4Prefix
+from repro.scan.corpus import _cert_from_json, load_snapshot
+from repro.scan.records import ScanSnapshot
+from repro.timeline import Snapshot
+from repro.topology.geography import country_by_code
+from repro.topology.organizations import Organization, OrganizationDataset
+from repro.x509.store import RootStore
+
+__all__ = ["FileDataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class _FileScannerProfile:
+    """The slice of a scanner profile a file-backed run needs."""
+
+    name: str
+    available_since: Snapshot
+
+
+@dataclass(frozen=True, slots=True)
+class _FileScanner:
+    profile: _FileScannerProfile
+
+
+class _TopologyShim:
+    """Exposes ``.organizations`` the way ``world.topology`` does."""
+
+    def __init__(self, organizations: OrganizationDataset) -> None:
+        self.organizations = organizations
+
+
+class FileDataset:
+    """A dataset directory, pipeline-ready."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / "manifest.json"
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"not a dataset directory (no manifest): {directory}")
+        self.manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+
+        self._corpora: dict[str, tuple[Snapshot, ...]] = {
+            corpus: tuple(sorted(Snapshot.parse(label) for label in labels))
+            for corpus, labels in self.manifest["corpora"].items()
+        }
+        if not self._corpora:
+            raise ValueError(f"dataset has no corpora: {directory}")
+
+        all_snapshots: set[Snapshot] = set()
+        for snapshots in self._corpora.values():
+            all_snapshots.update(snapshots)
+        self.snapshots: tuple[Snapshot, ...] = tuple(sorted(all_snapshots))
+
+        self.topology = _TopologyShim(self._load_organizations())
+        self.root_store = self._load_anchors()
+        self._scan_cache: OrderedDict[tuple[str, Snapshot], ScanSnapshot] = OrderedDict()
+        self._ip2as_cache: dict[Snapshot, IPToASMap] = {}
+
+    # -- loading ----------------------------------------------------------
+
+    def _load_organizations(self) -> OrganizationDataset:
+        dataset = OrganizationDataset()
+        path = self.directory / "organizations.tsv"
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            asn_text, name, country_code = line.split("\t")
+            organization = Organization(
+                org_id=f"ORG-AS{asn_text}",
+                name=name,
+                country=country_by_code(country_code),
+            )
+            dataset.add_organization(organization)
+            dataset.assign(int(asn_text), organization.org_id)
+        return dataset
+
+    def _load_anchors(self) -> RootStore:
+        store = RootStore()
+        path = self.directory / "anchors.jsonl"
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                store.add(_cert_from_json(json.loads(line)))
+        return store
+
+    # -- the pipeline interface -----------------------------------------------
+
+    def scanner(self, name: str) -> _FileScanner:
+        """Availability info for one corpus in the dataset."""
+        snapshots = self._corpora.get(name)
+        if not snapshots:
+            raise KeyError(
+                f"corpus {name!r} not in dataset; available: {sorted(self._corpora)}"
+            )
+        return _FileScanner(_FileScannerProfile(name=name, available_since=snapshots[0]))
+
+    def scan(self, name: str, snapshot: Snapshot, cache_size: int = 4) -> ScanSnapshot:
+        """Load one corpus snapshot from disk (LRU-cached)."""
+        key = (name, snapshot)
+        cached = self._scan_cache.get(key)
+        if cached is not None:
+            self._scan_cache.move_to_end(key)
+            return cached
+        path = self.directory / "corpora" / name / f"{snapshot.label}.jsonl"
+        if not path.exists():
+            raise FileNotFoundError(f"no {name} corpus for {snapshot}: {path}")
+        loaded = load_snapshot(path)
+        self._scan_cache[key] = loaded
+        while len(self._scan_cache) > cache_size:
+            self._scan_cache.popitem(last=False)
+        return loaded
+
+    def ip2as(self, snapshot: Snapshot) -> IPToASMap:
+        """Load the prefix-to-AS table for one snapshot from disk."""
+        cached = self._ip2as_cache.get(snapshot)
+        if cached is not None:
+            return cached
+        path = self.directory / "ip2as" / f"{snapshot.label}.tsv"
+        if not path.exists():
+            raise FileNotFoundError(f"no ip2as table for {snapshot}: {path}")
+        entries = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            prefix_text, origins_text = line.split("\t")
+            prefix = IPv4Prefix.parse(prefix_text)
+            for origin in origins_text.split(","):
+                entries.append(RibEntry(prefix, int(origin), 1.0))
+        rib = RibSnapshot(collector="file", snapshot=snapshot, entries=tuple(entries))
+        mapping = IPToASMap.from_ribs([rib])
+        self._ip2as_cache[snapshot] = mapping
+        return mapping

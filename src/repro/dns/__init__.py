@@ -1,0 +1,40 @@
+"""A DNS substrate for the prior-work mapping techniques.
+
+The paper's introduction surveys earlier off-net mapping approaches — all
+DNS-based, all partial:
+
+* **ECS-based mapping** (Calder et al.): issue queries carrying the EDNS
+  Client-Subnet of every routed prefix and collect the returned cache IPs;
+* **naming-convention enumeration** (the Facebook FNA mapping): guess
+  hostnames built from airport codes and indices;
+* **open-resolver probing** (Huang et al. for Akamai): resolve a popular
+  domain through open recursive resolvers around the world, limited by the
+  resolver footprint.
+
+This package implements the hypergiants' authoritative DNS behaviour over
+the synthetic world (client-location-based cache selection, naming
+conventions, the post-2016 Google change that hides off-nets behind
+first-party domains) and the three mapper algorithms, so §5's comparisons
+are real algorithm-vs-algorithm measurements with *emergent* blind spots.
+"""
+
+from repro.dns.airports import airport_code
+from repro.dns.authority import DNSAnswer, HypergiantDNS
+from repro.dns.mappers import (
+    ecs_google_mapper,
+    facebook_naming_mapper,
+    netflix_oca_mapper,
+    open_resolver_mapper,
+)
+from repro.dns.resolvers import open_resolvers
+
+__all__ = [
+    "airport_code",
+    "DNSAnswer",
+    "HypergiantDNS",
+    "open_resolvers",
+    "ecs_google_mapper",
+    "facebook_naming_mapper",
+    "netflix_oca_mapper",
+    "open_resolver_mapper",
+]

@@ -1,0 +1,39 @@
+"""Synthetic airport codes for naming-convention hostnames.
+
+Facebook's off-net DNS names embed IATA airport codes ("mapping Facebook
+servers globally by guessing DNS names based on Facebook naming conventions
+and global airport codes").  The synthetic world derives a stable
+airport-style code for each AS from its country plus a per-country index,
+so enumeration by country is feasible — exactly the property the
+naming-convention mapper exploits.
+"""
+
+from __future__ import annotations
+
+from repro.net.asn import ASN
+from repro.topology.generator import GeneratedTopology
+
+__all__ = ["airport_code", "max_airport_index"]
+
+#: Upper bound on the per-country airport index used by the world; the
+#: enumeration mapper sweeps indices up to this bound.
+MAX_AIRPORTS_PER_COUNTRY = 40
+
+
+def airport_code(topology: GeneratedTopology, asn: ASN) -> str:
+    """The airport-style code of the metro an AS's deployment sits in.
+
+    Deterministic: the country code plus the AS's rank among the country's
+    ASes, folded into :data:`MAX_AIRPORTS_PER_COUNTRY` metros (several ASes
+    share a metro, as in reality).
+    """
+    country = topology.countries.get(asn)
+    if country is None:
+        return "xx0"
+    index = asn % MAX_AIRPORTS_PER_COUNTRY
+    return f"{country.code.lower()}{index}"
+
+
+def max_airport_index() -> int:
+    """The largest airport index the naming mapper must enumerate."""
+    return MAX_AIRPORTS_PER_COUNTRY

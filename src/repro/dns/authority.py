@@ -1,0 +1,221 @@
+"""Hypergiant authoritative DNS behaviour.
+
+One resolver-facing object answers for every hypergiant's namespace:
+
+* **client-mapped serving names** (``cache.googlevideo.com``,
+  ``cache.akamaized.net``, ``cache.nflxvideo.net``): the answer depends on
+  where the client sits — an off-net inside the client's AS if one exists
+  (and is DNS-visible), else an off-net up the provider chain, else on-net.
+  EDNS Client-Subnet (ECS) supplies the client location explicitly.
+* **first-party domains** (``www.google.com``): since April 2016 Google
+  answers these with **on-net front-ends only**, which is why ECS-based
+  mapping "no longer uncover[s] Google off-nets" (§1).
+* **naming-convention hostnames**: Facebook's
+  ``<airport>-<rank>.fna.fbcdn.net`` and Netflix's
+  ``ipv4-c<k>-<asn>.oca.nflxvideo.net`` resolve directly to specific
+  deployments — the surface the enumeration mappers probe.  A slice of
+  Facebook deployments uses an unconventional internal scheme and is
+  invisible to enumeration (the paper's 94-96% coverage gap).
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+
+from repro.dns.airports import airport_code
+from repro.net.asn import ASN
+from repro.scan.server import ServerKind
+from repro.timeline import Snapshot
+
+__all__ = ["DNSAnswer", "HypergiantDNS"]
+
+#: Google's first-party domains answer on-net only from this date (§1).
+_GOOGLE_FIRST_PARTY_CHANGE = Snapshot(2016, 4)
+
+#: Fraction of host ASes whose off-nets are never returned by public DNS
+#: (serve-internal configurations) — a natural recall gap for DNS mappers.
+_DNS_DARK_FRACTION = 0.08
+
+#: Fraction of Facebook deployments named outside the airport convention.
+_UNCONVENTIONAL_FRACTION = 0.10
+
+_FNA_PATTERN = re.compile(r"^([a-z]{2}\d{1,2})-(\d+)\.fna\.fbcdn\.net$")
+_OCA_PATTERN = re.compile(r"^ipv4-c(\d+)-(\d+)\.oca\.nflxvideo\.net$")
+
+#: Serving hostnames handled by client-based mapping, per HG.
+_SERVING_NAMES = {
+    "cache.googlevideo.com": "google",
+    "cache.akamaized.net": "akamai",
+    "cache.nflxvideo.net": "netflix",
+    "cache.fbcdn.net": "facebook",
+}
+
+_GOOGLE_FIRST_PARTY = ("www.google.com", "www.google.com.br", "accounts.google.com")
+
+
+@dataclass(frozen=True, slots=True)
+class DNSAnswer:
+    """An A-record set (possibly empty = NXDOMAIN/NODATA)."""
+
+    ips: tuple[int, ...]
+
+    @property
+    def nxdomain(self) -> bool:
+        return not self.ips
+
+
+class HypergiantDNS:
+    """The hypergiants' authoritative DNS over one world."""
+
+    def __init__(self, world) -> None:
+        self._world = world
+        self._offnet_index: dict[tuple[str, Snapshot], dict[ASN, tuple[int, ...]]] = {}
+        self._onnet_index: dict[str, tuple[int, ...]] = {}
+
+    # -- indexes -----------------------------------------------------------
+
+    def _offnets(self, hypergiant: str, when: Snapshot) -> dict[ASN, tuple[int, ...]]:
+        key = (hypergiant, when)
+        index = self._offnet_index.get(key)
+        if index is None:
+            grouped: dict[ASN, list[int]] = {}
+            for server in self._world.servers:
+                if (
+                    server.kind is ServerKind.HG_OFFNET
+                    and server.hypergiant == hypergiant
+                    and server.alive_at(when)
+                ):
+                    grouped.setdefault(server.asn, []).append(server.ip)
+            index = {asn: tuple(sorted(ips)) for asn, ips in grouped.items()}
+            self._offnet_index[key] = index
+        return index
+
+    def _onnets(self, hypergiant: str) -> tuple[int, ...]:
+        cached = self._onnet_index.get(hypergiant)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    server.ip
+                    for server in self._world.servers
+                    if server.kind is ServerKind.HG_ONNET
+                    and server.hypergiant == hypergiant
+                    and server.domain_group == 0
+                )
+            )
+            self._onnet_index[hypergiant] = cached
+        return cached
+
+    def is_dns_dark(self, hypergiant: str, asn: ASN) -> bool:
+        """Off-nets in this AS are never returned by public DNS."""
+        draw = zlib.crc32(f"dnsdark:{hypergiant}:{asn}".encode()) / 2**32
+        return draw < _DNS_DARK_FRACTION
+
+    def is_unconventionally_named(self, asn: ASN) -> bool:
+        """This Facebook deployment uses an internal naming scheme."""
+        draw = zlib.crc32(f"fna-unconventional:{asn}".encode()) / 2**32
+        return draw < _UNCONVENTIONAL_FRACTION
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: str,
+        when: Snapshot,
+        client_ip: int | None = None,
+        ecs_prefix=None,
+    ) -> DNSAnswer:
+        """Answer a query as the HG's authoritative servers would.
+
+        ``ecs_prefix`` (an :class:`~repro.net.ipv4.IPv4Prefix`) stands in
+        for the EDNS Client-Subnet option; ``client_ip`` is the resolver's
+        address otherwise.
+        """
+        qname = qname.lower().rstrip(".")
+
+        hypergiant = _SERVING_NAMES.get(qname)
+        if hypergiant is not None:
+            return self._client_mapped(hypergiant, when, client_ip, ecs_prefix)
+
+        if qname in _GOOGLE_FIRST_PARTY:
+            if when >= _GOOGLE_FIRST_PARTY_CHANGE:
+                return DNSAnswer(self._onnets("google")[:4])
+            return self._client_mapped("google", when, client_ip, ecs_prefix)
+
+        fna = _FNA_PATTERN.match(qname)
+        if fna is not None:
+            return self._resolve_fna(fna.group(1), int(fna.group(2)), when)
+
+        if qname.endswith(".fna-internal.fbcdn.net"):
+            return self._resolve_fna_internal(qname, when)
+
+        oca = _OCA_PATTERN.match(qname)
+        if oca is not None:
+            return self._resolve_oca(int(oca.group(1)), int(oca.group(2)), when)
+
+        return DNSAnswer(())
+
+    # -- per-scheme handlers ----------------------------------------------------
+
+    def _client_asn(self, client_ip: int | None, ecs_prefix) -> ASN | None:
+        if ecs_prefix is not None:
+            probe = ecs_prefix.network
+        elif client_ip is not None:
+            probe = client_ip
+        else:
+            return None
+        return self._world.ground_truth_asn(probe)
+
+    def _client_mapped(
+        self, hypergiant: str, when: Snapshot, client_ip: int | None, ecs_prefix
+    ) -> DNSAnswer:
+        offnets = self._offnets(hypergiant, when)
+        asn = self._client_asn(client_ip, ecs_prefix)
+        if asn is not None:
+            # Off-net in the client's own AS, then up the provider chain.
+            candidates = [asn] + sorted(self._world.topology.graph.providers(asn))
+            for candidate in candidates:
+                ips = offnets.get(candidate)
+                if ips and not self.is_dns_dark(hypergiant, candidate):
+                    return DNSAnswer(ips[:3])
+            # One more level up: the providers' providers.
+            for provider in sorted(self._world.topology.graph.providers(asn)):
+                for grand in sorted(self._world.topology.graph.providers(provider)):
+                    ips = offnets.get(grand)
+                    if ips and not self.is_dns_dark(hypergiant, grand):
+                        return DNSAnswer(ips[:3])
+        return DNSAnswer(self._onnets(hypergiant)[:4])
+
+    def _metro_hosts(self, when: Snapshot) -> dict[str, list[ASN]]:
+        """Facebook host ASes grouped by airport code, conventional only."""
+        offnets = self._offnets("facebook", when)
+        metros: dict[str, list[ASN]] = {}
+        for asn in sorted(offnets):
+            if self.is_unconventionally_named(asn):
+                continue
+            metros.setdefault(airport_code(self._world.topology, asn), []).append(asn)
+        return metros
+
+    def _resolve_fna(self, airport: str, rank: int, when: Snapshot) -> DNSAnswer:
+        hosts = self._metro_hosts(when).get(airport, [])
+        if rank < 1 or rank > len(hosts):
+            return DNSAnswer(())
+        asn = hosts[rank - 1]
+        return DNSAnswer(self._offnets("facebook", when).get(asn, ())[:3])
+
+    def _resolve_fna_internal(self, qname: str, when: Snapshot) -> DNSAnswer:
+        """The unconventional scheme: resolvable only if you know the name."""
+        match = re.match(r"^edge-(\d+)\.fna-internal\.fbcdn\.net$", qname)
+        if match is None:
+            return DNSAnswer(())
+        asn = int(match.group(1))
+        if not self.is_unconventionally_named(asn):
+            return DNSAnswer(())
+        return DNSAnswer(self._offnets("facebook", when).get(asn, ())[:3])
+
+    def _resolve_oca(self, index: int, asn: int, when: Snapshot) -> DNSAnswer:
+        ips = self._offnets("netflix", when).get(asn, ())
+        if index < 1 or index > len(ips):
+            return DNSAnswer(())
+        return DNSAnswer((ips[index - 1],))

@@ -1,0 +1,40 @@
+"""Open recursive resolvers.
+
+Earlier mapping studies probed CDNs through open resolvers scattered across
+networks (and the paper notes this "raise[s] ethical concerns" besides
+giving partial coverage).  In the synthetic world a deterministic subset of
+eyeball ASes operates one open resolver each, addressed at the AS's first
+prefix's network address (never handed to servers by the allocator).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+
+__all__ = ["open_resolvers", "OPEN_RESOLVER_FRACTION"]
+
+#: Fraction of eyeball ASes running an open resolver.
+OPEN_RESOLVER_FRACTION = 0.12
+
+
+def open_resolvers(world, snapshot: Snapshot) -> list[tuple[int, ASN]]:
+    """(resolver IP, AS) pairs reachable at ``snapshot``.
+
+    Deterministic in the world seed, independent of the scan corpuses.
+    """
+    resolvers: list[tuple[int, ASN]] = []
+    alive = world.topology.alive(snapshot)
+    for asn in sorted(world.topology.eyeballs):
+        if asn not in alive:
+            continue
+        draw = zlib.crc32(f"resolver:{world.config.seed}:{asn}".encode()) / 2**32
+        if draw >= OPEN_RESOLVER_FRACTION:
+            continue
+        prefixes = world.topology.prefixes.get(asn)
+        if not prefixes:
+            continue
+        resolvers.append((prefixes[0].network, asn))
+    return resolvers

@@ -1,0 +1,37 @@
+"""The hypergiant model: who the 23 hypergiants are, how they manage
+certificates and HTTP headers, and how their off-net footprints evolve.
+
+* :mod:`repro.hypergiants.profiles` — per-HG static profile: organisation
+  name, domain portfolio, HTTP(S) debug headers (Table 4), certificate
+  policy (validity periods, Netflix's expired-certificate era, Cloudflare's
+  customer certificates).
+* :mod:`repro.hypergiants.schedules` — per-HG off-net AS-count target curves
+  anchored on the paper's Table 3 / Figure 3 numbers.
+* :mod:`repro.hypergiants.deployment` — the deployment engine that realises
+  those curves over the synthetic topology with the paper's demographics
+  (cone-size mix, regional growth, multi-HG hosting affinity).
+"""
+
+from repro.hypergiants.deployment import DeploymentEngine, DeploymentPlan
+from repro.hypergiants.profiles import (
+    HEADER_RULES,
+    HYPERGIANTS,
+    HeaderRule,
+    HypergiantProfile,
+    TOP4,
+    profile,
+)
+from repro.hypergiants.schedules import DeploymentSchedule, SCHEDULES
+
+__all__ = [
+    "HypergiantProfile",
+    "HeaderRule",
+    "HYPERGIANTS",
+    "HEADER_RULES",
+    "TOP4",
+    "profile",
+    "DeploymentSchedule",
+    "SCHEDULES",
+    "DeploymentEngine",
+    "DeploymentPlan",
+]

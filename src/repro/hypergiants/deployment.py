@@ -1,0 +1,358 @@
+"""The deployment engine: realising Table 3's curves on the topology.
+
+For every snapshot the engine decides, per hypergiant, which ASes host
+
+* **deployed off-nets** — real HG hardware (header-confirmable), and
+* **service-present ASes** — the HG's certificate without its hardware
+  (third-party CDN edges, customer back-ends, management interfaces).
+
+Host selection reproduces the paper's observed demographics:
+
+* category mix (§6.3): most hosts are stub/small/medium eyeballs, but large
+  ASes are strongly over-represented relative to their population share;
+  Akamai skews larger than the other top-4;
+* regional growth (§6.4): per-HG continent weights, with a ramp that makes
+  South American growth exponential for Google/Netflix/Facebook and keeps
+  Alibaba centred on Asia;
+* hosting affinity (§6.6): an AS already hosting top-4 HGs is more likely
+  to take another, producing the multi-HG overlap of Figure 10;
+* Akamai's shrinkage (Fig. 3/5d): when targets fall, stub hosts in North
+  America are released first, shifting the mix toward medium/large ASes in
+  Asia (Appendix A.7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hypergiants.profiles import TOP4
+from repro.hypergiants.schedules import SCHEDULES, scaled_target
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+from repro.topology.categories import ConeCategory
+from repro.topology.generator import GeneratedTopology
+from repro.topology.geography import Continent
+
+__all__ = ["DeploymentEngine", "DeploymentPlan"]
+
+def _category_weights(stub: float, small: float, medium: float, large: float, xlarge: float):
+    return {
+        ConeCategory.STUB: stub,
+        ConeCategory.SMALL: small,
+        ConeCategory.MEDIUM: medium,
+        ConeCategory.LARGE: large,
+        ConeCategory.XLARGE: xlarge,
+    }
+
+
+#: Per-HG selection weight by host category.  Each weight is the desired
+#: host-mix share divided by the Internet census share, so that weighted
+#: sampling reproduces the §6.3 host mixes (~29% stub / ~42% small / ~23%
+#: medium / ~5% large+xlarge for G/N/F; Akamai skews larger: 13% stub, >16%
+#: large+xlarge).
+_CATEGORY_PREFERENCES: dict[str, dict[ConeCategory, float]] = {
+    "default": _category_weights(0.48, 3.2, 8.8, 14.0, 12.0),
+    "akamai": _category_weights(0.6, 3.4, 10.0, 40.0, 25.0),
+    "alibaba": _category_weights(0.2, 3.0, 10.0, 20.0, 15.0),
+}
+
+#: Per-HG continent attractiveness (1.0 = neutral).
+_REGION_PREFERENCES: dict[str, dict[Continent, float]] = {
+    "google": {
+        Continent.ASIA: 1.1,
+        Continent.EUROPE: 1.0,
+        Continent.SOUTH_AMERICA: 1.0,
+        Continent.NORTH_AMERICA: 0.8,
+        Continent.AFRICA: 1.2,
+        Continent.OCEANIA: 0.8,
+    },
+    "facebook": {
+        Continent.ASIA: 1.2,
+        Continent.EUROPE: 0.9,
+        Continent.SOUTH_AMERICA: 1.1,
+        Continent.NORTH_AMERICA: 0.6,
+        Continent.AFRICA: 1.3,
+        Continent.OCEANIA: 0.7,
+    },
+    "netflix": {
+        Continent.ASIA: 0.9,
+        Continent.EUROPE: 1.1,
+        Continent.SOUTH_AMERICA: 1.1,
+        Continent.NORTH_AMERICA: 0.9,
+        Continent.AFRICA: 0.7,
+        Continent.OCEANIA: 0.9,
+    },
+    "akamai": {
+        Continent.ASIA: 1.5,
+        Continent.EUROPE: 1.1,
+        Continent.SOUTH_AMERICA: 0.7,
+        Continent.NORTH_AMERICA: 1.0,
+        Continent.AFRICA: 0.6,
+        Continent.OCEANIA: 0.8,
+    },
+    "alibaba": {
+        Continent.ASIA: 12.0,
+        Continent.EUROPE: 0.3,
+        Continent.SOUTH_AMERICA: 0.1,
+        Continent.NORTH_AMERICA: 0.3,
+        Continent.AFRICA: 0.1,
+        Continent.OCEANIA: 0.1,
+    },
+}
+
+#: How strongly hosting other top-4 HGs attracts another (Fig. 10) at the
+#: end of the study.  The boost ramps up over time: in 2013 footprints were
+#: largely disjoint (<30% of hosts had ≥2 top-4 HGs), by 2020 most hosts
+#: take 2-4 — the §6.6 symbiosis built up gradually.
+_AFFINITY_BOOST_END = 22.0
+_AFFINITY_BOOST_START = 0.4
+
+#: South America's attractiveness ramps up over the study for the big three,
+#: producing the exponential regional growth of Fig. 6c.
+_SA_RAMP_HGS = frozenset({"google", "facebook", "netflix"})
+
+
+@dataclass(slots=True)
+class DeploymentPlan:
+    """Ground-truth deployments per hypergiant per snapshot."""
+
+    snapshots: tuple[Snapshot, ...]
+    deployed: dict[str, dict[Snapshot, frozenset[ASN]]] = field(default_factory=dict)
+    service_present: dict[str, dict[Snapshot, frozenset[ASN]]] = field(default_factory=dict)
+
+    def deployed_at(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
+        """ASes hosting the HG's hardware at ``snapshot``."""
+        return self.deployed.get(hypergiant, {}).get(snapshot, frozenset())
+
+    def service_present_at(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
+        """Cert-only ASes for the HG at ``snapshot`` (disjoint from deployed)."""
+        return self.service_present.get(hypergiant, {}).get(snapshot, frozenset())
+
+    def hypergiants(self) -> tuple[str, ...]:
+        """All HGs with any footprint in the plan."""
+        return tuple(sorted(set(self.deployed) | set(self.service_present)))
+
+    def hosts_of_any(self, snapshot: Snapshot, hypergiants: tuple[str, ...]) -> frozenset[ASN]:
+        """ASes hosting hardware of at least one of ``hypergiants``."""
+        hosts: set[ASN] = set()
+        for hypergiant in hypergiants:
+            hosts |= self.deployed_at(hypergiant, snapshot)
+        return frozenset(hosts)
+
+    def top4_host_count(self, asn: ASN, snapshot: Snapshot) -> int:
+        """How many of the top-4 HGs the AS hosts at ``snapshot``."""
+        return sum(1 for hg in TOP4 if asn in self.deployed_at(hg, snapshot))
+
+
+class DeploymentEngine:
+    """Greedy snapshot-by-snapshot realisation of the schedules."""
+
+    def __init__(
+        self,
+        topology: GeneratedTopology,
+        scale: float,
+        seed: int,
+        excluded_ases: frozenset[ASN] = frozenset(),
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self._topology = topology
+        self._scale = scale
+        self._seed = seed
+        self._excluded = excluded_ases
+        self._rng = random.Random(seed)
+        # HGs deploy where the users are: an AS's user-population market
+        # share multiplies its attractiveness, which is what makes a few
+        # hundred host ASes cover most of a country's users (§6.5).
+        self._market_share: dict[ASN, float] = {
+            entry.asn: entry.market_share for entry in topology.population.entries
+        }
+        # Deterministic per-(HG, AS) jitter so selections are stable.
+        self._jitter_cache: dict[tuple[str, ASN], float] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> DeploymentPlan:
+        """Produce the full deployment plan over the topology's timeline."""
+        topology = self._topology
+        plan = DeploymentPlan(snapshots=topology.snapshots)
+        current: dict[str, set[ASN]] = {hg: set() for hg in SCHEDULES}
+        service_order: dict[str, list[ASN]] = {}
+
+        # Larger HGs pick first within each snapshot so smaller footprints
+        # can follow them into the same ASes (the §6.6 symbiosis).
+        ordered_hgs = sorted(
+            SCHEDULES,
+            key=lambda hg: max(v for _, v in SCHEDULES[hg].deployed_anchors),
+            reverse=True,
+        )
+
+        for snapshot in topology.snapshots:
+            # HG-owned ASes can never be off-net hosts (off = outside the HG).
+            alive = topology.alive(snapshot) - self._excluded
+            categories = {asn: topology.category_at(asn, snapshot) for asn in alive}
+            overlap = self._overlap_counts(current)
+
+            for hypergiant in ordered_hgs:
+                schedule = SCHEDULES[hypergiant]
+                target = scaled_target(schedule.deployed_target(snapshot), self._scale)
+                hosts = current[hypergiant]
+                hosts &= alive  # an AS cannot host before it exists
+                if target > len(hosts):
+                    before = set(hosts)
+                    self._grow(hypergiant, hosts, target, snapshot, alive, categories, overlap)
+                    if hypergiant in TOP4:
+                        for asn in hosts - before:
+                            overlap[asn] = overlap.get(asn, 0) + 1
+                elif target < len(hosts):
+                    # Akamai does not merely shed hosts: it churns, dropping
+                    # North American stubs while *adding* medium/large ASes
+                    # in Asia (Appendix A.7) — shrink past the target, then
+                    # re-grow the difference through the normal (Asia-heavy,
+                    # large-skewed) preference.
+                    churn = (
+                        max(1, round(len(hosts) * 0.04))
+                        if hypergiant == "akamai"
+                        else 0
+                    )
+                    self._shrink(hypergiant, hosts, max(0, target - churn), categories)
+                    if churn:
+                        self._grow(
+                            hypergiant, hosts, target, snapshot, alive, categories, overlap
+                        )
+                plan.deployed.setdefault(hypergiant, {})[snapshot] = frozenset(hosts)
+
+            # Cert-only ASes: drawn from a per-HG deterministic ordering,
+            # preferring ASes that host *other* HGs' hardware (third-party
+            # CDN edges) and never overlapping the HG's own deployment.
+            for hypergiant, schedule in SCHEDULES.items():
+                extra_target = scaled_target(
+                    schedule.service_extra_target(snapshot), self._scale
+                )
+                order = service_order.get(hypergiant)
+                if order is None:
+                    order = self._service_order(hypergiant)
+                    service_order[hypergiant] = order
+                own = current[hypergiant]
+                chosen: list[ASN] = []
+                for asn in order:
+                    if len(chosen) >= extra_target:
+                        break
+                    if asn in alive and asn not in own:
+                        chosen.append(asn)
+                plan.service_present.setdefault(hypergiant, {})[snapshot] = frozenset(chosen)
+
+        return plan
+
+    # -- internals ------------------------------------------------------------
+
+    def _jitter(self, hypergiant: str, asn: ASN) -> float:
+        """A fixed uniform(0,1) draw per (HG, AS), derived from the engine
+        seed so whole worlds are reproducible."""
+        key = (hypergiant, asn)
+        value = self._jitter_cache.get(key)
+        if value is None:
+            local = random.Random(f"{self._seed}:{hypergiant}:{asn}")
+            value = local.random()
+            self._jitter_cache[key] = value
+        return value
+
+    def _overlap_counts(self, current: dict[str, set[ASN]]) -> dict[ASN, int]:
+        counts: dict[ASN, int] = {}
+        for hypergiant in TOP4:
+            for asn in current.get(hypergiant, ()):
+                counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    def _score(
+        self,
+        hypergiant: str,
+        asn: ASN,
+        snapshot: Snapshot,
+        categories: dict[ASN, ConeCategory],
+        overlap: dict[ASN, int],
+    ) -> float:
+        topology = self._topology
+        weights = _CATEGORY_PREFERENCES.get(hypergiant, _CATEGORY_PREFERENCES["default"])
+        score = weights[categories[asn]]
+        region = _REGION_PREFERENCES.get(hypergiant)
+        continent = topology.countries[asn].continent
+        if region is not None:
+            score *= region[continent]
+        if hypergiant in _SA_RAMP_HGS and continent is Continent.SOUTH_AMERICA:
+            # Ramp from 0.3x to ~2.2x across the study: exponential growth.
+            progress = snapshot.months_since(topology.snapshots[0]) / max(
+                1, topology.snapshots[-1].months_since(topology.snapshots[0])
+            )
+            score *= 0.3 + 1.9 * progress
+        if asn in topology.eyeballs:
+            score *= 2.0
+        # HGs deploy where the users are: dominant national carriers are
+        # far more attractive than the long tail.
+        score *= 1.0 + 20.0 * self._market_share.get(asn, 0.0)
+        progress = snapshot.months_since(topology.snapshots[0]) / max(
+            1, topology.snapshots[-1].months_since(topology.snapshots[0])
+        )
+        affinity = _AFFINITY_BOOST_START + (_AFFINITY_BOOST_END - _AFFINITY_BOOST_START) * progress
+        score *= 1.0 + affinity * overlap.get(asn, 0)
+        return score
+
+    def _grow(
+        self,
+        hypergiant: str,
+        hosts: set[ASN],
+        target: int,
+        snapshot: Snapshot,
+        alive: frozenset[ASN],
+        categories: dict[ASN, ConeCategory],
+        overlap: dict[ASN, int],
+    ) -> None:
+        needed = target - len(hosts)
+        candidates = [asn for asn in alive if asn not in hosts]
+        # Weighted sampling without replacement (Efraimidis-Spirakis): take
+        # the top-k by u^(1/score) with a fixed per-(HG, AS) uniform u.  This
+        # yields probability-proportional-to-score host mixes rather than a
+        # hard cutoff, and the fixed u keeps selections persistent across
+        # snapshots (hosts are rarely dropped once chosen).
+        def selection_key(asn: ASN) -> float:
+            score = self._score(hypergiant, asn, snapshot, categories, overlap)
+            if score <= 0.0:
+                return 0.0
+            u = self._jitter(hypergiant, asn)
+            return u ** (1.0 / score)
+
+        candidates.sort(key=selection_key, reverse=True)
+        hosts.update(candidates[:needed])
+
+    def _shrink(
+        self,
+        hypergiant: str,
+        hosts: set[ASN],
+        target: int,
+        categories: dict[ASN, ConeCategory],
+    ) -> None:
+        """Release hosts, stubs in North America first (Akamai's pattern)."""
+        surplus = len(hosts) - target
+        topology = self._topology
+
+        def removal_key(asn: ASN) -> tuple:
+            category = categories.get(asn, ConeCategory.STUB)
+            in_north_america = topology.countries[asn].continent is Continent.NORTH_AMERICA
+            return (category.rank, 0 if in_north_america else 1, self._jitter(hypergiant, asn))
+
+        for asn in sorted(hosts, key=removal_key)[:surplus]:
+            hosts.discard(asn)
+
+    def _service_order(self, hypergiant: str) -> list[ASN]:
+        """Deterministic preference order for cert-only ASes."""
+        topology = self._topology
+        ases = sorted(topology.graph.ases)
+        # Third-party hosting rides on CDN-dense ASes: favour medium+ ASes
+        # and let the per-HG jitter diversify choices.
+        def key(asn: ASN) -> float:
+            base = 1.0 + 0.2 * min(10, topology.graph.transit_degree(asn))
+            return base * self._jitter("svc:" + hypergiant, asn)
+
+        ases.sort(key=key, reverse=True)
+        return ases

@@ -1,0 +1,172 @@
+"""HTTP(S) response-header generation — the HeaderBook.
+
+Produces the response headers every server kind returns, mirroring the
+behaviours §4.4 and Table 4 (Appendix A.5) document:
+
+* hypergiant servers emit their debugging headers (constant values like
+  ``Server: AkamaiGHost``, per-request values like ``X-FB-Debug``);
+* a large fraction of Netflix boxes answer with a bare default-nginx
+  header, and Netflix/Hulu suppress debug headers for logged-out scans;
+* third-party CDN edges serving another HG's content return the *edge*
+  CDN's headers, with a small fraction also leaking origin headers — the
+  §7 reverse-proxy conflict;
+* background servers return ordinary software banners plus standard
+  headers, so the §4.4 frequency analysis has realistic noise to reject.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.hypergiants.profiles import HeaderRule, profile
+from repro.scan.server import ServerKind, SimulatedServer
+from repro.timeline import Snapshot
+
+__all__ = ["HeaderBook"]
+
+Headers = tuple[tuple[str, str], ...]
+
+#: Ubiquitous standard headers every response carries a sample of.
+_STANDARD_POOL: tuple[tuple[str, str], ...] = (
+    ("Content-Type", "text/html; charset=utf-8"),
+    ("Cache-Control", "max-age=3600"),
+    ("Date", "(request time)"),
+    ("Content-Length", "5120"),
+    ("Connection", "keep-alive"),
+    ("Vary", "Accept-Encoding"),
+    ("Accept-Ranges", "bytes"),
+)
+
+_BACKGROUND_SERVERS = ("nginx", "Apache", "Microsoft-IIS/8.5", "lighttpd", "openresty")
+
+#: The fraction of third-party edges leaking origin headers (§7: 4%).
+_CONFLICT_FRACTION = 0.04
+
+
+def _token(ip: int, snapshot: Snapshot, extra: str = "") -> str:
+    """A deterministic request-id-looking value."""
+    raw = f"{ip}:{snapshot.label}:{extra}".encode()
+    return format(zlib.crc32(raw), "08x")
+
+
+class HeaderBook:
+    """Resolves the headers a server returns at a snapshot."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    # -- public -----------------------------------------------------------
+
+    def headers_for(
+        self, server: SimulatedServer, snapshot: Snapshot, port: int
+    ) -> Headers | None:
+        """The response headers, or ``None`` when no HTTP service answers."""
+        kind = server.kind
+        if kind is ServerKind.HG_ONNET or kind is ServerKind.HG_OFFNET:
+            return self._hypergiant_headers(server, snapshot)
+        if kind is ServerKind.HG_SERVICE:
+            return self._service_headers(server, snapshot)
+        if kind is ServerKind.CF_CUSTOMER:
+            return self._cloudflare_customer_headers(server, snapshot)
+        if kind is ServerKind.MGMT_INTERFACE:
+            return self._standard(server) + (("Server", "Apache"),)
+        # Background and fake-DV servers are ordinary web boxes.
+        return self._background_headers(server)
+
+    # -- per-kind generation -------------------------------------------------
+
+    def _standard(self, server: SimulatedServer) -> Headers:
+        count = 3 + int(server.salt * 4)  # 3..6 standard headers
+        return _STANDARD_POOL[:count]
+
+    def anonymous_headers(self, server: SimulatedServer) -> Headers:
+        """§8 strategy (4): nothing but standard headers — the confirmation
+        step has no fingerprint to match (at the cost of harder debugging)."""
+        return self._standard(server)
+
+    def _fingerprint_headers(
+        self, hg_key: str, server: SimulatedServer, snapshot: Snapshot
+    ) -> Headers:
+        """Concrete header values satisfying 1-3 of the HG's Table 4 rules.
+
+        Real servers emit a subset of their operator's debug headers (and at
+        most one ``Server`` banner); the subset rotates deterministically
+        with the server's salt so every rule stays frequent fleet-wide.
+        """
+        rules = profile(hg_key).header_rules
+        if not rules:
+            return ()
+        start = int(server.salt * len(rules)) % len(rules)
+        ordered = rules[start:] + rules[:start]
+        emitted: list[tuple[str, str]] = []
+        server_banner_used = False
+        for rule in ordered:
+            is_server_banner = rule.name.lower() == "server"
+            if is_server_banner and server_banner_used:
+                continue
+            emitted.append(self._realise(rule, server, snapshot))
+            if is_server_banner:
+                server_banner_used = True
+            if len(emitted) >= 3:
+                break
+        return tuple(emitted)
+
+    def _realise(
+        self, rule: HeaderRule, server: SimulatedServer, snapshot: Snapshot
+    ) -> tuple[str, str]:
+        name = rule.name
+        if name.endswith("*"):
+            # Header-name prefix rules (X-Netflix.*) get a concrete suffix.
+            name = name[:-1] + "proxy-id"
+        if rule.value is None:
+            return name, _token(server.ip, snapshot, name)
+        if rule.value.endswith("*"):
+            return name, rule.value[:-1] + _token(server.ip, snapshot, name)[:4]
+        return name, rule.value
+
+    def _hypergiant_headers(
+        self, server: SimulatedServer, snapshot: Snapshot
+    ) -> Headers:
+        if server.nginx_default:
+            # The Netflix quirk: nothing but a default nginx banner.
+            return (("Server", "nginx"),) + self._standard(server)
+        if server.headerless:
+            return self._standard(server)
+        return self._fingerprint_headers(server.hypergiant, server, snapshot) + self._standard(
+            server
+        )
+
+    def _service_headers(self, server: SimulatedServer, snapshot: Snapshot) -> Headers:
+        """Third-party edge: the *edge* CDN's headers; sometimes both."""
+        edge = server.edge_hypergiant or "akamai"
+        headers = self._fingerprint_headers(edge, server, snapshot)
+        if server.salt < _CONFLICT_FRACTION and server.hypergiant:
+            # Reverse-proxy / cache-miss conflict: origin debug headers leak
+            # through — but the edge's Server banner stays authoritative (a
+            # proxy never forwards the origin's Server header).
+            leaked = tuple(
+                (name, value)
+                for name, value in self._fingerprint_headers(
+                    server.hypergiant, server, snapshot
+                )
+                if name.lower() != "server"
+            )
+            headers = headers + leaked
+        return headers + self._standard(server)
+
+    def _cloudflare_customer_headers(
+        self, server: SimulatedServer, snapshot: Snapshot
+    ) -> Headers:
+        """Customer back-ends fronted by Cloudflare return CF headers (the
+        proxy stamps responses), which is what §6.1 says confuses the
+        confirmation step until the manual filter removes these hosts."""
+        return self._fingerprint_headers("cloudflare", server, snapshot) + self._standard(server)
+
+    def _background_headers(self, server: SimulatedServer) -> Headers:
+        banner = _BACKGROUND_SERVERS[int(server.salt * len(_BACKGROUND_SERVERS))]
+        headers: list[tuple[str, str]] = [("Server", banner)]
+        if server.salt > 0.7:
+            headers.append(("X-Powered-By", "PHP/7.4"))
+        if server.salt > 0.9:
+            headers.append(("X-Request-Id", _token(server.ip, Snapshot(2000, 1))))
+        return tuple(headers) + self._standard(server)

@@ -1,0 +1,449 @@
+"""Static hypergiant profiles: the 23 HGs of §4.6 and their fingerprints.
+
+Each profile carries everything the *world builder* needs to make a HG's
+servers behave like the real ones did, and everything the *methodology*
+(§4.2-§4.5) later rediscovers from the outside:
+
+* the certificate ``Organization`` string and the keyword the paper searches
+  for case-insensitively;
+* the domain portfolio, split into groups so certificates aggregate the way
+  Figure 11 shows (e.g. one dominant ``*.googlevideo.com`` certificate);
+* the HTTP(S) debug headers of Table 4 (Appendix A.5), with the paper's
+  matching semantics — name-only matches, value prefix matches (``gws*``)
+  and header-name prefix matches (``X-Netflix.*``);
+* certificate policy: validity periods per era (Appendix A.3), Netflix's
+  expired-certificate episode, Cloudflare's customer certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timeline import Snapshot
+
+__all__ = [
+    "HeaderRule",
+    "HypergiantProfile",
+    "HYPERGIANTS",
+    "HEADER_RULES",
+    "TOP4",
+    "profile",
+    "STANDARD_HEADERS",
+]
+
+#: Common standard headers §4.4 filters out before fingerprinting.
+STANDARD_HEADERS: frozenset[str] = frozenset(
+    name.lower()
+    for name in (
+        "Cache-Control",
+        "Content-Length",
+        "Content-Type",
+        "Content-Encoding",
+        "Date",
+        "Expires",
+        "Last-Modified",
+        "ETag",
+        "Connection",
+        "Keep-Alive",
+        "Accept-Ranges",
+        "Vary",
+        "Location",
+        "Set-Cookie",
+        "Transfer-Encoding",
+        "Pragma",
+        "Age",
+        "Strict-Transport-Security",
+        "X-Content-Type-Options",
+        "X-Frame-Options",
+        "X-XSS-Protection",
+        "Alt-Svc",
+        "P3P",
+    )
+)
+
+
+@dataclass(frozen=True, slots=True)
+class HeaderRule:
+    """One Table 4 matching rule.
+
+    ``name`` may end with ``*`` for a header-*name* prefix match
+    (``X-Netflix.*``); ``value`` is ``None`` for name-only matches or may end
+    with ``*`` for a value prefix match (``gws*``).  Matching is
+    case-insensitive on names, case-sensitive on values (as served).
+    """
+
+    name: str
+    value: str | None = None
+    documented: bool = True
+
+    def matches(self, header_name: str, header_value: str) -> bool:
+        """Does a response header match this rule?"""
+        lowered = header_name.lower()
+        pattern = self.name.lower()
+        if pattern.endswith("*"):
+            if not lowered.startswith(pattern[:-1]):
+                return False
+        elif lowered != pattern:
+            return False
+        if self.value is None:
+            return True
+        if self.value.endswith("*"):
+            return header_value.startswith(self.value[:-1])
+        return header_value == self.value
+
+    def matches_any(self, headers: dict[str, str]) -> bool:
+        """Does any header of a response match this rule?"""
+        return any(self.matches(name, value) for name, value in headers.items())
+
+
+@dataclass(frozen=True, slots=True)
+class HypergiantProfile:
+    """Everything static about one hypergiant."""
+
+    key: str                      # search keyword, e.g. "google"
+    display_name: str             # e.g. "Google"
+    organization: str             # certificate Organization, e.g. "Google LLC"
+    #: Domain groups — each group becomes one (shared) certificate per era.
+    #: The FIRST group is the off-net serving group (Fig. 11's dominant one).
+    domain_groups: tuple[tuple[str, ...], ...]
+    header_rules: tuple[HeaderRule, ...] = ()
+    #: Home country code for the HG's own (on-net) ASes.
+    home_country: str = "US"
+    #: Number of on-net ASes the HG operates.
+    on_net_as_count: int = 2
+    #: Certificate validity in months, as (since_snapshot, months) steps.
+    validity_steps: tuple[tuple[Snapshot, int], ...] = ((Snapshot(2000, 1), 12),)
+    #: True for HGs that issue certificates *to customers* (Cloudflare).
+    issues_customer_certificates: bool = False
+    #: Fraction of off-net servers that omit fingerprint headers entirely
+    #: (Netflix/Hulu only send debug headers to logged-in users, §7).
+    headerless_fraction: float = 0.0
+    #: Fraction of off-net servers answering with a bare default-nginx
+    #: header (the Netflix quirk of §4.4).
+    default_nginx_fraction: float = 0.0
+
+    def validity_months(self, when: Snapshot) -> int:
+        """Certificate validity period in force at ``when`` (Appendix A.3)."""
+        months = self.validity_steps[0][1]
+        for since, value in self.validity_steps:
+            if when >= since:
+                months = value
+        return months
+
+    @property
+    def offnet_domains(self) -> tuple[str, ...]:
+        """The domain group served from off-net caches."""
+        return self.domain_groups[0]
+
+    @property
+    def all_domains(self) -> tuple[str, ...]:
+        """Every domain across all groups."""
+        return tuple(domain for group in self.domain_groups for domain in group)
+
+
+def _hg(**kwargs) -> HypergiantProfile:
+    return HypergiantProfile(**kwargs)
+
+
+#: The 23 hypergiants examined in §4.6.
+HYPERGIANTS: tuple[HypergiantProfile, ...] = (
+    _hg(
+        key="google",
+        display_name="Google",
+        organization="Google LLC",
+        domain_groups=(
+            ("*.googlevideo.com", "*.gvt1.com", "*.gvt2.com"),
+            ("*.google.com", "*.google.com.br", "*.googleapis.com", "accounts.google.com"),
+            ("*.youtube.com", "*.ytimg.com", "youtu.be"),
+            ("*.gstatic.com", "*.googleusercontent.com"),
+            ("*.doubleclick.net", "*.googlesyndication.com"),
+        ),
+        header_rules=(
+            HeaderRule("Server", "gws*", documented=False),
+            HeaderRule("Server", "gvs*", documented=False),
+            HeaderRule("X-Google-Security-Signals", None, documented=False),
+            HeaderRule("X_FW_Edge", None, documented=False),
+            HeaderRule("X_FW_Cache", None, documented=False),
+        ),
+        on_net_as_count=3,
+        validity_steps=((Snapshot(2000, 1), 3),),  # ~3 month certs
+    ),
+    _hg(
+        key="facebook",
+        display_name="Facebook",
+        organization="Facebook, Inc.",
+        domain_groups=(
+            ("*.fbcdn.net", "*.facebook.com", "*.fbsbx.com"),
+            ("*.instagram.com", "*.cdninstagram.com"),
+            ("*.whatsapp.net", "*.whatsapp.com"),
+            ("*.messenger.com",),
+            ("*.fb.com", "*.facebook.net"),
+        ),
+        header_rules=(
+            HeaderRule("Server", "proxygen*"),
+            HeaderRule("X-FB-Debug", None),
+            HeaderRule("X-FB-TRIP-ID", None),
+        ),
+        on_net_as_count=2,
+        validity_steps=((Snapshot(2000, 1), 12),),
+    ),
+    _hg(
+        key="netflix",
+        display_name="Netflix",
+        organization="Netflix, Inc.",
+        domain_groups=(
+            ("*.nflxvideo.net", "*.nflxso.net"),
+            ("*.netflix.com", "*.nflximg.net", "*.nflxext.com"),
+        ),
+        header_rules=(
+            HeaderRule("X-Netflix.*", None, documented=False),
+            HeaderRule("X-TCP-Info", None, documented=False),
+            HeaderRule(
+                "Access-Control-Expose-Headers", "X-TCP-Info", documented=False
+            ),
+        ),
+        on_net_as_count=1,
+        # Oscillating validity; strategic shift to 35-day certs in 2019 (A.3).
+        validity_steps=((Snapshot(2000, 1), 18), (Snapshot(2016, 7), 8), (Snapshot(2019, 4), 1)),
+        headerless_fraction=0.05,
+        default_nginx_fraction=0.35,
+    ),
+    _hg(
+        key="akamai",
+        display_name="Akamai",
+        organization="Akamai Technologies, Inc.",
+        domain_groups=(
+            ("*.akamaized.net", "*.akamaihd.net", "*.akamai.net"),
+            ("*.akamaiedge.net", "*.edgesuite.net", "*.edgekey.net"),
+            ("*.akadns.net", "*.akam.net"),
+        ),
+        header_rules=(
+            HeaderRule("Server", "AkamaiGHost"),
+            HeaderRule("Server", "AkamaiNetStorage"),
+            HeaderRule("Server", "Ghost"),  # only in China
+        ),
+        on_net_as_count=2,
+        validity_steps=((Snapshot(2000, 1), 12),),
+    ),
+    _hg(
+        key="alibaba",
+        display_name="Alibaba",
+        organization="Alibaba (China) Technology Co., Ltd.",
+        domain_groups=(
+            ("*.alicdn.com", "*.alikunlun.com"),
+            ("*.aliyuncs.com", "*.taobao.com", "*.tmall.com"),
+        ),
+        header_rules=(
+            HeaderRule("Server", "tengine*"),
+            HeaderRule("Eagleid", None),
+            HeaderRule("Server", "AliyunOSS*"),
+        ),
+        home_country="CN",
+        on_net_as_count=2,
+        validity_steps=((Snapshot(2000, 1), 12),),
+    ),
+    _hg(
+        key="cloudflare",
+        display_name="Cloudflare",
+        organization="Cloudflare, Inc.",
+        domain_groups=(
+            ("*.cloudflare.com", "*.cloudflare-dns.com", "*.cloudflaressl.com"),
+        ),
+        header_rules=(
+            HeaderRule("Server", "Cloudflare"),
+            HeaderRule("cf-cache-status", None),
+            HeaderRule("cf-ray", None),
+            HeaderRule("cf-request-id", None),
+        ),
+        on_net_as_count=1,
+        issues_customer_certificates=True,
+        validity_steps=((Snapshot(2000, 1), 12),),
+    ),
+    _hg(
+        key="amazon",
+        display_name="Amazon",
+        organization="Amazon.com, Inc.",
+        domain_groups=(
+            ("*.cloudfront.net",),
+            ("*.amazonaws.com", "*.s3.amazonaws.com"),
+            ("*.amazon.com", "*.media-amazon.com", "*.primevideo.com"),
+        ),
+        header_rules=(
+            HeaderRule("x-amz-id-2", None),
+            HeaderRule("x-amz-request-id", None),
+            HeaderRule("Server", "AmazonS3"),
+            HeaderRule("Server", "awselb*"),
+            HeaderRule("X-Amz-Cf-Id", None),
+            HeaderRule("X-Amz-Cf-Pop", None),
+            HeaderRule("X-Cache", "Hit from cloudfront"),
+            HeaderRule("x-amzn-RequestId", None),
+        ),
+        on_net_as_count=3,
+        validity_steps=((Snapshot(2000, 1), 13),),
+    ),
+    _hg(
+        key="cdnetworks",
+        display_name="Cdnetworks",
+        organization="CDNetworks Inc.",
+        domain_groups=(("*.cdngc.net", "*.gccdn.net"),),
+        header_rules=(HeaderRule("Server", "PWS/*"),),
+        home_country="KR",
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="limelight",
+        display_name="Limelight",
+        organization="Limelight Networks, Inc.",
+        domain_groups=(("*.llnwd.net", "*.llnwi.net"),),
+        header_rules=(
+            HeaderRule("Server", "EdgePrism*"),
+            HeaderRule("X-LLID", None),
+        ),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="apple",
+        display_name="Apple",
+        organization="Apple Inc.",
+        domain_groups=(
+            ("*.aaplimg.com", "*.apple.com", "*.mzstatic.com"),
+            ("*.icloud.com", "*.icloud-content.com"),
+        ),
+        header_rules=(HeaderRule("CDNUUID", None, documented=False),),
+        on_net_as_count=2,
+        validity_steps=((Snapshot(2000, 1), 24),),
+    ),
+    _hg(
+        key="twitter",
+        display_name="Twitter",
+        organization="Twitter, Inc.",
+        domain_groups=(
+            ("*.twimg.com",),
+            ("*.twitter.com", "t.co"),
+        ),
+        header_rules=(HeaderRule("Server", "tsa_a"),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="microsoft",
+        display_name="Microsoft",
+        organization="Microsoft Corporation",
+        domain_groups=(
+            ("*.msedge.net", "*.azureedge.net"),
+            ("*.microsoft.com", "*.windows.net", "*.office365.com"),
+        ),
+        header_rules=(HeaderRule("X-MSEdge-Ref", None),),
+        on_net_as_count=3,
+        # Median 1 year (2013-16), 1-2 years (2016-17), 2 years (2018-19).
+        validity_steps=((Snapshot(2000, 1), 12), (Snapshot(2016, 1), 18), (Snapshot(2018, 1), 24)),
+    ),
+    _hg(
+        key="fastly",
+        display_name="Fastly",
+        organization="Fastly, Inc.",
+        domain_groups=(("*.fastly.net", "*.fastlylb.net"),),
+        header_rules=(HeaderRule("X-Served-By", "cache-*"),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="verizon",
+        display_name="Verizon",
+        organization="Verizon Digital Media Services",
+        domain_groups=(("*.edgecastcdn.net", "*.vdms.com"),),
+        header_rules=(HeaderRule("Server", "ECAcc*"),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="incapsula",
+        display_name="Incapsula",
+        organization="Incapsula Inc.",
+        domain_groups=(("*.incapdns.net",),),
+        header_rules=(HeaderRule("X-CDN", "Incapsula"),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="hulu",
+        display_name="Hulu",
+        organization="Hulu, LLC",
+        domain_groups=(("*.hulu.com", "*.huluim.com", "*.hulustream.com"),),
+        header_rules=(
+            HeaderRule("X-Hulu-Request-Id", None, documented=False),
+            HeaderRule("X-HULU-NGINX", None, documented=False),
+        ),
+        on_net_as_count=1,
+        # Hulu only sends debug headers to logged-in users (§7): scans see
+        # nothing confirmable.
+        headerless_fraction=1.0,
+    ),
+    # HGs with identifiable organisations but no usable header fingerprints
+    # (Appendix A.5: "we were not able to identify unique HTTP(S) headers").
+    _hg(
+        key="bamtech",
+        display_name="Bamtech",
+        organization="BAMTech Media",
+        domain_groups=(("*.bamgrid.com", "*.mlb.com"),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="cdn77",
+        display_name="CDN77",
+        organization="CDN77 s.r.o.",
+        domain_groups=(("*.cdn77.org", "*.rsc.cdn77.org"),),
+        home_country="CZ",
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="cachefly",
+        display_name="Cachefly",
+        organization="CacheFly Inc.",
+        domain_groups=(("*.cachefly.net",),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="chinacache",
+        display_name="Chinacache",
+        organization="ChinaCache Holdings Ltd.",
+        domain_groups=(("*.ccgslb.com", "*.ccgslb.net"),),
+        home_country="CN",
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="disney",
+        display_name="Disney",
+        organization="Disney Streaming Services",
+        domain_groups=(("*.disneyplus.com", "*.dssott.com"),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="highwinds",
+        display_name="Highwinds",
+        organization="Highwinds Network Group",
+        domain_groups=(("*.hwcdn.net",),),
+        on_net_as_count=1,
+    ),
+    _hg(
+        key="yahoo",
+        display_name="Yahoo",
+        organization="Yahoo Holdings, Inc.",
+        domain_groups=(("*.yimg.com", "*.yahoo.com"),),
+        on_net_as_count=2,
+    ),
+)
+
+_BY_KEY = {hg.key: hg for hg in HYPERGIANTS}
+
+#: Table 4 as a key → rules mapping.
+HEADER_RULES: dict[str, tuple[HeaderRule, ...]] = {
+    hg.key: hg.header_rules for hg in HYPERGIANTS
+}
+
+#: The four largest hypergiants by off-net AS footprint (§6.6).
+TOP4: tuple[str, ...] = ("google", "netflix", "facebook", "akamai")
+
+
+def profile(key: str) -> HypergiantProfile:
+    """Look a hypergiant profile up by keyword."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(f"unknown hypergiant {key!r}") from None

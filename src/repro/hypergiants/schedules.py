@@ -1,0 +1,241 @@
+"""Per-hypergiant off-net deployment schedules.
+
+Each schedule is a piecewise-linear curve of *target off-net host-AS counts*
+over the study timeline, anchored on the paper's Table 3 and Figure 3
+numbers (at paper scale — the world builder multiplies by its AS-count scale
+factor).  Two curves per HG:
+
+* ``deployed`` — ASes with real HG hardware (the paper's header-confirmed
+  numbers);
+* ``service_present`` — additional ASes where only the HG's *certificate*
+  appears (third-party CDN hosting, customer certificates, management
+  interfaces; the parenthesised "only certs" numbers in Table 3).
+
+Schedules are pure data + interpolation; realising them against the
+topology is :mod:`repro.hypergiants.deployment`'s job.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.timeline import Snapshot
+
+__all__ = ["DeploymentSchedule", "SCHEDULES", "scaled_target"]
+
+
+def _s(label: str) -> Snapshot:
+    return Snapshot.parse(label)
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentSchedule:
+    """Piecewise-linear target counts at paper scale."""
+
+    hypergiant: str
+    #: (snapshot, confirmed host-AS count) anchors, ascending in time.
+    deployed_anchors: tuple[tuple[Snapshot, int], ...]
+    #: (snapshot, certificate-only *extra* AS count) anchors.
+    service_extra_anchors: tuple[tuple[Snapshot, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for anchors in (self.deployed_anchors, self.service_extra_anchors):
+            times = [snapshot for snapshot, _ in anchors]
+            if times != sorted(times):
+                raise ValueError(f"anchors out of order for {self.hypergiant}")
+
+    def deployed_target(self, when: Snapshot) -> int:
+        """Interpolated confirmed-deployment AS count at ``when``."""
+        return _interpolate(self.deployed_anchors, when)
+
+    def service_extra_target(self, when: Snapshot) -> int:
+        """Interpolated certificate-only extra AS count at ``when``."""
+        return _interpolate(self.service_extra_anchors, when)
+
+
+def _interpolate(anchors: tuple[tuple[Snapshot, int], ...], when: Snapshot) -> int:
+    if not anchors:
+        return 0
+    times = [snapshot for snapshot, _ in anchors]
+    position = bisect_right(times, when)
+    if position == 0:
+        return 0 if when < times[0] else anchors[0][1]
+    if position == len(anchors):
+        return anchors[-1][1]
+    (t0, v0), (t1, v1) = anchors[position - 1], anchors[position]
+    span = t1.months_since(t0)
+    progress = when.months_since(t0) / span if span else 1.0
+    return round(v0 + (v1 - v0) * progress)
+
+
+def scaled_target(count: int, scale: float) -> int:
+    """Scale a paper-level AS count to world scale (at least 1 if nonzero)."""
+    if count <= 0:
+        return 0
+    return max(1, round(count * scale))
+
+
+#: Schedules for every HG with a nonzero footprint in Table 3.  HGs absent
+#: here have no off-nets at all (the bottom half of the examined list).
+SCHEDULES: dict[str, DeploymentSchedule] = {
+    schedule.hypergiant: schedule
+    for schedule in (
+        DeploymentSchedule(
+            "google",
+            deployed_anchors=(
+                (_s("2013-10"), 1044),
+                (_s("2014-10"), 1330),
+                (_s("2016-04"), 1750),
+                (_s("2017-04"), 2150),
+                (_s("2018-04"), 2650),
+                (_s("2019-04"), 3050),
+                (_s("2020-01"), 3320),
+                (_s("2020-07"), 3400),  # COVID slowdown
+                (_s("2021-04"), 3810),
+            ),
+            service_extra_anchors=((_s("2013-10"), 61), (_s("2021-04"), 25)),
+        ),
+        DeploymentSchedule(
+            "facebook",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2016-04"), 0),  # CDN launches in the summer of 2016
+                (_s("2016-07"), 40),
+                (_s("2017-04"), 430),
+                (_s("2017-10"), 760),
+                (_s("2018-04"), 1150),
+                (_s("2019-04"), 1500),
+                (_s("2019-10"), 1680),
+                (_s("2020-01"), 1800),
+                (_s("2020-07"), 1860),  # COVID slowdown
+                (_s("2021-04"), 2214),
+            ),
+            service_extra_anchors=((_s("2013-10"), 8), (_s("2021-04"), 15)),
+        ),
+        DeploymentSchedule(
+            "netflix",
+            deployed_anchors=(
+                (_s("2013-10"), 47),
+                (_s("2014-10"), 140),
+                (_s("2015-10"), 420),
+                (_s("2016-10"), 640),
+                (_s("2017-04"), 769),
+                (_s("2018-04"), 1120),
+                (_s("2019-04"), 1480),
+                (_s("2020-01"), 1760),
+                (_s("2020-07"), 1830),  # COVID slowdown
+                (_s("2021-04"), 2115),
+            ),
+            service_extra_anchors=((_s("2013-10"), 96), (_s("2021-04"), 173)),
+        ),
+        DeploymentSchedule(
+            "akamai",
+            deployed_anchors=(
+                (_s("2013-10"), 978),
+                (_s("2015-04"), 1160),
+                (_s("2016-04"), 1270),
+                (_s("2017-04"), 1390),
+                (_s("2018-04"), 1463),  # maximum
+                (_s("2019-04"), 1340),
+                (_s("2020-04"), 1190),
+                (_s("2021-04"), 1094),
+            ),
+            service_extra_anchors=((_s("2013-10"), 35), (_s("2021-04"), 13)),
+        ),
+        DeploymentSchedule(
+            "alibaba",
+            deployed_anchors=(
+                (_s("2014-10"), 0),
+                (_s("2015-04"), 12),
+                (_s("2016-04"), 70),
+                (_s("2018-01"), 184),  # maximum
+                (_s("2019-04"), 158),
+                (_s("2021-04"), 136),
+            ),
+            # Alibaba runs many services on other HGs' servers outside Asia.
+            service_extra_anchors=((_s("2014-10"), 0), (_s("2018-01"), 90), (_s("2021-04"), 165)),
+        ),
+        DeploymentSchedule(
+            # Cloudflare's "off-nets" are misidentified customer back-ends
+            # (§6.1); the engine materialises them as customer installations.
+            "cloudflare",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2015-04"), 20),
+                (_s("2017-04"), 55),
+                (_s("2019-04"), 85),
+                (_s("2021-01"), 110),  # maximum
+                (_s("2021-04"), 110),
+            ),
+            service_extra_anchors=((_s("2013-10"), 2), (_s("2021-04"), 27)),
+        ),
+        DeploymentSchedule(
+            "amazon",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2015-04"), 45),
+                (_s("2017-07"), 112),  # maximum
+                (_s("2019-04"), 85),
+                (_s("2021-04"), 62),
+            ),
+            service_extra_anchors=((_s("2013-10"), 147), (_s("2021-04"), 156)),
+        ),
+        DeploymentSchedule(
+            "cdnetworks",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2016-04"), 22),
+                (_s("2019-01"), 51),  # maximum
+                (_s("2020-04"), 26),
+                (_s("2021-04"), 11),
+            ),
+            service_extra_anchors=((_s("2013-10"), 4), (_s("2021-04"), 20)),
+        ),
+        DeploymentSchedule(
+            "limelight",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2016-04"), 14),
+                (_s("2018-04"), 28),
+                (_s("2020-04"), 42),  # maximum
+                (_s("2021-04"), 32),
+            ),
+            service_extra_anchors=((_s("2013-10"), 1), (_s("2021-04"), 0)),
+        ),
+        DeploymentSchedule(
+            "apple",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2018-04"), 2),
+                (_s("2020-04"), 6),  # maximum
+                (_s("2020-10"), 2),
+                (_s("2021-04"), 0),
+            ),
+            # Apple rides third-party CDNs heavily: big cert-only footprint.
+            service_extra_anchors=((_s("2013-10"), 113), (_s("2021-04"), 267)),
+        ),
+        DeploymentSchedule(
+            "twitter",
+            deployed_anchors=(
+                (_s("2013-10"), 0),
+                (_s("2019-04"), 1),
+                (_s("2021-04"), 4),  # maximum
+            ),
+            service_extra_anchors=((_s("2013-10"), 101), (_s("2021-04"), 176)),
+        ),
+        DeploymentSchedule(
+            # Hulu has a handful of genuine off-net caches but only sends
+            # debug headers to logged-in users (§7 Missing Headers), so the
+            # pipeline can never confirm them and Table 3 shows no footprint.
+            "hulu",
+            deployed_anchors=((_s("2013-10"), 0), (_s("2017-04"), 12), (_s("2021-04"), 18)),
+        ),
+        DeploymentSchedule(
+            "microsoft",
+            deployed_anchors=((_s("2013-10"), 0), (_s("2021-04"), 0)),
+            # Azure Stack style on-premise boxes with Microsoft certificates.
+            service_extra_anchors=((_s("2013-10"), 9), (_s("2021-04"), 58)),
+        ),
+    )
+}

@@ -1,0 +1,150 @@
+"""IPv6 addresses and prefixes — the §7 future-work substrate.
+
+The paper: "our inference approach is IP protocol-agnostic, [but] we lack
+IPv6 data to conduct longitudinal analysis".  The reproduction builds that
+data: IPv6-only servers carry addresses from these types, a research
+scanner sweeps them, and the unchanged pipeline consumes the merged corpus.
+
+Representation: 128-bit integers.  Because every allocation comes from
+``2001::/16``, an IPv6 address integer is always ≥ 2^32 and can share
+``int``-typed record fields with IPv4 without ambiguity
+(:func:`is_ipv6_int` discriminates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IPv6Address", "IPv6Prefix", "is_ipv6_int"]
+
+_MAX_IPV6 = 2**128 - 1
+
+
+def is_ipv6_int(value: int) -> bool:
+    """True when an integer address field holds an IPv6 address."""
+    return value >= 2**32
+
+
+def _format_groups(value: int) -> str:
+    groups = [(value >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+    # Find the longest run of zero groups (≥2) for :: compression.
+    best_start, best_length = -1, 0
+    start, length = -1, 0
+    for index, group in enumerate(groups + [-1]):
+        if group == 0:
+            if start < 0:
+                start, length = index, 0
+            length += 1
+        else:
+            if length > best_length:
+                best_start, best_length = start, length
+            start, length = -1, 0
+    if best_length >= 2:
+        head = ":".join(format(g, "x") for g in groups[:best_start])
+        tail = ":".join(format(g, "x") for g in groups[best_start + best_length:])
+        return f"{head}::{tail}"
+    return ":".join(format(g, "x") for g in groups)
+
+
+def _parse_groups(text: str) -> int:
+    text = text.strip().lower()
+    if text.count("::") > 1 or ":::" in text:
+        raise ValueError(f"invalid IPv6 address: {text!r}")
+    if "::" in text:
+        head_text, _, tail_text = text.partition("::")
+        head = [p for p in head_text.split(":") if p]
+        tail = [p for p in tail_text.split(":") if p]
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise ValueError(f"invalid IPv6 address: {text!r}")
+        parts = head + ["0"] * missing + tail
+    else:
+        parts = text.split(":")
+    if len(parts) != 8:
+        raise ValueError(f"invalid IPv6 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part or len(part) > 4 or any(c not in "0123456789abcdef" for c in part):
+            raise ValueError(f"invalid IPv6 address: {text!r}")
+        value = (value << 16) | int(part, 16)
+    return value
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class IPv6Address:
+    """A single IPv6 address, stored as an unsigned 128-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX_IPV6:
+            raise ValueError(f"IPv6 address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        """Parse standard notation, including ``::`` compression."""
+        return cls(_parse_groups(text))
+
+    def __str__(self) -> str:
+        return _format_groups(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class IPv6Prefix:
+    """An IPv6 prefix with a canonical (host-bits-zero) network address."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 128:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= _MAX_IPV6:
+            raise ValueError("network address out of range")
+        if self.network & self.host_mask:
+            raise ValueError(
+                f"host bits set in network address: {IPv6Address(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Prefix":
+        address_text, _, length_text = text.partition("/")
+        if not length_text:
+            raise ValueError(f"missing prefix length: {text!r}")
+        return cls(_parse_groups(address_text), int(length_text))
+
+    @property
+    def netmask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (_MAX_IPV6 << (128 - self.length)) & _MAX_IPV6
+
+    @property
+    def host_mask(self) -> int:
+        return _MAX_IPV6 ^ self.netmask
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (128 - self.length)
+
+    def contains(self, item: "IPv6Address | IPv6Prefix | int") -> bool:
+        """True if the address or sub-prefix falls inside this prefix."""
+        if isinstance(item, IPv6Prefix):
+            return item.length >= self.length and (item.network & self.netmask) == self.network
+        value = item.value if isinstance(item, IPv6Address) else item
+        return (value & self.netmask) == self.network
+
+    def __contains__(self, item: "IPv6Address | IPv6Prefix | int") -> bool:
+        return self.contains(item)
+
+    def address_at(self, offset: int) -> IPv6Address:
+        """The address ``offset`` positions into the prefix."""
+        if not 0 <= offset < self.num_addresses:
+            raise IndexError(f"offset {offset} outside /{self.length}")
+        return IPv6Address(self.network + offset)
+
+    def __str__(self) -> str:
+        return f"{IPv6Address(self.network)}/{self.length}"

@@ -1,0 +1,46 @@
+"""Internet-wide scan simulation: servers, scanners, and corpus records.
+
+The paper's raw inputs are port-443 certificate corpuses (Rapid7 sonar.ssl,
+Censys, the authors' own certigo scan) and HTTP(S) header corpuses (Rapid7).
+This package produces the same record shapes from the synthetic world:
+
+* :mod:`repro.scan.server` — the simulated server: who it belongs to, which
+  certificate chain and headers it presents, in which eras it answers.
+* :mod:`repro.scan.records` — corpus rows: TLS records (IP + presented
+  chain) and HTTP(S) records (IP + response headers).
+* :mod:`repro.scan.scanner` — the three scanners with their real-world
+  idiosyncrasies (§5, Table 2): complaint-driven exclusion lists that grow
+  over time, differing visibility, HTTPS headers only from mid-2016.
+* :mod:`repro.scan.exclusions` — the complaint blacklist model.
+* :mod:`repro.scan.zgrab` — ZGrab2-style targeted (IP, domain) scans used
+  for validation (§5).
+* :mod:`repro.scan.corpus` — JSONL-style persistence of scan snapshots.
+"""
+
+from repro.scan.exclusions import ExclusionList
+from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
+from repro.scan.scanner import (
+    CENSYS,
+    CERTIGO,
+    RAPID7,
+    Scanner,
+    ScannerProfile,
+)
+from repro.scan.server import ServerKind, SimulatedServer
+from repro.scan.zgrab import ZGrabResult, zgrab_scan
+
+__all__ = [
+    "TLSRecord",
+    "HTTPRecord",
+    "ScanSnapshot",
+    "Scanner",
+    "ScannerProfile",
+    "RAPID7",
+    "CENSYS",
+    "CERTIGO",
+    "ServerKind",
+    "SimulatedServer",
+    "ExclusionList",
+    "ZGrabResult",
+    "zgrab_scan",
+]

@@ -1,0 +1,144 @@
+"""JSONL persistence for scan snapshots.
+
+The real pipeline consumes multi-gigabyte sonar.ssl files; this module
+round-trips our :class:`~repro.scan.records.ScanSnapshot` through the same
+kind of newline-delimited JSON so the examples can demonstrate a
+file-backed workflow (write once, analyse many times).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
+from repro.timeline import Snapshot
+from repro.x509.certificate import Certificate, SubjectName
+from repro.x509.chain import CertificateChain
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+
+def _cert_to_json(certificate: Certificate) -> dict:
+    return {
+        "fingerprint": certificate.fingerprint,
+        "subject": {
+            "cn": certificate.subject.common_name,
+            "o": certificate.subject.organization,
+            "c": certificate.subject.country,
+        },
+        "issuer": {
+            "cn": certificate.issuer.common_name,
+            "o": certificate.issuer.organization,
+            "c": certificate.issuer.country,
+        },
+        "dns_names": list(certificate.dns_names),
+        "not_before": certificate.not_before.label,
+        "not_after": certificate.not_after.label,
+        "is_ca": certificate.is_ca,
+        "skid": certificate.subject_key_id,
+        "akid": certificate.authority_key_id,
+        "sig": certificate.signature,
+        "serial": certificate.serial,
+    }
+
+
+def _cert_from_json(payload: dict) -> Certificate:
+    return Certificate(
+        fingerprint=payload["fingerprint"],
+        subject=SubjectName(
+            common_name=payload["subject"]["cn"],
+            organization=payload["subject"]["o"],
+            country=payload["subject"]["c"],
+        ),
+        issuer=SubjectName(
+            common_name=payload["issuer"]["cn"],
+            organization=payload["issuer"]["o"],
+            country=payload["issuer"]["c"],
+        ),
+        dns_names=tuple(payload["dns_names"]),
+        not_before=Snapshot.parse(payload["not_before"]),
+        not_after=Snapshot.parse(payload["not_after"]),
+        is_ca=payload["is_ca"],
+        subject_key_id=payload["skid"],
+        authority_key_id=payload["akid"],
+        signature=payload["sig"],
+        serial=payload["serial"],
+    )
+
+
+def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
+    """Write a scan snapshot as JSONL (one record per line).
+
+    Certificates are deduplicated: each distinct chain is emitted once in a
+    ``chain`` record and referenced by fingerprint afterwards, mirroring how
+    sonar.ssl separates hosts from certs.
+    """
+    path = Path(path)
+    emitted: set[str] = set()
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "type": "meta",
+            "scanner": snapshot.scanner,
+            "snapshot": snapshot.snapshot.label,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in snapshot.tls_records:
+            leaf_fp = record.chain.end_entity.fingerprint
+            if leaf_fp not in emitted:
+                emitted.add(leaf_fp)
+                chain_payload = {
+                    "type": "chain",
+                    "id": leaf_fp,
+                    "certs": [_cert_to_json(c) for c in record.chain.certificates],
+                }
+                handle.write(json.dumps(chain_payload) + "\n")
+            handle.write(json.dumps({"type": "tls", "ip": record.ip, "chain": leaf_fp}) + "\n")
+        for record in snapshot.http_records:
+            payload = {
+                "type": "http",
+                "ip": record.ip,
+                "port": record.port,
+                "headers": list(map(list, record.headers)),
+            }
+            handle.write(json.dumps(payload) + "\n")
+
+
+def load_snapshot(path: str | Path) -> ScanSnapshot:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    path = Path(path)
+    chains: dict[str, CertificateChain] = {}
+    result: ScanSnapshot | None = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            payload = json.loads(line)
+            kind = payload["type"]
+            if kind == "meta":
+                result = ScanSnapshot(
+                    scanner=payload["scanner"],
+                    snapshot=Snapshot.parse(payload["snapshot"]),
+                )
+            elif kind == "chain":
+                certificates = tuple(_cert_from_json(c) for c in payload["certs"])
+                chains[payload["id"]] = CertificateChain(certificates)
+            elif kind == "tls":
+                if result is None:
+                    raise ValueError("tls record before meta header")
+                result.tls_records.append(
+                    TLSRecord(ip=payload["ip"], chain=chains[payload["chain"]])
+                )
+            elif kind == "http":
+                if result is None:
+                    raise ValueError("http record before meta header")
+                result.http_records.append(
+                    HTTPRecord(
+                        ip=payload["ip"],
+                        port=payload["port"],
+                        headers=tuple((n, v) for n, v in payload["headers"]),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown record type {kind!r}")
+    if result is None:
+        raise ValueError(f"empty corpus file: {path}")
+    return result

@@ -1,0 +1,33 @@
+"""TLS handshake helpers: SNI / dNSName matching.
+
+Implements the wildcard semantics of RFC 6125 as far as the methodology
+needs them: a ``*.example.com`` dNSName covers exactly one additional label
+(``www.example.com`` but not ``a.b.example.com`` nor ``example.com``).
+"""
+
+from __future__ import annotations
+
+from repro.x509.certificate import Certificate
+
+__all__ = ["dns_name_matches", "certificate_covers_domain"]
+
+
+def dns_name_matches(pattern: str, domain: str) -> bool:
+    """Does a certificate dNSName ``pattern`` cover ``domain``?"""
+    pattern = pattern.lower().rstrip(".")
+    domain = domain.lower().rstrip(".")
+    if not pattern or not domain:
+        return False
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        if not domain.endswith("." + suffix):
+            return False
+        # Exactly one extra label is allowed to the left of the suffix.
+        remainder = domain[: -(len(suffix) + 1)]
+        return bool(remainder) and "." not in remainder
+    return pattern == domain
+
+
+def certificate_covers_domain(certificate: Certificate, domain: str) -> bool:
+    """Does any dNSName of the certificate cover ``domain``?"""
+    return any(dns_name_matches(name, domain) for name in certificate.dns_names)

@@ -1,0 +1,72 @@
+"""Corpus record types: the rows scanners emit.
+
+A :class:`TLSRecord` is one row of a sonar.ssl-style certificate corpus —
+the IP address and the certificate chain its port 443 presented to a
+no-SNI handshake.  An :class:`HTTPRecord` is one row of an HTTP(S) header
+corpus — the IP, port, and response headers of a GET for the default
+document.  A :class:`ScanSnapshot` bundles one scanner's output for one
+snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.timeline import Snapshot
+from repro.x509.chain import CertificateChain
+
+__all__ = ["TLSRecord", "HTTPRecord", "ScanSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class TLSRecord:
+    """One (IP, presented default chain) observation on port 443."""
+
+    ip: int
+    chain: CertificateChain
+
+
+@dataclass(frozen=True, slots=True)
+class HTTPRecord:
+    """One (IP, port, response headers) observation."""
+
+    ip: int
+    port: int  # 80 (HTTP) or 443 (HTTPS)
+    headers: tuple[tuple[str, str], ...]
+
+    def header_dict(self) -> dict[str, str]:
+        """Headers as a dict (names keep their served casing)."""
+        return dict(self.headers)
+
+
+@dataclass(slots=True)
+class ScanSnapshot:
+    """One scanner's corpus for one snapshot."""
+
+    scanner: str
+    snapshot: Snapshot
+    tls_records: list[TLSRecord] = field(default_factory=list)
+    http_records: list[HTTPRecord] = field(default_factory=list)
+    _http_by_ip: dict[tuple[int, int], HTTPRecord] | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def iter_tls(self) -> Iterator[TLSRecord]:
+        """Iterate the TLS records."""
+        return iter(self.tls_records)
+
+    def http_for(self, ip: int, port: int = 443) -> HTTPRecord | None:
+        """The header record for an IP/port, if the scanner captured one."""
+        if self._http_by_ip is None:
+            self._http_by_ip = {(r.ip, r.port): r for r in self.http_records}
+        return self._http_by_ip.get((ip, port))
+
+    @property
+    def ip_count(self) -> int:
+        """Number of IPs with a certificate in this corpus (Fig. 2's count)."""
+        return len({record.ip for record in self.tls_records})
+
+    def unique_certificates(self) -> int:
+        """Distinct end-entity certificates observed."""
+        return len({record.chain.end_entity.fingerprint for record in self.tls_records})

@@ -1,0 +1,159 @@
+"""The three scan corpuses: Rapid7, Censys, and the authors' certigo scan.
+
+Each scanner walks every live server in the world and records what a real
+no-SNI port-443 handshake (and HTTP(S) GETs) would capture, with the
+idiosyncrasies the paper documents in §5 and Table 2:
+
+* **Rapid7** and **Censys** are long-running services with complaint-driven
+  exclusion lists that grow over the years, plus per-scan response loss from
+  rate limiting.
+* **certigo** (the authors' own four-day scan) has no exclusion history and
+  triggers less rate limiting, so it finds ~20% more IPs.
+* Rapid7's HTTP header corpus exists from the study's start; its **HTTPS**
+  header corpus only from July 2016 (§6.2); Censys corpuses from late 2019.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.scan.exclusions import ExclusionList
+from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
+from repro.timeline import CENSYS_AVAILABLE, HTTPS_HEADERS_AVAILABLE, Snapshot
+from repro.scan.server import SimulatedServer
+
+__all__ = ["ScannerProfile", "Scanner", "RAPID7", "CENSYS", "CERTIGO"]
+
+_HASH_A = 2654435761
+_HASH_B = 2246822519
+
+
+def _uniform(ip: int, tag: int, snapshot_index: int) -> float:
+    """Cheap deterministic uniform(0,1) per (ip, scanner, snapshot)."""
+    x = (ip * _HASH_A) ^ (snapshot_index * _HASH_B) ^ (tag * 0x9E3779B9)
+    x &= 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x / 2**32
+
+
+@dataclass(frozen=True, slots=True)
+class ScannerProfile:
+    """Static description of one scan corpus."""
+
+    name: str
+    #: Per-server response probability (rate limiting, transient loss).
+    visibility: float
+    #: Complaint-list growth per year of operation (None: one-off scan).
+    exclusion_growth_per_year: float | None
+    #: Scanner start of operation (exclusions accrue from here).
+    operating_since: Snapshot
+    #: First snapshot with data at all (Censys corpuses start late 2019).
+    available_since: Snapshot
+    #: First snapshot with HTTPS response headers.
+    https_headers_since: Snapshot | None
+    #: First snapshot with plain-HTTP (port 80) response headers.
+    http_headers_since: Snapshot | None
+
+
+RAPID7 = ScannerProfile(
+    name="rapid7",
+    visibility=0.93,
+    exclusion_growth_per_year=0.012,
+    operating_since=Snapshot(2013, 6),
+    available_since=Snapshot(2013, 10),
+    https_headers_since=HTTPS_HEADERS_AVAILABLE,
+    http_headers_since=Snapshot(2013, 10),
+)
+
+CENSYS = ScannerProfile(
+    name="censys",
+    visibility=0.935,
+    exclusion_growth_per_year=0.010,
+    operating_since=Snapshot(2015, 10),
+    available_since=CENSYS_AVAILABLE,
+    https_headers_since=CENSYS_AVAILABLE,
+    http_headers_since=CENSYS_AVAILABLE,
+)
+
+CERTIGO = ScannerProfile(
+    name="certigo",
+    visibility=0.995,
+    exclusion_growth_per_year=None,  # fresh scan, no complaint history
+    operating_since=Snapshot(2019, 10),
+    available_since=Snapshot(2019, 10),
+    https_headers_since=None,  # certificate-only active scan
+    http_headers_since=None,
+)
+
+
+class Scanner:
+    """Runs one scanner profile against a world."""
+
+    def __init__(self, profile: ScannerProfile, seed: int = 0) -> None:
+        self.profile = profile
+        # Stable across processes (unlike hash() on strings).
+        self._tag = (zlib.crc32(profile.name.encode()) ^ seed) & 0xFFFFFF
+        if profile.exclusion_growth_per_year is None:
+            self._exclusions = None
+        else:
+            self._exclusions = ExclusionList(
+                growth_per_year=profile.exclusion_growth_per_year,
+                operating_since=profile.operating_since,
+                seed=self._tag,
+            )
+
+    def scan(self, world, snapshot: Snapshot) -> ScanSnapshot:
+        """Produce this scanner's corpus for ``snapshot``.
+
+        ``world`` is a :class:`repro.world.World` (duck-typed: needs
+        ``servers``, ``policy`` and ``prefix_universe``).
+        """
+        profile = self.profile
+        if snapshot < profile.available_since:
+            raise ValueError(
+                f"{profile.name} has no data before {profile.available_since}; "
+                f"requested {snapshot}"
+            )
+        excluded: frozenset[int] = frozenset()
+        if self._exclusions is not None:
+            excluded = self._exclusions.excluded_blocks(world.prefix_universe, snapshot)
+
+        want_https_headers = (
+            profile.https_headers_since is not None and snapshot >= profile.https_headers_since
+        )
+        want_http_headers = (
+            profile.http_headers_since is not None and snapshot >= profile.http_headers_since
+        )
+
+        result = ScanSnapshot(scanner=profile.name, snapshot=snapshot)
+        policy = world.policy
+        index = snapshot.index
+        for server in world.servers:
+            if not server.alive_at(snapshot):
+                continue
+            if server.ipv6_only:
+                continue  # IPv4-wide scans never reach IPv6-only hosts (§7)
+            if excluded and (server.ip & ~0xFF) in excluded:
+                continue
+            if _uniform(server.ip, self._tag, index) >= profile.visibility:
+                continue
+            if policy.https_enabled(server, snapshot):
+                chain = policy.default_chain(server, snapshot)
+                if chain is not None:
+                    result.tls_records.append(TLSRecord(ip=server.ip, chain=chain))
+                    if want_https_headers:
+                        headers = policy.headers(server, snapshot, port=443)
+                        if headers:
+                            result.http_records.append(
+                                HTTPRecord(ip=server.ip, port=443, headers=headers)
+                            )
+            if want_http_headers:
+                headers = policy.headers(server, snapshot, port=80)
+                if headers:
+                    result.http_records.append(
+                        HTTPRecord(ip=server.ip, port=80, headers=headers)
+                    )
+        return result

@@ -1,0 +1,112 @@
+"""Study timeline: quarterly snapshots from October 2013 to April 2021.
+
+The paper analyses one Rapid7 certificate corpus every three months between
+October 2013 and April 2021 (31 snapshots), supplemented with Censys corpuses
+from November 2019 onwards.  This module provides the :class:`Snapshot` value
+type used throughout the library to index longitudinal data, plus the named
+event dates that drive the hypergiant deployment model (Facebook's CDN launch,
+Netflix's expired-certificate era, the availability of HTTPS header corpuses,
+and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Snapshot",
+    "STUDY_SNAPSHOTS",
+    "STUDY_START",
+    "STUDY_END",
+    "HTTPS_HEADERS_AVAILABLE",
+    "CENSYS_AVAILABLE",
+    "FACEBOOK_CDN_LAUNCH",
+    "NETFLIX_EXPIRED_ERA",
+    "NETFLIX_HTTP_ERA",
+    "ALIBABA_LAUNCH",
+    "COVID_SLOWDOWN",
+    "snapshot_range",
+]
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class Snapshot:
+    """A quarterly measurement snapshot, identified by year and month.
+
+    Snapshots are totally ordered and hashable, so they can index dicts and
+    be compared directly (``Snapshot(2016, 7) < Snapshot(2017, 1)``).
+    """
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month out of range: {self.month}")
+
+    @property
+    def label(self) -> str:
+        """The ``YYYY-MM`` label used in the paper's figures."""
+        return f"{self.year}-{self.month:02d}"
+
+    @property
+    def index(self) -> int:
+        """Months since year 0 — convenient for arithmetic."""
+        return self.year * 12 + (self.month - 1)
+
+    def months_since(self, other: "Snapshot") -> int:
+        """Signed number of months from ``other`` to this snapshot."""
+        return self.index - other.index
+
+    def plus_months(self, months: int) -> "Snapshot":
+        """The snapshot ``months`` months later (negative moves earlier)."""
+        total = self.index + months
+        return Snapshot(total // 12, total % 12 + 1)
+
+    @classmethod
+    def parse(cls, label: str) -> "Snapshot":
+        """Parse a ``YYYY-MM`` label back into a snapshot."""
+        year_text, _, month_text = label.partition("-")
+        return cls(int(year_text), int(month_text))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def snapshot_range(start: Snapshot, end: Snapshot, step_months: int = 3) -> Iterator[Snapshot]:
+    """Yield snapshots from ``start`` to ``end`` inclusive, every ``step_months``."""
+    if step_months <= 0:
+        raise ValueError("step_months must be positive")
+    current = start
+    while current <= end:
+        yield current
+        current = current.plus_months(step_months)
+
+
+STUDY_START = Snapshot(2013, 10)
+STUDY_END = Snapshot(2021, 4)
+
+#: The 31 quarterly snapshots of the study period (Oct. 2013 - Apr. 2021).
+STUDY_SNAPSHOTS: tuple[Snapshot, ...] = tuple(snapshot_range(STUDY_START, STUDY_END))
+
+#: Rapid7 publishes HTTPS header corpuses from July 2016 ("Summer 2016", §6.2).
+HTTPS_HEADERS_AVAILABLE = Snapshot(2016, 7)
+
+#: Censys corpuses are used from October/November 2019 (§4.6).
+CENSYS_AVAILABLE = Snapshot(2019, 10)
+
+#: Facebook launched its own CDN in the summer of 2016 (§6.2).
+FACEBOOK_CDN_LAUNCH = Snapshot(2016, 7)
+
+#: Netflix servers responded with an expired default certificate (§6.2).
+NETFLIX_EXPIRED_ERA = (Snapshot(2017, 4), Snapshot(2019, 10))
+
+#: A fraction of Netflix off-nets served HTTP (port 80) only (§6.2).
+NETFLIX_HTTP_ERA = (Snapshot(2017, 10), Snapshot(2019, 10))
+
+#: Alibaba's CDN launched in late 2014 (§6.4).
+ALIBABA_LAUNCH = Snapshot(2014, 10)
+
+#: COVID-19 slowdown window: deployments stall, then pick up (§6.4, A.7).
+COVID_SLOWDOWN = (Snapshot(2020, 1), Snapshot(2020, 7))

@@ -1,0 +1,44 @@
+"""The AS-level Internet topology substrate.
+
+This package replaces the external datasets the paper leans on:
+
+* :mod:`repro.topology.relationships` — the CAIDA AS Relationships dataset
+  substitute: provider/customer/peer edges and the provider-peer customer
+  cone computation used to size ASes (§6.3).
+* :mod:`repro.topology.categories` — the Stub/Small/Medium/Large/XLarge
+  cone-size buckets of §6.3.
+* :mod:`repro.topology.organizations` — the CAIDA AS Organizations dataset
+  substitute: AS → organization → country (Appendix A.2, §6.4).
+* :mod:`repro.topology.population` — the APNIC AS population dataset
+  substitute: per-AS Internet user market shares with the daily-presence
+  filter of §6.5.
+* :mod:`repro.topology.geography` — countries, continents, and user counts.
+* :mod:`repro.topology.generator` — grows the synthetic AS graph over the
+  study timeline (45k → 71k ASes, scaled) with the paper's stable category
+  demographics.
+"""
+
+from repro.topology.categories import ConeCategory, categorize
+from repro.topology.generator import GeneratedTopology, TopologyConfig, generate_topology
+from repro.topology.geography import COUNTRIES, Continent, Country, country_by_code
+from repro.topology.organizations import Organization, OrganizationDataset
+from repro.topology.population import PopulationDataset, PopulationEntry
+from repro.topology.relationships import ASRelationshipGraph, Relationship
+
+__all__ = [
+    "ConeCategory",
+    "categorize",
+    "Continent",
+    "Country",
+    "COUNTRIES",
+    "country_by_code",
+    "ASRelationshipGraph",
+    "Relationship",
+    "Organization",
+    "OrganizationDataset",
+    "PopulationDataset",
+    "PopulationEntry",
+    "TopologyConfig",
+    "GeneratedTopology",
+    "generate_topology",
+]

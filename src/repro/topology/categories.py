@@ -1,0 +1,70 @@
+"""Customer-cone size categories (§6.3).
+
+The paper buckets ASes by the size of their CAIDA provider-peer customer
+cone, separated by an order of magnitude:
+
+* **Stub** — cone of exactly 1 (only the AS itself),
+* **Small** — cone ≤ 10,
+* **Medium** — cone ≤ 100,
+* **Large** — cone ≤ 1000,
+* **XLarge** — cone > 1000.
+
+Internet-wide shares are remarkably stable over the study: ~85% stubs,
+~12% small, ~2.6% medium, <0.5% large, <0.1% xlarge.  Those shares are both
+the generator's target and the baseline the demographics analysis compares
+hypergiant host ASes against.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ConeCategory", "categorize", "INTERNET_CATEGORY_SHARES"]
+
+
+class ConeCategory(enum.Enum):
+    """Cone-size bucket of an AS.  Order reflects increasing size."""
+
+    STUB = "Stub"
+    SMALL = "Small"
+    MEDIUM = "Medium"
+    LARGE = "Large"
+    XLARGE = "XLarge"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+
+_RANKS = {
+    ConeCategory.STUB: 0,
+    ConeCategory.SMALL: 1,
+    ConeCategory.MEDIUM: 2,
+    ConeCategory.LARGE: 3,
+    ConeCategory.XLARGE: 4,
+}
+
+#: Paper-reported share of all ASes per category (§6.3), used by the
+#: generator as targets and by analyses as the Internet-wide baseline.
+INTERNET_CATEGORY_SHARES: dict[ConeCategory, float] = {
+    ConeCategory.STUB: 0.85,
+    ConeCategory.SMALL: 0.12,
+    ConeCategory.MEDIUM: 0.026,
+    ConeCategory.LARGE: 0.0035,
+    ConeCategory.XLARGE: 0.0008,
+}
+
+
+def categorize(cone_size: int) -> ConeCategory:
+    """Bucket a customer-cone size per the paper's thresholds."""
+    if cone_size < 1:
+        raise ValueError(f"customer cones include the AS itself; got {cone_size}")
+    if cone_size == 1:
+        return ConeCategory.STUB
+    if cone_size <= 10:
+        return ConeCategory.SMALL
+    if cone_size <= 100:
+        return ConeCategory.MEDIUM
+    if cone_size <= 1000:
+        return ConeCategory.LARGE
+    return ConeCategory.XLARGE

@@ -1,0 +1,464 @@
+"""Longitudinal synthetic AS topology generator.
+
+Builds the scaled-down Internet the scan simulators run against:
+
+* AS counts grow from ``n_ases_start`` to ``n_ases_end`` over the study
+  (45k → 71k in the paper, scaled by the world config);
+* cone-size demographics match the paper's stable shares (~85% stubs, ~12%
+  small, ~2.6% medium, <0.5% large, <0.1% xlarge, §6.3);
+* each AS belongs to one country (95% single-country operation, §6.4),
+  drawn from the weighted table in :mod:`repro.topology.geography`;
+* each AS receives disjoint IPv4 prefixes from non-bogon space;
+* eyeball ASes carry APNIC-style user-population market shares.
+
+Everything is driven by a single seeded ``random.Random`` so worlds are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.asn import ASN
+from repro.net.ipv4 import IPv4Prefix
+from repro.timeline import STUDY_END, STUDY_SNAPSHOTS, STUDY_START, Snapshot
+from repro.topology.categories import INTERNET_CATEGORY_SHARES, ConeCategory, categorize
+from repro.topology.geography import COUNTRIES, Country
+from repro.topology.organizations import Organization, OrganizationDataset
+from repro.topology.population import PopulationDataset, PopulationEntry
+from repro.topology.relationships import ASRelationshipGraph
+
+__all__ = ["TopologyConfig", "GeneratedTopology", "generate_topology", "PrefixAllocator"]
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyConfig:
+    """Knobs for the topology generator."""
+
+    seed: int = 7
+    #: ASes alive at the first snapshot (paper: ~45k; scale before passing).
+    n_ases_start: int = 900
+    #: ASes alive at the last snapshot (paper: ~71k; scale before passing).
+    n_ases_end: int = 1420
+    #: Fraction of (non-xlarge) ASes that are eyeballs with end users.
+    eyeball_fraction: float = 0.6
+    #: Fraction of eyeball ASes passing the APNIC ≥25% presence filter.
+    population_pass_rate: float = 0.38
+
+    def __post_init__(self) -> None:
+        if self.n_ases_start > self.n_ases_end:
+            raise ValueError("n_ases_start must not exceed n_ases_end")
+        if self.n_ases_end < 50:
+            raise ValueError("need at least 50 ASes to build a plausible hierarchy")
+
+
+class PrefixAllocator:
+    """Hands out disjoint, aligned IPv4 prefixes from non-bogon space."""
+
+    #: First octets that are entirely safe to allocate from.
+    _SAFE_FIRST_OCTETS = tuple(
+        octet
+        for octet in range(1, 224)
+        if octet not in {10, 100, 127, 169, 172, 192, 198, 203}
+    )
+
+    def __init__(self) -> None:
+        self._octet_index = 0
+        self._cursor = self._SAFE_FIRST_OCTETS[0] << 24
+
+    def allocate(self, length: int) -> IPv4Prefix:
+        """Allocate the next free prefix of ``length`` bits (8 ≤ length ≤ 32)."""
+        if not 8 <= length <= 32:
+            raise ValueError(f"unsupported prefix length: {length}")
+        size = 1 << (32 - length)
+        start = (self._cursor + size - 1) & ~(size - 1)
+        octet = self._SAFE_FIRST_OCTETS[self._octet_index]
+        # If the aligned block would leave the current safe /8, move on to
+        # the next safe /8 so allocations never touch bogon space.
+        if start < (octet << 24) or start + size > (octet + 1) << 24:
+            self._octet_index += 1
+            if self._octet_index >= len(self._SAFE_FIRST_OCTETS):
+                raise RuntimeError("IPv4 allocator exhausted")
+            start = self._SAFE_FIRST_OCTETS[self._octet_index] << 24
+        self._cursor = start + size
+        return IPv4Prefix(start, length)
+
+
+#: Prefix lengths allocated per cone category (number, length).
+_PREFIX_PLANS: dict[ConeCategory, tuple[tuple[int, int], ...]] = {
+    ConeCategory.STUB: ((1, 24),),
+    ConeCategory.SMALL: ((1, 23),),
+    ConeCategory.MEDIUM: ((1, 22),),
+    ConeCategory.LARGE: ((2, 21),),
+    ConeCategory.XLARGE: ((2, 19),),
+}
+
+_ISP_NAME_STEMS = (
+    "Telecom", "Net", "Broadband", "Communications", "Online", "Fiber",
+    "Cable", "Wireless", "Datanet", "Internet Exchange", "Hosting", "ISP",
+)
+
+
+@dataclass(slots=True)
+class GeneratedTopology:
+    """The synthetic AS-level Internet over the study timeline."""
+
+    config: TopologyConfig
+    graph: ASRelationshipGraph
+    organizations: OrganizationDataset
+    births: dict[ASN, Snapshot]
+    countries: dict[ASN, Country]
+    prefixes: dict[ASN, tuple[IPv4Prefix, ...]]
+    intended_category: dict[ASN, ConeCategory]
+    eyeballs: frozenset[ASN]
+    population: PopulationDataset
+    allocator: PrefixAllocator
+    snapshots: tuple[Snapshot, ...] = STUDY_SNAPSHOTS
+    _cone_members: dict[ASN, frozenset[ASN]] = field(default_factory=dict)
+    _alive_cache: dict[Snapshot, frozenset[ASN]] = field(default_factory=dict)
+
+    # -- liveness ----------------------------------------------------------
+
+    def alive(self, snapshot: Snapshot) -> frozenset[ASN]:
+        """ASes that exist at ``snapshot``."""
+        cached = self._alive_cache.get(snapshot)
+        if cached is None:
+            cached = frozenset(
+                asn for asn, birth in self.births.items() if birth <= snapshot
+            )
+            self._alive_cache[snapshot] = cached
+        return cached
+
+    def is_alive(self, asn: ASN, snapshot: Snapshot) -> bool:
+        """Does the AS exist at ``snapshot``?"""
+        birth = self.births.get(asn)
+        return birth is not None and birth <= snapshot
+
+    # -- cones over time ----------------------------------------------------
+
+    def cone_members(self, asn: ASN) -> frozenset[ASN]:
+        """Full-graph customer cone membership (cached)."""
+        members = self._cone_members.get(asn)
+        if members is None:
+            members = self.graph.customer_cone(asn)
+            self._cone_members[asn] = members
+        return members
+
+    def cone_size_at(self, asn: ASN, snapshot: Snapshot) -> int:
+        """Customer-cone size counting only ASes alive at ``snapshot``."""
+        alive = self.alive(snapshot)
+        return sum(1 for member in self.cone_members(asn) if member in alive)
+
+    def category_at(self, asn: ASN, snapshot: Snapshot) -> ConeCategory:
+        """Cone-size category at ``snapshot`` (paper thresholds)."""
+        return categorize(max(1, self.cone_size_at(asn, snapshot)))
+
+    def category_counts_at(self, snapshot: Snapshot) -> dict[ConeCategory, int]:
+        """Internet-wide category census at ``snapshot`` (§6.3 baseline)."""
+        counts = {category: 0 for category in ConeCategory}
+        for asn in self.alive(snapshot):
+            counts[self.category_at(asn, snapshot)] += 1
+        return counts
+
+    # -- mutation (used by the hypergiant layer) ----------------------------
+
+    def add_as(
+        self,
+        asn: ASN,
+        organization: Organization,
+        birth: Snapshot,
+        prefix_lengths: tuple[int, ...] = (20,),
+        eyeball: bool = False,
+    ) -> None:
+        """Register an additional AS (hypergiant on-net ASes use this)."""
+        if asn in self.births:
+            raise ValueError(f"AS{asn} already exists")
+        self.graph.add_as(asn)
+        self.organizations.add_organization(organization)
+        self.organizations.assign(asn, organization.org_id)
+        self.births[asn] = birth
+        self.countries[asn] = organization.country
+        self.prefixes[asn] = tuple(self.allocator.allocate(length) for length in prefix_lengths)
+        self.intended_category[asn] = ConeCategory.STUB
+        if eyeball:
+            self.eyeballs = self.eyeballs | {asn}
+        self._alive_cache.clear()
+
+
+def generate_topology(config: TopologyConfig) -> GeneratedTopology:
+    """Build the full synthetic topology for the study timeline."""
+    rng = random.Random(config.seed)
+
+    counts = _category_counts(config.n_ases_end)
+    graph = ASRelationshipGraph()
+    allocator = PrefixAllocator()
+
+    # Assign ASNs grouped by category: transit cores get low numbers, like
+    # the real Internet's early registrations.
+    next_asn = 1
+    members: dict[ConeCategory, list[ASN]] = {}
+    for category in (
+        ConeCategory.XLARGE,
+        ConeCategory.LARGE,
+        ConeCategory.MEDIUM,
+        ConeCategory.SMALL,
+        ConeCategory.STUB,
+    ):
+        block = list(range(next_asn, next_asn + counts[category]))
+        next_asn += counts[category]
+        members[category] = block
+        for asn in block:
+            graph.add_as(asn)
+
+    _wire_relationships(graph, members, rng)
+
+    countries = _assign_countries(members, rng)
+    births = _assign_births(config, members, rng)
+    organizations = _build_organizations(members, countries, rng)
+    prefixes = {
+        asn: tuple(
+            allocator.allocate(length)
+            for count, length in _PREFIX_PLANS[category]
+            for _ in range(count)
+        )
+        for category, block in members.items()
+        for asn in block
+    }
+    intended = {asn: category for category, block in members.items() for asn in block}
+    eyeballs = _select_eyeballs(config, members, rng)
+    population = _build_population(config, eyeballs, countries, graph, rng)
+
+    return GeneratedTopology(
+        config=config,
+        graph=graph,
+        organizations=organizations,
+        births=births,
+        countries=countries,
+        prefixes=prefixes,
+        intended_category=intended,
+        eyeballs=eyeballs,
+        population=population,
+        allocator=allocator,
+    )
+
+
+def _category_counts(total: int) -> dict[ConeCategory, int]:
+    """Integer census per category, honouring the paper's shares."""
+    counts: dict[ConeCategory, int] = {}
+    remaining = total
+    for category in (
+        ConeCategory.XLARGE,
+        ConeCategory.LARGE,
+        ConeCategory.MEDIUM,
+        ConeCategory.SMALL,
+    ):
+        count = max(1, round(total * INTERNET_CATEGORY_SHARES[category]))
+        counts[category] = count
+        remaining -= count
+    counts[ConeCategory.STUB] = remaining
+    return counts
+
+
+def _wire_relationships(
+    graph: ASRelationshipGraph,
+    members: dict[ConeCategory, list[ASN]],
+    rng: random.Random,
+) -> None:
+    """Attach customers so cones land in the intended category ranges."""
+    stubs = members[ConeCategory.STUB]
+    smalls = members[ConeCategory.SMALL]
+    mediums = members[ConeCategory.MEDIUM]
+    larges = members[ConeCategory.LARGE]
+    xlarges = members[ConeCategory.XLARGE]
+
+    for small in smalls:
+        for stub in _sample(rng, stubs, rng.randint(1, 7)):
+            graph.add_provider_customer(small, stub)
+
+    for medium in mediums:
+        for child in _sample(rng, smalls, rng.randint(2, 8)):
+            graph.add_provider_customer(medium, child)
+        for stub in _sample(rng, stubs, rng.randint(0, 4)):
+            graph.add_provider_customer(medium, stub)
+
+    for large in larges:
+        for child in _sample(rng, mediums, rng.randint(4, 10)):
+            graph.add_provider_customer(large, child)
+        for child in _sample(rng, smalls, rng.randint(0, 8)):
+            graph.add_provider_customer(large, child)
+
+    for xlarge in xlarges:
+        # Transit cores reach most of the hierarchy.
+        for child in _sample(rng, larges, max(1, int(len(larges) * 0.7))):
+            graph.add_provider_customer(xlarge, child)
+        for child in _sample(rng, mediums, max(1, int(len(mediums) * 0.4))):
+            graph.add_provider_customer(xlarge, child)
+
+    # Every non-xlarge AS needs at least one provider for connectivity.
+    # Orphans attach to *large* providers so they do not inflate the cones
+    # of small/medium ASes past their intended category thresholds.
+    ladders = {
+        ConeCategory.STUB: larges + xlarges,
+        ConeCategory.SMALL: larges + xlarges,
+        ConeCategory.MEDIUM: larges + xlarges,
+        ConeCategory.LARGE: xlarges,
+    }
+    for category, block in members.items():
+        uppers = ladders.get(category)
+        if not uppers:
+            continue
+        for asn in block:
+            if not graph.providers(asn):
+                graph.add_provider_customer(rng.choice(uppers), asn)
+
+    # Peering among the cores and a sprinkling lower down.
+    for left in xlarges:
+        for right in xlarges:
+            if left < right:
+                graph.add_peer(left, right)
+    for large in larges:
+        for peer in _sample(rng, larges, min(2, len(larges) - 1)):
+            if peer != large:
+                graph.add_peer(large, peer)
+
+
+def _sample(rng: random.Random, pool: list[ASN], k: int) -> list[ASN]:
+    """Sample ``min(k, len(pool))`` distinct members."""
+    k = min(k, len(pool))
+    if k <= 0:
+        return []
+    return rng.sample(pool, k)
+
+
+def _assign_countries(
+    members: dict[ConeCategory, list[ASN]],
+    rng: random.Random,
+) -> dict[ASN, Country]:
+    weights = [country.as_weight for country in COUNTRIES]
+    countries: dict[ASN, Country] = {}
+    for block in members.values():
+        for asn in block:
+            countries[asn] = rng.choices(COUNTRIES, weights=weights, k=1)[0]
+    return countries
+
+
+def _assign_births(
+    config: TopologyConfig,
+    members: dict[ConeCategory, list[ASN]],
+    rng: random.Random,
+) -> dict[ASN, Snapshot]:
+    """Stagger AS births so the census grows start → end linearly.
+
+    Large transits and carriers predate the study (the 2013-2021 newcomers
+    are overwhelmingly stub and small edge networks), so the start fraction
+    rises with category size; the stub fraction is solved so the overall
+    census still starts near ``n_ases_start``.
+    """
+    start_fraction = config.n_ases_start / config.n_ases_end
+    span = STUDY_END.months_since(STUDY_START)
+    per_category = {
+        ConeCategory.XLARGE: 1.0,
+        ConeCategory.LARGE: 1.0,
+        ConeCategory.MEDIUM: min(1.0, start_fraction + 0.3),
+        ConeCategory.SMALL: min(1.0, start_fraction + 0.1),
+    }
+    # Solve the stub fraction so the expected start census matches.
+    total = sum(len(block) for block in members.values())
+    non_stub_start = sum(
+        len(members[category]) * fraction for category, fraction in per_category.items()
+    )
+    stub_count = len(members[ConeCategory.STUB]) or 1
+    stub_fraction = (start_fraction * total - non_stub_start) / stub_count
+    stub_fraction = min(1.0, max(0.05, stub_fraction))
+    per_category[ConeCategory.STUB] = stub_fraction
+
+    births: dict[ASN, Snapshot] = {}
+    for category, block in members.items():
+        fraction = per_category[category]
+        for asn in block:
+            u = rng.random()
+            if u < fraction:
+                births[asn] = STUDY_START
+            else:
+                progress = (u - fraction) / (1.0 - fraction)
+                months = max(1, round(progress * span))
+                births[asn] = STUDY_START.plus_months(months)
+    return births
+
+
+def _build_organizations(
+    members: dict[ConeCategory, list[ASN]],
+    countries: dict[ASN, Country],
+    rng: random.Random,
+) -> OrganizationDataset:
+    dataset = OrganizationDataset()
+    for block in members.values():
+        for asn in block:
+            country = countries[asn]
+            stem = rng.choice(_ISP_NAME_STEMS)
+            organization = Organization(
+                org_id=f"ORG-AS{asn}",
+                name=f"{country.name} {stem} {asn}",
+                country=country,
+            )
+            dataset.add_organization(organization)
+            dataset.assign(asn, organization.org_id)
+    return dataset
+
+
+def _select_eyeballs(
+    config: TopologyConfig,
+    members: dict[ConeCategory, list[ASN]],
+    rng: random.Random,
+) -> frozenset[ASN]:
+    eyeballs: set[ASN] = set()
+    for category, block in members.items():
+        if category is ConeCategory.XLARGE:
+            continue  # global transit cores are not eyeballs
+        for asn in block:
+            if rng.random() < config.eyeball_fraction:
+                eyeballs.add(asn)
+    return frozenset(eyeballs)
+
+
+def _build_population(
+    config: TopologyConfig,
+    eyeballs: frozenset[ASN],
+    countries: dict[ASN, Country],
+    graph: ASRelationshipGraph,
+    rng: random.Random,
+) -> PopulationDataset:
+    """Zipf-like market shares per country, cone-size weighted."""
+    by_country: dict[str, list[ASN]] = {}
+    for asn in eyeballs:
+        by_country.setdefault(countries[asn].code, []).append(asn)
+
+    entries: list[PopulationEntry] = []
+    for code, ases in by_country.items():
+        ases.sort(key=lambda a: (-graph.cone_size(a), a))
+        # Zipf weights over the cone-ranked ASes of the country.  Real
+        # national markets are concentrated: a handful of carriers hold
+        # most of a country's users, hence the steep exponent.
+        weights = [1.0 / (rank + 1) ** 1.55 for rank in range(len(ases))]
+        total = sum(weights)
+        for asn, weight in zip(ases, weights):
+            share = weight / total
+            # Larger eyeballs are far more likely to appear in APNIC daily
+            # measurements; small ones flicker below the 25% threshold.
+            pass_probability = min(
+                0.97, config.population_pass_rate + 2.5 * share
+            )
+            if rng.random() < pass_probability:
+                presence = rng.uniform(0.3, 1.0)
+            else:
+                presence = rng.uniform(0.0, 0.24)
+            entries.append(
+                PopulationEntry(
+                    asn=asn,
+                    country=countries[asn],
+                    market_share=share,
+                    presence_rate=presence,
+                )
+            )
+    return PopulationDataset(entries=tuple(entries))

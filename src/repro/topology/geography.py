@@ -1,0 +1,148 @@
+"""Countries, continents, and Internet user counts.
+
+The regional analysis (§6.4) assigns each AS to one country — the paper
+observes 95% of ASes operate in a single country — and aggregates per
+continent.  The user-population coverage analysis (§6.5) needs per-country
+Internet user counts.  This module carries a synthetic-but-realistic country
+table: continent membership, a weight controlling how many ASes the country
+receives in the generated topology, and the approximate Internet user count
+(millions, ca. 2020) used as the denominator of coverage percentages.
+
+The AS-count weights encode the market structure the paper reports: a very
+large and fragmented AS market in South America (especially Brazil) and
+Europe, a consolidated North American market, and smaller markets in Africa
+and Oceania.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Continent", "Country", "COUNTRIES", "country_by_code", "countries_in"]
+
+
+class Continent(enum.Enum):
+    """The six continents used in Figure 6."""
+
+    ASIA = "Asia"
+    EUROPE = "Europe"
+    SOUTH_AMERICA = "South America"
+    NORTH_AMERICA = "North America"
+    AFRICA = "Africa"
+    OCEANIA = "Oceania"
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """One country of the synthetic world."""
+
+    code: str
+    name: str
+    continent: Continent
+    #: Relative share of the world's ASes registered in this country.
+    as_weight: float
+    #: Internet users, in millions (coverage denominator).
+    internet_users_m: float
+
+
+_A = Continent.ASIA
+_E = Continent.EUROPE
+_S = Continent.SOUTH_AMERICA
+_N = Continent.NORTH_AMERICA
+_F = Continent.AFRICA
+_O = Continent.OCEANIA
+
+#: The country table.  Weights are relative (they need not sum to 1).
+COUNTRIES: tuple[Country, ...] = (
+    # --- Asia ---
+    Country("IN", "India", _A, 4.5, 750.0),
+    Country("CN", "China", _A, 2.0, 990.0),
+    Country("ID", "Indonesia", _A, 2.6, 200.0),
+    Country("JP", "Japan", _A, 1.6, 115.0),
+    Country("KR", "South Korea", _A, 0.8, 49.0),
+    Country("PH", "Philippines", _A, 1.0, 73.0),
+    Country("TH", "Thailand", _A, 0.8, 54.0),
+    Country("VN", "Vietnam", _A, 0.7, 70.0),
+    Country("PK", "Pakistan", _A, 0.9, 110.0),
+    Country("BD", "Bangladesh", _A, 2.1, 110.0),
+    Country("TR", "Turkey", _A, 1.0, 70.0),
+    Country("IR", "Iran", _A, 1.0, 70.0),
+    Country("SA", "Saudi Arabia", _A, 0.3, 31.0),
+    Country("MY", "Malaysia", _A, 0.4, 28.0),
+    Country("SG", "Singapore", _A, 0.6, 5.3),
+    Country("HK", "Hong Kong", _A, 1.1, 6.8),
+    Country("IL", "Israel", _A, 0.4, 8.0),
+    Country("AE", "United Arab Emirates", _A, 0.2, 9.4),
+    # --- Europe ---
+    Country("RU", "Russia", _E, 4.8, 118.0),
+    Country("DE", "Germany", _E, 2.4, 78.0),
+    Country("GB", "United Kingdom", _E, 2.6, 65.0),
+    Country("FR", "France", _E, 1.5, 58.0),
+    Country("UA", "Ukraine", _E, 2.7, 30.0),
+    Country("PL", "Poland", _E, 2.3, 32.0),
+    Country("NL", "Netherlands", _E, 1.4, 16.5),
+    Country("IT", "Italy", _E, 1.3, 50.0),
+    Country("ES", "Spain", _E, 1.0, 43.0),
+    Country("RO", "Romania", _E, 1.2, 15.0),
+    Country("SE", "Sweden", _E, 0.8, 9.9),
+    Country("CH", "Switzerland", _E, 0.7, 8.2),
+    Country("CZ", "Czechia", _E, 0.9, 9.5),
+    Country("AT", "Austria", _E, 0.6, 8.1),
+    Country("BG", "Bulgaria", _E, 0.9, 4.8),
+    Country("GR", "Greece", _E, 0.4, 8.5),
+    Country("NO", "Norway", _E, 0.4, 5.2),
+    Country("FI", "Finland", _E, 0.4, 5.2),
+    Country("PT", "Portugal", _E, 0.3, 8.4),
+    Country("HU", "Hungary", _E, 0.5, 7.9),
+    # --- South America (incl. Latin America) ---
+    Country("BR", "Brazil", _S, 8.5, 160.0),
+    Country("AR", "Argentina", _S, 1.7, 36.0),
+    Country("CO", "Colombia", _S, 1.0, 35.0),
+    Country("CL", "Chile", _S, 0.6, 15.6),
+    Country("PE", "Peru", _S, 0.4, 20.0),
+    Country("EC", "Ecuador", _S, 0.5, 10.2),
+    Country("VE", "Venezuela", _S, 0.4, 20.0),
+    Country("PY", "Paraguay", _S, 0.3, 4.5),
+    Country("UY", "Uruguay", _S, 0.2, 3.1),
+    Country("BO", "Bolivia", _S, 0.3, 5.0),
+    # --- North America (incl. Central America & Caribbean) ---
+    Country("US", "United States", _N, 8.0, 300.0),
+    Country("CA", "Canada", _N, 1.6, 35.0),
+    Country("MX", "Mexico", _N, 0.8, 92.0),
+    Country("GT", "Guatemala", _N, 0.2, 7.3),
+    Country("CR", "Costa Rica", _N, 0.2, 4.1),
+    Country("DO", "Dominican Republic", _N, 0.2, 7.7),
+    Country("PA", "Panama", _N, 0.2, 2.7),
+    # --- Africa ---
+    Country("ZA", "South Africa", _F, 1.2, 38.0),
+    Country("NG", "Nigeria", _F, 0.6, 100.0),
+    Country("KE", "Kenya", _F, 0.4, 23.0),
+    Country("EG", "Egypt", _F, 0.3, 54.0),
+    Country("GH", "Ghana", _F, 0.2, 12.0),
+    Country("TZ", "Tanzania", _F, 0.2, 15.0),
+    Country("MA", "Morocco", _F, 0.2, 27.0),
+    Country("DZ", "Algeria", _F, 0.1, 26.0),
+    Country("UG", "Uganda", _F, 0.2, 11.0),
+    Country("AO", "Angola", _F, 0.1, 9.0),
+    # --- Oceania ---
+    Country("AU", "Australia", _O, 1.3, 22.0),
+    Country("NZ", "New Zealand", _O, 0.4, 4.5),
+    Country("FJ", "Fiji", _O, 0.05, 0.6),
+    Country("PG", "Papua New Guinea", _O, 0.05, 1.0),
+)
+
+_BY_CODE = {country.code: country for country in COUNTRIES}
+
+
+def country_by_code(code: str) -> Country:
+    """Look a country up by its ISO-style code."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown country code: {code!r}") from None
+
+
+def countries_in(continent: Continent) -> tuple[Country, ...]:
+    """All countries of a continent, in table order."""
+    return tuple(country for country in COUNTRIES if country.continent is continent)

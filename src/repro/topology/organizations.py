@@ -1,0 +1,94 @@
+"""AS-to-organization mapping — the CAIDA AS Organizations substitute.
+
+Appendix A.2: the paper maps each AS to the organisational entity operating
+it (from WHOIS-derived CAIDA data) and uses the *reverse* mapping
+(organisation name → ASes) to find each hypergiant's own ASes, i.e. its
+on-net footprint.  §6.4 uses the same dataset to map ASes to countries.
+
+Organisations carry a free-text name; hypergiant detection performs the same
+case-insensitive keyword search the paper applies to certificate
+Organization fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.asn import ASN
+from repro.topology.geography import Country
+
+__all__ = ["Organization", "OrganizationDataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class Organization:
+    """An organisational entity operating one or more ASes."""
+
+    org_id: str
+    name: str
+    country: Country
+
+
+@dataclass(slots=True)
+class OrganizationDataset:
+    """AS ↔ organisation mappings with keyword search.
+
+    The real dataset is published quarterly with occasionally changing org
+    IDs; the paper tracks organisations by parsing name literals.  We provide
+    the same access patterns: forward (AS → org), reverse (org → ASes), and
+    case-insensitive name search.
+    """
+
+    _orgs: dict[str, Organization] = field(default_factory=dict)
+    _as_to_org: dict[ASN, str] = field(default_factory=dict)
+    _org_to_ases: dict[str, set[ASN]] = field(default_factory=dict)
+
+    def add_organization(self, organization: Organization) -> None:
+        """Register an organisation (idempotent by org_id)."""
+        self._orgs[organization.org_id] = organization
+        self._org_to_ases.setdefault(organization.org_id, set())
+
+    def assign(self, asn: ASN, org_id: str) -> None:
+        """Assign an AS to an organisation (reassignment allowed)."""
+        if org_id not in self._orgs:
+            raise KeyError(f"unknown organisation {org_id!r}")
+        previous = self._as_to_org.get(asn)
+        if previous is not None:
+            self._org_to_ases[previous].discard(asn)
+        self._as_to_org[asn] = org_id
+        self._org_to_ases[org_id].add(asn)
+
+    def organization_of(self, asn: ASN) -> Organization | None:
+        """The organisation operating ``asn``, if mapped."""
+        org_id = self._as_to_org.get(asn)
+        return None if org_id is None else self._orgs[org_id]
+
+    def ases_of(self, org_id: str) -> frozenset[ASN]:
+        """All ASes operated by an organisation."""
+        return frozenset(self._org_to_ases.get(org_id, ()))
+
+    def country_of(self, asn: ASN) -> Country | None:
+        """The country the AS's organisation is registered in (§6.4)."""
+        organization = self.organization_of(asn)
+        return None if organization is None else organization.country
+
+    def search_by_name(self, keyword: str) -> frozenset[ASN]:
+        """All ASes whose organisation name contains ``keyword``
+        (case-insensitive) — the reverse lookup of Appendix A.2."""
+        needle = keyword.lower()
+        matched: set[ASN] = set()
+        for org_id, organization in self._orgs.items():
+            if needle in organization.name.lower():
+                matched.update(self._org_to_ases.get(org_id, ()))
+        return frozenset(matched)
+
+    def organizations(self) -> tuple[Organization, ...]:
+        """All registered organisations."""
+        return tuple(self._orgs.values())
+
+    def mapped_ases(self) -> frozenset[ASN]:
+        """All ASes with an organisation mapping."""
+        return frozenset(self._as_to_org)
+
+    def __len__(self) -> int:
+        return len(self._orgs)

@@ -1,0 +1,132 @@
+"""Per-AS Internet user population — the APNIC AS population substitute.
+
+§6.5 estimates how much of a country's Internet user population sits inside
+ASes hosting hypergiant off-nets.  The APNIC dataset gives per-AS market
+shares at country level, published daily; the paper keeps only ASes present
+for at least 25% of each month (one week), which shrinks the dataset from
+~26k to ~9k ASes and makes the coverage numbers lower bounds.
+
+This module reproduces that mechanism: every eyeball AS has a market share
+within its country and a *presence rate* (the fraction of daily snapshots it
+appears in).  :meth:`PopulationDataset.monthly_view` applies the ≥25% filter
+and returns the surviving shares.  Shares within a country are normalised
+over *all* of that country's eyeball ASes, so filtered views sum to < 1 —
+exactly why the paper reports lower bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+from repro.topology.geography import Country
+
+__all__ = ["PopulationEntry", "PopulationDataset", "MonthlyPopulationView"]
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationEntry:
+    """One AS's standing in the population dataset."""
+
+    asn: ASN
+    country: Country
+    #: Fraction of the country's Internet users inside this AS (0..1).
+    market_share: float
+    #: Fraction of daily snapshots the AS appears in (0..1).
+    presence_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.market_share <= 1.0:
+            raise ValueError(f"market share out of range: {self.market_share}")
+        if not 0.0 <= self.presence_rate <= 1.0:
+            raise ValueError(f"presence rate out of range: {self.presence_rate}")
+
+
+@dataclass(frozen=True, slots=True)
+class MonthlyPopulationView:
+    """The filtered dataset for one month (§6.5's monthly snapshot)."""
+
+    snapshot: Snapshot
+    entries: tuple[PopulationEntry, ...]
+    _by_asn: dict[ASN, PopulationEntry] = field(init=False, repr=False, hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_by_asn", {entry.asn: entry for entry in self.entries})
+
+    def share_of(self, asn: ASN) -> float:
+        """Market share of ``asn``, 0.0 if filtered out or unknown."""
+        entry = self._by_asn.get(asn)
+        return 0.0 if entry is None else entry.market_share
+
+    def country_of(self, asn: ASN) -> Country | None:
+        """The country of a surviving AS, None if filtered/unknown."""
+        entry = self._by_asn.get(asn)
+        return None if entry is None else entry.country
+
+    def ases(self) -> frozenset[ASN]:
+        """All ASes surviving the presence filter."""
+        return frozenset(self._by_asn)
+
+    def country_coverage(self, hosting_ases: frozenset[ASN] | set[ASN]) -> dict[str, float]:
+        """Percentage of each country's users inside ``hosting_ases``.
+
+        This is the Figure 7/9 computation: sum the market shares of the
+        hosting ASes per country.  Returns country code → percentage (0-100).
+        """
+        coverage: dict[str, float] = {}
+        for entry in self.entries:
+            if entry.asn in hosting_ases:
+                code = entry.country.code
+                coverage[code] = coverage.get(code, 0.0) + entry.market_share * 100.0
+        return coverage
+
+    def worldwide_coverage(self, hosting_ases: frozenset[ASN] | set[ASN]) -> float:
+        """User-weighted worldwide coverage percentage (0-100)."""
+        covered = 0.0
+        total = 0.0
+        for entry in self.entries:
+            weight = entry.country.internet_users_m * entry.market_share
+            total += weight
+            if entry.asn in hosting_ases:
+                covered += weight
+        return 0.0 if total == 0.0 else covered / total * 100.0
+
+
+@dataclass(slots=True)
+class PopulationDataset:
+    """The full (unfiltered) population dataset.
+
+    ``presence_threshold`` is the paper's ≥25%-of-month filter.  The dataset
+    is time-invariant in market shares (the paper observes per-country
+    coverage changes come almost entirely from *hosting* changes, not share
+    churn) but the *availability* starts at October 2017, when the authors
+    began archiving monthly snapshots.
+    """
+
+    entries: tuple[PopulationEntry, ...]
+    first_available: Snapshot = Snapshot(2017, 10)
+    presence_threshold: float = 0.25
+
+    def monthly_view(self, snapshot: Snapshot) -> MonthlyPopulationView:
+        """The filtered view for ``snapshot``.
+
+        Raises ``ValueError`` before :attr:`first_available`, matching the
+        paper's data horizon.
+        """
+        if snapshot < self.first_available:
+            raise ValueError(
+                f"population data starts at {self.first_available}; requested {snapshot}"
+            )
+        surviving = tuple(
+            entry for entry in self.entries if entry.presence_rate >= self.presence_threshold
+        )
+        return MonthlyPopulationView(snapshot=snapshot, entries=surviving)
+
+    def total_ases(self) -> int:
+        """Size before filtering (the paper's ~26k, scaled)."""
+        return len(self.entries)
+
+    def surviving_ases(self) -> int:
+        """Size after the presence filter (the paper's ~9k, scaled)."""
+        return sum(1 for e in self.entries if e.presence_rate >= self.presence_threshold)

@@ -1,0 +1,161 @@
+"""AS business relationships and customer cones.
+
+A substitute for the CAIDA AS Relationships dataset (§6.3): a directed graph
+of provider→customer edges plus undirected peer edges.  The *customer cone*
+of an AS is the set of ASes reachable by only following customer links,
+including the AS itself — CAIDA's "provider-peer" cone, the measure the
+paper buckets host ASes with.
+
+Cone computation is memoised and cycle-safe (real BGP data contains p2c
+cycles from misclassified relationships; we tolerate rather than crash).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Iterable
+
+from repro.net.asn import ASN
+
+__all__ = ["Relationship", "ASRelationshipGraph"]
+
+
+class Relationship(enum.Enum):
+    """The two relationship types in the CAIDA dataset."""
+
+    PROVIDER_CUSTOMER = "p2c"
+    PEER = "p2p"
+
+
+class ASRelationshipGraph:
+    """Provider/customer/peer relationships with customer-cone queries."""
+
+    def __init__(self) -> None:
+        self._ases: set[ASN] = set()
+        self._customers: dict[ASN, set[ASN]] = defaultdict(set)
+        self._providers: dict[ASN, set[ASN]] = defaultdict(set)
+        self._peers: dict[ASN, set[ASN]] = defaultdict(set)
+        self._cone_cache: dict[ASN, frozenset[ASN]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_as(self, asn: ASN) -> None:
+        """Register an AS (idempotent)."""
+        self._ases.add(asn)
+
+    def add_provider_customer(self, provider: ASN, customer: ASN) -> None:
+        """Add a p2c edge: ``provider`` sells transit to ``customer``."""
+        if provider == customer:
+            raise ValueError(f"AS{provider} cannot be its own provider")
+        self._ases.add(provider)
+        self._ases.add(customer)
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+        self._cone_cache.clear()
+
+    def add_peer(self, left: ASN, right: ASN) -> None:
+        """Add a settlement-free p2p edge."""
+        if left == right:
+            raise ValueError(f"AS{left} cannot peer with itself")
+        self._ases.add(left)
+        self._ases.add(right)
+        self._peers[left].add(right)
+        self._peers[right].add(left)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def ases(self) -> frozenset[ASN]:
+        """All registered ASes."""
+        return frozenset(self._ases)
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._ases
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def customers(self, asn: ASN) -> frozenset[ASN]:
+        """Direct customers of ``asn``."""
+        return frozenset(self._customers.get(asn, ()))
+
+    def providers(self, asn: ASN) -> frozenset[ASN]:
+        """Direct providers of ``asn``."""
+        return frozenset(self._providers.get(asn, ()))
+
+    def peers(self, asn: ASN) -> frozenset[ASN]:
+        """Settlement-free peers of ``asn``."""
+        return frozenset(self._peers.get(asn, ()))
+
+    def is_stub(self, asn: ASN) -> bool:
+        """True if ``asn`` has no customers (cone of exactly itself)."""
+        return not self._customers.get(asn)
+
+    def customer_cone(self, asn: ASN) -> frozenset[ASN]:
+        """The provider-peer customer cone of ``asn`` (includes itself).
+
+        Memoised; safe in the presence of p2c cycles (members of a cycle get
+        the union cone of the cycle).
+        """
+        if asn not in self._ases:
+            raise KeyError(f"unknown AS{asn}")
+        cached = self._cone_cache.get(asn)
+        if cached is not None:
+            return cached
+
+        # Iterative DFS accumulating reachable-by-customer-links sets.
+        reachable: set[ASN] = set()
+        stack = [asn]
+        seen: set[ASN] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            cached = self._cone_cache.get(current)
+            if cached is not None and current != asn:
+                reachable.update(cached)
+                continue
+            reachable.add(current)
+            stack.extend(self._customers.get(current, ()))
+        cone = frozenset(reachable)
+        self._cone_cache[asn] = cone
+        return cone
+
+    def cone_size(self, asn: ASN) -> int:
+        """Size of the customer cone (≥ 1)."""
+        return len(self.customer_cone(asn))
+
+    def transit_degree(self, asn: ASN) -> int:
+        """Number of direct customers (0 for stubs)."""
+        return len(self._customers.get(asn, ()))
+
+    def provider_chain_to_top(self, asn: ASN) -> list[ASN]:
+        """One provider path from ``asn`` up to a provider-free AS."""
+        path = [asn]
+        current = asn
+        visited = {asn}
+        while True:
+            ups = self._providers.get(current)
+            if not ups:
+                return path
+            nxt = min(ups)  # deterministic choice
+            if nxt in visited:
+                return path
+            path.append(nxt)
+            visited.add(nxt)
+            current = nxt
+
+    def iter_edges(self) -> Iterable[tuple[ASN, ASN, Relationship]]:
+        """All edges: p2c as (provider, customer), p2p once per pair."""
+        for provider, customers in self._customers.items():
+            for customer in customers:
+                yield provider, customer, Relationship.PROVIDER_CUSTOMER
+        emitted: set[tuple[ASN, ASN]] = set()
+        for left, rights in self._peers.items():
+            for right in rights:
+                key = (min(left, right), max(left, right))
+                if key not in emitted:
+                    emitted.add(key)
+                    yield key[0], key[1], Relationship.PEER

@@ -1,0 +1,38 @@
+"""The §5 validation suite.
+
+* :mod:`repro.validation.survey` — operator-survey style comparison of
+  inferred footprints against the world's ground truth (the paper's HG
+  operators reported 89-95% of their host ASes uncovered).
+* :mod:`repro.validation.crossdomain` — ZGrab2 active validation: inferred
+  off-nets of HG X must not validate TLS for other HGs' domains.
+* :mod:`repro.validation.sample` — the random-sample check: servers outside
+  HG space should not serve HG domains unless inferred as off-nets.
+* :mod:`repro.validation.prior` — simulated prior-work comparators (the
+  ECS-based Google mapper, the Facebook naming-scheme mapper, the Netflix
+  Open Connect study) and their overlap with the pipeline's results.
+"""
+
+from repro.validation.crossdomain import CrossDomainReport, cross_domain_validation
+from repro.validation.prior import (
+    akamai_open_resolver_study,
+    facebook_naming_mapper,
+    google_ecs_mapper,
+    netflix_openconnect_study,
+    overlap_with_prior,
+)
+from repro.validation.sample import SampleReport, random_sample_validation
+from repro.validation.survey import SurveyReport, survey_hypergiant
+
+__all__ = [
+    "SurveyReport",
+    "survey_hypergiant",
+    "CrossDomainReport",
+    "cross_domain_validation",
+    "SampleReport",
+    "random_sample_validation",
+    "google_ecs_mapper",
+    "facebook_naming_mapper",
+    "netflix_openconnect_study",
+    "akamai_open_resolver_study",
+    "overlap_with_prior",
+]

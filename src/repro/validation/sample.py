@@ -1,0 +1,84 @@
+"""Random-sample validation (§5, second active check).
+
+From the responsive web servers *not* inferred to be HG on-nets, take a
+random sample and probe each for 10 random HG domains.  The paper found
+0.1% of sampled IPs validating at all — and of those, 98% were servers the
+pipeline had already (correctly) inferred as HG off-nets; the remainder are
+customer origins of CDN-hosted sites.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.footprint import PipelineResult
+from repro.hypergiants.profiles import HYPERGIANTS
+from repro.scan.zgrab import zgrab_scan
+from repro.timeline import Snapshot
+from repro.validation.crossdomain import popular_domain
+
+__all__ = ["SampleReport", "random_sample_validation"]
+
+
+@dataclass(frozen=True, slots=True)
+class SampleReport:
+    """Aggregate outcome of the random-sample probes."""
+
+    sampled_ips: int
+    ips_with_valid_response: int
+    of_which_inferred_offnets: int
+
+    @property
+    def valid_rate(self) -> float:
+        """Share of sampled IPs validating any HG domain (paper: 0.1%)."""
+        return 0.0 if self.sampled_ips == 0 else self.ips_with_valid_response / self.sampled_ips
+
+    @property
+    def inferred_share(self) -> float:
+        """Of the validating IPs, the share already inferred (paper: 98%)."""
+        if self.ips_with_valid_response == 0:
+            return 1.0
+        return self.of_which_inferred_offnets / self.ips_with_valid_response
+
+
+def random_sample_validation(
+    result: PipelineResult,
+    world,
+    snapshot: Snapshot,
+    sample_fraction: float = 0.25,
+    domains_per_ip: int = 10,
+    seed: int = 77,
+) -> SampleReport:
+    """Run the §5 random-sample check against the world at ``snapshot``."""
+    rng = random.Random(seed)
+    footprint = result.at(snapshot)
+    onnet_ips: set[int] = set()
+    for ips in footprint.onnet_ips.values():
+        onnet_ips |= ips
+    offnet_ips: set[int] = set()
+    for ips in footprint.confirmed_ips.values():
+        offnet_ips |= ips
+
+    scan = world.scan(result.corpus, snapshot)
+    responsive = sorted({record.ip for record in scan.tls_records} - onnet_ips)
+    sample_size = max(1, int(len(responsive) * sample_fraction))
+    sample = rng.sample(responsive, min(sample_size, len(responsive)))
+
+    keys = [hg.key for hg in HYPERGIANTS]
+    valid_ips = 0
+    valid_inferred = 0
+    for ip in sample:
+        targets = [
+            (ip, popular_domain(rng.choice(keys), rng.randrange(50)))
+            for _ in range(domains_per_ip)
+        ]
+        if any(outcome.tls_valid for outcome in zgrab_scan(world, snapshot, targets)):
+            valid_ips += 1
+            if ip in offnet_ips:
+                valid_inferred += 1
+    return SampleReport(
+        sampled_ips=len(sample),
+        ips_with_valid_response=valid_ips,
+        of_which_inferred_offnets=valid_inferred,
+    )

@@ -1,0 +1,15 @@
+"""World orchestration: one call builds the whole synthetic Internet.
+
+:func:`build_world` generates the topology, runs the hypergiant deployment
+engine, creates every server (on-nets, off-nets, third-party edges,
+Cloudflare customers, management interfaces, forged certificates, and the
+background web), and wires up the scanners and BGP collectors.  The
+resulting :class:`World` exposes scan corpuses *and* the ground truth the
+validation layer compares inferences against.
+"""
+
+from repro.world.config import WorldConfig
+from repro.world.policy import ServingPolicy
+from repro.world.world import World, build_world
+
+__all__ = ["WorldConfig", "World", "build_world", "ServingPolicy"]

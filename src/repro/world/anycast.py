@@ -1,0 +1,127 @@
+"""Anycast serving — the §3 challenge and §7 limitation.
+
+Some hypergiants serve user-facing traffic from **anycast** addresses
+announced by their own AS; off-net sites announce the same prefix locally
+(with BGP ``no-export``), so the address looks identical everywhere while
+being served from inside the user's ISP.  Consequences the paper spells
+out:
+
+* a corpus scanner has *one* vantage point and therefore sees exactly one
+  anycast site — "simply scanning the IP address space from one or a few
+  locations is not enough to uncover every instance" (§3);
+* operators commonly also give each off-net site a **unicast debug
+  address** from the hosting AS, and *that* is what the certificate
+  methodology discovers (§7) — but "there is no guarantee that operators
+  will configure their networks in this way".
+
+:class:`AnycastSystem` models the site selection; :func:`probe_anycast`
+plays a measurement client at an arbitrary vantage AS.  The corpus
+scanners are unchanged — they see the anycast IP as one on-net server,
+exactly as Rapid7 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.asn import ASN
+from repro.timeline import Snapshot
+
+__all__ = ["AnycastSystem", "AnycastProbe", "probe_anycast", "ANYCAST_HYPERGIANTS"]
+
+#: HGs serving (part of) their traffic over anycast in the model.
+ANYCAST_HYPERGIANTS: tuple[str, ...] = ("cloudflare", "google")
+
+
+@dataclass(frozen=True, slots=True)
+class AnycastProbe:
+    """What a client at one vantage sees when hitting the anycast address."""
+
+    hypergiant: str
+    vantage_asn: ASN
+    #: The AS whose site answered (the HG's own AS for on-net sites).
+    site_asn: ASN
+    #: Site label as it would surface in a debug header (e.g. a cf-ray tag).
+    site_label: str
+    #: The local site's unicast debug address, when one is configured.
+    unicast_debug_ip: int | None
+
+
+class AnycastSystem:
+    """Site selection for the anycast hypergiants over one world."""
+
+    def __init__(self, world) -> None:
+        self._world = world
+
+    def sites(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
+        """All ASes with an anycast site at ``snapshot`` (HG AS included).
+
+        For Cloudflare, customer-hosting ASes do not count — its off-net
+        presence is an artefact (§6.1); its anycast sites live in the HG AS
+        plus the ASes of the ISPs that agreed to host edge racks, which in
+        the synthetic world is the service-present set.
+        """
+        if hypergiant not in ANYCAST_HYPERGIANTS:
+            raise KeyError(f"{hypergiant!r} does not serve over anycast in the model")
+        own = min(self._world.onnet_ases(hypergiant))
+        hosts = self._world.true_offnet_ases(hypergiant, snapshot)
+        if hypergiant == "cloudflare":
+            hosts = self._world.true_service_ases(hypergiant, snapshot)
+        return frozenset(hosts) | {own}
+
+    def site_for_vantage(
+        self, hypergiant: str, vantage_asn: ASN, snapshot: Snapshot
+    ) -> ASN:
+        """Which site BGP routes a given vantage to.
+
+        Local site if the vantage AS hosts one; else the nearest site up
+        the provider chain; else the HG's own (on-net) site.
+        """
+        sites = self.sites(hypergiant, snapshot)
+        graph = self._world.topology.graph
+        if vantage_asn in sites:
+            return vantage_asn
+        frontier = [vantage_asn]
+        seen = {vantage_asn}
+        for _ in range(3):  # provider-chain hops
+            next_frontier: list[ASN] = []
+            for asn in frontier:
+                for provider in sorted(graph.providers(asn)):
+                    if provider in seen:
+                        continue
+                    if provider in sites:
+                        return provider
+                    seen.add(provider)
+                    next_frontier.append(provider)
+            frontier = next_frontier
+        return min(self._world.onnet_ases(hypergiant))
+
+
+def probe_anycast(
+    world, hypergiant: str, vantage_asn: ASN, snapshot: Snapshot
+) -> AnycastProbe:
+    """Hit the HG's anycast address from ``vantage_asn`` and report the
+    serving site, like a measurement client parsing debug headers."""
+    system = world.anycast
+    site = system.site_for_vantage(hypergiant, vantage_asn, snapshot)
+    own = min(world.onnet_ases(hypergiant))
+    unicast: int | None = None
+    if site != own:
+        from repro.scan.server import ServerKind
+
+        for server in world.servers:
+            if (
+                server.asn == site
+                and server.hypergiant == hypergiant
+                and server.kind in (ServerKind.HG_OFFNET, ServerKind.CF_CUSTOMER)
+                and server.alive_at(snapshot)
+            ):
+                unicast = server.ip
+                break
+    return AnycastProbe(
+        hypergiant=hypergiant,
+        vantage_asn=vantage_asn,
+        site_asn=site,
+        site_label=f"{hypergiant[:3].upper()}-SITE-AS{site}",
+        unicast_debug_ip=unicast,
+    )

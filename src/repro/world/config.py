@@ -1,0 +1,89 @@
+"""World configuration.
+
+``scale`` is the master knob: it scales every paper-level count (71k ASes,
+4.5k host ASes, ...) down to something a laptop sweeps in seconds.  The
+default test scale (0.01) builds a ~700-AS Internet; benchmarks use 0.1
+(~7k ASes) where the paper's demographics reproduce closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorldConfig"]
+
+#: Paper-level AS census at the study's start and end (§6.3).
+PAPER_ASES_START = 45_000
+PAPER_ASES_END = 71_000
+
+
+@dataclass(frozen=True, slots=True)
+class WorldConfig:
+    """Every knob of the synthetic world."""
+
+    seed: int = 7
+    #: Fraction of the real Internet's AS count to build.
+    scale: float = 0.02
+    #: Background (non-HG) servers per AS at the study's end, by multiplier
+    #: on the per-category base counts; drives Figure 2's totals.
+    background_density: float = 1.0
+    #: Fraction of background servers presenting §4.1-invalid certificates
+    #: ("more than one third of the hosts returned invalid certificates").
+    invalid_fraction: float = 0.45
+    #: Off-net server IPs per (HG, hosting AS).  Akamai uses many more IPs
+    #: per AS than its AS footprint suggests (§5's IP-count discussion).
+    offnet_ips_per_as: int = 0  # 0 = per-HG defaults
+    #: On-net server IPs per top-4 HG at the study's end (smaller HGs get
+    #: a third of this).
+    onnet_ips_per_hg: int = 60
+    #: Number of forged-DV certificate servers (§4.2's attack).
+    fake_dv_servers: int = 12
+    #: Number of shared-certificate servers (§3's shared-cert case).
+    shared_cert_servers: int = 6
+    #: §7 "Certificates in IPv6 addresses": fraction of late-arriving
+    #: eyeball ASes that are IPv6-only mobile operators.  Servers inside
+    #: them exist in ground truth but are invisible to the IPv4-wide scans
+    #: the corpuses cover — the paper's acknowledged blind spot.
+    ipv6_only_fraction: float = 0.0
+    #: §8 hide-and-seek: the hypergiant trying to hide its off-nets
+    #: (empty = nobody hides).
+    evading_hypergiant: str = ""
+    #: Which §8 strategies the evading HG applies to its off-nets:
+    #: "null-default-certificate" (answer only to SNI),
+    #: "strip-organization" (no Organization in the EE certificate),
+    #: "anonymize-headers" (no debug headers),
+    #: "unique-domains" (per-deployment hostnames never served on-net).
+    evasion_strategies: tuple[str, ...] = ()
+
+    _KNOWN_EVASIONS = (
+        "null-default-certificate",
+        "strip-organization",
+        "anonymize-headers",
+        "unique-domains",
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.003 <= self.scale <= 1.0:
+            raise ValueError(f"scale out of range (0.003..1.0): {self.scale}")
+        if not 0.0 <= self.invalid_fraction < 1.0:
+            raise ValueError(f"invalid_fraction out of range: {self.invalid_fraction}")
+        if self.background_density <= 0:
+            raise ValueError("background_density must be positive")
+        if not 0.0 <= self.ipv6_only_fraction <= 1.0:
+            raise ValueError(f"ipv6_only_fraction out of range: {self.ipv6_only_fraction}")
+        for strategy in self.evasion_strategies:
+            if strategy not in self._KNOWN_EVASIONS:
+                raise ValueError(
+                    f"unknown evasion strategy {strategy!r}; "
+                    f"choose from {self._KNOWN_EVASIONS}"
+                )
+        if self.evasion_strategies and not self.evading_hypergiant:
+            raise ValueError("evasion_strategies require an evading_hypergiant")
+
+    @property
+    def n_ases_start(self) -> int:
+        return max(40, round(PAPER_ASES_START * self.scale))
+
+    @property
+    def n_ases_end(self) -> int:
+        return max(60, round(PAPER_ASES_END * self.scale))

@@ -1,0 +1,206 @@
+"""The serving policy: what every server presents, resolved on demand.
+
+One shared :class:`ServingPolicy` instance answers, for any server at any
+snapshot:
+
+* is HTTPS up at all? (Netflix's 2017-2019 HTTP-only fraction, §6.2)
+* which default chain does a no-SNI handshake get? (including Google
+  on-nets that answer only to first-party SNI — the §8 hide-and-seek case)
+* which chain does a given SNI get? (used by ZGrab validation; Akamai
+  off-nets also answer for their delivery customers' domains, which is the
+  §5 cross-validation anomaly)
+* which response headers come back?
+"""
+
+from __future__ import annotations
+
+from repro.hypergiants.certs import CertificateBook
+from repro.hypergiants.headers import HeaderBook, Headers
+from repro.hypergiants.profiles import profile
+from repro.scan.handshake import certificate_covers_domain, dns_name_matches
+from repro.scan.server import ServerKind, SimulatedServer
+from repro.timeline import NETFLIX_HTTP_ERA, Snapshot
+from repro.x509.chain import CertificateChain
+
+__all__ = ["ServingPolicy", "NETFLIX_HTTP_ONLY_FRACTION", "AKAMAI_DELIVERY_CUSTOMERS"]
+
+#: 26.8% of Netflix off-net IPs stopped answering HTTPS in the era (§6.2).
+NETFLIX_HTTP_ONLY_FRACTION = 0.268
+
+#: Hypergiants whose content Akamai also delivers; genuine Akamai off-nets
+#: answer (and validate) SNI requests for these HGs' domains (§5).
+AKAMAI_DELIVERY_CUSTOMERS: tuple[str, ...] = ("apple", "microsoft", "twitter", "disney")
+
+#: Fraction of Google on-net front-ends that answer only first-party SNI
+#: (null default certificate — §8 hide-and-seek, case observed for Google).
+_GOOGLE_SNI_ONLY_GROUP = 1
+
+
+def _offnet_shard(server: SimulatedServer, snapshot: Snapshot) -> int:
+    """Which certificate shard an off-net server belongs to (Fig. 11).
+
+    Google keeps a dominant certificate (~55% of IPs) with a small tail;
+    Facebook started fully aggregated in 2014 and disaggregated over the
+    years; other HGs run a few shards.
+    """
+    hg = server.hypergiant
+    salt = server.salt
+    if hg == "google":
+        # 55% / 20% / 15% / 10% — a dominant *.googlevideo.com group.
+        for shard, threshold in enumerate((0.55, 0.75, 0.90, 1.01)):
+            if salt < threshold:
+                return shard
+    if hg == "facebook":
+        # Sharding grows roughly twice a year after the CDN launch.
+        months = max(0, snapshot.months_since(Snapshot(2016, 7)))
+        shards = 1 + months // 6
+        return int(salt * shards)
+    return int(salt * 3)
+
+
+class ServingPolicy:
+    """Resolves server behaviour against the certificate and header books.
+
+    ``evading_hypergiant``/``evasion_strategies`` implement the §8
+    hide-and-seek options for one hypergiant's off-nets.
+    """
+
+    def __init__(
+        self,
+        cert_book: CertificateBook,
+        header_book: HeaderBook,
+        evading_hypergiant: str = "",
+        evasion_strategies: tuple[str, ...] = (),
+    ) -> None:
+        self._certs = cert_book
+        self._headers = header_book
+        self._evader = evading_hypergiant
+        self._evasions = frozenset(evasion_strategies)
+
+    def _evades(self, server: SimulatedServer, strategy: str) -> bool:
+        return (
+            strategy in self._evasions
+            and server.kind is ServerKind.HG_OFFNET
+            and server.hypergiant == self._evader
+        )
+
+    # -- availability -----------------------------------------------------
+
+    def https_enabled(self, server: SimulatedServer, snapshot: Snapshot) -> bool:
+        """Is port 443 answering at all?"""
+        if (
+            server.kind is ServerKind.HG_OFFNET
+            and server.hypergiant == "netflix"
+            and server.salt < NETFLIX_HTTP_ONLY_FRACTION
+            and NETFLIX_HTTP_ERA[0] <= snapshot < NETFLIX_HTTP_ERA[1]
+        ):
+            return False
+        return True
+
+    # -- certificates ------------------------------------------------------
+
+    def default_chain(
+        self, server: SimulatedServer, snapshot: Snapshot
+    ) -> CertificateChain | None:
+        """The chain a no-SNI handshake receives (``None`` = null default)."""
+        kind = server.kind
+        book = self._certs
+        if kind is ServerKind.HG_ONNET:
+            if (
+                server.hypergiant == "google"
+                and server.domain_group == _GOOGLE_SNI_ONLY_GROUP
+            ):
+                # www.google.com front-ends: certificate only with SNI.
+                return None
+            if server.hypergiant == "cloudflare" and server.domain_group >= 100:
+                # Universal SSL edges: domain_group encodes the bundle
+                # (100+b = customer bundle, 200+b = the www-alias bundle).
+                if server.domain_group >= 200:
+                    return book.cloudflare_www_bundle_chain(
+                        server.domain_group - 200, snapshot
+                    )
+                return book.cloudflare_bundle_chain(server.domain_group - 100, snapshot)
+            return book.hypergiant_chain(server.hypergiant, server.domain_group, snapshot)
+        if kind is ServerKind.HG_OFFNET:
+            if self._evades(server, "null-default-certificate"):
+                return None  # §8 (1): certificate only with first-party SNI
+            if self._evades(server, "unique-domains"):
+                return book.unique_domain_chain(server.hypergiant, server.asn, snapshot)
+            if self._evades(server, "strip-organization"):
+                return book.stripped_organization_chain(server.hypergiant, snapshot)
+            # A quarter of Netflix off-net IPs kept serving fresh valid
+            # certificates through the expired era (§6.2's surviving base).
+            offnet_era_behaviour = not (
+                server.hypergiant == "netflix" and server.salt >= 0.75
+            )
+            return book.hypergiant_chain(
+                server.hypergiant,
+                server.domain_group,
+                snapshot,
+                offnet=offnet_era_behaviour,
+                shard=_offnet_shard(server, snapshot),
+            )
+        if kind is ServerKind.HG_SERVICE:
+            return book.hypergiant_chain(server.hypergiant, 0, snapshot)
+        if kind is ServerKind.CF_CUSTOMER:
+            if server.dedicated_cert:
+                return book.cloudflare_dedicated_chain(server.domain_group, snapshot)
+            return book.cloudflare_bundle_chain(server.domain_group, snapshot)
+        if kind is ServerKind.MGMT_INTERFACE:
+            hg = profile(server.hypergiant)
+            group = min(1, len(hg.domain_groups) - 1)
+            return book.hypergiant_chain(server.hypergiant, group, snapshot)
+        if kind is ServerKind.SHARED_CERT:
+            return book.shared_chain(server.hypergiant, server.domain_group, snapshot)
+        if kind is ServerKind.FAKE_DV:
+            return book.fake_dv_chain(server.hypergiant, server.domain_group, snapshot)
+        # Background web.
+        return book.background_chain(
+            server.domain_group, f"Example Site {server.domain_group} LLC",
+            snapshot, server.invalid_mode,
+        )
+
+    def sni_chain(
+        self, server: SimulatedServer, domain: str, snapshot: Snapshot
+    ) -> CertificateChain | None:
+        """The chain returned for an explicit SNI, or ``None`` if the server
+        has no matching certificate (the client then gets the default)."""
+        kind = server.kind
+        book = self._certs
+        if kind in (ServerKind.HG_ONNET, ServerKind.HG_OFFNET):
+            hg = profile(server.hypergiant)
+            groups = (
+                range(len(hg.domain_groups))
+                if kind is ServerKind.HG_ONNET
+                else (server.domain_group,)
+            )
+            for group in groups:
+                if any(dns_name_matches(p, domain) for p in hg.domain_groups[group]):
+                    return book.hypergiant_chain(
+                        server.hypergiant, group, snapshot,
+                        offnet=kind is ServerKind.HG_OFFNET,
+                    )
+            if kind is ServerKind.HG_OFFNET and server.hypergiant == "akamai":
+                # Akamai delivers other HGs' content from the same caches.
+                for customer in AKAMAI_DELIVERY_CUSTOMERS:
+                    customer_profile = profile(customer)
+                    for group, names in enumerate(customer_profile.domain_groups):
+                        if any(dns_name_matches(p, domain) for p in names):
+                            return book.hypergiant_chain(customer, group, snapshot)
+            return None
+        default = self.default_chain(server, snapshot)
+        if default is not None and certificate_covers_domain(default.end_entity, domain):
+            return default
+        return None
+
+    # -- headers ------------------------------------------------------------
+
+    def headers(
+        self, server: SimulatedServer, snapshot: Snapshot, port: int
+    ) -> Headers | None:
+        """Response headers for a GET on ``port`` (None = no HTTP service)."""
+        if port == 443 and not self.https_enabled(server, snapshot):
+            return None
+        if self._evades(server, "anonymize-headers"):
+            return self._headers.anonymous_headers(server)  # §8 (4)
+        return self._headers.headers_for(server, snapshot, port)

@@ -1,0 +1,36 @@
+"""A self-contained X.509-like certificate substrate.
+
+The paper's methodology consumes certificate *metadata* — Subject
+Organization, dNSNames (subjectAltName), validity window, CA flag, and the
+chain of trust — so this package models exactly those parts of X.509:
+
+* :mod:`repro.x509.certificate` — the certificate record and a builder.
+* :mod:`repro.x509.authority` — certificate authorities with simulated
+  signatures (HMAC-style digests over the TBS fields).
+* :mod:`repro.x509.chain` — chain assembly from an end-entity certificate.
+* :mod:`repro.x509.store` — a WebPKI-style trusted root/intermediate store
+  (the Common CA Database substitute).
+* :mod:`repro.x509.verify` — full chain verification: signature links,
+  validity windows, CA flags, self-signed end-entity rejection (§4.1).
+"""
+
+from repro.x509.authority import CertificateAuthority, KeyPair, make_self_signed
+from repro.x509.certificate import Certificate, SubjectName
+from repro.x509.chain import CertificateChain, build_chain
+from repro.x509.store import RootStore, build_web_pki
+from repro.x509.verify import VerificationError, VerificationResult, verify_chain
+
+__all__ = [
+    "Certificate",
+    "SubjectName",
+    "CertificateAuthority",
+    "KeyPair",
+    "make_self_signed",
+    "CertificateChain",
+    "build_chain",
+    "RootStore",
+    "build_web_pki",
+    "VerificationError",
+    "VerificationResult",
+    "verify_chain",
+]

@@ -1,0 +1,110 @@
+"""The certificate record used throughout the reproduction.
+
+A :class:`Certificate` carries the X.509 fields the paper's methodology reads
+(§2, §4): the Subject Name with its Organization entry, the authenticated
+``dNSNames`` list (subjectAltName), the ``NotBefore``/``NotAfter`` validity
+window, the basicConstraints CA flag, and issuer linkage via key identifiers.
+
+Validity instants are expressed as :class:`repro.timeline.Snapshot` months;
+the scan corpuses are quarterly, so month granularity matches the real
+pipeline's effective resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.timeline import Snapshot
+
+__all__ = ["SubjectName", "Certificate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SubjectName:
+    """The Subject (or Issuer) distinguished name of a certificate.
+
+    Only the fields the methodology touches are modelled.  ``organization``
+    is the unvalidated, free-text ``O=`` entry the paper keys fingerprints on;
+    ``common_name`` is the legacy CN.
+    """
+
+    common_name: str = ""
+    organization: str = ""
+    country: str = ""
+
+    def __str__(self) -> str:
+        parts = []
+        if self.common_name:
+            parts.append(f"CN={self.common_name}")
+        if self.organization:
+            parts.append(f"O={self.organization}")
+        if self.country:
+            parts.append(f"C={self.country}")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """An X.509-like certificate.
+
+    ``fingerprint`` is a stable unique identifier (stands in for the SHA-256
+    certificate hash); ``subject_key_id``/``authority_key_id`` provide the
+    issuer linkage used to build chains; ``signature`` is a simulated
+    signature over the TBS fields, checkable with the issuer's key.
+    """
+
+    fingerprint: str
+    subject: SubjectName
+    issuer: SubjectName
+    dns_names: tuple[str, ...]
+    not_before: Snapshot
+    not_after: Snapshot
+    is_ca: bool
+    subject_key_id: str
+    authority_key_id: str
+    signature: str
+    serial: int = 0
+    #: Free-form provenance label (e.g. "google-offnet") used only by tests
+    #: and ground-truth bookkeeping — the inference pipeline never reads it.
+    provenance: str = field(default="", compare=False)
+
+    @property
+    def is_self_signed(self) -> bool:
+        """True when the certificate is signed by its own key (§4.1 drops
+        self-signed end-entity certificates)."""
+        return self.subject_key_id == self.authority_key_id
+
+    def is_valid_at(self, when: Snapshot) -> bool:
+        """True when ``when`` falls inside the NotBefore/NotAfter window."""
+        return self.not_before <= when <= self.not_after
+
+    @property
+    def validity_months(self) -> int:
+        """Length of the validity window in months (A.3 expiry analysis)."""
+        return self.not_after.months_since(self.not_before)
+
+    def tbs_digest_input(self) -> str:
+        """Canonical serialisation of the to-be-signed fields.
+
+        The simulated signature is a digest of this string keyed by the
+        issuer's private key; verification recomputes it (see
+        :mod:`repro.x509.authority`).
+        """
+        return "|".join(
+            (
+                str(self.subject),
+                str(self.issuer),
+                ",".join(self.dns_names),
+                self.not_before.label,
+                self.not_after.label,
+                "CA" if self.is_ca else "EE",
+                self.subject_key_id,
+                self.authority_key_id,
+                str(self.serial),
+            )
+        )
+
+    def __str__(self) -> str:
+        kind = "CA" if self.is_ca else "EE"
+        return f"<{kind} cert {self.fingerprint[:12]} subject=({self.subject})>"

@@ -1,0 +1,68 @@
+"""Certificate chains: the ordered list a TLS server presents (§2).
+
+A chain begins with the end-entity certificate and walks issuer links up to
+(and conventionally excluding) the root, which the client is expected to hold
+in its trust store.  Servers in the simulator present chains; the §4.1
+validation step verifies them against the WebPKI store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x509.authority import CertificateAuthority
+from repro.x509.certificate import Certificate
+
+__all__ = ["CertificateChain", "build_chain"]
+
+
+@dataclass(frozen=True, slots=True)
+class CertificateChain:
+    """An ordered certificate list: end-entity first, then intermediates.
+
+    The root CA certificate is usually *not* shipped by servers, but chains
+    that include it still verify (verification stops at the first trusted
+    anchor it reaches).
+    """
+
+    certificates: tuple[Certificate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.certificates:
+            raise ValueError("a certificate chain cannot be empty")
+
+    @property
+    def end_entity(self) -> Certificate:
+        """The leaf (server) certificate."""
+        return self.certificates[0]
+
+    @property
+    def intermediates(self) -> tuple[Certificate, ...]:
+        """Everything above the leaf."""
+        return self.certificates[1:]
+
+    def __len__(self) -> int:
+        return len(self.certificates)
+
+    def __iter__(self):
+        return iter(self.certificates)
+
+
+def build_chain(
+    end_entity: Certificate,
+    issuing_authority: CertificateAuthority,
+    include_root: bool = False,
+) -> CertificateChain:
+    """Assemble the chain a server would present for ``end_entity``.
+
+    ``issuing_authority`` must be the authority that signed the leaf.  The
+    chain lists the leaf, then each ancestor authority's certificate from the
+    issuer upwards.  The self-signed root is omitted unless ``include_root``
+    is set, matching common server configuration.
+    """
+    certificates: list[Certificate] = [end_entity]
+    for authority in issuing_authority.ancestors():
+        if authority.is_root and not include_root:
+            break
+        certificates.append(authority.certificate)
+    return CertificateChain(tuple(certificates))

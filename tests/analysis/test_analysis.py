@@ -1,0 +1,231 @@
+"""Tests for the evaluation analyses (Figures 2-14, Tables 2-3)."""
+
+import pytest
+
+from repro.analysis import (
+    build_table3,
+    certificate_ip_groups,
+    compare_scanners,
+    cone_country_coverage,
+    country_coverage,
+    dataset_comparison,
+    footprint_by_category,
+    internet_category_shares,
+    ip_count_series,
+    persistence_distribution,
+    region_type_series,
+    regional_growth,
+    render_series,
+    render_table,
+    stable_host_distribution,
+    top4_growth,
+    top4_multiplicity,
+    validity_medians,
+    worldwide_coverage,
+)
+from repro.analysis.overlap import top4_share_of_all_hosts
+from repro.hypergiants.profiles import TOP4
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+from repro.topology.categories import ConeCategory
+from repro.topology.geography import Continent
+
+END = STUDY_SNAPSHOTS[-1]
+START = STUDY_SNAPSHOTS[0]
+
+
+class TestGrowthAnalyses:
+    def test_ip_count_series_shape(self, pipeline_result):
+        points = ip_count_series(pipeline_result)
+        assert len(points) == len(pipeline_result.snapshots)
+        # Fig 2: corpus grows substantially over the study.
+        assert points[-1].raw_ip_count > 2 * points[0].raw_ip_count
+        # HG shares are small percentages, not dominated by the background.
+        assert 0 < points[-1].pct_hg_onnet < 50
+        assert 0 < points[-1].pct_hg_offnet < 50
+
+    def test_top4_growth_includes_netflix_variants(self, pipeline_result):
+        series = top4_growth(pipeline_result)
+        assert "netflix (initial)" in series
+        assert "netflix (w/ expired)" in series
+        assert "netflix (w/ expired, non-tls)" in series
+        assert len(series["google"]) == len(pipeline_result.snapshots)
+        assert series["google"][-1] > series["google"][0]
+
+    def test_dataset_comparison_keys(self, small_world, pipeline_result):
+        from repro.core import OffnetPipeline
+
+        censys_result = OffnetPipeline.for_world(small_world, corpus="censys").run()
+        series = dataset_comparison(
+            {"rapid7": pipeline_result, "censys": censys_result}, "google"
+        )
+        assert "R7 - Only Certs" in series
+        assert "CS - Certs & (HTTP or HTTPS)" in series
+
+
+class TestDemographics:
+    def test_internet_shares_sum_to_one(self, small_world):
+        shares = internet_category_shares(small_world.topology, END)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[ConeCategory.STUB] > 0.7
+
+    def test_hosts_overrepresent_large_ases(self, small_world, pipeline_result):
+        """§6.3: large+xlarge are <0.5% of ASes but >2% of Google hosts."""
+        shares = internet_category_shares(small_world.topology, END)
+        by_category = footprint_by_category(pipeline_result, small_world.topology, "google")
+        counts = by_category[END]
+        total = sum(counts.values()) or 1
+        host_large = (counts[ConeCategory.LARGE] + counts[ConeCategory.XLARGE]) / total
+        internet_large = shares[ConeCategory.LARGE] + shares[ConeCategory.XLARGE]
+        assert host_large > internet_large
+
+    def test_hosts_underrepresent_stubs(self, small_world, pipeline_result):
+        shares = internet_category_shares(small_world.topology, END)
+        by_category = footprint_by_category(pipeline_result, small_world.topology, "google")
+        counts = by_category[END]
+        total = sum(counts.values()) or 1
+        assert counts[ConeCategory.STUB] / total < shares[ConeCategory.STUB]
+
+    def test_region_type_series_shape(self, small_world, pipeline_result):
+        series = region_type_series(
+            pipeline_result, small_world.topology, "google", ConeCategory.SMALL
+        )
+        assert set(series) == set(Continent)
+        assert all(len(v) == len(pipeline_result.snapshots) for v in series.values())
+
+
+class TestRegions:
+    def test_regional_growth(self, small_world, pipeline_result):
+        growth = regional_growth(pipeline_result, small_world.topology, TOP4)
+        assert set(growth) == set(Continent)
+        google_europe = growth[Continent.EUROPE]["google"]
+        assert google_europe[-1] >= google_europe[0]
+        # Totals across continents equal the footprint size.
+        total = sum(growth[c]["google"][-1] for c in Continent)
+        assert total == len(pipeline_result.effective_footprint("google", END))
+
+
+class TestCoverage:
+    def test_country_coverage_bounds(self, small_world, pipeline_result):
+        coverage = country_coverage(pipeline_result, small_world.topology, "google", END)
+        assert coverage
+        for value in coverage.values():
+            assert 0.0 <= value <= 100.0 + 1e-9
+
+    def test_cone_coverage_at_least_direct(self, small_world, pipeline_result):
+        direct = country_coverage(pipeline_result, small_world.topology, "google", END)
+        cone = cone_country_coverage(pipeline_result, small_world.topology, "google", END)
+        for code, value in direct.items():
+            assert cone.get(code, 0.0) >= value - 1e-9
+
+    def test_worldwide_coverage_increases_with_cones(self, small_world, pipeline_result):
+        plain = worldwide_coverage(pipeline_result, small_world.topology, "google", END)
+        with_cones = worldwide_coverage(
+            pipeline_result, small_world.topology, "google", END, include_cones=True
+        )
+        assert with_cones >= plain
+        assert 0.0 < plain <= 100.0
+
+    def test_coverage_unavailable_before_2017(self, small_world, pipeline_result):
+        with pytest.raises(ValueError):
+            country_coverage(pipeline_result, small_world.topology, "google", Snapshot(2015, 1))
+
+
+class TestOverlap:
+    def test_multiplicity_sums_to_union(self, pipeline_result):
+        distribution = top4_multiplicity(pipeline_result, END)
+        union = set()
+        for hypergiant in TOP4:
+            union |= pipeline_result.effective_footprint(hypergiant, END)
+        assert sum(distribution.values()) == len(union)
+
+    def test_share_of_all_hosts_high(self, pipeline_result):
+        """Fig 10b: >96% of HG-hosting ASes host a top-4 HG."""
+        assert top4_share_of_all_hosts(pipeline_result, END) > 80.0
+
+    def test_multi_hosting_grows(self, pipeline_result):
+        early = top4_multiplicity(pipeline_result, START)
+        late = top4_multiplicity(pipeline_result, END)
+
+        def multi_share(distribution):
+            total = sum(distribution.values()) or 1
+            return (total - distribution[1]) / total
+
+        assert multi_share(late) > multi_share(early)
+
+    def test_stable_hosts(self, pipeline_result):
+        stable = stable_host_distribution(pipeline_result)
+        sizes = [sum(d.values()) for d in stable.values()]
+        assert len(set(sizes)) == 1  # the stable population is fixed
+
+    def test_persistence_distribution(self, pipeline_result):
+        per_snapshot = persistence_distribution(pipeline_result, 0.25)
+        distribution, share = per_snapshot[END]
+        assert sum(distribution.values()) > 0
+        assert 0.0 < share <= 100.0
+        with pytest.raises(ValueError):
+            persistence_distribution(pipeline_result, 0.0)
+
+    def test_50pct_threshold_subset_of_25pct(self, pipeline_result):
+        loose = persistence_distribution(pipeline_result, 0.25)
+        strict = persistence_distribution(pipeline_result, 0.50)
+        for snapshot in pipeline_result.snapshots:
+            assert sum(strict[snapshot][0].values()) <= sum(loose[snapshot][0].values())
+
+
+class TestCertGroups:
+    def test_google_top_groups_aggregate(self, small_world, pipeline_result):
+        scan = small_world.scan("rapid7", END)
+        groups = certificate_ip_groups(pipeline_result, scan, "google")
+        assert groups
+        assert groups == sorted(groups, reverse=True)
+        # Fig 11: Google's top group covers a large share of its IPs.
+        assert groups[0] > 30.0
+
+    def test_validity_medians(self, small_world, pipeline_result):
+        scan = small_world.scan("rapid7", END)
+        google = validity_medians(pipeline_result, scan, "google")
+        assert 1 <= google <= 4  # ~3-month certificates
+        netflix = validity_medians(pipeline_result, scan, "netflix")
+        assert netflix <= 3  # the 2019 shift to short-lived certs
+
+
+class TestTables:
+    def test_table3_ranking(self, pipeline_result):
+        rows = build_table3(pipeline_result)
+        names = [row.hypergiant for row in rows]
+        assert names[0] == "google"
+        assert set(TOP4) <= set(names[:5])
+        maxima = [row.max_confirmed for row in rows]
+        assert maxima == sorted(maxima, reverse=True)
+
+    def test_table3_certs_only_at_least_confirmed(self, pipeline_result):
+        for row in build_table3(pipeline_result):
+            if row.hypergiant == "netflix":
+                continue  # the envelope may exceed same-snapshot candidates
+            assert row.end_certs_only >= row.end_confirmed
+
+    def test_table2_comparison(self, small_world, pipeline_result):
+        from repro.core import OffnetPipeline
+
+        nov19 = Snapshot(2019, 10)
+        certigo = OffnetPipeline.for_world(small_world, corpus="certigo").run(
+            snapshots=(nov19,)
+        )
+        rows = compare_scanners(
+            small_world, {"rapid7": pipeline_result, "certigo": certigo}, nov19
+        )
+        by_name = {row.scanner: row for row in rows}
+        assert by_name["certigo"].ips_with_certs > by_name["rapid7"].ips_with_certs
+        assert by_name["rapid7"].per_hg["google"] > 0
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_render_series(self):
+        text = render_series({"x": [1, 2]}, ["s1", "s2"])
+        assert "s1" in text and "x" in text

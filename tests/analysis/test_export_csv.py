@@ -1,0 +1,39 @@
+"""Tests for the CSV exporter."""
+
+import csv
+
+from repro.analysis.export_csv import export_all_csv
+
+
+class TestExportCsv:
+    def test_writes_expected_files(self, small_world, pipeline_result, tmp_path):
+        paths = export_all_csv(pipeline_result, small_world.topology, tmp_path)
+        names = {p.name for p in paths}
+        assert "fig2_ip_counts.csv" in names
+        assert "fig3_growth.csv" in names
+        assert "fig10_overlap.csv" in names
+        assert "fig7_coverage.csv" in names
+        assert any(n.startswith("fig5_conesize_") for n in names)
+        assert any(n.startswith("fig6_") for n in names)
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_fig3_rows_align_with_snapshots(self, small_world, pipeline_result, tmp_path):
+        export_all_csv(pipeline_result, small_world.topology, tmp_path)
+        with (tmp_path / "fig3_growth.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "snapshot"
+        assert "google" in header
+        assert len(data) == len(pipeline_result.snapshots)
+        google_index = header.index("google")
+        first, last = int(data[0][google_index]), int(data[-1][google_index])
+        assert last > first
+
+    def test_fig2_values_parse(self, small_world, pipeline_result, tmp_path):
+        export_all_csv(pipeline_result, small_world.topology, tmp_path)
+        with (tmp_path / "fig2_ip_counts.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        for row in rows[1:]:
+            int(row[1])
+            assert 0.0 <= float(row[4]) <= 1.0

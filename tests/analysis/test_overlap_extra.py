@@ -1,0 +1,21 @@
+"""Extra tests for the overlap/persistence analyses."""
+
+from repro.analysis.overlap import newcomer_fractions
+
+
+class TestNewcomers:
+    def test_first_snapshot_all_newcomers(self, pipeline_result):
+        fractions = newcomer_fractions(pipeline_result)
+        first = pipeline_result.snapshots[0]
+        assert fractions[first] == 100.0
+
+    def test_fractions_bounded(self, pipeline_result):
+        fractions = newcomer_fractions(pipeline_result)
+        for value in fractions.values():
+            assert 0.0 <= value <= 100.0
+
+    def test_steady_state_newcomers_small(self, pipeline_result):
+        """After the early ramp, most hosts are repeats (paper: ~5% new)."""
+        fractions = newcomer_fractions(pipeline_result)
+        late = [v for s, v in fractions.items() if s.year >= 2018]
+        assert sum(late) / len(late) < 30.0

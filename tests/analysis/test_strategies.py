@@ -1,0 +1,38 @@
+"""Tests for the §6.1 strategy indicators."""
+
+from repro.analysis.strategies import StrategyIndicators, strategy_indicators
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+class TestStrategyIndicators:
+    def test_akamai_densest_top4(self, pipeline_result):
+        akamai = strategy_indicators(pipeline_result, "akamai", END)
+        facebook = strategy_indicators(pipeline_result, "facebook", END)
+        netflix = strategy_indicators(pipeline_result, "netflix", END)
+        assert akamai.ips_per_as > facebook.ips_per_as
+        assert akamai.ips_per_as > netflix.ips_per_as
+
+    def test_hardware_fraction_split(self, pipeline_result):
+        google = strategy_indicators(pipeline_result, "google", END)
+        apple = strategy_indicators(pipeline_result, "apple", END)
+        assert google.hardware_fraction > 0.9
+        assert apple.hardware_fraction < 0.3
+
+    def test_zero_footprint_is_safe(self, pipeline_result):
+        hulu = strategy_indicators(pipeline_result, "hulu", END)
+        assert hulu.ips_per_as == 0.0
+        assert 0.0 <= hulu.hardware_fraction <= 1.0
+
+    def test_pure_dataclass_properties(self):
+        row = StrategyIndicators(
+            hypergiant="x",
+            snapshot=Snapshot(2021, 4),
+            offnet_ips=100,
+            offnet_ases=10,
+            certs_only_ases=20,
+            onnet_ips=5,
+        )
+        assert row.ips_per_as == 10.0
+        assert row.hardware_fraction == 0.5

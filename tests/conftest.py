@@ -1,0 +1,28 @@
+"""Shared fixtures: one small world + one pipeline run for the session.
+
+Building a world and running the full pipeline takes seconds; the heavy
+integration fixtures are session-scoped so the suite stays fast.
+"""
+
+import pytest
+
+from repro.core import OffnetPipeline
+from repro.world import build_world
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A ~1000-AS world shared by the integration tests."""
+    return build_world(seed=7, scale=0.015)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_world):
+    """The default (Rapid7) pipeline run over the small world."""
+    return OffnetPipeline.for_world(small_world).run()
+
+
+@pytest.fixture(scope="session")
+def pipeline(small_world):
+    """The pipeline object itself (for header-rule inspection etc.)."""
+    return OffnetPipeline.for_world(small_world)

@@ -1,0 +1,119 @@
+"""Unit tests for the §4.4 header-fingerprint learner on hand-built corpora."""
+
+from repro.core.header_fingerprint import HG_ABBREVIATIONS, learn_header_fingerprints
+from repro.scan.records import HTTPRecord, ScanSnapshot
+from repro.timeline import Snapshot
+
+SNAP = Snapshot(2020, 10)
+
+
+def corpus(*records):
+    scan = ScanSnapshot(scanner="test", snapshot=SNAP)
+    for ip, headers in records:
+        scan.http_records.append(HTTPRecord(ip=ip, port=443, headers=tuple(headers)))
+    return scan
+
+
+STANDARD = (("Content-Type", "text/html"), ("Date", "now"), ("Cache-Control", "no-cache"))
+
+
+class TestLearner:
+    def test_constant_pair_learned(self):
+        scan = corpus(
+            *[(i, (("Server", "AkamaiGHost"),) + STANDARD) for i in range(20)],
+            *[(100 + i, (("Server", "nginx"),) + STANDARD) for i in range(20)],
+        )
+        rules = learn_header_fingerprints(
+            scan,
+            {"akamai": frozenset(range(20))},
+            background_ips=frozenset(range(100, 120)),
+        )
+        assert any(
+            r.name == "Server" and r.value == "AkamaiGHost" for r in rules["akamai"]
+        )
+
+    def test_generic_banner_rejected(self):
+        """A HG whose on-nets only send `Server: nginx` learns nothing."""
+        scan = corpus(
+            *[(i, (("Server", "nginx"),) + STANDARD) for i in range(20)],
+            *[(100 + i, (("Server", "nginx"),) + STANDARD) for i in range(20)],
+        )
+        rules = learn_header_fingerprints(
+            scan,
+            {"hulu": frozenset(range(20))},
+            background_ips=frozenset(range(100, 120)),
+        )
+        assert rules["hulu"] == ()
+
+    def test_varying_value_becomes_name_rule(self):
+        scan = corpus(
+            *[(i, (("X-FB-Debug", f"tok{i}=="),) + STANDARD) for i in range(20)],
+            *[(100 + i, STANDARD) for i in range(20)],
+        )
+        rules = learn_header_fingerprints(
+            scan,
+            {"facebook": frozenset(range(20))},
+            background_ips=frozenset(range(100, 120)),
+        )
+        assert any(r.name == "X-FB-Debug" and r.value is None for r in rules["facebook"])
+
+    def test_common_prefix_becomes_prefix_rule(self):
+        """Values sharing an abbreviation-bearing prefix learn `prefix*`."""
+        scan = corpus(
+            *[(i, (("Server", f"gws/{i}"),) + STANDARD) for i in range(20)],
+            *[(100 + i, (("Server", "Apache"),) + STANDARD) for i in range(20)],
+        )
+        rules = learn_header_fingerprints(
+            scan,
+            {"google": frozenset(range(20))},
+            background_ips=frozenset(range(100, 120)),
+        )
+        google_rules = rules["google"]
+        assert any(
+            r.name == "Server" and r.value and r.value.startswith("gws") and r.value.endswith("*")
+            for r in google_rules
+        )
+
+    def test_background_common_header_rejected(self):
+        """Headers common on the ordinary web never become fingerprints."""
+        scan = corpus(
+            *[(i, (("X-Powered-By", "PHP/7.4"),) + STANDARD) for i in range(20)],
+            *[(100 + i, (("X-Powered-By", "PHP/7.4"),) + STANDARD) for i in range(40)],
+        )
+        rules = learn_header_fingerprints(
+            scan,
+            {"twitter": frozenset(range(20))},
+            background_ips=frozenset(range(100, 140)),
+        )
+        assert not any(r.name == "X-Powered-By" for r in rules["twitter"])
+
+    def test_ambiguous_cross_hg_name_needs_abbreviation(self):
+        """A name on two HGs' on-nets is kept only where the value names
+        the HG."""
+        scan = corpus(
+            *[(i, (("X-Trace-Id", f"t{i}"),) + STANDARD) for i in range(20)],
+            *[(50 + i, (("X-Trace-Id", f"t{i}"),) + STANDARD) for i in range(20)],
+        )
+        rules = learn_header_fingerprints(
+            scan,
+            {
+                "verizon": frozenset(range(20)),
+                "limelight": frozenset(range(50, 70)),
+            },
+            background_ips=frozenset(),
+        )
+        assert not any(r.name == "X-Trace-Id" for r in rules["verizon"])
+        assert not any(r.name == "X-Trace-Id" for r in rules["limelight"])
+
+    def test_empty_onnet_set(self):
+        scan = corpus((1, STANDARD))
+        rules = learn_header_fingerprints(scan, {"apple": frozenset()}, frozenset({1}))
+        assert rules["apple"] == ()
+
+    def test_abbreviations_cover_fingerprinted_hgs(self):
+        """Every HG with curated header rules has an abbreviation entry."""
+        from repro.hypergiants.profiles import HYPERGIANTS
+
+        for hg in HYPERGIANTS:
+            if hg.header_rules:
+                assert hg.key in HG_ABBREVIATIONS, hg.key

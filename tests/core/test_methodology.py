@@ -1,0 +1,173 @@
+"""Tests for the §4 methodology steps against the shared world."""
+
+import pytest
+
+from repro.core import (
+    CertificateValidator,
+    find_candidates,
+    is_cloudflare_customer_cert,
+    learn_tls_fingerprint,
+)
+from repro.core.confirm import is_default_nginx
+from repro.core.tls_fingerprint import organization_matches
+from repro.scan.server import ServerKind
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+@pytest.fixture(scope="module")
+def validated(small_world):
+    scan = small_world.scan("rapid7", END)
+    validator = CertificateValidator(small_world.root_store)
+    records, stats = validator.validate_snapshot(scan, allow_expired=True)
+    return scan, records, stats
+
+
+class TestValidation:
+    def test_invalid_fraction_over_a_quarter(self, validated):
+        """'more than one third of the hosts returned invalid certificates'
+        (the share dilutes a little with the HG population)."""
+        _, _, stats = validated
+        assert 0.25 < stats.invalid_fraction < 0.5
+
+    def test_no_self_signed_survives(self, small_world, validated):
+        _, records, _ = validated
+        for record in records[:500]:
+            assert not record.certificate.is_self_signed
+
+    def test_valid_records_in_window(self, validated):
+        _, records, _ = validated
+        for record in records:
+            if not record.expired_only:
+                assert record.certificate.is_valid_at(END)
+            else:
+                assert not record.certificate.is_valid_at(END)
+
+    def test_counts_add_up(self, validated):
+        scan, records, stats = validated
+        assert stats.total == len(scan.tls_records)
+        assert stats.valid + stats.expired_only == len(records)
+        assert stats.valid + stats.expired_only + stats.rejected == stats.total
+
+
+class TestOrganizationMatch:
+    def test_case_insensitive(self):
+        assert organization_matches("GOOGLE LLC", "google")
+        assert organization_matches("Akamai Technologies, Inc.", "akamai")
+        assert not organization_matches("Example Site 7 LLC", "google")
+
+
+class TestTLSFingerprint:
+    def test_google_fingerprint_learned(self, small_world, validated):
+        _, records, _ = validated
+        hg_ases = small_world.topology.organizations.search_by_name("google")
+        fingerprint = learn_tls_fingerprint("google", records, hg_ases, small_world.ip2as(END))
+        assert not fingerprint.is_empty
+        assert "*.googlevideo.com" in fingerprint.dns_names
+        # The *.google.com group is served by SNI-only front-ends (§8's
+        # hide-and-seek case), so a no-SNI scan never learns it.
+        assert "*.google.com" not in fingerprint.dns_names
+        assert fingerprint.onnet_ips
+
+    def test_empty_hg_ases_gives_empty_fingerprint(self, validated):
+        _, records, _ = validated
+        from repro.bgp import IPToASMap
+
+        fingerprint = learn_tls_fingerprint("google", records, frozenset(), IPToASMap())
+        assert fingerprint.is_empty
+
+    def test_fake_dv_does_not_pollute_fingerprint(self, small_world, validated):
+        """Forged DV certs sit outside Google's ASes, so their domains never
+        enter the on-net dNSName set."""
+        _, records, _ = validated
+        hg_ases = small_world.topology.organizations.search_by_name("google")
+        fingerprint = learn_tls_fingerprint("google", records, hg_ases, small_world.ip2as(END))
+        assert not any("totally-not-" in name for name in fingerprint.dns_names)
+
+
+class TestCandidates:
+    @pytest.fixture(scope="class")
+    def google_candidates(self, small_world, validated):
+        _, records, _ = validated
+        hg_ases = small_world.topology.organizations.search_by_name("google")
+        ip2as = small_world.ip2as(END)
+        fingerprint = learn_tls_fingerprint("google", records, hg_ases, ip2as)
+        return find_candidates(fingerprint, records, hg_ases, ip2as)
+
+    def test_candidates_are_mostly_true_offnets(self, small_world, google_candidates):
+        truth_ases = small_world.true_offnet_ases("google", END) | small_world.true_service_ases(
+            "google", END
+        )
+        hits = sum(1 for c in google_candidates if c.ases & truth_ases)
+        assert hits / len(google_candidates) > 0.9
+
+    def test_fake_dv_rejected_by_subset_rule(self, small_world, google_candidates):
+        fake_ips = {
+            s.ip
+            for s in small_world.servers
+            if s.kind is ServerKind.FAKE_DV and s.hypergiant == "google"
+        }
+        assert fake_ips
+        assert not any(c.ip in fake_ips for c in google_candidates)
+
+    def test_fake_dv_caught_only_by_subset_rule(self, small_world, validated):
+        """Ablation: without the all-dNSNames rule, forged DV certs leak in."""
+        _, records, _ = validated
+        hg_ases = small_world.topology.organizations.search_by_name("google")
+        ip2as = small_world.ip2as(END)
+        fingerprint = learn_tls_fingerprint("google", records, hg_ases, ip2as)
+        loose = find_candidates(
+            fingerprint, records, hg_ases, ip2as, require_all_dnsnames=False
+        )
+        fake_ips = {
+            s.ip
+            for s in small_world.servers
+            if s.kind is ServerKind.FAKE_DV and s.hypergiant == "google" and s.alive_at(END)
+        }
+        if fake_ips:
+            assert any(c.ip in fake_ips for c in loose)
+
+    def test_shared_certs_rejected(self, small_world, validated):
+        _, records, _ = validated
+        shared = [s for s in small_world.servers if s.kind is ServerKind.SHARED_CERT]
+        assert shared
+        for hypergiant in {s.hypergiant for s in shared}:
+            hg_ases = small_world.topology.organizations.search_by_name(hypergiant)
+            ip2as = small_world.ip2as(END)
+            fingerprint = learn_tls_fingerprint(hypergiant, records, hg_ases, ip2as)
+            candidates = find_candidates(fingerprint, records, hg_ases, ip2as)
+            shared_ips = {s.ip for s in shared if s.hypergiant == hypergiant}
+            assert not any(c.ip in shared_ips for c in candidates)
+
+    def test_candidates_outside_hg_ases(self, small_world, google_candidates):
+        hg_ases = small_world.topology.organizations.search_by_name("google")
+        for candidate in google_candidates:
+            assert not (candidate.ases & hg_ases)
+
+
+class TestCloudflareFilter:
+    def test_bundle_cert_filtered(self, small_world):
+        chain = small_world.cert_book.cloudflare_bundle_chain(0, END)
+        assert is_cloudflare_customer_cert(chain.end_entity)
+
+    def test_dedicated_cert_survives(self, small_world):
+        chain = small_world.cert_book.cloudflare_dedicated_chain(1, END)
+        assert not is_cloudflare_customer_cert(chain.end_entity)
+
+    def test_corporate_cert_survives(self, small_world):
+        chain = small_world.cert_book.hypergiant_chain("cloudflare", 0, END)
+        assert not is_cloudflare_customer_cert(chain.end_entity)
+
+
+class TestDefaultNginx:
+    def test_bare_nginx_matches(self):
+        assert is_default_nginx({"Server": "nginx", "Content-Type": "text/html"})
+        assert is_default_nginx({"Server": "nginx/1.18.0"})
+
+    def test_fingerprinted_response_does_not(self):
+        assert not is_default_nginx({"Server": "nginx", "X-TCP-Info": "x"})
+
+    def test_other_banner_does_not(self):
+        assert not is_default_nginx({"Server": "Apache"})
+        assert not is_default_nginx({"Content-Type": "text/html"})

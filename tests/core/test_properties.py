@@ -1,0 +1,87 @@
+"""Property-based tests for methodology invariants."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.confirm import is_default_nginx
+from repro.core.tls_fingerprint import organization_matches
+from repro.hypergiants.profiles import HeaderRule, STANDARD_HEADERS
+from repro.scan.handshake import dns_name_matches
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+domains = st.lists(label, min_size=1, max_size=4).map(".".join)
+header_names = st.text(
+    alphabet=string.ascii_letters + "-", min_size=1, max_size=20
+).filter(lambda s: not s.endswith("*"))
+header_values = st.text(alphabet=string.printable.strip(), min_size=0, max_size=30)
+
+
+class TestDnsNameProperties:
+    @given(domains)
+    def test_exact_match_is_reflexive(self, domain):
+        assert dns_name_matches(domain, domain)
+
+    @given(domains)
+    def test_wildcard_covers_one_extra_label(self, domain):
+        assert dns_name_matches(f"*.{domain}", f"www.{domain}")
+        assert not dns_name_matches(f"*.{domain}", f"a.b.{domain}")
+        assert not dns_name_matches(f"*.{domain}", domain)
+
+    @given(domains, domains)
+    def test_case_insensitive(self, pattern, domain):
+        assert dns_name_matches(pattern, domain) == dns_name_matches(
+            pattern.upper(), domain.upper()
+        )
+
+    @given(domains)
+    def test_wildcard_requires_suffix_boundary(self, domain):
+        """`*.foo.com` never matches `evilfoo.com`-style hosts."""
+        assert not dns_name_matches(f"*.{domain}", f"evil{domain}")
+
+
+class TestOrganizationMatchProperties:
+    @given(st.text(max_size=40), st.text(min_size=1, max_size=10))
+    def test_match_iff_lowercase_containment(self, organization, keyword):
+        assert organization_matches(organization, keyword) == (
+            keyword.lower() in organization.lower()
+        )
+
+
+class TestHeaderRuleProperties:
+    @given(header_names, header_values)
+    def test_exact_rule_matches_itself(self, name, value):
+        rule = HeaderRule(name, value if not value.endswith("*") else value + ".")
+        assert rule.matches(name, rule.value)
+        assert rule.matches(name.upper(), rule.value)
+
+    @given(header_names, header_values, header_values)
+    def test_name_only_rule_ignores_value(self, name, value_a, value_b):
+        rule = HeaderRule(name, None)
+        assert rule.matches(name, value_a)
+        assert rule.matches(name, value_b)
+
+    @given(header_names, header_values)
+    def test_prefix_rule_accepts_extensions(self, name, value):
+        rule = HeaderRule(name, value + "*")
+        assert rule.matches(name, value)
+        assert rule.matches(name, value + "suffix")
+
+    @given(st.dictionaries(header_names, header_values, max_size=6))
+    def test_matches_any_consistent_with_matches(self, headers):
+        for name, value in headers.items():
+            rule = HeaderRule(name, None)
+            assert rule.matches_any(headers)
+
+
+class TestDefaultNginxProperties:
+    @given(st.sampled_from(sorted(STANDARD_HEADERS)))
+    def test_standard_headers_do_not_break_nginx_detection(self, standard_name):
+        headers = {"Server": "nginx", standard_name: "x"}
+        assert is_default_nginx(headers)
+
+    @given(header_names.filter(lambda n: n.lower() not in STANDARD_HEADERS and n.lower() != "server"))
+    def test_any_custom_header_breaks_nginx_detection(self, name):
+        headers = {"Server": "nginx", name: "x"}
+        assert not is_default_nginx(headers)

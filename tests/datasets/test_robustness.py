@@ -1,0 +1,57 @@
+"""Robustness of the file-dataset loader against damaged inputs."""
+
+import json
+
+import pytest
+
+from repro.datasets import FileDataset, export_dataset
+from repro.timeline import Snapshot
+
+SNAP = Snapshot(2020, 10)
+
+
+@pytest.fixture()
+def dataset_dir(small_world, tmp_path):
+    export_dataset(small_world, tmp_path, snapshots=(SNAP,))
+    return tmp_path
+
+
+class TestDamagedDatasets:
+    def test_empty_manifest_corpora(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"corpora": {}}')
+        with pytest.raises(ValueError):
+            FileDataset(tmp_path)
+
+    def test_missing_corpus_file(self, dataset_dir):
+        (dataset_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl").unlink()
+        dataset = FileDataset(dataset_dir)
+        with pytest.raises(FileNotFoundError):
+            dataset.scan("rapid7", SNAP)
+
+    def test_truncated_corpus_rejected(self, dataset_dir):
+        path = dataset_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl"
+        content = path.read_text(encoding="utf-8")
+        path.write_text(content[: len(content) // 2].rsplit("\n", 1)[0] + '\n{"bad', "utf-8")
+        dataset = FileDataset(dataset_dir)
+        with pytest.raises(json.JSONDecodeError):
+            dataset.scan("rapid7", SNAP)
+
+    def test_garbage_ip2as_rejected(self, dataset_dir):
+        (dataset_dir / "ip2as" / f"{SNAP.label}.tsv").write_text("not a prefix\tnope\n")
+        dataset = FileDataset(dataset_dir)
+        with pytest.raises(ValueError):
+            dataset.ip2as(SNAP)
+
+    def test_blank_lines_tolerated(self, dataset_dir):
+        path = dataset_dir / "ip2as" / f"{SNAP.label}.tsv"
+        path.write_text("\n" + path.read_text(encoding="utf-8") + "\n\n", "utf-8")
+        dataset = FileDataset(dataset_dir)
+        assert dataset.ip2as(SNAP).prefix_count > 0
+
+    def test_manifest_snapshot_order_normalised(self, dataset_dir):
+        manifest_path = dataset_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["corpora"]["rapid7"] = list(reversed(manifest["corpora"]["rapid7"]))
+        manifest_path.write_text(json.dumps(manifest))
+        dataset = FileDataset(dataset_dir)
+        assert dataset.snapshots == tuple(sorted(dataset.snapshots))

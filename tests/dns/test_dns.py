@@ -1,0 +1,194 @@
+"""Tests for the DNS substrate and the prior-work mappers."""
+
+import pytest
+
+from repro.dns import (
+    HypergiantDNS,
+    airport_code,
+    ecs_google_mapper,
+    facebook_naming_mapper,
+    netflix_oca_mapper,
+    open_resolver_mapper,
+    open_resolvers,
+)
+from repro.dns.authority import _GOOGLE_FIRST_PARTY_CHANGE
+from repro.net import IPv4Prefix
+from repro.scan.server import ServerKind
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+@pytest.fixture(scope="module")
+def dns(small_world):
+    return small_world.dns
+
+
+def offnet_host_prefix(world, hypergiant, snapshot, visible=True):
+    """A prefix of some AS hosting the HG's off-nets (DNS-visible or not)."""
+    for asn in sorted(world.true_offnet_ases(hypergiant, snapshot)):
+        if world.dns.is_dns_dark(hypergiant, asn) != visible:
+            return asn, world.topology.prefixes[asn][0]
+    pytest.skip(f"no {'visible' if visible else 'dark'} host for {hypergiant}")
+
+
+class TestAuthority:
+    def test_ecs_returns_local_offnet(self, small_world, dns):
+        asn, prefix = offnet_host_prefix(small_world, "google", END)
+        answer = dns.resolve("cache.googlevideo.com", END, ecs_prefix=prefix)
+        assert not answer.nxdomain
+        owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+        assert owners == {asn}
+
+    def test_dns_dark_host_not_returned(self, small_world, dns):
+        asn, prefix = offnet_host_prefix(small_world, "google", END, visible=False)
+        answer = dns.resolve("cache.googlevideo.com", END, ecs_prefix=prefix)
+        owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+        assert asn not in owners
+
+    def test_client_without_local_offnet_gets_onnet_or_provider(self, small_world, dns):
+        hosts = small_world.true_offnet_ases("google", END)
+        non_host = next(
+            asn
+            for asn in sorted(small_world.topology.alive(END))
+            if asn not in hosts
+            and not (small_world.topology.graph.providers(asn) & hosts)
+            and asn not in small_world.all_hg_ases()
+        )
+        prefix = small_world.topology.prefixes[non_host][0]
+        answer = dns.resolve("cache.googlevideo.com", END, ecs_prefix=prefix)
+        assert not answer.nxdomain
+        owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+        assert non_host not in owners
+
+    def test_google_first_party_hides_offnets_after_2016(self, small_world, dns):
+        """§1: www.google.com now resolves to on-net front-ends only."""
+        asn, prefix = offnet_host_prefix(small_world, "google", END)
+        answer = dns.resolve("www.google.com", END, ecs_prefix=prefix)
+        owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+        assert owners <= small_world.onnet_ases("google")
+
+    def test_google_first_party_exposed_before_2016(self, small_world, dns):
+        before = _GOOGLE_FIRST_PARTY_CHANGE.plus_months(-3)
+        hosts = small_world.true_offnet_ases("google", before)
+        visible = [a for a in sorted(hosts) if not dns.is_dns_dark("google", a)]
+        if not visible:
+            pytest.skip("no visible early google hosts")
+        prefix = small_world.topology.prefixes[visible[0]][0]
+        answer = dns.resolve("www.google.com", before, ecs_prefix=prefix)
+        owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+        assert visible[0] in owners
+
+    def test_fna_names_resolve(self, small_world, dns):
+        hosts = [
+            a
+            for a in sorted(small_world.true_offnet_ases("facebook", END))
+            if not dns.is_unconventionally_named(a)
+        ]
+        assert hosts
+        airport = airport_code(small_world.topology, hosts[0])
+        # Some rank within the metro resolves to this AS.
+        found = False
+        for rank in range(1, 6):
+            answer = dns.resolve(f"{airport}-{rank}.fna.fbcdn.net", END)
+            if answer.nxdomain:
+                break
+            owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+            if hosts[0] in owners:
+                found = True
+        assert found
+
+    def test_unconventional_deployment_hidden_from_convention(self, small_world, dns):
+        hidden = [
+            a
+            for a in sorted(small_world.true_offnet_ases("facebook", END))
+            if dns.is_unconventionally_named(a)
+        ]
+        if not hidden:
+            pytest.skip("no unconventional facebook hosts at this scale")
+        asn = hidden[0]
+        airport = airport_code(small_world.topology, asn)
+        for rank in range(1, 10):
+            answer = dns.resolve(f"{airport}-{rank}.fna.fbcdn.net", END)
+            owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+            assert asn not in owners
+        # ...but the internal name works if you know it.
+        internal = dns.resolve(f"edge-{asn}.fna-internal.fbcdn.net", END)
+        assert not internal.nxdomain
+
+    def test_oca_names(self, small_world, dns):
+        hosts = sorted(small_world.true_offnet_ases("netflix", END))
+        assert hosts
+        answer = dns.resolve(f"ipv4-c1-{hosts[0]}.oca.nflxvideo.net", END)
+        assert not answer.nxdomain
+        nohost = dns.resolve("ipv4-c1-99999999.oca.nflxvideo.net", END)
+        assert nohost.nxdomain
+
+    def test_unknown_name_nxdomain(self, dns):
+        assert dns.resolve("www.unrelated.example", END).nxdomain
+
+    def test_no_client_context_returns_onnet(self, small_world, dns):
+        answer = dns.resolve("cache.googlevideo.com", END)
+        owners = {small_world.ground_truth_asn(ip) for ip in answer.ips}
+        assert owners <= small_world.onnet_ases("google")
+
+
+class TestResolvers:
+    def test_resolver_population(self, small_world):
+        resolvers = open_resolvers(small_world, END)
+        assert resolvers
+        for ip, asn in resolvers:
+            assert small_world.ground_truth_asn(ip) == asn
+            assert small_world.server_by_ip(ip) is None  # never a server IP
+
+    def test_resolver_population_grows_with_time(self, small_world):
+        early = open_resolvers(small_world, STUDY_SNAPSHOTS[0])
+        late = open_resolvers(small_world, END)
+        assert len(late) >= len(early)
+
+
+class TestMappers:
+    def test_ecs_mapper_high_recall(self, small_world):
+        snapshot = Snapshot(2016, 4)
+        found = ecs_google_mapper(small_world, snapshot)
+        truth = small_world.true_offnet_ases("google", snapshot)
+        assert truth
+        recall = len(found & truth) / len(truth)
+        assert recall > 0.8
+        # No false ASes beyond IP-to-AS mapping noise.
+        assert len(found - truth) <= max(2, 0.1 * len(found))
+
+    def test_fna_mapper_misses_unconventional(self, small_world):
+        snapshot = Snapshot(2019, 10)
+        found = facebook_naming_mapper(small_world, snapshot)
+        truth = small_world.true_offnet_ases("facebook", snapshot)
+        assert found
+        assert len(found & truth) / len(truth) > 0.7
+        hidden = {
+            a for a in truth if small_world.dns.is_unconventionally_named(a)
+        }
+        assert not (found & hidden)
+
+    def test_oca_mapper_near_complete(self, small_world):
+        snapshot = Snapshot(2017, 4)
+        found = netflix_oca_mapper(small_world, snapshot)
+        truth = small_world.true_offnet_ases("netflix", snapshot)
+        if truth:
+            assert len(found & truth) / len(truth) > 0.9
+
+    def test_open_resolver_mapper_partial_coverage(self, small_world):
+        """The §1 critique: open-resolver probing is far from complete."""
+        found = open_resolver_mapper(small_world, "akamai", END)
+        truth = small_world.true_offnet_ases("akamai", END)
+        assert truth
+        assert len(found & truth) < len(truth)
+
+    def test_open_resolver_mapper_unknown_hg(self, small_world):
+        with pytest.raises(KeyError):
+            open_resolver_mapper(small_world, "hulu", END)
+
+    def test_mappers_deterministic(self, small_world):
+        snapshot = Snapshot(2016, 4)
+        assert ecs_google_mapper(small_world, snapshot) == ecs_google_mapper(
+            small_world, snapshot
+        )

@@ -1,0 +1,132 @@
+"""Tests for the certificate book."""
+
+import pytest
+
+from repro.hypergiants.certs import CLOUDFLARE_SNI_SUFFIX, CertificateBook
+from repro.timeline import NETFLIX_EXPIRED_ERA, Snapshot
+from repro.x509 import build_web_pki, verify_chain
+
+NOW = Snapshot(2018, 4)
+
+
+@pytest.fixture(scope="module")
+def pki():
+    return build_web_pki()
+
+
+@pytest.fixture(scope="module")
+def book(pki):
+    _, issuers = pki
+    return CertificateBook(issuers, seed=5)
+
+
+class TestHypergiantChains:
+    def test_chain_verifies(self, pki, book):
+        store, _ = pki
+        chain = book.hypergiant_chain("google", 0, NOW)
+        assert verify_chain(chain, store, NOW)
+        assert chain.end_entity.subject.organization == "Google LLC"
+        assert "*.googlevideo.com" in chain.end_entity.dns_names
+
+    def test_era_caching(self, book):
+        a = book.hypergiant_chain("facebook", 0, Snapshot(2018, 4))
+        b = book.hypergiant_chain("facebook", 0, Snapshot(2018, 5))
+        assert a.end_entity.fingerprint == b.end_entity.fingerprint  # same era
+
+    def test_short_validity_rotates(self, book):
+        """Google's ~3-month certificates rotate between snapshots."""
+        a = book.hypergiant_chain("google", 0, Snapshot(2018, 1))
+        b = book.hypergiant_chain("google", 0, Snapshot(2018, 7))
+        assert a.end_entity.fingerprint != b.end_entity.fingerprint
+
+    def test_chain_valid_at_issue_time(self, book):
+        for snapshot in (Snapshot(2014, 1), Snapshot(2019, 10), Snapshot(2021, 4)):
+            chain = book.hypergiant_chain("netflix", 0, snapshot)
+            assert chain.end_entity.is_valid_at(snapshot)
+
+    def test_group_selection(self, book):
+        group1 = book.hypergiant_chain("google", 1, NOW)
+        assert "*.google.com" in group1.end_entity.dns_names
+        assert "*.googlevideo.com" not in group1.end_entity.dns_names
+
+
+class TestNetflixFrozen:
+    def test_offnet_serves_expired_inside_era(self, book):
+        inside = Snapshot(2018, 4)
+        chain = book.hypergiant_chain("netflix", 0, inside, offnet=True)
+        assert not chain.end_entity.is_valid_at(inside)
+        assert chain.end_entity.not_after < NETFLIX_EXPIRED_ERA[0]
+
+    def test_offnet_valid_outside_era(self, book):
+        before = Snapshot(2016, 10)
+        after = Snapshot(2019, 10)
+        assert book.hypergiant_chain("netflix", 0, before, offnet=True).end_entity.is_valid_at(before)
+        assert book.hypergiant_chain("netflix", 0, after, offnet=True).end_entity.is_valid_at(after)
+
+    def test_onnet_unaffected(self, book):
+        inside = Snapshot(2018, 4)
+        chain = book.hypergiant_chain("netflix", 0, inside, offnet=False)
+        assert chain.end_entity.is_valid_at(inside)
+
+
+class TestCloudflareCerts:
+    def test_bundle_has_marker_san(self, book):
+        chain = book.cloudflare_bundle_chain(0, NOW)
+        names = chain.end_entity.dns_names
+        assert any(name.endswith(CLOUDFLARE_SNI_SUFFIX) for name in names)
+        assert sum(1 for n in names if "customer" in n) == 20
+        assert chain.end_entity.subject.organization == "Cloudflare, Inc."
+
+    def test_dedicated_lacks_marker(self, book):
+        chain = book.cloudflare_dedicated_chain(3, NOW)
+        names = chain.end_entity.dns_names
+        assert not any(name.endswith(CLOUDFLARE_SNI_SUFFIX) for name in names)
+        assert "customer3.example.org" in names
+
+    def test_www_bundle_covers_aliases(self, book):
+        chain = book.cloudflare_www_bundle_chain(0, NOW)
+        assert "www.customer0.example.org" in chain.end_entity.dns_names
+
+
+class TestAdversarialCerts:
+    def test_fake_dv_verifies_but_has_foreign_domain(self, pki, book):
+        store, _ = pki
+        chain = book.fake_dv_chain("google", 1, NOW)
+        assert verify_chain(chain, store, NOW)  # WebPKI-valid!
+        assert "google" in chain.end_entity.subject.organization.lower()
+        assert all("google" not in n or "not-google" in n for n in chain.end_entity.dns_names)
+
+    def test_shared_cert_mixes_domains(self, book):
+        chain = book.shared_chain("twitter", 0, NOW)
+        names = chain.end_entity.dns_names
+        assert "*.twimg.com" in names
+        assert any("partner" in n for n in names)
+
+
+class TestBackgroundCerts:
+    def test_valid_mode(self, pki, book):
+        store, _ = pki
+        chain = book.background_chain(1, "Example Site 1 LLC", NOW)
+        assert verify_chain(chain, store, NOW)
+
+    def test_expired_mode(self, pki, book):
+        store, _ = pki
+        chain = book.background_chain(2, "X", NOW, invalid_mode="expired")
+        result = verify_chain(chain, store, NOW)
+        assert not result and result.error.name == "EXPIRED"
+
+    def test_self_signed_mode(self, pki, book):
+        store, _ = pki
+        chain = book.background_chain(3, "X", NOW, invalid_mode="self-signed")
+        result = verify_chain(chain, store, NOW)
+        assert not result and result.error.name == "SELF_SIGNED"
+
+    def test_untrusted_mode(self, pki, book):
+        store, _ = pki
+        chain = book.background_chain(4, "X", NOW, invalid_mode="untrusted")
+        result = verify_chain(chain, store, NOW)
+        assert not result and result.error.name == "UNTRUSTED"
+
+    def test_unknown_mode_rejected(self, book):
+        with pytest.raises(ValueError):
+            book.background_chain(5, "X", NOW, invalid_mode="weird")

@@ -1,0 +1,97 @@
+"""Tests for the deployment engine."""
+
+import pytest
+
+from repro.hypergiants import DeploymentEngine, SCHEDULES, TOP4
+from repro.hypergiants.schedules import scaled_target
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+from repro.topology import TopologyConfig, generate_topology
+
+SCALE = 1420 / 71000
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=3, n_ases_start=900, n_ases_end=1420))
+
+
+@pytest.fixture(scope="module")
+def plan(topo):
+    return DeploymentEngine(topo, scale=SCALE, seed=42).run()
+
+
+class TestDeploymentPlan:
+    def test_counts_track_schedule(self, plan):
+        end = STUDY_SNAPSHOTS[-1]
+        for hypergiant in ("google", "facebook", "netflix", "akamai"):
+            target = scaled_target(SCHEDULES[hypergiant].deployed_target(end), SCALE)
+            assert len(plan.deployed_at(hypergiant, end)) == target
+
+    def test_google_growth_is_monotone(self, plan):
+        previous = frozenset()
+        for snapshot in STUDY_SNAPSHOTS:
+            current = plan.deployed_at("google", snapshot)
+            assert previous <= current
+            previous = current
+
+    def test_akamai_shrinks(self, plan):
+        peak = max(len(plan.deployed_at("akamai", s)) for s in STUDY_SNAPSHOTS)
+        end = len(plan.deployed_at("akamai", STUDY_SNAPSHOTS[-1]))
+        assert end < peak
+
+    def test_facebook_absent_before_launch(self, plan):
+        assert plan.deployed_at("facebook", Snapshot(2016, 4)) == frozenset()
+        assert plan.deployed_at("facebook", Snapshot(2017, 4))
+
+    def test_hosts_are_alive(self, topo, plan):
+        for snapshot in (STUDY_SNAPSHOTS[0], STUDY_SNAPSHOTS[15], STUDY_SNAPSHOTS[-1]):
+            alive = topo.alive(snapshot)
+            for hypergiant in SCHEDULES:
+                assert plan.deployed_at(hypergiant, snapshot) <= alive
+
+    def test_service_hosts_disjoint_from_deployment(self, plan):
+        for snapshot in (STUDY_SNAPSHOTS[10], STUDY_SNAPSHOTS[-1]):
+            for hypergiant in SCHEDULES:
+                deployed = plan.deployed_at(hypergiant, snapshot)
+                service = plan.service_present_at(hypergiant, snapshot)
+                assert not (deployed & service)
+
+    def test_excluded_ases_never_host(self, topo):
+        excluded = frozenset(list(topo.graph.ases)[:50])
+        plan = DeploymentEngine(topo, scale=SCALE, seed=42, excluded_ases=excluded).run()
+        for snapshot in (STUDY_SNAPSHOTS[0], STUDY_SNAPSHOTS[-1]):
+            for hypergiant in SCHEDULES:
+                assert not (plan.deployed_at(hypergiant, snapshot) & excluded)
+                assert not (plan.service_present_at(hypergiant, snapshot) & excluded)
+
+    def test_overlap_increases_over_time(self, plan):
+        """Fig. 10: the share of hosts with ≥2 top-4 HGs grows."""
+
+        def multi_share(snapshot):
+            hosts = plan.hosts_of_any(snapshot, TOP4)
+            if not hosts:
+                return 0.0
+            multi = sum(1 for a in hosts if plan.top4_host_count(a, snapshot) >= 2)
+            return multi / len(hosts)
+
+        assert multi_share(STUDY_SNAPSHOTS[-1]) > multi_share(STUDY_SNAPSHOTS[0])
+        assert multi_share(STUDY_SNAPSHOTS[-1]) > 0.35
+
+    def test_deterministic(self, topo, plan):
+        again = DeploymentEngine(topo, scale=SCALE, seed=42).run()
+        end = STUDY_SNAPSHOTS[-1]
+        for hypergiant in SCHEDULES:
+            assert again.deployed_at(hypergiant, end) == plan.deployed_at(hypergiant, end)
+
+    def test_seed_changes_selection(self, topo, plan):
+        other = DeploymentEngine(topo, scale=SCALE, seed=43).run()
+        end = STUDY_SNAPSHOTS[-1]
+        assert other.deployed_at("google", end) != plan.deployed_at("google", end)
+
+    def test_rejects_nonpositive_scale(self, topo):
+        with pytest.raises(ValueError):
+            DeploymentEngine(topo, scale=0.0, seed=1)
+
+    def test_plan_hypergiants_listing(self, plan):
+        assert "google" in plan.hypergiants()
+        assert "apple" in plan.hypergiants()

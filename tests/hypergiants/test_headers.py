@@ -1,0 +1,112 @@
+"""Unit tests for the header book."""
+
+import pytest
+
+from repro.hypergiants.headers import HeaderBook
+from repro.hypergiants.profiles import HEADER_RULES
+from repro.scan.server import ServerKind, SimulatedServer
+from repro.timeline import Snapshot
+
+NOW = Snapshot(2020, 10)
+
+
+def server(kind, hg="", edge="", salt=0.1, **kwargs):
+    return SimulatedServer(
+        ip=0x0A000001,
+        asn=1,
+        kind=kind,
+        birth=Snapshot(2013, 10),
+        hypergiant=hg,
+        edge_hypergiant=edge,
+        salt=salt,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def book():
+    return HeaderBook(seed=1)
+
+
+def matches_hg(headers, hg):
+    headers_dict = dict(headers)
+    return any(rule.matches_any(headers_dict) for rule in HEADER_RULES[hg])
+
+
+class TestHeaderBook:
+    def test_onnet_emits_fingerprint(self, book):
+        headers = book.headers_for(server(ServerKind.HG_ONNET, "akamai"), NOW, 443)
+        assert matches_hg(headers, "akamai")
+
+    def test_every_fingerprinted_hg_matches_own_rules(self, book):
+        for hg, rules in HEADER_RULES.items():
+            if not rules:
+                continue
+            for salt in (0.05, 0.45, 0.85):
+                headers = book.headers_for(
+                    server(ServerKind.HG_OFFNET, hg, salt=salt), NOW, 443
+                )
+                assert matches_hg(headers, hg), f"{hg} salt={salt}: {headers}"
+
+    def test_at_most_one_server_banner(self, book):
+        for hg in ("akamai", "amazon", "google"):
+            for salt in (0.01, 0.33, 0.66, 0.99):
+                headers = book.headers_for(
+                    server(ServerKind.HG_OFFNET, hg, salt=salt), NOW, 443
+                )
+                banners = [n for n, _ in headers if n.lower() == "server"]
+                assert len(banners) <= 1
+
+    def test_nginx_default_server(self, book):
+        headers = dict(
+            book.headers_for(
+                server(ServerKind.HG_OFFNET, "netflix", nginx_default=True), NOW, 443
+            )
+        )
+        assert headers["Server"] == "nginx"
+        assert not matches_hg(tuple(headers.items()), "netflix")
+
+    def test_headerless_server(self, book):
+        headers = book.headers_for(
+            server(ServerKind.HG_OFFNET, "hulu", headerless=True), NOW, 443
+        )
+        assert not matches_hg(headers, "hulu")
+
+    def test_service_server_shows_edge_headers(self, book):
+        headers = book.headers_for(
+            server(ServerKind.HG_SERVICE, "apple", edge="akamai", salt=0.5), NOW, 443
+        )
+        assert matches_hg(headers, "akamai")
+        assert not matches_hg(headers, "apple")
+
+    def test_service_conflict_leaks_origin_headers(self, book):
+        """§7: ~4% of third-party edges leak origin headers too."""
+        headers = book.headers_for(
+            server(ServerKind.HG_SERVICE, "facebook", edge="akamai", salt=0.01), NOW, 443
+        )
+        assert matches_hg(headers, "akamai")
+        assert matches_hg(headers, "facebook")
+
+    def test_cf_customer_returns_cf_headers(self, book):
+        headers = book.headers_for(server(ServerKind.CF_CUSTOMER, "cloudflare"), NOW, 443)
+        assert matches_hg(headers, "cloudflare")
+
+    def test_background_is_unfingerprinted(self, book):
+        for salt in (0.05, 0.5, 0.95):
+            headers = book.headers_for(
+                server(ServerKind.BACKGROUND, salt=salt), NOW, 443
+            )
+            for hg, rules in HEADER_RULES.items():
+                if rules:
+                    assert not matches_hg(headers, hg), (hg, headers)
+
+    def test_headers_deterministic(self, book):
+        a = book.headers_for(server(ServerKind.HG_ONNET, "facebook"), NOW, 443)
+        b = book.headers_for(server(ServerKind.HG_ONNET, "facebook"), NOW, 443)
+        assert a == b
+
+    def test_anonymous_headers_are_standard_only(self, book):
+        from repro.hypergiants.profiles import STANDARD_HEADERS
+
+        headers = book.anonymous_headers(server(ServerKind.HG_OFFNET, "facebook"))
+        assert all(name.lower() in STANDARD_HEADERS for name, _ in headers)

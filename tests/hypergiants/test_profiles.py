@@ -1,0 +1,90 @@
+"""Tests for hypergiant profiles and Table 4 header rules."""
+
+import pytest
+
+from repro.hypergiants import HEADER_RULES, HYPERGIANTS, HeaderRule, TOP4, profile
+from repro.timeline import Snapshot
+
+
+class TestProfiles:
+    def test_twenty_three_hypergiants(self):
+        """§4.6 examines exactly 23 HGs."""
+        assert len(HYPERGIANTS) == 23
+        assert len({hg.key for hg in HYPERGIANTS}) == 23
+
+    def test_top4(self):
+        assert set(TOP4) == {"google", "netflix", "facebook", "akamai"}
+
+    def test_profile_lookup(self):
+        assert profile("google").organization == "Google LLC"
+        with pytest.raises(KeyError):
+            profile("not-a-hypergiant")
+
+    def test_every_profile_has_domains(self):
+        for hg in HYPERGIANTS:
+            assert hg.domain_groups
+            assert all(group for group in hg.domain_groups)
+            assert hg.offnet_domains == hg.domain_groups[0]
+
+    def test_all_domains_flattens_groups(self):
+        google = profile("google")
+        assert "*.googlevideo.com" in google.all_domains
+        assert "*.youtube.com" in google.all_domains
+
+    def test_some_hgs_lack_header_rules(self):
+        """A.5: no usable headers for Bamtech, CDN77, Cachefly, ..."""
+        without = {hg.key for hg in HYPERGIANTS if not hg.header_rules}
+        assert {"bamtech", "cdn77", "cachefly", "chinacache", "disney", "highwinds", "yahoo"} <= without
+
+    def test_validity_steps(self):
+        """A.3: Google ~3 months; Netflix drops to ~1 month in 2019;
+        Microsoft grows from 1 to 2 years."""
+        assert profile("google").validity_months(Snapshot(2018, 1)) == 3
+        netflix = profile("netflix")
+        assert netflix.validity_months(Snapshot(2015, 1)) == 18
+        assert netflix.validity_months(Snapshot(2017, 1)) == 8
+        assert netflix.validity_months(Snapshot(2020, 1)) == 1
+        microsoft = profile("microsoft")
+        assert microsoft.validity_months(Snapshot(2014, 1)) == 12
+        assert microsoft.validity_months(Snapshot(2019, 1)) == 24
+
+
+class TestHeaderRule:
+    def test_exact_name_and_value(self):
+        rule = HeaderRule("Server", "AkamaiGHost")
+        assert rule.matches("Server", "AkamaiGHost")
+        assert rule.matches("server", "AkamaiGHost")  # names case-insensitive
+        assert not rule.matches("Server", "akamaighost")  # values case-sensitive
+        assert not rule.matches("X-Server", "AkamaiGHost")
+
+    def test_name_only(self):
+        rule = HeaderRule("X-FB-Debug", None)
+        assert rule.matches("x-fb-debug", "anything==")
+        assert not rule.matches("x-fb-debug-2", "x")
+
+    def test_value_prefix(self):
+        rule = HeaderRule("Server", "gws*")
+        assert rule.matches("Server", "gws")
+        assert rule.matches("Server", "gws/2.1")
+        assert not rule.matches("Server", "nginx")
+
+    def test_name_prefix(self):
+        """The X-Netflix.* rule matches any header whose name starts so."""
+        rule = HeaderRule("X-Netflix.*", None)
+        assert rule.matches("X-Netflix.proxy-id", "abc")
+        assert rule.matches("x-netflix.request", "abc")
+        assert not rule.matches("X-Netfli", "abc")
+
+    def test_matches_any(self):
+        rule = HeaderRule("cf-ray", None)
+        assert rule.matches_any({"Server": "cloudflare", "cf-ray": "5d0..."})
+        assert not rule.matches_any({"Server": "nginx"})
+
+    def test_table4_contains_documented_examples(self):
+        """Spot-check Table 1's rows."""
+        assert any(
+            r.name == "Server" and r.value == "AkamaiGHost" for r in HEADER_RULES["akamai"]
+        )
+        assert any(r.name == "X-FB-Debug" for r in HEADER_RULES["facebook"])
+        assert any(r.name == "Server" and r.value == "gws*" for r in HEADER_RULES["google"])
+        assert any(r.name.startswith("cf-") for r in HEADER_RULES["cloudflare"])

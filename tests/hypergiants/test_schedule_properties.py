@@ -1,0 +1,71 @@
+"""Property-based tests for schedule interpolation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypergiants.schedules import DeploymentSchedule, SCHEDULES, scaled_target
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+
+snapshots = st.builds(
+    Snapshot,
+    st.integers(min_value=2012, max_value=2022),
+    st.integers(min_value=1, max_value=12),
+)
+
+
+@st.composite
+def schedules(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    months = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=90),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    base = Snapshot(2013, 10)
+    anchors = tuple(
+        (base.plus_months(m), draw(st.integers(min_value=0, max_value=5000)))
+        for m in months
+    )
+    return DeploymentSchedule("prop", deployed_anchors=anchors)
+
+
+class TestInterpolationProperties:
+    @given(schedules(), snapshots)
+    def test_bounded_by_anchor_extremes(self, schedule, when):
+        values = [v for _, v in schedule.deployed_anchors]
+        target = schedule.deployed_target(when)
+        assert 0 <= target <= max(values)
+
+    @given(schedules())
+    def test_exact_at_anchors(self, schedule):
+        for snapshot, value in schedule.deployed_anchors:
+            assert schedule.deployed_target(snapshot) == value
+
+    @given(snapshots)
+    def test_monotone_hgs_are_monotone(self, when):
+        """Google/Facebook schedules never decrease."""
+        later = when.plus_months(3)
+        for hypergiant in ("google", "facebook"):
+            schedule = SCHEDULES[hypergiant]
+            assert schedule.deployed_target(later) >= schedule.deployed_target(when)
+
+    @given(st.integers(min_value=0, max_value=10000), st.floats(min_value=0.001, max_value=1.0))
+    def test_scaled_target_properties(self, count, scale):
+        scaled = scaled_target(count, scale)
+        assert scaled >= 0
+        if count > 0:
+            assert scaled >= 1
+        else:
+            assert scaled == 0
+
+    def test_all_schedules_cover_study(self):
+        """Every schedule interpolates cleanly over every study snapshot."""
+        for name, schedule in SCHEDULES.items():
+            for snapshot in STUDY_SNAPSHOTS:
+                assert schedule.deployed_target(snapshot) >= 0, name
+                assert schedule.service_extra_target(snapshot) >= 0, name

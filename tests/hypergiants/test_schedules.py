@@ -1,0 +1,100 @@
+"""Tests for the Table 3-anchored deployment schedules."""
+
+import pytest
+
+from repro.hypergiants.schedules import DeploymentSchedule, SCHEDULES, scaled_target
+from repro.timeline import Snapshot
+
+
+class TestInterpolation:
+    def test_anchor_values_exact(self):
+        google = SCHEDULES["google"]
+        assert google.deployed_target(Snapshot(2013, 10)) == 1044
+        assert google.deployed_target(Snapshot(2021, 4)) == 3810
+
+    def test_interpolates_between_anchors(self):
+        google = SCHEDULES["google"]
+        mid = google.deployed_target(Snapshot(2014, 4))
+        assert 1044 < mid < 1330
+
+    def test_before_first_anchor_is_zero(self):
+        facebook = SCHEDULES["facebook"]
+        assert facebook.deployed_target(Snapshot(2012, 1)) == 0
+
+    def test_after_last_anchor_holds(self):
+        google = SCHEDULES["google"]
+        assert google.deployed_target(Snapshot(2022, 1)) == 3810
+
+    def test_out_of_order_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentSchedule(
+                "x",
+                deployed_anchors=((Snapshot(2020, 1), 5), (Snapshot(2019, 1), 3)),
+            )
+
+
+class TestPaperAnchors:
+    def test_table3_endpoints(self):
+        """The 2021-04 confirmed counts of Table 3."""
+        end = Snapshot(2021, 4)
+        expected = {
+            "google": 3810,
+            "facebook": 2214,
+            "netflix": 2115,
+            "akamai": 1094,
+            "alibaba": 136,
+            "cloudflare": 110,
+            "amazon": 62,
+            "cdnetworks": 11,
+            "limelight": 32,
+            "apple": 0,
+            "twitter": 4,
+        }
+        for hypergiant, count in expected.items():
+            assert SCHEDULES[hypergiant].deployed_target(end) == count
+
+    def test_table3_maxima(self):
+        """Maximum deployments occur at the snapshots Table 3 reports."""
+        checks = {
+            "akamai": (Snapshot(2018, 4), 1463),
+            "alibaba": (Snapshot(2018, 1), 184),
+            "amazon": (Snapshot(2017, 7), 112),
+            "cdnetworks": (Snapshot(2019, 1), 51),
+            "limelight": (Snapshot(2020, 4), 42),
+        }
+        for hypergiant, (when, value) in checks.items():
+            schedule = SCHEDULES[hypergiant]
+            assert schedule.deployed_target(when) == value
+            # It is the global max across the study timeline.
+            from repro.timeline import STUDY_SNAPSHOTS
+
+            assert max(schedule.deployed_target(s) for s in STUDY_SNAPSHOTS) == value
+
+    def test_facebook_launch_timing(self):
+        facebook = SCHEDULES["facebook"]
+        assert facebook.deployed_target(Snapshot(2016, 4)) == 0
+        assert facebook.deployed_target(Snapshot(2016, 10)) > 0
+
+    def test_akamai_shrinks_after_2018(self):
+        akamai = SCHEDULES["akamai"]
+        assert akamai.deployed_target(Snapshot(2021, 4)) < akamai.deployed_target(
+            Snapshot(2018, 4)
+        )
+
+    def test_service_extras_for_apple_exceed_deployment(self):
+        """Apple: 0 confirmed vs 267 cert-only ASes at the end."""
+        apple = SCHEDULES["apple"]
+        end = Snapshot(2021, 4)
+        assert apple.deployed_target(end) == 0
+        assert apple.service_extra_target(end) == 267
+
+
+class TestScaledTarget:
+    def test_zero_stays_zero(self):
+        assert scaled_target(0, 0.1) == 0
+
+    def test_small_nonzero_rounds_to_at_least_one(self):
+        assert scaled_target(4, 0.01) == 1
+
+    def test_proportional(self):
+        assert scaled_target(1000, 0.1) == 100

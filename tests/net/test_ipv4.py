@@ -1,0 +1,120 @@
+"""Tests for IPv4 address/prefix machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import IPv4Address, IPv4Prefix, is_bogon
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestIPv4Address:
+    def test_parse_and_str_round_trip(self):
+        for text in ("0.0.0.0", "192.0.2.1", "255.255.255.255", "8.8.8.8"):
+            assert str(IPv4Address.parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "01.2.3.4", "-1.2.3.4", ""]
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            IPv4Address.parse(bad)
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+    @given(addresses)
+    def test_str_parse_round_trip(self, address):
+        assert IPv4Address.parse(str(address)) == address
+
+    def test_ordering_matches_integers(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+
+class TestIPv4Prefix:
+    def test_parse(self):
+        prefix = IPv4Prefix.parse("198.51.100.0/24")
+        assert prefix.length == 24
+        assert str(prefix) == "198.51.100.0/24"
+        assert prefix.num_addresses == 256
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse("198.51.100.1/24")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse("198.51.100.0")
+
+    def test_from_address_masks_host_bits(self):
+        prefix = IPv4Prefix.from_address(IPv4Address.parse("198.51.100.77"), 24)
+        assert str(prefix) == "198.51.100.0/24"
+
+    def test_contains_address(self):
+        prefix = IPv4Prefix.parse("10.0.0.0/8")
+        assert IPv4Address.parse("10.255.0.1") in prefix
+        assert IPv4Address.parse("11.0.0.0") not in prefix
+
+    def test_contains_subprefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        assert IPv4Prefix.parse("10.1.0.0/16") in outer
+        assert outer not in IPv4Prefix.parse("10.1.0.0/16")
+        assert outer in outer
+
+    def test_first_last(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/30")
+        assert str(prefix.first) == "192.0.2.0"
+        assert str(prefix.last) == "192.0.2.3"
+
+    def test_address_at(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert str(prefix.address_at(5)) == "192.0.2.5"
+        with pytest.raises(IndexError):
+            prefix.address_at(256)
+
+    def test_hosts_enumeration(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/30")
+        assert [str(a) for a in prefix.hosts()] == [
+            "192.0.2.0",
+            "192.0.2.1",
+            "192.0.2.2",
+            "192.0.2.3",
+        ]
+
+    def test_subnets(self):
+        prefix = IPv4Prefix.parse("10.0.0.0/8")
+        subnets = list(prefix.subnets(10))
+        assert len(subnets) == 4
+        assert all(s in prefix for s in subnets)
+        with pytest.raises(ValueError):
+            list(prefix.subnets(7))
+
+    @given(addresses, prefix_lengths)
+    def test_from_address_always_contains_address(self, address, length):
+        prefix = IPv4Prefix.from_address(address, length)
+        assert address in prefix
+
+    @given(addresses, prefix_lengths)
+    def test_num_addresses_matches_bounds(self, address, length):
+        prefix = IPv4Prefix.from_address(address, length)
+        assert prefix.last.value - prefix.first.value + 1 == prefix.num_addresses
+
+
+class TestBogons:
+    def test_private_space_is_bogon(self):
+        assert is_bogon(IPv4Address.parse("10.1.2.3"))
+        assert is_bogon(IPv4Address.parse("192.168.1.1"))
+        assert is_bogon(IPv4Prefix.parse("172.16.0.0/12"))
+
+    def test_public_space_is_not_bogon(self):
+        assert not is_bogon(IPv4Address.parse("8.8.8.8"))
+        assert not is_bogon(IPv4Prefix.parse("104.16.0.0/12"))
+
+    def test_covering_prefix_is_bogon(self):
+        # A /6 that covers 10/8 overlaps special space.
+        assert is_bogon(IPv4Prefix.parse("8.0.0.0/6"))

@@ -1,0 +1,83 @@
+"""Tests for the IPv6 value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipv6 import IPv6Address, IPv6Prefix, is_ipv6_int
+
+addresses = st.integers(min_value=0, max_value=2**128 - 1).map(IPv6Address)
+
+
+class TestIPv6Address:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("2001:db8::", 0x20010DB8 << 96),
+            ("2001:db8::1", (0x20010DB8 << 96) | 1),
+            ("fe80::1:2", (0xFE80 << 112) | (1 << 16) | 2),
+            ("1:2:3:4:5:6:7:8", 0x00010002000300040005000600070008),
+        ],
+    )
+    def test_parse(self, text, value):
+        assert IPv6Address.parse(text).value == value
+
+    @pytest.mark.parametrize(
+        "bad", ["", ":::", "1::2::3", "12345::", "g::1", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9"]
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            IPv6Address.parse(bad)
+
+    def test_str_compresses(self):
+        assert str(IPv6Address.parse("2001:0db8:0000:0000:0000:0000:0000:0001")) == "2001:db8::1"
+        assert str(IPv6Address(0)) == "::"
+
+    @given(addresses)
+    def test_round_trip(self, address):
+        assert IPv6Address.parse(str(address)) == address
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv6Address(2**128)
+
+
+class TestIPv6Prefix:
+    def test_parse_and_contains(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        assert IPv6Address.parse("2001:db8:ffff::1") in prefix
+        assert IPv6Address.parse("2001:db9::1") not in prefix
+        assert str(prefix) == "2001:db8::/32"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            IPv6Prefix.parse("2001:db8::1/32")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(ValueError):
+            IPv6Prefix.parse("2001:db8::")
+
+    def test_address_at(self):
+        prefix = IPv6Prefix.parse("2001:db8::/48")
+        assert str(prefix.address_at(5)) == "2001:db8::5"
+        with pytest.raises(IndexError):
+            prefix.address_at(prefix.num_addresses)
+
+    def test_nested_prefixes(self):
+        outer = IPv6Prefix.parse("2001::/16")
+        inner = IPv6Prefix.parse("2001:db8::/48")
+        assert inner in outer
+        assert outer not in inner
+
+
+class TestFamilyDiscrimination:
+    def test_v4_ints_are_not_v6(self):
+        assert not is_ipv6_int(0)
+        assert not is_ipv6_int(2**32 - 1)
+
+    def test_world_v6_allocations_are_v6(self):
+        prefix = IPv6Prefix.parse("2001:0:1::/48")
+        assert is_ipv6_int(prefix.network)
+        assert is_ipv6_int(prefix.address_at(1).value)

@@ -1,0 +1,50 @@
+"""Round-trip tests for JSONL corpus persistence."""
+
+from repro.scan.corpus import load_snapshot, save_snapshot
+from repro.timeline import Snapshot
+
+END = Snapshot(2021, 4)
+
+
+class TestCorpusRoundTrip:
+    def test_save_and_load(self, small_world, tmp_path):
+        original = small_world.scan("rapid7", Snapshot(2014, 4))
+        path = tmp_path / "corpus.jsonl"
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        assert loaded.scanner == original.scanner
+        assert loaded.snapshot == original.snapshot
+        assert len(loaded.tls_records) == len(original.tls_records)
+        assert len(loaded.http_records) == len(original.http_records)
+
+    def test_certificates_survive_round_trip(self, small_world, tmp_path):
+        original = small_world.scan("rapid7", Snapshot(2014, 4))
+        path = tmp_path / "corpus.jsonl"
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        for before, after in zip(original.tls_records, loaded.tls_records):
+            assert before.ip == after.ip
+            assert before.chain.end_entity == after.chain.end_entity
+            assert len(before.chain) == len(after.chain)
+
+    def test_chains_are_deduplicated_on_disk(self, small_world, tmp_path):
+        original = small_world.scan("rapid7", Snapshot(2014, 4))
+        path = tmp_path / "corpus.jsonl"
+        save_snapshot(original, path)
+        chain_lines = sum(1 for line in path.open() if '"type": "chain"' in line)
+        assert chain_lines == original.unique_certificates()
+
+    def test_loaded_chains_still_verify(self, small_world, tmp_path):
+        from repro.x509 import verify_chain
+
+        snapshot = Snapshot(2014, 4)
+        original = small_world.scan("rapid7", snapshot)
+        path = tmp_path / "corpus.jsonl"
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        verified = sum(
+            1
+            for record in loaded.tls_records[:200]
+            if verify_chain(record.chain, small_world.root_store, snapshot)
+        )
+        assert verified > 0

@@ -1,0 +1,71 @@
+"""Property-based round-trip tests for corpus persistence."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scan.corpus import load_snapshot, save_snapshot
+from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
+from repro.timeline import Snapshot
+from repro.x509 import CertificateAuthority, SubjectName, build_chain
+
+_AUTHORITY = CertificateAuthority.create_root(
+    "Property Test CA", Snapshot(2010, 1), Snapshot(2035, 1)
+)
+
+printable = st.text(alphabet=string.printable.strip(), min_size=0, max_size=20)
+names = st.text(alphabet=string.ascii_letters + "-", min_size=1, max_size=15)
+
+
+@st.composite
+def tls_records(draw):
+    org = draw(st.text(alphabet=string.ascii_letters + " ,.", max_size=25))
+    domains = tuple(
+        draw(st.lists(
+            st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+            min_size=1, max_size=3, unique=True,
+        ))
+    )
+    leaf = _AUTHORITY.issue(
+        subject=SubjectName(common_name=domains[0], organization=org),
+        dns_names=tuple(f"{d}.example.com" for d in domains),
+        not_before=Snapshot(2015, draw(st.integers(1, 12))),
+        not_after=Snapshot(2022, draw(st.integers(1, 12))),
+    )
+    ip = draw(st.integers(min_value=1, max_value=2**32 - 1))
+    return TLSRecord(ip=ip, chain=build_chain(leaf, _AUTHORITY, include_root=True))
+
+
+@st.composite
+def http_records(draw):
+    headers = tuple(
+        (draw(names), draw(printable))
+        for _ in range(draw(st.integers(0, 5)))
+    )
+    return HTTPRecord(
+        ip=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+        port=draw(st.sampled_from((80, 443))),
+        headers=headers,
+    )
+
+
+class TestCorpusRoundTripProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(tls_records(), max_size=8),
+        st.lists(http_records(), max_size=8),
+    )
+    def test_round_trip_preserves_everything(self, tmp_path_factory, tls, http):
+        snapshot = ScanSnapshot(scanner="prop", snapshot=Snapshot(2019, 10))
+        snapshot.tls_records.extend(tls)
+        snapshot.http_records.extend(http)
+        path = tmp_path_factory.mktemp("corpus") / "c.jsonl"
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.scanner == snapshot.scanner
+        assert loaded.snapshot == snapshot.snapshot
+        assert [(r.ip, r.chain.end_entity) for r in loaded.tls_records] == [
+            (r.ip, r.chain.end_entity) for r in snapshot.tls_records
+        ]
+        assert loaded.http_records == snapshot.http_records

@@ -1,0 +1,77 @@
+"""Failure-injection tests: the pipeline must degrade, not crash."""
+
+import pytest
+
+from repro.core import OffnetPipeline
+from repro.scan import Scanner, ScannerProfile
+from repro.scan.records import ScanSnapshot
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+class TestDegradedScanners:
+    def test_blind_scanner_yields_empty_corpus(self, small_world):
+        blind = Scanner(
+            ScannerProfile(
+                name="blind",
+                visibility=0.0,
+                exclusion_growth_per_year=None,
+                operating_since=Snapshot(2013, 6),
+                available_since=Snapshot(2013, 10),
+                https_headers_since=None,
+                http_headers_since=None,
+            )
+        )
+        scan = blind.scan(small_world, END)
+        assert scan.tls_records == []
+        assert scan.http_records == []
+        assert scan.ip_count == 0
+        assert scan.unique_certificates() == 0
+
+    def test_total_exclusion_removes_half_the_corpus(self, small_world):
+        greedy = Scanner(
+            ScannerProfile(
+                name="complained-at",
+                visibility=1.0,
+                exclusion_growth_per_year=10.0,  # capped at 50% internally
+                operating_since=Snapshot(2000, 1),
+                available_since=Snapshot(2013, 10),
+                https_headers_since=None,
+                http_headers_since=None,
+            )
+        )
+        full = small_world.scan("certigo", Snapshot(2019, 10))
+        crippled = greedy.scan(small_world, Snapshot(2019, 10))
+        assert 0 < crippled.ip_count < full.ip_count
+
+
+class TestPipelineOnDegenerateInput:
+    def test_empty_corpus_runs_clean(self, small_world):
+        """Validation, fingerprinting, and confirmation of nothing."""
+        from repro.core import CertificateValidator
+
+        empty = ScanSnapshot(scanner="rapid7", snapshot=END)
+        records, stats = CertificateValidator(small_world.root_store).validate_snapshot(empty)
+        assert records == []
+        assert stats.total == 0
+        assert stats.invalid_fraction == 0.0
+
+    def test_pipeline_single_early_snapshot(self, small_world):
+        """Before HTTPS header corpuses exist, port-80 confirmation stands in."""
+        result = OffnetPipeline.for_world(small_world).run(snapshots=(Snapshot(2014, 4),))
+        footprint = result.at(Snapshot(2014, 4))
+        assert footprint.confirmed_ases.get("google")
+        # HTTPS header records do not exist yet.
+        scan = small_world.scan("rapid7", Snapshot(2014, 4))
+        assert all(record.port == 80 for record in scan.http_records)
+
+    def test_unknown_metric_rejected(self, pipeline_result):
+        with pytest.raises(ValueError):
+            pipeline_result.as_count("google", END, "nonsense")
+        with pytest.raises(ValueError):
+            pipeline_result.footprint_ases("google", END, "nonsense")
+
+    def test_netflix_metrics_rejected_for_other_hgs(self, pipeline_result):
+        with pytest.raises(ValueError):
+            pipeline_result.as_count("google", END, "with_expired")

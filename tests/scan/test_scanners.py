@@ -1,0 +1,128 @@
+"""Tests for the scan simulators against a shared world."""
+
+import pytest
+
+from repro.scan import CENSYS, CERTIGO, RAPID7, Scanner
+from repro.scan.exclusions import ExclusionList
+from repro.scan.handshake import certificate_covers_domain, dns_name_matches
+from repro.timeline import Snapshot
+from repro.net import IPv4Prefix
+
+END = Snapshot(2021, 4)
+NOV19 = Snapshot(2019, 10)
+
+
+class TestDnsNameMatching:
+    @pytest.mark.parametrize(
+        "pattern,domain,expected",
+        [
+            ("*.google.com", "www.google.com", True),
+            ("*.google.com", "google.com", False),
+            ("*.google.com", "a.b.google.com", False),
+            ("*.google.com", "www.googleXcom", False),
+            ("t.co", "t.co", True),
+            ("t.co", "www.t.co", False),
+            ("*.googlevideo.com", "r1---sn.googlevideo.com", True),
+            ("", "x.com", False),
+        ],
+    )
+    def test_wildcard_semantics(self, pattern, domain, expected):
+        assert dns_name_matches(pattern, domain) is expected
+
+    def test_case_insensitive(self):
+        assert dns_name_matches("*.Google.COM", "WWW.google.com")
+
+
+class TestScannerAvailability:
+    def test_censys_not_available_early(self, small_world):
+        with pytest.raises(ValueError):
+            small_world.scan("censys", Snapshot(2016, 4))
+
+    def test_unknown_scanner(self, small_world):
+        with pytest.raises(KeyError):
+            small_world.scan("shodan", END)
+
+    def test_rapid7_has_no_https_headers_before_2016(self, small_world):
+        scan = small_world.scan("rapid7", Snapshot(2015, 4))
+        assert all(record.port == 80 for record in scan.http_records)
+
+    def test_rapid7_has_https_headers_after_2016(self, small_world):
+        scan = small_world.scan("rapid7", Snapshot(2017, 4))
+        assert any(record.port == 443 for record in scan.http_records)
+
+    def test_certigo_has_no_headers(self, small_world):
+        scan = small_world.scan("certigo", NOV19)
+        assert scan.http_records == []
+        assert scan.tls_records
+
+
+class TestScannerCoverage:
+    def test_certigo_sees_more_ips(self, small_world):
+        """§5/Table 2: the fresh slow scan finds ~15-25% more IPs."""
+        rapid7 = small_world.scan("rapid7", NOV19)
+        certigo = small_world.scan("certigo", NOV19)
+        assert certigo.ip_count > rapid7.ip_count
+        ratio = certigo.ip_count / rapid7.ip_count
+        assert 1.05 < ratio < 1.35
+
+    def test_rapid7_censys_similar(self, small_world):
+        rapid7 = small_world.scan("rapid7", NOV19)
+        censys = small_world.scan("censys", NOV19)
+        assert abs(rapid7.ip_count - censys.ip_count) / rapid7.ip_count < 0.1
+
+    def test_scan_is_deterministic(self, small_world):
+        a = small_world.scanner("rapid7").scan(small_world, END)
+        b = small_world.scanner("rapid7").scan(small_world, END)
+        assert [r.ip for r in a.tls_records] == [r.ip for r in b.tls_records]
+
+    def test_corpus_grows_over_time(self, small_world):
+        early = small_world.scan("rapid7", Snapshot(2013, 10))
+        late = small_world.scan("rapid7", END)
+        assert late.ip_count > early.ip_count * 2
+
+
+class TestExclusionList:
+    def test_monotone_growth(self):
+        universe = tuple(IPv4Prefix.parse(f"{o}.0.0.0/24") for o in range(1, 60))
+        exclusions = ExclusionList(
+            growth_per_year=0.05, operating_since=Snapshot(2013, 6), seed=1
+        )
+        early = exclusions.excluded_blocks(universe, Snapshot(2015, 1))
+        late = exclusions.excluded_blocks(universe, Snapshot(2020, 1))
+        assert early <= late
+        assert len(late) > len(early)
+
+    def test_no_exclusions_at_start(self):
+        universe = (IPv4Prefix.parse("1.0.0.0/20"),)
+        exclusions = ExclusionList(
+            growth_per_year=0.05, operating_since=Snapshot(2013, 6), seed=1
+        )
+        assert exclusions.excluded_blocks(universe, Snapshot(2013, 6)) == frozenset()
+
+    def test_is_excluded(self):
+        exclusions = ExclusionList(
+            growth_per_year=1.0, operating_since=Snapshot(2013, 6), seed=1
+        )
+        blocks = frozenset({0x01020300})
+        assert exclusions.is_excluded(0x01020305, blocks)
+        assert not exclusions.is_excluded(0x01020405, blocks)
+
+
+class TestScanRecords:
+    def test_http_for_lookup(self, small_world):
+        scan = small_world.scan("rapid7", END)
+        record = scan.http_records[0]
+        assert scan.http_for(record.ip, record.port) is not None
+        assert scan.http_for(0xDEADBEEF, 443) is None
+
+    def test_header_dict(self, small_world):
+        scan = small_world.scan("rapid7", END)
+        record = scan.http_records[0]
+        assert record.header_dict() == dict(record.headers)
+
+
+class TestCertificateCoverage:
+    def test_certificate_covers_domain(self, small_world):
+        chain = small_world.cert_book.hypergiant_chain("google", 0, END)
+        assert certificate_covers_domain(chain.end_entity, "r1.googlevideo.com")
+        assert not certificate_covers_domain(chain.end_entity, "www.netflix.com")

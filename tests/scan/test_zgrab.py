@@ -1,0 +1,95 @@
+"""Tests for the ZGrab2-style targeted scanner."""
+
+import pytest
+
+from repro.scan import zgrab_scan
+from repro.scan.server import ServerKind
+from repro.timeline import STUDY_SNAPSHOTS
+from repro.validation.crossdomain import popular_domain
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+def find_server(world, kind, hg, alive_at=END):
+    for server in world.servers:
+        if server.kind is kind and server.hypergiant == hg and server.alive_at(alive_at):
+            return server
+    raise AssertionError(f"no {kind} server for {hg}")
+
+
+class TestZGrab:
+    def test_offnet_validates_own_domain(self, small_world):
+        server = find_server(small_world, ServerKind.HG_OFFNET, "google")
+        [result] = zgrab_scan(small_world, END, [(server.ip, "r1.googlevideo.com")])
+        assert result.responded
+        assert result.tls_valid
+        assert result.headers
+
+    def test_offnet_rejects_foreign_domain(self, small_world):
+        server = find_server(small_world, ServerKind.HG_OFFNET, "google")
+        [result] = zgrab_scan(small_world, END, [(server.ip, "www.nflxvideo.net")])
+        assert result.responded
+        assert not result.tls_valid
+
+    def test_akamai_offnet_validates_delivery_customers(self, small_world):
+        """The §5 anomaly: Akamai boxes answer for Akamai-delivered brands."""
+        server = find_server(small_world, ServerKind.HG_OFFNET, "akamai")
+        [apple] = zgrab_scan(small_world, END, [(server.ip, "www.apple.com")])
+        assert apple.tls_valid
+        [google] = zgrab_scan(small_world, END, [(server.ip, "www.googlevideo.com")])
+        assert not google.tls_valid  # Google is not an Akamai customer
+
+    def test_unknown_ip_does_not_respond(self, small_world):
+        [result] = zgrab_scan(small_world, END, [(1, "www.example.com")])
+        assert not result.responded
+        assert not result.tls_valid
+
+    def test_dead_server_does_not_respond(self, small_world):
+        victims = [
+            s
+            for s in small_world.servers
+            if s.death is not None and s.death < END
+        ]
+        if not victims:
+            pytest.skip("no dead servers in this world")
+        [result] = zgrab_scan(small_world, END, [(victims[0].ip, "www.example.com")])
+        assert not result.responded
+
+    def test_background_validates_own_site_only(self, small_world):
+        server = next(
+            s
+            for s in small_world.servers
+            if s.kind is ServerKind.BACKGROUND and s.invalid_mode == "" and s.alive_at(END)
+        )
+        domain = f"site{server.domain_group}.example.com"
+        [own] = zgrab_scan(small_world, END, [(server.ip, domain)])
+        assert own.tls_valid
+        [foreign] = zgrab_scan(small_world, END, [(server.ip, "www.google.com")])
+        assert not foreign.tls_valid
+
+    def test_invalid_cert_never_validates(self, small_world):
+        server = next(
+            s
+            for s in small_world.servers
+            if s.kind is ServerKind.BACKGROUND
+            and s.invalid_mode == "expired"
+            and s.alive_at(END)
+        )
+        domain = f"site{server.domain_group}.example.com"
+        [result] = zgrab_scan(small_world, END, [(server.ip, domain)])
+        assert result.responded
+        assert not result.tls_valid
+
+
+class TestPopularDomain:
+    def test_wildcards_become_concrete(self):
+        assert popular_domain("google", 0) == "www.googlevideo.com"
+
+    def test_non_wildcards_pass_through(self):
+        domain = popular_domain("twitter", 50)
+        assert not domain.startswith("*")
+
+    def test_index_wraps(self):
+        assert popular_domain("netflix", 0) == popular_domain(
+            "netflix", len(__import__("repro.hypergiants.profiles", fromlist=["profile"]).profile("netflix").all_domains)
+        )

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 7
+        assert args.scale == pytest.approx(0.02)
+
+    def test_dump_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dump"])
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--scale", "0.012", "run"],
+        ["--scale", "0.012", "validate"],
+        ["--scale", "0.012", "coverage", "--hypergiant", "google", "--cones"],
+        ["--scale", "0.012", "growth", "--hypergiant", "netflix"],
+    ],
+)
+def test_commands_run(argv, capsys):
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert output.strip()
+
+
+def test_dump_command(tmp_path, capsys):
+    out = tmp_path / "corpus.jsonl"
+    assert main(["--scale", "0.012", "dump", "--snapshot", "2019-10", "--out", str(out)]) == 0
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_growth_non_netflix(capsys):
+    assert main(["--scale", "0.012", "growth", "--hypergiant", "akamai"]) == 0
+    assert "akamai off-net growth" in capsys.readouterr().out
+
+
+def test_export_and_run_files(tmp_path, capsys):
+    directory = tmp_path / "ds"
+    assert main([
+        "--scale", "0.012", "export", "--dir", str(directory),
+        "--snapshot", "2020-10", "--snapshot", "2021-04",
+    ]) == 0
+    assert (directory / "manifest.json").exists()
+    capsys.readouterr()
+    assert main(["run-files", "--dir", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "google" in out

@@ -1,0 +1,117 @@
+"""Small-surface tests for corners the main suites do not reach."""
+
+from repro.analysis import render_table
+from repro.bgp.rib import RibEntry, RibSnapshot
+from repro.net import IPv4Prefix
+from repro.scan.server import ServerKind
+from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+from repro.topology.geography import Continent, countries_in, country_by_code
+from repro.topology.organizations import Organization, OrganizationDataset
+from repro.world.policy import _offnet_shard
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+class TestReportEdges:
+    def test_rows_wider_than_headers(self):
+        text = render_table(["a"], [[1, 2, 3]])
+        assert "3" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestGeographyHelpers:
+    def test_countries_in(self):
+        europe = countries_in(Continent.EUROPE)
+        assert all(c.continent is Continent.EUROPE for c in europe)
+        assert any(c.code == "DE" for c in europe)
+
+    def test_unknown_country_code(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            country_by_code("ZZ")
+
+
+class TestOrganizationsEdges:
+    def test_reassignment_moves_as(self):
+        dataset = OrganizationDataset()
+        de = country_by_code("DE")
+        a = Organization("ORG-A", "Alpha Net", de)
+        b = Organization("ORG-B", "Beta Net", de)
+        dataset.add_organization(a)
+        dataset.add_organization(b)
+        dataset.assign(1, "ORG-A")
+        dataset.assign(1, "ORG-B")
+        assert dataset.ases_of("ORG-A") == frozenset()
+        assert dataset.ases_of("ORG-B") == {1}
+        assert dataset.organization_of(1).name == "Beta Net"
+
+    def test_assign_to_unknown_org(self):
+        import pytest
+
+        dataset = OrganizationDataset()
+        with pytest.raises(KeyError):
+            dataset.assign(1, "ORG-MISSING")
+
+    def test_country_of_unmapped(self):
+        assert OrganizationDataset().country_of(42) is None
+
+
+class TestRibHelpers:
+    def test_origins_of_and_merge(self):
+        prefix = IPv4Prefix.parse("1.0.0.0/24")
+        snap = RibSnapshot(
+            "c", Snapshot(2019, 10),
+            (RibEntry(prefix, 1, 1.0), RibEntry(prefix, 2, 0.5)),
+        )
+        assert snap.origins_of(prefix) == {1, 2}
+        assert snap.origins_of(IPv4Prefix.parse("2.0.0.0/24")) == frozenset()
+        merged = RibSnapshot.merge_entry_lists([snap.entries, snap.entries])
+        assert len(merged) == 4
+
+
+class TestOffnetShards:
+    def _server(self, hg, salt):
+        from repro.scan.server import SimulatedServer
+
+        return SimulatedServer(
+            ip=1, asn=1, kind=ServerKind.HG_OFFNET,
+            birth=STUDY_SNAPSHOTS[0], hypergiant=hg, salt=salt,
+        )
+
+    def test_google_shards_weighted(self):
+        shards = [
+            _offnet_shard(self._server("google", salt), END)
+            for salt in (0.1, 0.3, 0.5, 0.6, 0.8, 0.95)
+        ]
+        assert shards == [0, 0, 0, 1, 2, 3]
+
+    def test_facebook_disaggregates_over_time(self):
+        early = {_offnet_shard(self._server("facebook", s), Snapshot(2016, 10))
+                 for s in (0.1, 0.5, 0.9)}
+        late = {_offnet_shard(self._server("facebook", s), END)
+                for s in (0.1, 0.5, 0.9)}
+        assert len(late) > len(early)
+
+    def test_other_hgs_few_shards(self):
+        shards = {
+            _offnet_shard(self._server("akamai", s), END) for s in (0.1, 0.5, 0.9)
+        }
+        assert shards <= {0, 1, 2}
+
+
+class TestWorldAccessors:
+    def test_servers_at(self, small_world):
+        early = small_world.servers_at(STUDY_SNAPSHOTS[0])
+        late = small_world.servers_at(END)
+        assert len(early) < len(late) <= len(small_world.servers)
+
+    def test_hypergiant_keys(self, small_world):
+        keys = small_world.hypergiant_keys()
+        assert "google" in keys and "cloudflare" in keys
+
+    def test_all_hg_ases_disjoint_from_generated(self, small_world):
+        assert all(asn >= 60001 for asn in small_world.all_hg_ases())

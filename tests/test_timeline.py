@@ -1,0 +1,70 @@
+"""Tests for the study timeline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeline import (
+    STUDY_END,
+    STUDY_SNAPSHOTS,
+    STUDY_START,
+    Snapshot,
+    snapshot_range,
+)
+
+snapshots = st.builds(
+    Snapshot, st.integers(min_value=1990, max_value=2100), st.integers(min_value=1, max_value=12)
+)
+
+
+class TestSnapshot:
+    def test_label_round_trip(self):
+        snap = Snapshot(2016, 7)
+        assert snap.label == "2016-07"
+        assert Snapshot.parse("2016-07") == snap
+
+    def test_ordering(self):
+        assert Snapshot(2013, 10) < Snapshot(2014, 1) < Snapshot(2014, 4)
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            Snapshot(2020, 13)
+        with pytest.raises(ValueError):
+            Snapshot(2020, 0)
+
+    def test_plus_months_crosses_year(self):
+        assert Snapshot(2013, 10).plus_months(3) == Snapshot(2014, 1)
+        assert Snapshot(2014, 1).plus_months(-3) == Snapshot(2013, 10)
+
+    def test_months_since(self):
+        assert Snapshot(2021, 4).months_since(Snapshot(2013, 10)) == 90
+
+    @given(snapshots, st.integers(min_value=-240, max_value=240))
+    def test_plus_months_roundtrip(self, snap, months):
+        assert snap.plus_months(months).plus_months(-months) == snap
+
+    @given(snapshots, snapshots)
+    def test_months_since_consistent_with_order(self, a, b):
+        delta = a.months_since(b)
+        assert (delta > 0) == (a > b)
+        assert (delta == 0) == (a == b)
+        assert b.plus_months(delta) == a
+
+
+class TestStudyTimeline:
+    def test_thirty_one_quarterly_snapshots(self):
+        assert len(STUDY_SNAPSHOTS) == 31
+        assert STUDY_SNAPSHOTS[0] == STUDY_START == Snapshot(2013, 10)
+        assert STUDY_SNAPSHOTS[-1] == STUDY_END == Snapshot(2021, 4)
+
+    def test_snapshots_are_quarterly(self):
+        for earlier, later in zip(STUDY_SNAPSHOTS, STUDY_SNAPSHOTS[1:]):
+            assert later.months_since(earlier) == 3
+
+    def test_snapshot_range_inclusive(self):
+        snaps = list(snapshot_range(Snapshot(2020, 1), Snapshot(2020, 7)))
+        assert snaps == [Snapshot(2020, 1), Snapshot(2020, 4), Snapshot(2020, 7)]
+
+    def test_snapshot_range_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            list(snapshot_range(STUDY_START, STUDY_END, step_months=0))

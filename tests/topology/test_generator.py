@@ -1,0 +1,156 @@
+"""Tests for the longitudinal topology generator."""
+
+import pytest
+
+from repro.net import is_bogon
+from repro.timeline import STUDY_END, STUDY_START, Snapshot
+from repro.topology import ConeCategory, TopologyConfig, generate_topology
+from repro.topology.categories import INTERNET_CATEGORY_SHARES
+from repro.topology.generator import PrefixAllocator
+from repro.topology.geography import Country, Continent
+from repro.topology.organizations import Organization
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=11, n_ases_start=600, n_ases_end=1000))
+
+
+class TestGeneratedTopology:
+    def test_as_census_grows(self, topo):
+        assert len(topo.alive(STUDY_START)) < len(topo.alive(STUDY_END))
+        assert len(topo.alive(STUDY_END)) == 1000
+
+    def test_start_census_near_target(self, topo):
+        start = len(topo.alive(STUDY_START))
+        assert abs(start - 600) < 60  # births are drawn, so allow slack
+
+    def test_alive_is_monotone(self, topo):
+        previous = frozenset()
+        for snapshot in topo.snapshots:
+            current = topo.alive(snapshot)
+            assert previous <= current
+            previous = current
+
+    def test_category_shares_roughly_stable(self, topo):
+        """The paper: category percentages are 'surprisingly stable'."""
+        for snapshot in (STUDY_START, Snapshot(2017, 4), STUDY_END):
+            counts = topo.category_counts_at(snapshot)
+            total = sum(counts.values())
+            stub_share = counts[ConeCategory.STUB] / total
+            assert 0.78 <= stub_share <= 0.92
+            small_share = counts[ConeCategory.SMALL] / total
+            assert 0.05 <= small_share <= 0.20
+
+    def test_category_matches_paper_shares_at_end(self, topo):
+        counts = topo.category_counts_at(STUDY_END)
+        total = sum(counts.values())
+        for category in (ConeCategory.STUB, ConeCategory.SMALL, ConeCategory.MEDIUM):
+            share = counts[category] / total
+            target = INTERNET_CATEGORY_SHARES[category]
+            assert abs(share - target) < max(0.04, target * 0.5)
+
+    def test_prefixes_disjoint_and_public(self, topo):
+        seen = []
+        for prefixes in topo.prefixes.values():
+            for prefix in prefixes:
+                assert not is_bogon(prefix)
+                seen.append(prefix)
+        seen.sort(key=lambda p: p.network)
+        for left, right in zip(seen, seen[1:]):
+            assert left.network + left.num_addresses <= right.network, (
+                f"overlap between {left} and {right}"
+            )
+
+    def test_every_as_has_org_and_country(self, topo):
+        for asn in topo.graph.ases:
+            assert topo.organizations.organization_of(asn) is not None
+            assert asn in topo.countries
+
+    def test_country_of_org_matches_as_country(self, topo):
+        for asn in list(topo.graph.ases)[:100]:
+            org = topo.organizations.organization_of(asn)
+            assert org.country == topo.countries[asn]
+
+    def test_eyeballs_are_not_xlarge(self, topo):
+        for asn in topo.eyeballs:
+            assert topo.intended_category[asn] is not ConeCategory.XLARGE
+
+    def test_population_filter_reduces_dataset(self, topo):
+        assert 0 < topo.population.surviving_ases() < topo.population.total_ases()
+
+    def test_population_shares_sum_to_one_per_country(self, topo):
+        by_country = {}
+        for entry in topo.population.entries:
+            by_country.setdefault(entry.country.code, 0.0)
+            by_country[entry.country.code] += entry.market_share
+        for code, total in by_country.items():
+            assert total <= 1.0 + 1e-9
+
+    def test_cone_size_at_is_monotone_in_time(self, topo):
+        transits = [a for a, c in topo.intended_category.items() if c is ConeCategory.LARGE]
+        for asn in transits:
+            sizes = [topo.cone_size_at(asn, s) for s in topo.snapshots]
+            assert sizes == sorted(sizes)
+
+    def test_deterministic_given_seed(self):
+        a = generate_topology(TopologyConfig(seed=5, n_ases_start=200, n_ases_end=300))
+        b = generate_topology(TopologyConfig(seed=5, n_ases_start=200, n_ases_end=300))
+        assert a.births == b.births
+        assert a.prefixes == b.prefixes
+        assert {n: c.code for n, c in a.countries.items()} == {
+            n: c.code for n, c in b.countries.items()
+        }
+
+    def test_different_seed_differs(self):
+        a = generate_topology(TopologyConfig(seed=5, n_ases_start=200, n_ases_end=300))
+        b = generate_topology(TopologyConfig(seed=6, n_ases_start=200, n_ases_end=300))
+        assert a.births != b.births
+
+    def test_add_as(self, topo):
+        country = Country("XX", "Testland", Continent.EUROPE, 0.0, 1.0)
+        org = Organization(org_id="ORG-TEST", name="Google LLC", country=country)
+        topo.add_as(90001, org, birth=STUDY_START, prefix_lengths=(22, 22))
+        assert topo.is_alive(90001, STUDY_START)
+        assert len(topo.prefixes[90001]) == 2
+        assert topo.organizations.search_by_name("google") == {90001}
+        with pytest.raises(ValueError):
+            topo.add_as(90001, org, birth=STUDY_START)
+
+
+class TestTopologyConfig:
+    def test_rejects_shrinking_internet(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_ases_start=500, n_ases_end=400)
+
+    def test_rejects_tiny_world(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_ases_start=10, n_ases_end=20)
+
+
+class TestPrefixAllocator:
+    def test_sequential_disjoint(self):
+        allocator = PrefixAllocator()
+        prefixes = [allocator.allocate(24) for _ in range(512)]
+        networks = {p.network for p in prefixes}
+        assert len(networks) == 512
+        assert not any(is_bogon(p) for p in prefixes)
+
+    def test_alignment(self):
+        allocator = PrefixAllocator()
+        allocator.allocate(24)
+        prefix = allocator.allocate(16)
+        assert prefix.network % prefix.num_addresses == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            PrefixAllocator().allocate(7)
+
+    def test_mixed_sizes_disjoint(self):
+        allocator = PrefixAllocator()
+        prefixes = []
+        for length in (24, 16, 22, 19, 24, 18, 30):
+            prefixes.append(allocator.allocate(length))
+        prefixes.sort(key=lambda p: p.network)
+        for left, right in zip(prefixes, prefixes[1:]):
+            assert left.network + left.num_addresses <= right.network

@@ -1,0 +1,81 @@
+"""Tests for the APNIC-style population dataset."""
+
+import pytest
+
+from repro.timeline import Snapshot
+from repro.topology import PopulationDataset, PopulationEntry
+from repro.topology.geography import country_by_code
+
+
+def entry(asn, code, share, presence):
+    return PopulationEntry(
+        asn=asn, country=country_by_code(code), market_share=share, presence_rate=presence
+    )
+
+
+@pytest.fixture()
+def dataset():
+    return PopulationDataset(
+        entries=(
+            entry(1, "US", 0.5, 1.0),
+            entry(2, "US", 0.3, 0.9),
+            entry(3, "US", 0.2, 0.1),   # filtered out (presence < 25%)
+            entry(4, "BR", 0.6, 0.5),
+            entry(5, "BR", 0.4, 0.24),  # filtered out (just below threshold)
+        )
+    )
+
+
+class TestPopulationDataset:
+    def test_presence_filter(self, dataset):
+        view = dataset.monthly_view(Snapshot(2018, 1))
+        assert view.ases() == {1, 2, 4}
+        assert dataset.total_ases() == 5
+        assert dataset.surviving_ases() == 3
+
+    def test_unavailable_before_horizon(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.monthly_view(Snapshot(2016, 1))
+
+    def test_share_of_filtered_as_is_zero(self, dataset):
+        view = dataset.monthly_view(Snapshot(2018, 1))
+        assert view.share_of(3) == 0.0
+        assert view.share_of(1) == 0.5
+        assert view.share_of(999) == 0.0
+
+    def test_country_coverage(self, dataset):
+        view = dataset.monthly_view(Snapshot(2018, 1))
+        coverage = view.country_coverage({1, 4})
+        assert coverage["US"] == pytest.approx(50.0)
+        assert coverage["BR"] == pytest.approx(60.0)
+        assert "DE" not in coverage
+
+    def test_country_coverage_is_lower_bound(self, dataset):
+        """Filtered-out shares never contribute — coverage is a lower bound."""
+        view = dataset.monthly_view(Snapshot(2018, 1))
+        coverage = view.country_coverage({1, 2, 3})
+        assert coverage["US"] == pytest.approx(80.0)  # AS3's 20% is lost
+
+    def test_worldwide_coverage_weighted_by_users(self, dataset):
+        view = dataset.monthly_view(Snapshot(2018, 1))
+        none = view.worldwide_coverage(set())
+        everyone = view.worldwide_coverage({1, 2, 4})
+        assert none == 0.0
+        assert everyone == pytest.approx(100.0)
+        us_only = view.worldwide_coverage({1, 2})
+        assert 0.0 < us_only < 100.0
+
+    def test_country_of(self, dataset):
+        view = dataset.monthly_view(Snapshot(2018, 1))
+        assert view.country_of(4).code == "BR"
+        assert view.country_of(3) is None
+
+
+class TestPopulationEntry:
+    def test_share_bounds(self):
+        with pytest.raises(ValueError):
+            entry(1, "US", 1.5, 1.0)
+
+    def test_presence_bounds(self):
+        with pytest.raises(ValueError):
+            entry(1, "US", 0.5, -0.1)

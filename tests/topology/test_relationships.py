@@ -1,0 +1,139 @@
+"""Tests for the AS relationship graph and customer cones."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import ASRelationshipGraph, Relationship
+from repro.topology.categories import ConeCategory, categorize
+
+
+def chain_graph(*edges):
+    graph = ASRelationshipGraph()
+    for provider, customer in edges:
+        graph.add_provider_customer(provider, customer)
+    return graph
+
+
+class TestGraphBasics:
+    def test_add_and_query(self):
+        graph = chain_graph((1, 2), (1, 3), (2, 4))
+        assert graph.customers(1) == {2, 3}
+        assert graph.providers(4) == {2}
+        assert 4 in graph and 5 not in graph
+        assert len(graph) == 4
+
+    def test_self_provider_rejected(self):
+        graph = ASRelationshipGraph()
+        with pytest.raises(ValueError):
+            graph.add_provider_customer(1, 1)
+
+    def test_self_peer_rejected(self):
+        graph = ASRelationshipGraph()
+        with pytest.raises(ValueError):
+            graph.add_peer(1, 1)
+
+    def test_peers_are_symmetric(self):
+        graph = ASRelationshipGraph()
+        graph.add_peer(1, 2)
+        assert graph.peers(1) == {2}
+        assert graph.peers(2) == {1}
+
+    def test_is_stub(self):
+        graph = chain_graph((1, 2))
+        assert graph.is_stub(2)
+        assert not graph.is_stub(1)
+
+    def test_iter_edges(self):
+        graph = chain_graph((1, 2))
+        graph.add_peer(2, 3)
+        edges = set(graph.iter_edges())
+        assert (1, 2, Relationship.PROVIDER_CUSTOMER) in edges
+        assert (2, 3, Relationship.PEER) in edges
+        assert len(edges) == 2
+
+
+class TestCustomerCone:
+    def test_stub_cone_is_itself(self):
+        graph = chain_graph((1, 2))
+        assert graph.customer_cone(2) == {2}
+        assert graph.cone_size(2) == 1
+
+    def test_transitive_cone(self):
+        graph = chain_graph((1, 2), (2, 3), (3, 4))
+        assert graph.customer_cone(1) == {1, 2, 3, 4}
+        assert graph.cone_size(2) == 3
+
+    def test_peers_do_not_join_cone(self):
+        graph = chain_graph((1, 2))
+        graph.add_peer(1, 3)
+        assert graph.customer_cone(1) == {1, 2}
+
+    def test_multihoming_shares_cone_members(self):
+        graph = chain_graph((1, 3), (2, 3))
+        assert graph.customer_cone(1) == {1, 3}
+        assert graph.customer_cone(2) == {2, 3}
+
+    def test_cycle_tolerated(self):
+        graph = chain_graph((1, 2), (2, 3), (3, 1))
+        cone = graph.customer_cone(1)
+        assert cone == {1, 2, 3}
+
+    def test_unknown_as_raises(self):
+        graph = chain_graph((1, 2))
+        with pytest.raises(KeyError):
+            graph.customer_cone(99)
+
+    def test_cache_invalidated_on_new_edge(self):
+        graph = chain_graph((1, 2))
+        assert graph.cone_size(1) == 2
+        graph.add_provider_customer(2, 3)
+        assert graph.cone_size(1) == 3
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+            max_size=60,
+        )
+    )
+    def test_cone_contains_direct_customers(self, edges):
+        graph = ASRelationshipGraph()
+        for provider, customer in edges:
+            graph.add_provider_customer(provider, customer)
+        for provider, customer in edges:
+            cone = graph.customer_cone(provider)
+            assert provider in cone
+            assert customer in cone
+            # Customer cone is monotone: customer's cone is a subset.
+            assert graph.customer_cone(customer) <= cone
+
+    def test_provider_chain_to_top(self):
+        graph = chain_graph((1, 2), (2, 3))
+        assert graph.provider_chain_to_top(3) == [3, 2, 1]
+        assert graph.provider_chain_to_top(1) == [1]
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (1, ConeCategory.STUB),
+            (2, ConeCategory.SMALL),
+            (10, ConeCategory.SMALL),
+            (11, ConeCategory.MEDIUM),
+            (100, ConeCategory.MEDIUM),
+            (101, ConeCategory.LARGE),
+            (1000, ConeCategory.LARGE),
+            (1001, ConeCategory.XLARGE),
+        ],
+    )
+    def test_thresholds(self, size, expected):
+        assert categorize(size) is expected
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            categorize(0)
+
+    def test_rank_order(self):
+        ranks = [c.rank for c in ConeCategory]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,61 @@
+"""Tests for the anycast serving model (§3/§7)."""
+
+import pytest
+
+from repro.timeline import STUDY_SNAPSHOTS
+from repro.world.anycast import probe_anycast
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+class TestAnycastSystem:
+    def test_sites_include_hg_and_hosts(self, small_world):
+        sites = small_world.anycast.sites("google", END)
+        assert min(small_world.onnet_ases("google")) in sites
+        assert small_world.true_offnet_ases("google", END) <= sites
+
+    def test_unknown_hg_rejected(self, small_world):
+        with pytest.raises(KeyError):
+            small_world.anycast.sites("netflix", END)
+
+    def test_local_vantage_served_locally(self, small_world):
+        host = next(iter(small_world.true_offnet_ases("google", END)))
+        probe = probe_anycast(small_world, "google", host, END)
+        assert probe.site_asn == host
+        assert probe.unicast_debug_ip is not None
+        # The debug address belongs to the hosting AS (§7).
+        assert small_world.ground_truth_asn(probe.unicast_debug_ip) == host
+
+    def test_remote_vantage_falls_back(self, small_world):
+        hosts = small_world.anycast.sites("google", END)
+        graph = small_world.topology.graph
+        isolated = next(
+            asn
+            for asn in sorted(small_world.topology.alive(END))
+            if asn not in hosts
+            and not (graph.providers(asn) & hosts)
+            and asn not in small_world.all_hg_ases()
+        )
+        probe = probe_anycast(small_world, "google", isolated, END)
+        assert probe.site_asn != isolated
+
+    def test_single_vantage_sees_one_site(self, small_world):
+        """§3: one scan origin discovers exactly one anycast site."""
+        vantage = next(iter(small_world.topology.eyeballs))
+        first = probe_anycast(small_world, "google", vantage, END)
+        second = probe_anycast(small_world, "google", vantage, END)
+        assert first.site_asn == second.site_asn
+
+    def test_many_vantages_needed_for_coverage(self, small_world):
+        """§3's point, measured: coverage grows with vantage count but a
+        handful of vantages leaves most sites undiscovered."""
+        sites = small_world.anycast.sites("google", END)
+        vantages = sorted(small_world.topology.alive(END))[:5]
+        discovered = {
+            probe_anycast(small_world, "google", v, END).site_asn for v in vantages
+        }
+        assert len(discovered) < len(sites) * 0.5
+
+    def test_cloudflare_sites_are_service_ases(self, small_world):
+        sites = small_world.anycast.sites("cloudflare", END)
+        assert small_world.true_service_ases("cloudflare", END) <= sites

@@ -1,0 +1,92 @@
+"""Tests for the §8 hide-and-seek strategies."""
+
+import pytest
+
+from repro.core import OffnetPipeline
+from repro.timeline import STUDY_SNAPSHOTS
+from repro.world import WorldConfig, build_world
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+def evading_world(*strategies):
+    return build_world(
+        config=WorldConfig(
+            seed=7,
+            scale=0.012,
+            evading_hypergiant="facebook",
+            evasion_strategies=strategies,
+        )
+    )
+
+
+def facebook_counts(world):
+    result = OffnetPipeline.for_world(world).run(snapshots=(END,))
+    return (
+        result.as_count("facebook", END, "candidates"),
+        result.as_count("facebook", END, "confirmed"),
+        result,
+        world,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    world = build_world(config=WorldConfig(seed=7, scale=0.012))
+    return facebook_counts(world)
+
+
+class TestEvasionConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(evading_hypergiant="google", evasion_strategies=("cloaking",))
+
+    def test_strategies_require_evader(self):
+        with pytest.raises(ValueError):
+            WorldConfig(evasion_strategies=("anonymize-headers",))
+
+
+class TestEvasionStrategies:
+    def test_baseline_detects_facebook(self, baseline):
+        candidates, confirmed, _, _ = baseline
+        assert candidates > 10
+        assert confirmed > 10
+
+    def test_null_default_certificate_blinds_certificates(self, baseline):
+        """§8 (1): no default certificate, nothing in the no-SNI corpus."""
+        candidates, _, _, _ = facebook_counts(evading_world("null-default-certificate"))
+        baseline_candidates = baseline[0]
+        assert candidates < baseline_candidates * 0.2
+
+    def test_strip_organization_blinds_keyword_search(self, baseline):
+        """§8 (3): empty Organization — the keyword match finds nothing."""
+        candidates, confirmed, _, _ = facebook_counts(evading_world("strip-organization"))
+        # Third-party edges serving Facebook certs are outside the evader's
+        # control, so a stray candidate AS may survive.
+        assert candidates <= 1
+        assert confirmed == 0
+
+    def test_unique_domains_blind_subset_rule(self, baseline):
+        """§8 (3b): per-deployment hostnames are never served on-net, so
+        the all-dNSNames rule rejects every candidate."""
+        candidates, confirmed, result, world = facebook_counts(
+            evading_world("unique-domains")
+        )
+        assert candidates <= 1
+        # ...but dropping the subset rule would re-expose them (org intact).
+        loose = OffnetPipeline.for_world(world, require_all_dnsnames=False).run(
+            snapshots=(END,)
+        )
+        assert loose.as_count("facebook", END, "candidates") > 0
+
+    def test_anonymize_headers_blinds_confirmation_only(self, baseline):
+        """§8 (4): candidates survive (certificates unchanged) but header
+        confirmation fails everywhere."""
+        candidates, confirmed, _, _ = facebook_counts(evading_world("anonymize-headers"))
+        assert candidates > 10  # certificates still give them away
+        assert confirmed == 0
+
+    def test_other_hypergiants_unaffected(self, baseline):
+        world = evading_world("strip-organization")
+        result = OffnetPipeline.for_world(world).run(snapshots=(END,))
+        assert result.as_count("google", END, "confirmed") > 10

@@ -1,0 +1,116 @@
+"""Tests for the §7 IPv6-only blind spot."""
+
+import pytest
+
+from repro.core import OffnetPipeline
+from repro.scan import zgrab_scan
+from repro.scan.server import ServerKind
+from repro.timeline import STUDY_SNAPSHOTS
+from repro.world import WorldConfig, build_world
+
+END = STUDY_SNAPSHOTS[-1]
+
+
+@pytest.fixture(scope="module")
+def v6_world():
+    return build_world(
+        config=WorldConfig(seed=7, scale=0.012, ipv6_only_fraction=0.3)
+    )
+
+
+class TestIPv6Limitation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(ipv6_only_fraction=1.5)
+
+    def test_some_servers_are_ipv6_only(self, v6_world):
+        v6 = [s for s in v6_world.servers if s.ipv6_only]
+        assert v6
+        # Only late-born ASes qualify.
+        for server in v6:
+            from repro.timeline import Snapshot
+
+            assert v6_world.topology.births[server.asn] > Snapshot(2016, 1)
+
+    def test_scanner_never_sees_ipv6_only(self, v6_world):
+        scan = v6_world.scan("rapid7", END)
+        v6_ips = {s.ip for s in v6_world.servers if s.ipv6_only}
+        assert not any(record.ip in v6_ips for record in scan.tls_records)
+        assert not any(record.ip in v6_ips for record in scan.http_records)
+
+    def test_zgrab_cannot_reach_ipv6_only(self, v6_world):
+        victim = next(s for s in v6_world.servers if s.ipv6_only and s.alive_at(END))
+        [result] = zgrab_scan(v6_world, END, [(victim.ip, "www.example.com")])
+        assert not result.responded
+
+    def test_pipeline_misses_ipv6_only_hosts(self, v6_world):
+        """The paper's acknowledged blind spot, quantified."""
+        result = OffnetPipeline.for_world(v6_world).run(snapshots=(END,))
+        v6_ases = {
+            s.asn
+            for s in v6_world.servers
+            if s.ipv6_only and s.kind is ServerKind.HG_OFFNET and s.alive_at(END)
+        }
+        if not v6_ases:
+            pytest.skip("no IPv6-only off-net hosts at this scale")
+        for hypergiant in ("google", "facebook", "netflix"):
+            inferred = result.effective_footprint(hypergiant, END)
+            truth = v6_world.true_offnet_ases(hypergiant, END)
+            hidden = truth & v6_ases
+            assert not (inferred & hidden), (
+                f"{hypergiant} should not see IPv6-only hosts {sorted(hidden)}"
+            )
+
+    def test_default_world_has_no_ipv6_only(self, small_world):
+        assert not any(s.ipv6_only for s in small_world.servers)
+
+
+class TestDualStackRecovery:
+    def test_ipv6_corpus_closes_the_blind_spot(self, v6_world):
+        """§7 future work: 'our inference approach is IP protocol-agnostic'
+        — with a v6 corpus and dual-stack IP-to-AS, the same pipeline
+        recovers the IPv6-only deployments."""
+        v4_result = OffnetPipeline.for_world(v6_world).run(snapshots=(END,))
+        dual_result = OffnetPipeline.for_world(v6_world, include_ipv6=True).run(
+            snapshots=(END,)
+        )
+        v6_hosts_any = {
+            s.asn
+            for s in v6_world.servers
+            if s.ipv6_only and s.kind is ServerKind.HG_OFFNET and s.alive_at(END)
+        }
+        if not v6_hosts_any:
+            pytest.skip("no IPv6-only off-net hosts at this scale")
+        recovered = 0
+        for hypergiant in ("google", "facebook", "netflix"):
+            truth = v6_world.true_offnet_ases(hypergiant, END)
+            hidden = truth & v6_hosts_any
+            v4_found = v4_result.effective_footprint(hypergiant, END) & hidden
+            dual_found = dual_result.effective_footprint(hypergiant, END) & hidden
+            assert not v4_found
+            recovered += len(dual_found)
+            assert dual_found >= v4_found
+        assert recovered > 0
+
+    def test_v6_scan_contains_only_v6_servers(self, v6_world):
+        from repro.net.ipv6 import is_ipv6_int
+
+        scan = v6_world.ipv6_scan(END)
+        assert scan.tls_records
+        assert all(is_ipv6_int(r.ip) for r in scan.tls_records)
+
+    def test_dual_stack_map_dispatch(self, v6_world):
+        dual = v6_world.ip2as_dual(END)
+        v6_server = next(s for s in v6_world.servers if s.ipv6_only)
+        assert dual.lookup(v6_server.ip) == {v6_server.asn}
+        v4_server = next(s for s in v6_world.servers if not s.ipv6_only)
+        assert dual.lookup(v4_server.ip) == v6_world.ip2as(END).lookup(v4_server.ip)
+
+    def test_file_dataset_rejects_include_ipv6(self, small_world, tmp_path):
+        from repro.datasets import FileDataset, export_dataset
+
+        export_dataset(small_world, tmp_path, snapshots=(END,))
+        dataset = FileDataset(tmp_path)
+        pipeline = OffnetPipeline.for_world(dataset, include_ipv6=True)
+        with pytest.raises(ValueError):
+            pipeline.run()

@@ -1,0 +1,211 @@
+"""Tests for the X.509 substrate: issuance, chains, and verification."""
+
+import pytest
+
+from repro.timeline import Snapshot
+from repro.x509 import (
+    CertificateAuthority,
+    CertificateChain,
+    RootStore,
+    SubjectName,
+    VerificationError,
+    build_chain,
+    build_web_pki,
+    make_self_signed,
+    verify_chain,
+)
+
+EARLY = Snapshot(2010, 1)
+LATE = Snapshot(2030, 1)
+NOW = Snapshot(2018, 6)
+
+
+@pytest.fixture()
+def pki():
+    store, issuers = build_web_pki()
+    return store, issuers
+
+
+def issue_leaf(issuer, org="Example Org", names=("www.example.com",), nb=EARLY, na=LATE):
+    return issuer.issue(
+        subject=SubjectName(common_name=names[0], organization=org),
+        dns_names=tuple(names),
+        not_before=nb,
+        not_after=na,
+    )
+
+
+class TestIssuance:
+    def test_root_is_self_signed_ca(self):
+        root = CertificateAuthority.create_root("Test Root", EARLY, LATE)
+        assert root.certificate.is_ca
+        assert root.certificate.is_self_signed
+        assert root.is_root
+
+    def test_intermediate_links_to_root(self):
+        root = CertificateAuthority.create_root("Test Root", EARLY, LATE)
+        inter = root.create_intermediate("Test Intermediate", EARLY, LATE)
+        assert inter.certificate.is_ca
+        assert not inter.certificate.is_self_signed
+        assert inter.certificate.authority_key_id == root.key.public_key
+        assert [a.name for a in inter.ancestors()] == ["Test Intermediate", "Test Root"]
+
+    def test_leaf_fields(self, pki):
+        _, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer, org="Google LLC", names=("*.google.com", "*.googlevideo.com"))
+        assert not leaf.is_ca
+        assert not leaf.is_self_signed
+        assert leaf.subject.organization == "Google LLC"
+        assert leaf.dns_names == ("*.google.com", "*.googlevideo.com")
+
+    def test_fingerprints_are_unique(self, pki):
+        _, issuers = pki
+        issuer = next(iter(issuers.values()))
+        a = issue_leaf(issuer)
+        b = issue_leaf(issuer)
+        assert a.fingerprint != b.fingerprint
+
+    def test_validity_months(self, pki):
+        _, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer, nb=Snapshot(2018, 1), na=Snapshot(2018, 4))
+        assert leaf.validity_months == 3
+
+
+class TestChains:
+    def test_build_chain_excludes_root_by_default(self, pki):
+        _, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        chain = build_chain(leaf, issuer)
+        assert chain.end_entity == leaf
+        assert len(chain) == 2  # leaf + intermediate
+        assert chain.intermediates[0] == issuer.certificate
+
+    def test_build_chain_with_root(self, pki):
+        _, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        chain = build_chain(leaf, issuer, include_root=True)
+        assert len(chain) == 3
+        assert chain.certificates[-1].is_self_signed
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            CertificateChain(())
+
+
+class TestVerification:
+    def test_valid_chain_verifies(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        result = verify_chain(build_chain(leaf, issuer), store, NOW)
+        assert result.ok
+        assert result.anchor is not None
+
+    def test_chain_with_root_included_verifies(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        result = verify_chain(build_chain(leaf, issuer, include_root=True), store, NOW)
+        assert result.ok
+
+    def test_expired_leaf_rejected(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer, nb=Snapshot(2014, 1), na=Snapshot(2015, 1))
+        result = verify_chain(build_chain(leaf, issuer), store, NOW)
+        assert not result.ok
+        assert result.error is VerificationError.EXPIRED
+
+    def test_not_yet_valid_rejected(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer, nb=Snapshot(2025, 1), na=Snapshot(2026, 1))
+        result = verify_chain(build_chain(leaf, issuer), store, NOW)
+        assert result.error is VerificationError.NOT_YET_VALID
+
+    def test_self_signed_leaf_rejected(self, pki):
+        store, _ = pki
+        leaf = make_self_signed(
+            SubjectName(common_name="fake.google.com", organization="Google LLC"),
+            ("fake.google.com",),
+            EARLY,
+            LATE,
+        )
+        result = verify_chain(CertificateChain((leaf,)), store, NOW)
+        assert result.error is VerificationError.SELF_SIGNED
+
+    def test_untrusted_issuer_rejected(self, pki):
+        store, _ = pki
+        rogue_root = CertificateAuthority.create_root("Rogue Root", EARLY, LATE)
+        rogue = rogue_root.create_intermediate("Rogue Intermediate", EARLY, LATE)
+        leaf = issue_leaf(rogue)
+        result = verify_chain(build_chain(leaf, rogue), store, NOW)
+        assert result.error is VerificationError.UNTRUSTED
+
+    def test_tampered_signature_rejected(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        import dataclasses
+
+        forged = dataclasses.replace(leaf, signature="0" * 32)
+        result = verify_chain(build_chain(forged, issuer), store, NOW)
+        assert result.error is VerificationError.BAD_SIGNATURE
+
+    def test_tampered_dns_names_rejected(self, pki):
+        """Changing authenticated fields breaks the signature."""
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        import dataclasses
+
+        forged = dataclasses.replace(leaf, dns_names=("evil.example.com",))
+        result = verify_chain(build_chain(forged, issuer), store, NOW)
+        assert result.error is VerificationError.BAD_SIGNATURE
+
+    def test_broken_link_rejected(self, pki):
+        store, issuers = pki
+        values = list(issuers.values())
+        issuer_a, issuer_b = values[0], values[1]
+        leaf = issue_leaf(issuer_a)
+        # Present the wrong intermediate: issuer linkage does not match.
+        chain = CertificateChain((leaf, issuer_b.certificate))
+        result = verify_chain(chain, store, NOW)
+        assert result.error is VerificationError.BROKEN_LINK
+
+    def test_non_ca_intermediate_rejected(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf_a = issue_leaf(issuer)
+        leaf_b = issue_leaf(issuer)
+        chain = CertificateChain((leaf_a, leaf_b))
+        result = verify_chain(chain, store, NOW)
+        assert result.error is VerificationError.NOT_A_CA
+
+    def test_leaf_alone_still_verifies_via_store(self, pki):
+        """Missing intermediates are resolved from the CCADB-style store."""
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        result = verify_chain(CertificateChain((leaf,)), store, NOW)
+        assert result.ok
+
+
+class TestRootStore:
+    def test_rejects_non_ca_anchor(self, pki):
+        store, issuers = pki
+        issuer = next(iter(issuers.values()))
+        leaf = issue_leaf(issuer)
+        with pytest.raises(ValueError):
+            RootStore().add(leaf)
+
+    def test_web_pki_shape(self, pki):
+        store, issuers = pki
+        # 6 roots x (1 root + 2 intermediates) anchored.
+        assert len(store) == 18
+        assert len(issuers) == 12
+        assert all(i.certificate.is_ca for i in issuers.values())
