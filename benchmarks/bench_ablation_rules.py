@@ -8,7 +8,7 @@ Each switch the pipeline exposes is turned off to quantify what it buys:
 * the Appendix A.1 25% BGP persistence filter (hijack suppression).
 """
 
-from benchmarks.conftest import bench_world, write_output
+from benchmarks.conftest import write_output
 from repro.analysis import render_table
 from repro.bgp import IPToASMap
 from repro.core import OffnetPipeline

@@ -6,7 +6,7 @@ Facebook disaggregates over time.  Median validity: Google ~3 months,
 Microsoft 1→2 years, Netflix dropping to ~35 days in 2019.
 """
 
-from benchmarks.conftest import bench_world, write_output
+from benchmarks.conftest import write_output
 from repro.analysis import certificate_ip_groups, render_table, validity_medians
 from repro.timeline import Snapshot
 

@@ -3,10 +3,16 @@
 Not a paper exhibit — the engineering counterpart: per-stage timings over
 the benchmark world's final snapshot so regressions in the hot paths
 (validation, fingerprinting, the candidate rule, header confirmation,
-IP-to-AS construction) are caught.
+IP-to-AS construction) are caught, plus the longitudinal engine's two
+headline numbers: serial-vs-parallel wall-clock speedup (``jobs=4`` vs
+``jobs=1``, outputs asserted identical) and the §4.1 cross-snapshot
+validation-cache hit rate.
 """
 
-from benchmarks.conftest import bench_world, write_output
+import os
+import time
+
+from benchmarks.conftest import write_output
 from repro.bgp import IPToASMap
 from repro.core import (
     CertificateValidator,
@@ -14,6 +20,7 @@ from repro.core import (
     find_candidates,
     learn_tls_fingerprint,
 )
+from repro.world import build_world
 
 
 def _prepared(world):
@@ -83,3 +90,47 @@ def test_full_snapshot_throughput(world, benchmark):
         f"({footprint.raw_ip_count / benchmark.stats['mean'] / 1000:.0f}k IPs/s)",
     )
     assert footprint.confirmed_ases
+
+
+def _timed_run(jobs: int):
+    """One full multi-snapshot run on a fresh default-scale world.
+
+    A fresh world per run keeps the comparison honest: neither run may
+    inherit the other's warm scan/ip2as caches.
+    """
+    world = build_world(seed=7, scale=0.02)
+    pipeline = OffnetPipeline.for_world(world, jobs=jobs)
+    pipeline.header_rules()  # §4.4 learning happens once, outside the timed region
+    start = time.perf_counter()
+    result = pipeline.run()
+    return result, time.perf_counter() - start
+
+
+def test_parallel_speedup_and_cache():
+    """The longitudinal engine: jobs=4 vs jobs=1 over all 31 snapshots,
+    with the parallel output asserted equal to the sequential output."""
+    parallel, parallel_seconds = _timed_run(jobs=4)
+    serial, serial_seconds = _timed_run(jobs=1)
+    assert parallel == serial, "parallel run diverged from serial run"
+
+    speedup = serial_seconds / parallel_seconds
+    cache = serial.validation_cache
+    cores = len(os.sched_getaffinity(0))
+    stage_report = ", ".join(
+        f"{stage} {seconds:.2f}s" for stage, seconds in sorted(serial.timings.items())
+    )
+    write_output(
+        "perf_parallel_speedup",
+        f"full {len(serial.snapshots)}-snapshot run (default scale 0.02, {cores} core(s)): "
+        f"jobs=1 {serial_seconds:.2f}s vs jobs=4 {parallel_seconds:.2f}s "
+        f"→ {speedup:.2f}x wall-clock; outputs bit-identical\n"
+        f"§4.1 validation cache: {cache.static_hits + cache.window_hits} hits / "
+        f"{cache.static_misses + cache.window_misses} misses "
+        f"({cache.hit_rate:.1%} hit rate)\n"
+        f"serial stage totals: {stage_report}",
+    )
+    assert cache.hit_rate > 0.5, "cross-snapshot cert reuse should dominate"
+    if cores >= 2:
+        # The acceptance bar. On a single-core host a process pool cannot
+        # beat serial wall-clock, so the bar only applies with real cores.
+        assert speedup >= 1.5, f"jobs=4 speedup {speedup:.2f}x < 1.5x on {cores} cores"

@@ -5,7 +5,7 @@ classification) should rediscover the curated header rules: e.g.
 ``Server: AkamaiGHost``, ``X-FB-Debug``, ``Server: gws*``, ``cf-ray``.
 """
 
-from benchmarks.conftest import bench_world, write_output
+from benchmarks.conftest import write_output
 from repro.analysis import render_table
 from repro.core import OffnetPipeline
 from repro.hypergiants.profiles import HEADER_RULES

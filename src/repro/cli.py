@@ -3,13 +3,27 @@
 Commands::
 
     python -m repro run        --seed 7 --scale 0.02            # Table 3
+    python -m repro run        --dir out/ --corpus rapid7       # ... from files
     python -m repro validate   --seed 7 --scale 0.02            # §5 checks
     python -m repro coverage   --hypergiant google              # §6.5
     python -m repro growth     --hypergiant netflix             # Fig. 3 series
     python -m repro dump       --snapshot 2019-10 --out r7.jsonl
 
-Every command builds the same deterministic world from ``--seed``/``--scale``
-and runs the relevant slice of the pipeline.
+Every world-backed command builds the same deterministic world from
+``--seed``/``--scale``; ``run --dir`` drives the identical pipeline from an
+exported dataset directory instead (``run-files`` is the legacy spelling).
+
+Global options are accepted before *or* after the subcommand:
+
+* ``--seed`` / ``--scale`` — world determinism and size;
+* ``--jobs N`` — run the pure per-snapshot pipeline phase across N worker
+  processes (:mod:`repro.core.executor`).  The cross-snapshot merge is an
+  ordered reduction, so any ``--jobs`` value prints identical numbers;
+  N > 1 simply uses more cores.
+
+``run`` additionally takes ``--header-learning-snapshot YYYY-MM`` (§4.4):
+by default the paper's September 2020 corpus is used, falling back to a
+file dataset's last covered snapshot when 2020-10 was not exported.
 """
 
 from __future__ import annotations
@@ -20,7 +34,7 @@ from typing import Sequence
 
 from repro.analysis import build_table3, render_table
 from repro.analysis.coverage import country_coverage, worldwide_coverage
-from repro.core import OffnetPipeline, restore_netflix
+from repro.core import OffnetPipeline, PipelineOptions, restore_netflix
 from repro.hypergiants.profiles import TOP4
 from repro.scan.corpus import save_snapshot
 from repro.timeline import Snapshot
@@ -29,6 +43,59 @@ from repro.world import WorldConfig, build_world
 
 __all__ = ["main", "build_parser"]
 
+#: The §4.4 learning snapshot (the paper's September 2020 Rapid7 corpus).
+PAPER_LEARNING_SNAPSHOT = PipelineOptions().header_learning_snapshot
+
+
+def _add_globals(parser: argparse.ArgumentParser, top_level: bool = False) -> None:
+    """``--seed``/``--scale``/``--jobs``, valid before and after the
+    subcommand.  The top-level parser holds the real defaults; subcommand
+    copies use ``SUPPRESS`` so they only override when given."""
+
+    def default(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parser.add_argument(
+        "--seed", type=int, default=default(7), help="world seed (default 7)"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=default(0.02),
+        help="Internet scale factor (default 0.02)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default(1),
+        metavar="N",
+        help="worker processes for the per-snapshot phase (default 1; "
+        "output is identical for any N)",
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser, dir_required: bool) -> None:
+    """The shared ``run``/``run-files`` argument set."""
+    _add_globals(parser)
+    parser.add_argument(
+        "--dir",
+        required=dir_required,
+        default=None,
+        help="run from an exported dataset directory instead of a synthetic world",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus to analyse (default: rapid7, or a dataset's first corpus)",
+    )
+    parser.add_argument(
+        "--header-learning-snapshot",
+        default=None,
+        metavar="YYYY-MM",
+        help="§4.4 header-learning snapshot (default: the paper's 2020-10 "
+        "when covered, else a file dataset's last snapshot)",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for every subcommand."""
@@ -36,26 +103,32 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Seven Years in the Life of Hypergiants' Off-Nets'",
     )
-    parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
-    parser.add_argument(
-        "--scale", type=float, default=0.02, help="Internet scale factor (default 0.02)"
-    )
+    _add_globals(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("run", help="run the pipeline and print the Table 3 footprints")
+    run = sub.add_parser(
+        "run", help="run the pipeline and print the Table 3 footprints"
+    )
+    _add_run_arguments(run, dir_required=False)
 
-    sub.add_parser("validate", help="survey-style validation against ground truth")
+    validate = sub.add_parser(
+        "validate", help="survey-style validation against ground truth"
+    )
+    _add_globals(validate)
 
     coverage = sub.add_parser("coverage", help="user-population coverage (§6.5)")
+    _add_globals(coverage)
     coverage.add_argument("--hypergiant", default="google")
     coverage.add_argument(
         "--cones", action="store_true", help="also serve hosting ASes' customer cones"
     )
 
     growth = sub.add_parser("growth", help="off-net AS growth series (Fig. 3)")
+    _add_globals(growth)
     growth.add_argument("--hypergiant", default="google")
 
     dump = sub.add_parser("dump", help="write one scan snapshot as JSONL")
+    _add_globals(dump)
     dump.add_argument("--corpus", default="rapid7", choices=("rapid7", "censys", "certigo"))
     dump.add_argument("--snapshot", default="2019-10", help="YYYY-MM")
     dump.add_argument("--out", required=True, help="output path")
@@ -63,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser(
         "export", help="export corpuses + support datasets to a directory"
     )
+    _add_globals(export)
     export.add_argument("--dir", required=True, help="output directory")
     export.add_argument(
         "--corpus", action="append", default=None, help="corpus name (repeatable)"
@@ -72,10 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_files = sub.add_parser(
-        "run-files", help="run the pipeline from an exported dataset directory"
+        "run-files", help="legacy alias for `run --dir DIR`"
     )
-    run_files.add_argument("--dir", required=True, help="dataset directory")
-    run_files.add_argument("--corpus", default=None, help="corpus to analyse")
+    _add_run_arguments(run_files, dir_required=True)
     return parser
 
 
@@ -84,14 +157,44 @@ def _world(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    world = _world(args)
-    result = OffnetPipeline.for_world(world).run()
+    """One code path for `run` and `run-files`: build a DataSource (world
+    or file dataset), pick the §4.4 learning snapshot, run, print Table 3."""
+    directory = getattr(args, "dir", None)
+    overrides: dict = {"jobs": args.jobs}
+    if directory:
+        from repro.datasets import FileDataset
+
+        source = FileDataset(directory)
+        corpus = args.corpus or next(iter(source.manifest["corpora"]))
+        covered = source.corpus_snapshots(corpus)
+        # §4.4: learn from the paper's snapshot when the dataset covers it;
+        # never silently substitute a different one when it was requested.
+        fallback = (
+            PAPER_LEARNING_SNAPSHOT
+            if PAPER_LEARNING_SNAPSHOT in covered
+            else covered[-1]
+        )
+        title = f"Off-net footprints from {directory} ({corpus})"
+    else:
+        source = _world(args)
+        corpus = args.corpus or "rapid7"
+        fallback = PAPER_LEARNING_SNAPSHOT
+        title = f"Off-net footprints (seed={args.seed}, scale={args.scale})"
+    if args.header_learning_snapshot:
+        learning = Snapshot.parse(args.header_learning_snapshot)
+    else:
+        learning = fallback
+    options = PipelineOptions(
+        corpus=corpus, header_learning_snapshot=learning, **overrides
+    )
+    result = OffnetPipeline(source, options).run()
     rows = build_table3(result)
+    first, last = result.snapshots[0], result.snapshots[-1]
     print(
         render_table(
-            ["Hypergiant", "2013-10 (certs)", "max [when]", "2021-04 (certs)"],
+            ["Hypergiant", f"{first} (certs)", "max [when]", f"{last} (certs)"],
             [row.format() for row in rows],
-            title=f"Off-net footprints (seed={args.seed}, scale={args.scale})",
+            title=title,
         )
     )
     return 0
@@ -99,7 +202,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     world = _world(args)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline.for_world(world, jobs=args.jobs).run()
     end = result.snapshots[-1]
     rows = []
     for hypergiant in TOP4:
@@ -126,7 +229,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     world = _world(args)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline.for_world(world, jobs=args.jobs).run()
     end = result.snapshots[-1]
     per_country = country_coverage(result, world.topology, args.hypergiant, end)
     rows = sorted(per_country.items(), key=lambda kv: -kv[1])
@@ -147,7 +250,7 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 def _cmd_growth(args: argparse.Namespace) -> int:
     world = _world(args)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline.for_world(world, jobs=args.jobs).run()
     if args.hypergiant == "netflix":
         envelope = restore_netflix(result)
         rows = [
@@ -201,27 +304,6 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run_files(args: argparse.Namespace) -> int:
-    from repro.core import PipelineOptions
-    from repro.datasets import FileDataset
-
-    dataset = FileDataset(args.dir)
-    corpus = args.corpus or next(iter(dataset.manifest["corpora"]))
-    options = PipelineOptions(
-        corpus=corpus, header_learning_snapshot=dataset.snapshots[-1]
-    )
-    result = OffnetPipeline(dataset, options).run()
-    rows = build_table3(result)
-    print(
-        render_table(
-            ["Hypergiant", "first (certs)", "max [when]", "last (certs)"],
-            [row.format() for row in rows],
-            title=f"Off-net footprints from {args.dir} ({corpus})",
-        )
-    )
-    return 0
-
-
 _COMMANDS = {
     "run": _cmd_run,
     "validate": _cmd_validate,
@@ -229,7 +311,7 @@ _COMMANDS = {
     "growth": _cmd_growth,
     "dump": _cmd_dump,
     "export": _cmd_export,
-    "run-files": _cmd_run_files,
+    "run-files": _cmd_run,
 }
 
 

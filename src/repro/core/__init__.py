@@ -17,22 +17,37 @@ footprints.
 * :mod:`repro.core.netflix` — the §6.2 Netflix envelope restoration
   (expired certificates, HTTP-only era).
 * :mod:`repro.core.pipeline` — the longitudinal orchestration producing
-  every number the evaluation section reports.
+  every number the evaluation section reports, split into a pure
+  per-snapshot phase and an ordered cross-snapshot merge.
+* :mod:`repro.core.executor` — snapshot execution strategies: serial, or a
+  fork-based process pool (``PipelineOptions(jobs=N)``) with bit-identical
+  output.
 """
 
 from repro.core.candidates import find_candidates
 from repro.core.cloudflare import is_cloudflare_customer_cert
 from repro.core.confirm import EDGE_CDNS, confirm_candidates
-from repro.core.footprint import FootprintSnapshot, PipelineResult
+from repro.core.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    SnapshotExecutor,
+    make_executor,
+)
+from repro.core.footprint import FootprintSnapshot, PipelineResult, SnapshotOutcome
 from repro.core.header_fingerprint import learn_header_fingerprints
 from repro.core.netflix import NetflixEnvelope, restore_netflix
 from repro.core.pipeline import OffnetPipeline, PipelineOptions
 from repro.core.tls_fingerprint import TLSFingerprint, learn_tls_fingerprint
-from repro.core.validation import CertificateValidator, ValidatedRecord
+from repro.core.validation import (
+    CertificateValidator,
+    ValidatedRecord,
+    ValidationCacheStats,
+)
 
 __all__ = [
     "CertificateValidator",
     "ValidatedRecord",
+    "ValidationCacheStats",
     "TLSFingerprint",
     "learn_tls_fingerprint",
     "find_candidates",
@@ -43,7 +58,12 @@ __all__ = [
     "NetflixEnvelope",
     "restore_netflix",
     "FootprintSnapshot",
+    "SnapshotOutcome",
     "PipelineResult",
     "OffnetPipeline",
     "PipelineOptions",
+    "SnapshotExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
 ]

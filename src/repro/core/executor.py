@@ -1,0 +1,110 @@
+"""Snapshot execution strategies: serial and multi-process parallel.
+
+The longitudinal pipeline factors into a *pure* per-snapshot phase
+(:meth:`~repro.core.pipeline.OffnetPipeline.run_snapshot`, returning a
+picklable :class:`~repro.core.footprint.SnapshotOutcome`) and a cheap
+ordered merge (:meth:`~repro.core.pipeline.OffnetPipeline.merge_outcomes`).
+A :class:`SnapshotExecutor` decides how the pure phase is mapped over the
+snapshots:
+
+* :class:`SerialExecutor` — one snapshot after another in the calling
+  process (``jobs=1``, the default);
+* :class:`ParallelExecutor` — a ``fork``-based
+  :class:`concurrent.futures.ProcessPoolExecutor`; workers inherit the
+  pipeline (data source, learned header rules, warm caches) by copy-on-write
+  and stream outcomes back in snapshot order.
+
+Because the merge is an explicit ordered reduction over outcomes, both
+executors produce bit-identical :class:`~repro.core.footprint.PipelineResult`
+objects — a property the test suite asserts.
+
+``fork`` keeps the synthetic world out of pickle entirely; on platforms
+without it (or for single-snapshot runs) :class:`ParallelExecutor` falls
+back to serial execution rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.footprint import SnapshotOutcome
+from repro.timeline import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import OffnetPipeline
+
+__all__ = [
+    "SnapshotExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
+
+#: The pipeline forked workers inherit (set in the parent immediately
+#: before the pool is created; ``fork`` snapshots it copy-on-write).
+_worker_pipeline: "OffnetPipeline | None" = None
+
+
+def _run_snapshot_job(snapshot: Snapshot) -> SnapshotOutcome:
+    """Module-level worker entry point (must be picklable by reference)."""
+    assert _worker_pipeline is not None, "worker forked without a pipeline"
+    return _worker_pipeline.run_snapshot(snapshot)
+
+
+class SnapshotExecutor:
+    """Strategy interface: map the pure phase over many snapshots."""
+
+    def map_snapshots(
+        self, pipeline: "OffnetPipeline", snapshots: Sequence[Snapshot]
+    ) -> list[SnapshotOutcome]:
+        """One :class:`SnapshotOutcome` per snapshot, in input order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(SnapshotExecutor):
+    """Run every snapshot in the calling process, in order."""
+
+    def map_snapshots(
+        self, pipeline: "OffnetPipeline", snapshots: Sequence[Snapshot]
+    ) -> list[SnapshotOutcome]:
+        """Run :meth:`~repro.core.pipeline.OffnetPipeline.run_snapshot`
+        inline for each snapshot."""
+        return [pipeline.run_snapshot(snapshot) for snapshot in snapshots]
+
+
+class ParallelExecutor(SnapshotExecutor):
+    """Fan the pure phase out to ``jobs`` forked worker processes."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError(f"ParallelExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+
+    def map_snapshots(
+        self, pipeline: "OffnetPipeline", snapshots: Sequence[Snapshot]
+    ) -> list[SnapshotOutcome]:
+        """Map the pure phase over a forked process pool, preserving
+        snapshot order; falls back to serial for trivial inputs or when
+        ``fork`` is unavailable."""
+        if len(snapshots) < 2 or "fork" not in multiprocessing.get_all_start_methods():
+            return SerialExecutor().map_snapshots(pipeline, snapshots)
+        global _worker_pipeline
+        _worker_pipeline = pipeline
+        try:
+            context = multiprocessing.get_context("fork")
+            workers = min(self.jobs, len(snapshots))
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                return list(pool.map(_run_snapshot_job, snapshots))
+        finally:
+            _worker_pipeline = None
+
+
+def make_executor(jobs: int) -> SnapshotExecutor:
+    """The executor for a ``PipelineOptions(jobs=...)`` setting."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)

@@ -1,14 +1,23 @@
-"""Result containers for the longitudinal pipeline."""
+"""Result containers for the longitudinal pipeline.
+
+:class:`SnapshotOutcome` is the output of the *pure* per-snapshot phase:
+everything a snapshot's footprint needs plus the two inputs the ordered
+cross-snapshot merge consumes (the Netflix §6.2 restoration is the only
+cross-snapshot state).  Outcomes are plain picklable data, which is what
+lets :class:`~repro.core.executor.ParallelExecutor` compute them in worker
+processes and merge them in the parent in snapshot order — bit-identical
+to a sequential run.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.validation import ValidationStats
+from repro.core.validation import ValidationCacheStats, ValidationStats
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
 
-__all__ = ["FootprintSnapshot", "PipelineResult"]
+__all__ = ["FootprintSnapshot", "SnapshotOutcome", "PipelineResult"]
 
 
 @dataclass(slots=True)
@@ -54,12 +63,42 @@ class FootprintSnapshot:
 
 
 @dataclass(slots=True)
+class SnapshotOutcome:
+    """The pure per-snapshot phase's output, before the cross-snapshot merge.
+
+    ``footprint.netflix_restored_ases`` is left empty here; the merge phase
+    fills it in snapshot order from ``netflix_seen`` / ``restorable``.
+    """
+
+    footprint: FootprintSnapshot
+    #: IPs that presented a Netflix certificate (valid or expired-only) in
+    #: this snapshot — the contribution to the "ever a candidate" set.
+    netflix_seen: frozenset[int] = frozenset()
+    #: Port-80-only IPs (answering HTTP but silent on 443) mapped to their
+    #: origin ASes — restoration candidates if they ever served Netflix.
+    restorable: dict[int, frozenset[ASN]] = field(default_factory=dict)
+    #: Wall-clock seconds per pipeline stage for this snapshot.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Validation-cache hit/miss deltas incurred by this snapshot.
+    cache: ValidationCacheStats = ValidationCacheStats()
+
+
+@dataclass(slots=True)
 class PipelineResult:
     """The pipeline's output across a corpus's snapshots."""
 
     corpus: str
     snapshots: tuple[Snapshot, ...]
     by_snapshot: dict[Snapshot, FootprintSnapshot]
+    #: Wall-clock seconds per pipeline stage, summed over snapshots (the
+    #: parallel executor sums worker-side timings, so this is CPU-style
+    #: aggregate work, not elapsed time).  Excluded from equality so
+    #: serial and parallel runs of the same world compare equal.
+    timings: dict[str, float] = field(default_factory=dict, compare=False)
+    #: Aggregated §4.1 validation-cache counters across snapshots.
+    validation_cache: ValidationCacheStats = field(
+        default=ValidationCacheStats(), compare=False
+    )
 
     def at(self, snapshot: Snapshot) -> FootprintSnapshot:
         """The footprint snapshot for one date."""

@@ -14,6 +14,17 @@ For every snapshot of a corpus the pipeline:
    evaluation section needs (certs-only, or/and header modes, the Netflix
    expired and HTTP-only restorations, the Cloudflare filter).
 
+The pipeline consumes any :class:`~repro.datasets.DataSource` — the live
+synthetic :class:`~repro.world.World` or a file-backed
+:class:`~repro.datasets.FileDataset` — and factors into a *pure*
+per-snapshot phase (:meth:`OffnetPipeline.run_snapshot`) plus an ordered
+cross-snapshot merge (:meth:`OffnetPipeline.merge_outcomes`; the §6.2
+Netflix "ever a candidate" accumulator is the only cross-snapshot state).
+``PipelineOptions(jobs=N)`` maps the pure phase over N worker processes
+via :class:`~repro.core.executor.ParallelExecutor`; because the merge is an
+explicit ordered reduction, parallel results are bit-identical to serial
+ones — a property the test suite asserts.
+
 The per-HG steps are also available as standalone functions
 (:mod:`repro.core.tls_fingerprint`, :mod:`repro.core.candidates`, ...); the
 pipeline fuses their loops for speed but keeps identical semantics — a
@@ -23,18 +34,25 @@ property the test suite asserts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.candidates import Candidate
 from repro.core.cloudflare import is_cloudflare_customer_cert
 from repro.core.confirm import confirm_candidates
-from repro.core.footprint import FootprintSnapshot, PipelineResult
+from repro.core.executor import SnapshotExecutor, make_executor
+from repro.core.footprint import FootprintSnapshot, PipelineResult, SnapshotOutcome
 from repro.core.header_fingerprint import learn_header_fingerprints
-from repro.core.validation import CertificateValidator, ValidatedRecord, ValidationStats
+from repro.core.validation import (
+    CertificateValidator,
+    ValidatedRecord,
+    ValidationCacheStats,
+    ValidationStats,
+)
+from repro.datasets.source import DataSource
 from repro.hypergiants.profiles import HEADER_RULES, HYPERGIANTS, HeaderRule
 from repro.scan.records import ScanSnapshot
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
-from repro.x509.certificate import Certificate
 
 __all__ = ["PipelineOptions", "OffnetPipeline"]
 
@@ -62,18 +80,31 @@ class PipelineOptions:
     #: §7 future work: merge the IPv6 research corpus and use dual-stack
     #: IP-to-AS lookups ("our inference approach is IP protocol-agnostic").
     include_ipv6: bool = False
+    #: Worker processes for the per-snapshot phase (1 = serial; N > 1 forks
+    #: a process pool; output is identical either way).
+    jobs: int = 1
 
 
 class OffnetPipeline:
-    """Runs the §4 methodology over a world's scan corpuses."""
+    """Runs the §4 methodology over a data source's scan corpuses."""
 
-    def __init__(self, world, options: PipelineOptions | None = None) -> None:
-        self.world = world
+    def __init__(self, source: DataSource, options: PipelineOptions | None = None) -> None:
+        if not isinstance(source, DataSource):
+            missing = [
+                name
+                for name in ("snapshots", "root_store", "topology", "scanner", "scan", "ip2as")
+                if not hasattr(source, name)
+            ]
+            raise TypeError(
+                f"{type(source).__name__} does not implement the DataSource "
+                f"protocol (missing: {', '.join(missing) or 'structural members'})"
+            )
+        self.source = source
         self.options = options or PipelineOptions()
-        self._validator = CertificateValidator(world.root_store)
+        self._validator = CertificateValidator(source.root_store)
         self._keywords = tuple(hg.key for hg in HYPERGIANTS)
         # Appendix A.2: reverse org lookup per HG keyword.
-        organizations = world.topology.organizations
+        organizations = source.topology.organizations
         self._hg_ases: dict[str, frozenset[ASN]] = {
             key: organizations.search_by_name(key) for key in self._keywords
         }
@@ -85,29 +116,46 @@ class OffnetPipeline:
 
     # -- public API ------------------------------------------------------------
 
-    @classmethod
-    def for_world(cls, world, **option_overrides) -> "OffnetPipeline":
-        """Convenience constructor with keyword option overrides."""
-        options = PipelineOptions(**option_overrides) if option_overrides else None
-        return cls(world, options)
+    @property
+    def world(self) -> DataSource:
+        """Backwards-compatible alias for :attr:`source` (the constructor
+        predates the :class:`~repro.datasets.DataSource` protocol)."""
+        return self.source
 
-    def run(self, snapshots: tuple[Snapshot, ...] | None = None) -> PipelineResult:
+    @classmethod
+    def for_world(cls, source: DataSource, **option_overrides) -> "OffnetPipeline":
+        """Convenience constructor: ``OffnetPipeline(source,
+        PipelineOptions(**overrides))``.  Accepts any data source, not just
+        a world — the name survives from the pre-``DataSource`` API."""
+        options = PipelineOptions(**option_overrides) if option_overrides else None
+        return cls(source, options)
+
+    def run(
+        self,
+        snapshots: tuple[Snapshot, ...] | None = None,
+        executor: SnapshotExecutor | None = None,
+    ) -> PipelineResult:
         """Run the full pipeline over ``snapshots`` (default: all the corpus
-        offers) and return the longitudinal result."""
-        profile = self.world.scanner(self.options.corpus).profile
+        offers) and return the longitudinal result.
+
+        The per-snapshot phase is mapped by ``executor`` (default: the one
+        ``options.jobs`` selects), then merged in snapshot order.
+        """
+        profile = self.source.scanner(self.options.corpus).profile
         if snapshots is None:
             snapshots = tuple(
-                s for s in self.world.snapshots if s >= profile.available_since
+                s for s in self.source.snapshots if s >= profile.available_since
             )
-        netflix_ever_candidates: set[int] = set()
-        by_snapshot: dict[Snapshot, FootprintSnapshot] = {}
-        for snapshot in snapshots:
-            by_snapshot[snapshot] = self._run_snapshot(snapshot, netflix_ever_candidates)
-        return PipelineResult(
-            corpus=self.options.corpus,
-            snapshots=tuple(snapshots),
-            by_snapshot=by_snapshot,
-        )
+        else:
+            snapshots = tuple(snapshots)
+        if self.options.header_confirmation:
+            # Learn the §4.4 rules once in the parent so forked workers
+            # inherit them instead of re-learning per process.
+            self.header_rules()
+        if executor is None:
+            executor = make_executor(self.options.jobs)
+        outcomes = executor.map_snapshots(self, snapshots)
+        return self.merge_outcomes(snapshots, outcomes)
 
     def header_rules(self) -> dict[str, tuple[HeaderRule, ...]]:
         """The header fingerprints in force: learned from the learning
@@ -130,15 +178,15 @@ class OffnetPipeline:
 
     def _learn_rules(self) -> dict[str, tuple[HeaderRule, ...]] | None:
         options = self.options
-        profile = self.world.scanner(options.corpus).profile
+        profile = self.source.scanner(options.corpus).profile
         learning_snapshot = options.header_learning_snapshot
         if learning_snapshot < profile.available_since:
             return None
-        scan = self.world.scan(options.corpus, learning_snapshot)
+        scan = self.source.scan(options.corpus, learning_snapshot)
         if not scan.http_records:
             return None
         records, _ = self._validated(scan)
-        ip2as = self.world.ip2as(learning_snapshot)
+        ip2as = self.source.ip2as(learning_snapshot)
         onnet_ips: dict[str, frozenset[int]] = {}
         for keyword in self._keywords:
             hg_ases = self._hg_ases[keyword]
@@ -187,11 +235,11 @@ class OffnetPipeline:
     def _scan_and_map(self, snapshot: Snapshot):
         """The corpus and IP-to-AS view for one snapshot, optionally merged
         with the IPv6 research corpus (§7 future work)."""
-        world = self.world
-        scan = world.scan(self.options.corpus, snapshot)
-        ip2as = world.ip2as(snapshot)
+        source = self.source
+        scan = source.scan(self.options.corpus, snapshot)
+        ip2as = source.ip2as(snapshot)
         if self.options.include_ipv6:
-            ipv6_scan = getattr(world, "ipv6_scan", None)
+            ipv6_scan = getattr(source, "ipv6_scan", None)
             if ipv6_scan is None:
                 raise ValueError(
                     "include_ipv6 requires a world with an IPv6 corpus "
@@ -204,17 +252,30 @@ class OffnetPipeline:
             merged.tls_records = scan.tls_records + v6.tls_records
             merged.http_records = scan.http_records + v6.http_records
             scan = merged
-            ip2as = world.ip2as_dual(snapshot)
+            ip2as = source.ip2as_dual(snapshot)
         return scan, ip2as
 
-    def _run_snapshot(
-        self, snapshot: Snapshot, netflix_ever_candidates: set[int]
-    ) -> FootprintSnapshot:
+    # -- the pure per-snapshot phase ---------------------------------------------
+
+    def run_snapshot(self, snapshot: Snapshot) -> SnapshotOutcome:
+        """Everything §4 infers from one snapshot, with no cross-snapshot
+        state: safe to execute for any subset of snapshots, in any order,
+        in any process.  The Netflix restoration inputs ride along for
+        :meth:`merge_outcomes`."""
         options = self.options
+        timings: dict[str, float] = {}
+        cache_before = self._validator.cache_info()
+
+        tick = perf_counter()
         scan, ip2as = self._scan_and_map(snapshot)
+        timings["scan"] = perf_counter() - tick
+
+        tick = perf_counter()
         records, stats = self._validated(scan)
+        timings["validate"] = perf_counter() - tick
 
         # Single pass: resolve origins and keyword matches per record.
+        tick = perf_counter()
         onnet_ips: dict[str, set[int]] = {k: set() for k in self._keywords}
         fingerprints: dict[str, set[str]] = {k: set() for k in self._keywords}
         matching: list[tuple[ValidatedRecord, frozenset[ASN], tuple[str, ...]]] = []
@@ -234,8 +295,10 @@ class OffnetPipeline:
                     fingerprints[keyword].update(
                         n.lower() for n in record.certificate.dns_names
                     )
+        timings["match"] = perf_counter() - tick
 
         # §4.3 candidates per HG (plus the Netflix expired variant).
+        tick = perf_counter()
         candidates: dict[str, list[Candidate]] = {k: [] for k in self._keywords}
         netflix_expired: list[Candidate] = []
         for record, origins, hgs in matching:
@@ -260,6 +323,7 @@ class OffnetPipeline:
                         netflix_expired.append(candidate)
                     continue
                 candidates[keyword].append(candidate)
+        timings["candidates"] = perf_counter() - tick
 
         footprint = FootprintSnapshot(
             snapshot=snapshot,
@@ -269,6 +333,7 @@ class OffnetPipeline:
         )
         footprint.onnet_ips = {k: frozenset(v) for k, v in onnet_ips.items() if v}
 
+        tick = perf_counter()
         rules = self.header_rules() if options.header_confirmation else {}
         for keyword in self._keywords:
             found = candidates[keyword]
@@ -302,6 +367,7 @@ class OffnetPipeline:
                 footprint.confirmed_ips[keyword] = footprint.candidate_ips[keyword]
                 footprint.confirmed_ases[keyword] = footprint.candidate_ases[keyword]
                 footprint.confirmed_and_ases[keyword] = footprint.candidate_ases[keyword]
+        timings["confirm"] = perf_counter() - tick
 
         # §7: the Cloudflare customer-certificate filter.
         cloudflare_candidates = candidates.get("cloudflare", [])
@@ -311,16 +377,79 @@ class OffnetPipeline:
         ]
         footprint.cloudflare_filtered_ases = _ases_of(surviving)
 
-        # §6.2: Netflix restorations.
+        # §6.2: the per-snapshot half of the Netflix restorations.  The
+        # non-TLS restoration needs the cross-snapshot "ever a candidate"
+        # set, so this phase only gathers its inputs: which IPs presented
+        # Netflix certificates now, and which port-80-only IPs could be
+        # restored (with their origin ASes resolved while the snapshot's
+        # ip2as view is at hand).
+        tick = perf_counter()
         footprint.netflix_with_expired_ases = self._netflix_with_expired(
             snapshot, scan, candidates.get("netflix", []), netflix_expired, rules
         )
-        footprint.netflix_restored_ases = self._netflix_nontls_restore(
-            snapshot, scan, netflix_ever_candidates, ip2as
+        netflix_seen = frozenset(
+            footprint.candidate_ips.get("netflix", frozenset())
+            | {c.ip for c in netflix_expired}
         )
-        netflix_ever_candidates.update(footprint.candidate_ips.get("netflix", ()))
-        netflix_ever_candidates.update(c.ip for c in netflix_expired)
-        return footprint
+        current_tls_ips = {record.ip for record in scan.tls_records}
+        restorable: dict[int, frozenset[ASN]] = {}
+        for record in scan.http_records:
+            if record.port != 80:
+                continue
+            ip = record.ip
+            if ip in current_tls_ips or ip in restorable:
+                continue
+            origins = ip2as.lookup(ip)
+            if origins:
+                restorable[ip] = origins
+        timings["netflix"] = perf_counter() - tick
+
+        return SnapshotOutcome(
+            footprint=footprint,
+            netflix_seen=netflix_seen,
+            restorable=restorable,
+            timings=timings,
+            cache=self._validator.cache_info() - cache_before,
+        )
+
+    # -- the ordered cross-snapshot merge ------------------------------------------
+
+    def merge_outcomes(
+        self,
+        snapshots: tuple[Snapshot, ...],
+        outcomes: list[SnapshotOutcome],
+    ) -> PipelineResult:
+        """Reduce per-snapshot outcomes, in snapshot order, into the
+        longitudinal result.  The only cross-snapshot state is the §6.2
+        Netflix "ever a candidate" accumulator; folding it here (rather
+        than inside the per-snapshot phase) is what makes the phase pure
+        and the parallel run bit-identical to the serial one."""
+        by_snapshot: dict[Snapshot, FootprintSnapshot] = {}
+        timings: dict[str, float] = {}
+        cache = ValidationCacheStats()
+        netflix_ever_candidates: set[int] = set()
+        tick = perf_counter()
+        for snapshot, outcome in zip(snapshots, outcomes, strict=True):
+            footprint = outcome.footprint
+            if netflix_ever_candidates:
+                restored: set[ASN] = set()
+                for ip, ases in outcome.restorable.items():
+                    if ip in netflix_ever_candidates:
+                        restored.update(ases)
+                footprint.netflix_restored_ases = frozenset(restored)
+            netflix_ever_candidates.update(outcome.netflix_seen)
+            by_snapshot[snapshot] = footprint
+            for stage, seconds in outcome.timings.items():
+                timings[stage] = timings.get(stage, 0.0) + seconds
+            cache = cache + outcome.cache
+        timings["merge"] = perf_counter() - tick
+        return PipelineResult(
+            corpus=self.options.corpus,
+            snapshots=tuple(snapshots),
+            by_snapshot=by_snapshot,
+            timings=timings,
+            validation_cache=cache,
+        )
 
     def _netflix_with_expired(
         self,
@@ -343,28 +472,6 @@ class OffnetPipeline:
             edge_priority=self.options.edge_priority,
         )
         return _ases_of([c.candidate for c in confirmed])
-
-    def _netflix_nontls_restore(
-        self,
-        snapshot: Snapshot,
-        scan,
-        ever_candidates: set[int],
-        ip2as,
-    ) -> frozenset[ASN]:
-        """IPs that served Netflix certificates in the past, answer on port
-        80 now, but are silent on 443 — restored as in §6.2."""
-        if not ever_candidates:
-            return frozenset()
-        current_tls_ips = {record.ip for record in scan.tls_records}
-        restored: set[ASN] = set()
-        for record in scan.http_records:
-            if record.port != 80:
-                continue
-            ip = record.ip
-            if ip not in ever_candidates or ip in current_tls_ips:
-                continue
-            restored.update(ip2as.lookup(ip))
-        return frozenset(restored)
 
 
 def _ases_of(candidates: list[Candidate]) -> frozenset[ASN]:

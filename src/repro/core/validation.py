@@ -8,6 +8,12 @@ hosts returned invalid certificates that we excluded."
 The validator caches the *time-independent* part of verification (signature
 links, trust anchoring) per end-entity fingerprint, so re-validating the
 same shared hypergiant chains across 31 snapshots costs almost nothing.
+A second cross-snapshot cache memoises each chain's effective validity
+window (the intersection of every certificate's window, keyed by the
+end-entity fingerprint), reducing the per-snapshot freshness check to two
+comparisons — the same trick ``OffnetPipeline._org_cache`` plays for
+organisation matching.  :meth:`CertificateValidator.cache_info` reports hit
+counts so benches can surface the hit rate.
 
 An ``allow_expired`` mode accepts otherwise-valid chains whose only defect
 is the validity window — the §6.2 Netflix "w/ expired" analysis needs it.
@@ -24,7 +30,12 @@ from repro.x509.chain import CertificateChain
 from repro.x509.store import RootStore
 from repro.x509.verify import VerificationError, verify_chain
 
-__all__ = ["ValidatedRecord", "ValidationStats", "CertificateValidator"]
+__all__ = [
+    "ValidatedRecord",
+    "ValidationStats",
+    "ValidationCacheStats",
+    "CertificateValidator",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,20 +68,71 @@ class ValidationStats:
         return (self.rejected + self.expired_only) / self.total
 
 
+@dataclass(frozen=True, slots=True)
+class ValidationCacheStats:
+    """Hit/miss counters for the validator's two cross-snapshot caches."""
+
+    static_hits: int = 0
+    static_misses: int = 0
+    window_hits: int = 0
+    window_misses: int = 0
+
+    def __add__(self, other: "ValidationCacheStats") -> "ValidationCacheStats":
+        return ValidationCacheStats(
+            static_hits=self.static_hits + other.static_hits,
+            static_misses=self.static_misses + other.static_misses,
+            window_hits=self.window_hits + other.window_hits,
+            window_misses=self.window_misses + other.window_misses,
+        )
+
+    def __sub__(self, other: "ValidationCacheStats") -> "ValidationCacheStats":
+        return ValidationCacheStats(
+            static_hits=self.static_hits - other.static_hits,
+            static_misses=self.static_misses - other.static_misses,
+            window_hits=self.window_hits - other.window_hits,
+            window_misses=self.window_misses - other.window_misses,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Combined hit fraction over both caches (0.0 when never queried)."""
+        hits = self.static_hits + self.window_hits
+        total = hits + self.static_misses + self.window_misses
+        return hits / total if total else 0.0
+
+
 class CertificateValidator:
     """Validates scan records against a trust store, with caching."""
 
     def __init__(self, store: RootStore) -> None:
         self._store = store
-        #: fingerprint -> (statically_ok, chain) for window re-checks.
+        #: fingerprint -> statically_ok (chain links + trust anchoring).
         self._static_cache: dict[str, bool] = {}
+        #: fingerprint -> the chain's effective validity window
+        #: (max notBefore, min notAfter over every chain certificate).
+        self._window_cache: dict[str, tuple[Snapshot, Snapshot]] = {}
+        self._static_hits = 0
+        self._static_misses = 0
+        self._window_hits = 0
+        self._window_misses = 0
+
+    def cache_info(self) -> ValidationCacheStats:
+        """Cumulative hit/miss counters for both cross-snapshot caches."""
+        return ValidationCacheStats(
+            static_hits=self._static_hits,
+            static_misses=self._static_misses,
+            window_hits=self._window_hits,
+            window_misses=self._window_misses,
+        )
 
     def _static_ok(self, chain: CertificateChain) -> bool:
         """Time-independent checks: self-signed leaf, links, trust anchor."""
         fingerprint = chain.end_entity.fingerprint
         cached = self._static_cache.get(fingerprint)
         if cached is not None:
+            self._static_hits += 1
             return cached
+        self._static_misses += 1
         # Verify at the leaf's own notBefore: any failure then is structural
         # (window errors cannot occur at a time the leaf itself allows,
         # unless an intermediate's window mismatches — treated as invalid).
@@ -91,6 +153,23 @@ class CertificateValidator:
         self._static_cache[fingerprint] = ok
         return ok
 
+    def _validity_window(self, chain: CertificateChain) -> tuple[Snapshot, Snapshot]:
+        """The snapshots during which *every* chain certificate is inside
+        its validity window (memoised per end-entity fingerprint — the
+        window never changes, only the snapshot we test it against)."""
+        fingerprint = chain.end_entity.fingerprint
+        window = self._window_cache.get(fingerprint)
+        if window is not None:
+            self._window_hits += 1
+            return window
+        self._window_misses += 1
+        window = (
+            max(c.not_before for c in chain.certificates),
+            min(c.not_after for c in chain.certificates),
+        )
+        self._window_cache[fingerprint] = window
+        return window
+
     def validate_snapshot(
         self,
         scan: ScanSnapshot,
@@ -109,7 +188,8 @@ class CertificateValidator:
             if not self._static_ok(chain):
                 rejected += 1
                 continue
-            in_window = all(c.is_valid_at(when) for c in chain.certificates)
+            window_start, window_end = self._validity_window(chain)
+            in_window = window_start <= when <= window_end
             if in_window:
                 valid += 1
                 records.append(ValidatedRecord(ip=record.ip, certificate=leaf))

@@ -7,13 +7,15 @@ dataset.  This package gives the reproduction the same workflow:
 * :func:`export_dataset` writes a world's corpuses and support datasets to
   a directory (JSONL corpora, TSV prefix→AS tables, TSV organisations,
   JSONL trust anchors);
-* :class:`FileDataset` loads such a directory and satisfies the same
-  interface :class:`~repro.core.pipeline.OffnetPipeline` uses on a live
-  :class:`~repro.world.World` — so the *identical* pipeline code runs from
-  files, which is exactly how it would run on real Rapid7/Censys data.
+* :class:`FileDataset` loads such a directory and satisfies the
+  :class:`DataSource` protocol :class:`~repro.core.pipeline.OffnetPipeline`
+  consumes — the same protocol a live :class:`~repro.world.World`
+  implements — so the *identical* pipeline code runs from files, which is
+  exactly how it would run on real Rapid7/Censys data.
 """
 
 from repro.datasets.export import export_dataset
 from repro.datasets.fileview import FileDataset
+from repro.datasets.source import DataSource
 
-__all__ = ["export_dataset", "FileDataset"]
+__all__ = ["DataSource", "export_dataset", "FileDataset"]

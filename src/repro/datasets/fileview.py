@@ -1,7 +1,7 @@
 """Load an exported dataset directory and drive the pipeline from it.
 
-:class:`FileDataset` satisfies the duck-typed interface
-:class:`~repro.core.pipeline.OffnetPipeline` expects of a world:
+:class:`FileDataset` implements the :class:`~repro.datasets.DataSource`
+protocol :class:`~repro.core.pipeline.OffnetPipeline` consumes:
 
 * ``snapshots`` and ``scanner(name).profile.available_since``,
 * ``scan(corpus, snapshot)``,
@@ -107,6 +107,15 @@ class FileDataset:
         return store
 
     # -- the pipeline interface -----------------------------------------------
+
+    def corpus_snapshots(self, name: str) -> tuple[Snapshot, ...]:
+        """The snapshots the dataset holds for one corpus (sorted)."""
+        snapshots = self._corpora.get(name)
+        if not snapshots:
+            raise KeyError(
+                f"corpus {name!r} not in dataset; available: {sorted(self._corpora)}"
+            )
+        return snapshots
 
     def scanner(self, name: str) -> _FileScanner:
         """Availability info for one corpus in the dataset."""

@@ -1,0 +1,85 @@
+"""The pipeline's input contract: the :class:`DataSource` protocol.
+
+Historically :class:`~repro.core.pipeline.OffnetPipeline` accepted "a world
+or a :class:`~repro.datasets.fileview.FileDataset`" through the same
+constructor argument and relied on duck typing.  ``DataSource`` makes that
+implicit contract explicit: any object offering the five members below can
+drive the §4 methodology — the live synthetic :class:`~repro.world.World`,
+a :class:`~repro.datasets.fileview.FileDataset` directory of exported
+corpuses, or a future backend (a database, an object store, a shard of a
+distributed corpus).
+
+The protocol is deliberately read-only and snapshot-addressed, which is
+what lets the parallel snapshot executor
+(:mod:`repro.core.executor`) fan the pure per-snapshot phase out to worker
+processes: every worker needs nothing but a ``DataSource`` and a snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.bgp.ip2as import IPToASMap
+from repro.scan.records import ScanSnapshot
+from repro.timeline import Snapshot
+from repro.topology.organizations import OrganizationDataset
+from repro.x509.store import RootStore
+
+__all__ = ["DataSource", "ScannerInfo", "ScannerProfileInfo", "TopologyInfo"]
+
+
+@runtime_checkable
+class ScannerProfileInfo(Protocol):
+    """The slice of a scanner profile the pipeline reads."""
+
+    name: str
+    #: First snapshot the corpus exists for (§4.6 availability windows).
+    available_since: Snapshot
+
+
+@runtime_checkable
+class ScannerInfo(Protocol):
+    """Availability metadata for one corpus."""
+
+    profile: ScannerProfileInfo
+
+
+@runtime_checkable
+class TopologyInfo(Protocol):
+    """The topology slice the pipeline reads: the Appendix A.2 reverse
+    org→AS lookup."""
+
+    organizations: OrganizationDataset
+
+
+@runtime_checkable
+class DataSource(Protocol):
+    """Everything :class:`~repro.core.pipeline.OffnetPipeline` consumes.
+
+    Implemented by :class:`repro.world.World` (live synthetic corpuses) and
+    :class:`repro.datasets.FileDataset` (exported corpuses on disk).  The
+    members mirror the real study's inputs:
+
+    * ``snapshots`` — the quarterly measurement dates on offer;
+    * ``scan(name, snapshot)`` — one scanner's certificate/header corpus;
+    * ``ip2as(snapshot)`` — the Appendix A.1 IP-to-AS mapping;
+    * ``scanner(name)`` — corpus availability metadata;
+    * ``root_store`` — the WebPKI trust anchors for §4.1 validation;
+    * ``topology.organizations`` — the Appendix A.2 org dataset.
+    """
+
+    snapshots: tuple[Snapshot, ...]
+    root_store: RootStore
+    topology: TopologyInfo
+
+    def scanner(self, name: str) -> ScannerInfo:
+        """Availability metadata for the corpus called ``name``."""
+        ...
+
+    def scan(self, name: str, snapshot: Snapshot) -> ScanSnapshot:
+        """The ``name`` corpus for one snapshot."""
+        ...
+
+    def ip2as(self, snapshot: Snapshot) -> IPToASMap:
+        """The IP-to-AS mapping in force at ``snapshot``."""
+        ...

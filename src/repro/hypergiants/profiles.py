@@ -17,7 +17,7 @@ servers behave like the real ones did, and everything the *methodology*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.timeline import Snapshot
 

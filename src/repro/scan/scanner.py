@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from repro.scan.exclusions import ExclusionList
 from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
 from repro.timeline import CENSYS_AVAILABLE, HTTPS_HEADERS_AVAILABLE, Snapshot
-from repro.scan.server import SimulatedServer
 
 __all__ = ["ScannerProfile", "Scanner", "RAPID7", "CENSYS", "CERTIGO"]
 

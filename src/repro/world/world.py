@@ -22,7 +22,7 @@ from repro.net.asn import ASN
 from repro.net.ipv4 import IPv4Prefix
 from repro.scan.records import ScanSnapshot
 from repro.scan.scanner import CENSYS, CERTIGO, RAPID7, Scanner, ScannerProfile
-from repro.scan.server import ServerKind, SimulatedServer
+from repro.scan.server import SimulatedServer
 from repro.timeline import Snapshot
 from repro.world.build import WorldParts, build_world_parts
 from repro.world.config import WorldConfig

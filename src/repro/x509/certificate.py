@@ -13,7 +13,6 @@ pipeline's effective resolution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.timeline import Snapshot
 

@@ -11,7 +11,7 @@ from repro.core import (
 from repro.core.confirm import is_default_nginx
 from repro.core.tls_fingerprint import organization_matches
 from repro.scan.server import ServerKind
-from repro.timeline import STUDY_SNAPSHOTS, Snapshot
+from repro.timeline import STUDY_SNAPSHOTS
 
 END = STUDY_SNAPSHOTS[-1]
 

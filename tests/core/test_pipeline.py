@@ -1,7 +1,5 @@
 """Integration tests for the longitudinal pipeline."""
 
-import pytest
-
 from repro.core import OffnetPipeline, restore_netflix
 from repro.hypergiants.profiles import TOP4
 from repro.timeline import NETFLIX_EXPIRED_ERA, STUDY_SNAPSHOTS, Snapshot

@@ -1,0 +1,145 @@
+"""Unit tests for the §4.1 validator's cross-snapshot caches.
+
+Two caches exist per validator: the *static* cache (chain links + trust
+anchoring per end-entity fingerprint) and the *window* cache (the chain's
+effective validity window).  Both are shared across snapshots, so
+re-validating the heavily repeated hypergiant chains costs two dict hits.
+"""
+
+import pytest
+
+from repro.core import CertificateValidator
+from repro.core.validation import ValidationCacheStats
+from repro.scan.records import ScanSnapshot, TLSRecord
+from repro.timeline import Snapshot
+from repro.x509 import CertificateAuthority, RootStore, SubjectName, build_chain
+
+EARLY = Snapshot(2012, 1)
+LATE = Snapshot(2034, 1)
+NOW = Snapshot(2019, 10)
+
+
+def _pki():
+    root = CertificateAuthority.create_root("Cache Test Root", EARLY, LATE)
+    issuer = root.create_intermediate("Cache Test Issuer", EARLY, LATE)
+    store = RootStore()
+    store.add(root.certificate)
+    return store, issuer
+
+
+def _scan(chain, ips, when=NOW):
+    scan = ScanSnapshot(scanner="unit", snapshot=when)
+    for ip in ips:
+        scan.tls_records.append(TLSRecord(ip=ip, chain=chain))
+    return scan
+
+
+def _leaf(issuer, nb=EARLY, na=LATE, org="Example Org"):
+    return issuer.issue(
+        subject=SubjectName(common_name="www.example.com", organization=org),
+        dns_names=("www.example.com",),
+        not_before=nb,
+        not_after=na,
+    )
+
+
+class TestHitCounting:
+    def test_repeated_chain_hits_both_caches(self):
+        store, issuer = _pki()
+        chain = build_chain(_leaf(issuer), issuer)
+        validator = CertificateValidator(store)
+
+        records, stats = validator.validate_snapshot(_scan(chain, ips=(1, 2, 3)))
+        assert stats.valid == 3
+        info = validator.cache_info()
+        assert info.static_misses == 1 and info.static_hits == 2
+        assert info.window_misses == 1 and info.window_hits == 2
+
+    def test_second_snapshot_is_all_hits(self):
+        store, issuer = _pki()
+        chain = build_chain(_leaf(issuer), issuer)
+        validator = CertificateValidator(store)
+
+        validator.validate_snapshot(_scan(chain, ips=(1,)))
+        before = validator.cache_info()
+        # A later snapshot, same chain: the cross-snapshot point of the cache.
+        validator.validate_snapshot(_scan(chain, ips=(1,), when=Snapshot(2020, 10)))
+        delta = validator.cache_info() - before
+        assert delta == ValidationCacheStats(
+            static_hits=1, static_misses=0, window_hits=1, window_misses=0
+        )
+
+    def test_warm_validator_matches_cold(self):
+        store, issuer = _pki()
+        chain = build_chain(_leaf(issuer), issuer)
+        scan = _scan(chain, ips=(10, 11))
+
+        warm = CertificateValidator(store)
+        warm.validate_snapshot(scan)
+        warm_records, warm_stats = warm.validate_snapshot(scan)
+        cold_records, cold_stats = CertificateValidator(store).validate_snapshot(scan)
+        assert warm_records == cold_records
+        assert warm_stats == cold_stats
+
+    def test_hit_rate(self):
+        assert ValidationCacheStats().hit_rate == 0.0
+        stats = ValidationCacheStats(
+            static_hits=3, static_misses=1, window_hits=3, window_misses=1
+        )
+        assert stats.hit_rate == pytest.approx(0.75)
+        total = stats + ValidationCacheStats(static_hits=2)
+        assert total.static_hits == 5
+
+
+class TestExpiredCertEdge:
+    def test_expired_chain_cached_window_stays_expired_only(self):
+        """An expired-at-scan-time chain must classify identically on the
+        cache-miss pass and every cache-hit pass after it."""
+        store, issuer = _pki()
+        expired = build_chain(
+            _leaf(issuer, nb=Snapshot(2014, 1), na=Snapshot(2016, 1)), issuer
+        )
+        validator = CertificateValidator(store)
+
+        first, first_stats = validator.validate_snapshot(
+            _scan(expired, ips=(5,)), allow_expired=True
+        )
+        second, second_stats = validator.validate_snapshot(
+            _scan(expired, ips=(5,)), allow_expired=True
+        )
+        assert first_stats.expired_only == second_stats.expired_only == 1
+        assert first == second
+        assert first[0].expired_only
+
+    def test_expired_chain_rejected_without_allow_expired(self):
+        store, issuer = _pki()
+        expired = build_chain(
+            _leaf(issuer, nb=Snapshot(2014, 1), na=Snapshot(2016, 1)), issuer
+        )
+        validator = CertificateValidator(store)
+        validator.validate_snapshot(_scan(expired, ips=(5,)), allow_expired=True)
+
+        # Same chain, warm caches, stricter mode: still rejected.
+        records, stats = validator.validate_snapshot(_scan(expired, ips=(5,)))
+        assert records == []
+        assert stats.rejected == 1
+
+    def test_window_is_chain_intersection(self):
+        """A leaf outliving its issuer is only valid while *both* are —
+        the cached window must be the intersection, not the leaf's own."""
+        store, root_issuer = _pki()
+        short_issuer = CertificateAuthority.create_root(
+            "Short Root", EARLY, Snapshot(2018, 1)
+        )
+        store.add(short_issuer.certificate)
+        chain = build_chain(
+            _leaf(short_issuer, nb=Snapshot(2014, 1), na=Snapshot(2025, 1)),
+            short_issuer,
+            include_root=True,
+        )
+        validator = CertificateValidator(store)
+        # 2019-10 is inside the leaf's window but past the root's notAfter.
+        records, stats = validator.validate_snapshot(
+            _scan(chain, ips=(9,)), allow_expired=True
+        )
+        assert stats.expired_only == 1

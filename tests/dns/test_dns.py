@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dns import (
-    HypergiantDNS,
     airport_code,
     ecs_google_mapper,
     facebook_naming_mapper,
@@ -12,8 +11,6 @@ from repro.dns import (
     open_resolvers,
 )
 from repro.dns.authority import _GOOGLE_FIRST_PARTY_CHANGE
-from repro.net import IPv4Prefix
-from repro.scan.server import ServerKind
 from repro.timeline import STUDY_SNAPSHOTS, Snapshot
 
 END = STUDY_SNAPSHOTS[-1]

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.scan import CENSYS, CERTIGO, RAPID7, Scanner
 from repro.scan.exclusions import ExclusionList
 from repro.scan.handshake import certificate_covers_domain, dns_name_matches
 from repro.timeline import Snapshot

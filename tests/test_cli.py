@@ -19,6 +19,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dump"])
 
+    def test_globals_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["run", "--scale", "0.01", "--jobs", "2"])
+        assert args.scale == pytest.approx(0.01)
+        assert args.jobs == 2
+        assert args.seed == 7
+
+    def test_jobs_defaults_to_serial(self):
+        for argv in (["run"], ["validate"], ["growth"], ["run-files", "--dir", "x"]):
+            assert build_parser().parse_args(argv).jobs == 1
+
+    def test_subcommand_global_overrides_top_level(self):
+        args = build_parser().parse_args(["--jobs", "4", "run", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_run_files_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-files"])
+
+    def test_header_learning_snapshot_option(self):
+        args = build_parser().parse_args(
+            ["run", "--header-learning-snapshot", "2020-10"]
+        )
+        assert args.header_learning_snapshot == "2020-10"
+
 
 @pytest.mark.parametrize(
     "argv",
@@ -58,3 +82,18 @@ def test_export_and_run_files(tmp_path, capsys):
     assert main(["run-files", "--dir", str(directory)]) == 0
     out = capsys.readouterr().out
     assert "google" in out
+
+    # `run --dir` is the same code path and must print the same table.
+    assert main(["run", "--dir", str(directory)]) == 0
+    assert capsys.readouterr().out == out
+
+    # An explicit §4.4 learning snapshot is honoured, not overridden.
+    assert main([
+        "run", "--dir", str(directory), "--header-learning-snapshot", "2021-04",
+    ]) == 0
+    assert "google" in capsys.readouterr().out
+
+
+def test_run_with_jobs(capsys):
+    assert main(["run", "--scale", "0.012", "--jobs", "2"]) == 0
+    assert "google" in capsys.readouterr().out
