@@ -7,12 +7,19 @@ IP-to-AS construction) are caught, plus the longitudinal engine's two
 headline numbers: serial-vs-parallel wall-clock speedup (``jobs=4`` vs
 ``jobs=1``, outputs asserted identical) and the §4.1 cross-snapshot
 validation-cache hit rate.
+
+The longitudinal bench emits its measurements as **run reports**
+(schema ``repro.run-report/1``, see :mod:`repro.obs.report`) to
+``benchmarks/output/perf_run_report_{serial,parallel}.json`` — the same
+artifact ``python -m repro run --report`` writes and
+``tools/check_report.py`` diffs, so a saved bench report doubles as a
+regression baseline for the CI gate.
 """
 
 import os
 import time
 
-from benchmarks.conftest import write_output
+from benchmarks.conftest import OUTPUT_DIR, write_output
 from repro.bgp import IPToASMap
 from repro.core import (
     CertificateValidator,
@@ -20,7 +27,9 @@ from repro.core import (
     find_candidates,
     learn_tls_fingerprint,
 )
+from repro.obs.report import validate_report, write_report
 from repro.world import build_world
+from tools.check_report import compare_reports
 
 
 def _prepared(world):
@@ -108,10 +117,24 @@ def _timed_run(jobs: int):
 
 def test_parallel_speedup_and_cache():
     """The longitudinal engine: jobs=4 vs jobs=1 over all 31 snapshots,
-    with the parallel output asserted equal to the sequential output."""
+    with the parallel output asserted equal to the sequential output and
+    both runs persisted as schema-versioned run reports."""
     parallel, parallel_seconds = _timed_run(jobs=4)
     serial, serial_seconds = _timed_run(jobs=1)
     assert parallel == serial, "parallel run diverged from serial run"
+
+    # Emit both measurements in the run-report schema — the artifact the
+    # CI bench gate diffs — and hold them to the same bar here: valid
+    # schema, and zero funnel drift between executors.
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    serial_report = serial.report()
+    parallel_report = parallel.report()
+    assert validate_report(serial_report) == []
+    assert validate_report(parallel_report) == []
+    write_report(serial_report, OUTPUT_DIR / "perf_run_report_serial.json")
+    write_report(parallel_report, OUTPUT_DIR / "perf_run_report_parallel.json")
+    problems = compare_reports(serial_report, parallel_report)
+    assert not problems, f"run reports diverged across executors: {problems}"
 
     speedup = serial_seconds / parallel_seconds
     cache = serial.validation_cache
@@ -127,7 +150,8 @@ def test_parallel_speedup_and_cache():
         f"§4.1 validation cache: {cache.static_hits + cache.window_hits} hits / "
         f"{cache.static_misses + cache.window_misses} misses "
         f"({cache.hit_rate:.1%} hit rate)\n"
-        f"serial stage totals: {stage_report}",
+        f"serial stage totals: {stage_report}\n"
+        "run reports: perf_run_report_serial.json / perf_run_report_parallel.json",
     )
     assert cache.hit_rate > 0.5, "cross-snapshot cert reuse should dominate"
     if cores >= 2:

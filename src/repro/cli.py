@@ -4,6 +4,7 @@ Commands::
 
     python -m repro run        --seed 7 --scale 0.02            # Table 3
     python -m repro run        --dir out/ --corpus rapid7       # ... from files
+    python -m repro run        --jobs 4 --report run.json       # + run report
     python -m repro validate   --seed 7 --scale 0.02            # §5 checks
     python -m repro coverage   --hypergiant google              # §6.5
     python -m repro growth     --hypergiant netflix             # Fig. 3 series
@@ -94,6 +95,15 @@ def _add_run_arguments(parser: argparse.ArgumentParser, dir_required: bool) -> N
         metavar="YYYY-MM",
         help="§4.4 header-learning snapshot (default: the paper's 2020-10 "
         "when covered, else a file dataset's last snapshot)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="OUT.json",
+        help="also write the versioned JSON run report (schema "
+        "repro.run-report/1: per-stage timings, per-snapshot funnel "
+        "counts, cache stats, executor metadata); identical funnel for "
+        "any --jobs value — tools/check_report.py diffs two reports",
     )
 
 
@@ -197,6 +207,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=title,
         )
     )
+    if args.report:
+        from repro.obs.report import write_report
+
+        path = write_report(result.report(), args.report)
+        stages = result.timings
+        print(
+            f"wrote run report to {path} "
+            f"({len(result.snapshots)} snapshots, "
+            f"{sum(stages.values()):.2f}s total stage time)"
+        )
     return 0
 
 

@@ -22,6 +22,12 @@ footprints.
 * :mod:`repro.core.executor` — snapshot execution strategies: serial, or a
   fork-based process pool (``PipelineOptions(jobs=N)``) with bit-identical
   output.
+
+Every stage is instrumented through :mod:`repro.obs`: the pure phase
+books stage timings and funnel counters into a per-snapshot metrics
+registry, the merge barrier folds the registries in snapshot order, and
+``PipelineResult.report()`` emits the versioned JSON run report the CI
+bench gate diffs across executors.
 """
 
 from repro.core.candidates import find_candidates

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.candidates import Candidate
 from repro.hypergiants.profiles import HeaderRule, STANDARD_HEADERS
+from repro.obs.metrics import MetricsRegistry
 from repro.scan.records import HTTPRecord, ScanSnapshot
 
 __all__ = ["EDGE_CDNS", "ConfirmedOffnet", "confirm_candidates", "is_default_nginx"]
@@ -70,17 +71,27 @@ def confirm_candidates(
     mode: str = "or",
     netflix_nginx_rule: bool = True,
     edge_priority: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> list[ConfirmedOffnet]:
     """Confirm candidates against the header corpus of ``scan``.
 
     ``mode`` selects Figure 4's variants: ``"or"`` confirms when either the
     HTTP or the HTTPS response matches, ``"and"`` requires both corpuses to
     agree (missing corpus ⇒ no match in that corpus).
+
+    When ``registry`` is given, the pass counts its own funnel step:
+    ``confirm_checked_total{hg,mode}`` candidates examined,
+    ``confirm_passed_total{hg,mode,matched_on}`` survivors by which
+    port(s) produced the match.
     """
     if mode not in ("or", "and"):
         raise ValueError(f"mode must be 'or' or 'and', not {mode!r}")
     own_rules = rules.get(hypergiant, ())
     confirmed: list[ConfirmedOffnet] = []
+    if registry is not None:
+        registry.counter("confirm_checked_total", hg=hypergiant, mode=mode).inc(
+            len(candidates)
+        )
     for candidate in candidates:
         https_headers = _record_headers(scan.http_for(candidate.ip, 443))
         http_headers = _record_headers(scan.http_for(candidate.ip, 80))
@@ -101,6 +112,10 @@ def confirm_candidates(
         matched_on = "both" if (https_match and http_match) else (
             "https" if https_match else "http"
         )
+        if registry is not None:
+            registry.counter(
+                "confirm_passed_total", hg=hypergiant, mode=mode, matched_on=matched_on
+            ).inc()
         confirmed.append(ConfirmedOffnet(candidate=candidate, matched_on=matched_on))
     return confirmed
 

@@ -62,6 +62,14 @@ class SnapshotExecutor:
         """One :class:`SnapshotOutcome` per snapshot, in input order."""
         raise NotImplementedError
 
+    def describe(self) -> dict:
+        """Executor metadata for the run report's ``executor`` section.
+
+        Reflects the *last* :meth:`map_snapshots` call, so a parallel
+        executor that fell back to serial execution says so.
+        """
+        raise NotImplementedError
+
 
 class SerialExecutor(SnapshotExecutor):
     """Run every snapshot in the calling process, in order."""
@@ -73,6 +81,10 @@ class SerialExecutor(SnapshotExecutor):
         inline for each snapshot."""
         return [pipeline.run_snapshot(snapshot) for snapshot in snapshots]
 
+    def describe(self) -> dict:
+        """Serial execution is always one in-process worker."""
+        return {"kind": "serial", "jobs": 1, "workers": 1, "fallback_serial": False}
+
 
 class ParallelExecutor(SnapshotExecutor):
     """Fan the pure phase out to ``jobs`` forked worker processes."""
@@ -81,24 +93,46 @@ class ParallelExecutor(SnapshotExecutor):
         if jobs < 2:
             raise ValueError(f"ParallelExecutor needs jobs >= 2, got {jobs}")
         self.jobs = jobs
+        #: Workers the last map actually used (0 before the first map).
+        self.last_workers = 0
+        #: Whether the last map fell back to in-process serial execution.
+        self.last_fallback = False
 
     def map_snapshots(
         self, pipeline: "OffnetPipeline", snapshots: Sequence[Snapshot]
     ) -> list[SnapshotOutcome]:
         """Map the pure phase over a forked process pool, preserving
         snapshot order; falls back to serial for trivial inputs or when
-        ``fork`` is unavailable."""
+        ``fork`` is unavailable.
+
+        Worker outcomes carry their own per-snapshot metrics registries
+        home through pickling; the pipeline folds them at the
+        ``merge_outcomes`` barrier in snapshot order, which is what makes
+        ``jobs=N`` run reports count-identical to ``jobs=1`` ones.
+        """
         if len(snapshots) < 2 or "fork" not in multiprocessing.get_all_start_methods():
+            self.last_workers, self.last_fallback = 1, True
             return SerialExecutor().map_snapshots(pipeline, snapshots)
         global _worker_pipeline
         _worker_pipeline = pipeline
         try:
             context = multiprocessing.get_context("fork")
             workers = min(self.jobs, len(snapshots))
+            self.last_workers, self.last_fallback = workers, False
             with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
                 return list(pool.map(_run_snapshot_job, snapshots))
         finally:
             _worker_pipeline = None
+
+    def describe(self) -> dict:
+        """Requested jobs plus what the last map actually did (workers
+        used, whether it fell back to serial)."""
+        return {
+            "kind": "parallel",
+            "jobs": self.jobs,
+            "workers": self.last_workers,
+            "fallback_serial": self.last_fallback,
+        }
 
 
 def make_executor(jobs: int) -> SnapshotExecutor:

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 from repro.core.validation import ValidationCacheStats, ValidationStats
 from repro.net.asn import ASN
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import STAGE_SECONDS
 from repro.timeline import Snapshot
 
 __all__ = ["FootprintSnapshot", "SnapshotOutcome", "PipelineResult"]
@@ -77,10 +79,23 @@ class SnapshotOutcome:
     #: Port-80-only IPs (answering HTTP but silent on 443) mapped to their
     #: origin ASes — restoration candidates if they ever served Netflix.
     restorable: dict[int, frozenset[ASN]] = field(default_factory=dict)
-    #: Wall-clock seconds per pipeline stage for this snapshot.
-    timings: dict[str, float] = field(default_factory=dict)
-    #: Validation-cache hit/miss deltas incurred by this snapshot.
-    cache: ValidationCacheStats = ValidationCacheStats()
+    #: Everything this snapshot measured about itself — stage timing
+    #: spans, funnel counters, validation-cache deltas.  Built fresh per
+    #: snapshot so the merge phase can fold worker registries in snapshot
+    #: order and make ``jobs=N`` counters identical to ``jobs=1``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Wall-clock seconds per pipeline stage for this snapshot
+        (a view over the ``stage_seconds`` histograms)."""
+        return _stage_totals(self.metrics)
+
+    @property
+    def cache(self) -> ValidationCacheStats:
+        """Validation-cache hit/miss deltas incurred by this snapshot
+        (a view over the ``validation_cache_events`` counters)."""
+        return _cache_stats(self.metrics)
 
 
 @dataclass(slots=True)
@@ -90,15 +105,34 @@ class PipelineResult:
     corpus: str
     snapshots: tuple[Snapshot, ...]
     by_snapshot: dict[Snapshot, FootprintSnapshot]
-    #: Wall-clock seconds per pipeline stage, summed over snapshots (the
-    #: parallel executor sums worker-side timings, so this is CPU-style
-    #: aggregate work, not elapsed time).  Excluded from equality so
-    #: serial and parallel runs of the same world compare equal.
-    timings: dict[str, float] = field(default_factory=dict, compare=False)
-    #: Aggregated §4.1 validation-cache counters across snapshots.
-    validation_cache: ValidationCacheStats = field(
-        default=ValidationCacheStats(), compare=False
-    )
+    #: Per-snapshot registries folded in snapshot order at the merge
+    #: barrier, plus the merge stage's own span.  Excluded from equality
+    #: so serial and parallel runs of the same world compare equal
+    #: (timing histograms and cache-event counters legitimately differ).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry, compare=False)
+    #: How the run was produced: the pipeline options in force and the
+    #: executor's self-description (jobs, workers, serial fallbacks).
+    run_meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Wall-clock seconds per pipeline stage, summed over snapshots
+        (the parallel executor sums worker-side timings, so this is
+        CPU-style aggregate work, not elapsed time)."""
+        return _stage_totals(self.metrics)
+
+    @property
+    def validation_cache(self) -> ValidationCacheStats:
+        """Aggregated §4.1 validation-cache counters across snapshots."""
+        return _cache_stats(self.metrics)
+
+    def report(self) -> dict:
+        """The versioned JSON-safe run report (``repro.run-report/1``) —
+        see :mod:`repro.obs.report` for the schema and its deterministic
+        view."""
+        from repro.obs.report import build_report
+
+        return build_report(self)
 
     def at(self, snapshot: Snapshot) -> FootprintSnapshot:
         """The footprint snapshot for one date."""
@@ -173,3 +207,27 @@ class PipelineResult:
                 if ases:
                     seen.add(hypergiant)
         return tuple(sorted(seen))
+
+
+def _stage_totals(metrics: MetricsRegistry) -> dict[str, float]:
+    """``{stage: total seconds}`` over the ``stage_seconds`` histograms."""
+    return {
+        stage: histogram.total
+        for stage, histogram in metrics.histograms_by_label(
+            STAGE_SECONDS, "stage"
+        ).items()
+    }
+
+
+def _cache_stats(metrics: MetricsRegistry) -> ValidationCacheStats:
+    """The ``validation_cache_events`` counters as the legacy stats type."""
+
+    def events(cache: str, event: str) -> int:
+        return metrics.counter_value("validation_cache_events", cache=cache, event=event)
+
+    return ValidationCacheStats(
+        static_hits=events("static", "hit"),
+        static_misses=events("static", "miss"),
+        window_hits=events("window", "hit"),
+        window_misses=events("window", "miss"),
+    )

@@ -34,7 +34,6 @@ property the test suite asserts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 
 from repro.core.candidates import Candidate
 from repro.core.cloudflare import is_cloudflare_customer_cert
@@ -45,11 +44,12 @@ from repro.core.header_fingerprint import learn_header_fingerprints
 from repro.core.validation import (
     CertificateValidator,
     ValidatedRecord,
-    ValidationCacheStats,
     ValidationStats,
 )
 from repro.datasets.source import DataSource
 from repro.hypergiants.profiles import HEADER_RULES, HYPERGIANTS, HeaderRule
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import Stopwatch, stage_timer
 from repro.scan.records import ScanSnapshot
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
@@ -155,7 +155,11 @@ class OffnetPipeline:
         if executor is None:
             executor = make_executor(self.options.jobs)
         outcomes = executor.map_snapshots(self, snapshots)
-        return self.merge_outcomes(snapshots, outcomes)
+        try:
+            executor_meta = executor.describe()
+        except NotImplementedError:  # a user-supplied bare strategy
+            executor_meta = {"kind": type(executor).__name__}
+        return self.merge_outcomes(snapshots, outcomes, executor_meta=executor_meta)
 
     def header_rules(self) -> dict[str, tuple[HeaderRule, ...]]:
         """The header fingerprints in force: learned from the learning
@@ -207,7 +211,9 @@ class OffnetPipeline:
         )
         return learn_header_fingerprints(scan, onnet_ips, background)
 
-    def _validated(self, scan) -> tuple[list[ValidatedRecord], ValidationStats]:
+    def _validated(
+        self, scan, registry: MetricsRegistry | None = None
+    ) -> tuple[list[ValidatedRecord], ValidationStats]:
         if not self.options.validate_certificates:
             records = [
                 ValidatedRecord(ip=r.ip, certificate=r.chain.end_entity)
@@ -219,8 +225,14 @@ class OffnetPipeline:
                 expired_only=0,
                 rejected=0,
             )
+            if registry is not None:
+                registry.counter("validation_records_total", verdict="valid").inc(
+                    len(records)
+                )
             return records, stats
-        return self._validator.validate_snapshot(scan, allow_expired=True)
+        return self._validator.validate_snapshot(
+            scan, allow_expired=True, registry=registry
+        )
 
     def _hgs_for_org(self, organization: str) -> tuple[str, ...]:
         """Which HG keywords appear in an Organization string (memoised —
@@ -261,69 +273,90 @@ class OffnetPipeline:
         """Everything §4 infers from one snapshot, with no cross-snapshot
         state: safe to execute for any subset of snapshots, in any order,
         in any process.  The Netflix restoration inputs ride along for
-        :meth:`merge_outcomes`."""
+        :meth:`merge_outcomes`.
+
+        Every stage runs inside a :func:`~repro.obs.timers.stage_timer`
+        span and every funnel step books its counts into a *fresh*
+        per-snapshot :class:`~repro.obs.metrics.MetricsRegistry` that
+        travels home inside the outcome — the unit the merge barrier
+        folds deterministically.
+        """
         options = self.options
-        timings: dict[str, float] = {}
-        cache_before = self._validator.cache_info()
+        registry = MetricsRegistry()
+        label = snapshot.label
 
-        tick = perf_counter()
-        scan, ip2as = self._scan_and_map(snapshot)
-        timings["scan"] = perf_counter() - tick
+        with stage_timer(registry, "scan"):
+            scan, ip2as = self._scan_and_map(snapshot)
+        registry.counter("funnel_tls_records", snapshot=label).inc(
+            len(scan.tls_records)
+        )
+        registry.counter("funnel_http_records", snapshot=label).inc(
+            len(scan.http_records)
+        )
+        registry.counter("funnel_unique_certificates", snapshot=label).inc(
+            scan.unique_certificates()
+        )
 
-        tick = perf_counter()
-        records, stats = self._validated(scan)
-        timings["validate"] = perf_counter() - tick
+        with stage_timer(registry, "validate"):
+            records, stats = self._validated(scan, registry)
+        registry.counter("funnel_valid", snapshot=label).inc(stats.valid)
+        registry.counter("funnel_expired_only", snapshot=label).inc(
+            stats.expired_only
+        )
+        registry.counter("funnel_rejected", snapshot=label).inc(stats.rejected)
 
         # Single pass: resolve origins and keyword matches per record.
-        tick = perf_counter()
-        onnet_ips: dict[str, set[int]] = {k: set() for k in self._keywords}
-        fingerprints: dict[str, set[str]] = {k: set() for k in self._keywords}
-        matching: list[tuple[ValidatedRecord, frozenset[ASN], tuple[str, ...]]] = []
-        for record in records:
-            hgs = self._hgs_for_org(record.certificate.subject.organization)
-            if not hgs:
-                continue
-            origins = ip2as.lookup(record.ip)
-            if not origins:
-                continue
-            matching.append((record, origins, hgs))
-            if record.expired_only:
-                continue
-            for keyword in hgs:
-                if origins & self._hg_ases[keyword]:
-                    onnet_ips[keyword].add(record.ip)
-                    fingerprints[keyword].update(
-                        n.lower() for n in record.certificate.dns_names
-                    )
-        timings["match"] = perf_counter() - tick
+        with stage_timer(registry, "match"):
+            onnet_ips: dict[str, set[int]] = {k: set() for k in self._keywords}
+            fingerprints: dict[str, set[str]] = {k: set() for k in self._keywords}
+            matching: list[tuple[ValidatedRecord, frozenset[ASN], tuple[str, ...]]] = []
+            for record in records:
+                hgs = self._hgs_for_org(record.certificate.subject.organization)
+                if not hgs:
+                    continue
+                origins = ip2as.lookup(record.ip)
+                if not origins:
+                    continue
+                matching.append((record, origins, hgs))
+                for keyword in hgs:
+                    registry.counter(
+                        "funnel_org_matched", hg=keyword, snapshot=label
+                    ).inc()
+                if record.expired_only:
+                    continue
+                for keyword in hgs:
+                    if origins & self._hg_ases[keyword]:
+                        onnet_ips[keyword].add(record.ip)
+                        fingerprints[keyword].update(
+                            n.lower() for n in record.certificate.dns_names
+                        )
 
         # §4.3 candidates per HG (plus the Netflix expired variant).
-        tick = perf_counter()
-        candidates: dict[str, list[Candidate]] = {k: [] for k in self._keywords}
-        netflix_expired: list[Candidate] = []
-        for record, origins, hgs in matching:
-            for keyword in hgs:
-                names = fingerprints[keyword]
-                if not names:
-                    continue
-                if origins & self._hg_ases[keyword]:
-                    continue
-                if options.require_all_dnsnames and not all(
-                    n.lower() in names for n in record.certificate.dns_names
-                ):
-                    continue
-                candidate = Candidate(
-                    ip=record.ip,
-                    certificate=record.certificate,
-                    ases=origins,
-                    expired_only=record.expired_only,
-                )
-                if record.expired_only:
-                    if keyword == "netflix":
-                        netflix_expired.append(candidate)
-                    continue
-                candidates[keyword].append(candidate)
-        timings["candidates"] = perf_counter() - tick
+        with stage_timer(registry, "candidates"):
+            candidates: dict[str, list[Candidate]] = {k: [] for k in self._keywords}
+            netflix_expired: list[Candidate] = []
+            for record, origins, hgs in matching:
+                for keyword in hgs:
+                    names = fingerprints[keyword]
+                    if not names:
+                        continue
+                    if origins & self._hg_ases[keyword]:
+                        continue
+                    if options.require_all_dnsnames and not all(
+                        n.lower() in names for n in record.certificate.dns_names
+                    ):
+                        continue
+                    candidate = Candidate(
+                        ip=record.ip,
+                        certificate=record.certificate,
+                        ases=origins,
+                        expired_only=record.expired_only,
+                    )
+                    if record.expired_only:
+                        if keyword == "netflix":
+                            netflix_expired.append(candidate)
+                        continue
+                    candidates[keyword].append(candidate)
 
         footprint = FootprintSnapshot(
             snapshot=snapshot,
@@ -332,42 +365,53 @@ class OffnetPipeline:
             validation=stats,
         )
         footprint.onnet_ips = {k: frozenset(v) for k, v in onnet_ips.items() if v}
+        for keyword, ips in footprint.onnet_ips.items():
+            registry.counter("funnel_onnet_ips", hg=keyword, snapshot=label).inc(
+                len(ips)
+            )
 
-        tick = perf_counter()
-        rules = self.header_rules() if options.header_confirmation else {}
-        for keyword in self._keywords:
-            found = candidates[keyword]
-            if not found:
-                continue
-            footprint.candidate_ips[keyword] = frozenset(c.ip for c in found)
-            footprint.candidate_ases[keyword] = _ases_of(found)
-            if options.header_confirmation:
-                confirmed = confirm_candidates(
-                    keyword, found, scan, rules,
-                    mode="or",
-                    netflix_nginx_rule=options.netflix_nginx_rule,
-                    edge_priority=options.edge_priority,
-                )
-                confirmed_and = confirm_candidates(
-                    keyword, found, scan, rules,
-                    mode="and",
-                    netflix_nginx_rule=options.netflix_nginx_rule,
-                    edge_priority=options.edge_priority,
-                )
-                footprint.confirmed_ips[keyword] = frozenset(
-                    c.candidate.ip for c in confirmed
-                )
-                footprint.confirmed_ases[keyword] = _ases_of(
-                    [c.candidate for c in confirmed]
-                )
-                footprint.confirmed_and_ases[keyword] = _ases_of(
-                    [c.candidate for c in confirmed_and]
-                )
-            else:
-                footprint.confirmed_ips[keyword] = footprint.candidate_ips[keyword]
-                footprint.confirmed_ases[keyword] = footprint.candidate_ases[keyword]
-                footprint.confirmed_and_ases[keyword] = footprint.candidate_ases[keyword]
-        timings["confirm"] = perf_counter() - tick
+        with stage_timer(registry, "confirm"):
+            rules = self.header_rules() if options.header_confirmation else {}
+            for keyword in self._keywords:
+                found = candidates[keyword]
+                if not found:
+                    continue
+                footprint.candidate_ips[keyword] = frozenset(c.ip for c in found)
+                footprint.candidate_ases[keyword] = _ases_of(found)
+                if options.header_confirmation:
+                    confirmed = confirm_candidates(
+                        keyword, found, scan, rules,
+                        mode="or",
+                        netflix_nginx_rule=options.netflix_nginx_rule,
+                        edge_priority=options.edge_priority,
+                        registry=registry,
+                    )
+                    confirmed_and = confirm_candidates(
+                        keyword, found, scan, rules,
+                        mode="and",
+                        netflix_nginx_rule=options.netflix_nginx_rule,
+                        edge_priority=options.edge_priority,
+                        registry=registry,
+                    )
+                    footprint.confirmed_ips[keyword] = frozenset(
+                        c.candidate.ip for c in confirmed
+                    )
+                    footprint.confirmed_ases[keyword] = _ases_of(
+                        [c.candidate for c in confirmed]
+                    )
+                    footprint.confirmed_and_ases[keyword] = _ases_of(
+                        [c.candidate for c in confirmed_and]
+                    )
+                else:
+                    footprint.confirmed_ips[keyword] = footprint.candidate_ips[keyword]
+                    footprint.confirmed_ases[keyword] = footprint.candidate_ases[keyword]
+                    footprint.confirmed_and_ases[keyword] = footprint.candidate_ases[keyword]
+                registry.counter(
+                    "funnel_candidates", hg=keyword, snapshot=label
+                ).inc(len(footprint.candidate_ips[keyword]))
+                registry.counter(
+                    "funnel_confirmed", hg=keyword, snapshot=label
+                ).inc(len(footprint.confirmed_ips[keyword]))
 
         # §7: the Cloudflare customer-certificate filter.
         cloudflare_candidates = candidates.get("cloudflare", [])
@@ -383,33 +427,31 @@ class OffnetPipeline:
         # Netflix certificates now, and which port-80-only IPs could be
         # restored (with their origin ASes resolved while the snapshot's
         # ip2as view is at hand).
-        tick = perf_counter()
-        footprint.netflix_with_expired_ases = self._netflix_with_expired(
-            snapshot, scan, candidates.get("netflix", []), netflix_expired, rules
-        )
-        netflix_seen = frozenset(
-            footprint.candidate_ips.get("netflix", frozenset())
-            | {c.ip for c in netflix_expired}
-        )
-        current_tls_ips = {record.ip for record in scan.tls_records}
-        restorable: dict[int, frozenset[ASN]] = {}
-        for record in scan.http_records:
-            if record.port != 80:
-                continue
-            ip = record.ip
-            if ip in current_tls_ips or ip in restorable:
-                continue
-            origins = ip2as.lookup(ip)
-            if origins:
-                restorable[ip] = origins
-        timings["netflix"] = perf_counter() - tick
+        with stage_timer(registry, "netflix"):
+            footprint.netflix_with_expired_ases = self._netflix_with_expired(
+                snapshot, scan, candidates.get("netflix", []), netflix_expired, rules
+            )
+            netflix_seen = frozenset(
+                footprint.candidate_ips.get("netflix", frozenset())
+                | {c.ip for c in netflix_expired}
+            )
+            current_tls_ips = {record.ip for record in scan.tls_records}
+            restorable: dict[int, frozenset[ASN]] = {}
+            for record in scan.http_records:
+                if record.port != 80:
+                    continue
+                ip = record.ip
+                if ip in current_tls_ips or ip in restorable:
+                    continue
+                origins = ip2as.lookup(ip)
+                if origins:
+                    restorable[ip] = origins
 
         return SnapshotOutcome(
             footprint=footprint,
             netflix_seen=netflix_seen,
             restorable=restorable,
-            timings=timings,
-            cache=self._validator.cache_info() - cache_before,
+            metrics=registry,
         )
 
     # -- the ordered cross-snapshot merge ------------------------------------------
@@ -418,17 +460,24 @@ class OffnetPipeline:
         self,
         snapshots: tuple[Snapshot, ...],
         outcomes: list[SnapshotOutcome],
+        executor_meta: dict | None = None,
     ) -> PipelineResult:
         """Reduce per-snapshot outcomes, in snapshot order, into the
         longitudinal result.  The only cross-snapshot state is the §6.2
         Netflix "ever a candidate" accumulator; folding it here (rather
         than inside the per-snapshot phase) is what makes the phase pure
-        and the parallel run bit-identical to the serial one."""
+        and the parallel run bit-identical to the serial one.
+
+        The same barrier folds the per-snapshot metrics registries:
+        counters and histograms merge commutatively, and the snapshot
+        ordering here is the one ordering both executors can honour, so
+        a ``jobs=N`` run's merged registry counts exactly what the
+        ``jobs=1`` run's does.
+        """
         by_snapshot: dict[Snapshot, FootprintSnapshot] = {}
-        timings: dict[str, float] = {}
-        cache = ValidationCacheStats()
+        metrics = MetricsRegistry()
         netflix_ever_candidates: set[int] = set()
-        tick = perf_counter()
+        watch = Stopwatch(metrics)
         for snapshot, outcome in zip(snapshots, outcomes, strict=True):
             footprint = outcome.footprint
             if netflix_ever_candidates:
@@ -439,17 +488,36 @@ class OffnetPipeline:
                 footprint.netflix_restored_ases = frozenset(restored)
             netflix_ever_candidates.update(outcome.netflix_seen)
             by_snapshot[snapshot] = footprint
-            for stage, seconds in outcome.timings.items():
-                timings[stage] = timings.get(stage, 0.0) + seconds
-            cache = cache + outcome.cache
-        timings["merge"] = perf_counter() - tick
+            metrics.merge(outcome.metrics)
+        watch.lap("merge")
         return PipelineResult(
             corpus=self.options.corpus,
             snapshots=tuple(snapshots),
             by_snapshot=by_snapshot,
-            timings=timings,
-            validation_cache=cache,
+            metrics=metrics,
+            run_meta={
+                "options": self._options_meta(),
+                "executor": dict(executor_meta or {}),
+            },
         )
+
+    def _options_meta(self) -> dict:
+        """The methodology switches for the run report's ``options``
+        section.  ``jobs`` is deliberately absent: it is an execution
+        detail (reported under ``executor``), and the deterministic view
+        must compare equal across ``jobs`` settings."""
+        options = self.options
+        return {
+            "corpus": options.corpus,
+            "validate_certificates": options.validate_certificates,
+            "require_all_dnsnames": options.require_all_dnsnames,
+            "header_confirmation": options.header_confirmation,
+            "learn_headers": options.learn_headers,
+            "header_learning_snapshot": options.header_learning_snapshot.label,
+            "netflix_nginx_rule": options.netflix_nginx_rule,
+            "edge_priority": options.edge_priority,
+            "include_ipv6": options.include_ipv6,
+        }
 
     def _netflix_with_expired(
         self,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
 from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
 from repro.x509.certificate import Certificate
@@ -174,8 +175,17 @@ class CertificateValidator:
         self,
         scan: ScanSnapshot,
         allow_expired: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> tuple[list[ValidatedRecord], ValidationStats]:
-        """Apply §4.1 to every TLS record of a scan snapshot."""
+        """Apply §4.1 to every TLS record of a scan snapshot.
+
+        When ``registry`` is given, the pass also emits its observability
+        counters: ``validation_records_total{verdict=...}`` and the
+        cross-snapshot cache's ``validation_cache_events{cache=, event=}``
+        deltas incurred by *this* call (cache state persists across
+        snapshots; the delta is what belongs to the snapshot at hand).
+        """
+        cache_before = self.cache_info() if registry is not None else None
         when = scan.snapshot
         records: list[ValidatedRecord] = []
         valid = expired_only = rejected = 0
@@ -206,4 +216,28 @@ class CertificateValidator:
             expired_only=expired_only,
             rejected=rejected,
         )
+        if registry is not None and cache_before is not None:
+            self._emit(registry, stats, self.cache_info() - cache_before)
         return records, stats
+
+    @staticmethod
+    def _emit(
+        registry: MetricsRegistry,
+        stats: ValidationStats,
+        delta: ValidationCacheStats,
+    ) -> None:
+        for verdict, count in (
+            ("valid", stats.valid),
+            ("expired_only", stats.expired_only),
+            ("rejected", stats.rejected),
+        ):
+            registry.counter("validation_records_total", verdict=verdict).inc(count)
+        for cache, event, count in (
+            ("static", "hit", delta.static_hits),
+            ("static", "miss", delta.static_misses),
+            ("window", "hit", delta.window_hits),
+            ("window", "miss", delta.window_misses),
+        ):
+            registry.counter(
+                "validation_cache_events", cache=cache, event=event
+            ).inc(count)

@@ -1,0 +1,217 @@
+"""The versioned JSON run report: one queryable artifact per pipeline run.
+
+A run report is the pipeline's flight recorder, built from the merged
+:class:`~repro.obs.metrics.MetricsRegistry` after
+:meth:`~repro.core.pipeline.OffnetPipeline.merge_outcomes`:
+
+* ``funnel`` — per snapshot, the §4 funnel shape (TLS/HTTP records →
+  §4.1 valid → org-matched → §4.3 candidates → §4.5 confirmed, per HG);
+* ``stages`` — wall-clock seconds and invocation counts per stage;
+* ``cache`` — the §4.1 cross-snapshot validation-cache counters;
+* ``executor`` — how the run was mapped (jobs, workers, fallbacks);
+* ``metrics`` — the full registry dump, for anything the sections above
+  did not pre-digest.
+
+The report splits cleanly into a **deterministic view** (schema, corpus,
+snapshots, options, funnel) — identical for ``jobs=1`` and ``jobs=N``
+runs of the same world, byte for byte — and environmental sections
+(stages, cache, executor, metrics) that legitimately vary with hardware,
+process count and scheduling.  ``tools/check_report.py`` compares the
+deterministic views exactly and the stage times against a threshold;
+the CI bench gate runs exactly that comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import STAGE_SECONDS
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "build_report",
+    "deterministic_view",
+    "load_report",
+    "validate_report",
+    "write_report",
+]
+
+#: Bump the suffix when the report layout changes incompatibly.
+SCHEMA_VERSION = "repro.run-report/1"
+
+#: Top-level keys every valid report carries.
+_REQUIRED_KEYS = (
+    "schema",
+    "corpus",
+    "snapshots",
+    "options",
+    "executor",
+    "stages",
+    "funnel",
+    "cache",
+    "metrics",
+)
+
+#: The funnel totals recorded once per snapshot.
+_SNAPSHOT_COUNTERS = (
+    "tls_records",
+    "http_records",
+    "unique_certificates",
+    "valid",
+    "expired_only",
+    "rejected",
+)
+
+#: The per-hypergiant funnel columns, in funnel order.
+_HG_COUNTERS = ("org_matched", "onnet_ips", "candidates", "confirmed")
+
+
+def build_report(result: Any) -> dict:
+    """Assemble the report dict for a pipeline result.
+
+    ``result`` is duck-typed (a :class:`~repro.core.footprint.PipelineResult`):
+    it must offer ``corpus``, ``snapshots``, ``metrics`` (the merged
+    registry) and ``run_meta`` (options + executor metadata captured by
+    the pipeline).
+    """
+    registry: MetricsRegistry = result.metrics
+    run_meta = dict(getattr(result, "run_meta", {}) or {})
+    return {
+        "schema": SCHEMA_VERSION,
+        "corpus": result.corpus,
+        "snapshots": [snapshot.label for snapshot in result.snapshots],
+        "options": run_meta.get("options", {}),
+        "executor": run_meta.get("executor", {}),
+        "stages": _stages_section(registry),
+        "funnel": _funnel_section(registry, result.snapshots),
+        "cache": _cache_section(registry),
+        "metrics": registry.to_dict(),
+    }
+
+
+def _stages_section(registry: MetricsRegistry) -> dict:
+    stages = {}
+    for stage, histogram in sorted(
+        registry.histograms_by_label(STAGE_SECONDS, "stage").items()
+    ):
+        stages[stage] = {
+            "seconds": histogram.total,
+            "calls": histogram.count,
+            "mean": histogram.mean,
+            "max": histogram.maximum if histogram.count else 0.0,
+        }
+    return stages
+
+
+def _funnel_section(registry: MetricsRegistry, snapshots) -> dict:
+    funnel: dict[str, dict] = {}
+    for snapshot in snapshots:
+        label = snapshot.label
+        entry: dict[str, Any] = {
+            name: registry.counter_value(f"funnel_{name}", snapshot=label)
+            for name in _SNAPSHOT_COUNTERS
+        }
+        hypergiants: dict[str, dict[str, int]] = {}
+        for name in _HG_COUNTERS:
+            for labels, value in registry.counter_items(f"funnel_{name}"):
+                if labels.get("snapshot") != label:
+                    continue
+                hg = labels.get("hg", "?")
+                hypergiants.setdefault(hg, dict.fromkeys(_HG_COUNTERS, 0))[name] = value
+        entry["hypergiants"] = {hg: hypergiants[hg] for hg in sorted(hypergiants)}
+        funnel[label] = entry
+    return funnel
+
+
+def _cache_section(registry: MetricsRegistry) -> dict:
+    def events(cache: str, event: str) -> int:
+        return registry.counter_value(
+            "validation_cache_events", cache=cache, event=event
+        )
+
+    section = {
+        "static_hits": events("static", "hit"),
+        "static_misses": events("static", "miss"),
+        "window_hits": events("window", "hit"),
+        "window_misses": events("window", "miss"),
+    }
+    hits = section["static_hits"] + section["window_hits"]
+    total = hits + section["static_misses"] + section["window_misses"]
+    section["hit_rate"] = hits / total if total else 0.0
+    return section
+
+
+def deterministic_view(report: dict) -> dict:
+    """The subset of a report that must be byte-identical across
+    executors: everything counted, nothing timed.
+
+    Stage timings, cache hit patterns (which depend on how snapshots are
+    distributed over worker processes), executor metadata and the raw
+    metrics dump (which embeds the timing histograms) are all excluded.
+    """
+    return {
+        "schema": report["schema"],
+        "corpus": report["corpus"],
+        "snapshots": report["snapshots"],
+        "options": report["options"],
+        "funnel": report["funnel"],
+    }
+
+
+def validate_report(report: dict) -> list[str]:
+    """Structural schema check; returns problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be a JSON object, got {type(report).__name__}"]
+    for key in _REQUIRED_KEYS:
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    if problems:
+        return problems
+    if report["schema"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema {report['schema']!r} != expected {SCHEMA_VERSION!r}"
+        )
+    if not isinstance(report["snapshots"], list):
+        problems.append("snapshots must be a list of YYYY-MM labels")
+    funnel = report["funnel"]
+    if not isinstance(funnel, dict):
+        problems.append("funnel must be an object keyed by snapshot label")
+    else:
+        missing = [s for s in report["snapshots"] if s not in funnel]
+        if missing:
+            problems.append(f"funnel missing snapshots: {', '.join(missing)}")
+        for label, entry in funnel.items():
+            for name in _SNAPSHOT_COUNTERS:
+                if not isinstance(entry.get(name), int):
+                    problems.append(f"funnel[{label}].{name} must be an integer")
+            for hg, columns in entry.get("hypergiants", {}).items():
+                for name in _HG_COUNTERS:
+                    if not isinstance(columns.get(name), int):
+                        problems.append(
+                            f"funnel[{label}].hypergiants[{hg}].{name} "
+                            "must be an integer"
+                        )
+    stages = report["stages"]
+    if not isinstance(stages, dict):
+        problems.append("stages must be an object keyed by stage name")
+    else:
+        for stage, entry in stages.items():
+            if not isinstance(entry, dict) or "seconds" not in entry:
+                problems.append(f"stages[{stage}] must carry 'seconds'")
+    return problems
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write a report as deterministic, human-diffable JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a report back (no validation; use :func:`validate_report`)."""
+    return json.loads(Path(path).read_text())

@@ -18,6 +18,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
 from repro.scan.exclusions import ExclusionList
 from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
 from repro.timeline import CENSYS_AVAILABLE, HTTPS_HEADERS_AVAILABLE, Snapshot
@@ -104,13 +105,31 @@ class Scanner:
                 seed=self._tag,
             )
 
-    def scan(self, world, snapshot: Snapshot) -> ScanSnapshot:
+    def scan(
+        self,
+        world,
+        snapshot: Snapshot,
+        registry: MetricsRegistry | None = None,
+    ) -> ScanSnapshot:
         """Produce this scanner's corpus for ``snapshot``.
 
         ``world`` is a :class:`repro.world.World` (duck-typed: needs
         ``servers``, ``policy`` and ``prefix_universe``).
+
+        With a ``registry``, the sweep accounts for where coverage went:
+        ``scan_servers_total{scanner, outcome}`` counts every live server
+        as reached / excluded (complaint lists) / unresponsive (rate
+        limiting) / ipv6_only, and ``scan_records_total{scanner, kind}``
+        the TLS and HTTP records the corpus ends up with.
         """
         profile = self.profile
+
+        def count(outcome: str) -> None:
+            if registry is not None:
+                registry.counter(
+                    "scan_servers_total", scanner=profile.name, outcome=outcome
+                ).inc()
+
         if snapshot < profile.available_since:
             raise ValueError(
                 f"{profile.name} has no data before {profile.available_since}; "
@@ -134,11 +153,15 @@ class Scanner:
             if not server.alive_at(snapshot):
                 continue
             if server.ipv6_only:
+                count("ipv6_only")
                 continue  # IPv4-wide scans never reach IPv6-only hosts (§7)
             if excluded and (server.ip & ~0xFF) in excluded:
+                count("excluded")
                 continue
             if _uniform(server.ip, self._tag, index) >= profile.visibility:
+                count("unresponsive")
                 continue
+            count("reached")
             if policy.https_enabled(server, snapshot):
                 chain = policy.default_chain(server, snapshot)
                 if chain is not None:
@@ -155,4 +178,11 @@ class Scanner:
                     result.http_records.append(
                         HTTPRecord(ip=server.ip, port=80, headers=headers)
                     )
+        if registry is not None:
+            registry.counter(
+                "scan_records_total", scanner=profile.name, kind="tls"
+            ).inc(len(result.tls_records))
+            registry.counter(
+                "scan_records_total", scanner=profile.name, kind="http"
+            ).inc(len(result.http_records))
         return result

@@ -129,3 +129,23 @@ class TestExecutionSurface:
         outcome = pipeline.run_snapshot(Snapshot(2019, 10))
         assert outcome.footprint.netflix_restored_ases == frozenset()
         assert STAGES - {"merge"} <= set(outcome.timings)
+
+    def test_pure_phase_carries_its_own_registry(self, small_world):
+        """Each outcome ships a per-snapshot metrics registry — the unit
+        the merge barrier folds, and what the parallel executor pickles."""
+        pipeline = OffnetPipeline.for_world(small_world)
+        outcome = pipeline.run_snapshot(Snapshot(2019, 10))
+        label = Snapshot(2019, 10).label
+        valid = outcome.metrics.counter_value("funnel_valid", snapshot=label)
+        assert valid == outcome.footprint.validation.valid > 0
+
+    def test_executor_describe(self):
+        assert SerialExecutor().describe()["kind"] == "serial"
+        executor = ParallelExecutor(3)
+        meta = executor.describe()
+        assert meta["jobs"] == 3
+        assert meta["workers"] == 0  # nothing mapped yet
+
+    def test_run_records_executor_metadata(self, pipeline_result):
+        assert pipeline_result.run_meta["executor"]["kind"] == "serial"
+        assert pipeline_result.run_meta["options"]["corpus"] == "rapid7"

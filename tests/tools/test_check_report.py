@@ -1,0 +1,179 @@
+"""Pass/fail paths of the run-report comparator the CI bench gate runs."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.report import SCHEMA_VERSION, validate_report
+from tools.check_report import compare_reports, main, timing_comparable
+
+
+def make_report(confirmed=5, scan_seconds=1.0, jobs=1, kind="serial"):
+    """A minimal schema-valid report with one snapshot and one HG."""
+    snapshot = "2020-10"
+    return {
+        "schema": SCHEMA_VERSION,
+        "corpus": "rapid7",
+        "snapshots": [snapshot],
+        "options": {"corpus": "rapid7", "header_confirmation": True},
+        "executor": {
+            "kind": kind,
+            "jobs": jobs,
+            "workers": jobs,
+            "fallback_serial": False,
+        },
+        "stages": {
+            "scan": {
+                "seconds": scan_seconds,
+                "calls": 1,
+                "mean": scan_seconds,
+                "max": scan_seconds,
+            },
+            "tiny": {"seconds": 0.001, "calls": 1, "mean": 0.001, "max": 0.001},
+        },
+        "funnel": {
+            snapshot: {
+                "tls_records": 100,
+                "http_records": 50,
+                "unique_certificates": 40,
+                "valid": 90,
+                "expired_only": 3,
+                "rejected": 7,
+                "hypergiants": {
+                    "google": {
+                        "org_matched": 20,
+                        "onnet_ips": 5,
+                        "candidates": 10,
+                        "confirmed": confirmed,
+                    }
+                },
+            }
+        },
+        "cache": {
+            "static_hits": 10,
+            "static_misses": 2,
+            "window_hits": 8,
+            "window_misses": 4,
+            "hit_rate": 0.75,
+        },
+        "metrics": {"counters": [], "gauges": [], "histograms": []},
+    }
+
+
+class TestFixture:
+    def test_fixture_is_schema_valid(self):
+        assert validate_report(make_report()) == []
+
+
+class TestPassPaths:
+    def test_identical_reports_pass(self):
+        assert compare_reports(make_report(), make_report()) == []
+
+    def test_timing_noise_below_threshold_passes(self):
+        assert compare_reports(
+            make_report(scan_seconds=1.0), make_report(scan_seconds=1.5)
+        ) == []
+
+    def test_tiny_stage_regressions_are_ignored(self):
+        candidate = make_report()
+        candidate["stages"]["tiny"]["seconds"] = 1000 * 0.001
+        # still under min_stage_seconds in the *baseline*, so exempt
+        assert compare_reports(make_report(), candidate) == []
+
+    def test_cross_executor_comparison_skips_timing(self):
+        serial = make_report(scan_seconds=1.0, jobs=1, kind="serial")
+        parallel = make_report(scan_seconds=10.0, jobs=2, kind="parallel")
+        assert not timing_comparable(serial, parallel)
+        assert compare_reports(serial, parallel) == []
+
+    def test_no_timing_flag_skips_even_same_executor(self):
+        slow = make_report(scan_seconds=100.0)
+        assert compare_reports(make_report(), slow, check_timing=False) == []
+
+
+class TestFailPaths:
+    def test_funnel_drift_fails_exactly(self):
+        problems = compare_reports(make_report(confirmed=5), make_report(confirmed=6))
+        assert problems
+        assert any("funnel drift" in p for p in problems)
+        # the diff names the drifting path
+        assert any("confirmed" in p for p in problems)
+
+    def test_stage_regression_beyond_threshold_fails(self):
+        problems = compare_reports(
+            make_report(scan_seconds=1.0),
+            make_report(scan_seconds=2.0),
+            max_stage_regression=1.6,
+        )
+        assert any("regressed" in p for p in problems)
+
+    def test_missing_stage_fails(self):
+        candidate = make_report()
+        del candidate["stages"]["scan"]
+        problems = compare_reports(make_report(), candidate)
+        assert any("missing" in p for p in problems)
+
+    def test_schema_problems_short_circuit(self):
+        broken = make_report()
+        broken["schema"] = "repro.run-report/999"
+        problems = compare_reports(broken, make_report())
+        assert problems and all(p.startswith("baseline:") for p in problems)
+
+    def test_snapshot_set_drift_fails(self):
+        candidate = make_report()
+        candidate["snapshots"] = ["2020-10", "2021-04"]
+        candidate["funnel"]["2021-04"] = copy.deepcopy(
+            candidate["funnel"]["2020-10"]
+        )
+        assert compare_reports(make_report(), candidate)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "a.json", make_report())
+        candidate = self._write(tmp_path, "b.json", make_report())
+        assert main([baseline, candidate]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_drift(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "a.json", make_report(confirmed=5))
+        candidate = self._write(tmp_path, "b.json", make_report(confirmed=9))
+        assert main([baseline, candidate]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_flag_tightens_gate(self, tmp_path):
+        baseline = self._write(tmp_path, "a.json", make_report(scan_seconds=1.0))
+        candidate = self._write(tmp_path, "b.json", make_report(scan_seconds=1.5))
+        assert main([baseline, candidate]) == 0
+        assert main([baseline, candidate, "--max-stage-regression", "1.2"]) == 1
+
+    def test_no_timing_flag(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "a.json", make_report(scan_seconds=1.0))
+        candidate = self._write(tmp_path, "b.json", make_report(scan_seconds=99.0))
+        assert main([baseline, candidate, "--no-timing"]) == 0
+        assert "timing skipped" in capsys.readouterr().out
+
+
+class TestValidateReport:
+    def test_missing_keys_reported(self):
+        assert validate_report({}) != []
+
+    def test_non_integer_funnel_count_reported(self):
+        report = make_report()
+        report["funnel"]["2020-10"]["valid"] = "ninety"
+        assert any("valid" in p for p in validate_report(report))
+
+    def test_funnel_must_cover_snapshots(self):
+        report = make_report()
+        report["snapshots"].append("2021-04")
+        assert any("missing snapshots" in p for p in validate_report(report))
+
+    @pytest.mark.parametrize("payload", [None, [], "x"])
+    def test_non_object_rejected(self, payload):
+        assert validate_report(payload)

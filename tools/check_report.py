@@ -1,0 +1,185 @@
+"""Diff two pipeline run reports; fail on funnel drift or stage slowdown.
+
+The CI perf/coverage gate's comparator::
+
+    PYTHONPATH=src python tools/check_report.py baseline.json candidate.json
+
+Exit status 0 means the candidate report is schema-valid, its
+deterministic view (corpus, snapshots, options, per-snapshot funnel
+counts) is **byte-identical** to the baseline's, and no pipeline stage
+got slower than ``--max-stage-regression`` times the baseline (stages
+faster than ``--min-stage-seconds`` in the baseline are ignored — their
+timing is noise).  Any drift in the funnel counts is an exact failure:
+candidate/confirmed/valid counts are deterministic functions of the
+inputs and methodology, so *any* change means the methodology changed.
+
+Timing comparisons only make sense between like-for-like runs: stage
+seconds are summed across workers, so a ``jobs=2`` run legitimately
+books ~2x the aggregate CPU of a ``jobs=1`` run while finishing sooner.
+When the two reports' executor configurations differ the timing gate is
+skipped automatically and only the funnel is compared; ``--no-timing``
+forces that behaviour even for same-executor reports (e.g. different
+machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator
+
+from repro.obs.report import deterministic_view, load_report, validate_report
+
+__all__ = ["compare_reports", "diff_deterministic", "main"]
+
+#: Default slowdown tolerance: candidate stage time may be up to 1.6x the
+#: baseline before the gate trips (CI runners are noisy neighbours).
+DEFAULT_MAX_REGRESSION = 1.6
+
+#: Stages cheaper than this in the baseline are exempt from the timing
+#: gate — a 3 ms stage doubling is scheduler noise, not a regression.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def diff_deterministic(baseline: dict, candidate: dict, limit: int = 20) -> list[str]:
+    """Human-readable paths where the deterministic views differ."""
+
+    def walk(a, b, path: str) -> Iterator[str]:
+        if type(a) is not type(b):
+            yield f"{path}: type {type(a).__name__} != {type(b).__name__}"
+        elif isinstance(a, dict):
+            for key in sorted(set(a) | set(b)):
+                if key not in a:
+                    yield f"{path}.{key}: only in candidate"
+                elif key not in b:
+                    yield f"{path}.{key}: only in baseline"
+                else:
+                    yield from walk(a[key], b[key], f"{path}.{key}")
+        elif isinstance(a, list):
+            if a != b:
+                yield f"{path}: {a!r} != {b!r}"
+        elif a != b:
+            yield f"{path}: baseline {a!r} != candidate {b!r}"
+
+    differences = []
+    for difference in walk(
+        deterministic_view(baseline), deterministic_view(candidate), "report"
+    ):
+        differences.append(difference)
+        if len(differences) >= limit:
+            differences.append("... (further differences suppressed)")
+            break
+    return differences
+
+
+def timing_comparable(baseline: dict, candidate: dict) -> bool:
+    """Whether stage seconds mean the same thing in both reports: same
+    executor kind and worker count (aggregate CPU scales with workers)."""
+    a, b = baseline.get("executor", {}), candidate.get("executor", {})
+    return (a.get("kind"), a.get("jobs")) == (b.get("kind"), b.get("jobs"))
+
+
+def compare_reports(
+    baseline: dict,
+    candidate: dict,
+    max_stage_regression: float = DEFAULT_MAX_REGRESSION,
+    min_stage_seconds: float = DEFAULT_MIN_SECONDS,
+    check_timing: bool = True,
+) -> list[str]:
+    """Every reason the candidate fails the gate (empty = pass)."""
+    problems = [f"baseline: {p}" for p in validate_report(baseline)]
+    problems += [f"candidate: {p}" for p in validate_report(candidate)]
+    if problems:
+        return problems
+
+    if json.dumps(deterministic_view(baseline), sort_keys=True) != json.dumps(
+        deterministic_view(candidate), sort_keys=True
+    ):
+        problems.append(
+            "funnel drift: deterministic views differ "
+            "(counts must match exactly across runs/executors)"
+        )
+        problems += [f"  {d}" for d in diff_deterministic(baseline, candidate)]
+
+    if check_timing and not timing_comparable(baseline, candidate):
+        check_timing = False
+    if check_timing:
+        base_stages = baseline["stages"]
+        cand_stages = candidate["stages"]
+        for stage, entry in sorted(base_stages.items()):
+            base_seconds = entry["seconds"]
+            if base_seconds < min_stage_seconds:
+                continue
+            if stage not in cand_stages:
+                problems.append(f"stage {stage!r} missing from candidate report")
+                continue
+            cand_seconds = cand_stages[stage]["seconds"]
+            if cand_seconds > base_seconds * max_stage_regression:
+                problems.append(
+                    f"stage {stage!r} regressed: {cand_seconds:.3f}s vs "
+                    f"baseline {base_seconds:.3f}s "
+                    f"(> {max_stage_regression:.2f}x threshold)"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Compare two repro run reports (funnel drift is an "
+        "exact failure; stage-time regressions fail beyond a threshold)."
+    )
+    parser.add_argument("baseline", help="baseline report JSON")
+    parser.add_argument("candidate", help="candidate report JSON")
+    parser.add_argument(
+        "--max-stage-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        metavar="FACTOR",
+        help=f"fail when a stage exceeds FACTOR x baseline seconds "
+        f"(default {DEFAULT_MAX_REGRESSION})",
+    )
+    parser.add_argument(
+        "--min-stage-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        metavar="SECONDS",
+        help=f"ignore stages under SECONDS in the baseline "
+        f"(default {DEFAULT_MIN_SECONDS})",
+    )
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="compare funnel shape only (reports from different machines)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    problems = compare_reports(
+        baseline,
+        candidate,
+        max_stage_regression=args.max_stage_regression,
+        min_stage_seconds=args.min_stage_seconds,
+        check_timing=not args.no_timing,
+    )
+    if problems:
+        print(f"FAIL: {args.candidate} vs baseline {args.baseline}")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    timed = not args.no_timing and timing_comparable(baseline, candidate)
+    suffix = (
+        "identical funnel; stage times within threshold"
+        if timed
+        else "identical funnel; timing skipped (executors differ)"
+        if not args.no_timing
+        else "identical funnel; timing skipped (--no-timing)"
+    )
+    print(f"OK: {args.candidate} matches {args.baseline} ({suffix})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
