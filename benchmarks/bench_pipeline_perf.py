@@ -101,6 +101,39 @@ def test_full_snapshot_throughput(world, benchmark):
     assert footprint.confirmed_ases
 
 
+def test_store_dedup_accounting(world):
+    """The columnar store's payoff, persisted for regression tracking:
+    validate-stage wall-clock, the unique-chain ratio, and the §4.1
+    verifications the per-unique-chain broadcast saved — straight from
+    the run report's ``store`` section."""
+    pipeline = OffnetPipeline.for_world(world)
+    pipeline.header_rules()
+    result = pipeline.run()
+    report = result.report()
+    store = report["store"]
+    validate_seconds = report["stages"]["validate"]["seconds"]
+
+    work = store["validation_work"]
+    # The tentpole invariant: exactly one verification per unique chain.
+    assert work["unique_chains_verified"] == store["unique_chains"]
+    assert work["rows_broadcast"] == store["tls_rows"]
+    assert 0.0 < store["unique_chain_ratio"] <= 1.0
+
+    write_output(
+        "perf_store_dedup",
+        f"columnar store over {len(result.snapshots)} snapshots: "
+        f"{store['tls_rows']} TLS rows → {store['unique_chains']} unique chains "
+        f"(ratio {store['unique_chain_ratio']:.3f})\n"
+        f"validate stage: {validate_seconds:.2f}s total; "
+        f"{work['unique_chains_verified']} chain verifications for "
+        f"{work['rows_broadcast']} rows "
+        f"({work['verifications_saved']} verifications saved)\n"
+        f"§4.3 subset tests: {store['match_work']['subset_tests_computed']} computed, "
+        f"{store['match_work']['subset_tests_reused']} reused",
+    )
+    write_report(report, OUTPUT_DIR / "perf_store_dedup_report.json")
+
+
 def _timed_run(jobs: int):
     """One full multi-snapshot run on a fresh default-scale world.
 

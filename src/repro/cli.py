@@ -18,9 +18,10 @@ Global options are accepted before *or* after the subcommand:
 
 * ``--seed`` / ``--scale`` — world determinism and size;
 * ``--jobs N`` — run the pure per-snapshot pipeline phase across N worker
-  processes (:mod:`repro.core.executor`).  The cross-snapshot merge is an
-  ordered reduction, so any ``--jobs`` value prints identical numbers;
-  N > 1 simply uses more cores.
+  processes (:mod:`repro.core.executor`); ``--jobs 0`` auto-sizes to one
+  worker per CPU core.  The cross-snapshot merge is an ordered reduction,
+  so any ``--jobs`` value prints identical numbers; N > 1 simply uses
+  more cores.
 
 ``run`` additionally takes ``--header-learning-snapshot YYYY-MM`` (§4.4):
 by default the paper's September 2020 corpus is used, falling back to a
@@ -71,7 +72,7 @@ def _add_globals(parser: argparse.ArgumentParser, top_level: bool = False) -> No
         default=default(1),
         metavar="N",
         help="worker processes for the per-snapshot phase (default 1; "
-        "output is identical for any N)",
+        "0 = one worker per CPU core; output is identical for any N)",
     )
 
 

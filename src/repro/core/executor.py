@@ -26,6 +26,7 @@ back to serial execution rather than failing.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
@@ -136,9 +137,17 @@ class ParallelExecutor(SnapshotExecutor):
 
 
 def make_executor(jobs: int) -> SnapshotExecutor:
-    """The executor for a ``PipelineOptions(jobs=...)`` setting."""
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    """The executor for a ``PipelineOptions(jobs=...)`` setting.
+
+    ``jobs=0`` auto-sizes to one worker per CPU core (``os.cpu_count()``);
+    ``jobs=1`` is serial; ``jobs=N`` forks N workers.
+    """
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0, got {jobs} (0 = one worker per CPU core)"
+        )
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     if jobs == 1:
         return SerialExecutor()
     return ParallelExecutor(jobs)

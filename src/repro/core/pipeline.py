@@ -33,6 +33,7 @@ property the test suite asserts.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.candidates import Candidate
@@ -81,8 +82,17 @@ class PipelineOptions:
     #: IP-to-AS lookups ("our inference approach is IP protocol-agnostic").
     include_ipv6: bool = False
     #: Worker processes for the per-snapshot phase (1 = serial; N > 1 forks
-    #: a process pool; output is identical either way).
+    #: a process pool; 0 = auto, one worker per CPU core; output is
+    #: identical for every setting).
     jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError(
+                f"PipelineOptions.jobs must be >= 0, got {self.jobs} "
+                "(0 selects one worker per CPU core, 1 runs serially, "
+                "N > 1 forks N workers)"
+            )
 
 
 class OffnetPipeline:
@@ -111,7 +121,12 @@ class OffnetPipeline:
         self._all_hg_ases = frozenset(
             asn for ases in self._hg_ases.values() for asn in ases
         )
-        self._org_cache: dict[str, tuple[str, ...]] = {}
+        # Bounded LRU for stray per-string lookups (header learning etc.).
+        # The hot paths never touch it: they map the snapshot store's
+        # interned-organization table once per snapshot instead, so the
+        # per-process memory for org matching is O(unique orgs per
+        # snapshot), not O(every org string ever seen).
+        self._org_cache: OrderedDict[str, tuple[str, ...]] = OrderedDict()
         self._header_rules: dict[str, tuple[HeaderRule, ...]] | None = None
 
     # -- public API ------------------------------------------------------------
@@ -215,12 +230,14 @@ class OffnetPipeline:
         self, scan, registry: MetricsRegistry | None = None
     ) -> tuple[list[ValidatedRecord], ValidationStats]:
         if not self.options.validate_certificates:
+            store = scan.store
+            leaves = [chain.end_entity for chain in store.chains]
             records = [
-                ValidatedRecord(ip=r.ip, certificate=r.chain.end_entity)
-                for r in scan.tls_records
+                ValidatedRecord(ip=ip, certificate=leaves[index], chain_index=index)
+                for ip, index in store.iter_tls_rows()
             ]
             stats = ValidationStats(
-                total=len(scan.tls_records),
+                total=store.tls_row_count,
                 valid=len(records),
                 expired_only=0,
                 rejected=0,
@@ -234,15 +251,34 @@ class OffnetPipeline:
             scan, allow_expired=True, registry=registry
         )
 
+    #: Upper bound on the stray-lookup LRU (see ``_org_cache`` above).
+    _ORG_CACHE_MAX = 4096
+
     def _hgs_for_org(self, organization: str) -> tuple[str, ...]:
-        """Which HG keywords appear in an Organization string (memoised —
-        organisation strings repeat heavily across records and snapshots)."""
-        cached = self._org_cache.get(organization)
-        if cached is None:
-            lowered = organization.lower()
-            cached = tuple(k for k in self._keywords if k in lowered)
-            self._org_cache[organization] = cached
+        """Which HG keywords appear in an Organization string (memoised in
+        a *bounded* LRU; the per-snapshot hot paths use
+        :meth:`_org_table_hgs` over the store's interned table instead)."""
+        cache = self._org_cache
+        cached = cache.get(organization)
+        if cached is not None:
+            cache.move_to_end(organization)
+            return cached
+        lowered = organization.lower()
+        cached = tuple(k for k in self._keywords if k in lowered)
+        cache[organization] = cached
+        if len(cache) > self._ORG_CACHE_MAX:
+            cache.popitem(last=False)
         return cached
+
+    def _org_table_hgs(self, store) -> list[tuple[str, ...]]:
+        """HG keyword matches for every entry of a store's interned
+        Organization table — the whole snapshot's org matching in
+        O(unique organisations), no cross-snapshot state."""
+        matches = []
+        for organization in store.org_table:
+            lowered = organization.lower()
+            matches.append(tuple(k for k in self._keywords if k in lowered))
+        return matches
 
     def _scan_and_map(self, snapshot: Snapshot):
         """The corpus and IP-to-AS view for one snapshot, optionally merged
@@ -261,8 +297,10 @@ class OffnetPipeline:
             merged = ScanSnapshot(
                 scanner=f"{scan.scanner}+ipv6", snapshot=snapshot
             )
-            merged.tls_records = scan.tls_records + v6.tls_records
-            merged.http_records = scan.http_records + v6.http_records
+            # Store-level merge: rows re-intern into one combined table, so
+            # chains shared across the v4 and v6 corpuses dedup too.
+            merged.store.extend(scan.store)
+            merged.store.extend(v6.store)
             scan = merged
             ip2as = source.ip2as_dual(snapshot)
         return scan, ip2as
@@ -287,15 +325,31 @@ class OffnetPipeline:
 
         with stage_timer(registry, "scan"):
             scan, ip2as = self._scan_and_map(snapshot)
+        store = scan.store
+        store_stats = store.stats()
         registry.counter("funnel_tls_records", snapshot=label).inc(
-            len(scan.tls_records)
+            store_stats.tls_rows
         )
         registry.counter("funnel_http_records", snapshot=label).inc(
-            len(scan.http_records)
+            store_stats.http_rows
         )
         registry.counter("funnel_unique_certificates", snapshot=label).inc(
-            scan.unique_certificates()
+            store_stats.unique_chains
         )
+        # Columnar-store shape metrics: how much §4's "few certificates,
+        # many IPs" redundancy the intern tables absorbed this snapshot.
+        registry.counter("store_tls_rows", snapshot=label).inc(store_stats.tls_rows)
+        registry.counter("store_unique_chains", snapshot=label).inc(
+            store_stats.unique_chains
+        )
+        for table, entries in (
+            ("org", store_stats.org_entries),
+            ("dns", store_stats.dns_entries),
+            ("header", store_stats.header_entries),
+        ):
+            registry.counter(
+                "store_intern_entries", table=table, snapshot=label
+            ).inc(entries)
 
         with stage_timer(registry, "validate"):
             records, stats = self._validated(scan, registry)
@@ -305,13 +359,26 @@ class OffnetPipeline:
         )
         registry.counter("funnel_rejected", snapshot=label).inc(stats.rejected)
 
-        # Single pass: resolve origins and keyword matches per record.
+        # Single pass over rows, but all per-unique-certificate work — the
+        # org→HG keyword scan and the lowered dNSName tuples — was computed
+        # once per intern-table entry, not once per record.
         with stage_timer(registry, "match"):
+            org_hgs = self._org_table_hgs(store)
+            chain_hgs: list[tuple[str, ...]] = [
+                org_hgs[org_index] for org_index in store.chain_org
+            ]
+            chain_dns: list[tuple[str, ...]] = [
+                store.dns_table[dns_index] for dns_index in store.chain_dns
+            ]
+            registry.counter("match_org_scans", unit="unique_orgs").inc(
+                len(org_hgs)
+            )
+            registry.counter("match_org_scans", unit="rows").inc(len(records))
             onnet_ips: dict[str, set[int]] = {k: set() for k in self._keywords}
             fingerprints: dict[str, set[str]] = {k: set() for k in self._keywords}
             matching: list[tuple[ValidatedRecord, frozenset[ASN], tuple[str, ...]]] = []
             for record in records:
-                hgs = self._hgs_for_org(record.certificate.subject.organization)
+                hgs = chain_hgs[record.chain_index]
                 if not hgs:
                     continue
                 origins = ip2as.lookup(record.ip)
@@ -327,25 +394,36 @@ class OffnetPipeline:
                 for keyword in hgs:
                     if origins & self._hg_ases[keyword]:
                         onnet_ips[keyword].add(record.ip)
-                        fingerprints[keyword].update(
-                            n.lower() for n in record.certificate.dns_names
-                        )
+                        fingerprints[keyword].update(chain_dns[record.chain_index])
 
-        # §4.3 candidates per HG (plus the Netflix expired variant).
+        # §4.3 candidates per HG (plus the Netflix expired variant).  The
+        # all-dNSNames-subset test depends only on (unique certificate,
+        # HG), so its result is memoised per (chain_index, keyword) and
+        # every further row presenting the same certificate reuses it.
         with stage_timer(registry, "candidates"):
             candidates: dict[str, list[Candidate]] = {k: [] for k in self._keywords}
             netflix_expired: list[Candidate] = []
+            subset_ok: dict[tuple[int, str], bool] = {}
+            subset_computed = subset_reused = 0
             for record, origins, hgs in matching:
+                chain_index = record.chain_index
                 for keyword in hgs:
                     names = fingerprints[keyword]
                     if not names:
                         continue
                     if origins & self._hg_ases[keyword]:
                         continue
-                    if options.require_all_dnsnames and not all(
-                        n.lower() in names for n in record.certificate.dns_names
-                    ):
-                        continue
+                    if options.require_all_dnsnames:
+                        key = (chain_index, keyword)
+                        ok = subset_ok.get(key)
+                        if ok is None:
+                            ok = all(n in names for n in chain_dns[chain_index])
+                            subset_ok[key] = ok
+                            subset_computed += 1
+                        else:
+                            subset_reused += 1
+                        if not ok:
+                            continue
                     candidate = Candidate(
                         ip=record.ip,
                         certificate=record.certificate,
@@ -357,6 +435,10 @@ class OffnetPipeline:
                             netflix_expired.append(candidate)
                         continue
                     candidates[keyword].append(candidate)
+            registry.counter("match_subset_tests", event="computed").inc(
+                subset_computed
+            )
+            registry.counter("match_subset_tests", event="reused").inc(subset_reused)
 
         footprint = FootprintSnapshot(
             snapshot=snapshot,
@@ -435,7 +517,7 @@ class OffnetPipeline:
                 footprint.candidate_ips.get("netflix", frozenset())
                 | {c.ip for c in netflix_expired}
             )
-            current_tls_ips = {record.ip for record in scan.tls_records}
+            current_tls_ips = scan.unique_ips()
             restorable: dict[int, frozenset[ASN]] = {}
             for record in scan.http_records:
                 if record.port != 80:

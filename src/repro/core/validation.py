@@ -5,15 +5,24 @@ their validity window at scan time, and are not self-signed end-entity
 certificates.  "During the period of our study, more than one third of the
 hosts returned invalid certificates that we excluded."
 
-The validator caches the *time-independent* part of verification (signature
-links, trust anchoring) per end-entity fingerprint, so re-validating the
-same shared hypergiant chains across 31 snapshots costs almost nothing.
-A second cross-snapshot cache memoises each chain's effective validity
-window (the intersection of every certificate's window, keyed by the
-end-entity fingerprint), reducing the per-snapshot freshness check to two
-comparisons — the same trick ``OffnetPipeline._org_cache`` plays for
-organisation matching.  :meth:`CertificateValidator.cache_info` reports hit
-counts so benches can surface the hit rate.
+Validation is **per unique chain, not per record**: a snapshot's columnar
+:class:`~repro.store.SnapshotStore` already interned every distinct chain,
+so the validator computes one verdict per entry of the unique-chain table
+and broadcasts it over the ``(ip, chain_index)`` rows.  A verdict depends
+only on the chain and the scan date — never on the serving IP — so the
+broadcast is exact, and a snapshot where a million IPs share a thousand
+certificates does a thousand verifications.  The run report's
+``validation_work`` counters record both sides of that ratio.
+
+Across snapshots the validator still caches the *time-independent* part of
+verification (signature links, trust anchoring) per end-entity fingerprint,
+so re-validating the same shared hypergiant chains across 31 snapshots
+costs almost nothing; a second cache memoises each chain's effective
+validity window (the intersection of every certificate's window), reducing
+the per-snapshot freshness check to two comparisons.
+:meth:`CertificateValidator.cache_info` reports hit counts so benches can
+surface the hit rate — both caches are now consulted once per unique chain
+per snapshot, not once per row.
 
 An ``allow_expired`` mode accepts otherwise-valid chains whose only defect
 is the validity window — the §6.2 Netflix "w/ expired" analysis needs it.
@@ -48,6 +57,10 @@ class ValidatedRecord:
     #: True when the chain was valid except for the validity window
     #: (only produced in ``allow_expired`` mode).
     expired_only: bool = False
+    #: Index into the snapshot store's unique-chain table — lets downstream
+    #: stages (org matching, the §4.3 subset rule) key their per-unique-
+    #: certificate work without re-hashing fingerprints.
+    chain_index: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -171,53 +184,89 @@ class CertificateValidator:
         self._window_cache[fingerprint] = window
         return window
 
+    #: Per-unique-chain verdicts (module-private sentinels).
+    _VALID, _EXPIRED_ONLY, _REJECTED = 0, 1, 2
+
+    def chain_verdict(self, chain: CertificateChain, when: Snapshot) -> int:
+        """The §4.1 verdict for one chain at one scan date: ``_VALID``,
+        ``_EXPIRED_ONLY`` (window is the only defect) or ``_REJECTED``.
+        Pure in (chain, when) — the property that makes broadcasting a
+        unique chain's verdict over every row presenting it exact."""
+        leaf = chain.end_entity
+        if leaf.is_self_signed and not leaf.is_ca:
+            return self._REJECTED
+        if not self._static_ok(chain):
+            return self._REJECTED
+        window_start, window_end = self._validity_window(chain)
+        if window_start <= when <= window_end:
+            return self._VALID
+        return self._EXPIRED_ONLY
+
     def validate_snapshot(
         self,
         scan: ScanSnapshot,
         allow_expired: bool = False,
         registry: MetricsRegistry | None = None,
     ) -> tuple[list[ValidatedRecord], ValidationStats]:
-        """Apply §4.1 to every TLS record of a scan snapshot.
+        """Apply §4.1 to every TLS record of a scan snapshot: one
+        verification per entry of the store's unique-chain table, verdicts
+        broadcast over the ``(ip, chain_index)`` rows in row order.
 
         When ``registry`` is given, the pass also emits its observability
-        counters: ``validation_records_total{verdict=...}`` and the
+        counters: ``validation_records_total{verdict=...}``, the
         cross-snapshot cache's ``validation_cache_events{cache=, event=}``
         deltas incurred by *this* call (cache state persists across
-        snapshots; the delta is what belongs to the snapshot at hand).
+        snapshots; the delta is what belongs to the snapshot at hand),
+        and the deduplication work counters
+        ``validation_work{unit=unique_chains|rows}``.
         """
         cache_before = self.cache_info() if registry is not None else None
         when = scan.snapshot
+        store = scan.store
+
+        # Phase 1 — one verdict per unique chain (§4 says this table is
+        # tiny next to the row count; this loop is the whole verification).
+        verdicts = [self.chain_verdict(chain, when) for chain in store.chains]
+        leaves = [chain.end_entity for chain in store.chains]
+
+        # Phase 2 — broadcast verdicts over the rows.
         records: list[ValidatedRecord] = []
         valid = expired_only = rejected = 0
-        for record in scan.tls_records:
-            chain = record.chain
-            leaf = chain.end_entity
-            if leaf.is_self_signed and not leaf.is_ca:
-                rejected += 1
-                continue
-            if not self._static_ok(chain):
-                rejected += 1
-                continue
-            window_start, window_end = self._validity_window(chain)
-            in_window = window_start <= when <= window_end
-            if in_window:
+        for ip, chain_index in store.iter_tls_rows():
+            verdict = verdicts[chain_index]
+            if verdict == self._VALID:
                 valid += 1
-                records.append(ValidatedRecord(ip=record.ip, certificate=leaf))
-            elif allow_expired:
+                records.append(
+                    ValidatedRecord(
+                        ip=ip, certificate=leaves[chain_index], chain_index=chain_index
+                    )
+                )
+            elif verdict == self._EXPIRED_ONLY and allow_expired:
                 expired_only += 1
                 records.append(
-                    ValidatedRecord(ip=record.ip, certificate=leaf, expired_only=True)
+                    ValidatedRecord(
+                        ip=ip,
+                        certificate=leaves[chain_index],
+                        expired_only=True,
+                        chain_index=chain_index,
+                    )
                 )
             else:
                 rejected += 1
         stats = ValidationStats(
-            total=len(scan.tls_records),
+            total=store.tls_row_count,
             valid=valid,
             expired_only=expired_only,
             rejected=rejected,
         )
         if registry is not None and cache_before is not None:
-            self._emit(registry, stats, self.cache_info() - cache_before)
+            self._emit(
+                registry,
+                stats,
+                self.cache_info() - cache_before,
+                unique_chains=len(verdicts),
+                rows=store.tls_row_count,
+            )
         return records, stats
 
     @staticmethod
@@ -225,6 +274,8 @@ class CertificateValidator:
         registry: MetricsRegistry,
         stats: ValidationStats,
         delta: ValidationCacheStats,
+        unique_chains: int = 0,
+        rows: int = 0,
     ) -> None:
         for verdict, count in (
             ("valid", stats.valid),
@@ -241,3 +292,7 @@ class CertificateValidator:
             registry.counter(
                 "validation_cache_events", cache=cache, event=event
             ).inc(count)
+        # The dedup payoff, directly queryable from the run report: chain
+        # verifications actually performed vs rows the verdicts covered.
+        registry.counter("validation_work", unit="unique_chains").inc(unique_chains)
+        registry.counter("validation_work", unit="rows").inc(rows)

@@ -11,6 +11,12 @@ Layout::
 The formats intentionally mirror the public datasets' spirit (pfx2as-style
 TSV, CAIDA-organizations-style TSV, JSONL certs) so adapting a loader to
 the real files is a matter of column mapping, not architecture.
+
+Corpus snapshots are emitted straight from each snapshot's columnar
+:class:`~repro.store.SnapshotStore` — every unique chain is serialized
+exactly once — and the manifest carries per-snapshot store shape
+(``tls_rows`` vs ``unique_chains``) as provenance, so a reader knows the
+dedup ratio before opening a corpus file.
 """
 
 from __future__ import annotations
@@ -39,7 +45,12 @@ def export_dataset(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    manifest: dict = {"corpora": {}, "seed": world.config.seed, "scale": world.config.scale}
+    manifest: dict = {
+        "corpora": {},
+        "store": {},
+        "seed": world.config.seed,
+        "scale": world.config.scale,
+    }
 
     wanted = tuple(snapshots) if snapshots is not None else tuple(world.snapshots)
     exported_snapshots: set[Snapshot] = set()
@@ -48,14 +59,22 @@ def export_dataset(
         corpus_dir = directory / "corpora" / corpus
         corpus_dir.mkdir(parents=True, exist_ok=True)
         labels = []
+        shapes = {}
         for snapshot in wanted:
             if snapshot < profile.available_since:
                 continue
             scan = world.scan(corpus, snapshot)
             save_snapshot(scan, corpus_dir / f"{snapshot.label}.jsonl")
             labels.append(snapshot.label)
+            stats = scan.store.stats()
+            shapes[snapshot.label] = {
+                "tls_rows": stats.tls_rows,
+                "http_rows": stats.http_rows,
+                "unique_chains": stats.unique_chains,
+            }
             exported_snapshots.add(snapshot)
         manifest["corpora"][corpus] = labels
+        manifest["store"][corpus] = shapes
 
     ip2as_dir = directory / "ip2as"
     ip2as_dir.mkdir(exist_ok=True)

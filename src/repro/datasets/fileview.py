@@ -11,6 +11,12 @@ protocol :class:`~repro.core.pipeline.OffnetPipeline` consumes:
 
 No ground truth is present in a dataset directory — file-backed runs are
 inference-only, exactly like running on real archived corpuses.
+
+Corpus snapshots are read via :func:`repro.scan.corpus.stream_snapshot`,
+which builds each snapshot's columnar
+:class:`~repro.store.SnapshotStore` one JSONL line at a time — a chain
+line becomes one intern-table entry, a row line one column append — so
+loading never materializes per-row record objects.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from pathlib import Path
 from repro.bgp.ip2as import IPToASMap
 from repro.bgp.rib import RibEntry, RibSnapshot
 from repro.net.ipv4 import IPv4Prefix
-from repro.scan.corpus import _cert_from_json, load_snapshot
+from repro.scan.corpus import _cert_from_json, stream_snapshot
 from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
 from repro.topology.geography import country_by_code
@@ -127,7 +133,8 @@ class FileDataset:
         return _FileScanner(_FileScannerProfile(name=name, available_since=snapshots[0]))
 
     def scan(self, name: str, snapshot: Snapshot, cache_size: int = 4) -> ScanSnapshot:
-        """Load one corpus snapshot from disk (LRU-cached)."""
+        """Stream one corpus snapshot from disk into a columnar store
+        (LRU-cached)."""
         key = (name, snapshot)
         cached = self._scan_cache.get(key)
         if cached is not None:
@@ -136,7 +143,7 @@ class FileDataset:
         path = self.directory / "corpora" / name / f"{snapshot.label}.jsonl"
         if not path.exists():
             raise FileNotFoundError(f"no {name} corpus for {snapshot}: {path}")
-        loaded = load_snapshot(path)
+        loaded = stream_snapshot(path)
         self._scan_cache[key] = loaded
         while len(self._scan_cache) > cache_size:
             self._scan_cache.popitem(last=False)

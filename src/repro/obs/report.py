@@ -7,6 +7,9 @@ A run report is the pipeline's flight recorder, built from the merged
 * ``funnel`` — per snapshot, the §4 funnel shape (TLS/HTTP records →
   §4.1 valid → org-matched → §4.3 candidates → §4.5 confirmed, per HG);
 * ``stages`` — wall-clock seconds and invocation counts per stage;
+* ``store`` — the columnar snapshot store's deduplication accounting:
+  TLS rows vs unique chains (the §4 redundancy ratio), intern-table
+  entries, and the validation/match work the dedup saved;
 * ``cache`` — the §4.1 cross-snapshot validation-cache counters;
 * ``executor`` — how the run was mapped (jobs, workers, fallbacks);
 * ``metrics`` — the full registry dump, for anything the sections above
@@ -87,8 +90,42 @@ def build_report(result: Any) -> dict:
         "executor": run_meta.get("executor", {}),
         "stages": _stages_section(registry),
         "funnel": _funnel_section(registry, result.snapshots),
+        "store": _store_section(registry),
         "cache": _cache_section(registry),
         "metrics": registry.to_dict(),
+    }
+
+
+def _store_section(registry: MetricsRegistry) -> dict:
+    """Columnar-store dedup accounting, summed across snapshots.
+
+    Absent counters sum to zero, so reports from stores-less runs (older
+    baselines) simply carry an all-zero section; ``store`` is deliberately
+    not in ``_REQUIRED_KEYS`` and not in the deterministic view, keeping
+    old and new reports comparable.
+    """
+    tls_rows = registry.sum_counters("store_tls_rows")
+    unique_chains = registry.sum_counters("store_unique_chains")
+    rows_validated = registry.counter_value("validation_work", unit="rows")
+    chains_verified = registry.counter_value("validation_work", unit="unique_chains")
+    return {
+        "tls_rows": tls_rows,
+        "unique_chains": unique_chains,
+        "unique_chain_ratio": unique_chains / tls_rows if tls_rows else 0.0,
+        "intern_entries": registry.counters_by_label("store_intern_entries", "table"),
+        "validation_work": {
+            "unique_chains_verified": chains_verified,
+            "rows_broadcast": rows_validated,
+            "verifications_saved": max(0, rows_validated - chains_verified),
+        },
+        "match_work": {
+            "subset_tests_computed": registry.counter_value(
+                "match_subset_tests", event="computed"
+            ),
+            "subset_tests_reused": registry.counter_value(
+                "match_subset_tests", event="reused"
+            ),
+        },
     }
 
 

@@ -4,6 +4,15 @@ The real pipeline consumes multi-gigabyte sonar.ssl files; this module
 round-trips our :class:`~repro.scan.records.ScanSnapshot` through the same
 kind of newline-delimited JSON so the examples can demonstrate a
 file-backed workflow (write once, analyse many times).
+
+Both directions speak the columnar store natively: :func:`save_snapshot`
+walks the store's columns (each unique chain is serialized exactly once —
+the on-disk format was deduplicated before the in-memory one was), and
+:func:`stream_snapshot` rebuilds a store **incrementally, line by line**:
+chains intern straight into the unique-chain table and rows land in the
+``(ip, chain_index)`` / ``(ip, port, header_index)`` columns without a
+single ``TLSRecord``/``HTTPRecord`` object being materialized.
+:func:`load_snapshot` is the legacy name for the same streaming read.
 """
 
 from __future__ import annotations
@@ -11,12 +20,12 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
+from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
 from repro.x509.certificate import Certificate, SubjectName
 from repro.x509.chain import CertificateChain
 
-__all__ = ["save_snapshot", "load_snapshot"]
+__all__ = ["save_snapshot", "load_snapshot", "stream_snapshot"]
 
 
 def _cert_to_json(certificate: Certificate) -> dict:
@@ -75,7 +84,8 @@ def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
     sonar.ssl separates hosts from certs.
     """
     path = Path(path)
-    emitted: set[str] = set()
+    store = snapshot.store
+    emitted: set[int] = set()
     with path.open("w", encoding="utf-8") as handle:
         header = {
             "type": "meta",
@@ -83,31 +93,34 @@ def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
             "snapshot": snapshot.snapshot.label,
         }
         handle.write(json.dumps(header) + "\n")
-        for record in snapshot.tls_records:
-            leaf_fp = record.chain.end_entity.fingerprint
-            if leaf_fp not in emitted:
-                emitted.add(leaf_fp)
+        for ip, chain_index in store.iter_tls_rows():
+            chain = store.chains[chain_index]
+            leaf_fp = chain.end_entity.fingerprint
+            if chain_index not in emitted:
+                emitted.add(chain_index)
                 chain_payload = {
                     "type": "chain",
                     "id": leaf_fp,
-                    "certs": [_cert_to_json(c) for c in record.chain.certificates],
+                    "certs": [_cert_to_json(c) for c in chain.certificates],
                 }
                 handle.write(json.dumps(chain_payload) + "\n")
-            handle.write(json.dumps({"type": "tls", "ip": record.ip, "chain": leaf_fp}) + "\n")
-        for record in snapshot.http_records:
+            handle.write(json.dumps({"type": "tls", "ip": ip, "chain": leaf_fp}) + "\n")
+        for row in range(store.http_row_count):
             payload = {
                 "type": "http",
-                "ip": record.ip,
-                "port": record.port,
-                "headers": list(map(list, record.headers)),
+                "ip": store.http_ip[row],
+                "port": store.http_port[row],
+                "headers": list(map(list, store.header_table[store.http_header[row]])),
             }
             handle.write(json.dumps(payload) + "\n")
 
 
-def load_snapshot(path: str | Path) -> ScanSnapshot:
-    """Read a snapshot written by :func:`save_snapshot`."""
+def stream_snapshot(path: str | Path) -> ScanSnapshot:
+    """Read a snapshot written by :func:`save_snapshot`, building its
+    columnar store incrementally: one JSON line in, one intern or one
+    column append out.  Peak memory is the deduplicated store, never a
+    row-object list — the shape that scales to sonar.ssl-sized files."""
     path = Path(path)
-    chains: dict[str, CertificateChain] = {}
     result: ScanSnapshot | None = None
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
@@ -119,26 +132,35 @@ def load_snapshot(path: str | Path) -> ScanSnapshot:
                     snapshot=Snapshot.parse(payload["snapshot"]),
                 )
             elif kind == "chain":
+                if result is None:
+                    raise ValueError("chain record before meta header")
                 certificates = tuple(_cert_from_json(c) for c in payload["certs"])
-                chains[payload["id"]] = CertificateChain(certificates)
+                result.store.intern_chain(CertificateChain(certificates))
             elif kind == "tls":
                 if result is None:
                     raise ValueError("tls record before meta header")
-                result.tls_records.append(
-                    TLSRecord(ip=payload["ip"], chain=chains[payload["chain"]])
-                )
+                try:
+                    chain_index = result.store.chain_index_of(payload["chain"])
+                except KeyError:
+                    raise ValueError(
+                        f"tls row references unknown chain {payload['chain']!r}"
+                    ) from None
+                result.store.add_tls_row(payload["ip"], chain_index)
             elif kind == "http":
                 if result is None:
                     raise ValueError("http record before meta header")
-                result.http_records.append(
-                    HTTPRecord(
-                        ip=payload["ip"],
-                        port=payload["port"],
-                        headers=tuple((n, v) for n, v in payload["headers"]),
-                    )
+                result.store.add_http(
+                    payload["ip"],
+                    payload["port"],
+                    tuple((n, v) for n, v in payload["headers"]),
                 )
             else:
                 raise ValueError(f"unknown record type {kind!r}")
     if result is None:
         raise ValueError(f"empty corpus file: {path}")
     return result
+
+
+#: Legacy name: reading has always produced a full snapshot; it now does so
+#: by streaming into the store.
+load_snapshot = stream_snapshot

@@ -6,13 +6,24 @@ no-SNI handshake.  An :class:`HTTPRecord` is one row of an HTTP(S) header
 corpus — the IP, port, and response headers of a GET for the default
 document.  A :class:`ScanSnapshot` bundles one scanner's output for one
 snapshot.
+
+Since the columnar refactor a snapshot no longer *holds* row objects: it
+wraps a :class:`~repro.store.SnapshotStore` that interns each distinct
+certificate chain once (plus Organization strings, dNSName tuples and
+header tuples) and keeps the rows as ``(ip, chain_index)`` /
+``(ip, port, header_index)`` columns.  ``tls_records`` / ``http_records``
+are lazy views that materialize classic record objects on demand, so every
+per-record consumer keeps working; per-unique-certificate consumers (§4.1
+validation, §4.2/§4.3 matching) read the store directly and do their work
+once per distinct chain instead of once per serving IP.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator
 
+from repro.store import HTTPRecordView, SnapshotStore, TLSRecordView
 from repro.timeline import Snapshot
 from repro.x509.chain import CertificateChain
 
@@ -40,33 +51,80 @@ class HTTPRecord:
         return dict(self.headers)
 
 
-@dataclass(slots=True)
 class ScanSnapshot:
-    """One scanner's corpus for one snapshot."""
+    """One scanner's corpus for one snapshot, backed by a columnar store."""
 
-    scanner: str
-    snapshot: Snapshot
-    tls_records: list[TLSRecord] = field(default_factory=list)
-    http_records: list[HTTPRecord] = field(default_factory=list)
-    _http_by_ip: dict[tuple[int, int], HTTPRecord] | None = field(
-        default=None, init=False, repr=False
-    )
+    __slots__ = ("scanner", "snapshot", "store")
+
+    def __init__(
+        self,
+        scanner: str,
+        snapshot: Snapshot,
+        tls_records: Iterable[TLSRecord] | None = None,
+        http_records: Iterable[HTTPRecord] | None = None,
+        store: SnapshotStore | None = None,
+    ) -> None:
+        self.scanner = scanner
+        self.snapshot = snapshot
+        self.store = store if store is not None else SnapshotStore()
+        if tls_records:
+            for record in tls_records:
+                self.store.add_tls(record.ip, record.chain)
+        if http_records:
+            for record in http_records:
+                self.store.add_http(record.ip, record.port, record.headers)
+
+    # -- the legacy row-object API (lazy views over the store) -------------
+
+    @property
+    def tls_records(self) -> TLSRecordView:
+        """The TLS rows as a lazy ``Sequence[TLSRecord]`` (supports
+        ``append``/``extend`` by interning into the store)."""
+        return TLSRecordView(self.store)
+
+    @tls_records.setter
+    def tls_records(self, records: Iterable[TLSRecord]) -> None:
+        self.store.reset_tls()
+        for record in records:
+            self.store.add_tls(record.ip, record.chain)
+
+    @property
+    def http_records(self) -> HTTPRecordView:
+        """The HTTP rows as a lazy ``Sequence[HTTPRecord]``."""
+        return HTTPRecordView(self.store)
+
+    @http_records.setter
+    def http_records(self, records: Iterable[HTTPRecord]) -> None:
+        self.store.reset_http()
+        for record in records:
+            self.store.add_http(record.ip, record.port, record.headers)
 
     def iter_tls(self) -> Iterator[TLSRecord]:
-        """Iterate the TLS records."""
+        """Iterate the TLS records (materialized lazily)."""
         return iter(self.tls_records)
 
     def http_for(self, ip: int, port: int = 443) -> HTTPRecord | None:
         """The header record for an IP/port, if the scanner captured one."""
-        if self._http_by_ip is None:
-            self._http_by_ip = {(r.ip, r.port): r for r in self.http_records}
-        return self._http_by_ip.get((ip, port))
+        return self.store.http_lookup(ip, port)
+
+    # -- O(1) aggregates (maintained by the store at ingest time) ----------
 
     @property
     def ip_count(self) -> int:
         """Number of IPs with a certificate in this corpus (Fig. 2's count)."""
-        return len({record.ip for record in self.tls_records})
+        return self.store.unique_ip_count
+
+    def unique_ips(self) -> frozenset[int]:
+        """The distinct certificate-serving IPs (no per-call set rebuild)."""
+        return self.store.unique_ips()
 
     def unique_certificates(self) -> int:
-        """Distinct end-entity certificates observed."""
-        return len({record.chain.end_entity.fingerprint for record in self.tls_records})
+        """Distinct end-entity certificates observed — the length of the
+        store's unique-chain table, O(1)."""
+        return self.store.unique_chain_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScanSnapshot(scanner={self.scanner!r}, snapshot={self.snapshot!r}, "
+            f"tls={self.store.tls_row_count}, http={self.store.http_row_count})"
+        )

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.obs.metrics import MetricsRegistry
 from repro.scan.exclusions import ExclusionList
-from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
+from repro.scan.records import ScanSnapshot
 from repro.timeline import CENSYS_AVAILABLE, HTTPS_HEADERS_AVAILABLE, Snapshot
 
 __all__ = ["ScannerProfile", "Scanner", "RAPID7", "CENSYS", "CERTIGO"]
@@ -147,6 +147,7 @@ class Scanner:
         )
 
         result = ScanSnapshot(scanner=profile.name, snapshot=snapshot)
+        store = result.store
         policy = world.policy
         index = snapshot.index
         for server in world.servers:
@@ -165,24 +166,20 @@ class Scanner:
             if policy.https_enabled(server, snapshot):
                 chain = policy.default_chain(server, snapshot)
                 if chain is not None:
-                    result.tls_records.append(TLSRecord(ip=server.ip, chain=chain))
+                    store.add_tls(server.ip, chain)
                     if want_https_headers:
                         headers = policy.headers(server, snapshot, port=443)
                         if headers:
-                            result.http_records.append(
-                                HTTPRecord(ip=server.ip, port=443, headers=headers)
-                            )
+                            store.add_http(server.ip, 443, headers)
             if want_http_headers:
                 headers = policy.headers(server, snapshot, port=80)
                 if headers:
-                    result.http_records.append(
-                        HTTPRecord(ip=server.ip, port=80, headers=headers)
-                    )
+                    store.add_http(server.ip, 80, headers)
         if registry is not None:
             registry.counter(
                 "scan_records_total", scanner=profile.name, kind="tls"
-            ).inc(len(result.tls_records))
+            ).inc(store.tls_row_count)
             registry.counter(
                 "scan_records_total", scanner=profile.name, kind="http"
-            ).inc(len(result.http_records))
+            ).inc(store.http_row_count)
         return result

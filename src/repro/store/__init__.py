@@ -1,0 +1,6 @@
+"""Columnar deduplicated snapshot storage (see :mod:`repro.store.columnar`)."""
+
+from repro.store.columnar import SnapshotStore, StoreStats
+from repro.store.views import HTTPRecordView, TLSRecordView
+
+__all__ = ["SnapshotStore", "StoreStats", "TLSRecordView", "HTTPRecordView"]

@@ -1,0 +1,291 @@
+"""The columnar, deduplicated snapshot store.
+
+The paper's §4 observation is that millions of IPs present a *tiny* set of
+distinct certificates — the redundancy at-scale scanners exploit by
+deduplicating before analysis.  :class:`SnapshotStore` is that idea as a
+data structure: instead of one row object per observation, a snapshot is
+
+* a **unique-chain table** — each distinct certificate chain stored once,
+  interned by its end-entity fingerprint (the identity convention the
+  validator caches, the JSONL format and ``unique_certificates()`` already
+  share);
+* per unique chain, indices into **interned side tables**: the
+  ``Subject.Organization`` string table and the lowercased dNSName tuple
+  table (the two fields §4.2/§4.3 matching reads);
+* the TLS rows reduced to parallel ``(ip, chain_index)`` columns and the
+  HTTP rows to ``(ip, port, header_index)`` columns over an interned
+  header-tuple table.
+
+Downstream stages then do per-*unique-chain* work exactly once (§4.1
+verification verdicts, org→HG keyword matches, the §4.3 dNSName-subset
+test) and broadcast results over the rows — while
+:class:`~repro.scan.records.ScanSnapshot` keeps serving lazy row-object
+views so every existing per-record consumer still works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.x509.chain import CertificateChain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.records import HTTPRecord, TLSRecord
+
+__all__ = ["SnapshotStore", "StoreStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class StoreStats:
+    """Size accounting for one store — the obs layer's raw material."""
+
+    tls_rows: int
+    http_rows: int
+    unique_chains: int
+    unique_ips: int
+    org_entries: int
+    dns_entries: int
+    header_entries: int
+
+    @property
+    def unique_chain_ratio(self) -> float:
+        """Unique chains per TLS row (1.0 = no sharing; → 0 = heavy reuse)."""
+        return self.unique_chains / self.tls_rows if self.tls_rows else 0.0
+
+
+class SnapshotStore:
+    """Columnar storage for one scan snapshot's TLS and HTTP observations."""
+
+    __slots__ = (
+        "chains",
+        "chain_org",
+        "chain_dns",
+        "org_table",
+        "dns_table",
+        "header_table",
+        "tls_ip",
+        "tls_chain",
+        "http_ip",
+        "http_port",
+        "http_header",
+        "_chain_index",
+        "_org_index",
+        "_dns_index",
+        "_header_index",
+        "_tls_ip_set",
+        "_frozen_ips",
+        "_http_by_key",
+    )
+
+    def __init__(self) -> None:
+        #: The unique-chain table (end-entity fingerprint is the intern key).
+        self.chains: list[CertificateChain] = []
+        #: chain index -> index into :attr:`org_table`.
+        self.chain_org: list[int] = []
+        #: chain index -> index into :attr:`dns_table`.
+        self.chain_dns: list[int] = []
+        #: Interned ``Subject.Organization`` strings.
+        self.org_table: list[str] = []
+        #: Interned lowercased dNSName tuples.
+        self.dns_table: list[tuple[str, ...]] = []
+        #: Interned response-header tuples.
+        self.header_table: list[tuple[tuple[str, str], ...]] = []
+        #: TLS rows as parallel columns.
+        self.tls_ip: list[int] = []
+        self.tls_chain: list[int] = []
+        #: HTTP rows as parallel columns.
+        self.http_ip: list[int] = []
+        self.http_port: list[int] = []
+        self.http_header: list[int] = []
+        self._chain_index: dict[str, int] = {}
+        self._org_index: dict[str, int] = {}
+        self._dns_index: dict[tuple[str, ...], int] = {}
+        self._header_index: dict[tuple[tuple[str, str], ...], int] = {}
+        self._tls_ip_set: set[int] = set()
+        self._frozen_ips: frozenset[int] | None = None
+        self._http_by_key: dict[tuple[int, int], int] | None = None
+
+    # -- interning ---------------------------------------------------------
+
+    def intern_chain(self, chain: CertificateChain) -> int:
+        """The chain's index in the unique-chain table (interning it on
+        first sight, along with its Organization string and lowercased
+        dNSName tuple)."""
+        fingerprint = chain.end_entity.fingerprint
+        index = self._chain_index.get(fingerprint)
+        if index is not None:
+            return index
+        index = len(self.chains)
+        self._chain_index[fingerprint] = index
+        self.chains.append(chain)
+        leaf = chain.end_entity
+        self.chain_org.append(self._intern_org(leaf.subject.organization))
+        self.chain_dns.append(
+            self._intern_dns(tuple(name.lower() for name in leaf.dns_names))
+        )
+        return index
+
+    def _intern_org(self, organization: str) -> int:
+        index = self._org_index.get(organization)
+        if index is None:
+            index = len(self.org_table)
+            self._org_index[organization] = index
+            self.org_table.append(organization)
+        return index
+
+    def _intern_dns(self, names: tuple[str, ...]) -> int:
+        index = self._dns_index.get(names)
+        if index is None:
+            index = len(self.dns_table)
+            self._dns_index[names] = index
+            self.dns_table.append(names)
+        return index
+
+    def _intern_headers(self, headers: tuple[tuple[str, str], ...]) -> int:
+        index = self._header_index.get(headers)
+        if index is None:
+            index = len(self.header_table)
+            self._header_index[headers] = index
+            self.header_table.append(headers)
+        return index
+
+    def chain_index_of(self, fingerprint: str) -> int:
+        """The chain table index for an already-interned fingerprint."""
+        return self._chain_index[fingerprint]
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add_tls(self, ip: int, chain: CertificateChain) -> int:
+        """Append one TLS row, interning the chain; returns the chain index."""
+        index = self.intern_chain(chain)
+        self.add_tls_row(ip, index)
+        return index
+
+    def add_tls_row(self, ip: int, chain_index: int) -> None:
+        """Append one TLS row referencing an already-interned chain."""
+        self.tls_ip.append(ip)
+        self.tls_chain.append(chain_index)
+        self._tls_ip_set.add(ip)
+        self._frozen_ips = None
+
+    def add_http(self, ip: int, port: int, headers: tuple[tuple[str, str], ...]) -> None:
+        """Append one HTTP row, interning the header tuple."""
+        self.http_ip.append(ip)
+        self.http_port.append(port)
+        self.http_header.append(self._intern_headers(headers))
+        self._http_by_key = None
+
+    def extend(self, other: "SnapshotStore") -> None:
+        """Append every row of ``other``, re-interning into this store's
+        tables (the IPv6 corpus-merge path)."""
+        for ip, chain_index in zip(other.tls_ip, other.tls_chain):
+            self.add_tls_row(ip, self.intern_chain(other.chains[chain_index]))
+        for ip, port, header_index in zip(
+            other.http_ip, other.http_port, other.http_header
+        ):
+            self.add_http(ip, port, other.header_table[header_index])
+
+    def reset_tls(self) -> None:
+        """Drop every TLS row and the chain/org/dns tables they intern."""
+        self.chains.clear()
+        self.chain_org.clear()
+        self.chain_dns.clear()
+        self.org_table.clear()
+        self.dns_table.clear()
+        self.tls_ip.clear()
+        self.tls_chain.clear()
+        self._chain_index.clear()
+        self._org_index.clear()
+        self._dns_index.clear()
+        self._tls_ip_set.clear()
+        self._frozen_ips = None
+
+    def reset_http(self) -> None:
+        """Drop every HTTP row and the header table they intern."""
+        self.http_ip.clear()
+        self.http_port.clear()
+        self.http_header.clear()
+        self.header_table.clear()
+        self._header_index.clear()
+        self._http_by_key = None
+
+    # -- counts (all O(1); maintained incrementally at ingest) -------------
+
+    @property
+    def tls_row_count(self) -> int:
+        return len(self.tls_ip)
+
+    @property
+    def http_row_count(self) -> int:
+        return len(self.http_ip)
+
+    @property
+    def unique_chain_count(self) -> int:
+        return len(self.chains)
+
+    @property
+    def unique_ip_count(self) -> int:
+        return len(self._tls_ip_set)
+
+    def unique_ips(self) -> frozenset[int]:
+        """The distinct TLS-serving IPs (cached; invalidated on ingest)."""
+        if self._frozen_ips is None:
+            self._frozen_ips = frozenset(self._tls_ip_set)
+        return self._frozen_ips
+
+    def stats(self) -> StoreStats:
+        """Current size accounting (rows, unique tables, intern entries)."""
+        return StoreStats(
+            tls_rows=len(self.tls_ip),
+            http_rows=len(self.http_ip),
+            unique_chains=len(self.chains),
+            unique_ips=len(self._tls_ip_set),
+            org_entries=len(self.org_table),
+            dns_entries=len(self.dns_table),
+            header_entries=len(self.header_table),
+        )
+
+    # -- row access --------------------------------------------------------
+
+    def iter_tls_rows(self) -> Iterator[tuple[int, int]]:
+        """``(ip, chain_index)`` pairs in ingestion order."""
+        return zip(self.tls_ip, self.tls_chain)
+
+    def tls_record(self, row: int) -> "TLSRecord":
+        """Materialize one TLS row as the classic record object."""
+        from repro.scan.records import TLSRecord
+
+        return TLSRecord(ip=self.tls_ip[row], chain=self.chains[self.tls_chain[row]])
+
+    def http_record(self, row: int) -> "HTTPRecord":
+        """Materialize one HTTP row as the classic record object."""
+        from repro.scan.records import HTTPRecord
+
+        return HTTPRecord(
+            ip=self.http_ip[row],
+            port=self.http_port[row],
+            headers=self.header_table[self.http_header[row]],
+        )
+
+    def http_lookup(self, ip: int, port: int) -> "HTTPRecord | None":
+        """The header record for ``(ip, port)``, via a lazily built index.
+
+        On duplicate keys the last row wins — the semantics of the legacy
+        ``{(r.ip, r.port): r}`` dict ``ScanSnapshot.http_for`` built, so
+        §4.5 confirmation is unchanged."""
+        if self._http_by_key is None:
+            self._http_by_key = {
+                (ip_, port_): row
+                for row, (ip_, port_) in enumerate(zip(self.http_ip, self.http_port))
+            }
+        row = self._http_by_key.get((ip, port))
+        return None if row is None else self.http_record(row)
+
+    def lowered_dns(self, chain_index: int) -> tuple[str, ...]:
+        """The interned lowercased dNSName tuple for one unique chain."""
+        return self.dns_table[self.chain_dns[chain_index]]
+
+    def organization(self, chain_index: int) -> str:
+        """The interned Organization string for one unique chain."""
+        return self.org_table[self.chain_org[chain_index]]

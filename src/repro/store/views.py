@@ -1,0 +1,115 @@
+"""Lazy row-object views over a :class:`~repro.store.columnar.SnapshotStore`.
+
+The columnar refactor keeps :class:`~repro.scan.records.ScanSnapshot`'s
+``tls_records`` / ``http_records`` attributes working exactly as the old
+``list[TLSRecord]`` / ``list[HTTPRecord]`` fields did — iteration, length,
+indexing, slicing, ``append``/``extend``, equality against plain lists and
+``+`` concatenation — but rows are materialized on demand from the store's
+columns instead of being held as millions of live objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence, overload
+
+from repro.store.columnar import SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.records import HTTPRecord, TLSRecord
+
+__all__ = ["TLSRecordView", "HTTPRecordView"]
+
+
+class _RowView(Sequence):
+    """Common sequence behaviour for both record views."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: SnapshotStore) -> None:
+        self._store = store
+
+    def _row(self, index: int):
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @overload
+    def __getitem__(self, index: int): ...
+
+    @overload
+    def __getitem__(self, index: slice): ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._row(i) for i in range(*index.indices(len(self)))]
+        size = len(self)
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError(index)
+        return self._row(index)
+
+    def __iter__(self) -> Iterator:
+        for index in range(len(self)):
+            yield self._row(index)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_RowView, list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __add__(self, other: Iterable) -> list:
+        return list(self) + list(other)
+
+    def __radd__(self, other: Iterable) -> list:
+        return list(other) + list(self)
+
+    def extend(self, records: Iterable) -> None:
+        """Append every record, interning through the store."""
+        for record in records:
+            self.append(record)
+
+    def append(self, record) -> None:
+        """Ingest one record into the backing store's columns."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self)} rows)"
+
+
+class TLSRecordView(_RowView):
+    """``Sequence[TLSRecord]`` over the store's ``(ip, chain_index)`` columns."""
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return self._store.tls_row_count
+
+    def _row(self, index: int) -> "TLSRecord":
+        return self._store.tls_record(index)
+
+    def append(self, record: "TLSRecord") -> None:
+        """Intern the record's chain and append its ``(ip, chain)`` row."""
+        self._store.add_tls(record.ip, record.chain)
+
+
+class HTTPRecordView(_RowView):
+    """``Sequence[HTTPRecord]`` over the ``(ip, port, header_index)`` columns."""
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return self._store.http_row_count
+
+    def _row(self, index: int) -> "HTTPRecord":
+        return self._store.http_record(index)
+
+    def append(self, record: "HTTPRecord") -> None:
+        """Intern the record's headers and append its row."""
+        self._store.add_http(record.ip, record.port, record.headers)

@@ -199,26 +199,21 @@ class World:
         cached = self._ipv6_scan_cache.get(snapshot)
         if cached is not None:
             return cached
-        from repro.scan.records import HTTPRecord, TLSRecord
-
         result = ScanSnapshot(scanner="ipv6-research", snapshot=snapshot)
+        store = result.store
         for server in self.servers:
             if not server.ipv6_only or not server.alive_at(snapshot):
                 continue
             if self.policy.https_enabled(server, snapshot):
                 chain = self.policy.default_chain(server, snapshot)
                 if chain is not None:
-                    result.tls_records.append(TLSRecord(ip=server.ip, chain=chain))
+                    store.add_tls(server.ip, chain)
                     headers = self.policy.headers(server, snapshot, port=443)
                     if headers:
-                        result.http_records.append(
-                            HTTPRecord(ip=server.ip, port=443, headers=headers)
-                        )
+                        store.add_http(server.ip, 443, headers)
             headers = self.policy.headers(server, snapshot, port=80)
             if headers:
-                result.http_records.append(
-                    HTTPRecord(ip=server.ip, port=80, headers=headers)
-                )
+                store.add_http(server.ip, 80, headers)
         self._ipv6_scan_cache[snapshot] = result
         return result
 

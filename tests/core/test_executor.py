@@ -44,9 +44,23 @@ class TestMakeExecutor:
         assert isinstance(executor, ParallelExecutor)
         assert executor.jobs == 4
 
-    def test_rejects_nonpositive_jobs(self):
-        with pytest.raises(ValueError):
-            make_executor(0)
+    def test_zero_jobs_autosizes_to_cpu_count(self, monkeypatch):
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 3)
+        executor = make_executor(0)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+    def test_zero_jobs_on_single_core_is_serial(self, monkeypatch):
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
+        assert isinstance(make_executor(0), SerialExecutor)
+
+    def test_rejects_negative_jobs(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            make_executor(-1)
 
     def test_parallel_requires_two_jobs(self):
         with pytest.raises(ValueError):

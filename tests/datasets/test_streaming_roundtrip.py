@@ -1,0 +1,105 @@
+"""Streaming JSONL ingestion round-trips against ``export_dataset`` output.
+
+The export side walks a snapshot's columnar store (each unique chain
+serialized once); the read side rebuilds a store line by line.  The two
+must meet in the middle: identical rows, identical intern tables,
+identical aggregates — and the manifest's store-shape provenance must
+describe what the reader actually gets.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets import FileDataset, export_dataset
+from repro.scan.corpus import stream_snapshot
+
+
+@pytest.fixture(scope="module")
+def exported(small_world, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("export") / "ds"
+    snapshots = small_world.snapshots[-2:]
+    export_dataset(small_world, directory, corpora=("rapid7",), snapshots=snapshots)
+    return small_world, directory, snapshots
+
+
+class TestStreamingRoundTrip:
+    def test_rows_and_tables_survive(self, exported):
+        world, directory, snapshots = exported
+        for snapshot in snapshots:
+            original = world.scan("rapid7", snapshot)
+            loaded = stream_snapshot(
+                directory / "corpora" / "rapid7" / f"{snapshot.label}.jsonl"
+            )
+            assert loaded.scanner == original.scanner
+            assert loaded.snapshot == original.snapshot
+            assert list(loaded.store.iter_tls_rows()) == list(
+                original.store.iter_tls_rows()
+            )
+            assert [
+                c.end_entity.fingerprint for c in loaded.store.chains
+            ] == [c.end_entity.fingerprint for c in original.store.chains]
+            assert loaded.store.org_table == original.store.org_table
+            assert loaded.store.dns_table == original.store.dns_table
+            assert loaded.http_records == original.http_records
+
+    def test_aggregates_survive(self, exported):
+        world, directory, snapshots = exported
+        snapshot = snapshots[-1]
+        original = world.scan("rapid7", snapshot)
+        loaded = stream_snapshot(
+            directory / "corpora" / "rapid7" / f"{snapshot.label}.jsonl"
+        )
+        assert loaded.ip_count == original.ip_count
+        assert loaded.unique_certificates() == original.unique_certificates()
+        assert loaded.unique_ips() == original.unique_ips()
+
+    def test_manifest_store_shape_matches_reader(self, exported):
+        world, directory, snapshots = exported
+        manifest = json.loads((directory / "manifest.json").read_text())
+        shapes = manifest["store"]["rapid7"]
+        assert set(shapes) == {s.label for s in snapshots}
+        for snapshot in snapshots:
+            loaded = stream_snapshot(
+                directory / "corpora" / "rapid7" / f"{snapshot.label}.jsonl"
+            )
+            stats = loaded.store.stats()
+            assert shapes[snapshot.label] == {
+                "tls_rows": stats.tls_rows,
+                "http_rows": stats.http_rows,
+                "unique_chains": stats.unique_chains,
+            }
+
+    def test_file_dataset_reads_via_streaming(self, exported):
+        world, directory, snapshots = exported
+        dataset = FileDataset(directory)
+        snapshot = snapshots[-1]
+        loaded = dataset.scan("rapid7", snapshot)
+        original = world.scan("rapid7", snapshot)
+        assert list(loaded.store.iter_tls_rows()) == list(
+            original.store.iter_tls_rows()
+        )
+
+
+class TestStreamingErrors:
+    def test_tls_row_before_its_chain_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        lines = [
+            {"type": "meta", "scanner": "x", "snapshot": "2019-10"},
+            {"type": "tls", "ip": 1, "chain": "never-interned"},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        with pytest.raises(ValueError, match="unknown chain"):
+            stream_snapshot(path)
+
+    def test_rows_before_meta_are_rejected(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text(json.dumps({"type": "tls", "ip": 1, "chain": "fp"}) + "\n")
+        with pytest.raises(ValueError, match="before meta"):
+            stream_snapshot(path)
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty corpus"):
+            stream_snapshot(path)
