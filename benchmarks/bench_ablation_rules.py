@@ -11,7 +11,7 @@ Each switch the pipeline exposes is turned off to quantify what it buys:
 from benchmarks.conftest import write_output
 from repro.analysis import render_table
 from repro.bgp import IPToASMap
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.hypergiants.profiles import TOP4
 
 
@@ -24,7 +24,7 @@ def _footprint_union(result, snapshot, metric):
 
 def test_ablation_dnsname_rule(world, rapid7, benchmark):
     end = rapid7.snapshots[-1]
-    loose_pipeline = OffnetPipeline.for_world(world, require_all_dnsnames=False)
+    loose_pipeline = OffnetPipeline(world, PipelineOptions(require_all_dnsnames=False))
     loose = benchmark.pedantic(
         loose_pipeline.run, kwargs={"snapshots": (end,)}, rounds=1, iterations=1
     )
@@ -80,7 +80,7 @@ def test_ablation_header_confirmation(world, rapid7, benchmark):
 
 def test_ablation_certificate_validation(world, rapid7, benchmark):
     end = rapid7.snapshots[-1]
-    unvalidated_pipeline = OffnetPipeline.for_world(world, validate_certificates=False)
+    unvalidated_pipeline = OffnetPipeline(world, PipelineOptions(validate_certificates=False))
     unvalidated = benchmark.pedantic(
         unvalidated_pipeline.run, kwargs={"snapshots": (end,)}, rounds=1, iterations=1
     )

@@ -37,7 +37,7 @@ def _facebook_counts(strategies):
         evasion_strategies=strategies,
     )
     world = build_world(config=config)
-    result = OffnetPipeline.for_world(world).run(snapshots=(END,))
+    result = OffnetPipeline(world).run(snapshots=(END,))
     return (
         result.as_count("facebook", END, "candidates"),
         result.as_count("facebook", END, "confirmed"),

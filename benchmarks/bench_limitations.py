@@ -7,7 +7,7 @@ operators and measures how much footprint the pipeline loses per HG.
 
 from benchmarks.conftest import BENCH_SEED, write_output
 from repro.analysis import render_table
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.scan.server import ServerKind
 from repro.timeline import STUDY_SNAPSHOTS
 from repro.world import WorldConfig, build_world
@@ -20,8 +20,8 @@ def test_ipv6_blind_spot(benchmark):
         world = build_world(
             config=WorldConfig(seed=BENCH_SEED, scale=0.03, ipv6_only_fraction=0.4)
         )
-        result = OffnetPipeline.for_world(world).run(snapshots=(END,))
-        dual = OffnetPipeline.for_world(world, include_ipv6=True).run(snapshots=(END,))
+        result = OffnetPipeline(world).run(snapshots=(END,))
+        dual = OffnetPipeline(world, PipelineOptions(include_ipv6=True)).run(snapshots=(END,))
         rows = []
         for hypergiant in ("google", "facebook", "netflix", "akamai"):
             truth = world.true_offnet_ases(hypergiant, END)

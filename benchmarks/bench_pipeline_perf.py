@@ -8,14 +8,16 @@ headline numbers: serial-vs-parallel wall-clock speedup (``jobs=4`` vs
 ``jobs=1``, outputs asserted identical) and the §4.1 cross-snapshot
 validation-cache hit rate.
 
-The longitudinal bench emits its measurements as **run reports**
-(schema ``repro.run-report/1``, see :mod:`repro.obs.report`) to
-``benchmarks/output/perf_run_report_{serial,parallel}.json`` — the same
+The longitudinal benches emit their measurements as **run reports**
+(schema ``repro.run-report/1``, see :mod:`repro.obs.report`) — the same
 artifact ``python -m repro run --report`` writes and
-``tools/check_report.py`` diffs, so a saved bench report doubles as a
-regression baseline for the CI gate.
+``tools/check_report.py`` diffs.  Full reports run to ~25k lines each, so
+they land in ``benchmarks/output/raw/`` (gitignored); what gets tracked
+is a small headline summary per bench (``perf_*_summary.json``) distilled
+by :func:`summarize_report`.
 """
 
+import json
 import os
 import time
 
@@ -24,12 +26,66 @@ from repro.bgp import IPToASMap
 from repro.core import (
     CertificateValidator,
     OffnetPipeline,
+    PipelineOptions,
     find_candidates,
     learn_tls_fingerprint,
 )
-from repro.obs.report import validate_report, write_report
+from repro.obs.report import deterministic_view, validate_report, write_report
 from repro.world import build_world
 from tools.check_report import compare_reports
+
+#: Bulky raw run reports (untracked); summaries stay in OUTPUT_DIR proper.
+RAW_DIR = OUTPUT_DIR / "raw"
+
+
+def summarize_report(report: dict) -> dict:
+    """Distill a full run report into the tracked headline numbers.
+
+    Keeps the regression-relevant shape — snapshot count, store dedup
+    ratios, per-stage seconds, validation- and stage-cache hit rates —
+    while dropping the per-snapshot funnel that makes full reports ~25k
+    lines.  The full report still exists under ``benchmarks/output/raw/``
+    for anyone who needs the detail.
+    """
+    store = report.get("store", {})
+    cache = report.get("cache", {})
+    stage_cache = report.get("stage_cache", {})
+    return {
+        "schema": report.get("schema"),
+        "corpus": report.get("corpus"),
+        "snapshot_count": len(report.get("snapshots", [])),
+        "stages_seconds": {
+            stage: round(entry["seconds"], 3)
+            for stage, entry in sorted(report.get("stages", {}).items())
+        },
+        "store": {
+            "tls_rows": store.get("tls_rows", 0),
+            "unique_chains": store.get("unique_chains", 0),
+            "unique_chain_ratio": round(store.get("unique_chain_ratio", 0.0), 4),
+            "validation_work": store.get("validation_work", {}),
+            "match_work": store.get("match_work", {}),
+        },
+        "validation_cache_hit_rate": round(cache.get("hit_rate", 0.0), 4),
+        "stage_cache": {
+            "hits": stage_cache.get("hits", 0),
+            "misses": stage_cache.get("misses", 0),
+            "hit_rate": round(stage_cache.get("hit_rate", 0.0), 4),
+            "stages": stage_cache.get("stages", {}),
+        },
+    }
+
+
+def write_summary(name: str, summary: dict) -> None:
+    """Write a tracked summary JSON next to the bench's text output."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def write_raw_report(report: dict, name: str) -> None:
+    """Park a full (bulky, untracked) run report under ``output/raw/``."""
+    RAW_DIR.mkdir(parents=True, exist_ok=True)
+    write_report(report, RAW_DIR / name)
 
 
 def _prepared(world):
@@ -85,7 +141,7 @@ def test_ip2as_build_throughput(world, benchmark):
 def test_full_snapshot_throughput(world, benchmark):
     """One complete pipeline snapshot, end to end."""
     end = world.snapshots[-1]
-    pipeline = OffnetPipeline.for_world(world)
+    pipeline = OffnetPipeline(world)
     pipeline.header_rules()  # learn once outside the timed region
 
     result = benchmark.pedantic(
@@ -106,7 +162,7 @@ def test_store_dedup_accounting(world):
     validate-stage wall-clock, the unique-chain ratio, and the §4.1
     verifications the per-unique-chain broadcast saved — straight from
     the run report's ``store`` section."""
-    pipeline = OffnetPipeline.for_world(world)
+    pipeline = OffnetPipeline(world)
     pipeline.header_rules()
     result = pipeline.run()
     report = result.report()
@@ -131,7 +187,8 @@ def test_store_dedup_accounting(world):
         f"§4.3 subset tests: {store['match_work']['subset_tests_computed']} computed, "
         f"{store['match_work']['subset_tests_reused']} reused",
     )
-    write_report(report, OUTPUT_DIR / "perf_store_dedup_report.json")
+    write_raw_report(report, "perf_store_dedup_report.json")
+    write_summary("perf_store_dedup_summary", summarize_report(report))
 
 
 def _timed_run(jobs: int):
@@ -141,7 +198,7 @@ def _timed_run(jobs: int):
     inherit the other's warm scan/ip2as caches.
     """
     world = build_world(seed=7, scale=0.02)
-    pipeline = OffnetPipeline.for_world(world, jobs=jobs)
+    pipeline = OffnetPipeline(world, PipelineOptions(jobs=jobs))
     pipeline.header_rules()  # §4.4 learning happens once, outside the timed region
     start = time.perf_counter()
     result = pipeline.run()
@@ -159,13 +216,13 @@ def test_parallel_speedup_and_cache():
     # Emit both measurements in the run-report schema — the artifact the
     # CI bench gate diffs — and hold them to the same bar here: valid
     # schema, and zero funnel drift between executors.
-    OUTPUT_DIR.mkdir(exist_ok=True)
     serial_report = serial.report()
     parallel_report = parallel.report()
     assert validate_report(serial_report) == []
     assert validate_report(parallel_report) == []
-    write_report(serial_report, OUTPUT_DIR / "perf_run_report_serial.json")
-    write_report(parallel_report, OUTPUT_DIR / "perf_run_report_parallel.json")
+    write_raw_report(serial_report, "perf_run_report_serial.json")
+    write_raw_report(parallel_report, "perf_run_report_parallel.json")
+    write_summary("perf_run_report_summary", summarize_report(serial_report))
     problems = compare_reports(serial_report, parallel_report)
     assert not problems, f"run reports diverged across executors: {problems}"
 
@@ -184,10 +241,65 @@ def test_parallel_speedup_and_cache():
         f"{cache.static_misses + cache.window_misses} misses "
         f"({cache.hit_rate:.1%} hit rate)\n"
         f"serial stage totals: {stage_report}\n"
-        "run reports: perf_run_report_serial.json / perf_run_report_parallel.json",
+        "raw run reports: output/raw/perf_run_report_{serial,parallel}.json",
     )
     assert cache.hit_rate > 0.5, "cross-snapshot cert reuse should dominate"
     if cores >= 2:
         # The acceptance bar. On a single-core host a process pool cannot
         # beat serial wall-clock, so the bar only applies with real cores.
         assert speedup >= 1.5, f"jobs=4 speedup {speedup:.2f}x < 1.5x on {cores} cores"
+
+
+def test_warm_cache_speedup(tmp_path):
+    """The stage-artifact cache's headline number: re-running the full
+    pipeline against a populated ``--cache-dir`` replays the cached
+    terminal artifacts instead of recomputing §4, with the warm report's
+    ``stage_cache`` section recording the per-stage hit/miss traffic and
+    the deterministic view byte-identical to the cold run's."""
+    world = build_world(seed=7, scale=0.02)
+    cache_dir = str(tmp_path / "stage-cache")
+
+    cold_pipeline = OffnetPipeline(world, PipelineOptions(cache_dir=cache_dir))
+    cold_pipeline.header_rules()
+    start = time.perf_counter()
+    cold = cold_pipeline.run()
+    cold_seconds = time.perf_counter() - start
+
+    # A fresh pipeline instance: its in-memory tier starts empty, so every
+    # hit below comes off the on-disk cache — the --resume path.
+    warm_pipeline = OffnetPipeline(world, PipelineOptions(cache_dir=cache_dir))
+    warm_pipeline.header_rules()
+    start = time.perf_counter()
+    warm = warm_pipeline.run()
+    warm_seconds = time.perf_counter() - start
+
+    cold_report, warm_report = cold.report(), warm.report()
+    assert deterministic_view(cold_report) == deterministic_view(warm_report)
+
+    stage_cache = warm_report["stage_cache"]
+    assert stage_cache["hits"] > 0, "warm run reused no stage artifacts"
+    assert stage_cache["misses"] == 0, "warm run should be fully cached"
+    assert stage_cache["hit_rate"] == 1.0
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+
+    write_raw_report(warm_report, "perf_warm_cache_report.json")
+    summary = summarize_report(warm_report)
+    summary["cold_seconds"] = round(cold_seconds, 3)
+    summary["warm_seconds"] = round(warm_seconds, 3)
+    summary["warm_speedup"] = round(speedup, 2)
+    write_summary("perf_warm_cache_summary", summary)
+
+    per_stage = ", ".join(
+        f"{stage} {events.get('hit', 0)}h/{events.get('miss', 0)}m"
+        for stage, events in sorted(stage_cache["stages"].items())
+    )
+    write_output(
+        "perf_warm_cache",
+        f"stage-artifact cache over {len(warm.snapshots)} snapshots: "
+        f"cold {cold_seconds:.2f}s vs warm {warm_seconds:.2f}s "
+        f"→ {speedup:.1f}x; outputs bit-identical\n"
+        f"warm stage cache: {stage_cache['hits']} hits / "
+        f"{stage_cache['misses']} misses (hit rate {stage_cache['hit_rate']:.0%})\n"
+        f"per stage: {per_stage}",
+    )
+    assert speedup > 2.0, f"warm re-run only {speedup:.2f}x faster than cold"

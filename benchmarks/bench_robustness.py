@@ -35,7 +35,7 @@ def test_shape_robustness(benchmark):
         rows.clear()
         for label, config in _VARIANTS:
             world = build_world(config=config)
-            result = OffnetPipeline.for_world(world).run()
+            result = OffnetPipeline(world).run()
             counts = {
                 hg: len(result.effective_footprint(hg, END)) for hg in TOP4
             }

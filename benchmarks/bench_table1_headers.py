@@ -12,7 +12,7 @@ from repro.hypergiants.profiles import HEADER_RULES
 
 
 def test_table1_learned_headers(world, benchmark):
-    pipeline = OffnetPipeline.for_world(world)
+    pipeline = OffnetPipeline(world)
     learned = benchmark(pipeline.header_rules)
 
     rows = []

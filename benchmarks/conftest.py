@@ -14,7 +14,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.timeline import Snapshot
 from repro.world import WorldConfig, build_world
 
@@ -46,7 +46,7 @@ def bench_world():
 def rapid7_result():
     result = _cache.get("rapid7")
     if result is None:
-        result = OffnetPipeline.for_world(bench_world()).run()
+        result = OffnetPipeline(bench_world()).run()
         _cache["rapid7"] = result
     return result
 
@@ -54,7 +54,7 @@ def rapid7_result():
 def censys_result():
     result = _cache.get("censys")
     if result is None:
-        result = OffnetPipeline.for_world(bench_world(), corpus="censys").run()
+        result = OffnetPipeline(bench_world(), PipelineOptions(corpus="censys")).run()
         _cache["censys"] = result
     return result
 
@@ -62,7 +62,7 @@ def censys_result():
 def certigo_result():
     result = _cache.get("certigo")
     if result is None:
-        result = OffnetPipeline.for_world(bench_world(), corpus="certigo").run(
+        result = OffnetPipeline(bench_world(), PipelineOptions(corpus="certigo")).run(
             snapshots=(NOV_2019,)
         )
         _cache["certigo"] = result

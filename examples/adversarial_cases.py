@@ -60,7 +60,7 @@ def main() -> None:
           f"(includes {sum(1 for c in strict if c.ip in fake_ips)} forged)")
 
     # --- Cloudflare customers -----------------------------------------------------
-    pipeline = OffnetPipeline.for_world(world)
+    pipeline = OffnetPipeline(world)
     result = pipeline.run()  # full timeline: the Netflix restoration needs history
     footprint = result.at(end)
     cf_raw = footprint.confirmed_ases.get("cloudflare", frozenset())

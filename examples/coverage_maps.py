@@ -29,7 +29,7 @@ def bar(value: float, width: int = 25) -> str:
 
 def main() -> None:
     world = build_world(seed=7, scale=0.015)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline(world).run()
     end = result.snapshots[-1]
 
     # --- Figure 7: per-country coverage for Google ---------------------------

@@ -26,7 +26,7 @@ def main() -> None:
     out.mkdir(parents=True, exist_ok=True)
 
     world = build_world(seed=7, scale=0.015)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline(world).run()
     end = result.snapshots[-1]
 
     sections: list[str] = ["# Off-net reproduction report\n"]

@@ -25,7 +25,7 @@ from repro.topology.geography import Continent
 
 def main() -> None:
     world = build_world(seed=7, scale=0.015)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline(world).run()
     labels = [s.label for s in result.snapshots]
     end = result.snapshots[-1]
 

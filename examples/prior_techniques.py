@@ -24,7 +24,7 @@ from repro.timeline import Snapshot
 
 def main() -> None:
     world = build_world(seed=7, scale=0.015)
-    result = OffnetPipeline.for_world(world).run()
+    result = OffnetPipeline(world).run()
     end = result.snapshots[-1]
 
     rows = []

@@ -28,7 +28,7 @@ def main() -> None:
 
     # The paper's methodology, end to end (§4.1-§4.5 + §6.2/§7 refinements).
     print("running the off-net pipeline over the Rapid7 corpus ...")
-    pipeline = OffnetPipeline.for_world(world)
+    pipeline = OffnetPipeline(world)
     result = pipeline.run()
 
     # Table 3: per-HG footprints at the start, maximum, and end.

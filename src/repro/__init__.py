@@ -17,7 +17,7 @@ Quickstart::
     from repro import build_world, OffnetPipeline
 
     world = build_world(seed=7, scale=0.05)
-    pipeline = OffnetPipeline.for_world(world)
+    pipeline = OffnetPipeline(world)
     result = pipeline.run(world.corpus("rapid7"))
     print(result.footprint("google").as_count(world.snapshots[-1]))
 """

@@ -26,6 +26,17 @@ Global options are accepted before *or* after the subcommand:
 ``run`` additionally takes ``--header-learning-snapshot YYYY-MM`` (§4.4):
 by default the paper's September 2020 corpus is used, falling back to a
 file dataset's last covered snapshot when 2020-10 was not exported.
+
+The per-snapshot phase is a cached stage graph (:mod:`repro.core.stages`);
+``run`` exposes it directly:
+
+* ``--cache-dir DIR`` — persist stage artifacts on disk; a second run
+  reuses every artifact whose inputs, options, and stage code are
+  unchanged (an ablation flip recomputes only the invalidated suffix);
+* ``--resume`` — report which artifacts an interrupted run left behind in
+  ``--cache-dir``, then complete the run from them;
+* ``--stages a,b`` — force only the named stages (plus dependencies), e.g.
+  to warm a cache or debug a subgraph; ``--stages list`` prints the graph.
 """
 
 from __future__ import annotations
@@ -106,6 +117,28 @@ def _add_run_arguments(parser: argparse.ArgumentParser, dir_required: bool) -> N
         "counts, cache stats, executor metadata); identical funnel for "
         "any --jobs value — tools/check_report.py diffs two reports",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist stage artifacts under DIR (content-addressed; a "
+        "re-run reuses every artifact whose inputs and options are "
+        "unchanged; output is identical with or without a cache)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="report what an interrupted run left in --cache-dir, then "
+        "complete the run from those artifacts (requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--stages",
+        default=None,
+        metavar="A,B|list",
+        help="force only the named pipeline stages (plus dependencies) "
+        "instead of a full run — warms a cache or debugs a subgraph; "
+        "'list' prints the stage graph and exits",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,7 +204,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     """One code path for `run` and `run-files`: build a DataSource (world
     or file dataset), pick the §4.4 learning snapshot, run, print Table 3."""
     directory = getattr(args, "dir", None)
-    overrides: dict = {"jobs": args.jobs}
+    if args.resume and not args.cache_dir:
+        print("--resume needs --cache-dir (there is nothing to resume from)")
+        return 2
+    overrides: dict = {"jobs": args.jobs, "cache_dir": args.cache_dir}
     if directory:
         from repro.datasets import FileDataset
 
@@ -198,7 +234,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     options = PipelineOptions(
         corpus=corpus, header_learning_snapshot=learning, **overrides
     )
-    result = OffnetPipeline(source, options).run()
+    pipeline = OffnetPipeline(source, options)
+    if args.stages:
+        return _run_stages_only(pipeline, args.stages)
+    if args.resume:
+        _print_resume_probe(pipeline)
+    result = pipeline.run()
     rows = build_table3(result)
     first, last = result.snapshots[0], result.snapshots[-1]
     print(
@@ -221,9 +262,75 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stages_only(pipeline: OffnetPipeline, spec: str) -> int:
+    """``--stages``: print the graph (``list``) or force a subgraph."""
+    if spec.strip().lower() == "list":
+        rows = [
+            (
+                stage["name"],
+                ",".join(stage["deps"]) or "-",
+                ",".join(stage["options"]) or "-",
+                ("heavy" if stage["heavy"] else "light")
+                if stage["cacheable"]
+                else "uncached",
+                stage["produces"],
+            )
+            for stage in pipeline.describe_stages()
+        ]
+        print(
+            render_table(
+                ["stage", "deps", "options", "artifact", "produces"],
+                rows,
+                title="Per-snapshot stage graph",
+            )
+        )
+        return 0
+    targets = tuple(name.strip() for name in spec.split(",") if name.strip())
+    try:
+        metrics = pipeline.run_stages(targets)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    events = metrics.counters_by_label("stage_cache_events", "event")
+    timings = {
+        stage: histogram.total
+        for stage, histogram in metrics.histograms_by_label(
+            "stage_seconds", "stage"
+        ).items()
+    }
+    print(
+        f"forced stages {', '.join(targets)} over "
+        f"{len(pipeline.select_snapshots())} snapshots: "
+        f"{events.get('hit', 0)} cache hits, {events.get('miss', 0)} misses, "
+        f"{sum(timings.values()):.2f}s stage time"
+    )
+    return 0
+
+
+def _print_resume_probe(pipeline: OffnetPipeline) -> None:
+    """``--resume``: say what the cache already holds before running."""
+    probe = pipeline.probe_cache()
+    total = len(probe)
+    complete = sum(
+        1
+        for stages in probe.values()
+        if all(stages[name] for name in ("ingest", "vstats", "onnet",
+                                         "candidates", "confirm", "netflix"))
+    )
+    partial = sum(
+        1
+        for stages in probe.values()
+        if any(stages.values()) and stages not in ({},)
+    ) - complete
+    print(
+        f"resume: {complete}/{total} snapshots fully cached, "
+        f"{max(partial, 0)} partially; recomputing the rest"
+    )
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     world = _world(args)
-    result = OffnetPipeline.for_world(world, jobs=args.jobs).run()
+    result = OffnetPipeline(world, PipelineOptions(jobs=args.jobs)).run()
     end = result.snapshots[-1]
     rows = []
     for hypergiant in TOP4:
@@ -250,7 +357,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     world = _world(args)
-    result = OffnetPipeline.for_world(world, jobs=args.jobs).run()
+    result = OffnetPipeline(world, PipelineOptions(jobs=args.jobs)).run()
     end = result.snapshots[-1]
     per_country = country_coverage(result, world.topology, args.hypergiant, end)
     rows = sorted(per_country.items(), key=lambda kv: -kv[1])
@@ -271,7 +378,7 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 def _cmd_growth(args: argparse.Namespace) -> int:
     world = _world(args)
-    result = OffnetPipeline.for_world(world, jobs=args.jobs).run()
+    result = OffnetPipeline(world, PipelineOptions(jobs=args.jobs)).run()
     if args.hypergiant == "netflix":
         envelope = restore_netflix(result)
         rows = [

@@ -19,6 +19,9 @@ footprints.
 * :mod:`repro.core.pipeline` — the longitudinal orchestration producing
   every number the evaluation section reports, split into a pure
   per-snapshot phase and an ordered cross-snapshot merge.
+* :mod:`repro.core.stages` — the per-snapshot phase itself as a typed
+  stage graph with content-addressed, cacheable artifacts (the
+  ``--cache-dir``/``--resume``/``--stages`` machinery).
 * :mod:`repro.core.executor` — snapshot execution strategies: serial, or a
   fork-based process pool (``PipelineOptions(jobs=N)``) with bit-identical
   output.
@@ -43,6 +46,15 @@ from repro.core.footprint import FootprintSnapshot, PipelineResult, SnapshotOutc
 from repro.core.header_fingerprint import learn_header_fingerprints
 from repro.core.netflix import NetflixEnvelope, restore_netflix
 from repro.core.pipeline import OffnetPipeline, PipelineOptions
+from repro.core.stages import (
+    DiskCache,
+    MemoryCache,
+    NullCache,
+    Stage,
+    StageGraph,
+    TieredCache,
+    build_offnet_graph,
+)
 from repro.core.tls_fingerprint import TLSFingerprint, learn_tls_fingerprint
 from repro.core.validation import (
     CertificateValidator,
@@ -72,4 +84,11 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "Stage",
+    "StageGraph",
+    "build_offnet_graph",
+    "MemoryCache",
+    "DiskCache",
+    "TieredCache",
+    "NullCache",
 ]

@@ -21,6 +21,15 @@ objects — a property the test suite asserts.
 ``fork`` keeps the synthetic world out of pickle entirely; on platforms
 without it (or for single-snapshot runs) :class:`ParallelExecutor` falls
 back to serial execution rather than failing.
+
+Stage-cache artifacts cross the fork boundary in both directions: workers
+inherit the parent's warm in-memory cache copy-on-write at fork time, and
+each worker ships the *light* artifacts it computed home alongside its
+outcome, where the parent seeds them into its own cache
+(:meth:`~repro.core.pipeline.OffnetPipeline.seed_artifacts`).  Heavy
+per-row artifacts never ride the pickle channel — workers of a shared
+``--cache-dir`` run exchange those through the atomic on-disk tier
+instead.
 """
 
 from __future__ import annotations
@@ -48,10 +57,15 @@ __all__ = [
 _worker_pipeline: "OffnetPipeline | None" = None
 
 
-def _run_snapshot_job(snapshot: Snapshot) -> SnapshotOutcome:
-    """Module-level worker entry point (must be picklable by reference)."""
+def _run_snapshot_job(snapshot: Snapshot) -> tuple[SnapshotOutcome, list]:
+    """Module-level worker entry point (must be picklable by reference).
+
+    Returns the outcome plus the light stage artifacts this worker
+    computed, so the parent can seed its cache with them — cache hits
+    ship across the fork boundary instead of dying with the worker.
+    """
     assert _worker_pipeline is not None, "worker forked without a pipeline"
-    return _worker_pipeline.run_snapshot(snapshot)
+    return _worker_pipeline._run_snapshot_shipping(snapshot)
 
 
 class SnapshotExecutor:
@@ -121,7 +135,14 @@ class ParallelExecutor(SnapshotExecutor):
             workers = min(self.jobs, len(snapshots))
             self.last_workers, self.last_fallback = workers, False
             with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                return list(pool.map(_run_snapshot_job, snapshots))
+                outcomes: list[SnapshotOutcome] = []
+                for outcome, shipped in pool.map(_run_snapshot_job, snapshots):
+                    # Adopt the worker's light artifacts: a later run in
+                    # this process (an ablation flip, a warm re-run) hits
+                    # them instead of recomputing.
+                    pipeline.seed_artifacts(shipped)
+                    outcomes.append(outcome)
+                return outcomes
         finally:
             _worker_pipeline = None
 

@@ -25,32 +25,50 @@ via :class:`~repro.core.executor.ParallelExecutor`; because the merge is an
 explicit ordered reduction, parallel results are bit-identical to serial
 ones — a property the test suite asserts.
 
-The per-HG steps are also available as standalone functions
-(:mod:`repro.core.tls_fingerprint`, :mod:`repro.core.candidates`, ...); the
-pipeline fuses their loops for speed but keeps identical semantics — a
-property the test suite asserts.
+The per-snapshot phase itself is a typed stage graph
+(:mod:`repro.core.stages`): §4's dataflow as declared stages with
+content-addressed artifacts, so re-runs reuse every stage whose inputs,
+option subset and code version are unchanged.  The cache is pluggable —
+in-memory by default, tiered onto disk under ``PipelineOptions.cache_dir``
+(the CLI's ``--cache-dir``), which is also what ``--resume`` reads after an
+interrupted run.  Funnel counters travel inside the cached artifacts, so
+runs are bit-identical with the cache on or off — a property the test
+suite asserts.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.candidates import Candidate
-from repro.core.cloudflare import is_cloudflare_customer_cert
 from repro.core.confirm import confirm_candidates
 from repro.core.executor import SnapshotExecutor, make_executor
 from repro.core.footprint import FootprintSnapshot, PipelineResult, SnapshotOutcome
 from repro.core.header_fingerprint import learn_header_fingerprints
+from repro.core.stages import (
+    TERMINAL_STAGES,
+    ArtifactCache,
+    DiskCache,
+    MemoryCache,
+    StageContext,
+    TieredCache,
+    assemble_outcome,
+    build_offnet_graph,
+    snapshot_fingerprint,
+    source_fingerprint,
+)
 from repro.core.validation import (
     CertificateValidator,
     ValidatedRecord,
     ValidationStats,
+    passthrough_records,
 )
 from repro.datasets.source import DataSource
 from repro.hypergiants.profiles import HEADER_RULES, HYPERGIANTS, HeaderRule
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.timers import Stopwatch, stage_timer
+from repro.obs.timers import Stopwatch
 from repro.scan.records import ScanSnapshot
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
@@ -85,6 +103,11 @@ class PipelineOptions:
     #: a process pool; 0 = auto, one worker per CPU core; output is
     #: identical for every setting).
     jobs: int = 1
+    #: Directory for the on-disk stage-artifact cache (the CLI's
+    #: ``--cache-dir``).  ``None`` keeps artifacts in memory only.  Like
+    #: ``jobs``, this is an execution detail: results are bit-identical
+    #: with any cache configuration.
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -98,7 +121,12 @@ class PipelineOptions:
 class OffnetPipeline:
     """Runs the §4 methodology over a data source's scan corpuses."""
 
-    def __init__(self, source: DataSource, options: PipelineOptions | None = None) -> None:
+    def __init__(
+        self,
+        source: DataSource,
+        options: PipelineOptions | None = None,
+        cache: ArtifactCache | None = None,
+    ) -> None:
         if not isinstance(source, DataSource):
             missing = [
                 name
@@ -128,20 +156,51 @@ class OffnetPipeline:
         # snapshot), not O(every org string ever seen).
         self._org_cache: OrderedDict[str, tuple[str, ...]] = OrderedDict()
         self._header_rules: dict[str, tuple[HeaderRule, ...]] | None = None
+        # The per-snapshot phase as a stage graph with content-addressed
+        # artifacts.  Disk caching needs the source to name its own data
+        # (a stale hit against different data would be silent corruption);
+        # sources without a fingerprint() still get in-process caching
+        # under an object-identity token.
+        self._graph = build_offnet_graph()
+        fingerprint = source_fingerprint(source)
+        self._source_token = fingerprint or f"mem:{id(source):x}"
+        if cache is not None:
+            self._cache: ArtifactCache = cache
+        elif self.options.cache_dir is not None:
+            if fingerprint is None:
+                raise ValueError(
+                    "cache_dir requires a data source with a fingerprint() "
+                    f"({type(source).__name__} cannot name its data across "
+                    "processes, so on-disk artifacts could go stale silently)"
+                )
+            self._cache = TieredCache(MemoryCache(), DiskCache(self.options.cache_dir))
+        else:
+            self._cache = MemoryCache()
 
     # -- public API ------------------------------------------------------------
 
     @property
     def world(self) -> DataSource:
-        """Backwards-compatible alias for :attr:`source` (the constructor
-        predates the :class:`~repro.datasets.DataSource` protocol)."""
+        """Deprecated alias for :attr:`source` (the constructor predates
+        the :class:`~repro.datasets.DataSource` protocol)."""
+        warnings.warn(
+            "OffnetPipeline.world is deprecated; use OffnetPipeline.source",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.source
 
     @classmethod
     def for_world(cls, source: DataSource, **option_overrides) -> "OffnetPipeline":
-        """Convenience constructor: ``OffnetPipeline(source,
-        PipelineOptions(**overrides))``.  Accepts any data source, not just
-        a world — the name survives from the pre-``DataSource`` API."""
+        """Deprecated convenience constructor surviving from the
+        pre-``DataSource`` API; use ``OffnetPipeline(source,
+        PipelineOptions(**overrides))``."""
+        warnings.warn(
+            "OffnetPipeline.for_world is deprecated; use "
+            "OffnetPipeline(source, PipelineOptions(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         options = PipelineOptions(**option_overrides) if option_overrides else None
         return cls(source, options)
 
@@ -156,13 +215,7 @@ class OffnetPipeline:
         The per-snapshot phase is mapped by ``executor`` (default: the one
         ``options.jobs`` selects), then merged in snapshot order.
         """
-        profile = self.source.scanner(self.options.corpus).profile
-        if snapshots is None:
-            snapshots = tuple(
-                s for s in self.source.snapshots if s >= profile.available_since
-            )
-        else:
-            snapshots = tuple(snapshots)
+        snapshots = self.select_snapshots(snapshots)
         if self.options.header_confirmation:
             # Learn the §4.4 rules once in the parent so forked workers
             # inherit them instead of re-learning per process.
@@ -175,6 +228,18 @@ class OffnetPipeline:
         except NotImplementedError:  # a user-supplied bare strategy
             executor_meta = {"kind": type(executor).__name__}
         return self.merge_outcomes(snapshots, outcomes, executor_meta=executor_meta)
+
+    def select_snapshots(
+        self, snapshots: tuple[Snapshot, ...] | None = None
+    ) -> tuple[Snapshot, ...]:
+        """The snapshots a run would cover: the requested ones, or every
+        snapshot the corpus scanner was live for."""
+        if snapshots is not None:
+            return tuple(snapshots)
+        profile = self.source.scanner(self.options.corpus).profile
+        return tuple(
+            s for s in self.source.snapshots if s >= profile.available_since
+        )
 
     def header_rules(self) -> dict[str, tuple[HeaderRule, ...]]:
         """The header fingerprints in force: learned from the learning
@@ -193,7 +258,76 @@ class OffnetPipeline:
         self._header_rules = rules
         return rules
 
+    # -- the stage graph surface ---------------------------------------------------
+
+    def stage_names(self) -> tuple[str, ...]:
+        """Every stage of the per-snapshot graph, in topological order."""
+        return self._graph.order
+
+    def describe_stages(self) -> list[dict]:
+        """One row per stage (name, deps, option subset, artifact notes) —
+        what the CLI's ``--stages list`` prints."""
+        return [
+            {
+                "name": stage.name,
+                "deps": list(stage.deps),
+                "options": list(stage.option_keys),
+                "version": stage.version,
+                "cacheable": stage.cacheable,
+                "heavy": stage.heavy,
+                "produces": stage.produces,
+            }
+            for name in self._graph.order
+            for stage in (self._graph.stages[name],)
+        ]
+
+    def probe_cache(
+        self, snapshots: tuple[Snapshot, ...] | None = None
+    ) -> dict[Snapshot, dict[str, bool]]:
+        """Which stage artifacts are already cached, per snapshot, without
+        executing anything — what ``--resume`` reports before restarting."""
+        return {
+            snapshot: self._graph.probe(
+                self.options, self._snapshot_token(snapshot), self._cache
+            )
+            for snapshot in self.select_snapshots(snapshots)
+        }
+
+    def run_stages(
+        self,
+        targets: tuple[str, ...],
+        snapshots: tuple[Snapshot, ...] | None = None,
+    ) -> MetricsRegistry:
+        """Force only ``targets`` (plus dependencies) per snapshot — the
+        CLI's ``--stages``, for warming a cache or debugging a subgraph —
+        and return the merged metrics (stage timings + cache events)."""
+        if self.options.header_confirmation and (
+            {"confirm", "netflix"} & set(self._graph.closure(targets))
+        ):
+            self.header_rules()
+        merged = MetricsRegistry()
+        for snapshot in self.select_snapshots(snapshots):
+            registry = MetricsRegistry()
+            self._graph.execute(
+                StageContext(pipeline=self, snapshot=snapshot, options=self.options),
+                self._snapshot_token(snapshot),
+                registry,
+                cache=self._cache,
+                targets=targets,
+            )
+            merged.merge(registry)
+        return merged
+
+    def seed_artifacts(self, shipped: list[tuple[str, str, object]]) -> None:
+        """Adopt light artifacts computed elsewhere (a forked worker's
+        homeward shipment) into this process's cache."""
+        for key, _stage, artifact in shipped:
+            self._cache.put(key, artifact)  # type: ignore[arg-type]
+
     # -- internals ---------------------------------------------------------------
+
+    def _snapshot_token(self, snapshot: Snapshot) -> str:
+        return snapshot_fingerprint(self._source_token, self.options.corpus, snapshot)
 
     def _learn_rules(self) -> dict[str, tuple[HeaderRule, ...]] | None:
         options = self.options
@@ -230,23 +364,7 @@ class OffnetPipeline:
         self, scan, registry: MetricsRegistry | None = None
     ) -> tuple[list[ValidatedRecord], ValidationStats]:
         if not self.options.validate_certificates:
-            store = scan.store
-            leaves = [chain.end_entity for chain in store.chains]
-            records = [
-                ValidatedRecord(ip=ip, certificate=leaves[index], chain_index=index)
-                for ip, index in store.iter_tls_rows()
-            ]
-            stats = ValidationStats(
-                total=store.tls_row_count,
-                valid=len(records),
-                expired_only=0,
-                rejected=0,
-            )
-            if registry is not None:
-                registry.counter("validation_records_total", verdict="valid").inc(
-                    len(records)
-                )
-            return records, stats
+            return passthrough_records(scan.store, registry)
         return self._validator.validate_snapshot(
             scan, allow_expired=True, registry=registry
         )
@@ -313,228 +431,35 @@ class OffnetPipeline:
         in any process.  The Netflix restoration inputs ride along for
         :meth:`merge_outcomes`.
 
-        Every stage runs inside a :func:`~repro.obs.timers.stage_timer`
-        span and every funnel step books its counts into a *fresh*
-        per-snapshot :class:`~repro.obs.metrics.MetricsRegistry` that
-        travels home inside the outcome — the unit the merge barrier
-        folds deterministically.
+        The body is the stage graph of :mod:`repro.core.stages.offnet`:
+        the scheduler forces the terminal stages, reusing every cached
+        artifact whose key still matches, and every stage books its spans
+        and funnel counts into a *fresh* per-snapshot
+        :class:`~repro.obs.metrics.MetricsRegistry` that travels home
+        inside the outcome — the unit the merge barrier folds
+        deterministically.  Cache hits replay the counter fragment the
+        original computation recorded, so the funnel is bit-identical
+        whether a stage ran or hit.
         """
-        options = self.options
+        outcome, _ = self._run_snapshot_shipping(snapshot, ship=False)
+        return outcome
+
+    def _run_snapshot_shipping(
+        self, snapshot: Snapshot, ship: bool = True
+    ) -> tuple[SnapshotOutcome, list]:
+        """:meth:`run_snapshot` plus the light artifacts the run computed,
+        for the parallel executor to carry across the fork boundary."""
         registry = MetricsRegistry()
-        label = snapshot.label
-
-        with stage_timer(registry, "scan"):
-            scan, ip2as = self._scan_and_map(snapshot)
-        store = scan.store
-        store_stats = store.stats()
-        registry.counter("funnel_tls_records", snapshot=label).inc(
-            store_stats.tls_rows
+        shipment: list | None = [] if ship else None
+        values = self._graph.execute(
+            StageContext(pipeline=self, snapshot=snapshot, options=self.options),
+            self._snapshot_token(snapshot),
+            registry,
+            cache=self._cache,
+            targets=TERMINAL_STAGES,
+            shipment=shipment,
         )
-        registry.counter("funnel_http_records", snapshot=label).inc(
-            store_stats.http_rows
-        )
-        registry.counter("funnel_unique_certificates", snapshot=label).inc(
-            store_stats.unique_chains
-        )
-        # Columnar-store shape metrics: how much §4's "few certificates,
-        # many IPs" redundancy the intern tables absorbed this snapshot.
-        registry.counter("store_tls_rows", snapshot=label).inc(store_stats.tls_rows)
-        registry.counter("store_unique_chains", snapshot=label).inc(
-            store_stats.unique_chains
-        )
-        for table, entries in (
-            ("org", store_stats.org_entries),
-            ("dns", store_stats.dns_entries),
-            ("header", store_stats.header_entries),
-        ):
-            registry.counter(
-                "store_intern_entries", table=table, snapshot=label
-            ).inc(entries)
-
-        with stage_timer(registry, "validate"):
-            records, stats = self._validated(scan, registry)
-        registry.counter("funnel_valid", snapshot=label).inc(stats.valid)
-        registry.counter("funnel_expired_only", snapshot=label).inc(
-            stats.expired_only
-        )
-        registry.counter("funnel_rejected", snapshot=label).inc(stats.rejected)
-
-        # Single pass over rows, but all per-unique-certificate work — the
-        # org→HG keyword scan and the lowered dNSName tuples — was computed
-        # once per intern-table entry, not once per record.
-        with stage_timer(registry, "match"):
-            org_hgs = self._org_table_hgs(store)
-            chain_hgs: list[tuple[str, ...]] = [
-                org_hgs[org_index] for org_index in store.chain_org
-            ]
-            chain_dns: list[tuple[str, ...]] = [
-                store.dns_table[dns_index] for dns_index in store.chain_dns
-            ]
-            registry.counter("match_org_scans", unit="unique_orgs").inc(
-                len(org_hgs)
-            )
-            registry.counter("match_org_scans", unit="rows").inc(len(records))
-            onnet_ips: dict[str, set[int]] = {k: set() for k in self._keywords}
-            fingerprints: dict[str, set[str]] = {k: set() for k in self._keywords}
-            matching: list[tuple[ValidatedRecord, frozenset[ASN], tuple[str, ...]]] = []
-            for record in records:
-                hgs = chain_hgs[record.chain_index]
-                if not hgs:
-                    continue
-                origins = ip2as.lookup(record.ip)
-                if not origins:
-                    continue
-                matching.append((record, origins, hgs))
-                for keyword in hgs:
-                    registry.counter(
-                        "funnel_org_matched", hg=keyword, snapshot=label
-                    ).inc()
-                if record.expired_only:
-                    continue
-                for keyword in hgs:
-                    if origins & self._hg_ases[keyword]:
-                        onnet_ips[keyword].add(record.ip)
-                        fingerprints[keyword].update(chain_dns[record.chain_index])
-
-        # §4.3 candidates per HG (plus the Netflix expired variant).  The
-        # all-dNSNames-subset test depends only on (unique certificate,
-        # HG), so its result is memoised per (chain_index, keyword) and
-        # every further row presenting the same certificate reuses it.
-        with stage_timer(registry, "candidates"):
-            candidates: dict[str, list[Candidate]] = {k: [] for k in self._keywords}
-            netflix_expired: list[Candidate] = []
-            subset_ok: dict[tuple[int, str], bool] = {}
-            subset_computed = subset_reused = 0
-            for record, origins, hgs in matching:
-                chain_index = record.chain_index
-                for keyword in hgs:
-                    names = fingerprints[keyword]
-                    if not names:
-                        continue
-                    if origins & self._hg_ases[keyword]:
-                        continue
-                    if options.require_all_dnsnames:
-                        key = (chain_index, keyword)
-                        ok = subset_ok.get(key)
-                        if ok is None:
-                            ok = all(n in names for n in chain_dns[chain_index])
-                            subset_ok[key] = ok
-                            subset_computed += 1
-                        else:
-                            subset_reused += 1
-                        if not ok:
-                            continue
-                    candidate = Candidate(
-                        ip=record.ip,
-                        certificate=record.certificate,
-                        ases=origins,
-                        expired_only=record.expired_only,
-                    )
-                    if record.expired_only:
-                        if keyword == "netflix":
-                            netflix_expired.append(candidate)
-                        continue
-                    candidates[keyword].append(candidate)
-            registry.counter("match_subset_tests", event="computed").inc(
-                subset_computed
-            )
-            registry.counter("match_subset_tests", event="reused").inc(subset_reused)
-
-        footprint = FootprintSnapshot(
-            snapshot=snapshot,
-            raw_ip_count=scan.ip_count,
-            raw_certificate_count=scan.unique_certificates(),
-            validation=stats,
-        )
-        footprint.onnet_ips = {k: frozenset(v) for k, v in onnet_ips.items() if v}
-        for keyword, ips in footprint.onnet_ips.items():
-            registry.counter("funnel_onnet_ips", hg=keyword, snapshot=label).inc(
-                len(ips)
-            )
-
-        with stage_timer(registry, "confirm"):
-            rules = self.header_rules() if options.header_confirmation else {}
-            for keyword in self._keywords:
-                found = candidates[keyword]
-                if not found:
-                    continue
-                footprint.candidate_ips[keyword] = frozenset(c.ip for c in found)
-                footprint.candidate_ases[keyword] = _ases_of(found)
-                if options.header_confirmation:
-                    confirmed = confirm_candidates(
-                        keyword, found, scan, rules,
-                        mode="or",
-                        netflix_nginx_rule=options.netflix_nginx_rule,
-                        edge_priority=options.edge_priority,
-                        registry=registry,
-                    )
-                    confirmed_and = confirm_candidates(
-                        keyword, found, scan, rules,
-                        mode="and",
-                        netflix_nginx_rule=options.netflix_nginx_rule,
-                        edge_priority=options.edge_priority,
-                        registry=registry,
-                    )
-                    footprint.confirmed_ips[keyword] = frozenset(
-                        c.candidate.ip for c in confirmed
-                    )
-                    footprint.confirmed_ases[keyword] = _ases_of(
-                        [c.candidate for c in confirmed]
-                    )
-                    footprint.confirmed_and_ases[keyword] = _ases_of(
-                        [c.candidate for c in confirmed_and]
-                    )
-                else:
-                    footprint.confirmed_ips[keyword] = footprint.candidate_ips[keyword]
-                    footprint.confirmed_ases[keyword] = footprint.candidate_ases[keyword]
-                    footprint.confirmed_and_ases[keyword] = footprint.candidate_ases[keyword]
-                registry.counter(
-                    "funnel_candidates", hg=keyword, snapshot=label
-                ).inc(len(footprint.candidate_ips[keyword]))
-                registry.counter(
-                    "funnel_confirmed", hg=keyword, snapshot=label
-                ).inc(len(footprint.confirmed_ips[keyword]))
-
-        # §7: the Cloudflare customer-certificate filter.
-        cloudflare_candidates = candidates.get("cloudflare", [])
-        surviving = [
-            c for c in cloudflare_candidates
-            if not is_cloudflare_customer_cert(c.certificate)
-        ]
-        footprint.cloudflare_filtered_ases = _ases_of(surviving)
-
-        # §6.2: the per-snapshot half of the Netflix restorations.  The
-        # non-TLS restoration needs the cross-snapshot "ever a candidate"
-        # set, so this phase only gathers its inputs: which IPs presented
-        # Netflix certificates now, and which port-80-only IPs could be
-        # restored (with their origin ASes resolved while the snapshot's
-        # ip2as view is at hand).
-        with stage_timer(registry, "netflix"):
-            footprint.netflix_with_expired_ases = self._netflix_with_expired(
-                snapshot, scan, candidates.get("netflix", []), netflix_expired, rules
-            )
-            netflix_seen = frozenset(
-                footprint.candidate_ips.get("netflix", frozenset())
-                | {c.ip for c in netflix_expired}
-            )
-            current_tls_ips = scan.unique_ips()
-            restorable: dict[int, frozenset[ASN]] = {}
-            for record in scan.http_records:
-                if record.port != 80:
-                    continue
-                ip = record.ip
-                if ip in current_tls_ips or ip in restorable:
-                    continue
-                origins = ip2as.lookup(ip)
-                if origins:
-                    restorable[ip] = origins
-
-        return SnapshotOutcome(
-            footprint=footprint,
-            netflix_seen=netflix_seen,
-            restorable=restorable,
-            metrics=registry,
-        )
+        return assemble_outcome(snapshot, values, registry), shipment or []
 
     # -- the ordered cross-snapshot merge ------------------------------------------
 
@@ -585,9 +510,10 @@ class OffnetPipeline:
 
     def _options_meta(self) -> dict:
         """The methodology switches for the run report's ``options``
-        section.  ``jobs`` is deliberately absent: it is an execution
-        detail (reported under ``executor``), and the deterministic view
-        must compare equal across ``jobs`` settings."""
+        section.  ``jobs`` and ``cache_dir`` are deliberately absent: they
+        are execution details (reported under ``executor`` / the cache
+        counters), and the deterministic view must compare equal across
+        ``jobs`` and cache configurations."""
         options = self.options
         return {
             "corpus": options.corpus,

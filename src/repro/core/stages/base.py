@@ -1,0 +1,230 @@
+"""The typed stage graph: declarations, scheduling, artifact caching.
+
+A :class:`Stage` is one step of the §4 dataflow as a small object: a
+declared name, the names of the stages it consumes, the subset of
+``PipelineOptions`` switches it reads, a code-version string, and a pure
+``run()``.  A :class:`StageGraph` owns the edges and the scheduler.
+
+The scheduler is a build system in miniature:
+
+1. every stage's artifact key is derived **top-down from keys alone**
+   (:mod:`repro.core.stages.keys`) — no stage value is needed to know
+   whether a downstream artifact is reusable;
+2. targets are then **forced lazily**: a cached stage loads its value
+   and replays its counter fragment; only a miss materializes its
+   inputs (recursively), runs the stage, and stores the new artifact.
+
+Consequences the tests pin down: a fully warm run never loads the
+corpus at all; flipping one option switch recomputes exactly the
+invalidated suffix of the graph; and because every stage's funnel
+counters travel inside its artifact, a cache hit books bit-identical
+funnel counts to a recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from graphlib import CycleError, TopologicalSorter
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.stages.cache import ArtifactCache, NullCache
+from repro.core.stages.keys import artifact_key, option_subset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import stage_timer
+
+__all__ = ["Stage", "StageContext", "StageGraph", "STAGE_CACHE_EVENTS"]
+
+#: The counter every cache lookup books into the run report:
+#: ``stage_cache_events{stage=..., event=hit|miss|store}``.
+STAGE_CACHE_EVENTS = "stage_cache_events"
+
+
+@dataclass(frozen=True, slots=True)
+class StageContext:
+    """Everything a stage ``run()`` may touch besides its typed inputs.
+
+    ``pipeline`` carries the per-run collaborators (data source, the
+    §4.1 validator with its cross-snapshot verdict caches, the learned
+    §4.4 header rules); ``options`` is the full switch set, but a stage
+    must only read the switches it declared in ``option_keys`` — the
+    cache key covers nothing else.
+    """
+
+    pipeline: Any
+    snapshot: Any
+    options: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One declared step of the per-snapshot dataflow."""
+
+    #: The stage's name — also its label in timings and cache counters.
+    name: str
+    #: Names of upstream stages whose values ``run`` consumes.
+    deps: tuple[str, ...]
+    #: The ``PipelineOptions`` switches this stage reads (its cache key
+    #: covers exactly these, so unrelated flips never invalidate it).
+    option_keys: tuple[str, ...]
+    #: The stage body: ``run(ctx, inputs, counters) -> value``.  Must be
+    #: pure in (inputs, declared options, source data) and must book
+    #: every deterministic counter into ``counters`` — that fragment is
+    #: cached with the value and replayed on hits.
+    run: Callable[[StageContext, Mapping[str, Any], MetricsRegistry], Any]
+    #: Bump when the stage's logic changes — old artifacts die with the
+    #: old version string.
+    version: str = "1"
+    #: Whether the artifact may be cached at all (the corpus-loading
+    #: root stage is not: its value is the live store object).
+    cacheable: bool = True
+    #: Heavy artifacts (per-row payloads) skip the memory tier and are
+    #: never shipped across the fork boundary.
+    heavy: bool = False
+    #: Free-form input/output type notes, surfaced by ``--stages list``.
+    produces: str = ""
+
+
+class StageGraph:
+    """A validated DAG of stages plus the caching scheduler."""
+
+    def __init__(self, stages: Iterable[Stage]) -> None:
+        self.stages: dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self.stages:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            self.stages[stage.name] = stage
+        sorter: TopologicalSorter = TopologicalSorter()
+        for stage in self.stages.values():
+            for dep in stage.deps:
+                if dep not in self.stages:
+                    raise ValueError(
+                        f"stage {stage.name!r} depends on unknown stage {dep!r}"
+                    )
+            sorter.add(stage.name, *stage.deps)
+        try:
+            self.order: tuple[str, ...] = tuple(sorter.static_order())
+        except CycleError as error:
+            raise ValueError(f"stage graph has a cycle: {error.args[1]}") from error
+
+    # -- keying ------------------------------------------------------------
+
+    def keys_for(self, options: Any, snapshot_token: str) -> dict[str, str]:
+        """Every stage's artifact key, derived without running anything."""
+        keys: dict[str, str] = {}
+        for name in self.order:
+            stage = self.stages[name]
+            keys[name] = artifact_key(
+                stage.name,
+                stage.version,
+                option_subset(options, stage.option_keys),
+                {dep: keys[dep] for dep in stage.deps},
+                snapshot_token,
+            )
+        return keys
+
+    def closure(self, targets: Iterable[str]) -> tuple[str, ...]:
+        """``targets`` plus every transitive dependency, in topo order."""
+        wanted: set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            name = frontier.pop()
+            if name in wanted:
+                continue
+            if name not in self.stages:
+                raise KeyError(
+                    f"unknown stage {name!r}; stages: {', '.join(self.order)}"
+                )
+            wanted.add(name)
+            frontier.extend(self.stages[name].deps)
+        return tuple(name for name in self.order if name in wanted)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        ctx: StageContext,
+        snapshot_token: str,
+        registry: MetricsRegistry,
+        cache: ArtifactCache | None = None,
+        targets: Iterable[str] | None = None,
+        shipment: list[tuple[str, str, Any]] | None = None,
+    ) -> dict[str, Any]:
+        """Force ``targets`` (default: every stage), returning the stage
+        values the run touched.
+
+        A cached stage is a *hit*: its value loads, its counter fragment
+        merges into ``registry``, and its inputs are never materialized.
+        A miss forces its inputs first, runs the stage inside a
+        :func:`~repro.obs.timers.stage_timer` span with a fresh counter
+        fragment, merges + stores the fragment alongside the value, and
+        appends light artifacts to ``shipment`` (the parallel executor's
+        homeward channel).  Cache traffic books into
+        ``stage_cache_events{stage=, event=hit|miss|store}``.
+        """
+        cache = cache if cache is not None else NullCache()
+        keys = self.keys_for(ctx.options, snapshot_token)
+        # Force the *targets* only — their dependencies materialize
+        # recursively, and only behind a cache miss.  (closure() still
+        # runs first so an unknown target fails fast by name.)
+        if targets is not None:
+            self.closure(targets)
+            wanted: tuple[str, ...] = tuple(
+                name for name in self.order if name in set(targets)
+            )
+        else:
+            wanted = self.order
+        values: dict[str, Any] = {}
+
+        def force(name: str) -> Any:
+            if name in values:
+                return values[name]
+            stage = self.stages[name]
+            with stage_timer(registry, stage.name):
+                if stage.cacheable:
+                    artifact = cache.get(keys[name], heavy=stage.heavy)
+                    if artifact is not None:
+                        value, fragment = artifact
+                        registry.merge(MetricsRegistry.from_dict(fragment))
+                        registry.counter(
+                            STAGE_CACHE_EVENTS, stage=stage.name, event="hit"
+                        ).inc()
+                        values[name] = value
+                        return value
+                    registry.counter(
+                        STAGE_CACHE_EVENTS, stage=stage.name, event="miss"
+                    ).inc()
+                inputs = {dep: force(dep) for dep in stage.deps}
+                counters = MetricsRegistry()
+                value = stage.run(ctx, inputs, counters)
+                registry.merge(counters)
+            if stage.cacheable:
+                artifact = (value, counters.to_dict())
+                cache.put(keys[name], artifact, heavy=stage.heavy)
+                registry.counter(
+                    STAGE_CACHE_EVENTS, stage=stage.name, event="store"
+                ).inc()
+                if shipment is not None and not stage.heavy:
+                    shipment.append((keys[name], stage.name, artifact))
+            values[name] = value
+            return value
+
+        for name in wanted:
+            force(name)
+        return values
+
+    def probe(
+        self, options: Any, snapshot_token: str, cache: ArtifactCache
+    ) -> dict[str, bool]:
+        """Which stages already have a cached artifact (no execution) —
+        what ``--resume`` reports before restarting an interrupted run."""
+        keys = self.keys_for(options, snapshot_token)
+        report: dict[str, bool] = {}
+        for name in self.order:
+            stage = self.stages[name]
+            if not stage.cacheable:
+                report[name] = False
+            elif hasattr(cache, "__contains__"):
+                report[name] = keys[name] in cache
+            else:
+                report[name] = cache.get(keys[name], heavy=stage.heavy) is not None
+        return report

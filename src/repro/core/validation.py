@@ -45,6 +45,7 @@ __all__ = [
     "ValidationStats",
     "ValidationCacheStats",
     "CertificateValidator",
+    "passthrough_records",
 ]
 
 
@@ -113,6 +114,30 @@ class ValidationCacheStats:
         hits = self.static_hits + self.window_hits
         total = hits + self.static_misses + self.window_misses
         return hits / total if total else 0.0
+
+
+def passthrough_records(
+    store, registry: MetricsRegistry | None = None
+) -> tuple[list[ValidatedRecord], ValidationStats]:
+    """The §4.1-off ablation: admit every TLS row as-is (expired,
+    self-signed and untrusted chains included), with the same record and
+    stats shapes a real validation pass produces."""
+    leaves = [chain.end_entity for chain in store.chains]
+    records = [
+        ValidatedRecord(ip=ip, certificate=leaves[index], chain_index=index)
+        for ip, index in store.iter_tls_rows()
+    ]
+    stats = ValidationStats(
+        total=store.tls_row_count,
+        valid=len(records),
+        expired_only=0,
+        rejected=0,
+    )
+    if registry is not None:
+        registry.counter("validation_records_total", verdict="valid").inc(
+            len(records)
+        )
+    return records, stats
 
 
 class CertificateValidator:

@@ -21,6 +21,7 @@ loading never materializes per-row record objects.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -85,6 +86,15 @@ class FileDataset:
         self.root_store = self._load_anchors()
         self._scan_cache: OrderedDict[tuple[str, Snapshot], ScanSnapshot] = OrderedDict()
         self._ip2as_cache: dict[Snapshot, IPToASMap] = {}
+
+    def fingerprint(self) -> str:
+        """A stable identity for this dataset's data, for the stage-artifact
+        cache (:mod:`repro.core.stages.keys`): the manifest names every
+        corpus file the dataset can serve, so its canonical JSON hash
+        changes whenever the dataset's contents do."""
+        document = json.dumps(self.manifest, sort_keys=True)
+        digest = hashlib.sha256(document.encode("utf-8")).hexdigest()
+        return f"dataset:{digest}"
 
     # -- loading ----------------------------------------------------------
 

@@ -66,6 +66,14 @@ class DataSource(Protocol):
     * ``scanner(name)`` — corpus availability metadata;
     * ``root_store`` — the WebPKI trust anchors for §4.1 validation;
     * ``topology.organizations`` — the Appendix A.2 org dataset.
+
+    Sources may additionally implement ``fingerprint() -> str`` — a
+    stable, process-independent identity for their data (``World`` hashes
+    its config, ``FileDataset`` its manifest).  It is deliberately *not*
+    part of the required protocol: the pipeline's stage-artifact cache
+    uses it to key on-disk artifacts and simply refuses the disk tier for
+    sources that cannot name their data (see
+    :func:`repro.core.stages.keys.source_fingerprint`).
     """
 
     snapshots: tuple[Snapshot, ...]

@@ -11,6 +11,9 @@ A run report is the pipeline's flight recorder, built from the merged
   TLS rows vs unique chains (the §4 redundancy ratio), intern-table
   entries, and the validation/match work the dedup saved;
 * ``cache`` — the §4.1 cross-snapshot validation-cache counters;
+* ``stage_cache`` — the stage-artifact cache's hit/miss/store counters,
+  total and per stage (the warm-run CI gate asserts a nonzero hit ratio
+  here);
 * ``executor`` — how the run was mapped (jobs, workers, fallbacks);
 * ``metrics`` — the full registry dump, for anything the sections above
   did not pre-digest.
@@ -92,6 +95,7 @@ def build_report(result: Any) -> dict:
         "funnel": _funnel_section(registry, result.snapshots),
         "store": _store_section(registry),
         "cache": _cache_section(registry),
+        "stage_cache": _stage_cache_section(registry),
         "metrics": registry.to_dict(),
     }
 
@@ -179,6 +183,32 @@ def _cache_section(registry: MetricsRegistry) -> dict:
     total = hits + section["static_misses"] + section["window_misses"]
     section["hit_rate"] = hits / total if total else 0.0
     return section
+
+
+def _stage_cache_section(registry: MetricsRegistry) -> dict:
+    """Stage-artifact cache traffic, total and per stage.
+
+    Like ``store``, this section is environmental (a warm run hits where
+    a cold one misses) — not in ``_REQUIRED_KEYS`` and not in the
+    deterministic view, so cached and uncached reports compare equal.
+    """
+    per_stage: dict[str, dict[str, int]] = {}
+    for labels, value in registry.counter_items("stage_cache_events"):
+        stage = labels.get("stage", "?")
+        event = labels.get("event", "?")
+        per_stage.setdefault(stage, {"hit": 0, "miss": 0, "store": 0})[event] = value
+    totals = {
+        event: sum(stage.get(event, 0) for stage in per_stage.values())
+        for event in ("hit", "miss", "store")
+    }
+    lookups = totals["hit"] + totals["miss"]
+    return {
+        "hits": totals["hit"],
+        "misses": totals["miss"],
+        "stores": totals["store"],
+        "hit_rate": totals["hit"] / lookups if lookups else 0.0,
+        "stages": {stage: per_stage[stage] for stage in sorted(per_stage)},
+    }
 
 
 def deterministic_view(report: dict) -> dict:

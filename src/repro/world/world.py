@@ -11,8 +11,11 @@ A world is fully determined by its :class:`~repro.world.config.WorldConfig`
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from collections import OrderedDict
+from dataclasses import asdict
 
 from repro.bgp.collector import build_ribs
 from repro.bgp.ip2as import IPToASMap
@@ -69,6 +72,15 @@ class World:
         self._anycast = None
         self._ip2as6_cache = None
         self._ipv6_scan_cache: dict[Snapshot, ScanSnapshot] = {}
+
+    def fingerprint(self) -> str:
+        """A stable identity for this world's data, for the stage-artifact
+        cache (:mod:`repro.core.stages.keys`): a world is fully determined
+        by its config, so hashing the config fields names every corpus
+        byte it can ever serve."""
+        document = json.dumps(asdict(self.config), sort_keys=True, default=list)
+        digest = hashlib.sha256(document.encode("utf-8")).hexdigest()
+        return f"world:{digest}"
 
     # -- corpus access -------------------------------------------------------
 

@@ -52,9 +52,9 @@ class TestGrowthAnalyses:
         assert series["google"][-1] > series["google"][0]
 
     def test_dataset_comparison_keys(self, small_world, pipeline_result):
-        from repro.core import OffnetPipeline
+        from repro.core import OffnetPipeline, PipelineOptions
 
-        censys_result = OffnetPipeline.for_world(small_world, corpus="censys").run()
+        censys_result = OffnetPipeline(small_world, PipelineOptions(corpus="censys")).run()
         series = dataset_comparison(
             {"rapid7": pipeline_result, "censys": censys_result}, "google"
         )
@@ -205,10 +205,10 @@ class TestTables:
             assert row.end_certs_only >= row.end_confirmed
 
     def test_table2_comparison(self, small_world, pipeline_result):
-        from repro.core import OffnetPipeline
+        from repro.core import OffnetPipeline, PipelineOptions
 
         nov19 = Snapshot(2019, 10)
-        certigo = OffnetPipeline.for_world(small_world, corpus="certigo").run(
+        certigo = OffnetPipeline(small_world, PipelineOptions(corpus="certigo")).run(
             snapshots=(nov19,)
         )
         rows = compare_scanners(

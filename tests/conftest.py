@@ -19,10 +19,10 @@ def small_world():
 @pytest.fixture(scope="session")
 def pipeline_result(small_world):
     """The default (Rapid7) pipeline run over the small world."""
-    return OffnetPipeline.for_world(small_world).run()
+    return OffnetPipeline(small_world).run()
 
 
 @pytest.fixture(scope="session")
 def pipeline(small_world):
     """The pipeline object itself (for header-rule inspection etc.)."""
-    return OffnetPipeline.for_world(small_world)
+    return OffnetPipeline(small_world)

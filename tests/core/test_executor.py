@@ -12,6 +12,7 @@ import pytest
 from repro.core import (
     OffnetPipeline,
     ParallelExecutor,
+    PipelineOptions,
     SerialExecutor,
     make_executor,
     restore_netflix,
@@ -87,8 +88,8 @@ class TestParallelDeterminism:
     @pytest.mark.parametrize("seed", (7, 11))
     def test_jobs4_identical_to_jobs1(self, seed):
         world = build_world(seed=seed, scale=0.008)
-        serial = OffnetPipeline.for_world(world, jobs=1).run(snapshots=SNAPSHOTS)
-        parallel = OffnetPipeline.for_world(world, jobs=4).run(snapshots=SNAPSHOTS)
+        serial = OffnetPipeline(world, PipelineOptions(jobs=1)).run(snapshots=SNAPSHOTS)
+        parallel = OffnetPipeline(world, PipelineOptions(jobs=4)).run(snapshots=SNAPSHOTS)
 
         assert serial == parallel
         # Spell out the variants the equality above already covers, so a
@@ -115,7 +116,7 @@ class TestParallelDeterminism:
     def test_restoration_happens_in_subset(self):
         """The chosen snapshots actually exercise the cross-snapshot merge."""
         world = build_world(seed=7, scale=0.008)
-        result = OffnetPipeline.for_world(world, jobs=4).run(snapshots=SNAPSHOTS)
+        result = OffnetPipeline(world, PipelineOptions(jobs=4)).run(snapshots=SNAPSHOTS)
         assert any(
             result.at(snapshot).netflix_restored_ases for snapshot in SNAPSHOTS
         ), "no snapshot restored Netflix ASes; the determinism test is vacuous"
@@ -132,14 +133,14 @@ class TestExecutionSurface:
         assert 0.0 < cache.hit_rate <= 1.0
 
     def test_explicit_executor_injection(self, small_world):
-        pipeline = OffnetPipeline.for_world(small_world)
+        pipeline = OffnetPipeline(small_world)
         end = small_world.snapshots[-1]
         result = pipeline.run(snapshots=(end,), executor=SerialExecutor())
         assert result.snapshots == (end,)
 
     def test_pure_phase_leaves_restoration_empty(self, small_world):
         """run_snapshot is the pure phase: no cross-snapshot state."""
-        pipeline = OffnetPipeline.for_world(small_world)
+        pipeline = OffnetPipeline(small_world)
         outcome = pipeline.run_snapshot(Snapshot(2019, 10))
         assert outcome.footprint.netflix_restored_ases == frozenset()
         assert STAGES - {"merge"} <= set(outcome.timings)
@@ -147,7 +148,7 @@ class TestExecutionSurface:
     def test_pure_phase_carries_its_own_registry(self, small_world):
         """Each outcome ships a per-snapshot metrics registry — the unit
         the merge barrier folds, and what the parallel executor pickles."""
-        pipeline = OffnetPipeline.for_world(small_world)
+        pipeline = OffnetPipeline(small_world)
         outcome = pipeline.run_snapshot(Snapshot(2019, 10))
         label = Snapshot(2019, 10).label
         valid = outcome.metrics.counter_value("funnel_valid", snapshot=label)

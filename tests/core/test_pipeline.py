@@ -1,6 +1,6 @@
 """Integration tests for the longitudinal pipeline."""
 
-from repro.core import OffnetPipeline, restore_netflix
+from repro.core import OffnetPipeline, PipelineOptions, restore_netflix
 from repro.hypergiants.profiles import TOP4
 from repro.timeline import NETFLIX_EXPIRED_ERA, STUDY_SNAPSHOTS, Snapshot
 
@@ -107,7 +107,7 @@ class TestNetflixEnvelope:
 
 class TestPipelineOptions:
     def test_no_validation_admits_more_candidates(self, small_world, pipeline_result):
-        loose = OffnetPipeline.for_world(small_world, validate_certificates=False)
+        loose = OffnetPipeline(small_world, PipelineOptions(validate_certificates=False))
         result = loose.run(snapshots=(END,))
         # Expired-cert and self-signed impostors get through, so candidate
         # counts can only grow.
@@ -117,14 +117,14 @@ class TestPipelineOptions:
             )
 
     def test_header_confirmation_off_equals_candidates(self, small_world):
-        no_headers = OffnetPipeline.for_world(small_world, header_confirmation=False)
+        no_headers = OffnetPipeline(small_world, PipelineOptions(header_confirmation=False))
         result = no_headers.run(snapshots=(END,))
         footprint = result.at(END)
         for hypergiant in footprint.candidate_ases:
             assert footprint.confirmed_ases[hypergiant] == footprint.candidate_ases[hypergiant]
 
     def test_curated_rules_close_to_learned(self, small_world, pipeline_result):
-        curated = OffnetPipeline.for_world(small_world, learn_headers=False)
+        curated = OffnetPipeline(small_world, PipelineOptions(learn_headers=False))
         result = curated.run(snapshots=(END,))
         for hypergiant in TOP4:
             learned_count = pipeline_result.as_count(hypergiant, END)
@@ -132,13 +132,13 @@ class TestPipelineOptions:
             assert abs(learned_count - curated_count) <= max(2, 0.1 * learned_count)
 
     def test_censys_pipeline_runs(self, small_world):
-        censys = OffnetPipeline.for_world(small_world, corpus="censys")
+        censys = OffnetPipeline(small_world, PipelineOptions(corpus="censys"))
         result = censys.run()
         assert result.snapshots[0] >= Snapshot(2019, 10)
         assert result.as_count("google", END) > 0
 
     def test_run_subset_of_snapshots(self, small_world):
-        pipeline = OffnetPipeline.for_world(small_world)
+        pipeline = OffnetPipeline(small_world)
         result = pipeline.run(snapshots=(START, END))
         assert result.snapshots == (START, END)
 

@@ -8,7 +8,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.obs.report import (
     SCHEMA_VERSION,
     deterministic_view,
@@ -33,8 +33,8 @@ SNAPSHOTS = (
 def reports():
     """Serial and jobs=2 reports over the same world."""
     world = build_world(seed=7, scale=0.008)
-    serial = OffnetPipeline.for_world(world, jobs=1).run(snapshots=SNAPSHOTS)
-    parallel = OffnetPipeline.for_world(world, jobs=2).run(snapshots=SNAPSHOTS)
+    serial = OffnetPipeline(world, PipelineOptions(jobs=1)).run(snapshots=SNAPSHOTS)
+    parallel = OffnetPipeline(world, PipelineOptions(jobs=2)).run(snapshots=SNAPSHOTS)
     assert serial == parallel
     return serial.report(), parallel.report()
 

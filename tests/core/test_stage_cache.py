@@ -1,0 +1,218 @@
+"""Stage-graph artifact caching: key invalidation, resume, parity.
+
+The contract under test: the cache is an *execution detail*.  Whatever
+the cache configuration — off, cold, warm, resumed after a kill, memory
+or disk, serial or parallel — the run report's deterministic view is
+byte-identical.  And invalidation is *minimal*: flipping one ablation
+switch recomputes only the stages downstream of it.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    DiskCache,
+    MemoryCache,
+    NullCache,
+    OffnetPipeline,
+    PipelineOptions,
+    build_offnet_graph,
+)
+from repro.obs.report import deterministic_view
+from repro.timeline import Snapshot
+from repro.world import build_world
+
+#: Small but real: spans the Netflix expired era so merge does work.
+SNAPSHOTS = (
+    Snapshot(2017, 10),
+    Snapshot(2018, 7),
+    Snapshot(2019, 10),
+    Snapshot(2020, 10),
+)
+
+TOKEN = "world:test-fingerprint"
+
+
+def _keys(**overrides):
+    graph = build_offnet_graph()
+    return graph.keys_for(PipelineOptions(**overrides), TOKEN)
+
+
+class TestKeyInvalidation:
+    """Flipping an option must invalidate exactly the downstream suffix."""
+
+    def test_dnsnames_flip_spares_upstream_stages(self):
+        base = _keys()
+        flipped = _keys(require_all_dnsnames=False)
+        unchanged = {"scan", "ingest", "validate", "vstats", "match", "onnet"}
+        for stage in unchanged:
+            assert base[stage] == flipped[stage], f"{stage} key drifted"
+        for stage in ("candidates", "confirm", "netflix"):
+            assert base[stage] != flipped[stage], f"{stage} key not invalidated"
+
+    def test_validation_flip_invalidates_its_suffix(self):
+        base = _keys()
+        flipped = _keys(validate_certificates=False)
+        for stage in ("scan", "ingest"):
+            assert base[stage] == flipped[stage]
+        for stage in ("validate", "vstats", "match", "onnet", "candidates",
+                      "confirm", "netflix"):
+            assert base[stage] != flipped[stage]
+
+    def test_execution_details_never_touch_keys(self):
+        """jobs and cache_dir select *how* to run, not *what* to compute."""
+        assert _keys() == _keys(jobs=4) == _keys(cache_dir="/tmp/x")
+
+    def test_source_identity_is_in_every_key(self):
+        graph = build_offnet_graph()
+        options = PipelineOptions()
+        other = graph.keys_for(options, "world:another-fingerprint")
+        for stage, key in graph.keys_for(options, TOKEN).items():
+            assert key != other[stage]
+
+
+class TestCacheParity:
+    """Deterministic views must be byte-identical across cache configs."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(seed=7, scale=0.008)
+
+    def _view(self, world, options, cache=None):
+        pipeline = OffnetPipeline(world, options, cache=cache)
+        result = pipeline.run(snapshots=SNAPSHOTS)
+        return deterministic_view(result.report()), result
+
+    def test_off_cold_warm_resumed_identical(self, world, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        off, _ = self._view(world, PipelineOptions(), cache=NullCache())
+        cold, _ = self._view(world, PipelineOptions(cache_dir=cache_dir))
+        # A fresh pipeline instance = a fresh process resuming off disk.
+        warm, warm_result = self._view(world, PipelineOptions(cache_dir=cache_dir))
+
+        baseline = json.dumps(off, sort_keys=True)
+        assert json.dumps(cold, sort_keys=True) == baseline
+        assert json.dumps(warm, sort_keys=True) == baseline
+
+        stage_cache = warm_result.report()["stage_cache"]
+        assert stage_cache["hits"] > 0 and stage_cache["misses"] == 0
+        assert stage_cache["hit_rate"] == 1.0
+
+    def test_parallel_warm_matches_serial_cold(self, world, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold, _ = self._view(world, PipelineOptions(jobs=1, cache_dir=cache_dir))
+        warm, _ = self._view(world, PipelineOptions(jobs=2, cache_dir=cache_dir))
+        assert json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+
+    def test_resume_after_midrun_kill(self, world, tmp_path):
+        """A run killed halfway leaves a cache the next process completes
+        from, with a byte-identical final report."""
+        cache_dir = str(tmp_path / "cache")
+        uncached, _ = self._view(world, PipelineOptions(), cache=NullCache())
+
+        # "Kill" after two of four snapshots: only their artifacts landed.
+        killed = OffnetPipeline(world, PipelineOptions(cache_dir=cache_dir))
+        killed.run(snapshots=SNAPSHOTS[:2])
+
+        resumed = OffnetPipeline(world, PipelineOptions(cache_dir=cache_dir))
+        probe = resumed.probe_cache(snapshots=SNAPSHOTS)
+        fully_cached = [s for s, stages in probe.items()
+                        if all(v for name, v in stages.items() if name != "scan")]
+        assert set(fully_cached) == set(SNAPSHOTS[:2])
+
+        result = resumed.run(snapshots=SNAPSHOTS)
+        view = json.dumps(deterministic_view(result.report()), sort_keys=True)
+        assert view == json.dumps(uncached, sort_keys=True)
+        stage_cache = result.report()["stage_cache"]
+        assert stage_cache["hits"] > 0, "resume reused nothing"
+        assert stage_cache["misses"] > 0, "nothing was left to recompute"
+
+    def test_ablation_flip_recomputes_only_the_suffix(self, world, tmp_path):
+        """With the default run cached on disk, flipping the §4.3 rule
+        reuses every upstream artifact — including the heavy §4.2 match —
+        and recomputes only candidates/confirm/netflix."""
+        cache_dir = str(tmp_path / "cache")
+        OffnetPipeline(world, PipelineOptions(cache_dir=cache_dir)).run(
+            snapshots=SNAPSHOTS[:1]
+        )
+
+        flipped = OffnetPipeline(
+            world,
+            PipelineOptions(require_all_dnsnames=False, cache_dir=cache_dir),
+        )
+        report = flipped.run(snapshots=SNAPSHOTS[:1]).report()
+        events = report["stage_cache"]["stages"]
+        for stage in ("ingest", "vstats", "onnet", "match"):
+            assert events[stage]["hit"] == 1, f"{stage} should have hit"
+        for stage in ("candidates", "confirm", "netflix"):
+            assert events[stage]["miss"] == 1, f"{stage} should have recomputed"
+        # §4.1 validation is upstream of the hit match artifact: with the
+        # match result cached, the validator never even runs.
+        assert "validate" not in events
+
+
+class TestCachePlumbing:
+    def test_memory_cache_drops_heavy_artifacts(self):
+        cache = MemoryCache()
+        cache.put("k1", ("value", {}), heavy=True)
+        cache.put("k2", ("value", {}))
+        assert cache.get("k1") is None
+        assert cache.get("k2") == ("value", {})
+
+    def test_disk_cache_treats_corruption_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, ({"x": 1}, {}))
+        assert cache.get(key) == ({"x": 1}, {})
+        path = tmp_path / key[:2] / f"{key}.pkl"
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_cache_dir_requires_fingerprintable_source(self, small_world, tmp_path):
+        class Unfingerprinted:
+            """The DataSource protocol minus the optional fingerprint()."""
+
+            def __init__(self, world):
+                self._world = world
+
+            @property
+            def snapshots(self):
+                return self._world.snapshots
+
+            @property
+            def root_store(self):
+                return self._world.root_store
+
+            @property
+            def topology(self):
+                return self._world.topology
+
+            def scanner(self, corpus):
+                return self._world.scanner(corpus)
+
+            def scan(self, corpus, snapshot):
+                return self._world.scan(corpus, snapshot)
+
+            def ip2as(self, snapshot):
+                return self._world.ip2as(snapshot)
+
+        with pytest.raises(ValueError, match="fingerprint"):
+            OffnetPipeline(
+                Unfingerprinted(small_world),
+                PipelineOptions(cache_dir=str(tmp_path / "cache")),
+            )
+
+
+class TestDeprecatedSurface:
+    """The pre-DataSource API still works but warns."""
+
+    def test_for_world_warns_and_still_builds(self, small_world):
+        with pytest.warns(DeprecationWarning, match="for_world is deprecated"):
+            pipeline = OffnetPipeline.for_world(small_world, jobs=2)
+        assert pipeline.options.jobs == 2
+
+    def test_world_property_warns_and_aliases_source(self, small_world):
+        pipeline = OffnetPipeline(small_world)
+        with pytest.warns(DeprecationWarning, match="world is deprecated"):
+            assert pipeline.world is pipeline.source

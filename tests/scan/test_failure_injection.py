@@ -59,7 +59,7 @@ class TestPipelineOnDegenerateInput:
 
     def test_pipeline_single_early_snapshot(self, small_world):
         """Before HTTPS header corpuses exist, port-80 confirmation stands in."""
-        result = OffnetPipeline.for_world(small_world).run(snapshots=(Snapshot(2014, 4),))
+        result = OffnetPipeline(small_world).run(snapshots=(Snapshot(2014, 4),))
         footprint = result.at(Snapshot(2014, 4))
         assert footprint.confirmed_ases.get("google")
         # HTTPS header records do not exist yet.

@@ -133,7 +133,7 @@ class TestMatchEquivalence:
     @pytest.mark.parametrize("seed", (3, 7, 19))
     def test_org_and_dns_broadcast_match_per_record(self, seed):
         world = build_world(seed=seed, scale=0.006)
-        pipeline = OffnetPipeline.for_world(world)
+        pipeline = OffnetPipeline(world)
         snapshot = Snapshot(2019, 10)
         scan = world.scan("rapid7", snapshot)
         store = scan.store
@@ -164,7 +164,7 @@ class TestMatchEquivalence:
         broadcast org matching must yield exactly the candidate IPs a
         straight per-record reimplementation finds."""
         world = build_world(seed=seed, scale=0.006)
-        pipeline = OffnetPipeline.for_world(world)
+        pipeline = OffnetPipeline(world)
         snapshot = Snapshot(2019, 10)
         outcome = pipeline.run_snapshot(snapshot)
 

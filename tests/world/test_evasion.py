@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.timeline import STUDY_SNAPSHOTS
 from repro.world import WorldConfig, build_world
 
@@ -21,7 +21,7 @@ def evading_world(*strategies):
 
 
 def facebook_counts(world):
-    result = OffnetPipeline.for_world(world).run(snapshots=(END,))
+    result = OffnetPipeline(world).run(snapshots=(END,))
     return (
         result.as_count("facebook", END, "candidates"),
         result.as_count("facebook", END, "confirmed"),
@@ -74,7 +74,7 @@ class TestEvasionStrategies:
         )
         assert candidates <= 1
         # ...but dropping the subset rule would re-expose them (org intact).
-        loose = OffnetPipeline.for_world(world, require_all_dnsnames=False).run(
+        loose = OffnetPipeline(world, PipelineOptions(require_all_dnsnames=False)).run(
             snapshots=(END,)
         )
         assert loose.as_count("facebook", END, "candidates") > 0
@@ -88,5 +88,5 @@ class TestEvasionStrategies:
 
     def test_other_hypergiants_unaffected(self, baseline):
         world = evading_world("strip-organization")
-        result = OffnetPipeline.for_world(world).run(snapshots=(END,))
+        result = OffnetPipeline(world).run(snapshots=(END,))
         assert result.as_count("google", END, "confirmed") > 10

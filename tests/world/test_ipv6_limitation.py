@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.scan import zgrab_scan
 from repro.scan.server import ServerKind
 from repro.timeline import STUDY_SNAPSHOTS
@@ -45,7 +45,7 @@ class TestIPv6Limitation:
 
     def test_pipeline_misses_ipv6_only_hosts(self, v6_world):
         """The paper's acknowledged blind spot, quantified."""
-        result = OffnetPipeline.for_world(v6_world).run(snapshots=(END,))
+        result = OffnetPipeline(v6_world).run(snapshots=(END,))
         v6_ases = {
             s.asn
             for s in v6_world.servers
@@ -70,8 +70,8 @@ class TestDualStackRecovery:
         """§7 future work: 'our inference approach is IP protocol-agnostic'
         — with a v6 corpus and dual-stack IP-to-AS, the same pipeline
         recovers the IPv6-only deployments."""
-        v4_result = OffnetPipeline.for_world(v6_world).run(snapshots=(END,))
-        dual_result = OffnetPipeline.for_world(v6_world, include_ipv6=True).run(
+        v4_result = OffnetPipeline(v6_world).run(snapshots=(END,))
+        dual_result = OffnetPipeline(v6_world, PipelineOptions(include_ipv6=True)).run(
             snapshots=(END,)
         )
         v6_hosts_any = {
@@ -111,6 +111,6 @@ class TestDualStackRecovery:
 
         export_dataset(small_world, tmp_path, snapshots=(END,))
         dataset = FileDataset(tmp_path)
-        pipeline = OffnetPipeline.for_world(dataset, include_ipv6=True)
+        pipeline = OffnetPipeline(dataset, PipelineOptions(include_ipv6=True))
         with pytest.raises(ValueError):
             pipeline.run()

@@ -19,7 +19,12 @@ books ~2x the aggregate CPU of a ``jobs=1`` run while finishing sooner.
 When the two reports' executor configurations differ the timing gate is
 skipped automatically and only the funnel is compared; ``--no-timing``
 forces that behaviour even for same-executor reports (e.g. different
-machines).
+machines, or a warm-cache run whose skipped stages never book seconds).
+
+``--expect-cache-hits`` additionally requires the candidate to report a
+nonzero stage-artifact cache hit ratio (its ``stage_cache`` section) —
+the CI warm-cache job runs the pipeline twice against one ``--cache-dir``
+and gates the second report on exactly this.
 """
 
 from __future__ import annotations
@@ -86,6 +91,7 @@ def compare_reports(
     max_stage_regression: float = DEFAULT_MAX_REGRESSION,
     min_stage_seconds: float = DEFAULT_MIN_SECONDS,
     check_timing: bool = True,
+    expect_cache_hits: bool = False,
 ) -> list[str]:
     """Every reason the candidate fails the gate (empty = pass)."""
     problems = [f"baseline: {p}" for p in validate_report(baseline)]
@@ -121,6 +127,17 @@ def compare_reports(
                     f"baseline {base_seconds:.3f}s "
                     f"(> {max_stage_regression:.2f}x threshold)"
                 )
+
+    if expect_cache_hits:
+        stage_cache = candidate.get("stage_cache", {})
+        hits = stage_cache.get("hits", 0)
+        hit_rate = stage_cache.get("hit_rate", 0.0)
+        if not hits or not hit_rate:
+            problems.append(
+                "expected stage-cache hits but the candidate reports "
+                f"hits={hits} hit_rate={hit_rate} — the warm run did not "
+                "reuse any artifacts"
+            )
     return problems
 
 
@@ -151,7 +168,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-timing",
         action="store_true",
-        help="compare funnel shape only (reports from different machines)",
+        help="compare funnel shape only (reports from different machines, "
+        "or warm-cache runs whose skipped stages book no seconds)",
+    )
+    parser.add_argument(
+        "--expect-cache-hits",
+        action="store_true",
+        help="fail unless the candidate reports a nonzero stage-artifact "
+        "cache hit ratio (the CI warm-cache gate)",
     )
     args = parser.parse_args(argv)
 
@@ -163,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         max_stage_regression=args.max_stage_regression,
         min_stage_seconds=args.min_stage_seconds,
         check_timing=not args.no_timing,
+        expect_cache_hits=args.expect_cache_hits,
     )
     if problems:
         print(f"FAIL: {args.candidate} vs baseline {args.baseline}")
