@@ -1,0 +1,158 @@
+"""Graceful degradation: lenient ingestion on a fault-injected corpus.
+
+The real pipeline's corpuses are dirty; the measurement only survives if
+a damaged snapshot degrades the inference *proportionally* — lenient
+runs must confirm exactly the off-nets derivable from the surviving
+records, account for every dropped record, and pay only a modest
+throughput tax over the strict fast path.
+
+This bench exports the benchmark world's 2020-10 corpus, injects a
+seeded spread of every fault kind (``tools/inject_faults.py``), and
+asserts:
+
+* strict ingestion of the corrupted corpus fails fast, with position;
+* lenient ingestion accounts for exactly the injected faults per class;
+* the lenient funnel equals a strict run over the physically cleaned
+  corpus (survivor-for-survivor equivalence);
+* repair mode restores exactly the repairable rows.
+"""
+
+import json
+import shutil
+
+from benchmarks.conftest import bench_world, write_output
+from repro.analysis import render_table
+from repro.core import OffnetPipeline, PipelineOptions
+from repro.datasets import FileDataset, export_dataset
+from repro.obs.report import build_report
+from repro.robustness import CorpusParseError
+from repro.timeline import Snapshot
+from tools.inject_faults import inject_faults
+
+SNAP = Snapshot(2020, 10)
+
+FAULTS = {
+    "truncate": 3,
+    "garble": 2,
+    "drop_field": 2,
+    "string_ip": 3,
+    "bad_ip": 2,
+    "missing_port": 2,
+    "bad_chain_ref": 2,
+    "break_cert": 2,
+    "conflict_chain": 2,
+}
+
+
+def _run(directory, on_error):
+    options = PipelineOptions(corpus="rapid7", on_error=on_error)
+    return OffnetPipeline(FileDataset(directory), options).run()
+
+
+def test_graceful_degradation(benchmark, tmp_path_factory):
+    base = tmp_path_factory.mktemp("ingest-bench")
+    clean_dir = base / "clean"
+    export_dataset(bench_world(), clean_dir, snapshots=(SNAP,))
+    injected_dir = base / "injected"
+    shutil.copytree(clean_dir, injected_dir)
+    faults = inject_faults(injected_dir, seed=7, counts=FAULTS)
+
+    # Strict fails fast with position info.
+    strict_error = None
+    try:
+        _run(injected_dir, "strict")
+    except CorpusParseError as error:
+        strict_error = error
+    assert strict_error is not None
+    assert strict_error.line_number > 1 and strict_error.byte_offset > 0
+
+    results = {}
+
+    def degrade():
+        results["lenient"] = _run(injected_dir, "lenient")
+        results["repair"] = _run(injected_dir, "repair")
+        return results
+
+    benchmark.pedantic(degrade, rounds=1, iterations=1)
+
+    lenient_report = build_report(results["lenient"])
+    repair_report = build_report(results["repair"])
+
+    # Per-class accounting matches the injection manifest exactly.
+    assert (
+        lenient_report["ingest"]["quarantined_by_class"]
+        == faults["expected_classes"]
+    )
+    injected_total = sum(faults["expected_classes"].values())
+    assert lenient_report["ingest"]["quarantined"] == injected_total
+
+    # Survivor-for-survivor equivalence: drop exactly the quarantined
+    # lines and a strict run must produce the same funnel.
+    dataset = FileDataset(injected_dir)
+    dataset.configure_ingest(
+        PipelineOptions(corpus="rapid7", on_error="lenient").ingest_policy()
+    )
+    scan = dataset.scan("rapid7", SNAP)
+    assert scan.ingest.quarantined == injected_total
+    cleaned_dir = base / "cleaned"
+    shutil.copytree(injected_dir, cleaned_dir)
+    corpus = cleaned_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl"
+    quarantined_lines = set()
+    from repro.robustness import IngestPolicy
+    from repro.scan.corpus import stream_snapshot
+
+    quarantine_file = base / "quarantine.jsonl"
+    stream_snapshot(
+        injected_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl",
+        IngestPolicy("lenient"),
+        quarantine_file,
+    )
+    for line in quarantine_file.read_text().splitlines():
+        quarantined_lines.add(json.loads(line)["line"])
+    survivors = [
+        line
+        for number, line in enumerate(corpus.read_text().splitlines(), start=1)
+        if number not in quarantined_lines
+    ]
+    corpus.write_text("\n".join(survivors) + "\n")
+    strict_on_cleaned = _run(cleaned_dir, "strict")
+    assert (
+        build_report(strict_on_cleaned)["funnel"] == lenient_report["funnel"]
+    ), "lenient must confirm exactly the off-nets of the surviving records"
+
+    # Repair restores exactly the repairable rows.
+    assert repair_report["ingest"]["repaired_by_class"] == {
+        "string_ip": FAULTS["string_ip"],
+        "missing_port": FAULTS["missing_port"],
+        "conflicting_chain": FAULTS["conflict_chain"],
+    }
+
+    rows = [
+        (
+            "lenient",
+            lenient_report["ingest"]["seen"],
+            lenient_report["ingest"]["accepted"],
+            lenient_report["ingest"]["quarantined"],
+            lenient_report["ingest"]["repaired"],
+        ),
+        (
+            "repair",
+            repair_report["ingest"]["seen"],
+            repair_report["ingest"]["accepted"],
+            repair_report["ingest"]["quarantined"],
+            repair_report["ingest"]["repaired"],
+        ),
+    ]
+    write_output(
+        "ingest_robustness",
+        render_table(
+            ["policy", "seen", "accepted", "quarantined", "repaired"],
+            rows,
+            title=(
+                f"Graceful degradation on a fault-injected 2020-10 corpus "
+                f"({injected_total} faults over "
+                f"{sum(FAULTS.values())} corrupted records; "
+                f"strict failed fast at line {strict_error.line_number})"
+            ),
+        ),
+    )

@@ -37,6 +37,15 @@ The per-snapshot phase is a cached stage graph (:mod:`repro.core.stages`);
   ``--cache-dir``, then complete the run from them;
 * ``--stages a,b`` — force only the named stages (plus dependencies), e.g.
   to warm a cache or debug a subgraph; ``--stages list`` prints the graph.
+
+File-backed runs also take the ingestion robustness flags
+(:mod:`repro.robustness`):
+
+* ``--on-error strict|lenient|repair`` — fail fast with position info
+  (default), quarantine bad records and infer from the survivors, or
+  additionally apply deterministic repairs;
+* ``--quarantine-dir DIR`` — persist quarantined records as JSONL, one
+  file per corpus snapshot.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from repro.analysis import build_table3, render_table
 from repro.analysis.coverage import country_coverage, worldwide_coverage
 from repro.core import OffnetPipeline, PipelineOptions, restore_netflix
 from repro.hypergiants.profiles import TOP4
+from repro.robustness import CorpusParseError
 from repro.scan.corpus import save_snapshot
 from repro.timeline import Snapshot
 from repro.validation import survey_hypergiant
@@ -139,6 +149,26 @@ def _add_run_arguments(parser: argparse.ArgumentParser, dir_required: bool) -> N
         "instead of a full run — warms a cache or debugs a subgraph; "
         "'list' prints the stage graph and exits",
     )
+    parser.add_argument(
+        "--on-error",
+        default="strict",
+        choices=("strict", "lenient", "repair"),
+        help="how corpus ingestion handles malformed records (requires "
+        "--dir for non-strict modes): strict fails fast with the "
+        "file/line/byte-offset of the first bad record; lenient "
+        "quarantines bad records and infers from the survivors; repair "
+        "additionally fixes mechanically-repairable records "
+        "(stringified IPs, missing ports, re-defined chains)",
+    )
+    parser.add_argument(
+        "--quarantine-dir",
+        default=None,
+        metavar="DIR",
+        help="write quarantined records as JSONL under DIR, one file per "
+        "corpus snapshot (offending line + error class + position); "
+        "only meaningful with --on-error=lenient|repair — counts reach "
+        "the run report's ingest section either way",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -207,7 +237,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.cache_dir:
         print("--resume needs --cache-dir (there is nothing to resume from)")
         return 2
-    overrides: dict = {"jobs": args.jobs, "cache_dir": args.cache_dir}
+    if not directory and (args.on_error != "strict" or args.quarantine_dir):
+        print(
+            "--on-error/--quarantine-dir need --dir: synthetic worlds build "
+            "snapshots in memory, so there are no corpus files to quarantine"
+        )
+        return 2
+    overrides: dict = {
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "on_error": args.on_error,
+        "quarantine_dir": args.quarantine_dir,
+    }
     if directory:
         from repro.datasets import FileDataset
 
@@ -239,7 +280,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _run_stages_only(pipeline, args.stages)
     if args.resume:
         _print_resume_probe(pipeline)
-    result = pipeline.run()
+    try:
+        result = pipeline.run()
+    except CorpusParseError as error:
+        print(f"corpus ingestion failed: {error}")
+        print("hint: --on-error=lenient quarantines bad records and keeps going")
+        return 1
+    quarantined = result.metrics.sum_counters("ingest_quarantined")
+    repaired = result.metrics.sum_counters("ingest_repaired")
+    if quarantined or repaired:
+        where = f"; quarantine files under {args.quarantine_dir}" if args.quarantine_dir else ""
+        print(
+            f"ingestion: quarantined {quarantined} and repaired {repaired} "
+            f"records under --on-error={args.on_error}{where}"
+        )
     rows = build_table3(result)
     first, last = result.snapshots[0], result.snapshots[-1]
     print(

@@ -67,6 +67,7 @@ from repro.core.validation import (
 )
 from repro.datasets.source import DataSource
 from repro.hypergiants.profiles import HEADER_RULES, HYPERGIANTS, HeaderRule
+from repro.robustness import IngestPolicy
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timers import Stopwatch
 from repro.scan.records import ScanSnapshot
@@ -79,7 +80,20 @@ __all__ = ["PipelineOptions", "OffnetPipeline"]
 @dataclass(frozen=True, slots=True)
 class PipelineOptions:
     """Pipeline switches (defaults = the paper's methodology; each switch
-    exists for an ablation bench)."""
+    exists for an ablation bench).
+
+    Three kinds of field live here:
+
+    * **methodology switches** (``validate_certificates``,
+      ``require_all_dnsnames``, ``header_confirmation``, ...) — each
+      maps to one §4 rule and changes the inferred numbers;
+    * **execution knobs** (``jobs``, ``cache_dir``,
+      ``quarantine_dir``) — change how the run executes, never what it
+      computes; results are bit-identical across their settings;
+    * **ingestion policy** (``on_error``) — methodology on a dirty
+      corpus (it decides which records are inferred from), a no-op on
+      a clean one.
+    """
 
     corpus: str = "rapid7"
     #: §4.1 on/off (off admits expired/self-signed/untrusted certificates).
@@ -108,6 +122,22 @@ class PipelineOptions:
     #: ``jobs``, this is an execution detail: results are bit-identical
     #: with any cache configuration.
     cache_dir: str | None = None
+    #: How corpus ingestion reacts to malformed records (the CLI's
+    #: ``--on-error``): ``"strict"`` fails fast with the file/line/offset
+    #: of the first bad record, ``"lenient"`` quarantines bad records and
+    #: infers from the survivors, ``"repair"`` additionally applies the
+    #: deterministic fixes in
+    #: :data:`~repro.robustness.REPAIRABLE_CLASSES`.  On a clean corpus
+    #: all three modes produce bit-identical results.  Unlike ``jobs``
+    #: this is methodology, not an execution detail — on a dirty corpus
+    #: it changes which records are inferred from — so it participates in
+    #: stage cache keys and the report's ``options`` section.
+    on_error: str = "strict"
+    #: Where lenient/repair runs write quarantine JSONL files, one per
+    #: corpus snapshot (the CLI's ``--quarantine-dir``).  ``None`` keeps
+    #: quarantine accounting in memory (it still reaches the run
+    #: report).  An execution detail: never part of cache keys.
+    quarantine_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -116,10 +146,38 @@ class PipelineOptions:
                 "(0 selects one worker per CPU core, 1 runs serially, "
                 "N > 1 forks N workers)"
             )
+        # Delegates mode validation (strict|lenient|repair) so the two
+        # surfaces cannot drift.
+        IngestPolicy(mode=self.on_error)
+
+    def ingest_policy(self) -> IngestPolicy:
+        """The :class:`~repro.robustness.IngestPolicy` these options select."""
+        return IngestPolicy(mode=self.on_error, quarantine_dir=self.quarantine_dir)
 
 
 class OffnetPipeline:
-    """Runs the §4 methodology over a data source's scan corpuses."""
+    """Runs the §4 methodology over a data source's scan corpuses.
+
+    Usage::
+
+        result = OffnetPipeline(source).run()            # all snapshots
+        result = OffnetPipeline(source, PipelineOptions(jobs=4)).run()
+
+    ``source`` is any :class:`~repro.datasets.DataSource` — a synthetic
+    :class:`~repro.world.World` or a file-backed
+    :class:`~repro.datasets.FileDataset`.  ``options`` holds the
+    methodology switches and execution knobs (see
+    :class:`PipelineOptions`); ``cache`` overrides the stage-artifact
+    cache (default: in-memory, or memory+disk when
+    ``options.cache_dir`` is set).
+
+    The main entry points: :meth:`run` (the longitudinal result),
+    :meth:`run_snapshot` (the pure per-snapshot phase),
+    :meth:`run_stages`/:meth:`probe_cache`/:meth:`describe_stages`
+    (the stage-graph surface behind the CLI's ``--stages`` and
+    ``--resume``), and :meth:`header_rules` (the §4.4 fingerprints in
+    force).
+    """
 
     def __init__(
         self,
@@ -139,6 +197,20 @@ class OffnetPipeline:
             )
         self.source = source
         self.options = options or PipelineOptions()
+        # Thread the ingestion error policy into the source.  Only parsing
+        # sources (FileDataset and friends) expose configure_ingest();
+        # in-memory sources never meet a parser, so a non-strict policy
+        # there would silently do nothing — refuse it instead.
+        configure_ingest = getattr(source, "configure_ingest", None)
+        if configure_ingest is not None:
+            configure_ingest(self.options.ingest_policy())
+        elif self.options.on_error != "strict" or self.options.quarantine_dir:
+            raise ValueError(
+                f"on_error={self.options.on_error!r} needs a data source "
+                "that parses corpus files (one with configure_ingest(), "
+                f"like FileDataset); {type(source).__name__} builds "
+                "snapshots in memory and has no records to quarantine"
+            )
         self._validator = CertificateValidator(source.root_store)
         self._keywords = tuple(hg.key for hg in HYPERGIANTS)
         # Appendix A.2: reverse org lookup per HG keyword.
@@ -510,10 +582,12 @@ class OffnetPipeline:
 
     def _options_meta(self) -> dict:
         """The methodology switches for the run report's ``options``
-        section.  ``jobs`` and ``cache_dir`` are deliberately absent: they
-        are execution details (reported under ``executor`` / the cache
-        counters), and the deterministic view must compare equal across
-        ``jobs`` and cache configurations."""
+        section.  ``jobs``, ``cache_dir`` and ``quarantine_dir`` are
+        deliberately absent: they are execution details (reported under
+        ``executor`` / the cache counters / the ``ingest`` section), and
+        the deterministic view must compare equal across ``jobs`` and
+        cache configurations.  ``on_error`` *is* present: on a dirty
+        corpus it changes which records the run infers from."""
         options = self.options
         return {
             "corpus": options.corpus,
@@ -525,6 +599,7 @@ class OffnetPipeline:
             "netflix_nginx_rule": options.netflix_nginx_rule,
             "edge_priority": options.edge_priority,
             "include_ipv6": options.include_ipv6,
+            "on_error": options.on_error,
         }
 
     def _netflix_with_expired(

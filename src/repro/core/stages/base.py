@@ -57,7 +57,16 @@ class StageContext:
 
 @dataclass(frozen=True, slots=True)
 class Stage:
-    """One declared step of the per-snapshot dataflow."""
+    """One declared step of the per-snapshot dataflow.
+
+    A stage is a pure function ``run(ctx, inputs, counters) -> value``
+    plus the metadata the scheduler needs to cache it soundly: its
+    ``deps`` (whose values become ``inputs``), the ``option_keys`` it
+    is allowed to read, a ``version`` to bump when its logic changes,
+    and whether its artifact is ``cacheable``/``heavy``.  The artifact
+    key is derived from exactly this metadata plus the upstream keys
+    and the data fingerprint — nothing else can invalidate it.
+    """
 
     #: The stage's name — also its label in timings and cache counters.
     name: str
@@ -85,7 +94,16 @@ class Stage:
 
 
 class StageGraph:
-    """A validated DAG of stages plus the caching scheduler."""
+    """A validated DAG of stages plus the caching scheduler.
+
+    Construction validates the graph (unique names, known deps, no
+    cycles) and fixes a topological ``order``.  :meth:`execute` forces
+    a target set through an :class:`~repro.core.stages.cache.ArtifactCache`,
+    replaying cached counter fragments on hits; :meth:`probe` asks
+    which artifacts already exist without running anything;
+    :meth:`keys`/:meth:`closure` expose the addressing and dependency
+    closure the CLI surfaces build on.
+    """
 
     def __init__(self, stages: Iterable[Stage]) -> None:
         self.stages: dict[str, Stage] = {}

@@ -148,6 +148,26 @@ def _run_ingest(
     scan, _ = inputs["scan"]
     label = ctx.snapshot.label
     store_stats = scan.store.stats()
+    # Ingestion robustness accounting: file-backed snapshots carry the
+    # reader's IngestReport (records seen/accepted/quarantined/repaired,
+    # per error class).  Booked here — in a cacheable light stage — so a
+    # warm run replays the same ingest section the cold run reported.
+    ingest_report = getattr(scan, "ingest", None)
+    if ingest_report is not None:
+        counters.counter("ingest_records", event="seen", snapshot=label).inc(
+            ingest_report.seen
+        )
+        counters.counter("ingest_records", event="accepted", snapshot=label).inc(
+            ingest_report.accepted
+        )
+        for error_class, count in sorted(ingest_report.quarantined_by_class.items()):
+            counters.counter(
+                "ingest_quarantined", error_class=error_class, snapshot=label
+            ).inc(count)
+        for error_class, count in sorted(ingest_report.repaired_by_class.items()):
+            counters.counter(
+                "ingest_repaired", error_class=error_class, snapshot=label
+            ).inc(count)
     counters.counter("funnel_tls_records", snapshot=label).inc(store_stats.tls_rows)
     counters.counter("funnel_http_records", snapshot=label).inc(store_stats.http_rows)
     counters.counter("funnel_unique_certificates", snapshot=label).inc(
@@ -434,7 +454,12 @@ def build_offnet_graph() -> StageGraph:
             Stage(
                 name="scan",
                 deps=(),
-                option_keys=("corpus", "include_ipv6"),
+                # on_error is part of the key: on a dirty corpus the error
+                # policy decides which records survive ingestion, so every
+                # downstream artifact (all stages depend on scan) must
+                # re-key when it changes.  quarantine_dir is not: where
+                # the quarantine log lands never changes the data.
+                option_keys=("corpus", "include_ipv6", "on_error"),
                 run=_run_scan,
                 cacheable=False,
                 produces="(ScanSnapshot, IPToASMap) — the live corpus view",
@@ -444,7 +469,8 @@ def build_offnet_graph() -> StageGraph:
                 deps=("scan",),
                 option_keys=(),
                 run=_run_ingest,
-                produces="IngestStats + corpus/store shape counters",
+                version="2",  # v2: books the ingest-robustness counters
+                produces="IngestStats + corpus/store/ingest shape counters",
             ),
             Stage(
                 name="validate",

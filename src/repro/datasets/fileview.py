@@ -17,6 +17,10 @@ which builds each snapshot's columnar
 :class:`~repro.store.SnapshotStore` one JSONL line at a time — a chain
 line becomes one intern-table entry, a row line one column append — so
 loading never materializes per-row record objects.
+
+Reads honour an :class:`~repro.robustness.IngestPolicy` (strict by
+default; installed per run by the pipeline via :meth:`configure_ingest`),
+so a dirty corpus can be quarantined instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from pathlib import Path
 from repro.bgp.ip2as import IPToASMap
 from repro.bgp.rib import RibEntry, RibSnapshot
 from repro.net.ipv4 import IPv4Prefix
+from repro.robustness import IngestPolicy
 from repro.scan.corpus import _cert_from_json, stream_snapshot
 from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
@@ -61,10 +66,22 @@ class _TopologyShim:
 
 
 class FileDataset:
-    """A dataset directory, pipeline-ready."""
+    """A dataset directory, pipeline-ready.
 
-    def __init__(self, directory: str | Path) -> None:
+    Construct it over a directory produced by ``repro export`` (or the
+    fault-injection harness) and hand it to
+    :class:`~repro.core.pipeline.OffnetPipeline`.  ``ingest_policy``
+    selects how dirty corpus records are handled (see
+    :class:`~repro.robustness.IngestPolicy`); the pipeline overrides it
+    per run through :meth:`configure_ingest` when ``on_error`` /
+    ``quarantine_dir`` options are set.
+    """
+
+    def __init__(
+        self, directory: str | Path, ingest_policy: IngestPolicy | None = None
+    ) -> None:
         self.directory = Path(directory)
+        self.ingest_policy = ingest_policy or IngestPolicy()
         manifest_path = self.directory / "manifest.json"
         if not manifest_path.exists():
             raise FileNotFoundError(f"not a dataset directory (no manifest): {directory}")
@@ -86,6 +103,17 @@ class FileDataset:
         self.root_store = self._load_anchors()
         self._scan_cache: OrderedDict[tuple[str, Snapshot], ScanSnapshot] = OrderedDict()
         self._ip2as_cache: dict[Snapshot, IPToASMap] = {}
+
+    def configure_ingest(self, policy: IngestPolicy) -> None:
+        """Install the ingestion error policy for subsequent corpus reads.
+
+        Called by :class:`~repro.core.pipeline.OffnetPipeline` when its
+        options carry ``on_error``/``quarantine_dir``.  Clears the scan
+        cache: a snapshot loaded under one policy must not be served to a
+        run that asked for another.
+        """
+        self.ingest_policy = policy
+        self._scan_cache.clear()
 
     def fingerprint(self) -> str:
         """A stable identity for this dataset's data, for the stage-artifact
@@ -144,7 +172,11 @@ class FileDataset:
 
     def scan(self, name: str, snapshot: Snapshot, cache_size: int = 4) -> ScanSnapshot:
         """Stream one corpus snapshot from disk into a columnar store
-        (LRU-cached)."""
+        (LRU-cached), under the configured ingestion policy.
+
+        When the policy names a ``quarantine_dir``, rejected records are
+        written to ``<quarantine_dir>/<corpus>/<label>.jsonl``.
+        """
         key = (name, snapshot)
         cached = self._scan_cache.get(key)
         if cached is not None:
@@ -153,7 +185,13 @@ class FileDataset:
         path = self.directory / "corpora" / name / f"{snapshot.label}.jsonl"
         if not path.exists():
             raise FileNotFoundError(f"no {name} corpus for {snapshot}: {path}")
-        loaded = stream_snapshot(path)
+        policy = self.ingest_policy
+        quarantine_path = None
+        if policy.quarantine_dir is not None and not policy.strict:
+            quarantine_path = (
+                Path(policy.quarantine_dir) / name / f"{snapshot.label}.jsonl"
+            )
+        loaded = stream_snapshot(path, policy, quarantine_path)
         self._scan_cache[key] = loaded
         while len(self._scan_cache) > cache_size:
             self._scan_cache.popitem(last=False)

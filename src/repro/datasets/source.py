@@ -74,6 +74,14 @@ class DataSource(Protocol):
     uses it to key on-disk artifacts and simply refuses the disk tier for
     sources that cannot name their data (see
     :func:`repro.core.stages.keys.source_fingerprint`).
+
+    Sources that *parse* corpus files may also implement
+    ``configure_ingest(policy: IngestPolicy) -> None`` (see
+    :mod:`repro.robustness`): the pipeline calls it with the error policy
+    its options select (``on_error``/``quarantine_dir``), so dirty
+    corpuses can be quarantined instead of aborting the run.  In-memory
+    sources omit it, and the pipeline refuses non-strict policies for
+    them — there are no bytes to quarantine.
     """
 
     snapshots: tuple[Snapshot, ...]

@@ -10,6 +10,9 @@ A run report is the pipeline's flight recorder, built from the merged
 * ``store`` — the columnar snapshot store's deduplication accounting:
   TLS rows vs unique chains (the §4 redundancy ratio), intern-table
   entries, and the validation/match work the dedup saved;
+* ``ingest`` — corpus ingestion robustness accounting: records seen /
+  accepted / quarantined / repaired, with per-error-class breakdowns
+  (all zero for clean corpuses and in-memory sources);
 * ``cache`` — the §4.1 cross-snapshot validation-cache counters;
 * ``stage_cache`` — the stage-artifact cache's hit/miss/store counters,
   total and per stage (the warm-run CI gate asserts a nonzero hit ratio
@@ -94,6 +97,7 @@ def build_report(result: Any) -> dict:
         "stages": _stages_section(registry),
         "funnel": _funnel_section(registry, result.snapshots),
         "store": _store_section(registry),
+        "ingest": _ingest_section(registry),
         "cache": _cache_section(registry),
         "stage_cache": _stage_cache_section(registry),
         "metrics": registry.to_dict(),
@@ -130,6 +134,29 @@ def _store_section(registry: MetricsRegistry) -> dict:
                 "match_subset_tests", event="reused"
             ),
         },
+    }
+
+
+def _ingest_section(registry: MetricsRegistry) -> dict:
+    """Ingestion robustness accounting, summed across snapshots.
+
+    The counters are booked by the ``ingest`` stage from each snapshot's
+    :class:`~repro.robustness.IngestReport` (absent for in-memory
+    sources, so their reports carry an all-zero section).  Like
+    ``store``, the section is not in ``_REQUIRED_KEYS`` and not in the
+    deterministic view, keeping old and new reports comparable — the
+    fault-injection tests assert on it directly instead.
+    """
+    records = registry.counters_by_label("ingest_records", "event")
+    quarantined = registry.counters_by_label("ingest_quarantined", "error_class")
+    repaired = registry.counters_by_label("ingest_repaired", "error_class")
+    return {
+        "seen": records.get("seen", 0),
+        "accepted": records.get("accepted", 0),
+        "quarantined": sum(quarantined.values()),
+        "repaired": sum(repaired.values()),
+        "quarantined_by_class": {k: quarantined[k] for k in sorted(quarantined)},
+        "repaired_by_class": {k: repaired[k] for k in sorted(repaired)},
     }
 
 

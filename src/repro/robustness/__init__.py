@@ -1,0 +1,46 @@
+"""Fault-tolerant corpus ingestion: policies, quarantine, error taxonomy.
+
+The real pipeline consumes multi-terabyte Rapid7/Censys corpuses that are
+notoriously dirty — truncated JSON lines, undecodable certificates,
+records that contradict each other — and a loader that aborts a whole
+snapshot on the first bad byte cannot survive contact with them (the
+lesson Pythia and CERTainty both draw for large-scale TLS measurement).
+This package is the ingestion robustness layer the streaming corpus
+reader (:func:`repro.scan.corpus.stream_snapshot`) is built on:
+
+* :class:`IngestPolicy` — how a reader reacts to a bad record:
+  ``strict`` (fail fast, with position), ``lenient`` (quarantine and
+  continue) or ``repair`` (fix what is mechanically fixable, quarantine
+  the rest);
+* :class:`CorpusParseError` — the strict-mode exception, carrying the
+  file, line number, byte offset and error class of the offending record;
+* :class:`QuarantineSink` / :class:`QuarantinedRecord` — where rejected
+  records go instead of the floor: an in-memory log that can be written
+  as JSONL (one offending line + error class + position per record);
+* :class:`IngestReport` — the per-snapshot accounting (records seen /
+  accepted / quarantined / repaired, per error class) that the ``ingest``
+  pipeline stage books into the run report.
+
+The policy is selected per run via
+:class:`~repro.core.pipeline.PipelineOptions` (``on_error=...``) or the
+CLI's ``--on-error`` flag, and :class:`~repro.datasets.FileDataset`
+threads it into every corpus read.
+"""
+
+from repro.robustness.policy import (
+    ERROR_CLASSES,
+    REPAIRABLE_CLASSES,
+    CorpusParseError,
+    IngestPolicy,
+)
+from repro.robustness.quarantine import IngestReport, QuarantinedRecord, QuarantineSink
+
+__all__ = [
+    "ERROR_CLASSES",
+    "REPAIRABLE_CLASSES",
+    "CorpusParseError",
+    "IngestPolicy",
+    "IngestReport",
+    "QuarantinedRecord",
+    "QuarantineSink",
+]

@@ -1,0 +1,168 @@
+"""The quarantine sink: where rejected corpus records go, and the counts.
+
+A quarantine file is newline-delimited JSON, one object per rejected (or
+repaired) record::
+
+    {"source": "corpora/rapid7/2020-10.jsonl", "line": 812,
+     "offset": 104233, "class": "malformed_json", "action": "quarantined",
+     "error": "Expecting ',' delimiter: ...", "raw": "{\"type\": \"tls\", ..."}
+
+The format is deliberately self-contained — offending line, error class,
+snapshot position — so an operator can grep a quarantine file, fix the
+producer, and re-run; and deterministic, so two lenient runs of the same
+corpus write byte-identical quarantine files (a property the tests pin).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["IngestReport", "QuarantinedRecord", "QuarantineSink"]
+
+#: Quarantined raw lines are truncated to this many characters — enough
+#: to identify the record, bounded so a single multi-megabyte garbage
+#: line cannot bloat the quarantine file.
+_RAW_LIMIT = 2000
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedRecord:
+    """One rejected (or repaired) corpus record, with its position."""
+
+    #: The corpus file the record came from.
+    source: str
+    #: 1-based line number within the file.
+    line_number: int
+    #: 0-based byte offset of the line's first byte.
+    byte_offset: int
+    #: One of :data:`~repro.robustness.policy.ERROR_CLASSES`.
+    error_class: str
+    #: What happened to the record: ``"quarantined"`` or ``"repaired"``.
+    action: str
+    #: Human-readable cause.
+    error: str
+    #: The offending line (truncated to a bounded length).
+    raw: str
+
+    def to_json(self) -> dict:
+        """The quarantine-file JSON object for this record."""
+        return {
+            "source": self.source,
+            "line": self.line_number,
+            "offset": self.byte_offset,
+            "class": self.error_class,
+            "action": self.action,
+            "error": self.error,
+            "raw": self.raw,
+        }
+
+
+@dataclass(slots=True)
+class IngestReport:
+    """Per-snapshot ingestion accounting (plain data, picklable).
+
+    ``seen`` counts every non-blank line the reader consumed; each is
+    either ``accepted`` (possibly after repairs) or ``quarantined``.
+    ``repaired`` counts repair *events* — a record fixed twice (say a
+    stringified IP and a missing port) books two — which is what lets
+    the fault-injection harness assert one count per injected fault.
+    The per-class dicts split quarantines and repairs by error class —
+    the counts the run report's ``ingest`` section publishes.
+    """
+
+    seen: int = 0
+    accepted: int = 0
+    quarantined: int = 0
+    repaired: int = 0
+    quarantined_by_class: dict[str, int] = field(default_factory=dict)
+    repaired_by_class: dict[str, int] = field(default_factory=dict)
+
+    def clean(self) -> bool:
+        """Whether ingestion saw no bad records at all."""
+        return not self.quarantined and not self.repaired
+
+
+class QuarantineSink:
+    """Collects rejected records during one corpus read.
+
+    The sink is in-memory; :meth:`write` persists it as JSONL when a
+    quarantine directory is configured.  Records arrive in file order,
+    so the written file is deterministic for a given corpus + policy.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.records: list[QuarantinedRecord] = []
+        self.report = IngestReport()
+
+    # -- recording ---------------------------------------------------------
+
+    def saw(self, count: int = 1) -> None:
+        """Count ``count`` consumed lines."""
+        self.report.seen += count
+
+    def accepted(self, count: int = 1) -> None:
+        """Count ``count`` records ingested cleanly."""
+        self.report.accepted += count
+
+    def quarantine(
+        self, line_number: int, byte_offset: int, error_class: str,
+        error: str, raw: str,
+    ) -> None:
+        """Record one rejected line."""
+        self.records.append(
+            QuarantinedRecord(
+                source=self.source,
+                line_number=line_number,
+                byte_offset=byte_offset,
+                error_class=error_class,
+                action="quarantined",
+                error=error,
+                raw=raw[:_RAW_LIMIT],
+            )
+        )
+        report = self.report
+        report.quarantined += 1
+        report.quarantined_by_class[error_class] = (
+            report.quarantined_by_class.get(error_class, 0) + 1
+        )
+
+    def repaired(
+        self, line_number: int, byte_offset: int, error_class: str,
+        error: str, raw: str,
+    ) -> None:
+        """Record one repair event (acceptance is booked separately)."""
+        self.records.append(
+            QuarantinedRecord(
+                source=self.source,
+                line_number=line_number,
+                byte_offset=byte_offset,
+                error_class=error_class,
+                action="repaired",
+                error=error,
+                raw=raw[:_RAW_LIMIT],
+            )
+        )
+        report = self.report
+        report.repaired += 1
+        report.repaired_by_class[error_class] = (
+            report.repaired_by_class.get(error_class, 0) + 1
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def write(self, path: str | Path) -> Path:
+        """Write the quarantine log as JSONL (parent dirs created).
+
+        Always writes — an empty file is positive evidence that a lenient
+        run quarantined nothing, which is what the clean-corpus parity
+        tests check.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        return path

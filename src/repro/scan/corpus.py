@@ -1,4 +1,4 @@
-"""JSONL persistence for scan snapshots.
+"""JSONL persistence for scan snapshots, with fault-tolerant ingestion.
 
 The real pipeline consumes multi-gigabyte sonar.ssl files; this module
 round-trips our :class:`~repro.scan.records.ScanSnapshot` through the same
@@ -13,6 +13,15 @@ chains intern straight into the unique-chain table and rows land in the
 ``(ip, chain_index)`` / ``(ip, port, header_index)`` columns without a
 single ``TLSRecord``/``HTTPRecord`` object being materialized.
 :func:`load_snapshot` is the legacy name for the same streaming read.
+
+Reading is governed by an :class:`~repro.robustness.IngestPolicy`.  Under
+the default ``strict`` policy any malformed record raises
+:class:`~repro.robustness.CorpusParseError` carrying the file path, the
+1-based line number and the 0-based byte offset of the offending line.
+Under ``lenient``/``repair`` bad records are routed to a
+:class:`~repro.robustness.QuarantineSink` instead and the surviving
+records still produce a usable snapshot, whose per-class accounting rides
+along as ``ScanSnapshot.ingest``.
 """
 
 from __future__ import annotations
@@ -20,12 +29,21 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.net.ipv4 import IPv4Address
+from repro.robustness import CorpusParseError, IngestPolicy, QuarantineSink
 from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
 from repro.x509.certificate import Certificate, SubjectName
 from repro.x509.chain import CertificateChain
 
 __all__ = ["save_snapshot", "load_snapshot", "stream_snapshot"]
+
+_MAX_IPV4 = 2**32 - 1
+_MAX_PORT = 65535
+#: Default port ``repair`` mode substitutes for an ``http`` record that
+#: lost its ``port`` field (plain HTTP, the dominant scheme in the
+#: header-confirmation corpus).
+_DEFAULT_HTTP_PORT = 80
 
 
 def _cert_to_json(certificate: Certificate) -> dict:
@@ -115,49 +133,279 @@ def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
             handle.write(json.dumps(payload) + "\n")
 
 
-def stream_snapshot(path: str | Path) -> ScanSnapshot:
+class _RecordError(Exception):
+    """Internal: one record failed, with its error class.
+
+    Converted by the reader loop into a positioned
+    :class:`CorpusParseError` (strict) or a quarantine entry (lenient /
+    repair) — the record handlers below never see file positions.
+    """
+
+    def __init__(self, error_class: str, message: str) -> None:
+        super().__init__(message)
+        self.error_class = error_class
+        self.message = message
+
+
+def _coerce_ip(payload: dict, kind: str, repairs: bool, repair_log: list) -> int:
+    """The record's ``ip`` as an integer, repairing dotted quads if allowed."""
+    ip = payload.get("ip")
+    if isinstance(ip, str):
+        if not repairs:
+            raise _RecordError(
+                "string_ip", f"{kind} record ip must be an integer, got string {ip!r}"
+            )
+        try:
+            value = IPv4Address.parse(ip).value
+        except (ValueError, TypeError):
+            raise _RecordError(
+                "string_ip", f"{kind} record ip string {ip!r} is not a dotted quad"
+            ) from None
+        repair_log.append(("string_ip", f"parsed {kind} ip string {ip!r} as {value}"))
+        return value
+    if isinstance(ip, bool) or not isinstance(ip, int):
+        raise _RecordError(
+            "schema_violation",
+            f"{kind} record ip must be an integer, got {type(ip).__name__}",
+        )
+    if not 0 <= ip <= _MAX_IPV4:
+        raise _RecordError(
+            "out_of_range_ip", f"{kind} record ip {ip} is outside 0..{_MAX_IPV4}"
+        )
+    return ip
+
+
+def _apply_meta(result: ScanSnapshot | None, payload: dict) -> ScanSnapshot:
+    scanner = payload.get("scanner")
+    label = payload.get("snapshot")
+    if not isinstance(scanner, str) or not isinstance(label, str):
+        raise _RecordError(
+            "schema_violation", "meta record needs string 'scanner' and 'snapshot'"
+        )
+    try:
+        parsed = Snapshot.parse(label)
+    except (ValueError, TypeError):
+        raise _RecordError(
+            "schema_violation", f"meta snapshot {label!r} is not a YYYY-MM label"
+        ) from None
+    if result is not None:
+        raise _RecordError("schema_violation", "duplicate meta header")
+    return ScanSnapshot(scanner=scanner, snapshot=parsed)
+
+
+def _apply_chain(
+    result: ScanSnapshot, payload: dict, repairs: bool, repair_log: list
+) -> None:
+    certs_payload = payload.get("certs")
+    if not isinstance(certs_payload, list) or not certs_payload:
+        raise _RecordError(
+            "undecodable_chain", "chain record needs a non-empty 'certs' list"
+        )
+    try:
+        chain = CertificateChain(tuple(_cert_from_json(c) for c in certs_payload))
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise _RecordError(
+            "undecodable_chain", f"cannot decode certificate chain: {exc!r}"
+        ) from None
+    store = result.store
+    fingerprint = chain.end_entity.fingerprint
+    try:
+        existing = store.chain_index_of(fingerprint)
+    except KeyError:
+        store.intern_chain(chain)
+        return
+    if store.chains[existing] != chain:
+        if repairs:
+            repair_log.append(
+                ("conflicting_chain", f"kept first definition of chain {fingerprint}")
+            )
+            return
+        raise _RecordError(
+            "conflicting_chain",
+            f"chain {fingerprint} re-defined with different content",
+        )
+    # Exact duplicate of an already-interned chain: harmless, accept it.
+
+
+def _apply_tls(
+    result: ScanSnapshot, payload: dict, repairs: bool, repair_log: list
+) -> None:
+    ip = _coerce_ip(payload, "tls", repairs, repair_log)
+    reference = payload.get("chain")
+    if not isinstance(reference, str):
+        raise _RecordError(
+            "schema_violation", "tls record needs a string 'chain' fingerprint"
+        )
+    try:
+        chain_index = result.store.chain_index_of(reference)
+    except KeyError:
+        raise _RecordError(
+            "unknown_chain_ref", f"tls row references unknown chain {reference!r}"
+        ) from None
+    result.store.add_tls_row(ip, chain_index)
+
+
+def _apply_http(
+    result: ScanSnapshot, payload: dict, repairs: bool, repair_log: list
+) -> None:
+    ip = _coerce_ip(payload, "http", repairs, repair_log)
+    if "port" not in payload:
+        if not repairs:
+            raise _RecordError("missing_port", "http record has no 'port' field")
+        port = _DEFAULT_HTTP_PORT
+        repair_log.append(
+            ("missing_port", f"defaulted missing port to {_DEFAULT_HTTP_PORT}")
+        )
+    else:
+        port = payload["port"]
+        if isinstance(port, bool) or not isinstance(port, int):
+            raise _RecordError(
+                "schema_violation",
+                f"http record port must be an integer, got {type(port).__name__}",
+            )
+        if not 0 < port <= _MAX_PORT:
+            raise _RecordError(
+                "schema_violation", f"http record port {port} is outside 1..{_MAX_PORT}"
+            )
+    headers_payload = payload.get("headers")
+    if not isinstance(headers_payload, list):
+        raise _RecordError(
+            "schema_violation", "http record needs a 'headers' list of [name, value]"
+        )
+    headers: list[tuple[str, str]] = []
+    for pair in headers_payload:
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or not all(isinstance(part, str) for part in pair)
+        ):
+            raise _RecordError(
+                "schema_violation", f"http header entry {pair!r} is not a [name, value]"
+            )
+        headers.append((pair[0], pair[1]))
+    result.store.add_http(ip, port, tuple(headers))
+
+
+def _apply_record(
+    result: ScanSnapshot | None, payload: object, repairs: bool, repair_log: list
+) -> ScanSnapshot:
+    """Route one decoded line into the store; raise :class:`_RecordError`
+    (never a bare exception) when it cannot be ingested."""
+    if not isinstance(payload, dict):
+        raise _RecordError(
+            "schema_violation",
+            f"record must be a JSON object, got {type(payload).__name__}",
+        )
+    kind = payload.get("type")
+    if not isinstance(kind, str):
+        raise _RecordError("schema_violation", "record has no string 'type' field")
+    if kind == "meta":
+        return _apply_meta(result, payload)
+    if result is None:
+        raise _RecordError("missing_meta", f"{kind} record before meta header")
+    if kind == "chain":
+        _apply_chain(result, payload, repairs, repair_log)
+    elif kind == "tls":
+        _apply_tls(result, payload, repairs, repair_log)
+    elif kind == "http":
+        _apply_http(result, payload, repairs, repair_log)
+    else:
+        raise _RecordError("unknown_record_type", f"unknown record type {kind!r}")
+    return result
+
+
+def stream_snapshot(
+    path: str | Path,
+    policy: IngestPolicy | None = None,
+    quarantine_path: str | Path | None = None,
+) -> ScanSnapshot:
     """Read a snapshot written by :func:`save_snapshot`, building its
     columnar store incrementally: one JSON line in, one intern or one
     column append out.  Peak memory is the deduplicated store, never a
-    row-object list — the shape that scales to sonar.ssl-sized files."""
+    row-object list — the shape that scales to sonar.ssl-sized files.
+
+    ``policy`` selects the error behaviour (default: strict).  Under
+    ``strict`` the first bad record raises :class:`CorpusParseError`
+    with the file path, 1-based line number and 0-based byte offset of
+    the offending line; under ``lenient``/``repair`` bad records are
+    quarantined (optionally written as JSONL to ``quarantine_path``) and
+    the returned snapshot carries an
+    :class:`~repro.robustness.IngestReport` as ``.ingest``.
+
+    A corpus with no usable ``meta`` header raises under every policy —
+    without the header there is no snapshot to attach surviving records
+    to.
+    """
     path = Path(path)
+    policy = policy or IngestPolicy()
+    sink = QuarantineSink(source=str(path))
+    repairs = policy.repairs
     result: ScanSnapshot | None = None
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            payload = json.loads(line)
-            kind = payload["type"]
-            if kind == "meta":
-                result = ScanSnapshot(
-                    scanner=payload["scanner"],
-                    snapshot=Snapshot.parse(payload["snapshot"]),
-                )
-            elif kind == "chain":
-                if result is None:
-                    raise ValueError("chain record before meta header")
-                certificates = tuple(_cert_from_json(c) for c in payload["certs"])
-                result.store.intern_chain(CertificateChain(certificates))
-            elif kind == "tls":
-                if result is None:
-                    raise ValueError("tls record before meta header")
-                try:
-                    chain_index = result.store.chain_index_of(payload["chain"])
-                except KeyError:
-                    raise ValueError(
-                        f"tls row references unknown chain {payload['chain']!r}"
-                    ) from None
-                result.store.add_tls_row(payload["ip"], chain_index)
-            elif kind == "http":
-                if result is None:
-                    raise ValueError("http record before meta header")
-                result.store.add_http(
-                    payload["ip"],
-                    payload["port"],
-                    tuple((n, v) for n, v in payload["headers"]),
-                )
+    offset = 0
+    line_number = 0
+    with path.open("rb") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line_offset = offset
+            offset += len(raw)
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                text = raw.decode("utf-8", errors="replace")
+                error = _RecordError("malformed_json", f"line is not UTF-8: {exc}")
             else:
-                raise ValueError(f"unknown record type {kind!r}")
+                if not text.strip():
+                    continue  # blank separator lines are not records
+                error = None
+            if error is None:
+                sink.saw()
+                repair_log: list[tuple[str, str]] = []
+                try:
+                    payload = json.loads(text)
+                except json.JSONDecodeError as exc:
+                    error = _RecordError("malformed_json", f"invalid JSON: {exc}")
+                else:
+                    try:
+                        result = _apply_record(result, payload, repairs, repair_log)
+                    except _RecordError as exc:
+                        error = exc
+            else:
+                sink.saw()
+                repair_log = []
+            if error is not None:
+                if policy.strict or error.error_class == "missing_meta":
+                    raise CorpusParseError(
+                        error.message,
+                        path=path,
+                        line_number=line_number,
+                        byte_offset=line_offset,
+                        error_class=error.error_class,
+                    )
+                sink.quarantine(
+                    line_number,
+                    line_offset,
+                    error.error_class,
+                    error.message,
+                    text.rstrip("\n"),
+                )
+                continue
+            sink.accepted()
+            for error_class, message in repair_log:
+                sink.repaired(
+                    line_number, line_offset, error_class, message, text.rstrip("\n")
+                )
     if result is None:
-        raise ValueError(f"empty corpus file: {path}")
+        raise CorpusParseError(
+            "corpus has no usable meta header"
+            if line_number
+            else f"empty corpus file: {path}",
+            path=path,
+            line_number=line_number,
+            byte_offset=0,
+            error_class="missing_meta",
+        )
+    result.ingest = sink.report
+    if quarantine_path is not None and not policy.strict:
+        sink.write(quarantine_path)
     return result
 
 

@@ -54,7 +54,7 @@ class HTTPRecord:
 class ScanSnapshot:
     """One scanner's corpus for one snapshot, backed by a columnar store."""
 
-    __slots__ = ("scanner", "snapshot", "store")
+    __slots__ = ("scanner", "snapshot", "store", "ingest")
 
     def __init__(
         self,
@@ -67,6 +67,10 @@ class ScanSnapshot:
         self.scanner = scanner
         self.snapshot = snapshot
         self.store = store if store is not None else SnapshotStore()
+        #: Ingestion accounting (:class:`~repro.robustness.IngestReport`)
+        #: attached by :func:`repro.scan.corpus.stream_snapshot`; ``None``
+        #: for snapshots built in memory, which never met a parser.
+        self.ingest = None
         if tls_records:
             for record in tls_records:
                 self.store.add_tls(record.ip, record.chain)

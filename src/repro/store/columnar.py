@@ -55,7 +55,16 @@ class StoreStats:
 
 
 class SnapshotStore:
-    """Columnar storage for one scan snapshot's TLS and HTTP observations."""
+    """Columnar storage for one scan snapshot's TLS and HTTP observations.
+
+    Chains, Organization strings, dNSName tuples and header tuples are
+    interned once each (``intern_chain`` et al.); observations append to
+    parallel row columns (``add_tls``/``add_tls_row``/``add_http``).
+    Readers
+    either walk the intern tables directly (the §4 hot paths) or use
+    the lazy row views on :class:`~repro.scan.records.ScanSnapshot`.
+    ``stats()`` summarises the dedup payoff for the run report.
+    """
 
     __slots__ = (
         "chains",

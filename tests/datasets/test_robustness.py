@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.datasets import FileDataset, export_dataset
+from repro.robustness import CorpusParseError, IngestPolicy
 from repro.timeline import Snapshot
 
 SNAP = Snapshot(2020, 10)
@@ -31,10 +32,26 @@ class TestDamagedDatasets:
     def test_truncated_corpus_rejected(self, dataset_dir):
         path = dataset_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl"
         content = path.read_text(encoding="utf-8")
-        path.write_text(content[: len(content) // 2].rsplit("\n", 1)[0] + '\n{"bad', "utf-8")
+        kept = content[: len(content) // 2].rsplit("\n", 1)[0]
+        path.write_text(kept + '\n{"bad', "utf-8")
         dataset = FileDataset(dataset_dir)
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(CorpusParseError) as excinfo:
             dataset.scan("rapid7", SNAP)
+        error = excinfo.value
+        assert error.error_class == "malformed_json"
+        assert error.line_number == kept.count("\n") + 2
+        assert error.byte_offset == len((kept + "\n").encode("utf-8"))
+        assert str(path) in str(error)
+
+    def test_truncated_corpus_survivable_under_lenient(self, dataset_dir):
+        path = dataset_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl"
+        content = path.read_text(encoding="utf-8")
+        kept = content[: len(content) // 2].rsplit("\n", 1)[0]
+        path.write_text(kept + '\n{"bad', "utf-8")
+        dataset = FileDataset(dataset_dir, IngestPolicy(mode="lenient"))
+        scan = dataset.scan("rapid7", SNAP)
+        assert scan.ingest is not None
+        assert scan.ingest.quarantined_by_class["malformed_json"] == 1
 
     def test_garbage_ip2as_rejected(self, dataset_dir):
         (dataset_dir / "ip2as" / f"{SNAP.label}.tsv").write_text("not a prefix\tnope\n")

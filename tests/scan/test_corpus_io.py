@@ -1,6 +1,9 @@
 """Round-trip tests for JSONL corpus persistence."""
 
-from repro.scan.corpus import load_snapshot, save_snapshot
+import pytest
+
+from repro.robustness import CorpusParseError
+from repro.scan.corpus import load_snapshot, save_snapshot, stream_snapshot
 from repro.timeline import Snapshot
 
 END = Snapshot(2021, 4)
@@ -48,3 +51,62 @@ class TestCorpusRoundTrip:
             if verify_chain(record.chain, small_world.root_store, snapshot)
         )
         assert verified > 0
+
+
+class TestParseErrorPositions:
+    """Regression: any parse error must name the exact line *and* byte
+    offset of the offending record, so a multi-gigabyte corpus can be
+    inspected with ``dd``/``tail -c`` instead of re-reading from the top."""
+
+    def _broken_corpus(self, small_world, tmp_path):
+        original = small_world.scan("rapid7", Snapshot(2014, 4))
+        path = tmp_path / "corpus.jsonl"
+        save_snapshot(original, path)
+        return path
+
+    def test_error_carries_line_and_byte_offset(self, small_world, tmp_path):
+        path = self._broken_corpus(small_world, tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        bad_index = len(lines) // 2
+        lines[bad_index] = b'{"type": "tls", "ip": "not-json\n'
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(CorpusParseError) as excinfo:
+            stream_snapshot(path)
+        error = excinfo.value
+        assert error.line_number == bad_index + 1
+        assert error.byte_offset == sum(len(l) for l in lines[:bad_index])
+        assert error.error_class == "malformed_json"
+        # The rendered message carries all three coordinates.
+        assert f":{error.line_number} " in str(error)
+        assert f"byte offset {error.byte_offset}" in str(error)
+        assert str(path) in str(error)
+
+    def test_offset_correct_after_multibyte_lines(self, small_world, tmp_path):
+        """Byte offsets count bytes, not characters: records containing
+        multi-byte UTF-8 upstream of the fault must not skew the offset."""
+        path = self._broken_corpus(small_world, tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        multibyte = (
+            '{"type": "http", "ip": 16909060, "port": 80, '
+            '"headers": [["Server", "nginx — Zürich ⇒ Köln"]]}\n'
+        ).encode()
+        bad = b"this is not json\n"
+        lines[1:1] = [multibyte, bad]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(CorpusParseError) as excinfo:
+            stream_snapshot(path)
+        error = excinfo.value
+        assert error.line_number == 3
+        assert error.byte_offset == len(lines[0]) + len(multibyte)
+
+    def test_non_utf8_line_is_positioned_too(self, small_world, tmp_path):
+        path = self._broken_corpus(small_world, tmp_path)
+        with path.open("ab") as handle:
+            handle.write(b"\xff\xfe garbage bytes\n")
+        size_before = path.stat().st_size - len(b"\xff\xfe garbage bytes\n")
+        line_count = len(path.read_bytes().splitlines())
+        with pytest.raises(CorpusParseError) as excinfo:
+            stream_snapshot(path)
+        assert excinfo.value.line_number == line_count
+        assert excinfo.value.byte_offset == size_before
+        assert excinfo.value.error_class == "malformed_json"

@@ -1,0 +1,193 @@
+"""The fault injector: deterministic corruption with exact accounting."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.datasets import export_dataset
+from repro.robustness import REPAIRABLE_CLASSES, CorpusParseError, IngestPolicy
+from repro.scan.corpus import stream_snapshot
+from repro.timeline import Snapshot
+from tools.inject_faults import FAULT_KINDS, expected_counts, inject_faults, main
+
+SNAP = Snapshot(2020, 10)
+
+#: One of every fault kind, plus doubles where the corpus easily affords it.
+FULL_SPREAD = {
+    "truncate": 2,
+    "garble": 1,
+    "drop_field": 1,
+    "string_ip": 2,
+    "bad_ip": 1,
+    "missing_port": 1,
+    "bad_chain_ref": 1,
+    "break_cert": 1,
+    "conflict_chain": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def clean_dir(small_world, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("clean-dataset")
+    export_dataset(small_world, directory, snapshots=(SNAP,))
+    return directory
+
+
+@pytest.fixture()
+def injected_dir(clean_dir, tmp_path):
+    directory = tmp_path / "injected"
+    shutil.copytree(clean_dir, directory)
+    faults = inject_faults(directory, seed=7, counts=FULL_SPREAD)
+    return directory, faults
+
+
+def _corpus_path(directory):
+    return directory / "corpora" / "rapid7" / f"{SNAP.label}.jsonl"
+
+
+class TestInjection:
+    def test_faults_manifest_counts(self, injected_dir):
+        _, faults = injected_dir
+        assert faults["applied"] == FULL_SPREAD
+        expected = faults["expected_classes"]
+        # Direct injections land under their declared class...
+        assert expected["malformed_json"] == 3  # truncate x2 + garble
+        assert expected["schema_violation"] == 1
+        assert expected["string_ip"] == 2
+        assert expected["out_of_range_ip"] == 1
+        assert expected["missing_port"] == 1
+        assert expected["undecodable_chain"] == 1
+        assert expected["conflicting_chain"] == 1
+        # ...and the broken chain cascades to its referencing tls rows.
+        assert (
+            expected["unknown_chain_ref"]
+            == 1 + faults["cascade_unknown_chain_refs"]
+        )
+
+    def test_deterministic_for_a_seed(self, clean_dir, tmp_path):
+        copies = []
+        for name in ("a", "b"):
+            directory = tmp_path / name
+            shutil.copytree(clean_dir, directory)
+            inject_faults(directory, seed=11, counts=FULL_SPREAD)
+            copies.append(directory)
+        assert (
+            _corpus_path(copies[0]).read_bytes()
+            == _corpus_path(copies[1]).read_bytes()
+        )
+        assert (copies[0] / "faults.json").read_text() == (
+            copies[1] / "faults.json"
+        ).read_text()
+
+    def test_manifest_fingerprint_changes(self, clean_dir, injected_dir):
+        from repro.datasets import FileDataset
+
+        directory, _ = injected_dir
+        assert (
+            FileDataset(clean_dir).fingerprint()
+            != FileDataset(directory).fingerprint()
+        )
+
+    def test_meta_line_never_touched(self, injected_dir):
+        directory, faults = injected_dir
+        touched = {line for lines in faults["lines"].values() for line in lines}
+        assert 1 not in touched
+        first = _corpus_path(directory).read_text().splitlines()[0]
+        assert json.loads(first)["type"] == "meta"
+
+
+class TestAccounting:
+    def test_strict_fails_at_first_fault(self, injected_dir):
+        directory, faults = injected_dir
+        first_bad = min(
+            line for lines in faults["lines"].values() for line in lines
+        )
+        with pytest.raises(CorpusParseError) as excinfo:
+            stream_snapshot(_corpus_path(directory))
+        assert excinfo.value.line_number == first_bad
+        assert excinfo.value.byte_offset > 0
+        assert excinfo.value.error_class in set(FAULT_KINDS.values()) | {
+            "unknown_chain_ref"
+        }
+
+    def test_lenient_counts_match_exactly(self, injected_dir):
+        directory, faults = injected_dir
+        scan = stream_snapshot(_corpus_path(directory), IngestPolicy("lenient"))
+        want_quarantined, want_repaired = expected_counts(faults, "lenient")
+        assert scan.ingest.quarantined_by_class == want_quarantined
+        assert scan.ingest.repaired_by_class == want_repaired == {}
+        assert scan.ingest.seen == scan.ingest.accepted + scan.ingest.quarantined
+
+    def test_repair_counts_match_exactly(self, injected_dir):
+        directory, faults = injected_dir
+        scan = stream_snapshot(_corpus_path(directory), IngestPolicy("repair"))
+        want_quarantined, want_repaired = expected_counts(faults, "repair")
+        assert scan.ingest.quarantined_by_class == want_quarantined
+        assert scan.ingest.repaired_by_class == want_repaired
+        assert set(want_repaired) <= REPAIRABLE_CLASSES
+
+    def test_repair_keeps_repaired_rows(self, injected_dir):
+        directory, _ = injected_dir
+        lenient = stream_snapshot(_corpus_path(directory), IngestPolicy("lenient"))
+        repair = stream_snapshot(_corpus_path(directory), IngestPolicy("repair"))
+        # string_ip rows (2) come back as tls rows under repair.
+        assert (
+            repair.store.tls_row_count
+            == lenient.store.tls_row_count + FULL_SPREAD["string_ip"]
+        )
+        # the missing_port row comes back as an http row.
+        assert (
+            repair.store.http_row_count
+            == lenient.store.http_row_count + FULL_SPREAD["missing_port"]
+        )
+
+    def test_quarantine_file_lists_every_fault(self, injected_dir, tmp_path):
+        directory, faults = injected_dir
+        quarantine_path = tmp_path / "quarantine.jsonl"
+        stream_snapshot(
+            _corpus_path(directory), IngestPolicy("lenient"), quarantine_path
+        )
+        entries = [
+            json.loads(line)
+            for line in quarantine_path.read_text().splitlines()
+        ]
+        by_class: dict[str, int] = {}
+        for entry in entries:
+            assert entry["action"] == "quarantined"
+            assert entry["line"] > 1 and entry["offset"] >= 0
+            by_class[entry["class"]] = by_class.get(entry["class"], 0) + 1
+        assert by_class == faults["expected_classes"]
+
+
+class TestCli:
+    def test_inject_and_verify_roundtrip(self, clean_dir, tmp_path, capsys):
+        directory = tmp_path / "cli"
+        shutil.copytree(clean_dir, directory)
+        assert (
+            main(
+                [
+                    "inject", "--dir", str(directory), "--seed", "3",
+                    "--truncate", "1", "--string-ip", "1", "--break-cert", "1",
+                ]
+            )
+            == 0
+        )
+        assert main(["verify", "--dir", str(directory)]) == 0
+        assert main(["verify", "--dir", str(directory), "--mode", "repair"]) == 0
+        out = capsys.readouterr().out
+        assert "OK (lenient)" in out and "OK (repair)" in out
+
+    def test_verify_fails_on_tampered_counts(self, injected_dir, capsys):
+        directory, _ = injected_dir
+        faults_path = directory / "faults.json"
+        faults = json.loads(faults_path.read_text())
+        faults["expected_classes"]["malformed_json"] += 1
+        faults_path.write_text(json.dumps(faults))
+        assert main(["verify", "--dir", str(directory)]) == 1
+        assert "FAIL (lenient)" in capsys.readouterr().out
+
+    def test_inject_without_faults_is_an_error(self, clean_dir, tmp_path):
+        directory = tmp_path / "noop"
+        shutil.copytree(clean_dir, directory)
+        assert main(["inject", "--dir", str(directory)]) == 2

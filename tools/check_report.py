@@ -36,7 +36,7 @@ from typing import Iterator
 
 from repro.obs.report import deterministic_view, load_report, validate_report
 
-__all__ = ["compare_reports", "diff_deterministic", "main"]
+__all__ = ["build_parser", "compare_reports", "diff_deterministic", "main"]
 
 #: Default slowdown tolerance: candidate stage time may be up to 1.6x the
 #: baseline before the gate trips (CI runners are noisy neighbours).
@@ -141,9 +141,11 @@ def compare_reports(
     return problems
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def build_parser() -> argparse.ArgumentParser:
+    """The gate's argparse parser (exposed so the documentation tests
+    can validate every flag against the docs)."""
     parser = argparse.ArgumentParser(
+        prog="check_report",
         description="Compare two repro run reports (funnel drift is an "
         "exact failure; stage-time regressions fail beyond a threshold)."
     )
@@ -177,7 +179,12 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless the candidate reports a nonzero stage-artifact "
         "cache hit ratio (the CI warm-cache gate)",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
 
     baseline = load_report(args.baseline)
     candidate = load_report(args.candidate)

@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""Deterministic fault injection for exported corpus datasets.
+
+Corrupts one corpus snapshot of a dataset directory (produced by
+``python -m repro export``) in controlled, seeded ways, so tests, benches
+and CI can assert the ingestion robustness layer degrades gracefully:
+``--on-error=strict`` must fail fast at the first injected fault,
+``--on-error=lenient`` must quarantine *exactly* the injected faults
+(per error class) and still confirm the off-nets derivable from the
+surviving records.
+
+Usage::
+
+    python tools/inject_faults.py inject --dir out/ --truncate 2 \
+        --garble 1 --drop-field 1 --string-ip 2 --bad-ip 1 \
+        --missing-port 1 --bad-chain-ref 1 --break-cert 1 --conflict-chain 1
+    python tools/inject_faults.py verify --dir out/ --mode lenient
+
+``inject`` rewrites the corpus file in place, writes a ``faults.json``
+manifest of what was injected (including the per-error-class counts a
+lenient run must report) and stamps a ``faults`` key into the dataset's
+``manifest.json`` so :meth:`repro.datasets.FileDataset.fingerprint`
+changes — a warm stage cache can never serve pre-corruption artifacts
+for the corrupted data.
+
+``verify`` re-reads the corrupted corpus under ``--mode`` and exits
+nonzero unless the quarantine/repair counts match ``faults.json``
+exactly — the CI ingest gate.
+
+Fault kinds and the error class each must be accounted under
+(:data:`repro.robustness.ERROR_CLASSES`):
+
+==================  ====================  =========================
+kind                target lines          error class
+==================  ====================  =========================
+``truncate``        tls/http rows         ``malformed_json``
+``garble``          tls/http rows         ``malformed_json``
+``drop-field``      tls rows (drop ip)    ``schema_violation``
+``string-ip``       tls rows              ``string_ip`` (repairable)
+``bad-ip``          tls rows              ``out_of_range_ip``
+``missing-port``    http rows             ``missing_port`` (repairable)
+``bad-chain-ref``   tls rows              ``unknown_chain_ref``
+``break-cert``      chain records         ``undecodable_chain`` +
+                                          ``unknown_chain_ref`` for
+                                          every tls row referencing
+                                          the broken chain (cascade)
+``conflict-chain``  appended chain copy   ``conflicting_chain``
+                                          (repairable: keep first)
+==================  ====================  =========================
+
+The meta header (line 1) is never touched: without it there is no
+snapshot to attach survivors to, so corrupting it is fatal under every
+policy — graceful degradation is only defined past the header.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.robustness import REPAIRABLE_CLASSES, IngestPolicy  # noqa: E402
+from repro.scan.corpus import stream_snapshot  # noqa: E402
+
+__all__ = ["FAULT_KINDS", "inject_faults", "expected_counts", "main"]
+
+#: Fault kind -> the error class its direct injections land under.
+FAULT_KINDS = {
+    "truncate": "malformed_json",
+    "garble": "malformed_json",
+    "drop_field": "schema_violation",
+    "string_ip": "string_ip",
+    "bad_ip": "out_of_range_ip",
+    "missing_port": "missing_port",
+    "bad_chain_ref": "unknown_chain_ref",
+    "break_cert": "undecodable_chain",
+    "conflict_chain": "conflicting_chain",
+}
+
+#: faults.json schema marker.
+FAULTS_SCHEMA = "repro.fault-injection/1"
+
+#: A fingerprint no exported chain can have (hex digests only).
+_UNKNOWN_FP = "injected-unknown-chain-reference"
+
+
+def _ip_to_quad(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _truncate_line(line: str) -> str:
+    """Cut a JSON line so it no longer parses (deterministically)."""
+    body = line.rstrip("\n")
+    cut = body[: max(1, len(body) // 2)]
+    while cut:
+        try:
+            json.loads(cut)
+        except json.JSONDecodeError:
+            return cut
+        cut = cut[:-1]
+    return "{"  # a lone brace never parses
+
+
+def _pick(rng: random.Random, pool: list[int], reserved: set[int], count: int,
+          kind: str) -> list[int]:
+    """``count`` distinct unreserved indices from ``pool`` (then reserved)."""
+    available = [index for index in pool if index not in reserved]
+    if len(available) < count:
+        raise SystemExit(
+            f"not enough eligible lines for --{kind.replace('_', '-')}: "
+            f"wanted {count}, only {len(available)} available"
+        )
+    chosen = sorted(rng.sample(available, count))
+    reserved.update(chosen)
+    return chosen
+
+
+def inject_faults(
+    dataset_dir: str | Path,
+    corpus: str | None = None,
+    snapshot: str | None = None,
+    seed: int = 7,
+    counts: dict[str, int] | None = None,
+) -> dict:
+    """Corrupt one corpus snapshot in place; returns the faults manifest.
+
+    ``counts`` maps fault kinds (keys of :data:`FAULT_KINDS`) to how many
+    records to corrupt.  Selections are seeded and disjoint: no line
+    receives two faults, and lines swept up in a ``break_cert`` cascade
+    (tls rows referencing a broken chain) are excluded from every other
+    pick, so the expected per-class counts are exact, not approximate.
+    """
+    dataset_dir = Path(dataset_dir)
+    manifest_path = dataset_dir / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    corpus = corpus or next(iter(manifest["corpora"]))
+    snapshot = snapshot or sorted(manifest["corpora"][corpus])[-1]
+    corpus_path = dataset_dir / "corpora" / corpus / f"{snapshot}.jsonl"
+    counts = {kind: int(counts.get(kind, 0)) for kind in FAULT_KINDS} if counts else {}
+    unknown = set(counts) - set(FAULT_KINDS)
+    if unknown:
+        raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+
+    lines = corpus_path.read_text(encoding="utf-8").splitlines()
+    rng = random.Random(seed)
+
+    # Index the file: line numbers are 0-based here, 1-based in faults.json.
+    chain_lines: dict[str, int] = {}
+    chain_refs: dict[str, list[int]] = {}
+    tls_lines: list[int] = []
+    http_lines: list[int] = []
+    for index, line in enumerate(lines[1:], start=1):
+        record = json.loads(line)
+        kind = record["type"]
+        if kind == "chain":
+            chain_lines[record["id"]] = index
+            chain_refs.setdefault(record["id"], [])
+        elif kind == "tls":
+            tls_lines.append(index)
+            chain_refs.setdefault(record["chain"], []).append(index)
+        elif kind == "http":
+            http_lines.append(index)
+
+    reserved: set[int] = set()
+    picks: dict[str, list[int]] = {}
+
+    # 1. break_cert first: it reserves the broken chain line AND every tls
+    #    row referencing it (the cascade), so later picks cannot overlap
+    #    and every cascade row is accounted exactly once.
+    cascade_refs = 0
+    if counts.get("break_cert"):
+        fingerprints = sorted(chain_lines)
+        rng.shuffle(fingerprints)
+        broken: list[int] = []
+        for fingerprint in fingerprints:
+            if len(broken) == counts["break_cert"]:
+                break
+            line_index = chain_lines[fingerprint]
+            refs = chain_refs.get(fingerprint, [])
+            if line_index in reserved or any(r in reserved for r in refs):
+                continue
+            broken.append(line_index)
+            reserved.add(line_index)
+            reserved.update(refs)
+            cascade_refs += len(refs)
+        if len(broken) < counts["break_cert"]:
+            raise SystemExit(
+                f"not enough unreserved chains for --break-cert: wanted "
+                f"{counts['break_cert']}, found {len(broken)}"
+            )
+        picks["break_cert"] = sorted(broken)
+
+    # 2. conflict_chain: the original chain line must survive untouched
+    #    (the appended copy conflicts with it), so reserve it too.
+    if counts.get("conflict_chain"):
+        originals = _pick(
+            rng, sorted(chain_lines.values()), reserved,
+            counts["conflict_chain"], "conflict_chain",
+        )
+        picks["conflict_chain"] = originals
+
+    # 3. Row-level faults on unreserved tls/http lines.
+    for kind, pool in (
+        ("drop_field", tls_lines),
+        ("string_ip", tls_lines),
+        ("bad_ip", tls_lines),
+        ("bad_chain_ref", tls_lines),
+        ("missing_port", http_lines),
+        ("truncate", tls_lines + http_lines),
+        ("garble", tls_lines + http_lines),
+    ):
+        if counts.get(kind):
+            picks[kind] = _pick(rng, pool, reserved, counts[kind], kind)
+
+    # Apply, in line order where possible (mutations are independent).
+    appended: list[str] = []
+    for kind, indices in picks.items():
+        for index in indices:
+            if kind == "conflict_chain":
+                # The original line stays intact; the *appended* modified
+                # copy is the conflicting record.
+                record = json.loads(lines[index])
+                record["certs"][0]["serial"] = "injected-conflicting-serial"
+                appended.append(json.dumps(record))
+                continue
+            if kind == "truncate":
+                lines[index] = _truncate_line(lines[index])
+            elif kind == "garble":
+                lines[index] = "~" + lines[index]
+            elif kind == "drop_field":
+                record = json.loads(lines[index])
+                del record["ip"]
+                lines[index] = json.dumps(record)
+            elif kind == "string_ip":
+                record = json.loads(lines[index])
+                record["ip"] = _ip_to_quad(record["ip"])
+                lines[index] = json.dumps(record)
+            elif kind == "bad_ip":
+                record = json.loads(lines[index])
+                record["ip"] = 2**32 + record["ip"]
+                lines[index] = json.dumps(record)
+            elif kind == "missing_port":
+                record = json.loads(lines[index])
+                del record["port"]
+                lines[index] = json.dumps(record)
+            elif kind == "bad_chain_ref":
+                record = json.loads(lines[index])
+                record["chain"] = _UNKNOWN_FP
+                lines[index] = json.dumps(record)
+            elif kind == "break_cert":
+                record = json.loads(lines[index])
+                del record["certs"][0]["fingerprint"]
+                lines[index] = json.dumps(record)
+    if appended:
+        # Report the appended copies' positions, not the originals'.
+        picks["conflict_chain"] = list(
+            range(len(lines), len(lines) + len(appended))
+        )
+    lines.extend(appended)
+    corpus_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    applied = {kind: len(indices) for kind, indices in picks.items()}
+    expected: dict[str, int] = {}
+    for kind, count in applied.items():
+        error_class = FAULT_KINDS[kind]
+        expected[error_class] = expected.get(error_class, 0) + count
+    if cascade_refs:
+        expected["unknown_chain_ref"] = (
+            expected.get("unknown_chain_ref", 0) + cascade_refs
+        )
+
+    faults = {
+        "schema": FAULTS_SCHEMA,
+        "corpus": corpus,
+        "snapshot": snapshot,
+        "seed": seed,
+        "applied": applied,
+        "cascade_unknown_chain_refs": cascade_refs,
+        "expected_classes": {k: expected[k] for k in sorted(expected)},
+        "lines": {
+            kind: [index + 1 for index in indices]
+            for kind, indices in sorted(picks.items())
+        },
+    }
+    (dataset_dir / "faults.json").write_text(
+        json.dumps(faults, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # Stamp the dataset manifest: FileDataset.fingerprint() hashes it, so
+    # stage-cache keys for the corrupted data differ from the clean run's.
+    manifest["faults"] = {
+        "corpus": corpus,
+        "snapshot": snapshot,
+        "seed": seed,
+        "applied": applied,
+    }
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return faults
+
+
+def expected_counts(faults: dict, mode: str) -> tuple[dict[str, int], dict[str, int]]:
+    """The exact (quarantined_by_class, repaired_by_class) a run under
+    ``mode`` must report for an injected dataset.
+
+    Under ``lenient`` everything is quarantined; under ``repair`` the
+    repairable classes move to the repaired side (and a repaired conflict
+    keeps the first chain interned, so its cascade stays empty either
+    way — cascades are only ever booked for *broken* chains).
+    """
+    classes = dict(faults["expected_classes"])
+    if mode == "lenient":
+        return classes, {}
+    if mode != "repair":
+        raise ValueError(f"expected_counts needs lenient|repair, got {mode!r}")
+    quarantined = {
+        k: v for k, v in classes.items() if k not in REPAIRABLE_CLASSES
+    }
+    repaired = {k: v for k, v in classes.items() if k in REPAIRABLE_CLASSES}
+    return quarantined, repaired
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    counts = {
+        kind: getattr(args, kind)
+        for kind in FAULT_KINDS
+        if getattr(args, kind)
+    }
+    if not counts:
+        print("nothing to inject: pass at least one --<fault> N flag")
+        return 2
+    faults = inject_faults(
+        args.dir, corpus=args.corpus, snapshot=args.snapshot,
+        seed=args.seed, counts=counts,
+    )
+    total = sum(faults["applied"].values())
+    print(
+        f"injected {total} faults into {faults['corpus']}/{faults['snapshot']} "
+        f"(+{faults['cascade_unknown_chain_refs']} cascaded chain refs); "
+        f"expected classes: {faults['expected_classes']}"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    dataset_dir = Path(args.dir)
+    faults = json.loads((dataset_dir / "faults.json").read_text(encoding="utf-8"))
+    corpus_path = (
+        dataset_dir / "corpora" / faults["corpus"] / f"{faults['snapshot']}.jsonl"
+    )
+    scan = stream_snapshot(corpus_path, IngestPolicy(mode=args.mode))
+    report = scan.ingest
+    want_quarantined, want_repaired = expected_counts(faults, args.mode)
+    problems = []
+    if report.quarantined_by_class != want_quarantined:
+        problems.append(
+            f"quarantined_by_class {report.quarantined_by_class} "
+            f"!= expected {want_quarantined}"
+        )
+    if report.repaired_by_class != want_repaired:
+        problems.append(
+            f"repaired_by_class {report.repaired_by_class} "
+            f"!= expected {want_repaired}"
+        )
+    if problems:
+        print(f"FAIL ({args.mode}): " + "; ".join(problems))
+        return 1
+    print(
+        f"OK ({args.mode}): {report.quarantined} quarantined, "
+        f"{report.repaired} repaired, {report.accepted}/{report.seen} accepted "
+        "— exactly the injected faults"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="inject_faults",
+        description="Deterministically corrupt an exported corpus snapshot "
+        "and verify the ingestion layer accounts for every fault",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inject = sub.add_parser("inject", help="corrupt a corpus snapshot in place")
+    inject.add_argument("--dir", required=True, help="dataset directory")
+    inject.add_argument("--corpus", default=None, help="corpus name (default: first)")
+    inject.add_argument("--snapshot", default=None, help="YYYY-MM (default: last)")
+    inject.add_argument("--seed", type=int, default=7, help="selection seed")
+    for kind, error_class in FAULT_KINDS.items():
+        inject.add_argument(
+            f"--{kind.replace('_', '-')}",
+            dest=kind,
+            type=int,
+            default=0,
+            metavar="N",
+            help=f"inject N {kind} faults (error class: {error_class})",
+        )
+
+    verify = sub.add_parser(
+        "verify", help="re-read the corrupted corpus and check the counts"
+    )
+    verify.add_argument("--dir", required=True, help="dataset directory")
+    verify.add_argument(
+        "--mode", default="lenient", choices=("lenient", "repair"),
+        help="ingestion policy to verify under (default lenient)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"inject": _cmd_inject, "verify": _cmd_verify}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
