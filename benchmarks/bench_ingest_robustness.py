@@ -99,10 +99,10 @@ def test_graceful_degradation(benchmark, tmp_path_factory):
     corpus = cleaned_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl"
     quarantined_lines = set()
     from repro.robustness import IngestPolicy
-    from repro.scan.corpus import stream_snapshot
+    from repro.datasets.formats import read_corpus
 
     quarantine_file = base / "quarantine.jsonl"
-    stream_snapshot(
+    read_corpus(
         injected_dir / "corpora" / "rapid7" / f"{SNAP.label}.jsonl",
         IngestPolicy("lenient"),
         quarantine_file,

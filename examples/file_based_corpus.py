@@ -6,7 +6,10 @@ Run with::
 
 The real pipeline consumes sonar.ssl-style files; this example shows the
 same split between *collection* (scan once, persist) and *analysis*
-(reload, validate, fingerprint) using :mod:`repro.scan.corpus`.
+(reload, validate, fingerprint) using the :mod:`repro.datasets.formats`
+codec registry — swap ``format_name="columnar"`` into ``write_corpus``
+to persist the packed binary format instead; ``read_corpus`` autodetects
+either from file content.
 """
 
 import tempfile
@@ -14,7 +17,7 @@ from pathlib import Path
 
 from repro import build_world
 from repro.core import CertificateValidator, find_candidates, learn_tls_fingerprint
-from repro.scan.corpus import load_snapshot, save_snapshot
+from repro.datasets.formats import read_corpus, write_corpus
 from repro.timeline import Snapshot
 
 
@@ -26,13 +29,13 @@ def main() -> None:
         # --- collection phase -------------------------------------------------
         path = Path(tmp) / f"rapid7-{snapshot.label}.jsonl"
         scan = world.scan("rapid7", snapshot)
-        save_snapshot(scan, path)
+        write_corpus(scan, path)
         size_kb = path.stat().st_size / 1024
         print(f"wrote {path.name}: {scan.ip_count} IPs, "
               f"{scan.unique_certificates()} unique certificates, {size_kb:.0f} KiB")
 
         # --- analysis phase (a different process, typically) -------------------
-        corpus = load_snapshot(path)
+        corpus = read_corpus(path)
         print(f"reloaded {corpus.scanner} corpus for {corpus.snapshot}")
 
         records, stats = CertificateValidator(world.root_store).validate_snapshot(corpus)

@@ -9,6 +9,11 @@ Commands::
     python -m repro coverage   --hypergiant google              # §6.5
     python -m repro growth     --hypergiant netflix             # Fig. 3 series
     python -m repro dump       --snapshot 2019-10 --out r7.jsonl
+    python -m repro export     --dir out/ --format columnar     # binary corpora
+
+``dump`` and ``export`` take ``--format {jsonl,columnar}`` to pick the
+corpus codec (:mod:`repro.datasets.formats`); readers autodetect the
+format from file content, so ``run --dir`` needs no flag either way.
 
 Every world-backed command builds the same deterministic world from
 ``--seed``/``--scale``; ``run --dir`` drives the identical pipeline from an
@@ -58,8 +63,8 @@ from repro.analysis import build_table3, render_table
 from repro.analysis.coverage import country_coverage, worldwide_coverage
 from repro.core import OffnetPipeline, PipelineOptions, restore_netflix
 from repro.hypergiants.profiles import TOP4
+from repro.datasets.formats import format_names, get_format
 from repro.robustness import CorpusParseError
-from repro.scan.corpus import save_snapshot
 from repro.timeline import Snapshot
 from repro.validation import survey_hypergiant
 from repro.world import WorldConfig, build_world
@@ -201,11 +206,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_globals(growth)
     growth.add_argument("--hypergiant", default="google")
 
-    dump = sub.add_parser("dump", help="write one scan snapshot as JSONL")
+    dump = sub.add_parser("dump", help="write one scan snapshot to a corpus file")
     _add_globals(dump)
     dump.add_argument("--corpus", default="rapid7", choices=("rapid7", "censys", "certigo"))
     dump.add_argument("--snapshot", default="2019-10", help="YYYY-MM")
     dump.add_argument("--out", required=True, help="output path")
+    dump.add_argument(
+        "--format",
+        default="jsonl",
+        choices=format_names(),
+        help="corpus codec to write (default: jsonl)",
+    )
 
     export = sub.add_parser(
         "export", help="export corpuses + support datasets to a directory"
@@ -217,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument(
         "--snapshot", action="append", default=None, help="YYYY-MM (repeatable; default all)"
+    )
+    export.add_argument(
+        "--format",
+        default="jsonl",
+        choices=format_names(),
+        help="corpus codec for the exported snapshot files (default: jsonl)",
     )
 
     run_files = sub.add_parser(
@@ -465,7 +482,7 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     world = _world(args)
     snapshot = Snapshot.parse(args.snapshot)
     scan = world.scan(args.corpus, snapshot)
-    save_snapshot(scan, args.out)
+    get_format(args.format).write(scan, args.out)
     print(
         f"wrote {args.out}: {scan.ip_count} IPs, "
         f"{scan.unique_certificates()} unique certificates"
@@ -481,8 +498,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
     snapshots = (
         tuple(Snapshot.parse(label) for label in args.snapshot) if args.snapshot else None
     )
-    directory = export_dataset(world, args.dir, corpora=corpora, snapshots=snapshots)
-    print(f"exported {', '.join(corpora)} to {directory}")
+    directory = export_dataset(
+        world,
+        args.dir,
+        corpora=corpora,
+        snapshots=snapshots,
+        corpus_format=args.format,
+    )
+    print(f"exported {', '.join(corpora)} to {directory} ({args.format})")
     return 0
 
 

@@ -469,7 +469,7 @@ def build_offnet_graph() -> StageGraph:
                 deps=("scan",),
                 option_keys=(),
                 run=_run_ingest,
-                version="2",  # v2: books the ingest-robustness counters
+                version="3",  # v3: format-autodetecting corpus reads (registry)
                 produces="IngestStats + corpus/store/ingest shape counters",
             ),
             Stage(

@@ -1,0 +1,934 @@
+"""The packed binary columnar corpus format (``.rcc``).
+
+JSONL pays one ``json.loads`` + one dict walk per record — at corpus
+scale that is the whole ingest bill.  This codec removes it by storing a
+snapshot **in the columnar store's own layout**: the interned side
+tables (Organization strings, lowercased dNSName tuples, header tuples,
+the unique-chain table) and the parallel row columns
+(``(ip, chain_index)`` TLS rows, ``(ip, port, header_index)`` HTTP rows)
+each land in their own length-prefixed, CRC-checksummed block.  Loading
+is therefore near zero-copy: the u32 row columns come back via
+``array.frombytes`` (one memcpy each), the side tables via one
+``json.loads`` per *table* (not per record), and the whole file lands in
+a :class:`~repro.store.SnapshotStore` through
+:meth:`~repro.store.SnapshotStore.from_columns` with no per-row Python
+object churn.
+
+The interning goes two levels deeper than the in-memory store:
+certificates are deduplicated *within the file* (an intermediate CA cert
+shared by thousands of chains is stored and materialized once; chains
+are u32 reference lists into the cert table), and the cert table itself
+is columnar — one parallel list per certificate field inside a single
+``cert_table`` JSON block, with subject/issuer names interned into a
+shared ``name_table``.  Decoding a certificate is therefore one direct
+dataclass construction from indexed columns, not a ``json.loads`` plus
+dict walk, and certificates materialize lazily: combined with a
+cross-snapshot ``chain_pool`` (fingerprint → materialized chain) that
+lets every repeat chain skip its certs entirely — across a longitudinal
+corpus most chains carry over month to month — this is where the
+order-of-magnitude ingest win comes from.
+
+On-disk layout (all integers little-endian)::
+
+    preamble  magic "\\x89RCC\\r\\n\\x1a\\n" (8) | version u16 | block count u16
+    block     name (16, NUL-padded) | kind u8 | payload length u64
+              | crc32 u32 | payload
+
+Blocks: ``meta``, ``org_table``, ``dns_table``, ``header_table``,
+``chain_fps``, ``name_table`` (interned ``[cn, org, country]`` triples),
+``cert_table`` (the parallel per-field lists) as JSON, and
+``chain_certs`` (flattened cert references), ``chain_cert_ends``,
+``chain_org``, ``chain_dns``, ``tls_ip``, ``tls_chain``, ``http_ip``,
+``http_port``, ``http_header`` as packed u32.  ``chain_cert_ends[i]`` is
+the end offset of chain *i*'s slice of ``chain_certs``.
+
+Robustness mirrors the JSONL taxonomy end-to-end
+(:data:`~repro.robustness.ERROR_CLASSES`): a truncated or
+checksum-damaged block is one ``corrupt_block`` quarantine under
+lenient/repair (its dependent row section is dropped as part of the same
+event) and a strict failure carrying the file, the 1-based block ordinal
+and the block's byte offset; an intern index outside its side table
+(a chain referencing a missing cert, a row referencing a missing chain
+or header tuple) is one ``dangling_intern_ref`` per bad entry; a cert
+table entry that fails to materialize books ``undecodable_chain`` for
+each chain built from it, with the same ``unknown_chain_ref`` cascade
+JSONL books for rows referencing a broken chain; a re-defined
+fingerprint is ``conflicting_chain`` (repair keeps the first).  A damaged preamble (bad
+magic, unknown version) is fatal under every policy, the structural
+analogue of a missing ``meta`` header — and a file whose magic is gone
+no longer sniffs as columnar at all, so autodetection routes it to the
+JSONL fallback reader instead.
+
+Accounting matches the JSONL reader record for record: ``seen`` /
+``accepted`` book one meta + one per unique chain + one per TLS/HTTP row
+(a quarantined block books one seen), so a run report's ``ingest``
+section is bit-identical whichever format served the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from array import array
+from pathlib import Path
+
+from repro.robustness import CorpusParseError, IngestPolicy, QuarantineSink
+from repro.scan.records import ScanSnapshot
+from repro.store import SnapshotStore
+from repro.timeline import Snapshot
+from repro.x509.certificate import Certificate, SubjectName
+from repro.x509.chain import CertificateChain
+
+__all__ = [
+    "CHAIN_SECTION_BLOCKS",
+    "ColumnarFormat",
+    "MAGIC",
+    "TLS_BLOCKS",
+    "VERSION",
+]
+
+#: PNG-style magic: high bit set (never valid UTF-8 text), CRLF + ^Z + LF
+#: to catch newline translation and truncation by text-mode tools.
+MAGIC = b"\x89RCC\r\n\x1a\n"
+#: On-disk format version; bump on any layout change.
+VERSION = 1
+
+_PREAMBLE = struct.Struct("<8sHH")
+_BLOCK_HEADER = struct.Struct("<16sBQI")
+_KIND_JSON = 0
+_KIND_U32 = 1
+#: The array typecode with 4-byte items on this build.
+_U32 = next(code for code in ("I", "L") if array(code).itemsize == 4)
+
+#: Writer emission order for the plain store columns; the reader is
+#: order-tolerant but the fixed order keeps exports byte-deterministic.
+_U32_COLUMNS = (
+    "chain_org",
+    "chain_dns",
+    "tls_ip",
+    "tls_chain",
+    "http_ip",
+    "http_port",
+    "http_header",
+)
+#: The ``cert_table`` parallel lists, in emission order.
+_CERT_FIELDS = (
+    "fingerprint",
+    "subject",
+    "issuer",
+    "dns_names",
+    "not_before",
+    "not_after",
+    "is_ca",
+    "skid",
+    "akid",
+    "sig",
+    "serial",
+)
+#: Blocks the chain section needs — losing any of them drops every chain
+#: (and therefore every TLS row).  The fault injector imports this to
+#: keep block-corruption picks from silently swallowing row-level faults
+#: it promised elsewhere.
+CHAIN_SECTION_BLOCKS = (
+    "org_table",
+    "dns_table",
+    "chain_fps",
+    "name_table",
+    "cert_table",
+    "chain_certs",
+    "chain_cert_ends",
+    "chain_org",
+    "chain_dns",
+)
+#: Blocks the TLS row section needs (on top of the chain section).
+TLS_BLOCKS = ("tls_ip", "tls_chain")
+_MAX_PORT = 65535
+
+#: Process-wide memo of parsed validity labels (see ``_Reader``).
+_SNAPSHOT_MEMO: dict[str, "Snapshot"] = {}
+
+
+def _dumps(payload) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+class _Block:
+    """One verified on-disk block: position metadata plus raw payload."""
+
+    __slots__ = ("ordinal", "offset", "payload_offset", "kind", "payload")
+
+    def __init__(self, ordinal, offset, payload_offset, kind, payload):
+        self.ordinal = ordinal
+        self.offset = offset
+        self.payload_offset = payload_offset
+        self.kind = kind
+        self.payload = payload
+
+
+class _SectionDropped(Exception):
+    """Internal: a required block for this section is missing/damaged."""
+
+
+class ColumnarFormat:
+    """The binary columnar corpus codec (registered as ``columnar``).
+
+    ``write`` serializes a snapshot's :class:`~repro.store.SnapshotStore`
+    column by column (interning certificates across chains); ``read``
+    verifies every block's CRC, enforces referential integrity between
+    row columns and side tables, and adopts the columns into a fresh
+    store via :meth:`~repro.store.SnapshotStore.from_columns`.  Failure
+    handling follows the shared :class:`~repro.robustness.IngestPolicy`
+    contract — see the module docstring for class-by-class semantics.
+    """
+
+    name = "columnar"
+    suffix = ".rcc"
+
+    def sniff(self, header: bytes) -> bool:
+        """Columnar files open with the 8-byte magic."""
+        return header.startswith(MAGIC)
+
+    def write(self, snapshot: ScanSnapshot, path: str | Path) -> None:
+        """Serialize ``snapshot`` as checksummed column blocks."""
+        store = snapshot.store
+        blocks: list[tuple[str, int, bytes]] = [
+            (
+                "meta",
+                _KIND_JSON,
+                _dumps(
+                    {"scanner": snapshot.scanner, "snapshot": snapshot.snapshot.label}
+                ),
+            ),
+            ("org_table", _KIND_JSON, _dumps(store.org_table)),
+            ("dns_table", _KIND_JSON, _dumps([list(t) for t in store.dns_table])),
+            (
+                "header_table",
+                _KIND_JSON,
+                # Flattened [name, value, name, value, ...] per tuple: the
+                # reader re-pairs with one C-speed zip per entry.
+                _dumps([[x for pair in h for x in pair] for h in store.header_table]),
+            ),
+            (
+                "chain_fps",
+                _KIND_JSON,
+                _dumps([c.end_entity.fingerprint for c in store.chains]),
+            ),
+        ]
+        # Certificates interned across chains (each distinct cert, by
+        # fingerprint, appears once; chains are u32 reference lists) and
+        # stored columnar: one parallel list per field, subject/issuer
+        # names interned into a shared triple table.  An intermediate CA
+        # cert shared by thousands of chains costs one table entry.
+        name_index: dict[tuple[str, str, str], int] = {}
+        name_table: list[tuple[str, str, str]] = []
+
+        def intern_name(name) -> int:
+            key = (name.common_name, name.organization, name.country)
+            ref = name_index.get(key)
+            if ref is None:
+                ref = name_index[key] = len(name_table)
+                name_table.append(key)
+            return ref
+
+        cert_index: dict[str, int] = {}
+        columns: dict[str, list] = {field: [] for field in _CERT_FIELDS}
+        chain_certs = array(_U32)
+        chain_cert_ends = array(_U32)
+        for chain in store.chains:
+            for cert in chain.certificates:
+                ref = cert_index.get(cert.fingerprint)
+                if ref is None:
+                    ref = cert_index[cert.fingerprint] = len(columns["fingerprint"])
+                    columns["fingerprint"].append(cert.fingerprint)
+                    columns["subject"].append(intern_name(cert.subject))
+                    columns["issuer"].append(intern_name(cert.issuer))
+                    columns["dns_names"].append(list(cert.dns_names))
+                    columns["not_before"].append(cert.not_before.label)
+                    columns["not_after"].append(cert.not_after.label)
+                    columns["is_ca"].append(cert.is_ca)
+                    columns["skid"].append(cert.subject_key_id)
+                    columns["akid"].append(cert.authority_key_id)
+                    columns["sig"].append(cert.signature)
+                    columns["serial"].append(cert.serial)
+                chain_certs.append(ref)
+            chain_cert_ends.append(len(chain_certs))
+        blocks.append(
+            ("name_table", _KIND_JSON, _dumps([list(t) for t in name_table]))
+        )
+        blocks.append(("cert_table", _KIND_JSON, _dumps(columns)))
+        blocks.append(("chain_certs", _KIND_U32, chain_certs.tobytes()))
+        blocks.append(("chain_cert_ends", _KIND_U32, chain_cert_ends.tobytes()))
+        for column_name in _U32_COLUMNS:
+            values = array(_U32, getattr(store, column_name))
+            blocks.append((column_name, _KIND_U32, values.tobytes()))
+
+        path = Path(path)
+        with path.open("wb") as handle:
+            handle.write(_PREAMBLE.pack(MAGIC, VERSION, len(blocks)))
+            for block_name, kind, payload in blocks:
+                handle.write(
+                    _BLOCK_HEADER.pack(
+                        block_name.encode("ascii"),
+                        kind,
+                        len(payload),
+                        zlib.crc32(payload),
+                    )
+                )
+                handle.write(payload)
+
+    def read(
+        self,
+        path: str | Path,
+        policy: IngestPolicy | None = None,
+        quarantine_path: str | Path | None = None,
+        *,
+        chain_pool: dict[str, CertificateChain] | None = None,
+    ) -> ScanSnapshot:
+        """Load one columnar snapshot under ``policy``.
+
+        ``chain_pool`` (fingerprint → chain, shared by the caller across
+        snapshots of a dataset) short-circuits chain materialization for
+        repeats; quarantine semantics are identical to the JSONL reader.
+        """
+        reader = _Reader(Path(path), policy or IngestPolicy(), chain_pool)
+        result = reader.run()
+        if quarantine_path is not None and not reader.policy.strict:
+            reader.sink.write(quarantine_path)
+        return result
+
+
+class _ChainSection:
+    """The decoded, validated chain side of a columnar file."""
+
+    __slots__ = ("org_table", "dns_table", "kept", "kept_org", "kept_dns", "remap")
+
+    def __init__(self, org_table, dns_table, kept, kept_org, kept_dns, remap):
+        self.org_table = org_table
+        self.dns_table = dns_table
+        self.kept = kept
+        self.kept_org = kept_org
+        self.kept_dns = kept_dns
+        #: Original chain index -> surviving index (-1 = dropped), or
+        #: ``None`` for the identity fast path (nothing dropped/merged).
+        self.remap = remap
+
+
+class _Reader:
+    """One columnar read: block verification, assembly, accounting."""
+
+    def __init__(self, path, policy, chain_pool):
+        self.path = path
+        self.policy = policy
+        self.pool = chain_pool
+        self.sink = QuarantineSink(source=str(path))
+        self.blocks: dict[str, _Block] = {}
+        #: Validity labels repeat heavily within a file *and* across files
+        #: (year-month strings are a small closed set); parse each once
+        #: per process.  Only successful parses are cached, so the memo
+        #: stays bounded by the number of distinct valid labels.
+        self._snapshot_memo = _SNAPSHOT_MEMO
+
+    # -- problem routing ---------------------------------------------------
+
+    def _fatal(self, message, *, ordinal=0, offset=0, error_class="corrupt_block"):
+        raise CorpusParseError(
+            message,
+            path=self.path,
+            line_number=ordinal,
+            byte_offset=offset,
+            error_class=error_class,
+        )
+
+    def _block_problem(self, ordinal, offset, message, raw):
+        """A damaged block: strict raises; lenient books one seen +
+        quarantined ``corrupt_block`` record for the whole block."""
+        if self.policy.strict:
+            self._fatal(message, ordinal=ordinal, offset=offset)
+        self.sink.saw()
+        self.sink.quarantine(ordinal, offset, "corrupt_block", message, raw)
+
+    def _row_problem(self, ordinal, offset, error_class, message, raw):
+        """A bad row/entry (already counted as seen by the caller)."""
+        if self.policy.strict:
+            self._fatal(
+                message, ordinal=ordinal, offset=offset, error_class=error_class
+            )
+        self.sink.quarantine(ordinal, offset, error_class, message, raw)
+
+    # -- framing -----------------------------------------------------------
+
+    def _frame(self, data: bytes) -> None:
+        """Verify the preamble, then every block header + CRC in order.
+
+        A truncated header or short payload ends framing (nothing after
+        it can be trusted); a checksum mismatch only damages that block,
+        so framing continues — exactly one quarantine entry either way.
+        """
+        if len(data) < _PREAMBLE.size:
+            self._fatal(f"file too short for columnar preamble ({len(data)} bytes)")
+        magic, version, count = _PREAMBLE.unpack_from(data, 0)
+        if magic != MAGIC:
+            self._fatal("bad magic: not a columnar corpus file")
+        if version != VERSION:
+            self._fatal(f"unsupported columnar format version {version}")
+        offset = _PREAMBLE.size
+        for ordinal in range(1, count + 1):
+            block_offset = offset
+            if offset + _BLOCK_HEADER.size > len(data):
+                self._block_problem(
+                    ordinal,
+                    block_offset,
+                    f"block {ordinal}: truncated header "
+                    f"({len(data) - offset} of {_BLOCK_HEADER.size} bytes)",
+                    "<truncated block header>",
+                )
+                return
+            raw_name, kind, length, crc = _BLOCK_HEADER.unpack_from(data, offset)
+            name = raw_name.rstrip(b"\x00").decode("ascii", errors="replace")
+            offset += _BLOCK_HEADER.size
+            payload = data[offset : offset + length]
+            offset += length
+            if len(payload) < length:
+                self._block_problem(
+                    ordinal,
+                    block_offset,
+                    f"block {name!r}: truncated payload "
+                    f"({len(payload)} of {length} bytes)",
+                    f"<block {name}>",
+                )
+                return
+            if zlib.crc32(payload) != crc:
+                self._block_problem(
+                    ordinal,
+                    block_offset,
+                    f"block {name!r}: checksum mismatch",
+                    f"<block {name}>",
+                )
+                continue
+            self.blocks[name] = _Block(
+                ordinal, block_offset, block_offset + _BLOCK_HEADER.size, kind, payload
+            )
+
+    # -- decoded block access ---------------------------------------------
+
+    def _require(self, name: str):
+        """The decoded payload of ``name``, or :class:`_SectionDropped`.
+
+        Missing and checksum-damaged blocks raise ``_SectionDropped`` —
+        the damage (if any) was already booked during framing, so
+        dependent sections silently drop rather than double-count.  A
+        payload that passed its CRC but fails to decode was rewritten
+        coherently; it books one ``corrupt_block`` and drops the section.
+        """
+        block = self.blocks.get(name)
+        if block is None:
+            raise _SectionDropped(name)
+        try:
+            if block.kind == _KIND_U32:
+                if len(block.payload) % 4:
+                    raise ValueError(
+                        f"payload length {len(block.payload)} is not a u32 multiple"
+                    )
+                values = array(_U32)
+                values.frombytes(block.payload)
+                return values
+            return json.loads(block.payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            del self.blocks[name]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                f"block {name!r}: undecodable payload: {exc}",
+                f"<block {name}>",
+            )
+            raise _SectionDropped(name) from None
+
+    # -- assembly ----------------------------------------------------------
+
+    def run(self) -> ScanSnapshot:
+        """Read, verify and assemble the snapshot."""
+        self._frame(self.path.read_bytes())
+        scanner, parsed = self._meta()
+        self.sink.saw()
+        self.sink.accepted()
+
+        chains = self._chain_section()
+        if chains is not None:
+            tls = self._tls_columns(chains)
+        else:
+            tls = ([], [])
+        http = self._http_columns()
+
+        store = SnapshotStore.from_columns(
+            chains=chains.kept if chains else [],
+            chain_org=chains.kept_org if chains else [],
+            chain_dns=chains.kept_dns if chains else [],
+            org_table=chains.org_table if chains else [],
+            dns_table=chains.dns_table if chains else [],
+            header_table=http[0] if http else [],
+            tls_ip=tls[0],
+            tls_chain=tls[1],
+            http_ip=http[1] if http else [],
+            http_port=http[2] if http else [],
+            http_header=http[3] if http else [],
+        )
+        result = ScanSnapshot(scanner=scanner, snapshot=parsed, store=store)
+        result.ingest = self.sink.report
+        return result
+
+    def _meta(self) -> tuple[str, Snapshot]:
+        """Decode the ``meta`` block; unusable meta is fatal everywhere."""
+        try:
+            payload = self._require("meta")
+        except _SectionDropped:
+            self._fatal(
+                "corpus has no usable meta block", error_class="missing_meta"
+            )
+        scanner = payload.get("scanner") if isinstance(payload, dict) else None
+        label = payload.get("snapshot") if isinstance(payload, dict) else None
+        try:
+            parsed = Snapshot.parse(label) if isinstance(label, str) else None
+        except (ValueError, TypeError):
+            parsed = None
+        if not isinstance(scanner, str) or parsed is None:
+            block = self.blocks["meta"]
+            self._fatal(
+                "meta block needs string 'scanner' and a YYYY-MM 'snapshot'",
+                ordinal=block.ordinal,
+                offset=block.offset,
+                error_class="missing_meta",
+            )
+        return scanner, parsed
+
+    def _chain_section(self) -> _ChainSection | None:
+        """Decode + validate the chain side (side tables, certs, chains).
+
+        Returns ``None`` when a required block is missing or damaged —
+        the already-booked ``corrupt_block`` covers the whole section, so
+        its chains and rows are dropped without per-record cascade spam.
+        """
+        try:
+            org_table = list(self._require("org_table"))
+            dns_table = list(map(tuple, self._require("dns_table")))
+            fps = self._require("chain_fps")
+            name_table = self._require("name_table")
+            cert_table = self._require("cert_table")
+            chain_certs = self._require("chain_certs")
+            chain_cert_ends = self._require("chain_cert_ends")
+            chain_org = self._require("chain_org")
+            chain_dns = self._require("chain_dns")
+        except _SectionDropped:
+            return None
+        lengths = {len(fps), len(chain_cert_ends), len(chain_org), len(chain_dns)}
+        if len(lengths) != 1:
+            block = self.blocks["chain_certs"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                f"chain columns disagree on length: {sorted(lengths)}",
+                "<chain section>",
+            )
+            return None
+        try:
+            # C-speed all-strings check; raises TypeError on any non-str.
+            "".join(fps)
+        except TypeError:
+            block = self.blocks["chain_fps"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                "chain_fps entries are not all strings",
+                "<chain_fps>",
+            )
+            return None
+        if (
+            not isinstance(cert_table, dict)
+            or not all(isinstance(cert_table.get(f), list) for f in _CERT_FIELDS)
+            or len({len(cert_table[f]) for f in _CERT_FIELDS}) != 1
+            or not isinstance(name_table, list)
+        ):
+            block = self.blocks["cert_table"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                "cert_table is not parallel per-field lists of one length",
+                "<cert_table>",
+            )
+            return None
+        ends = chain_cert_ends
+        # Monotonicity at C speed: a sorted copy of a (nearly) sorted u32
+        # array is a single near-linear pass, far cheaper than a Python
+        # pairwise scan.
+        if (ends and ends[-1] != len(chain_certs)) or list(ends) != sorted(ends):
+            block = self.blocks["chain_cert_ends"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                "chain_cert_ends offsets do not tile chain_certs",
+                "<chain_cert_ends>",
+            )
+            return None
+
+        n_orgs, n_dns = len(org_table), len(dns_table)
+        n_certs = len(cert_table["fingerprint"])
+        total = len(fps)
+        # One range check per whole column (C-speed); per-entry checks
+        # only run when something is actually out of range.
+        check_refs = bool(total) and not (
+            max(chain_org) < n_orgs and max(chain_dns) < n_dns
+        )
+        check_certs = bool(chain_certs) and max(chain_certs) >= n_certs
+        memo = self._snapshot_memo
+        pool = self.pool
+        c_fp = cert_table["fingerprint"]
+        c_subject = cert_table["subject"]
+        c_issuer = cert_table["issuer"]
+        c_dns = cert_table["dns_names"]
+        c_nb = cert_table["not_before"]
+        c_na = cert_table["not_after"]
+        c_is_ca = cert_table["is_ca"]
+        c_skid = cert_table["skid"]
+        c_akid = cert_table["akid"]
+        c_sig = cert_table["sig"]
+        c_serial = cert_table["serial"]
+        n_names = len(name_table)
+        #: Lazily materialized intern tables (pooled chains skip them).
+        name_cache: list[SubjectName | None] = [None] * n_names
+        cert_cache: list[Certificate | None] = [None] * n_certs
+
+        def name_at(ref) -> SubjectName:
+            if not 0 <= ref < n_names:
+                raise ValueError(f"name reference {ref!r} outside the table")
+            name = name_cache[ref]
+            if name is None:
+                cn, org, country = name_table[ref]
+                name = name_cache[ref] = SubjectName(cn, org, country)
+            return name
+
+        def parse_label(label: str) -> Snapshot:
+            parsed = memo.get(label)
+            if parsed is None:
+                parsed = memo[label] = Snapshot.parse(label)
+            return parsed
+
+        def cert_at(ref: int) -> Certificate:
+            # Positional construction: frozen+slots dataclass __init__ is
+            # the hottest call in a cold read, and keyword passing costs
+            # a measurable fraction of it.
+            cert = cert_cache[ref]
+            if cert is None:
+                cert = cert_cache[ref] = Certificate(
+                    c_fp[ref],
+                    name_at(c_subject[ref]),
+                    name_at(c_issuer[ref]),
+                    tuple(c_dns[ref]),
+                    parse_label(c_nb[ref]),
+                    parse_label(c_na[ref]),
+                    c_is_ca[ref],
+                    c_skid[ref],
+                    c_akid[ref],
+                    c_sig[ref],
+                    c_serial[ref],
+                )
+            return cert
+
+        def refs_of(index: int):
+            start = chain_cert_ends[index - 1] if index else 0
+            return chain_certs[start : chain_cert_ends[index]]
+
+        kept: list[CertificateChain] = []
+        if not check_refs and not check_certs and len(set(fps)) == total:
+            # Clean-file fast path (what the writer always produces):
+            # unique fingerprints, every reference in range — no remap, no
+            # duplicate bookkeeping, columns adopted wholesale.  Any decode
+            # surprise abandons it for the fully-accounted slow loop below
+            # (chains already built are in the caches, so the redo is cheap).
+            try:
+                previous_end = 0
+                for index, fingerprint in enumerate(fps):
+                    end = chain_cert_ends[index]
+                    chain = pool.get(fingerprint) if pool is not None else None
+                    if chain is None:
+                        chain = CertificateChain(
+                            tuple(map(cert_at, chain_certs[previous_end:end]))
+                        )
+                        if chain.end_entity.fingerprint != fingerprint:
+                            raise ValueError("fingerprint column mismatch")
+                        if pool is not None:
+                            pool[fingerprint] = chain
+                    kept.append(chain)
+                    previous_end = end
+            except (ValueError, IndexError, TypeError, KeyError):
+                kept = []
+            else:
+                self.sink.saw(total)
+                self.sink.accepted(total)
+                return _ChainSection(
+                    org_table,
+                    dns_table,
+                    kept,
+                    list(chain_org),
+                    list(chain_dns),
+                    None,
+                )
+
+        kept_org: list[int] = []
+        kept_dns: list[int] = []
+        remap: list[int] | None = None
+        #: fingerprint -> (kept index, original chain index).
+        seen_fps: dict[str, tuple[int, int]] = {}
+        accepted = 0
+
+        def ensure_remap(index: int) -> list[int]:
+            nonlocal remap
+            if remap is None:
+                # Every earlier chain was kept at its own index.
+                remap = list(range(index)) + [-1] * (total - index)
+            return remap
+
+        for index, fingerprint in enumerate(fps):
+            if check_refs and (
+                chain_org[index] >= n_orgs or chain_dns[index] >= n_dns
+            ):
+                block = self.blocks["chain_org"]
+                ensure_remap(index)
+                self._row_problem(
+                    block.ordinal,
+                    block.payload_offset + 4 * index,
+                    "dangling_intern_ref",
+                    f"chain {index} references org {chain_org[index]}"
+                    f"/dns {chain_dns[index]} outside the side tables "
+                    f"({n_orgs} orgs, {n_dns} dns tuples)",
+                    f"<chain {index}: {fingerprint}>",
+                )
+                continue
+            if check_certs and any(ref >= n_certs for ref in refs_of(index)):
+                block = self.blocks["chain_certs"]
+                ensure_remap(index)
+                self._row_problem(
+                    block.ordinal,
+                    block.payload_offset,
+                    "dangling_intern_ref",
+                    f"chain {index} references a certificate outside the "
+                    f"{n_certs}-entry cert table",
+                    f"<chain {index}: {fingerprint}>",
+                )
+                continue
+            chain = pool.get(fingerprint) if pool is not None else None
+            if chain is None:
+                try:
+                    chain = CertificateChain(
+                        tuple(cert_at(ref) for ref in refs_of(index))
+                    )
+                    if chain.end_entity.fingerprint != fingerprint:
+                        raise ValueError(
+                            f"chain document fingerprint "
+                            f"{chain.end_entity.fingerprint!r} does not "
+                            f"match column entry {fingerprint!r}"
+                        )
+                except (ValueError, IndexError, TypeError, KeyError) as exc:
+                    block = self.blocks["cert_table"]
+                    ensure_remap(index)
+                    self._row_problem(
+                        block.ordinal,
+                        block.payload_offset,
+                        "undecodable_chain",
+                        f"chain {index} ({fingerprint}): {exc}",
+                        f"<chain {index}: {fingerprint}>",
+                    )
+                    continue
+                if pool is not None:
+                    pool[fingerprint] = chain
+            previous = seen_fps.get(fingerprint)
+            if previous is not None:
+                accepted += self._duplicate_chain(
+                    index, fingerprint, previous, refs_of, ensure_remap(index)
+                )
+                continue
+            seen_fps[fingerprint] = (len(kept), index)
+            if remap is not None:
+                remap[index] = len(kept)
+            accepted += 1
+            kept.append(chain)
+            kept_org.append(chain_org[index])
+            kept_dns.append(chain_dns[index])
+        # Totals booked once (order within the loop is irrelevant to the
+        # report; quarantine records were appended at problem time).
+        self.sink.saw(total)
+        self.sink.accepted(accepted)
+        return _ChainSection(org_table, dns_table, kept, kept_org, kept_dns, remap)
+
+    def _duplicate_chain(self, index, fingerprint, previous, refs_of, remap) -> int:
+        """A repeated fingerprint; returns how many acceptances to book.
+
+        Identical reference lists merge silently (JSONL accepts exact
+        duplicate chains); differing content is ``conflicting_chain`` —
+        repair keeps the first definition, and either way rows
+        referencing the fingerprint resolve to it."""
+        kept_index, first_index = previous
+        remap[index] = kept_index
+        if refs_of(index) == refs_of(first_index):
+            return 1
+        block = self.blocks["chain_certs"]
+        if self.policy.repairs:
+            self.sink.repaired(
+                block.ordinal,
+                block.payload_offset,
+                "conflicting_chain",
+                f"kept first definition of chain {fingerprint}",
+                f"<chain {index}: {fingerprint}>",
+            )
+            return 1
+        self._row_problem(
+            block.ordinal,
+            block.payload_offset,
+            "conflicting_chain",
+            f"chain {fingerprint} re-defined with different content",
+            f"<chain {index}: {fingerprint}>",
+        )
+        return 0
+
+    def _tls_columns(self, chains: _ChainSection) -> tuple[list[int], list[int]]:
+        """The TLS row columns, validated against the chain table.
+
+        Bad rows drop individually: an index outside the original chain
+        table is ``dangling_intern_ref``; a reference to a chain that was
+        itself quarantined cascades as ``unknown_chain_ref`` (matching
+        the JSONL broken-chain semantics).
+        """
+        try:
+            tls_ip = self._require("tls_ip")
+            tls_chain = self._require("tls_chain")
+        except _SectionDropped:
+            return [], []
+        if len(tls_ip) != len(tls_chain):
+            block = self.blocks["tls_chain"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                f"tls columns disagree on length: "
+                f"{len(tls_ip)} ips vs {len(tls_chain)} chain refs",
+                "<tls section>",
+            )
+            return [], []
+        rows = len(tls_chain)
+        remap = chains.remap
+        n_kept = len(chains.kept)
+        self.sink.saw(rows)
+        if remap is None and (not rows or max(tls_chain) < n_kept):
+            # Clean fast path: adopt the columns wholesale.
+            self.sink.accepted(rows)
+            return list(tls_ip), list(tls_chain)
+        block = self.blocks["tls_chain"]
+        original = len(remap) if remap is not None else n_kept
+        out_ip: list[int] = []
+        out_chain: list[int] = []
+        for row in range(rows):
+            reference = tls_chain[row]
+            if reference >= original:
+                self._row_problem(
+                    block.ordinal,
+                    block.payload_offset + 4 * row,
+                    "dangling_intern_ref",
+                    f"tls row {row} references chain {reference} outside "
+                    f"the {original}-entry chain table",
+                    f"<tls row {row}: ip={tls_ip[row]}>",
+                )
+                continue
+            mapped = remap[reference] if remap is not None else reference
+            if mapped < 0:
+                self._row_problem(
+                    block.ordinal,
+                    block.payload_offset + 4 * row,
+                    "unknown_chain_ref",
+                    f"tls row {row} references quarantined chain {reference}",
+                    f"<tls row {row}: ip={tls_ip[row]}>",
+                )
+                continue
+            out_ip.append(tls_ip[row])
+            out_chain.append(mapped)
+        self.sink.accepted(len(out_ip))
+        return out_ip, out_chain
+
+    def _http_columns(self):
+        """The HTTP row columns, validated against the header table.
+
+        Returns ``(header_table, http_ip, http_port, http_header)`` with
+        bad rows dropped, or ``None`` when the section must drop.
+        """
+        try:
+            raw_table = self._require("header_table")
+            http_ip = self._require("http_ip")
+            http_port = self._require("http_port")
+            http_header = self._require("http_header")
+        except _SectionDropped:
+            return None
+        try:
+            header_table = []
+            append = header_table.append
+            for headers in raw_table:
+                if len(headers) % 2:
+                    raise ValueError("odd-length flat header list")
+                pairs = iter(headers)
+                append(tuple(zip(pairs, pairs)))
+        except (TypeError, ValueError, KeyError):
+            block = self.blocks["header_table"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                "header_table entries are not flat [name, value, ...] lists",
+                "<header_table>",
+            )
+            return None
+        if not (len(http_ip) == len(http_port) == len(http_header)):
+            block = self.blocks["http_header"]
+            self._block_problem(
+                block.ordinal,
+                block.offset,
+                f"http columns disagree on length: {len(http_ip)}/"
+                f"{len(http_port)}/{len(http_header)}",
+                "<http section>",
+            )
+            return None
+        rows = len(http_ip)
+        n_headers = len(header_table)
+        self.sink.saw(rows)
+        if not rows or (
+            max(http_header) < n_headers
+            and min(http_port) > 0
+            and max(http_port) <= _MAX_PORT
+        ):
+            self.sink.accepted(rows)
+            return header_table, list(http_ip), list(http_port), list(http_header)
+        block = self.blocks["http_header"]
+        out_ip: list[int] = []
+        out_port: list[int] = []
+        out_header: list[int] = []
+        for row in range(rows):
+            header_index = http_header[row]
+            port = http_port[row]
+            if header_index >= n_headers:
+                self._row_problem(
+                    block.ordinal,
+                    block.payload_offset + 4 * row,
+                    "dangling_intern_ref",
+                    f"http row {row} references header tuple {header_index} "
+                    f"outside the {n_headers}-entry table",
+                    f"<http row {row}: ip={http_ip[row]}>",
+                )
+                continue
+            if not 0 < port <= _MAX_PORT:
+                self._row_problem(
+                    block.ordinal,
+                    block.payload_offset + 4 * row,
+                    "schema_violation",
+                    f"http row {row} port {port} is outside 1..{_MAX_PORT}",
+                    f"<http row {row}: ip={http_ip[row]}>",
+                )
+                continue
+            out_ip.append(http_ip[row])
+            out_port.append(port)
+            out_header.append(header_index)
+        self.sink.accepted(len(out_ip))
+        return header_table, out_ip, out_port, out_header

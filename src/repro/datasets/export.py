@@ -3,7 +3,7 @@
 Layout::
 
     <dir>/manifest.json                  corpora, snapshots, provenance
-    <dir>/corpora/<corpus>/<YYYY-MM>.jsonl   scan snapshots (repro.scan.corpus)
+    <dir>/corpora/<corpus>/<YYYY-MM>.<fmt>   scan snapshots (registered codec)
     <dir>/ip2as/<YYYY-MM>.tsv            prefix <TAB> comma-separated origins
     <dir>/organizations.tsv              asn <TAB> org name <TAB> country code
     <dir>/anchors.jsonl                  trusted root/intermediate certificates
@@ -14,9 +14,13 @@ the real files is a matter of column mapping, not architecture.
 
 Corpus snapshots are emitted straight from each snapshot's columnar
 :class:`~repro.store.SnapshotStore` — every unique chain is serialized
-exactly once — and the manifest carries per-snapshot store shape
-(``tls_rows`` vs ``unique_chains``) as provenance, so a reader knows the
-dedup ratio before opening a corpus file.
+exactly once — through the :mod:`repro.datasets.formats` codec named by
+``corpus_format`` (``jsonl`` keeps the original newline-delimited JSON;
+``columnar`` writes the packed binary ``.rcc`` layout).  The manifest
+records the chosen format plus per-snapshot store shape (``tls_rows`` vs
+``unique_chains``) as provenance, so a reader knows the dedup ratio
+before opening a corpus file — readers autodetect the format by content
+regardless.
 """
 
 from __future__ import annotations
@@ -25,7 +29,8 @@ import json
 from pathlib import Path
 from typing import Sequence
 
-from repro.scan.corpus import _cert_to_json, save_snapshot
+from repro.datasets.formats import get_format
+from repro.scan.corpus import _cert_to_json
 from repro.timeline import Snapshot
 
 __all__ = ["export_dataset"]
@@ -36,17 +41,21 @@ def export_dataset(
     directory: str | Path,
     corpora: Sequence[str] = ("rapid7",),
     snapshots: Sequence[Snapshot] | None = None,
+    corpus_format: str = "jsonl",
 ) -> Path:
     """Write the datasets the pipeline needs to ``directory``.
 
-    ``snapshots`` defaults to every study snapshot each corpus offers.
-    Returns the directory path.
+    ``snapshots`` defaults to every study snapshot each corpus offers;
+    ``corpus_format`` names the registered codec corpus files are written
+    with (``KeyError`` if unregistered).  Returns the directory path.
     """
+    codec = get_format(corpus_format)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
     manifest: dict = {
         "corpora": {},
+        "corpus_format": codec.name,
         "store": {},
         "seed": world.config.seed,
         "scale": world.config.scale,
@@ -64,7 +73,7 @@ def export_dataset(
             if snapshot < profile.available_since:
                 continue
             scan = world.scan(corpus, snapshot)
-            save_snapshot(scan, corpus_dir / f"{snapshot.label}.jsonl")
+            codec.write(scan, corpus_dir / f"{snapshot.label}{codec.suffix}")
             labels.append(snapshot.label)
             stats = scan.store.stats()
             shapes[snapshot.label] = {

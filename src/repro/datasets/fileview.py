@@ -12,11 +12,14 @@ protocol :class:`~repro.core.pipeline.OffnetPipeline` consumes:
 No ground truth is present in a dataset directory — file-backed runs are
 inference-only, exactly like running on real archived corpuses.
 
-Corpus snapshots are read via :func:`repro.scan.corpus.stream_snapshot`,
-which builds each snapshot's columnar
-:class:`~repro.store.SnapshotStore` one JSONL line at a time — a chain
-line becomes one intern-table entry, a row line one column append — so
-loading never materializes per-row record objects.
+Corpus snapshots are read via :func:`repro.datasets.formats.read_corpus`,
+which sniffs each file and dispatches to the registered codec — the
+packed binary columnar format (``.rcc``) loads near zero-copy through
+:meth:`~repro.store.SnapshotStore.from_columns`, while JSONL streams one
+line at a time into the store; either way loading never materializes
+per-row record objects.  The dataset owns a cross-snapshot **chain
+pool** (end-entity fingerprint → chain), so a columnar snapshot only
+decodes the chains the previous months didn't already carry.
 
 Reads honour an :class:`~repro.robustness.IngestPolicy` (strict by
 default; installed per run by the pipeline via :meth:`configure_ingest`),
@@ -34,8 +37,9 @@ from pathlib import Path
 from repro.bgp.ip2as import IPToASMap
 from repro.bgp.rib import RibEntry, RibSnapshot
 from repro.net.ipv4 import IPv4Prefix
+from repro.datasets.formats import corpus_candidates, read_corpus
 from repro.robustness import IngestPolicy
-from repro.scan.corpus import _cert_from_json, stream_snapshot
+from repro.scan.corpus import _cert_from_json
 from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
 from repro.topology.geography import country_by_code
@@ -103,6 +107,10 @@ class FileDataset:
         self.root_store = self._load_anchors()
         self._scan_cache: OrderedDict[tuple[str, Snapshot], ScanSnapshot] = OrderedDict()
         self._ip2as_cache: dict[Snapshot, IPToASMap] = {}
+        #: Cross-snapshot chain pool (end-entity fingerprint -> chain):
+        #: codecs that can skip decoding already-materialized chains
+        #: (the columnar format) share it across this dataset's reads.
+        self._chain_pool: dict = {}
 
     def configure_ingest(self, policy: IngestPolicy) -> None:
         """Install the ingestion error policy for subsequent corpus reads.
@@ -171,27 +179,40 @@ class FileDataset:
         return _FileScanner(_FileScannerProfile(name=name, available_since=snapshots[0]))
 
     def scan(self, name: str, snapshot: Snapshot, cache_size: int = 4) -> ScanSnapshot:
-        """Stream one corpus snapshot from disk into a columnar store
+        """Load one corpus snapshot from disk into a columnar store
         (LRU-cached), under the configured ingestion policy.
 
-        When the policy names a ``quarantine_dir``, rejected records are
-        written to ``<quarantine_dir>/<corpus>/<label>.jsonl``.
+        The file's format is autodetected: the snapshot label is resolved
+        against every registered codec suffix (``.rcc`` before
+        ``.jsonl``) and the content is sniffed by
+        :func:`~repro.datasets.formats.read_corpus`.  When the policy
+        names a ``quarantine_dir``, rejected records are written to
+        ``<quarantine_dir>/<corpus>/<label>.jsonl`` whatever the corpus
+        format — quarantine files are always JSONL.
         """
         key = (name, snapshot)
         cached = self._scan_cache.get(key)
         if cached is not None:
             self._scan_cache.move_to_end(key)
             return cached
-        path = self.directory / "corpora" / name / f"{snapshot.label}.jsonl"
-        if not path.exists():
-            raise FileNotFoundError(f"no {name} corpus for {snapshot}: {path}")
+        corpus_dir = self.directory / "corpora" / name
+        path = next(
+            (p for p in corpus_candidates(corpus_dir, snapshot.label) if p.exists()),
+            None,
+        )
+        if path is None:
+            raise FileNotFoundError(
+                f"no {name} corpus for {snapshot} under {corpus_dir}"
+            )
         policy = self.ingest_policy
         quarantine_path = None
         if policy.quarantine_dir is not None and not policy.strict:
             quarantine_path = (
                 Path(policy.quarantine_dir) / name / f"{snapshot.label}.jsonl"
             )
-        loaded = stream_snapshot(path, policy, quarantine_path)
+        loaded = read_corpus(
+            path, policy, quarantine_path, chain_pool=self._chain_pool
+        )
         self._scan_cache[key] = loaded
         while len(self._scan_cache) > cache_size:
             self._scan_cache.popitem(last=False)

@@ -1,0 +1,233 @@
+"""The pluggable corpus-codec registry: one API, many on-disk formats.
+
+A *corpus format* is how one scan snapshot lives on disk.  The repo grew
+up on newline-delimited JSON (:mod:`repro.scan.corpus`); the packed
+binary columnar format (:mod:`repro.datasets.columnar`) stores the same
+snapshot as checksummed column blocks that load near zero-copy into a
+:class:`~repro.store.SnapshotStore`.  Both are registered here as
+:class:`CorpusFormat` codecs, and everything that touches corpus files —
+``export``, :class:`~repro.datasets.FileDataset`, the fault-injection
+harness, the legacy :func:`~repro.scan.corpus.stream_snapshot` wrappers —
+resolves them through this registry instead of hardcoding a format.
+
+Reading is **autodetecting**: :func:`detect_format` sniffs the file's
+first bytes against every registered codec (the columnar format has PNG
+style magic bytes) and falls back to JSONL, so a reader never needs to
+be told what it is looking at — a dataset whose corpus files were
+re-exported in a new format keeps working with unchanged code.  Both
+codecs speak the same :class:`~repro.robustness.IngestPolicy` /
+quarantine protocol, so ``--on-error`` semantics are format-independent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+from repro.robustness import IngestPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.records import ScanSnapshot
+    from repro.x509.chain import CertificateChain
+
+__all__ = [
+    "CorpusFormat",
+    "JsonlFormat",
+    "corpus_candidates",
+    "detect_format",
+    "format_names",
+    "get_format",
+    "read_corpus",
+    "register_format",
+    "registered_formats",
+    "write_corpus",
+]
+
+#: How many leading bytes :func:`detect_format` hands to ``sniff``.
+SNIFF_BYTES = 16
+
+
+@runtime_checkable
+class CorpusFormat(Protocol):
+    """What a corpus codec must provide to join the registry.
+
+    A codec is a stateless object with a ``name`` (the ``--format``
+    value), a ``suffix`` (how exported files are named), content
+    sniffing, and symmetric read/write over
+    :class:`~repro.scan.records.ScanSnapshot`.  Readers own the full
+    robustness contract: honour the :class:`~repro.robustness.IngestPolicy`,
+    classify failures into :data:`~repro.robustness.ERROR_CLASSES`,
+    attach an :class:`~repro.robustness.IngestReport` as ``.ingest`` and
+    write the quarantine log when asked.
+    """
+
+    #: Registry key and ``--format`` value (e.g. ``"jsonl"``).
+    name: str
+    #: Filename suffix for exported corpus files (e.g. ``".jsonl"``).
+    suffix: str
+
+    def sniff(self, header: bytes) -> bool:
+        """Whether ``header`` (the file's first bytes) is this format."""
+        ...
+
+    def read(
+        self,
+        path: str | Path,
+        policy: IngestPolicy | None = None,
+        quarantine_path: str | Path | None = None,
+        *,
+        chain_pool: "dict[str, CertificateChain] | None" = None,
+    ) -> "ScanSnapshot":
+        """Load one snapshot from ``path`` under ``policy``.
+
+        ``chain_pool`` optionally shares already-materialized certificate
+        chains (keyed by end-entity fingerprint) across snapshots of the
+        same dataset; codecs that cannot exploit it ignore it.
+        """
+        ...
+
+    def write(self, snapshot: "ScanSnapshot", path: str | Path) -> None:
+        """Persist one snapshot to ``path`` in this format."""
+        ...
+
+
+class JsonlFormat:
+    """The newline-delimited JSON codec (the repo's original format).
+
+    One record per line: a ``meta`` header, each unique chain once, then
+    ``tls``/``http`` rows.  Human-greppable and append-friendly; parsing
+    cost is one ``json.loads`` per record, which is exactly what the
+    columnar codec exists to avoid.
+    """
+
+    name = "jsonl"
+    suffix = ".jsonl"
+
+    def sniff(self, header: bytes) -> bool:
+        """JSONL corpora start with a ``{`` record (whitespace aside)."""
+        return header.lstrip()[:1] == b"{"
+
+    def read(
+        self,
+        path: str | Path,
+        policy: IngestPolicy | None = None,
+        quarantine_path: str | Path | None = None,
+        *,
+        chain_pool: "dict[str, CertificateChain] | None" = None,
+    ) -> "ScanSnapshot":
+        """Stream the file line by line into a columnar store.
+
+        ``chain_pool`` is accepted but unused: a JSONL chain's identity
+        is only known after its JSON is decoded, and the decode *is* the
+        cost a pool would need to skip.
+        """
+        from repro.scan.corpus import _stream_jsonl
+
+        return _stream_jsonl(path, policy, quarantine_path)
+
+    def write(self, snapshot: "ScanSnapshot", path: str | Path) -> None:
+        """Write the snapshot as deduplicated JSONL records."""
+        from repro.scan.corpus import _save_jsonl
+
+        _save_jsonl(snapshot, path)
+
+
+#: Registration order doubles as sniff order; JSONL stays last as the
+#: fallback for files no codec recognises.
+_REGISTRY: dict[str, CorpusFormat] = {}
+
+
+def register_format(codec: CorpusFormat) -> CorpusFormat:
+    """Add a codec to the registry (idempotent per name); returns it.
+
+    Re-registering a name replaces the codec — the hook a downstream
+    experiment uses to swap in a variant without forking the callers.
+    """
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def registered_formats() -> tuple[CorpusFormat, ...]:
+    """Every registered codec, in registration (= sniff) order."""
+    return tuple(_REGISTRY.values())
+
+
+def format_names() -> tuple[str, ...]:
+    """The registered format names — the CLI's ``--format`` choices."""
+    return tuple(_REGISTRY)
+
+
+def get_format(name: str) -> CorpusFormat:
+    """The codec registered under ``name``; raises ``KeyError`` if none."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus format {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def detect_format(path: str | Path) -> CorpusFormat:
+    """Identify the codec for an on-disk corpus file by content.
+
+    Reads the first :data:`SNIFF_BYTES` bytes and asks each registered
+    codec in turn; when nothing matches (including an empty file) the
+    JSONL codec is returned as the fallback, whose reader then produces
+    a positioned :class:`~repro.robustness.CorpusParseError` or
+    quarantine entries — garbage is a *robustness* problem, not a
+    detection crash.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        header = handle.read(SNIFF_BYTES)
+    for codec in _REGISTRY.values():
+        if codec.sniff(header):
+            return codec
+    return _REGISTRY["jsonl"]
+
+
+def read_corpus(
+    path: str | Path,
+    policy: IngestPolicy | None = None,
+    quarantine_path: str | Path | None = None,
+    *,
+    chain_pool: "dict[str, CertificateChain] | None" = None,
+) -> "ScanSnapshot":
+    """Load one corpus snapshot, autodetecting its format.
+
+    The single entry point every reader in the repo goes through: sniff
+    the file, pick the codec, delegate with identical policy/quarantine
+    semantics.  See :meth:`CorpusFormat.read` for ``chain_pool``.
+    """
+    return detect_format(path).read(
+        path, policy, quarantine_path, chain_pool=chain_pool
+    )
+
+
+def write_corpus(
+    snapshot: "ScanSnapshot", path: str | Path, format_name: str = "jsonl"
+) -> None:
+    """Persist one corpus snapshot under the named registered format."""
+    get_format(format_name).write(snapshot, path)
+
+
+def corpus_candidates(directory: str | Path, stem: str) -> Iterator[Path]:
+    """Candidate corpus paths for ``stem`` under ``directory``, one per
+    registered codec suffix in registration order — how
+    :class:`~repro.datasets.FileDataset` resolves a snapshot label to a
+    file without assuming a format."""
+    directory = Path(directory)
+    for codec in _REGISTRY.values():
+        yield directory / f"{stem}{codec.suffix}"
+
+
+def _register_builtins() -> None:
+    """Install the two built-in codecs (columnar first: it has real
+    magic bytes; JSONL last so it stays the sniff fallback)."""
+    from repro.datasets.columnar import ColumnarFormat
+
+    register_format(ColumnarFormat())
+    register_format(JsonlFormat())
+
+
+_register_builtins()

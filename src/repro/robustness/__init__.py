@@ -6,7 +6,7 @@ records that contradict each other — and a loader that aborts a whole
 snapshot on the first bad byte cannot survive contact with them (the
 lesson Pythia and CERTainty both draw for large-scale TLS measurement).
 This package is the ingestion robustness layer the streaming corpus
-reader (:func:`repro.scan.corpus.stream_snapshot`) is built on:
+reader (:func:`repro.datasets.formats.read_corpus`) is built on:
 
 * :class:`IngestPolicy` — how a reader reacts to a bad record:
   ``strict`` (fail fast, with position), ``lenient`` (quarantine and

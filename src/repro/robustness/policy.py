@@ -40,7 +40,15 @@ __all__ = [
 #:                         surviving ``chain`` record defined — including
 #:                         the cascade from a quarantined chain;
 #: ``missing_meta``        a record arrived before the ``meta`` header
-#:                         (or the header itself is unusable).
+#:                         (or the header itself is unusable);
+#: ``corrupt_block``       a columnar-corpus block is structurally damaged
+#:                         (truncated payload, checksum mismatch) — one
+#:                         quarantine entry per damaged block, with the
+#:                         dependent row section dropped as part of the
+#:                         same event;
+#: ``dangling_intern_ref`` a columnar row or chain column holds an intern
+#:                         index outside its side table (the binary
+#:                         analogue of ``unknown_chain_ref``).
 ERROR_CLASSES = (
     "malformed_json",
     "unknown_record_type",
@@ -52,6 +60,8 @@ ERROR_CLASSES = (
     "conflicting_chain",
     "unknown_chain_ref",
     "missing_meta",
+    "corrupt_block",
+    "dangling_intern_ref",
 )
 
 #: The classes ``repair`` mode can fix mechanically (everything else is
@@ -67,11 +77,12 @@ _MODES = ("strict", "lenient", "repair")
 class CorpusParseError(ValueError):
     """A corpus record failed to ingest, with its exact position.
 
-    Raised by :func:`repro.scan.corpus.stream_snapshot` under the
-    ``strict`` policy (and for unrecoverable structural damage — a
-    missing ``meta`` header — under every policy).  Carries everything
-    an operator needs to find the offending bytes: the file path, the
-    1-based line number, the 0-based byte offset of the line start, and
+    Raised by the corpus readers (:mod:`repro.datasets.formats`) under
+    the ``strict`` policy (and for unrecoverable structural damage — a
+    missing ``meta`` header, a broken columnar preamble — under every
+    policy).  Carries everything an operator needs to find the offending
+    bytes: the file path, the 1-based line number (for binary columnar
+    corpora: the 1-based block ordinal), the 0-based byte offset, and
     the error class from :data:`ERROR_CLASSES`.
     """
 

@@ -16,6 +16,8 @@ corpus write byte-identical quarantine files (a property the tests pin).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -159,10 +161,26 @@ class QuarantineSink:
         Always writes — an empty file is positive evidence that a lenient
         run quarantined nothing, which is what the clean-corpus parity
         tests check.
+
+        The write is atomic (temp file in the target directory, fsync,
+        then ``os.replace``), mirroring ``DiskCache.put``: a mid-run kill
+        leaves either the previous quarantine file or the complete new
+        one, never a torn prefix an operator might grep as if complete.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            for record in self.records:
-                handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in self.records:
+                    handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path

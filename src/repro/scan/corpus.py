@@ -5,14 +5,23 @@ round-trips our :class:`~repro.scan.records.ScanSnapshot` through the same
 kind of newline-delimited JSON so the examples can demonstrate a
 file-backed workflow (write once, analyse many times).
 
-Both directions speak the columnar store natively: :func:`save_snapshot`
-walks the store's columns (each unique chain is serialized exactly once —
-the on-disk format was deduplicated before the in-memory one was), and
-:func:`stream_snapshot` rebuilds a store **incrementally, line by line**:
-chains intern straight into the unique-chain table and rows land in the
+This module is the **JSONL codec** behind the
+:class:`~repro.datasets.formats.CorpusFormat` registry — new code should
+go through :func:`repro.datasets.formats.read_corpus` /
+:func:`~repro.datasets.formats.write_corpus`, which autodetect the format
+on disk (the packed binary columnar codec lives in
+:mod:`repro.datasets.columnar`).  The historical entry points
+(:func:`save_snapshot`, :func:`stream_snapshot`, :func:`load_snapshot`)
+still work but emit :class:`DeprecationWarning` and delegate to the
+registry.
+
+Both directions speak the columnar store natively: writing walks the
+store's columns (each unique chain is serialized exactly once — the
+on-disk format was deduplicated before the in-memory one was), and
+reading rebuilds a store **incrementally, line by line**: chains intern
+straight into the unique-chain table and rows land in the
 ``(ip, chain_index)`` / ``(ip, port, header_index)`` columns without a
 single ``TLSRecord``/``HTTPRecord`` object being materialized.
-:func:`load_snapshot` is the legacy name for the same streaming read.
 
 Reading is governed by an :class:`~repro.robustness.IngestPolicy`.  Under
 the default ``strict`` policy any malformed record raises
@@ -27,6 +36,7 @@ along as ``ScanSnapshot.ingest``.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from repro.net.ipv4 import IPv4Address
@@ -70,7 +80,25 @@ def _cert_to_json(certificate: Certificate) -> dict:
     }
 
 
-def _cert_from_json(payload: dict) -> Certificate:
+def _parse_snapshot_label(
+    label: str, memo: dict[str, Snapshot] | None
+) -> Snapshot:
+    """``Snapshot.parse`` with an optional per-reader memo.
+
+    Validity labels repeat heavily within one corpus (certs issued in the
+    same month share them), so the columnar reader passes a memo dict to
+    parse each distinct label once per file."""
+    if memo is None:
+        return Snapshot.parse(label)
+    parsed = memo.get(label)
+    if parsed is None:
+        parsed = memo[label] = Snapshot.parse(label)
+    return parsed
+
+
+def _cert_from_json(
+    payload: dict, snapshot_memo: dict[str, Snapshot] | None = None
+) -> Certificate:
     return Certificate(
         fingerprint=payload["fingerprint"],
         subject=SubjectName(
@@ -84,8 +112,8 @@ def _cert_from_json(payload: dict) -> Certificate:
             country=payload["issuer"]["c"],
         ),
         dns_names=tuple(payload["dns_names"]),
-        not_before=Snapshot.parse(payload["not_before"]),
-        not_after=Snapshot.parse(payload["not_after"]),
+        not_before=_parse_snapshot_label(payload["not_before"], snapshot_memo),
+        not_after=_parse_snapshot_label(payload["not_after"], snapshot_memo),
         is_ca=payload["is_ca"],
         subject_key_id=payload["skid"],
         authority_key_id=payload["akid"],
@@ -94,7 +122,7 @@ def _cert_from_json(payload: dict) -> Certificate:
     )
 
 
-def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
+def _save_jsonl(snapshot: ScanSnapshot, path: str | Path) -> None:
     """Write a scan snapshot as JSONL (one record per line).
 
     Certificates are deduplicated: each distinct chain is emitted once in a
@@ -314,15 +342,15 @@ def _apply_record(
     return result
 
 
-def stream_snapshot(
+def _stream_jsonl(
     path: str | Path,
     policy: IngestPolicy | None = None,
     quarantine_path: str | Path | None = None,
 ) -> ScanSnapshot:
-    """Read a snapshot written by :func:`save_snapshot`, building its
-    columnar store incrementally: one JSON line in, one intern or one
-    column append out.  Peak memory is the deduplicated store, never a
-    row-object list — the shape that scales to sonar.ssl-sized files.
+    """Read a JSONL snapshot, building its columnar store incrementally:
+    one JSON line in, one intern or one column append out.  Peak memory
+    is the deduplicated store, never a row-object list — the shape that
+    scales to sonar.ssl-sized files.
 
     ``policy`` selects the error behaviour (default: strict).  Under
     ``strict`` the first bad record raises :class:`CorpusParseError`
@@ -409,6 +437,53 @@ def stream_snapshot(
     return result
 
 
-#: Legacy name: reading has always produced a full snapshot; it now does so
-#: by streaming into the store.
-load_snapshot = stream_snapshot
+# -- deprecated public surface ------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.scan.corpus.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
+    """Deprecated: use :func:`repro.datasets.formats.write_corpus`.
+
+    Writes the snapshot in the JSONL format, exactly as before.
+    """
+    _deprecated("save_snapshot", "repro.datasets.formats.write_corpus")
+    from repro.datasets.formats import write_corpus
+
+    write_corpus(snapshot, path, format_name="jsonl")
+
+
+def stream_snapshot(
+    path: str | Path,
+    policy: IngestPolicy | None = None,
+    quarantine_path: str | Path | None = None,
+) -> ScanSnapshot:
+    """Deprecated: use :func:`repro.datasets.formats.read_corpus`.
+
+    Reads the snapshot through the format registry (autodetecting, so a
+    columnar file passed to legacy code keeps working), with identical
+    policy and quarantine semantics.
+    """
+    _deprecated("stream_snapshot", "repro.datasets.formats.read_corpus")
+    from repro.datasets.formats import read_corpus
+
+    return read_corpus(path, policy, quarantine_path)
+
+
+def load_snapshot(
+    path: str | Path,
+    policy: IngestPolicy | None = None,
+    quarantine_path: str | Path | None = None,
+) -> ScanSnapshot:
+    """Deprecated legacy name: use
+    :func:`repro.datasets.formats.read_corpus`."""
+    _deprecated("load_snapshot", "repro.datasets.formats.read_corpus")
+    from repro.datasets.formats import read_corpus
+
+    return read_corpus(path, policy, quarantine_path)

@@ -68,7 +68,7 @@ class ScanSnapshot:
         self.snapshot = snapshot
         self.store = store if store is not None else SnapshotStore()
         #: Ingestion accounting (:class:`~repro.robustness.IngestReport`)
-        #: attached by :func:`repro.scan.corpus.stream_snapshot`; ``None``
+        #: attached by :func:`repro.datasets.formats.read_corpus`; ``None``
         #: for snapshots built in memory, which never met a parser.
         self.ingest = None
         if tls_records:

@@ -115,6 +115,58 @@ class SnapshotStore:
         self._frozen_ips: frozenset[int] | None = None
         self._http_by_key: dict[tuple[int, int], int] | None = None
 
+    # -- bulk construction -------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        chains: list[CertificateChain],
+        chain_org: list[int],
+        chain_dns: list[int],
+        org_table: list[str],
+        dns_table: list[tuple[str, ...]],
+        header_table: list[tuple[tuple[str, str], ...]],
+        tls_ip: list[int],
+        tls_chain: list[int],
+        http_ip: list[int],
+        http_port: list[int],
+        http_header: list[int],
+    ) -> SnapshotStore:
+        """Adopt pre-built columns wholesale (the binary-corpus load path).
+
+        The caller supplies exactly the store's persisted layout — intern
+        side tables plus parallel row columns — and this constructor only
+        rebuilds the derived lookup indexes, each as a single C-speed
+        comprehension.  No per-row method calls, no re-interning: this is
+        what lets :mod:`repro.datasets.columnar` land a snapshot in the
+        store at memcpy-like cost.  Referential integrity (row indexes in
+        range, equal column lengths) is the caller's contract; the
+        columnar reader enforces it before calling.
+        """
+        store = cls()
+        store.chains = chains
+        store.chain_org = chain_org
+        store.chain_dns = chain_dns
+        store.org_table = org_table
+        store.dns_table = dns_table
+        store.header_table = header_table
+        store.tls_ip = tls_ip
+        store.tls_chain = tls_chain
+        store.http_ip = http_ip
+        store.http_port = http_port
+        store.http_header = http_header
+        store._chain_index = {
+            chain.end_entity.fingerprint: index for index, chain in enumerate(chains)
+        }
+        store._org_index = {value: index for index, value in enumerate(org_table)}
+        store._dns_index = {value: index for index, value in enumerate(dns_table)}
+        store._header_index = {
+            value: index for index, value in enumerate(header_table)
+        }
+        store._tls_ip_set = set(tls_ip)
+        return store
+
     # -- interning ---------------------------------------------------------
 
     def intern_chain(self, chain: CertificateChain) -> int:

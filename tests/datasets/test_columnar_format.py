@@ -1,0 +1,324 @@
+"""The packed binary columnar corpus codec and the format registry.
+
+Three promises under test: (1) a snapshot round-tripped through the
+``.rcc`` codec is *bit-identical* — store columns, intern tables,
+aggregates, ingest accounting — to the same snapshot round-tripped
+through JSONL; (2) ``read_corpus`` autodetects the format from file
+content alone, falling back to JSONL so garbage stays a robustness
+problem rather than a detection crash; (3) a damaged columnar file
+degrades through the exact same taxonomy as a damaged JSONL file —
+classified quarantine under lenient/repair, positioned fatal error
+under strict.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.datasets.columnar import (
+    CHAIN_SECTION_BLOCKS,
+    MAGIC,
+    _BLOCK_HEADER,
+    _PREAMBLE,
+)
+from repro.datasets.formats import (
+    detect_format,
+    format_names,
+    get_format,
+    read_corpus,
+    write_corpus,
+)
+from repro.robustness import CorpusParseError, IngestPolicy
+from repro.timeline import Snapshot
+
+SNAP = Snapshot(2019, 10)
+
+#: crc32 lives after the 16-byte name, 1-byte kind and 8-byte length.
+_CRC_OFFSET = 16 + 1 + 8
+
+
+@pytest.fixture(scope="module")
+def both_formats(small_world, tmp_path_factory):
+    """One scan written under both codecs, plus the in-memory original."""
+    directory = tmp_path_factory.mktemp("both-formats")
+    original = small_world.scan("rapid7", SNAP)
+    jsonl = directory / "corpus.jsonl"
+    rcc = directory / "corpus.rcc"
+    write_corpus(original, jsonl, format_name="jsonl")
+    write_corpus(original, rcc, format_name="columnar")
+    return original, jsonl, rcc
+
+
+def _blocks(data: bytes) -> list[tuple[str, int, int, int]]:
+    """(name, header_offset, payload_offset, payload_length) per block."""
+    out = []
+    _, _, count = _PREAMBLE.unpack_from(data, 0)
+    offset = _PREAMBLE.size
+    for _ in range(count):
+        name, _kind, length, _crc = _BLOCK_HEADER.unpack_from(data, offset)
+        out.append(
+            (
+                name.rstrip(b"\x00").decode("ascii"),
+                offset,
+                offset + _BLOCK_HEADER.size,
+                length,
+            )
+        )
+        offset += _BLOCK_HEADER.size + length
+    return out
+
+
+def _resign(data: bytearray, header_offset: int, payload_offset: int, length: int):
+    """Recompute a block's CRC after tampering with its payload."""
+    crc = zlib.crc32(bytes(data[payload_offset : payload_offset + length]))
+    struct.pack_into("<I", data, header_offset + _CRC_OFFSET, crc)
+
+
+class TestColumnarRoundTrip:
+    """Property: columnar → store is byte-identical to JSONL → store."""
+
+    def test_store_columns_identical_across_codecs(self, both_formats):
+        _, jsonl, rcc = both_formats
+        a = read_corpus(jsonl)
+        b = read_corpus(rcc)
+        assert list(a.store.iter_tls_rows()) == list(b.store.iter_tls_rows())
+        assert a.store.http_ip == b.store.http_ip
+        assert a.store.http_port == b.store.http_port
+        assert a.store.http_header == b.store.http_header
+        assert a.store.org_table == b.store.org_table
+        assert a.store.dns_table == b.store.dns_table
+        assert a.store.header_table == b.store.header_table
+        assert [c.end_entity.fingerprint for c in a.store.chains] == [
+            c.end_entity.fingerprint for c in b.store.chains
+        ]
+
+    def test_certificates_identical_across_codecs(self, both_formats):
+        _, jsonl, rcc = both_formats
+        a = read_corpus(jsonl)
+        b = read_corpus(rcc)
+        for left, right in zip(a.store.chains, b.store.chains):
+            assert len(left) == len(right)
+            for cl, cr in zip(left, right):
+                assert cl == cr
+
+    def test_against_in_memory_original(self, both_formats):
+        original, _, rcc = both_formats
+        loaded = read_corpus(rcc)
+        assert loaded.scanner == original.scanner
+        assert loaded.snapshot == original.snapshot
+        assert loaded.ip_count == original.ip_count
+        assert loaded.unique_certificates() == original.unique_certificates()
+        assert loaded.unique_ips() == original.unique_ips()
+        assert list(loaded.store.iter_tls_rows()) == list(
+            original.store.iter_tls_rows()
+        )
+
+    def test_ingest_accounting_identical(self, both_formats):
+        _, jsonl, rcc = both_formats
+        a = read_corpus(jsonl, IngestPolicy(mode="lenient"))
+        b = read_corpus(rcc, IngestPolicy(mode="lenient"))
+        assert a.ingest.seen == b.ingest.seen
+        assert a.ingest.accepted == b.ingest.accepted
+        assert a.ingest.quarantined == b.ingest.quarantined == 0
+        stats = b.store.stats()
+        assert b.ingest.seen == 1 + stats.unique_chains + stats.tls_rows + stats.http_rows
+
+    def test_chain_pool_shares_objects_across_reads(self, both_formats):
+        _, _, rcc = both_formats
+        pool: dict = {}
+        first = read_corpus(rcc, chain_pool=pool)
+        second = read_corpus(rcc, chain_pool=pool)
+        assert pool
+        for left, right in zip(first.store.chains, second.store.chains):
+            assert left is right
+
+    def test_columnar_is_smaller_than_jsonl(self, both_formats):
+        _, jsonl, rcc = both_formats
+        assert rcc.stat().st_size < jsonl.stat().st_size
+
+
+class TestAutodetection:
+    def test_magic_bytes_select_columnar(self, both_formats):
+        _, _, rcc = both_formats
+        assert rcc.read_bytes()[: len(MAGIC)] == MAGIC
+        assert detect_format(rcc).name == "columnar"
+
+    def test_jsonl_detected_as_fallback(self, both_formats):
+        _, jsonl, _ = both_formats
+        assert detect_format(jsonl).name == "jsonl"
+
+    def test_read_corpus_ignores_extension(self, both_formats, tmp_path):
+        """Content decides, not the suffix: a .jsonl file holding packed
+        bytes still reads through the columnar codec."""
+        _, _, rcc = both_formats
+        disguised = tmp_path / "corpus.jsonl"
+        disguised.write_bytes(rcc.read_bytes())
+        loaded = read_corpus(disguised)
+        assert loaded.snapshot == SNAP
+
+    def test_empty_file_falls_back_to_jsonl(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        assert detect_format(path).name == "jsonl"
+        with pytest.raises(ValueError, match="empty corpus"):
+            read_corpus(path)
+
+    def test_jsonl_with_binary_garbage_stays_a_robustness_problem(
+        self, both_formats, tmp_path
+    ):
+        """A JSONL corpus with a binary-garbage line must not be mistaken
+        for columnar; the garbage is quarantined like any bad line."""
+        _, jsonl, _ = both_formats
+        lines = jsonl.read_bytes().splitlines(keepends=True)
+        lines.insert(2, b"\x00\x89\xff binary garbage \xfe\n")
+        path = tmp_path / "garbage.jsonl"
+        path.write_bytes(b"".join(lines))
+        assert detect_format(path).name == "jsonl"
+        scan = read_corpus(path, IngestPolicy(mode="lenient"))
+        assert scan.ingest.quarantined_by_class == {"malformed_json": 1}
+
+    def test_truncated_magic_falls_back_to_jsonl(self, both_formats, tmp_path):
+        _, _, rcc = both_formats
+        path = tmp_path / "stub.rcc"
+        path.write_bytes(rcc.read_bytes()[: len(MAGIC) - 3])
+        assert detect_format(path).name == "jsonl"
+
+    def test_registry_surface(self):
+        assert format_names()[0] == "columnar"
+        assert "jsonl" in format_names()
+        assert get_format("columnar").suffix == ".rcc"
+        assert get_format("jsonl").suffix == ".jsonl"
+        with pytest.raises(KeyError, match="unknown corpus format"):
+            get_format("parquet")
+
+
+class TestColumnarRobustness:
+    """A damaged .rcc degrades through the PR-5 taxonomy, not a crash."""
+
+    def _damaged(self, both_formats, tmp_path, block_name, mutate):
+        """Copy the clean .rcc, hand (data, block tuple) to ``mutate``."""
+        _, _, rcc = both_formats
+        data = bytearray(rcc.read_bytes())
+        block = next(b for b in _blocks(data) if b[0] == block_name)
+        data = mutate(data, block)
+        path = tmp_path / "damaged.rcc"
+        path.write_bytes(bytes(data))
+        return path, block
+
+    def test_flipped_payload_byte_quarantines_one_block(
+        self, both_formats, tmp_path
+    ):
+        def flip(data, block):
+            _, _, payload_offset, _ = block
+            data[payload_offset] ^= 0xFF
+            return data
+
+        path, block = self._damaged(both_formats, tmp_path, "cert_table", flip)
+        scan = read_corpus(path, IngestPolicy(mode="lenient"))
+        assert scan.ingest.quarantined_by_class == {"corrupt_block": 1}
+        # cert_table is chain-section: chains and TLS rows are gone...
+        assert not scan.store.chains
+        assert scan.store.tls_row_count == 0
+        # ...but the independent HTTP section survives.
+        assert scan.store.http_row_count > 0
+
+    def test_strict_positions_the_corrupt_block(self, both_formats, tmp_path):
+        def flip(data, block):
+            _, _, payload_offset, _ = block
+            data[payload_offset] ^= 0xFF
+            return data
+
+        path, block = self._damaged(both_formats, tmp_path, "cert_table", flip)
+        name, header_offset, _, _ = block
+        with pytest.raises(CorpusParseError) as excinfo:
+            read_corpus(path)
+        error = excinfo.value
+        assert error.error_class == "corrupt_block"
+        assert error.byte_offset == header_offset
+        assert name in str(error)
+        assert str(path) in str(error)
+
+    def test_truncated_file_is_one_corrupt_block(self, both_formats, tmp_path):
+        _, _, rcc = both_formats
+        data = rcc.read_bytes()
+        name, _, payload_offset, length = _blocks(data)[-1]
+        path = tmp_path / "truncated.rcc"
+        path.write_bytes(data[: payload_offset + length // 2])
+        scan = read_corpus(path, IngestPolicy(mode="lenient"))
+        assert scan.ingest.quarantined_by_class == {"corrupt_block": 1}
+
+    def test_preamble_damage_is_fatal_under_every_policy(
+        self, both_formats, tmp_path
+    ):
+        _, _, rcc = both_formats
+        data = bytearray(rcc.read_bytes())
+        data[1] ^= 0xFF
+        path = tmp_path / "badmagic.rcc"
+        path.write_bytes(bytes(data))
+        # The magic no longer matches, so detection falls back to JSONL;
+        # the binary payload yields no usable meta header, which is fatal
+        # under every policy — a positioned, classified failure, never a
+        # crash.
+        for mode in ("strict", "lenient", "repair"):
+            with pytest.raises(CorpusParseError) as excinfo:
+                read_corpus(path, IngestPolicy(mode=mode))
+            assert excinfo.value.error_class in {"missing_meta", "malformed_json"}
+
+    def test_dangling_intern_refs_quarantine_per_row(
+        self, both_formats, tmp_path
+    ):
+        def dangle(data, block):
+            _, header_offset, payload_offset, length = block
+            for row in (0, 3):
+                struct.pack_into(
+                    "<I", data, payload_offset + 4 * row, 0xFFFFFFF0
+                )
+            _resign(data, header_offset, payload_offset, length)
+            return data
+
+        path, _ = self._damaged(both_formats, tmp_path, "tls_chain", dangle)
+        clean = read_corpus(both_formats[2])
+        scan = read_corpus(path, IngestPolicy(mode="lenient"))
+        assert scan.ingest.quarantined_by_class == {"dangling_intern_ref": 2}
+        assert scan.store.tls_row_count == clean.store.tls_row_count - 2
+
+    def test_quarantine_file_records_block_faults(self, both_formats, tmp_path):
+        def flip(data, block):
+            _, _, payload_offset, _ = block
+            data[payload_offset] ^= 0xFF
+            return data
+
+        path, _ = self._damaged(both_formats, tmp_path, "chain_fps", flip)
+        quarantine = tmp_path / "quarantine.jsonl"
+        read_corpus(path, IngestPolicy(mode="lenient"), quarantine)
+        entries = [
+            json.loads(line) for line in quarantine.read_text().splitlines()
+        ]
+        assert entries
+        assert all(e["action"] == "quarantined" for e in entries)
+        assert {e["class"] for e in entries} == {"corrupt_block"}
+
+    def test_chain_section_blocks_cover_the_chain_columns(self):
+        assert "cert_table" in CHAIN_SECTION_BLOCKS
+        assert "chain_fps" in CHAIN_SECTION_BLOCKS
+        assert "name_table" in CHAIN_SECTION_BLOCKS
+
+
+class TestDeprecatedEntryPoints:
+    def test_old_corpus_helpers_warn_and_delegate(self, both_formats, tmp_path):
+        from repro.scan.corpus import load_snapshot, save_snapshot, stream_snapshot
+
+        original, _, _ = both_formats
+        path = tmp_path / "legacy.jsonl"
+        with pytest.warns(DeprecationWarning):
+            save_snapshot(original, path)
+        with pytest.warns(DeprecationWarning):
+            loaded = load_snapshot(path)
+        assert loaded.snapshot == original.snapshot
+        with pytest.warns(DeprecationWarning):
+            streamed = stream_snapshot(path)
+        assert list(streamed.store.iter_tls_rows()) == list(
+            original.store.iter_tls_rows()
+        )

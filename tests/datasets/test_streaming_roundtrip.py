@@ -12,7 +12,7 @@ import json
 import pytest
 
 from repro.datasets import FileDataset, export_dataset
-from repro.scan.corpus import stream_snapshot
+from repro.datasets.formats import read_corpus
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +28,7 @@ class TestStreamingRoundTrip:
         world, directory, snapshots = exported
         for snapshot in snapshots:
             original = world.scan("rapid7", snapshot)
-            loaded = stream_snapshot(
+            loaded = read_corpus(
                 directory / "corpora" / "rapid7" / f"{snapshot.label}.jsonl"
             )
             assert loaded.scanner == original.scanner
@@ -47,7 +47,7 @@ class TestStreamingRoundTrip:
         world, directory, snapshots = exported
         snapshot = snapshots[-1]
         original = world.scan("rapid7", snapshot)
-        loaded = stream_snapshot(
+        loaded = read_corpus(
             directory / "corpora" / "rapid7" / f"{snapshot.label}.jsonl"
         )
         assert loaded.ip_count == original.ip_count
@@ -60,7 +60,7 @@ class TestStreamingRoundTrip:
         shapes = manifest["store"]["rapid7"]
         assert set(shapes) == {s.label for s in snapshots}
         for snapshot in snapshots:
-            loaded = stream_snapshot(
+            loaded = read_corpus(
                 directory / "corpora" / "rapid7" / f"{snapshot.label}.jsonl"
             )
             stats = loaded.store.stats()
@@ -90,16 +90,16 @@ class TestStreamingErrors:
         ]
         path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
         with pytest.raises(ValueError, match="unknown chain"):
-            stream_snapshot(path)
+            read_corpus(path)
 
     def test_rows_before_meta_are_rejected(self, tmp_path):
         path = tmp_path / "headless.jsonl"
         path.write_text(json.dumps({"type": "tls", "ip": 1, "chain": "fp"}) + "\n")
         with pytest.raises(ValueError, match="before meta"):
-            stream_snapshot(path)
+            read_corpus(path)
 
     def test_empty_file_is_rejected(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         with pytest.raises(ValueError, match="empty corpus"):
-            stream_snapshot(path)
+            read_corpus(path)

@@ -231,3 +231,46 @@ class TestPolicyGuards:
     def test_on_error_reported_in_options(self, clean_dir):
         result = _run(clean_dir, on_error="lenient")
         assert build_report(result)["options"]["on_error"] == "lenient"
+
+
+class TestQuarantineWriteAtomicity:
+    """Regression: the quarantine JSONL writer must be atomic — a mid-run
+    kill leaves either the previous file or the complete new one, never a
+    torn prefix an operator might grep as if complete."""
+
+    def _sink(self):
+        from repro.robustness import QuarantineSink
+
+        sink = QuarantineSink(source="corpus.jsonl")
+        sink.quarantine(2, 40, "malformed_json", "boom", '{"bad')
+        sink.quarantine(5, 99, "string_ip", "stringly", '{"ip": "1.2.3.4"}')
+        return sink
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        path = self._sink().write(tmp_path / "q" / "2020-10.jsonl")
+        assert path.exists()
+        leftovers = [p for p in path.parent.iterdir() if p != path]
+        assert leftovers == []
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["class"] for e in entries] == ["malformed_json", "string_ip"]
+
+    def test_failed_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        import repro.robustness.quarantine as quarantine_module
+
+        path = tmp_path / "2020-10.jsonl"
+        path.write_text('{"previous": true}\n')
+
+        def exploding_replace(src, dst):
+            raise OSError("disk pulled")
+
+        monkeypatch.setattr(
+            quarantine_module.os, "replace", exploding_replace
+        )
+        with pytest.raises(OSError, match="disk pulled"):
+            self._sink().write(path)
+        monkeypatch.setattr(quarantine_module.os, "replace", os_module.replace)
+        # The old file is untouched and the temp file was cleaned up.
+        assert path.read_text() == '{"previous": true}\n'
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]

@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.datasets.formats import read_corpus, write_corpus
 from repro.robustness import CorpusParseError
-from repro.scan.corpus import load_snapshot, save_snapshot, stream_snapshot
 from repro.timeline import Snapshot
 
 END = Snapshot(2021, 4)
@@ -13,8 +13,8 @@ class TestCorpusRoundTrip:
     def test_save_and_load(self, small_world, tmp_path):
         original = small_world.scan("rapid7", Snapshot(2014, 4))
         path = tmp_path / "corpus.jsonl"
-        save_snapshot(original, path)
-        loaded = load_snapshot(path)
+        write_corpus(original, path)
+        loaded = read_corpus(path)
         assert loaded.scanner == original.scanner
         assert loaded.snapshot == original.snapshot
         assert len(loaded.tls_records) == len(original.tls_records)
@@ -23,8 +23,8 @@ class TestCorpusRoundTrip:
     def test_certificates_survive_round_trip(self, small_world, tmp_path):
         original = small_world.scan("rapid7", Snapshot(2014, 4))
         path = tmp_path / "corpus.jsonl"
-        save_snapshot(original, path)
-        loaded = load_snapshot(path)
+        write_corpus(original, path)
+        loaded = read_corpus(path)
         for before, after in zip(original.tls_records, loaded.tls_records):
             assert before.ip == after.ip
             assert before.chain.end_entity == after.chain.end_entity
@@ -33,7 +33,7 @@ class TestCorpusRoundTrip:
     def test_chains_are_deduplicated_on_disk(self, small_world, tmp_path):
         original = small_world.scan("rapid7", Snapshot(2014, 4))
         path = tmp_path / "corpus.jsonl"
-        save_snapshot(original, path)
+        write_corpus(original, path)
         chain_lines = sum(1 for line in path.open() if '"type": "chain"' in line)
         assert chain_lines == original.unique_certificates()
 
@@ -43,8 +43,8 @@ class TestCorpusRoundTrip:
         snapshot = Snapshot(2014, 4)
         original = small_world.scan("rapid7", snapshot)
         path = tmp_path / "corpus.jsonl"
-        save_snapshot(original, path)
-        loaded = load_snapshot(path)
+        write_corpus(original, path)
+        loaded = read_corpus(path)
         verified = sum(
             1
             for record in loaded.tls_records[:200]
@@ -61,7 +61,7 @@ class TestParseErrorPositions:
     def _broken_corpus(self, small_world, tmp_path):
         original = small_world.scan("rapid7", Snapshot(2014, 4))
         path = tmp_path / "corpus.jsonl"
-        save_snapshot(original, path)
+        write_corpus(original, path)
         return path
 
     def test_error_carries_line_and_byte_offset(self, small_world, tmp_path):
@@ -71,7 +71,7 @@ class TestParseErrorPositions:
         lines[bad_index] = b'{"type": "tls", "ip": "not-json\n'
         path.write_bytes(b"".join(lines))
         with pytest.raises(CorpusParseError) as excinfo:
-            stream_snapshot(path)
+            read_corpus(path)
         error = excinfo.value
         assert error.line_number == bad_index + 1
         assert error.byte_offset == sum(len(l) for l in lines[:bad_index])
@@ -94,7 +94,7 @@ class TestParseErrorPositions:
         lines[1:1] = [multibyte, bad]
         path.write_bytes(b"".join(lines))
         with pytest.raises(CorpusParseError) as excinfo:
-            stream_snapshot(path)
+            read_corpus(path)
         error = excinfo.value
         assert error.line_number == 3
         assert error.byte_offset == len(lines[0]) + len(multibyte)
@@ -106,7 +106,7 @@ class TestParseErrorPositions:
         size_before = path.stat().st_size - len(b"\xff\xfe garbage bytes\n")
         line_count = len(path.read_bytes().splitlines())
         with pytest.raises(CorpusParseError) as excinfo:
-            stream_snapshot(path)
+            read_corpus(path)
         assert excinfo.value.line_number == line_count
         assert excinfo.value.byte_offset == size_before
         assert excinfo.value.error_class == "malformed_json"

@@ -5,7 +5,7 @@ import string
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.scan.corpus import load_snapshot, save_snapshot
+from repro.datasets.formats import read_corpus, write_corpus
 from repro.scan.records import HTTPRecord, ScanSnapshot, TLSRecord
 from repro.timeline import Snapshot
 from repro.x509 import CertificateAuthority, SubjectName, build_chain
@@ -61,8 +61,8 @@ class TestCorpusRoundTripProperties:
         snapshot.tls_records.extend(tls)
         snapshot.http_records.extend(http)
         path = tmp_path_factory.mktemp("corpus") / "c.jsonl"
-        save_snapshot(snapshot, path)
-        loaded = load_snapshot(path)
+        write_corpus(snapshot, path)
+        loaded = read_corpus(path)
         assert loaded.scanner == snapshot.scanner
         assert loaded.snapshot == snapshot.snapshot
         assert [(r.ip, r.chain.end_entity) for r in loaded.tls_records] == [

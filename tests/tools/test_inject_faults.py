@@ -7,7 +7,7 @@ import pytest
 
 from repro.datasets import export_dataset
 from repro.robustness import REPAIRABLE_CLASSES, CorpusParseError, IngestPolicy
-from repro.scan.corpus import stream_snapshot
+from repro.datasets.formats import read_corpus
 from repro.timeline import Snapshot
 from tools.inject_faults import FAULT_KINDS, expected_counts, inject_faults, main
 
@@ -104,7 +104,7 @@ class TestAccounting:
             line for lines in faults["lines"].values() for line in lines
         )
         with pytest.raises(CorpusParseError) as excinfo:
-            stream_snapshot(_corpus_path(directory))
+            read_corpus(_corpus_path(directory))
         assert excinfo.value.line_number == first_bad
         assert excinfo.value.byte_offset > 0
         assert excinfo.value.error_class in set(FAULT_KINDS.values()) | {
@@ -113,7 +113,7 @@ class TestAccounting:
 
     def test_lenient_counts_match_exactly(self, injected_dir):
         directory, faults = injected_dir
-        scan = stream_snapshot(_corpus_path(directory), IngestPolicy("lenient"))
+        scan = read_corpus(_corpus_path(directory), IngestPolicy("lenient"))
         want_quarantined, want_repaired = expected_counts(faults, "lenient")
         assert scan.ingest.quarantined_by_class == want_quarantined
         assert scan.ingest.repaired_by_class == want_repaired == {}
@@ -121,7 +121,7 @@ class TestAccounting:
 
     def test_repair_counts_match_exactly(self, injected_dir):
         directory, faults = injected_dir
-        scan = stream_snapshot(_corpus_path(directory), IngestPolicy("repair"))
+        scan = read_corpus(_corpus_path(directory), IngestPolicy("repair"))
         want_quarantined, want_repaired = expected_counts(faults, "repair")
         assert scan.ingest.quarantined_by_class == want_quarantined
         assert scan.ingest.repaired_by_class == want_repaired
@@ -129,8 +129,8 @@ class TestAccounting:
 
     def test_repair_keeps_repaired_rows(self, injected_dir):
         directory, _ = injected_dir
-        lenient = stream_snapshot(_corpus_path(directory), IngestPolicy("lenient"))
-        repair = stream_snapshot(_corpus_path(directory), IngestPolicy("repair"))
+        lenient = read_corpus(_corpus_path(directory), IngestPolicy("lenient"))
+        repair = read_corpus(_corpus_path(directory), IngestPolicy("repair"))
         # string_ip rows (2) come back as tls rows under repair.
         assert (
             repair.store.tls_row_count
@@ -145,7 +145,7 @@ class TestAccounting:
     def test_quarantine_file_lists_every_fault(self, injected_dir, tmp_path):
         directory, faults = injected_dir
         quarantine_path = tmp_path / "quarantine.jsonl"
-        stream_snapshot(
+        read_corpus(
             _corpus_path(directory), IngestPolicy("lenient"), quarantine_path
         )
         entries = [

@@ -1,0 +1,103 @@
+"""CI gate over the columnar-format perf summary.
+
+``benchmarks/bench_pipeline_perf.py::test_columnar_vs_jsonl_cold_ingest``
+publishes ``perf_columnar_summary.json`` — cold ingest and full-run
+wall-clock for the same dataset in both corpus formats, plus a parity
+matrix asserting the output is indifferent to the format.  This script
+is the enforcement half: it fails the build when the columnar cold
+ingest drops below the required multiple of the JSONL baseline, or when
+any parity cell went false.
+
+Usage::
+
+    python tools/check_perf_gate.py benchmarks/output/perf_columnar_summary.json
+    python tools/check_perf_gate.py summary.json --min-ingest-speedup 5
+
+Exit status: 0 when every bar holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["check_summary", "main"]
+
+#: Keys the summary must carry for the gate to be meaningful.
+REQUIRED_KEYS = (
+    "jsonl_ingest_seconds",
+    "columnar_ingest_seconds",
+    "ingest_speedup",
+    "run_speedup",
+    "parity",
+)
+
+
+def check_summary(summary: dict, min_ingest_speedup: float) -> list[str]:
+    """Every gate violation in ``summary``, as human-readable strings."""
+    problems = [
+        f"summary is missing required key {key!r}"
+        for key in REQUIRED_KEYS
+        if key not in summary
+    ]
+    if problems:
+        return problems
+    speedup = summary["ingest_speedup"]
+    if not isinstance(speedup, (int, float)) or speedup < min_ingest_speedup:
+        problems.append(
+            f"columnar cold ingest is only {speedup}x the JSONL baseline "
+            f"(gate: >={min_ingest_speedup}x) — "
+            f"jsonl {summary['jsonl_ingest_seconds']}s vs "
+            f"columnar {summary['columnar_ingest_seconds']}s"
+        )
+    broken = [label for label, ok in summary["parity"].items() if not ok]
+    if broken:
+        problems.append(
+            "funnel/ingest parity between formats broke under: "
+            + ", ".join(sorted(broken))
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Enforce the columnar-vs-JSONL ingest perf bar."
+    )
+    parser.add_argument(
+        "summary", type=Path, help="path to perf_columnar_summary.json"
+    )
+    parser.add_argument(
+        "--min-ingest-speedup",
+        type=float,
+        default=5.0,
+        help="minimum cold-ingest speedup of columnar over JSONL (default: 5)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        summary = json.loads(args.summary.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"FAIL: perf summary not found: {args.summary}")
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"FAIL: perf summary is not valid JSON: {error}")
+        return 1
+
+    problems = check_summary(summary, args.min_ingest_speedup)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"OK: columnar cold ingest {summary['ingest_speedup']}x JSONL "
+        f"(gate >={args.min_ingest_speedup}x); full run "
+        f"{summary['run_speedup']}x; parity holds for "
+        + ", ".join(sorted(summary["parity"]))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

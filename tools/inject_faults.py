@@ -14,6 +14,8 @@ Usage::
     python tools/inject_faults.py inject --dir out/ --truncate 2 \
         --garble 1 --drop-field 1 --string-ip 2 --bad-ip 1 \
         --missing-port 1 --bad-chain-ref 1 --break-cert 1 --conflict-chain 1
+    python tools/inject_faults.py inject --dir outc/ --flip-block 2 \
+        --truncate-block 1 --dangling-ref 3
     python tools/inject_faults.py verify --dir out/ --mode lenient
 
 ``inject`` rewrites the corpus file in place, writes a ``faults.json``
@@ -23,11 +25,17 @@ lenient run must report) and stamps a ``faults`` key into the dataset's
 changes — a warm stage cache can never serve pre-corruption artifacts
 for the corrupted data.
 
-``verify`` re-reads the corrupted corpus under ``--mode`` and exits
-nonzero unless the quarantine/repair counts match ``faults.json``
-exactly — the CI ingest gate.
+``verify`` re-reads the corrupted corpus under ``--mode`` (autodetecting
+its format) and exits nonzero unless the quarantine/repair counts match
+``faults.json`` exactly — the CI ingest gate.
 
-Fault kinds and the error class each must be accounted under
+The corpus file's format decides which fault kinds apply: the JSONL
+(line-level) kinds target a ``.jsonl`` corpus, the columnar (block-level)
+kinds target a ``.rcc`` corpus, and mixing them is an error — a
+truncated JSON line has no meaning inside a checksummed binary block and
+vice versa.
+
+JSONL fault kinds and the error class each must be accounted under
 (:data:`repro.robustness.ERROR_CLASSES`):
 
 ==================  ====================  =========================
@@ -48,9 +56,33 @@ kind                target lines          error class
                                           (repairable: keep first)
 ==================  ====================  =========================
 
-The meta header (line 1) is never touched: without it there is no
-snapshot to attach survivors to, so corrupting it is fatal under every
-policy — graceful degradation is only defined past the header.
+Columnar fault kinds (see :mod:`repro.datasets.columnar` for the block
+semantics each exercises):
+
+==================  =====================  ========================
+kind                target                 error class
+==================  =====================  ========================
+``truncate-block``  the file's last block  ``corrupt_block``
+                    (payload cut short)
+``flip-block``      a non-meta block's     ``corrupt_block``
+                    first payload byte     (one per flipped block)
+                    (checksum mismatch)
+``dangling-ref``    ``tls_chain`` entries  ``dangling_intern_ref``
+                    rewritten out of       (one per rewritten row;
+                    range, CRC re-signed   block stays valid)
+==================  =====================  ========================
+
+Selections stay exact: ``--truncate-block`` allows at most 1 (a file has
+one tail); ``--flip-block`` never picks ``meta`` (fatal under every
+policy — the analogue of the JSONL meta line being off-limits), never
+the last block when a truncation is requested, and never a chain- or
+TLS-section block when ``--dangling-ref`` is requested (dropping those
+sections would silently swallow the dangling rows it promised).
+
+The JSONL meta header (line 1) / the columnar ``meta`` block are never
+touched: without them there is no snapshot to attach survivors to, so
+corrupting them is fatal under every policy — graceful degradation is
+only defined past the header.
 """
 
 from __future__ import annotations
@@ -58,19 +90,33 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import struct
 import sys
+import zlib
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # runnable without PYTHONPATH
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.datasets.columnar import (  # noqa: E402
+    _BLOCK_HEADER,
+    _PREAMBLE,
+    CHAIN_SECTION_BLOCKS,
+    TLS_BLOCKS,
+)
+from repro.datasets.formats import corpus_candidates, read_corpus  # noqa: E402
 from repro.robustness import REPAIRABLE_CLASSES, IngestPolicy  # noqa: E402
-from repro.scan.corpus import stream_snapshot  # noqa: E402
 
-__all__ = ["FAULT_KINDS", "inject_faults", "expected_counts", "main"]
+__all__ = [
+    "COLUMNAR_FAULT_KINDS",
+    "FAULT_KINDS",
+    "inject_faults",
+    "expected_counts",
+    "main",
+]
 
-#: Fault kind -> the error class its direct injections land under.
+#: JSONL fault kind -> the error class its direct injections land under.
 FAULT_KINDS = {
     "truncate": "malformed_json",
     "garble": "malformed_json",
@@ -81,6 +127,13 @@ FAULT_KINDS = {
     "bad_chain_ref": "unknown_chain_ref",
     "break_cert": "undecodable_chain",
     "conflict_chain": "conflicting_chain",
+}
+
+#: Columnar (block-level) fault kind -> error class.
+COLUMNAR_FAULT_KINDS = {
+    "truncate_block": "corrupt_block",
+    "flip_block": "corrupt_block",
+    "dangling_ref": "dangling_intern_ref",
 }
 
 #: faults.json schema marker.
@@ -130,25 +183,186 @@ def inject_faults(
 ) -> dict:
     """Corrupt one corpus snapshot in place; returns the faults manifest.
 
-    ``counts`` maps fault kinds (keys of :data:`FAULT_KINDS`) to how many
-    records to corrupt.  Selections are seeded and disjoint: no line
-    receives two faults, and lines swept up in a ``break_cert`` cascade
-    (tls rows referencing a broken chain) are excluded from every other
-    pick, so the expected per-class counts are exact, not approximate.
+    ``counts`` maps fault kinds (keys of :data:`FAULT_KINDS` or
+    :data:`COLUMNAR_FAULT_KINDS`) to how many records/blocks to corrupt.
+    The corpus file's own format (resolved the way ingestion resolves
+    it, via :func:`repro.datasets.formats.corpus_candidates`) decides
+    which family applies; mixing families is an error.  Selections are
+    seeded and disjoint: no line/block receives two faults, and lines
+    swept up in a ``break_cert`` cascade (tls rows referencing a broken
+    chain) are excluded from every other pick, so the expected per-class
+    counts are exact, not approximate.
     """
     dataset_dir = Path(dataset_dir)
     manifest_path = dataset_dir / "manifest.json"
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     corpus = corpus or next(iter(manifest["corpora"]))
     snapshot = snapshot or sorted(manifest["corpora"][corpus])[-1]
-    corpus_path = dataset_dir / "corpora" / corpus / f"{snapshot}.jsonl"
-    counts = {kind: int(counts.get(kind, 0)) for kind in FAULT_KINDS} if counts else {}
-    unknown = set(counts) - set(FAULT_KINDS)
+    corpus_dir = dataset_dir / "corpora" / corpus
+    corpus_path = next(
+        (p for p in corpus_candidates(corpus_dir, snapshot) if p.exists()), None
+    )
+    if corpus_path is None:
+        raise SystemExit(f"no corpus file for {corpus}/{snapshot} under {corpus_dir}")
+    all_kinds = {**FAULT_KINDS, **COLUMNAR_FAULT_KINDS}
+    counts = {k: int(v) for k, v in (counts or {}).items() if int(v)}
+    unknown = set(counts) - set(all_kinds)
     if unknown:
         raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+    columnar = corpus_path.suffix == ".rcc"
+    family = COLUMNAR_FAULT_KINDS if columnar else FAULT_KINDS
+    wrong = sorted(set(counts) - set(family))
+    if wrong:
+        raise SystemExit(
+            f"fault kinds {wrong} do not apply to a {corpus_path.suffix} "
+            "corpus: line-level kinds need JSONL, block-level kinds columnar"
+        )
 
-    lines = corpus_path.read_text(encoding="utf-8").splitlines()
     rng = random.Random(seed)
+    if columnar:
+        applied, cascade_refs, positions_key, positions = _inject_columnar(
+            corpus_path, rng, counts
+        )
+    else:
+        applied, cascade_refs, positions_key, positions = _inject_jsonl(
+            corpus_path, rng, counts
+        )
+
+    expected: dict[str, int] = {}
+    for kind, count in applied.items():
+        error_class = all_kinds[kind]
+        expected[error_class] = expected.get(error_class, 0) + count
+    if cascade_refs:
+        expected["unknown_chain_ref"] = (
+            expected.get("unknown_chain_ref", 0) + cascade_refs
+        )
+
+    faults = {
+        "schema": FAULTS_SCHEMA,
+        "corpus": corpus,
+        "snapshot": snapshot,
+        "format": "columnar" if columnar else "jsonl",
+        "seed": seed,
+        "applied": applied,
+        "cascade_unknown_chain_refs": cascade_refs,
+        "expected_classes": {k: expected[k] for k in sorted(expected)},
+        positions_key: positions,
+    }
+    (dataset_dir / "faults.json").write_text(
+        json.dumps(faults, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # Stamp the dataset manifest: FileDataset.fingerprint() hashes it, so
+    # stage-cache keys for the corrupted data differ from the clean run's.
+    manifest["faults"] = {
+        "corpus": corpus,
+        "snapshot": snapshot,
+        "seed": seed,
+        "applied": applied,
+    }
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return faults
+
+
+def _inject_columnar(
+    corpus_path: Path, rng: random.Random, counts: dict[str, int]
+) -> tuple[dict[str, int], int, str, dict]:
+    """Apply the block-level fault kinds to a ``.rcc`` corpus in place.
+
+    Returns ``(applied, cascade_refs, positions_key, positions)``;
+    positions name the damaged blocks (1-based tls rows for
+    ``dangling_ref``) so ``faults.json`` stays auditable.
+    """
+    data = bytearray(corpus_path.read_bytes())
+    if len(data) < _PREAMBLE.size:
+        raise SystemExit(f"{corpus_path} is too short to be a columnar corpus")
+    _, _, block_count = _PREAMBLE.unpack_from(data, 0)
+    blocks: list[tuple[str, int, int, int]] = []
+    offset = _PREAMBLE.size
+    for _ in range(block_count):
+        raw_name, _, length, _ = _BLOCK_HEADER.unpack_from(data, offset)
+        name = raw_name.rstrip(b"\x00").decode("ascii")
+        blocks.append((name, offset, offset + _BLOCK_HEADER.size, length))
+        offset += _BLOCK_HEADER.size + length
+    by_name = {block[0]: block for block in blocks}
+    #: crc32 lives after name (16) + kind (1) + length (8) in the header.
+    crc_offset = 16 + 1 + 8
+
+    truncate = counts.get("truncate_block", 0)
+    if truncate > 1:
+        raise SystemExit("--truncate-block allows at most 1: a file has one tail")
+    dangling = counts.get("dangling_ref", 0)
+    flips = counts.get("flip_block", 0)
+    applied: dict[str, int] = {}
+    positions: dict[str, list] = {}
+
+    # 1. dangling_ref: rewrite seeded tls_chain entries far out of range,
+    #    then re-sign the block so it still frames clean — the fault must
+    #    surface at reference validation, not as a checksum error.
+    if dangling:
+        name, header_offset, payload_offset, length = by_name["tls_chain"]
+        rows = length // 4
+        if rows < dangling:
+            raise SystemExit(
+                f"not enough tls rows for --dangling-ref: "
+                f"wanted {dangling}, file has {rows}"
+            )
+        chosen = sorted(rng.sample(range(rows), dangling))
+        for row in chosen:
+            struct.pack_into("<I", data, payload_offset + 4 * row, 0xFFFFFFF0)
+        payload = bytes(data[payload_offset : payload_offset + length])
+        struct.pack_into(
+            "<I", data, header_offset + crc_offset, zlib.crc32(payload)
+        )
+        applied["dangling_ref"] = dangling
+        positions["dangling_ref"] = [row + 1 for row in chosen]
+
+    # 2. flip_block: XOR the first payload byte of each picked block (a
+    #    checksum mismatch at framing).  Never meta (fatal everywhere),
+    #    never the tail when a truncation will eat it, never a chain- or
+    #    TLS-section block when dangling rows were promised above.
+    if flips:
+        protected = {"meta"}
+        if dangling:
+            protected.update(CHAIN_SECTION_BLOCKS)
+            protected.update(TLS_BLOCKS)
+        if truncate:
+            protected.add(blocks[-1][0])
+        eligible = [
+            block for block in blocks if block[0] not in protected and block[3]
+        ]
+        if len(eligible) < flips:
+            raise SystemExit(
+                f"not enough eligible blocks for --flip-block: "
+                f"wanted {flips}, only {len(eligible)} available"
+            )
+        for name, _, payload_offset, _ in rng.sample(eligible, flips):
+            data[payload_offset] ^= 0xFF
+            positions.setdefault("flip_block", []).append(name)
+        positions["flip_block"].sort()
+        applied["flip_block"] = flips
+
+    # 3. truncate_block: cut the last block's payload short (or its
+    #    header, if the payload is already empty) — framing stops there.
+    if truncate:
+        name, header_offset, payload_offset, length = blocks[-1]
+        if length:
+            del data[payload_offset + length // 2 :]
+        else:
+            del data[header_offset + _BLOCK_HEADER.size // 2 :]
+        applied["truncate_block"] = 1
+        positions["truncate_block"] = [name]
+
+    corpus_path.write_bytes(bytes(data))
+    return applied, 0, "blocks", positions
+
+
+def _inject_jsonl(
+    corpus_path: Path, rng: random.Random, counts: dict[str, int]
+) -> tuple[dict[str, int], int, str, dict]:
+    """Apply the line-level fault kinds to a ``.jsonl`` corpus in place."""
+    lines = corpus_path.read_text(encoding="utf-8").splitlines()
 
     # Index the file: line numbers are 0-based here, 1-based in faults.json.
     chain_lines: dict[str, int] = {}
@@ -266,43 +480,11 @@ def inject_faults(
     corpus_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
     applied = {kind: len(indices) for kind, indices in picks.items()}
-    expected: dict[str, int] = {}
-    for kind, count in applied.items():
-        error_class = FAULT_KINDS[kind]
-        expected[error_class] = expected.get(error_class, 0) + count
-    if cascade_refs:
-        expected["unknown_chain_ref"] = (
-            expected.get("unknown_chain_ref", 0) + cascade_refs
-        )
-
-    faults = {
-        "schema": FAULTS_SCHEMA,
-        "corpus": corpus,
-        "snapshot": snapshot,
-        "seed": seed,
-        "applied": applied,
-        "cascade_unknown_chain_refs": cascade_refs,
-        "expected_classes": {k: expected[k] for k in sorted(expected)},
-        "lines": {
-            kind: [index + 1 for index in indices]
-            for kind, indices in sorted(picks.items())
-        },
+    positions = {
+        kind: [index + 1 for index in indices]
+        for kind, indices in sorted(picks.items())
     }
-    (dataset_dir / "faults.json").write_text(
-        json.dumps(faults, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    # Stamp the dataset manifest: FileDataset.fingerprint() hashes it, so
-    # stage-cache keys for the corrupted data differ from the clean run's.
-    manifest["faults"] = {
-        "corpus": corpus,
-        "snapshot": snapshot,
-        "seed": seed,
-        "applied": applied,
-    }
-    manifest_path.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    return faults
+    return applied, cascade_refs, "lines", positions
 
 
 def expected_counts(faults: dict, mode: str) -> tuple[dict[str, int], dict[str, int]]:
@@ -329,7 +511,7 @@ def expected_counts(faults: dict, mode: str) -> tuple[dict[str, int], dict[str, 
 def _cmd_inject(args: argparse.Namespace) -> int:
     counts = {
         kind: getattr(args, kind)
-        for kind in FAULT_KINDS
+        for kind in {**FAULT_KINDS, **COLUMNAR_FAULT_KINDS}
         if getattr(args, kind)
     }
     if not counts:
@@ -351,10 +533,15 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     dataset_dir = Path(args.dir)
     faults = json.loads((dataset_dir / "faults.json").read_text(encoding="utf-8"))
-    corpus_path = (
-        dataset_dir / "corpora" / faults["corpus"] / f"{faults['snapshot']}.jsonl"
+    corpus_dir = dataset_dir / "corpora" / faults["corpus"]
+    corpus_path = next(
+        (p for p in corpus_candidates(corpus_dir, faults["snapshot"]) if p.exists()),
+        None,
     )
-    scan = stream_snapshot(corpus_path, IngestPolicy(mode=args.mode))
+    if corpus_path is None:
+        print(f"FAIL: no corpus file for {faults['corpus']}/{faults['snapshot']}")
+        return 1
+    scan = read_corpus(corpus_path, IngestPolicy(mode=args.mode))
     report = scan.ingest
     want_quarantined, want_repaired = expected_counts(faults, args.mode)
     problems = []
@@ -399,7 +586,18 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=0,
             metavar="N",
-            help=f"inject N {kind} faults (error class: {error_class})",
+            help=f"inject N {kind} faults (error class: {error_class}; "
+            "JSONL corpora only)",
+        )
+    for kind, error_class in COLUMNAR_FAULT_KINDS.items():
+        inject.add_argument(
+            f"--{kind.replace('_', '-')}",
+            dest=kind,
+            type=int,
+            default=0,
+            metavar="N",
+            help=f"inject N {kind} faults (error class: {error_class}; "
+            "columnar corpora only)",
         )
 
     verify = sub.add_parser(
