@@ -76,8 +76,15 @@ def summarize_report(report: dict) -> dict:
 
 
 def write_summary(name: str, summary: dict) -> None:
-    """Write a tracked summary JSON next to the bench's text output."""
+    """Write a tracked summary JSON next to the bench's text output.
+
+    Every summary records the host's CPU count: perf numbers are
+    meaningless without it (a 0.7x "speedup" on a single-core runner is
+    expected, not a regression), and the CI perf gates read it to decide
+    which assertions the host can honestly support.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
+    summary.setdefault("cpu_count", os.cpu_count() or 1)
     path = OUTPUT_DIR / f"{name}.json"
     path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
@@ -232,21 +239,41 @@ def test_parallel_speedup_and_cache():
     stage_report = ", ".join(
         f"{stage} {seconds:.2f}s" for stage, seconds in sorted(serial.timings.items())
     )
+    if cores >= 2:
+        speedup_note = f"speedup bar enforced on {cores} cores"
+    else:
+        speedup_note = (
+            "speedup bar SKIPPED: single-core host — a process pool cannot "
+            "beat serial wall-clock without a second core; only output "
+            "parity is asserted here"
+        )
     write_output(
         "perf_parallel_speedup",
         f"full {len(serial.snapshots)}-snapshot run (default scale 0.02, {cores} core(s)): "
         f"jobs=1 {serial_seconds:.2f}s vs jobs=4 {parallel_seconds:.2f}s "
         f"→ {speedup:.2f}x wall-clock; outputs bit-identical\n"
+        f"{speedup_note}\n"
         f"§4.1 validation cache: {cache.static_hits + cache.window_hits} hits / "
         f"{cache.static_misses + cache.window_misses} misses "
         f"({cache.hit_rate:.1%} hit rate)\n"
         f"serial stage totals: {stage_report}\n"
         "raw run reports: output/raw/perf_run_report_{serial,parallel}.json",
     )
+    write_summary(
+        "perf_parallel_summary",
+        {
+            "serial_seconds": round(serial_seconds, 3),
+            "parallel_seconds": round(parallel_seconds, 3),
+            "speedup": round(speedup, 2),
+            "affinity_cores": cores,
+            "speedup_bar": "enforced" if cores >= 2 else "skipped: single-core host",
+        },
+    )
     assert cache.hit_rate > 0.5, "cross-snapshot cert reuse should dominate"
     if cores >= 2:
         # The acceptance bar. On a single-core host a process pool cannot
-        # beat serial wall-clock, so the bar only applies with real cores.
+        # beat serial wall-clock, so the bar only applies with real cores
+        # (the downgrade is recorded in the summary, never silent).
         assert speedup >= 1.5, f"jobs=4 speedup {speedup:.2f}x < 1.5x on {cores} cores"
 
 

@@ -124,6 +124,16 @@ def _add_run_arguments(parser: argparse.ArgumentParser, dir_required: bool) -> N
         "when covered, else a file dataset's last snapshot)",
     )
     parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshots per worker shard for parallel runs (default: "
+        "cost-balance the snapshots into --jobs contiguous shards, "
+        "probing per-file ingest cost from corpus headers); output is "
+        "identical for any shard geometry",
+    )
+    parser.add_argument(
         "--report",
         default=None,
         metavar="OUT.json",
@@ -262,6 +272,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     overrides: dict = {
         "jobs": args.jobs,
+        "shard_size": args.shard_size,
         "cache_dir": args.cache_dir,
         "on_error": args.on_error,
         "quarantine_dir": args.quarantine_dir,

@@ -65,6 +65,7 @@ from repro.core.validation import (
     ValidationStats,
     passthrough_records,
 )
+from repro.datasets.sharding import Shard, ShardPlan, plan_shards
 from repro.datasets.source import DataSource
 from repro.hypergiants.profiles import HEADER_RULES, HYPERGIANTS, HeaderRule
 from repro.robustness import IngestPolicy
@@ -87,7 +88,7 @@ class PipelineOptions:
     * **methodology switches** (``validate_certificates``,
       ``require_all_dnsnames``, ``header_confirmation``, ...) — each
       maps to one §4 rule and changes the inferred numbers;
-    * **execution knobs** (``jobs``, ``cache_dir``,
+    * **execution knobs** (``jobs``, ``shard_size``, ``cache_dir``,
       ``quarantine_dir``) — change how the run executes, never what it
       computes; results are bit-identical across their settings;
     * **ingestion policy** (``on_error``) — methodology on a dirty
@@ -117,6 +118,12 @@ class PipelineOptions:
     #: a process pool; 0 = auto, one worker per CPU core; output is
     #: identical for every setting).
     jobs: int = 1
+    #: Snapshots per shard for the parallel executor (the CLI's
+    #: ``--shard-size``).  ``None`` (the default) lets the planner
+    #: cost-balance the snapshots into ``jobs`` contiguous shards; a
+    #: fixed size forces that granularity instead.  Like ``jobs``, an
+    #: execution knob: results are bit-identical for every setting.
+    shard_size: int | None = None
     #: Directory for the on-disk stage-artifact cache (the CLI's
     #: ``--cache-dir``).  ``None`` keeps artifacts in memory only.  Like
     #: ``jobs``, this is an execution detail: results are bit-identical
@@ -145,6 +152,10 @@ class PipelineOptions:
                 f"PipelineOptions.jobs must be >= 0, got {self.jobs} "
                 "(0 selects one worker per CPU core, 1 runs serially, "
                 "N > 1 forks N workers)"
+            )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(
+                f"PipelineOptions.shard_size must be >= 1, got {self.shard_size}"
             )
         # Delegates mode validation (strict|lenient|repair) so the two
         # surfaces cannot drift.
@@ -293,7 +304,7 @@ class OffnetPipeline:
             # inherit them instead of re-learning per process.
             self.header_rules()
         if executor is None:
-            executor = make_executor(self.options.jobs)
+            executor = make_executor(self.options.jobs, self.options.shard_size)
         outcomes = executor.map_snapshots(self, snapshots)
         try:
             executor_meta = executor.describe()
@@ -396,6 +407,69 @@ class OffnetPipeline:
         for key, _stage, artifact in shipped:
             self._cache.put(key, artifact)  # type: ignore[arg-type]
 
+    # -- the shard surface (the parallel executor's unit of work) ----------------
+
+    def shard_plan(
+        self,
+        snapshots: tuple[Snapshot, ...] | None = None,
+        *,
+        jobs: int | None = None,
+        shard_size: int | None = None,
+    ) -> ShardPlan:
+        """Partition a run's snapshots into contiguous, cost-balanced
+        shards for ``jobs`` workers (see :func:`~repro.datasets.plan_shards`).
+
+        Per-snapshot costs come from the source's ``shard_cost`` probe
+        when it has one (:class:`~repro.datasets.FileDataset` answers
+        from corpus file headers without loading anything); sources
+        without a probe — or snapshots whose files the probe cannot
+        reach — fall back to uniform costs.  Planning must never be the
+        thing that fails: a missing file surfaces later, in the scan
+        stage, with its usual error.
+        """
+        snapshots = self.select_snapshots(snapshots)
+        if jobs is None:
+            jobs = max(self.options.jobs, 1)
+        if shard_size is None:
+            shard_size = self.options.shard_size
+        costs: list[float] | None = None
+        probe = getattr(self.source, "shard_cost", None)
+        if probe is not None:
+            try:
+                costs = [
+                    probe(self.options.corpus, snapshot) for snapshot in snapshots
+                ]
+            except (FileNotFoundError, OSError):
+                costs = None
+        return plan_shards(snapshots, costs, jobs=jobs, shard_size=shard_size)
+
+    def run_shard(self, shard: Shard) -> tuple[list[SnapshotOutcome], list]:
+        """Run one shard's snapshots in order — the parallel executor's
+        per-worker task body.  Returns the outcomes plus the light stage
+        artifacts the shard computed, deduplicated by key (snapshots of
+        one shard can share e.g. the learned-rules artifact)."""
+        outcomes: list[SnapshotOutcome] = []
+        shipment: list[tuple[str, str, object]] = []
+        seen: set[str] = set()
+        for snapshot in shard.snapshots:
+            outcome, shipped = self._run_snapshot_shipping(snapshot, shard=shard)
+            outcomes.append(outcome)
+            for key, stage, artifact in shipped:
+                if key not in seen:
+                    seen.add(key)
+                    shipment.append((key, stage, artifact))
+        return outcomes, shipment
+
+    def trim_for_fork(self) -> None:
+        """Drop state forked workers must not inherit copy-on-write —
+        delegates to the source's ``trim_for_fork`` when it has one
+        (:class:`~repro.datasets.FileDataset` clears its warm scan LRU;
+        an in-memory :class:`~repro.world.World` keeps everything, since
+        its snapshot stores *are* the data workers need)."""
+        trim = getattr(self.source, "trim_for_fork", None)
+        if trim is not None:
+            trim()
+
     # -- internals ---------------------------------------------------------------
 
     def _snapshot_token(self, snapshot: Snapshot) -> str:
@@ -470,11 +544,20 @@ class OffnetPipeline:
             matches.append(tuple(k for k in self._keywords if k in lowered))
         return matches
 
-    def _scan_and_map(self, snapshot: Snapshot):
+    def _scan_and_map(self, snapshot: Snapshot, shard: Shard | None = None):
         """The corpus and IP-to-AS view for one snapshot, optionally merged
-        with the IPv6 research corpus (§7 future work)."""
+        with the IPv6 research corpus (§7 future work).
+
+        Inside a shard, sources that offer a shard-local read path
+        (``scan_for_shard``: same data, scan LRU held at one entry) are
+        read through it — a worker visits each of its snapshots once, so
+        retaining earlier stores only inflates peak RSS."""
         source = self.source
-        scan = source.scan(self.options.corpus, snapshot)
+        scan_for_shard = getattr(source, "scan_for_shard", None)
+        if shard is not None and scan_for_shard is not None:
+            scan = scan_for_shard(self.options.corpus, snapshot)
+        else:
+            scan = source.scan(self.options.corpus, snapshot)
         ip2as = source.ip2as(snapshot)
         if self.options.include_ipv6:
             ipv6_scan = getattr(source, "ipv6_scan", None)
@@ -517,14 +600,18 @@ class OffnetPipeline:
         return outcome
 
     def _run_snapshot_shipping(
-        self, snapshot: Snapshot, ship: bool = True
+        self, snapshot: Snapshot, ship: bool = True, shard: Shard | None = None
     ) -> tuple[SnapshotOutcome, list]:
         """:meth:`run_snapshot` plus the light artifacts the run computed,
-        for the parallel executor to carry across the fork boundary."""
+        for the parallel executor to carry across the fork boundary.
+        ``shard`` is threaded into the stage context as execution
+        metadata only — it never reaches an artifact key."""
         registry = MetricsRegistry()
         shipment: list | None = [] if ship else None
         values = self._graph.execute(
-            StageContext(pipeline=self, snapshot=snapshot, options=self.options),
+            StageContext(
+                pipeline=self, snapshot=snapshot, options=self.options, shard=shard
+            ),
             self._snapshot_token(snapshot),
             registry,
             cache=self._cache,
@@ -582,7 +669,8 @@ class OffnetPipeline:
 
     def _options_meta(self) -> dict:
         """The methodology switches for the run report's ``options``
-        section.  ``jobs``, ``cache_dir`` and ``quarantine_dir`` are
+        section.  ``jobs``, ``shard_size``, ``cache_dir`` and
+        ``quarantine_dir`` are
         deliberately absent: they are execution details (reported under
         ``executor`` / the cache counters / the ``ingest`` section), and
         the deterministic view must compare equal across ``jobs`` and

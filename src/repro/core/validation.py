@@ -241,9 +241,9 @@ class CertificateValidator:
         counters: ``validation_records_total{verdict=...}``, the
         cross-snapshot cache's ``validation_cache_events{cache=, event=}``
         deltas incurred by *this* call (cache state persists across
-        snapshots; the delta is what belongs to the snapshot at hand),
-        and the deduplication work counters
-        ``validation_work{unit=unique_chains|rows}``.
+        snapshots; the delta is what belongs to the snapshot at hand).
+        The ``validation_work{unit=...}`` dedup counters are booked by
+        the ``vstats`` stage, whose light fragment replays on cache hits.
         """
         cache_before = self.cache_info() if registry is not None else None
         when = scan.snapshot
@@ -285,13 +285,7 @@ class CertificateValidator:
             rejected=rejected,
         )
         if registry is not None and cache_before is not None:
-            self._emit(
-                registry,
-                stats,
-                self.cache_info() - cache_before,
-                unique_chains=len(verdicts),
-                rows=store.tls_row_count,
-            )
+            self._emit(registry, stats, self.cache_info() - cache_before)
         return records, stats
 
     @staticmethod
@@ -299,8 +293,6 @@ class CertificateValidator:
         registry: MetricsRegistry,
         stats: ValidationStats,
         delta: ValidationCacheStats,
-        unique_chains: int = 0,
-        rows: int = 0,
     ) -> None:
         for verdict, count in (
             ("valid", stats.valid),
@@ -317,7 +309,9 @@ class CertificateValidator:
             registry.counter(
                 "validation_cache_events", cache=cache, event=event
             ).inc(count)
-        # The dedup payoff, directly queryable from the run report: chain
-        # verifications actually performed vs rows the verdicts covered.
-        registry.counter("validation_work", unit="unique_chains").inc(unique_chains)
-        registry.counter("validation_work", unit="rows").inc(rows)
+        # The run report's ``validation_work`` dedup-payoff counters are
+        # deliberately NOT booked here: this pass runs inside the heavy
+        # ``validate`` stage, whose counter fragment a warm-cache run
+        # never replays.  The light ``vstats`` stage books them instead
+        # (see repro.core.stages.offnet), keeping the report's store
+        # section bit-identical across cache states.

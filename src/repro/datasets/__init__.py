@@ -17,7 +17,11 @@ dataset.  This package gives the reproduction the same workflow:
   packed binary columnar ``.rcc`` codec in
   :mod:`repro.datasets.columnar`) register by name, writers pick one via
   ``--format``, and :func:`read_corpus` autodetects on read by sniffing
-  the file's leading bytes.
+  the file's leading bytes;
+* :mod:`repro.datasets.sharding` plans disjoint snapshot shards for the
+  parallel executor, balanced by per-file ingest costs probed without
+  loading anything (:func:`probe_corpus_cost` — block headers only for
+  ``.rcc``, file size for JSONL).
 """
 
 from repro.datasets.export import export_dataset
@@ -27,10 +31,18 @@ from repro.datasets.formats import (
     detect_format,
     format_names,
     get_format,
+    probe_corpus_cost,
     read_corpus,
     register_format,
     registered_formats,
     write_corpus,
+)
+from repro.datasets.sharding import (
+    Shard,
+    ShardPlan,
+    merge_stores,
+    partition_store,
+    plan_shards,
 )
 from repro.datasets.source import DataSource
 
@@ -38,10 +50,16 @@ __all__ = [
     "CorpusFormat",
     "DataSource",
     "FileDataset",
+    "Shard",
+    "ShardPlan",
     "detect_format",
     "export_dataset",
     "format_names",
     "get_format",
+    "merge_stores",
+    "partition_store",
+    "plan_shards",
+    "probe_corpus_cost",
     "read_corpus",
     "register_format",
     "registered_formats",

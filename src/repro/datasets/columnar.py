@@ -84,6 +84,7 @@ __all__ = [
     "CHAIN_SECTION_BLOCKS",
     "ColumnarFormat",
     "MAGIC",
+    "ROW_BLOCKS",
     "TLS_BLOCKS",
     "VERSION",
 ]
@@ -143,6 +144,11 @@ CHAIN_SECTION_BLOCKS = (
 )
 #: Blocks the TLS row section needs (on top of the chain section).
 TLS_BLOCKS = ("tls_ip", "tls_chain")
+#: The packed-u32 row columns — their header-declared lengths are the
+#: ingest-cost signal :meth:`ColumnarFormat.probe_cost` sums, since row
+#: count (not side-table size) is what the pipeline's per-snapshot cost
+#: scales with.
+ROW_BLOCKS = ("tls_ip", "tls_chain", "http_ip", "http_port", "http_header")
 _MAX_PORT = 65535
 
 #: Process-wide memo of parsed validity labels (see ``_Reader``).
@@ -276,6 +282,42 @@ class ColumnarFormat:
                     )
                 )
                 handle.write(payload)
+
+    def probe_cost(self, path: str | Path) -> float:
+        """Estimated ingest cost from block headers alone.
+
+        Walks the preamble and each block header, *seeking* past every
+        payload — a 16-block file costs 17 small reads whatever its
+        size, which is what lets shard planning touch all 31 snapshots
+        of a corpus without ingesting any of them.  The estimate is the
+        total declared length of the packed row columns
+        (:data:`ROW_BLOCKS`): four bytes per u32 cell, so it is
+        proportional to ``2 * tls_rows + 3 * http_rows`` — the work the
+        per-snapshot pipeline phase actually scales with.
+
+        Raises ``ValueError`` on a damaged preamble or truncated header
+        so :func:`~repro.datasets.formats.probe_corpus_cost` can fall
+        back to the file size; robustness verdicts stay the reader's job.
+        """
+        path = Path(path)
+        with path.open("rb") as handle:
+            preamble = handle.read(_PREAMBLE.size)
+            if len(preamble) < _PREAMBLE.size:
+                raise ValueError("file too short for columnar preamble")
+            magic, version, count = _PREAMBLE.unpack(preamble)
+            if magic != MAGIC or version != VERSION:
+                raise ValueError("not a readable columnar corpus file")
+            row_bytes = 0
+            for _ in range(count):
+                header = handle.read(_BLOCK_HEADER.size)
+                if len(header) < _BLOCK_HEADER.size:
+                    raise ValueError("truncated block header")
+                raw_name, _kind, length, _crc = _BLOCK_HEADER.unpack(header)
+                name = raw_name.rstrip(b"\x00").decode("ascii", errors="replace")
+                if name in ROW_BLOCKS:
+                    row_bytes += length
+                handle.seek(length, 1)
+        return float(row_bytes)
 
     def read(
         self,

@@ -37,7 +37,7 @@ from pathlib import Path
 from repro.bgp.ip2as import IPToASMap
 from repro.bgp.rib import RibEntry, RibSnapshot
 from repro.net.ipv4 import IPv4Prefix
-from repro.datasets.formats import corpus_candidates, read_corpus
+from repro.datasets.formats import corpus_candidates, probe_corpus_cost, read_corpus
 from repro.robustness import IngestPolicy
 from repro.scan.corpus import _cert_from_json
 from repro.scan.records import ScanSnapshot
@@ -217,6 +217,42 @@ class FileDataset:
         while len(self._scan_cache) > cache_size:
             self._scan_cache.popitem(last=False)
         return loaded
+
+    def scan_for_shard(self, name: str, snapshot: Snapshot) -> ScanSnapshot:
+        """Shard-local corpus read: :meth:`scan` with the LRU held at one
+        entry.  A shard worker visits each of its snapshots exactly once,
+        in order, so retaining earlier stores only inflates the worker's
+        peak RSS — the scan stage routes here whenever it runs inside a
+        shard (see :class:`~repro.core.stages.StageContext`)."""
+        return self.scan(name, snapshot, cache_size=1)
+
+    def shard_cost(self, name: str, snapshot: Snapshot) -> float:
+        """Estimated ingest cost of one corpus snapshot, without loading
+        it — the input :meth:`~repro.core.pipeline.OffnetPipeline.shard_plan`
+        balances shards by.  Resolves the snapshot's file exactly like
+        :meth:`scan` and probes it via
+        :func:`~repro.datasets.formats.probe_corpus_cost` (block headers
+        only for ``.rcc``, file size for JSONL)."""
+        corpus_dir = self.directory / "corpora" / name
+        path = next(
+            (p for p in corpus_candidates(corpus_dir, snapshot.label) if p.exists()),
+            None,
+        )
+        if path is None:
+            raise FileNotFoundError(
+                f"no {name} corpus for {snapshot} under {corpus_dir}"
+            )
+        return probe_corpus_cost(path)
+
+    def trim_for_fork(self) -> None:
+        """Drop the scan LRU before the parallel executor forks workers.
+
+        Anything cached here (typically the §4.4 header-learning
+        snapshot's full store) would be copy-on-write duplicated into
+        every worker; shard workers re-read exactly the snapshots they
+        own instead.  The chain pool survives — it is the cross-snapshot
+        dedup the columnar reader exploits, shared read-mostly."""
+        self._scan_cache.clear()
 
     def ip2as(self, snapshot: Snapshot) -> IPToASMap:
         """Load the prefix-to-AS table for one snapshot from disk."""

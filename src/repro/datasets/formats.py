@@ -37,6 +37,7 @@ __all__ = [
     "detect_format",
     "format_names",
     "get_format",
+    "probe_corpus_cost",
     "read_corpus",
     "register_format",
     "registered_formats",
@@ -90,6 +91,13 @@ class CorpusFormat(Protocol):
         """Persist one snapshot to ``path`` in this format."""
         ...
 
+    # Codecs may additionally provide ``probe_cost(path) -> float``: a
+    # cheap ingest-cost estimate that must not parse the file (the
+    # columnar codec walks block headers only; JSONL uses the file
+    # size).  It is an optional extension, not a protocol member —
+    # :func:`probe_corpus_cost` falls back to the file size for codecs
+    # without one, so shard planning works over any registered format.
+
 
 class JsonlFormat:
     """The newline-delimited JSON codec (the repo's original format).
@@ -130,6 +138,12 @@ class JsonlFormat:
         from repro.scan.corpus import _save_jsonl
 
         _save_jsonl(snapshot, path)
+
+    def probe_cost(self, path: str | Path) -> float:
+        """Estimated ingest cost without parsing: the file size.  JSONL
+        ingest is one ``json.loads`` per line, so bytes track rows
+        closely enough for shard balancing."""
+        return float(Path(path).stat().st_size)
 
 
 #: Registration order doubles as sniff order; JSONL stays last as the
@@ -209,6 +223,30 @@ def write_corpus(
 ) -> None:
     """Persist one corpus snapshot under the named registered format."""
     get_format(format_name).write(snapshot, path)
+
+
+def probe_corpus_cost(path: str | Path) -> float:
+    """A cheap ingest-cost estimate for one corpus file, for shard planning.
+
+    Detects the codec by content and delegates to its ``probe_cost``
+    extension when present — the columnar codec answers from block
+    headers alone (no payload is read), JSONL from the file size.  A
+    codec without a probe, or a probe that fails on a damaged file,
+    falls back to the file size: planning must never be the thing that
+    crashes on a corpus the robust reader could still quarantine.
+
+    Costs are comparable *within* one format (the unit is bytes of row
+    payload for columnar, file bytes for JSONL) — which is what shard
+    balancing needs, since a corpus directory holds one format at a time.
+    """
+    path = Path(path)
+    probe = getattr(detect_format(path), "probe_cost", None)
+    if probe is not None:
+        try:
+            return float(probe(path))
+        except (OSError, ValueError):
+            pass
+    return float(path.stat().st_size)
 
 
 def corpus_candidates(directory: str | Path, stem: str) -> Iterator[Path]:

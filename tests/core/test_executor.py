@@ -18,6 +18,7 @@ from repro.core import (
     restore_netflix,
 )
 from repro.datasets import DataSource, FileDataset, export_dataset
+from repro.obs.report import deterministic_view
 from repro.timeline import Snapshot
 from repro.world import build_world
 
@@ -160,7 +161,135 @@ class TestExecutionSurface:
         meta = executor.describe()
         assert meta["jobs"] == 3
         assert meta["workers"] == 0  # nothing mapped yet
+        assert meta["shards"] == 0 and meta["shard_plan"] == []
+        assert meta["cpu_count"] >= 1
 
     def test_run_records_executor_metadata(self, pipeline_result):
         assert pipeline_result.run_meta["executor"]["kind"] == "serial"
         assert pipeline_result.run_meta["options"]["corpus"] == "rapid7"
+
+
+class TestShardedExecution:
+    """The shard plan is an execution detail: any geometry, bit-identical
+    results, and the executor's metadata tells the truth about what ran."""
+
+    def test_make_executor_threads_shard_size(self):
+        executor = make_executor(4, shard_size=2)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.shard_size == 2
+        with pytest.raises(ValueError, match="shard_size"):
+            ParallelExecutor(4, shard_size=0)
+
+    def test_options_validate_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            PipelineOptions(shard_size=0)
+
+    def test_uneven_shards_identical_to_serial(self):
+        # shard_size=2 over 7 snapshots → shards of 2/2/2/1: the merge
+        # barrier must flatten uneven shard outcomes back to run order.
+        world = build_world(seed=7, scale=0.008)
+        serial = OffnetPipeline(world, PipelineOptions(jobs=1)).run(
+            snapshots=SNAPSHOTS
+        )
+        sharded = OffnetPipeline(
+            world, PipelineOptions(jobs=3, shard_size=2)
+        ).run(snapshots=SNAPSHOTS)
+        assert serial == sharded
+        executor = sharded.run_meta["executor"]
+        assert executor["shards"] == 4
+        assert [len(row["snapshots"]) for row in executor["shard_plan"]] == [
+            2, 2, 2, 1,
+        ]
+
+    def test_describe_reports_plan_and_worker_stats(self):
+        world = build_world(seed=7, scale=0.008)
+        executor = ParallelExecutor(4)
+        OffnetPipeline(world).run(snapshots=SNAPSHOTS, executor=executor)
+        meta = executor.describe()
+        assert meta["shards"] == len(meta["shard_plan"]) > 1
+        planned = [s for row in meta["shard_plan"] for s in row["snapshots"]]
+        assert planned == [s.label for s in SNAPSHOTS]
+        assert len(meta["worker_stats"]) == meta["shards"]
+        for stats in meta["worker_stats"]:
+            assert stats["peak_rss_kb"] > 0
+            assert stats["snapshots"] >= 1
+
+    def test_single_shard_plan_falls_back_serial(self):
+        world = build_world(seed=7, scale=0.008)
+        executor = ParallelExecutor(2, shard_size=len(SNAPSHOTS))
+        OffnetPipeline(world).run(snapshots=SNAPSHOTS, executor=executor)
+        meta = executor.describe()
+        assert meta["fallback_serial"] is True
+        assert meta["shards"] == 0
+
+    def test_file_dataset_shards_identical_to_serial(self, small_world, tmp_path):
+        # The deployment shape sharding targets: cost-probed file shards.
+        directory = export_dataset(
+            small_world, tmp_path / "ds", corpora=("rapid7",),
+            snapshots=SNAPSHOTS, corpus_format="columnar",
+        )
+        serial = OffnetPipeline(FileDataset(directory)).run()
+        sharded = OffnetPipeline(
+            FileDataset(directory), PipelineOptions(jobs=4)
+        ).run()
+        assert deterministic_view(serial.report()) == deterministic_view(
+            sharded.report()
+        )
+        plan = sharded.run_meta["executor"]["shard_plan"]
+        assert all(row["cost"] > 0 for row in plan)
+
+    def test_quarantining_shard_identical_to_serial(self, small_world, tmp_path):
+        # A shard whose corpus file quarantines rows under the lenient
+        # policy must ship the same ingest accounting home as a serial
+        # run books in-process.
+        directory = export_dataset(
+            small_world, tmp_path / "ds-dirty", corpora=("rapid7",),
+            snapshots=SNAPSHOTS,
+        )
+        corpus = directory / "corpora" / "rapid7" / f"{SNAPSHOTS[1].label}.jsonl"
+        with corpus.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "tls", "ip": "not-an-ip"}\n')
+            handle.write("this is not json\n")
+        options = {"on_error": "lenient"}
+        serial = OffnetPipeline(
+            FileDataset(directory), PipelineOptions(jobs=1, **options)
+        ).run()
+        sharded = OffnetPipeline(
+            FileDataset(directory), PipelineOptions(jobs=4, **options)
+        ).run()
+        serial_report, sharded_report = serial.report(), sharded.report()
+        assert deterministic_view(serial_report) == deterministic_view(
+            sharded_report
+        )
+        assert serial_report["ingest"] == sharded_report["ingest"]
+        assert serial_report["ingest"]["quarantined"] > 0
+
+    def test_interrupted_run_resumes_into_sharded_run(self, small_world, tmp_path):
+        # A mid-run kill leaves a partial --cache-dir behind; a sharded
+        # resume must compose with those artifacts and still match a
+        # cacheless serial run byte for byte.  (Keys carry no shard
+        # info, so a cache written at one geometry hits at any other.)
+        directory = export_dataset(
+            small_world, tmp_path / "ds-resume", corpora=("rapid7",),
+            snapshots=SNAPSHOTS, corpus_format="columnar",
+        )
+        cache_dir = str(tmp_path / "stage-cache")
+        interrupted = OffnetPipeline(
+            FileDataset(directory), PipelineOptions(cache_dir=cache_dir)
+        )
+        # Simulate the interruption: only some snapshots' light stages
+        # made it to disk before the worker died.
+        interrupted.run_stages(("ingest", "vstats"), snapshots=SNAPSHOTS[:3])
+        del interrupted
+
+        resumed = OffnetPipeline(
+            FileDataset(directory),
+            PipelineOptions(jobs=2, cache_dir=cache_dir),
+        )
+        hits_before = resumed.probe_cache()
+        assert any(flags["ingest"] for flags in hits_before.values())
+        sharded = resumed.run()
+        serial = OffnetPipeline(FileDataset(directory)).run()
+        assert deterministic_view(serial.report()) == deterministic_view(
+            sharded.report()
+        )

@@ -24,7 +24,7 @@ import pytest
 
 import repro
 from repro.cli import build_parser
-from tools import check_docs, check_report, inject_faults
+from tools import check_docs, check_perf_gate, check_report, inject_faults
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -37,6 +37,7 @@ TOOL_PARSERS = {
     "check_report.py": check_report.build_parser,
     "check_docs.py": check_docs.build_parser,
     "inject_faults.py": inject_faults.build_parser,
+    "check_perf_gate.py": check_perf_gate.build_parser,
 }
 
 

@@ -1,0 +1,141 @@
+"""Pass/fail paths of both modes of the perf-summary gate.
+
+Columnar mode holds the ingest-speedup and format-parity bars;
+scaling mode holds the shard-parity bar unconditionally and the
+parallel-beats-serial bar only on multi-core hosts — the single-core
+downgrade must be loud in the output, never a silent pass.
+"""
+
+import json
+
+from tools.check_perf_gate import (
+    build_parser,
+    check_scaling_summary,
+    check_summary,
+    main,
+)
+
+
+def make_columnar_summary(ingest_speedup=8.0, parity_ok=True, cpu_count=4):
+    return {
+        "jsonl_ingest_seconds": 4.0,
+        "columnar_ingest_seconds": 0.5,
+        "ingest_speedup": ingest_speedup,
+        "run_speedup": 2.0,
+        "parity": {"funnel jobs=1": True, "ingest jobs=2": parity_ok},
+        "cpu_count": cpu_count,
+    }
+
+
+def make_scaling_summary(
+    cpu_count=4, parallel_seconds=1.0, parity_ok=True, kind="parallel-scaling"
+):
+    return {
+        "kind": kind,
+        "cpu_count": cpu_count,
+        "jobs": [1, 2],
+        "scales": [0.01],
+        "runs": {
+            "scale=0.01": {
+                "jobs=1": {"wall_seconds": 2.0},
+                "jobs=2": {"wall_seconds": parallel_seconds},
+            }
+        },
+        "speedups": {"scale=0.01": {"jobs=2": 2.0 / parallel_seconds}},
+        "parity": {"rcc jobs=2 cache=off": parity_ok},
+    }
+
+
+class TestColumnarMode:
+    def test_clean_summary_passes(self):
+        assert check_summary(make_columnar_summary(), 5.0) == []
+
+    def test_slow_ingest_fails(self):
+        problems = check_summary(make_columnar_summary(ingest_speedup=3.0), 5.0)
+        assert any("only 3.0x" in p for p in problems)
+
+    def test_broken_parity_fails(self):
+        problems = check_summary(make_columnar_summary(parity_ok=False), 5.0)
+        assert any("parity" in p and "ingest jobs=2" in p for p in problems)
+
+    def test_missing_key_fails_before_anything_else(self):
+        summary = make_columnar_summary()
+        del summary["cpu_count"]
+        problems = check_summary(summary, 5.0)
+        assert problems == ["summary is missing required key 'cpu_count'"]
+
+
+class TestScalingMode:
+    def test_clean_summary_passes(self):
+        assert check_scaling_summary(make_scaling_summary(), 0.05) == []
+
+    def test_wrong_kind_is_rejected(self):
+        problems = check_scaling_summary(
+            make_scaling_summary(kind="columnar"), 0.05
+        )
+        assert any("expected 'parallel-scaling'" in p for p in problems)
+
+    def test_parallel_slower_than_serial_fails(self):
+        problems = check_scaling_summary(
+            make_scaling_summary(parallel_seconds=2.5), 0.05
+        )
+        assert any("lost to serial" in p for p in problems)
+
+    def test_tolerance_absorbs_wall_clock_noise(self):
+        summary = make_scaling_summary(parallel_seconds=2.05)
+        assert any(check_scaling_summary(summary, 0.0))
+        assert check_scaling_summary(summary, 0.05) == []
+
+    def test_single_core_skips_wall_bar_not_parity(self):
+        # The bench could not have measured speedup on one core: the wall
+        # bar is waived...
+        slow = make_scaling_summary(cpu_count=1, parallel_seconds=10.0)
+        assert check_scaling_summary(slow, 0.05) == []
+        # ...but bit-identity needs no cores, so parity still gates.
+        broken = make_scaling_summary(cpu_count=1, parity_ok=False)
+        problems = check_scaling_summary(broken, 0.05)
+        assert any("not bit-identical" in p for p in problems)
+
+    def test_missing_baseline_run_fails(self):
+        summary = make_scaling_summary()
+        del summary["runs"]["scale=0.01"]["jobs=1"]
+        problems = check_scaling_summary(summary, 0.05)
+        assert any("no serial baseline" in p for p in problems)
+
+
+class TestMain:
+    def _write(self, tmp_path, summary):
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(summary), encoding="utf-8")
+        return str(path)
+
+    def test_columnar_exit_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_columnar_summary())
+        assert main([path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_columnar_exit_one(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_columnar_summary(ingest_speedup=1.0))
+        assert main([path, "--min-ingest-speedup", "5"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_scaling_exit_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_scaling_summary())
+        assert main([path, "--expect-parallel-speedup"]) == 0
+        assert "matched or beat serial" in capsys.readouterr().out
+
+    def test_scaling_single_core_skip_is_loud(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_scaling_summary(cpu_count=1))
+        assert main([path, "--expect-parallel-speedup"]) == 0
+        out = capsys.readouterr().out
+        assert "SKIPPED" in out and "1 CPU core" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.json")]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["summary.json"])
+        assert args.min_ingest_speedup == 5.0
+        assert args.speedup_tolerance == 0.05
+        assert not args.expect_parallel_speedup

@@ -1,17 +1,33 @@
-"""CI gate over the columnar-format perf summary.
+"""CI gate over the tracked perf summaries.
 
-``benchmarks/bench_pipeline_perf.py::test_columnar_vs_jsonl_cold_ingest``
-publishes ``perf_columnar_summary.json`` — cold ingest and full-run
-wall-clock for the same dataset in both corpus formats, plus a parity
-matrix asserting the output is indifferent to the format.  This script
-is the enforcement half: it fails the build when the columnar cold
-ingest drops below the required multiple of the JSONL baseline, or when
-any parity cell went false.
+Two modes, selected by flag:
+
+* **Columnar mode** (the default) consumes ``perf_columnar_summary.json``
+  (published by
+  ``benchmarks/bench_pipeline_perf.py::test_columnar_vs_jsonl_cold_ingest``):
+  cold ingest and full-run wall-clock for the same dataset in both corpus
+  formats, plus a parity matrix asserting the output is indifferent to
+  the format.  The gate fails when the columnar cold ingest drops below
+  the required multiple of the JSONL baseline, or when any parity cell
+  went false.
+
+* **Scaling mode** (``--expect-parallel-speedup``) consumes
+  ``perf_scaling_summary.json`` (published by
+  ``benchmarks/bench_parallel_scaling.py``): wall-clock per ``jobs``
+  value at each scale point, the host CPU count, and the shard parity
+  matrix.  Parity is enforced unconditionally — sharded output must be
+  bit-identical to serial everywhere.  The speedup bar (every parallel
+  jobs value at least matches serial, within ``--speedup-tolerance``) is
+  enforced only when the summary records >= 2 cores: a single-core
+  runner cannot honestly measure parallel speedup, and the gate says so
+  instead of silently passing or spuriously failing.
 
 Usage::
 
     python tools/check_perf_gate.py benchmarks/output/perf_columnar_summary.json
     python tools/check_perf_gate.py summary.json --min-ingest-speedup 5
+    python tools/check_perf_gate.py benchmarks/output/perf_scaling_summary.json \
+        --expect-parallel-speedup
 
 Exit status: 0 when every bar holds, 1 otherwise.
 """
@@ -23,20 +39,25 @@ import json
 import sys
 from pathlib import Path
 
-__all__ = ["check_summary", "main"]
+__all__ = ["build_parser", "check_summary", "check_scaling_summary", "main"]
 
-#: Keys the summary must carry for the gate to be meaningful.
+#: Keys a columnar summary must carry for the gate to be meaningful.
 REQUIRED_KEYS = (
     "jsonl_ingest_seconds",
     "columnar_ingest_seconds",
     "ingest_speedup",
     "run_speedup",
     "parity",
+    "cpu_count",
 )
+
+#: Keys a scaling summary must carry (``kind`` guards against pointing
+#: the scaling gate at the wrong summary file).
+SCALING_REQUIRED_KEYS = ("kind", "cpu_count", "jobs", "runs", "speedups", "parity")
 
 
 def check_summary(summary: dict, min_ingest_speedup: float) -> list[str]:
-    """Every gate violation in ``summary``, as human-readable strings."""
+    """Every columnar-mode gate violation, as human-readable strings."""
     problems = [
         f"summary is missing required key {key!r}"
         for key in REQUIRED_KEYS
@@ -61,12 +82,63 @@ def check_summary(summary: dict, min_ingest_speedup: float) -> list[str]:
     return problems
 
 
-def main(argv: list[str] | None = None) -> int:
+def check_scaling_summary(summary: dict, tolerance: float) -> list[str]:
+    """Every scaling-mode gate violation, as human-readable strings.
+
+    Parity violations always gate.  Wall-clock violations gate only on
+    hosts whose recorded ``cpu_count`` is >= 2 — the single-core
+    downgrade is explicit in the gate's output, never silent.
+    """
+    problems = [
+        f"scaling summary is missing required key {key!r}"
+        for key in SCALING_REQUIRED_KEYS
+        if key not in summary
+    ]
+    if problems:
+        return problems
+    if summary["kind"] != "parallel-scaling":
+        return [
+            f"summary kind is {summary['kind']!r}, expected 'parallel-scaling' "
+            "(is this perf_scaling_summary.json?)"
+        ]
+    broken = [label for label, ok in summary["parity"].items() if not ok]
+    if broken:
+        problems.append(
+            "sharded runs are not bit-identical to serial under: "
+            + ", ".join(sorted(broken))
+        )
+    cpu_count = summary["cpu_count"]
+    if cpu_count < 2:
+        # Parity still gated above; wall-clock cannot be.
+        return problems
+    for scale_key, runs in summary["runs"].items():
+        baseline = runs.get(f"jobs={min(summary['jobs'])}")
+        if baseline is None:
+            problems.append(f"{scale_key}: no serial baseline run recorded")
+            continue
+        bar = baseline["wall_seconds"] * (1.0 + tolerance)
+        for jobs_key, row in runs.items():
+            if jobs_key == f"jobs={min(summary['jobs'])}":
+                continue
+            if row["wall_seconds"] > bar:
+                problems.append(
+                    f"{scale_key} {jobs_key}: {row['wall_seconds']}s is slower "
+                    f"than serial {baseline['wall_seconds']}s "
+                    f"(+{tolerance:.0%} tolerance) on {cpu_count} cores — "
+                    "sharded parallel lost to serial"
+                )
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Enforce the columnar-vs-JSONL ingest perf bar."
+        description="Enforce the tracked perf-summary bars in CI."
     )
     parser.add_argument(
-        "summary", type=Path, help="path to perf_columnar_summary.json"
+        "summary",
+        type=Path,
+        help="path to perf_columnar_summary.json (default mode) or "
+        "perf_scaling_summary.json (with --expect-parallel-speedup)",
     )
     parser.add_argument(
         "--min-ingest-speedup",
@@ -74,7 +146,26 @@ def main(argv: list[str] | None = None) -> int:
         default=5.0,
         help="minimum cold-ingest speedup of columnar over JSONL (default: 5)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--expect-parallel-speedup",
+        action="store_true",
+        help="scaling mode: require every parallel jobs value to at least "
+        "match the serial wall-clock (enforced only when the summary "
+        "records >= 2 CPU cores; shard/serial parity is enforced "
+        "unconditionally)",
+    )
+    parser.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=0.05,
+        help="scaling mode: fractional wall-clock noise allowance before "
+        "jobs=N counts as slower than serial (default: 0.05)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
 
     try:
         summary = json.loads(args.summary.read_text(encoding="utf-8"))
@@ -84,6 +175,29 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as error:
         print(f"FAIL: perf summary is not valid JSON: {error}")
         return 1
+
+    if args.expect_parallel_speedup:
+        problems = check_scaling_summary(summary, args.speedup_tolerance)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        cpu_count = summary["cpu_count"]
+        if cpu_count < 2:
+            print(
+                f"OK: shard/serial parity holds ({len(summary['parity'])} "
+                f"cells); speedup bar SKIPPED — summary records "
+                f"{cpu_count} CPU core(s), parallel wall-clock is not "
+                "measurable on this host"
+            )
+        else:
+            print(
+                f"OK: shard/serial parity holds ({len(summary['parity'])} "
+                f"cells); every parallel jobs value matched or beat serial "
+                f"on {cpu_count} cores — speedups: "
+                + json.dumps(summary["speedups"], sort_keys=True)
+            )
+        return 0
 
     problems = check_summary(summary, args.min_ingest_speedup)
     if problems:
