@@ -11,14 +11,14 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.scan.records import ScanSnapshot
 from repro.timeline import Snapshot
 
 __all__ = ["certificate_ip_groups", "validity_medians", "certificate_count"]
 
 
-def _hg_ips(result: PipelineResult, hypergiant: str, snapshot: Snapshot) -> frozenset[int]:
+def _hg_ips(result: FootprintIndex, hypergiant: str, snapshot: Snapshot) -> frozenset[int]:
     footprint = result.at(snapshot)
     onnet = footprint.onnet_ips.get(hypergiant, frozenset())
     offnet = footprint.candidate_ips.get(hypergiant, frozenset())
@@ -26,7 +26,7 @@ def _hg_ips(result: PipelineResult, hypergiant: str, snapshot: Snapshot) -> froz
 
 
 def certificate_ip_groups(
-    result: PipelineResult,
+    result: FootprintIndex,
     scan: ScanSnapshot,
     hypergiant: str,
     top: int = 10,
@@ -48,7 +48,7 @@ def certificate_ip_groups(
 
 
 def certificate_count(
-    result: PipelineResult, scan: ScanSnapshot, hypergiant: str
+    result: FootprintIndex, scan: ScanSnapshot, hypergiant: str
 ) -> int:
     """Number of distinct certificates the HG serves at a snapshot (A.3)."""
     ips = _hg_ips(result, hypergiant, scan.snapshot)
@@ -62,7 +62,7 @@ def certificate_count(
 
 
 def validity_medians(
-    result: PipelineResult, scan: ScanSnapshot, hypergiant: str
+    result: FootprintIndex, scan: ScanSnapshot, hypergiant: str
 ) -> float:
     """Median certificate validity period in months (A.3's expiry study:
     Google ~3 months; Netflix dropping to ~1 month within 2019)."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.hypergiants.profiles import TOP4
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
@@ -42,7 +42,7 @@ def _ases_with_certs(world, corpus: str, snapshot: Snapshot) -> frozenset[ASN]:
 
 def compare_scanners(
     world,
-    results: dict[str, PipelineResult],
+    results: dict[str, FootprintIndex],
     snapshot: Snapshot,
 ) -> list[ScannerComparison]:
     """Build Table 2 rows for every corpus in ``results`` at ``snapshot``."""

@@ -8,7 +8,7 @@ can serve a hosting AS's customers through the same off-net).
 
 from __future__ import annotations
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
 from repro.topology.generator import GeneratedTopology
@@ -23,7 +23,7 @@ __all__ = [
 
 
 def _hosting_ases(
-    result: PipelineResult, hypergiant: str, snapshot: Snapshot
+    result: FootprintIndex, hypergiant: str, snapshot: Snapshot
 ) -> frozenset[ASN]:
     return result.effective_footprint(hypergiant, snapshot)
 
@@ -41,7 +41,7 @@ def _expand_with_cones(
 
 
 def country_coverage(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
     snapshot: Snapshot,
@@ -52,7 +52,7 @@ def country_coverage(
 
 
 def cone_country_coverage(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
     snapshot: Snapshot,
@@ -65,7 +65,7 @@ def cone_country_coverage(
 
 
 def worldwide_coverage(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
     snapshot: Snapshot,
@@ -81,7 +81,7 @@ def worldwide_coverage(
 
 
 def coverage_increase(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
     early: Snapshot,
@@ -95,7 +95,7 @@ def coverage_increase(
 
 
 def top_missing_ases(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
     snapshot: Snapshot,

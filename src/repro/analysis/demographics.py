@@ -8,7 +8,7 @@ the mix with the Internet-wide census (stubs ~85% of all ASes but only
 
 from __future__ import annotations
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.timeline import Snapshot
 from repro.topology.categories import ConeCategory
 from repro.topology.generator import GeneratedTopology
@@ -23,7 +23,7 @@ __all__ = [
 
 
 def footprint_by_category(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
 ) -> dict[Snapshot, dict[ConeCategory, int]]:
@@ -52,7 +52,7 @@ def internet_category_shares(
 
 
 def category_share_table(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiants: tuple[str, ...],
     snapshot: Snapshot,
@@ -74,7 +74,7 @@ def category_share_table(
 
 
 def region_type_series(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiant: str,
     category: ConeCategory,

@@ -16,7 +16,7 @@ from repro.analysis.demographics import footprint_by_category
 from repro.analysis.growth import ip_count_series, top4_growth
 from repro.analysis.overlap import top4_multiplicity
 from repro.analysis.regions import regional_growth
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.hypergiants.profiles import TOP4
 from repro.topology.categories import ConeCategory
 from repro.topology.generator import GeneratedTopology
@@ -33,7 +33,7 @@ def _write(path: Path, headers: list[str], rows: list[list]) -> None:
 
 
 def export_all_csv(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     directory: str | Path,
 ) -> list[Path]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.core.netflix import restore_netflix
 from repro.hypergiants.profiles import TOP4
 from repro.timeline import Snapshot
@@ -31,7 +31,7 @@ class IPCountPoint:
     invalid_fraction: float
 
 
-def ip_count_series(result: PipelineResult) -> list[IPCountPoint]:
+def ip_count_series(result: FootprintIndex) -> list[IPCountPoint]:
     """The Figure 2 series for one corpus."""
     points: list[IPCountPoint] = []
     for snapshot in result.snapshots:
@@ -48,7 +48,7 @@ def ip_count_series(result: PipelineResult) -> list[IPCountPoint]:
     return points
 
 
-def top4_growth(result: PipelineResult) -> dict[str, list[int]]:
+def top4_growth(result: FootprintIndex) -> dict[str, list[int]]:
     """Figure 3's series: google/facebook/akamai confirmed counts plus the
     three Netflix lines, all on ``result.snapshots``."""
     series: dict[str, list[int]] = {}
@@ -62,7 +62,7 @@ def top4_growth(result: PipelineResult) -> dict[str, list[int]]:
 
 
 def dataset_comparison(
-    results: dict[str, PipelineResult],
+    results: dict[str, FootprintIndex],
     hypergiant: str,
 ) -> dict[str, list[tuple[Snapshot, int]]]:
     """Figure 4's series for one HG: per corpus, certs-only and the two
@@ -79,7 +79,7 @@ def dataset_comparison(
     return series
 
 
-def top4_effective_counts(result: PipelineResult, snapshot: Snapshot) -> dict[str, int]:
+def top4_effective_counts(result: FootprintIndex, snapshot: Snapshot) -> dict[str, int]:
     """Effective (envelope-corrected) footprint sizes of the top-4 HGs."""
     return {
         hypergiant: len(result.effective_footprint(hypergiant, snapshot))
@@ -87,7 +87,7 @@ def top4_effective_counts(result: PipelineResult, snapshot: Snapshot) -> dict[st
     }
 
 
-def quarterly_additions(result: PipelineResult, hypergiant: str) -> list[tuple[Snapshot, int]]:
+def quarterly_additions(result: FootprintIndex, hypergiant: str) -> list[tuple[Snapshot, int]]:
     """Net new host ASes per quarter — the §6.4 growth-rate view.
 
     The COVID-19 slowdown shows as depressed additions through 2020-H1
@@ -104,7 +104,7 @@ def quarterly_additions(result: PipelineResult, hypergiant: str) -> list[tuple[S
     ]
 
 
-def covid_slowdown(result: PipelineResult, hypergiant: str) -> tuple[float, float, float]:
+def covid_slowdown(result: FootprintIndex, hypergiant: str) -> tuple[float, float, float]:
     """(pre-COVID, lockdown, recovery) average quarterly additions.
 
     Windows: 2019-01..2019-10 / 2020-01..2020-07 / 2020-10..2021-04 (§6.4:

@@ -6,7 +6,7 @@ the top-4; and ASes that host one top-4 HG increasingly host more.
 
 from __future__ import annotations
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.hypergiants.profiles import TOP4
 from repro.net.asn import ASN
 from repro.timeline import Snapshot
@@ -20,13 +20,13 @@ __all__ = [
 ]
 
 
-def _top4_count(result: PipelineResult, asn: ASN, snapshot: Snapshot) -> int:
+def _top4_count(result: FootprintIndex, asn: ASN, snapshot: Snapshot) -> int:
     return sum(
         1 for hg in TOP4 if asn in result.effective_footprint(hg, snapshot)
     )
 
 
-def _top4_hosts(result: PipelineResult, snapshot: Snapshot) -> frozenset[ASN]:
+def _top4_hosts(result: FootprintIndex, snapshot: Snapshot) -> frozenset[ASN]:
     hosts: set[ASN] = set()
     for hypergiant in TOP4:
         hosts |= result.effective_footprint(hypergiant, snapshot)
@@ -34,7 +34,7 @@ def _top4_hosts(result: PipelineResult, snapshot: Snapshot) -> frozenset[ASN]:
 
 
 def top4_multiplicity(
-    result: PipelineResult, snapshot: Snapshot
+    result: FootprintIndex, snapshot: Snapshot
 ) -> dict[int, int]:
     """Figure 10b: among ASes hosting ≥1 top-4 HG at ``snapshot``, how many
     host exactly k of them (k=1..4)."""
@@ -44,7 +44,7 @@ def top4_multiplicity(
     return distribution
 
 
-def top4_share_of_all_hosts(result: PipelineResult, snapshot: Snapshot) -> float:
+def top4_share_of_all_hosts(result: FootprintIndex, snapshot: Snapshot) -> float:
     """Figure 10b's percentages: of all ASes hosting *any* HG, the share
     hosting at least one top-4 HG (the paper: >96-97%)."""
     all_hosts: set[ASN] = set()
@@ -56,7 +56,7 @@ def top4_share_of_all_hosts(result: PipelineResult, snapshot: Snapshot) -> float
     return len(top4 & all_hosts) / len(all_hosts) * 100.0
 
 
-def stable_host_distribution(result: PipelineResult) -> dict[Snapshot, dict[int, int]]:
+def stable_host_distribution(result: FootprintIndex) -> dict[Snapshot, dict[int, int]]:
     """Figure 10a: restrict to ASes hosting ≥1 top-4 HG in *every* snapshot
     (the paper finds 1,002 such networks) and report their multiplicity
     distribution per snapshot."""
@@ -74,7 +74,7 @@ def stable_host_distribution(result: PipelineResult) -> dict[Snapshot, dict[int,
     return output
 
 
-def newcomer_fractions(result: PipelineResult) -> dict[Snapshot, float]:
+def newcomer_fractions(result: FootprintIndex) -> dict[Snapshot, float]:
     """Appendix A.8: per snapshot, the share of top-4 host ASes never seen
     hosting in any earlier snapshot (the paper: ~5% on average)."""
     seen: set[ASN] = set()
@@ -91,7 +91,7 @@ def newcomer_fractions(result: PipelineResult) -> dict[Snapshot, float]:
 
 
 def persistence_distribution(
-    result: PipelineResult, min_fraction: float
+    result: FootprintIndex, min_fraction: float
 ) -> dict[Snapshot, tuple[dict[int, int], float]]:
     """Figure 14: ASes hosting ≥1 top-4 HG in at least ``min_fraction`` of
     the snapshots.  Per snapshot: the multiplicity distribution of those

@@ -7,7 +7,7 @@ aggregated per continent.
 
 from __future__ import annotations
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.topology.generator import GeneratedTopology
 from repro.topology.geography import Continent
 
@@ -23,7 +23,7 @@ def continent_of_as(topology: GeneratedTopology, asn: int) -> Continent | None:
 
 
 def regional_growth(
-    result: PipelineResult,
+    result: FootprintIndex,
     topology: GeneratedTopology,
     hypergiants: tuple[str, ...],
 ) -> dict[Continent, dict[str, list[int]]]:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.timeline import Snapshot
 
 __all__ = ["StrategyIndicators", "strategy_indicators"]
@@ -49,7 +49,7 @@ class StrategyIndicators:
 
 
 def strategy_indicators(
-    result: PipelineResult, hypergiant: str, snapshot: Snapshot
+    result: FootprintIndex, hypergiant: str, snapshot: Snapshot
 ) -> StrategyIndicators:
     """Compute the §6.1 indicators for one HG from a pipeline result."""
     footprint = result.at(snapshot)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import FootprintIndex
 from repro.timeline import Snapshot
 
 __all__ = ["Table3Row", "build_table3"]
@@ -38,8 +38,8 @@ class Table3Row:
         )
 
 
-def build_table3(result: PipelineResult) -> list[Table3Row]:
-    """Assemble Table 3 from a pipeline result.
+def build_table3(result: FootprintIndex) -> list[Table3Row]:
+    """Assemble Table 3 from a footprint index (or batch result).
 
     The Netflix row uses the §6.2 envelope for the confirmed counts (as the
     paper does after its manual investigation); certs-only columns stay raw.
@@ -48,12 +48,10 @@ def build_table3(result: PipelineResult) -> list[Table3Row]:
     """
     start, end = result.snapshots[0], result.snapshots[-1]
     rows: list[Table3Row] = []
-    hypergiants = set(result.hypergiants())
     # Cert-only footprints can exist without any confirmation (e.g. Apple):
     # the paper still lists them when the *max* confirmed count was nonzero,
     # so consider every HG with candidates anywhere.
-    for footprint in result.by_snapshot.values():
-        hypergiants.update(k for k, v in footprint.candidate_ases.items() if v)
+    hypergiants = set(result.hypergiants()) | set(result.hypergiants("candidates"))
 
     for hypergiant in sorted(hypergiants):
         sizes = [

@@ -10,6 +10,8 @@ Commands::
     python -m repro growth     --hypergiant netflix             # Fig. 3 series
     python -m repro dump       --snapshot 2019-10 --out r7.jsonl
     python -m repro export     --dir out/ --format columnar     # binary corpora
+    python -m repro serve      --dir out/ --state-dir idx/      # query daemon
+    python -m repro query      --state-dir idx/ --endpoint hypergiants
 
 ``dump`` and ``export`` take ``--format {jsonl,columnar}`` to pick the
 corpus codec (:mod:`repro.datasets.formats`); readers autodetect the
@@ -51,6 +53,11 @@ File-backed runs also take the ingestion robustness flags
   additionally apply deterministic repairs;
 * ``--quarantine-dir DIR`` — persist quarantined records as JSONL, one
   file per corpus snapshot.
+
+``serve`` keeps a persistent :mod:`repro.serve` footprint index in
+``--state-dir`` in sync with ``--dir`` (only new or changed snapshots
+are re-analysed) and answers concurrent HTTP queries; ``query`` is its
+client, finding the daemon via ``--state-dir`` or an explicit ``--url``.
 """
 
 from __future__ import annotations
@@ -250,11 +257,154 @@ def build_parser() -> argparse.ArgumentParser:
         "run-files", help="legacy alias for `run --dir DIR`"
     )
     _add_run_arguments(run_files, dir_required=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="watch a dataset dir, keep a persistent footprint index "
+        "current, and answer HTTP queries",
+    )
+    _add_globals(serve)
+    serve.add_argument(
+        "--dir", required=True, help="exported dataset directory to watch"
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        help="where the persistent footprint index lives (created on "
+        "first run; later runs resume it and ingest only deltas)",
+    )
+    serve.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus to index (default: the dataset's first corpus)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0 = an ephemeral port, written to "
+        "endpoint.json in --state-dir)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how often the watcher re-scans --dir for new or changed "
+        "snapshots (default 2.0)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="run a single delta-ingest pass, print what changed, and "
+        "exit without serving (cron-style index updates)",
+    )
+    serve.add_argument(
+        "--header-learning-snapshot",
+        default=None,
+        metavar="YYYY-MM",
+        help="§4.4 header-learning snapshot (default: the paper's "
+        "2020-10 when covered, else the dataset's last snapshot)",
+    )
+    serve.add_argument(
+        "--on-error",
+        default="strict",
+        choices=("strict", "lenient", "repair"),
+        help="ingestion policy for corpus files the watcher picks up; a "
+        "snapshot that still fails to parse is reported and left out "
+        "of the index while the rest keep serving",
+    )
+    serve.add_argument(
+        "--quarantine-dir",
+        default=None,
+        metavar="DIR",
+        help="write records quarantined during serve-side ingestion as "
+        "JSONL under DIR (same layout as the batch run's)",
+    )
+
+    query = sub.add_parser(
+        "query", help="query a running serve daemon and print the JSON answer"
+    )
+    _add_globals(query)
+    query.add_argument(
+        "--url",
+        default=None,
+        help="daemon base URL (default: discovered from --state-dir)",
+    )
+    query.add_argument(
+        "--state-dir",
+        default=None,
+        help="serve state directory to discover the daemon from "
+        "(reads its endpoint.json)",
+    )
+    query.add_argument(
+        "--endpoint",
+        default="status",
+        choices=("status", "metrics", "hypergiants", "series", "footprint",
+                 "diff", "slice"),
+        help="which query to run (default: status)",
+    )
+    query.add_argument("--hg", default=None, help="hypergiant key, e.g. google")
+    query.add_argument(
+        "--metric",
+        default=None,
+        help="footprint metric (confirmed, candidates, confirmed_and, "
+        "effective, or the Netflix §6.2 variants)",
+    )
+    query.add_argument("--snapshot", default=None, metavar="YYYY-MM")
+    query.add_argument(
+        "--from",
+        dest="from_snapshot",
+        default=None,
+        metavar="YYYY-MM",
+        help="earlier snapshot for --endpoint diff",
+    )
+    query.add_argument(
+        "--to",
+        dest="to_snapshot",
+        default=None,
+        metavar="YYYY-MM",
+        help="later snapshot for --endpoint diff",
+    )
+    query.add_argument(
+        "--by",
+        default=None,
+        choices=("country", "as"),
+        help="slice dimension for --endpoint slice",
+    )
+    query.add_argument(
+        "--asn", default=None, help="AS number for --endpoint slice --by as"
+    )
     return parser
 
 
 def _world(args: argparse.Namespace):
     return build_world(config=WorldConfig(seed=args.seed, scale=args.scale))
+
+
+def _dataset_context(directory: str, corpus: str | None):
+    """Resolve a file dataset the way every file-backed command does:
+    open it, pick the corpus (first manifest entry unless named), and
+    choose the §4.4 learning-snapshot fallback — the paper's 2020-10
+    corpus when covered, else the dataset's last snapshot (never a
+    silent substitute when one was requested explicitly).
+
+    Returns ``(source, corpus, fallback_learning_snapshot)``.
+    """
+    from repro.datasets import FileDataset
+
+    source = FileDataset(directory)
+    corpus = corpus or next(iter(source.manifest["corpora"]))
+    covered = source.corpus_snapshots(corpus)
+    fallback = (
+        PAPER_LEARNING_SNAPSHOT
+        if PAPER_LEARNING_SNAPSHOT in covered
+        else covered[-1]
+    )
+    return source, corpus, fallback
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -278,18 +428,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "quarantine_dir": args.quarantine_dir,
     }
     if directory:
-        from repro.datasets import FileDataset
-
-        source = FileDataset(directory)
-        corpus = args.corpus or next(iter(source.manifest["corpora"]))
-        covered = source.corpus_snapshots(corpus)
-        # §4.4: learn from the paper's snapshot when the dataset covers it;
-        # never silently substitute a different one when it was requested.
-        fallback = (
-            PAPER_LEARNING_SNAPSHOT
-            if PAPER_LEARNING_SNAPSHOT in covered
-            else covered[-1]
-        )
+        source, corpus, fallback = _dataset_context(directory, args.corpus)
         title = f"Off-net footprints from {directory} ({corpus})"
     else:
         source = _world(args)
@@ -520,6 +659,93 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: keep the --state-dir index synced with --dir and (unless
+    --once) answer HTTP queries until interrupted."""
+    import time as _time
+
+    from repro.serve import ServeDaemon
+
+    _, corpus, fallback = _dataset_context(args.dir, args.corpus)
+    learning = (
+        Snapshot.parse(args.header_learning_snapshot)
+        if args.header_learning_snapshot
+        else fallback
+    )
+    options = PipelineOptions(
+        corpus=corpus,
+        header_learning_snapshot=learning,
+        jobs=args.jobs,
+        on_error=args.on_error,
+        quarantine_dir=args.quarantine_dir,
+    )
+    daemon = ServeDaemon(
+        args.dir,
+        args.state_dir,
+        options=options,
+        host=args.host,
+        port=args.port,
+        poll_interval=args.poll_interval,
+    )
+    if args.once:
+        report = daemon.ingest_now()
+        summary = report.to_dict()
+        print(
+            f"index {args.state_dir} ({corpus}): "
+            f"ingested {len(summary['ingested'])}, "
+            f"skipped {len(summary['skipped'])} unchanged, "
+            f"removed {len(summary['removed'])}, "
+            f"failed {len(summary['failed'])} "
+            f"in {summary['duration_seconds']:.2f}s"
+        )
+        for label in summary["failed"]:
+            print(f"  failed: {label} (left out of the index)")
+        return 1 if summary["failed"] else 0
+    url = daemon.start()
+    print(f"serving {corpus} from {args.dir} at {url} (state: {args.state_dir})")
+    print("endpoints: /status /metrics /hypergiants /series /footprint /diff /slice")
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        daemon.stop()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """``query``: one GET against a running daemon, JSON to stdout."""
+    import json as _json
+
+    from repro.serve import query_server, server_url
+
+    if not args.url and not args.state_dir:
+        print("query needs --url or --state-dir to find the daemon")
+        return 2
+    try:
+        url = args.url or server_url(args.state_dir)
+    except FileNotFoundError as error:
+        print(str(error))
+        return 1
+    params = {
+        key: value
+        for key, value in (
+            ("hg", args.hg),
+            ("metric", args.metric),
+            ("snapshot", args.snapshot),
+            ("from", args.from_snapshot),
+            ("to", args.to_snapshot),
+            ("by", args.by),
+            ("asn", args.asn),
+        )
+        if value is not None
+    }
+    body = query_server(url, args.endpoint, params)
+    print(_json.dumps(body, indent=2, sort_keys=True))
+    return 1 if "error" in body else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "validate": _cmd_validate,
@@ -528,6 +754,8 @@ _COMMANDS = {
     "dump": _cmd_dump,
     "export": _cmd_export,
     "run-files": _cmd_run,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

@@ -16,6 +16,10 @@ footprints.
   filter.
 * :mod:`repro.core.netflix` — the §6.2 Netflix envelope restoration
   (expired certificates, HTTP-only era).
+* :mod:`repro.core.footprint_index` — the persistent
+  :class:`FootprintIndex` query surface over per-snapshot footprints
+  (in-memory adapter for batch results, durable on-disk store for the
+  incremental ``repro serve`` path).
 * :mod:`repro.core.pipeline` — the longitudinal orchestration producing
   every number the evaluation section reports, split into a pure
   per-snapshot phase and an ordered cross-snapshot merge.
@@ -42,7 +46,19 @@ from repro.core.executor import (
     SnapshotExecutor,
     make_executor,
 )
-from repro.core.footprint import FootprintSnapshot, PipelineResult, SnapshotOutcome
+from repro.core.footprint import (
+    FootprintQueries,
+    FootprintSnapshot,
+    PipelineResult,
+    SnapshotOutcome,
+)
+from repro.core.footprint_index import (
+    DurableFootprintIndex,
+    FootprintIndex,
+    IndexView,
+    ResultIndex,
+    index_of,
+)
 from repro.core.header_fingerprint import learn_header_fingerprints
 from repro.core.netflix import NetflixEnvelope, restore_netflix
 from repro.core.pipeline import OffnetPipeline, PipelineOptions
@@ -78,6 +94,12 @@ __all__ = [
     "FootprintSnapshot",
     "SnapshotOutcome",
     "PipelineResult",
+    "FootprintQueries",
+    "FootprintIndex",
+    "ResultIndex",
+    "IndexView",
+    "DurableFootprintIndex",
+    "index_of",
     "OffnetPipeline",
     "PipelineOptions",
     "SnapshotExecutor",

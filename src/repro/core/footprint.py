@@ -7,11 +7,21 @@ cross-snapshot state).  Outcomes are plain picklable data, which is what
 lets :class:`~repro.core.executor.ParallelExecutor` compute them in worker
 processes and merge them in the parent in snapshot order — bit-identical
 to a sequential run.
+
+:class:`FootprintQueries` is the longitudinal query surface every
+analysis module consumes.  It is deliberately defined here (next to the
+data it reads) and inherited both by :class:`PipelineResult` and by the
+:class:`~repro.core.footprint_index.FootprintIndex` backends, so batch
+results and persistent indexes answer the same questions identically.
+Analysis code imports the surface from
+:mod:`repro.core.footprint_index`; nothing outside the core should
+touch ``PipelineResult.by_snapshot`` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.validation import ValidationCacheStats, ValidationStats
 from repro.net.asn import ASN
@@ -19,7 +29,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.timers import STAGE_SECONDS
 from repro.timeline import Snapshot
 
-__all__ = ["FootprintSnapshot", "SnapshotOutcome", "PipelineResult"]
+__all__ = [
+    "FootprintSnapshot",
+    "SnapshotOutcome",
+    "FootprintQueries",
+    "PipelineResult",
+]
 
 
 @dataclass(slots=True)
@@ -98,8 +113,131 @@ class SnapshotOutcome:
         return _cache_stats(self.metrics)
 
 
+class FootprintQueries:
+    """The longitudinal query surface over per-snapshot footprints.
+
+    Implementations provide ``corpus``, ``snapshots`` (ordered) and
+    :meth:`at`; every derived query — counts, series, AS sets, diffs —
+    is defined once here so an in-memory batch result and a durable
+    on-disk index cannot drift apart.
+    """
+
+    corpus: str
+    snapshots: tuple[Snapshot, ...]
+
+    def at(self, snapshot: Snapshot) -> FootprintSnapshot:
+        """The footprint snapshot for one date."""
+        raise NotImplementedError
+
+    def footprints(self) -> Iterator[FootprintSnapshot]:
+        """Every footprint snapshot, in snapshot order."""
+        for snapshot in self.snapshots:
+            yield self.at(snapshot)
+
+    def as_count(self, hypergiant: str, snapshot: Snapshot, metric: str = "confirmed") -> int:
+        """Off-net AS count for one HG at one snapshot.
+
+        ``metric``: ``"confirmed"`` (certs + headers, the headline numbers),
+        ``"candidates"`` (certs only — Table 3's parenthesised values),
+        ``"confirmed_and"`` (headers on both ports), or the Netflix
+        variants ``"with_expired"`` / ``"with_expired_nontls"``.
+        """
+        footprint = self.at(snapshot)
+        if metric == "confirmed":
+            return len(footprint.confirmed_ases.get(hypergiant, ()))
+        if metric == "candidates":
+            return len(footprint.candidate_ases.get(hypergiant, ()))
+        if metric == "confirmed_and":
+            return len(footprint.confirmed_and_ases.get(hypergiant, ()))
+        if metric == "with_expired":
+            if hypergiant != "netflix":
+                raise ValueError("the with_expired metric is Netflix-specific (§6.2)")
+            return len(footprint.netflix_with_expired_ases)
+        if metric == "with_expired_nontls":
+            if hypergiant != "netflix":
+                raise ValueError("the with_expired_nontls metric is Netflix-specific (§6.2)")
+            return len(footprint.netflix_with_expired_ases | footprint.netflix_restored_ases)
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def series(
+        self, hypergiant: str, metric: str = "confirmed"
+    ) -> list[tuple[Snapshot, int]]:
+        """(snapshot, AS count) series for one HG across the corpus."""
+        return [
+            (snapshot, self.as_count(hypergiant, snapshot, metric))
+            for snapshot in self.snapshots
+        ]
+
+    def footprint_ases(
+        self, hypergiant: str, snapshot: Snapshot, metric: str = "confirmed"
+    ) -> frozenset[ASN]:
+        """The inferred host-AS set itself (for demographic analyses)."""
+        footprint = self.at(snapshot)
+        if metric == "confirmed":
+            return footprint.confirmed_ases.get(hypergiant, frozenset())
+        if metric == "candidates":
+            return footprint.candidate_ases.get(hypergiant, frozenset())
+        if metric == "confirmed_and":
+            return footprint.confirmed_and_ases.get(hypergiant, frozenset())
+        if metric == "envelope" and hypergiant == "netflix":
+            # §6.2: "the envelope of these two lines" is Netflix's footprint.
+            return (
+                footprint.netflix_with_expired_ases
+                | footprint.netflix_restored_ases
+                | footprint.confirmed_ases.get("netflix", frozenset())
+            )
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def effective_footprint(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
+        """The footprint the paper uses downstream: the Netflix envelope for
+        Netflix, plain confirmed for everyone else."""
+        if hypergiant == "netflix":
+            return self.footprint_ases("netflix", snapshot, "envelope")
+        return self.footprint_ases(hypergiant, snapshot, "confirmed")
+
+    def hypergiants(self, metric: str = "confirmed") -> tuple[str, ...]:
+        """HGs with a nonzero footprint anywhere in the corpus.
+
+        ``metric`` selects the footprint table consulted: ``"confirmed"``
+        (the default headline set) or ``"candidates"`` (cert-only — the
+        superset Table 3 reports in parentheses)."""
+        if metric not in ("confirmed", "candidates"):
+            raise ValueError(f"unknown metric {metric!r}")
+        seen: set[str] = set()
+        for footprint in self.footprints():
+            table = (
+                footprint.confirmed_ases
+                if metric == "confirmed"
+                else footprint.candidate_ases
+            )
+            for hypergiant, ases in table.items():
+                if ases:
+                    seen.add(hypergiant)
+        return tuple(sorted(seen))
+
+    def diff(
+        self,
+        hypergiant: str,
+        earlier: Snapshot,
+        later: Snapshot,
+        metric: str = "confirmed",
+    ) -> tuple[frozenset[ASN], frozenset[ASN]]:
+        """``(added, removed)`` host ASes for one HG between two snapshots.
+
+        ``metric`` accepts everything :meth:`footprint_ases` does plus
+        ``"effective"`` (the paper's downstream footprint choice)."""
+
+        def ases(snapshot: Snapshot) -> frozenset[ASN]:
+            if metric == "effective":
+                return self.effective_footprint(hypergiant, snapshot)
+            return self.footprint_ases(hypergiant, snapshot, metric)
+
+        before, after = ases(earlier), ases(later)
+        return frozenset(after - before), frozenset(before - after)
+
+
 @dataclass(slots=True)
-class PipelineResult:
+class PipelineResult(FootprintQueries):
     """The pipeline's output across a corpus's snapshots."""
 
     corpus: str
@@ -137,76 +275,6 @@ class PipelineResult:
     def at(self, snapshot: Snapshot) -> FootprintSnapshot:
         """The footprint snapshot for one date."""
         return self.by_snapshot[snapshot]
-
-    def as_count(self, hypergiant: str, snapshot: Snapshot, metric: str = "confirmed") -> int:
-        """Off-net AS count for one HG at one snapshot.
-
-        ``metric``: ``"confirmed"`` (certs + headers, the headline numbers),
-        ``"candidates"`` (certs only — Table 3's parenthesised values),
-        ``"confirmed_and"`` (headers on both ports), or the Netflix
-        variants ``"with_expired"`` / ``"with_expired_nontls"``.
-        """
-        footprint = self.by_snapshot[snapshot]
-        if metric == "confirmed":
-            return len(footprint.confirmed_ases.get(hypergiant, ()))
-        if metric == "candidates":
-            return len(footprint.candidate_ases.get(hypergiant, ()))
-        if metric == "confirmed_and":
-            return len(footprint.confirmed_and_ases.get(hypergiant, ()))
-        if metric == "with_expired":
-            if hypergiant != "netflix":
-                raise ValueError("the with_expired metric is Netflix-specific (§6.2)")
-            return len(footprint.netflix_with_expired_ases)
-        if metric == "with_expired_nontls":
-            if hypergiant != "netflix":
-                raise ValueError("the with_expired_nontls metric is Netflix-specific (§6.2)")
-            return len(footprint.netflix_with_expired_ases | footprint.netflix_restored_ases)
-        raise ValueError(f"unknown metric {metric!r}")
-
-    def series(
-        self, hypergiant: str, metric: str = "confirmed"
-    ) -> list[tuple[Snapshot, int]]:
-        """(snapshot, AS count) series for one HG across the corpus."""
-        return [
-            (snapshot, self.as_count(hypergiant, snapshot, metric))
-            for snapshot in self.snapshots
-        ]
-
-    def footprint_ases(
-        self, hypergiant: str, snapshot: Snapshot, metric: str = "confirmed"
-    ) -> frozenset[ASN]:
-        """The inferred host-AS set itself (for demographic analyses)."""
-        footprint = self.by_snapshot[snapshot]
-        if metric == "confirmed":
-            return footprint.confirmed_ases.get(hypergiant, frozenset())
-        if metric == "candidates":
-            return footprint.candidate_ases.get(hypergiant, frozenset())
-        if metric == "confirmed_and":
-            return footprint.confirmed_and_ases.get(hypergiant, frozenset())
-        if metric == "envelope" and hypergiant == "netflix":
-            # §6.2: "the envelope of these two lines" is Netflix's footprint.
-            return (
-                footprint.netflix_with_expired_ases
-                | footprint.netflix_restored_ases
-                | footprint.confirmed_ases.get("netflix", frozenset())
-            )
-        raise ValueError(f"unknown metric {metric!r}")
-
-    def effective_footprint(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
-        """The footprint the paper uses downstream: the Netflix envelope for
-        Netflix, plain confirmed for everyone else."""
-        if hypergiant == "netflix":
-            return self.footprint_ases("netflix", snapshot, "envelope")
-        return self.footprint_ases(hypergiant, snapshot, "confirmed")
-
-    def hypergiants(self) -> tuple[str, ...]:
-        """HGs with a nonzero confirmed footprint anywhere in the corpus."""
-        seen: set[str] = set()
-        for footprint in self.by_snapshot.values():
-            for hypergiant, ases in footprint.confirmed_ases.items():
-                if ases:
-                    seen.add(hypergiant)
-        return tuple(sorted(seen))
 
 
 def _stage_totals(metrics: MetricsRegistry) -> dict[str, float]:

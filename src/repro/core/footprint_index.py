@@ -1,0 +1,419 @@
+"""The persistent :class:`FootprintIndex` — footprints as a queryable store.
+
+The batch pipeline's output is a single in-memory
+:class:`~repro.core.footprint.PipelineResult`.  That is the wrong shape
+for a long-running service: it exists only for the duration of one run,
+and rebuilding it means re-running every snapshot.  This module turns the
+per-snapshot footprint data into an *index* with a stable query surface
+(:class:`~repro.core.footprint.FootprintQueries`) and two backends:
+
+* :class:`ResultIndex` — a zero-copy adapter over a ``PipelineResult``,
+  so the one-shot batch path keeps working unchanged;
+* :class:`DurableFootprintIndex` — an on-disk, per-snapshot store under a
+  *state directory*, updated incrementally: each snapshot's pure outcome
+  (:class:`~repro.core.footprint.SnapshotOutcome`) is folded in under a
+  content-addressed token, and :meth:`~DurableFootprintIndex.commit`
+  recomputes the one piece of cross-snapshot state (the §6.2 Netflix
+  restoration) over the ordered timeline.  Because the restoration fold
+  runs at commit time, snapshots may arrive in **any order** — shuffled
+  incremental ingestion produces a view bit-identical to a from-scratch
+  batch run, a property the test suite asserts.
+
+Analysis modules import their query surface from here (never from
+``PipelineResult`` internals — a lint test enforces it), so every
+analysis runs identically against a live batch result, a cold-loaded
+index, or a daemon's incrementally-maintained one.
+
+On-disk layout of a state directory::
+
+    state/
+      index.json             # manifest: format, corpus, {label -> token}
+      snapshots/2019-10.json # one outcome payload per snapshot
+
+All writes are atomic (temp file + ``os.replace``), and JSON payloads
+serialize sets as sorted lists, so identical data produces identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.footprint import (
+    FootprintQueries,
+    FootprintSnapshot,
+    PipelineResult,
+    SnapshotOutcome,
+)
+from repro.core.validation import ValidationStats
+from repro.net.asn import ASN
+from repro.timeline import Snapshot, ordered_snapshots
+
+__all__ = [
+    "INDEX_FORMAT",
+    "FootprintIndex",
+    "ResultIndex",
+    "IndexView",
+    "DurableFootprintIndex",
+    "index_of",
+]
+
+#: Version tag written into every manifest and payload file; bump on any
+#: incompatible layout change so stale state directories fail loudly.
+INDEX_FORMAT = "repro.footprint-index/1"
+
+
+class FootprintIndex(FootprintQueries, ABC):
+    """The abstract index: an ordered corpus of footprint snapshots.
+
+    Concrete backends provide :attr:`corpus`, :attr:`snapshots` and
+    :meth:`at`; every longitudinal query is inherited from
+    :class:`~repro.core.footprint.FootprintQueries`.
+    ``PipelineResult`` is registered as a virtual subclass, so analysis
+    code annotated with ``FootprintIndex`` accepts batch results as-is.
+    """
+
+    @abstractmethod
+    def at(self, snapshot: Snapshot) -> FootprintSnapshot:
+        """The footprint snapshot for one date."""
+
+
+FootprintIndex.register(PipelineResult)
+
+
+class ResultIndex(FootprintIndex):
+    """In-memory adapter presenting a ``PipelineResult`` as an index."""
+
+    def __init__(self, result: PipelineResult) -> None:
+        self._result = result
+
+    @property
+    def corpus(self) -> str:
+        """The corpus the wrapped result was computed from."""
+        return self._result.corpus
+
+    @property
+    def snapshots(self) -> tuple[Snapshot, ...]:
+        """The wrapped result's snapshot timeline, in order."""
+        return self._result.snapshots
+
+    def at(self, snapshot: Snapshot) -> FootprintSnapshot:
+        """The footprint snapshot for one date."""
+        return self._result.at(snapshot)
+
+
+class IndexView(FootprintIndex):
+    """An immutable point-in-time view over a footprint mapping.
+
+    :class:`DurableFootprintIndex` publishes one of these per commit;
+    because a view never mutates, a reader thread that grabbed it keeps a
+    consistent timeline no matter how many ingests land afterwards.
+    """
+
+    __slots__ = ("_corpus", "_snapshots", "_by_snapshot")
+
+    def __init__(
+        self,
+        corpus: str,
+        snapshots: tuple[Snapshot, ...],
+        by_snapshot: Mapping[Snapshot, FootprintSnapshot],
+    ) -> None:
+        self._corpus = corpus
+        self._snapshots = snapshots
+        self._by_snapshot = dict(by_snapshot)
+
+    @property
+    def corpus(self) -> str:
+        """The corpus this view indexes."""
+        return self._corpus
+
+    @property
+    def snapshots(self) -> tuple[Snapshot, ...]:
+        """The view's snapshot timeline, in order."""
+        return self._snapshots
+
+    def at(self, snapshot: Snapshot) -> FootprintSnapshot:
+        """The footprint snapshot for one date."""
+        return self._by_snapshot[snapshot]
+
+
+def index_of(source: "FootprintIndex | PipelineResult") -> FootprintIndex:
+    """Coerce a batch result (or any index) to the index surface.
+
+    A convenience for call sites that accept both: ``PipelineResult`` is
+    already a virtual ``FootprintIndex``, so this is the identity — it
+    exists to make the coercion explicit and grep-able.
+    """
+    if not isinstance(source, FootprintIndex):
+        raise TypeError(
+            f"{type(source).__name__} does not provide the FootprintIndex "
+            "query surface"
+        )
+    return source
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def _sets_to_json(table: Mapping[str, frozenset[int]]) -> dict[str, list[int]]:
+    return {key: sorted(values) for key, values in sorted(table.items())}
+
+
+def _sets_from_json(payload: Mapping[str, list[int]]) -> dict[str, frozenset[int]]:
+    return {key: frozenset(values) for key, values in payload.items()}
+
+
+def _outcome_to_payload(outcome: SnapshotOutcome, token: str) -> dict:
+    """One snapshot's pure outcome as a JSON-safe payload.
+
+    ``netflix_restored_ases`` is deliberately **not** persisted: it is
+    cross-snapshot state, recomputed by the commit-time restoration fold
+    (which is what makes shuffled incremental ingestion order-independent).
+    """
+    footprint = outcome.footprint
+    return {
+        "format": INDEX_FORMAT,
+        "snapshot": footprint.snapshot.label,
+        "token": token,
+        "footprint": {
+            "raw_ip_count": footprint.raw_ip_count,
+            "raw_certificate_count": footprint.raw_certificate_count,
+            "validation": {
+                "total": footprint.validation.total,
+                "valid": footprint.validation.valid,
+                "expired_only": footprint.validation.expired_only,
+                "rejected": footprint.validation.rejected,
+            },
+            "candidate_ips": _sets_to_json(footprint.candidate_ips),
+            "candidate_ases": _sets_to_json(footprint.candidate_ases),
+            "confirmed_ips": _sets_to_json(footprint.confirmed_ips),
+            "confirmed_ases": _sets_to_json(footprint.confirmed_ases),
+            "confirmed_and_ases": _sets_to_json(footprint.confirmed_and_ases),
+            "onnet_ips": _sets_to_json(footprint.onnet_ips),
+            "cloudflare_filtered_ases": sorted(footprint.cloudflare_filtered_ases),
+            "netflix_with_expired_ases": sorted(footprint.netflix_with_expired_ases),
+        },
+        "netflix_seen": sorted(outcome.netflix_seen),
+        "restorable": {
+            str(ip): sorted(ases) for ip, ases in sorted(outcome.restorable.items())
+        },
+    }
+
+
+def _outcome_from_payload(payload: Mapping) -> SnapshotOutcome:
+    """Rebuild a pure outcome from its payload (restoration left empty)."""
+    if payload.get("format") != INDEX_FORMAT:
+        raise ValueError(
+            f"unsupported footprint-index payload format {payload.get('format')!r} "
+            f"(this build reads {INDEX_FORMAT!r})"
+        )
+    data = payload["footprint"]
+    footprint = FootprintSnapshot(
+        snapshot=Snapshot.parse(payload["snapshot"]),
+        raw_ip_count=data["raw_ip_count"],
+        raw_certificate_count=data["raw_certificate_count"],
+        validation=ValidationStats(**data["validation"]),
+        candidate_ips=_sets_from_json(data["candidate_ips"]),
+        candidate_ases=_sets_from_json(data["candidate_ases"]),
+        confirmed_ips=_sets_from_json(data["confirmed_ips"]),
+        confirmed_ases=_sets_from_json(data["confirmed_ases"]),
+        confirmed_and_ases=_sets_from_json(data["confirmed_and_ases"]),
+        onnet_ips=_sets_from_json(data["onnet_ips"]),
+        cloudflare_filtered_ases=frozenset(data["cloudflare_filtered_ases"]),
+        netflix_with_expired_ases=frozenset(data["netflix_with_expired_ases"]),
+    )
+    return SnapshotOutcome(
+        footprint=footprint,
+        netflix_seen=frozenset(payload["netflix_seen"]),
+        restorable={
+            int(ip): frozenset(ases) for ip, ases in payload["restorable"].items()
+        },
+    )
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON so readers only ever see a complete file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+# -- the durable backend ------------------------------------------------------
+
+
+class DurableFootprintIndex(FootprintIndex):
+    """An on-disk footprint index updated one snapshot at a time.
+
+    Mutation protocol: :meth:`fold` (or :meth:`remove`) any number of
+    snapshots, then :meth:`commit`.  A commit recomputes the §6.2 Netflix
+    restoration over the full ordered timeline, atomically rewrites the
+    manifest, and publishes a fresh immutable :class:`IndexView` — the
+    reference swap is the only thing concurrent readers observe, so
+    queries stay consistent (and available) throughout an ingest.
+
+    The ``token`` recorded per snapshot is a content-addressed identity
+    of that snapshot's inputs (see
+    :meth:`~repro.datasets.FileDataset.snapshot_fingerprint`); the delta
+    ingestor skips any snapshot whose token already matches.
+    """
+
+    MANIFEST = "index.json"
+    SNAPSHOT_DIR = "snapshots"
+
+    def __init__(self, state_dir: str | Path, corpus: str | None = None) -> None:
+        self._dir = Path(state_dir)
+        self._outcomes: dict[Snapshot, SnapshotOutcome] = {}
+        self._tokens: dict[Snapshot, str] = {}
+        manifest_path = self._dir / self.MANIFEST
+        if manifest_path.exists():
+            self._load(manifest_path, corpus)
+        elif corpus is None:
+            raise ValueError(
+                f"no index manifest under {self._dir} — creating a new index "
+                "needs an explicit corpus name"
+            )
+        else:
+            self._corpus = corpus
+        self._view = self._build_view()
+
+    # -- query surface (delegates to the committed view) --------------------------
+
+    @property
+    def state_dir(self) -> Path:
+        """The directory the index persists itself under."""
+        return self._dir
+
+    @property
+    def corpus(self) -> str:
+        """The corpus this index accumulates."""
+        return self._corpus
+
+    @property
+    def snapshots(self) -> tuple[Snapshot, ...]:
+        """The committed snapshot timeline, in order."""
+        return self._view.snapshots
+
+    def at(self, snapshot: Snapshot) -> FootprintSnapshot:
+        """The committed footprint snapshot for one date."""
+        return self._view.at(snapshot)
+
+    def view(self) -> IndexView:
+        """The current immutable committed view.  Server threads answer
+        queries from a grabbed view, so an in-flight ingest can never
+        show them a half-updated timeline."""
+        return self._view
+
+    def token(self, snapshot: Snapshot) -> str | None:
+        """The content token a snapshot was folded under (None = absent)."""
+        return self._tokens.get(snapshot)
+
+    def tokens(self) -> dict[Snapshot, str]:
+        """Every indexed snapshot's content token — the delta ingestor's
+        view of "what the index already knows"."""
+        return dict(self._tokens)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def fold(self, outcome: SnapshotOutcome, token: str) -> None:
+        """Persist one snapshot's pure outcome under its content token.
+
+        Replaces any previous payload for the same snapshot.  The write
+        is atomic, but the in-memory view is only republished by
+        :meth:`commit` — fold as many snapshots as arrived, then commit
+        once.
+        """
+        snapshot = outcome.footprint.snapshot
+        payload = _outcome_to_payload(outcome, token)
+        _atomic_write_json(self._payload_path(snapshot), payload)
+        # Re-read through the serializer so the in-memory entry is exactly
+        # what a cold load would produce (and fold() can't leak shared
+        # mutable state with the caller's outcome).
+        self._outcomes[snapshot] = _outcome_from_payload(payload)
+        self._tokens[snapshot] = token
+
+    def remove(self, snapshot: Snapshot) -> bool:
+        """Drop one snapshot from the index (its corpus file vanished).
+        Returns whether anything was removed."""
+        present = snapshot in self._outcomes
+        self._outcomes.pop(snapshot, None)
+        self._tokens.pop(snapshot, None)
+        path = self._payload_path(snapshot)
+        if path.exists():
+            path.unlink()
+        return present
+
+    def commit(self) -> IndexView:
+        """Recompute the cross-snapshot state, persist the manifest, and
+        publish (and return) the new immutable view."""
+        view = self._build_view()
+        _atomic_write_json(
+            self._dir / self.MANIFEST,
+            {
+                "format": INDEX_FORMAT,
+                "corpus": self._corpus,
+                "snapshots": {
+                    snapshot.label: self._tokens[snapshot]
+                    for snapshot in sorted(self._tokens)
+                },
+            },
+        )
+        self._view = view
+        return view
+
+    # -- internals ----------------------------------------------------------------
+
+    def _payload_path(self, snapshot: Snapshot) -> Path:
+        return self._dir / self.SNAPSHOT_DIR / f"{snapshot.label}.json"
+
+    def _load(self, manifest_path: Path, corpus: str | None) -> None:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != INDEX_FORMAT:
+            raise ValueError(
+                f"unsupported footprint-index format {manifest.get('format')!r} "
+                f"under {self._dir} (this build reads {INDEX_FORMAT!r})"
+            )
+        self._corpus = manifest["corpus"]
+        if corpus is not None and corpus != self._corpus:
+            raise ValueError(
+                f"index under {self._dir} accumulates corpus "
+                f"{self._corpus!r}, not {corpus!r}"
+            )
+        for snapshot in ordered_snapshots(manifest["snapshots"]):
+            payload = json.loads(
+                self._payload_path(snapshot).read_text(encoding="utf-8")
+            )
+            self._outcomes[snapshot] = _outcome_from_payload(payload)
+            self._tokens[snapshot] = manifest["snapshots"][snapshot.label]
+
+    def _build_view(self) -> IndexView:
+        """The §6.2 restoration fold over the ordered timeline — the same
+        reduction :meth:`~repro.core.pipeline.OffnetPipeline.merge_outcomes`
+        performs, which is what makes an incrementally-built index
+        bit-identical to a batch run regardless of arrival order."""
+        order = tuple(sorted(self._outcomes))
+        by_snapshot: dict[Snapshot, FootprintSnapshot] = {}
+        netflix_ever_candidates: set[int] = set()
+        for snapshot in order:
+            outcome = self._outcomes[snapshot]
+            # Fresh copy per commit: the published views must be immutable.
+            footprint = _outcome_from_payload(
+                _outcome_to_payload(outcome, self._tokens[snapshot])
+            ).footprint
+            if netflix_ever_candidates:
+                restored: set[ASN] = set()
+                for ip, ases in outcome.restorable.items():
+                    if ip in netflix_ever_candidates:
+                        restored.update(ases)
+                footprint.netflix_restored_ases = frozenset(restored)
+            netflix_ever_candidates.update(outcome.netflix_seen)
+            by_snapshot[snapshot] = footprint
+        return IndexView(self._corpus, order, by_snapshot)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.footprint import PipelineResult
+from repro.core.footprint import FootprintQueries
 from repro.timeline import Snapshot
 
 __all__ = ["NetflixEnvelope", "restore_netflix"]
@@ -44,8 +44,9 @@ class NetflixEnvelope:
         return worst
 
 
-def restore_netflix(result: PipelineResult) -> NetflixEnvelope:
-    """Assemble the three Netflix series from a pipeline result."""
+def restore_netflix(result: FootprintQueries) -> NetflixEnvelope:
+    """Assemble the three Netflix series from any footprint query surface
+    (a batch result or a :class:`~repro.core.footprint_index.FootprintIndex`)."""
     snapshots = result.snapshots
     initial = tuple(result.as_count("netflix", s, "confirmed") for s in snapshots)
     with_expired = tuple(result.as_count("netflix", s, "with_expired") for s in snapshots)

@@ -38,7 +38,6 @@ suite asserts.
 
 from __future__ import annotations
 
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -262,31 +261,6 @@ class OffnetPipeline:
 
     # -- public API ------------------------------------------------------------
 
-    @property
-    def world(self) -> DataSource:
-        """Deprecated alias for :attr:`source` (the constructor predates
-        the :class:`~repro.datasets.DataSource` protocol)."""
-        warnings.warn(
-            "OffnetPipeline.world is deprecated; use OffnetPipeline.source",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.source
-
-    @classmethod
-    def for_world(cls, source: DataSource, **option_overrides) -> "OffnetPipeline":
-        """Deprecated convenience constructor surviving from the
-        pre-``DataSource`` API; use ``OffnetPipeline(source,
-        PipelineOptions(**overrides))``."""
-        warnings.warn(
-            "OffnetPipeline.for_world is deprecated; use "
-            "OffnetPipeline(source, PipelineOptions(...))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        options = PipelineOptions(**option_overrides) if option_overrides else None
-        return cls(source, options)
-
     def run(
         self,
         snapshots: tuple[Snapshot, ...] | None = None,
@@ -371,7 +345,7 @@ class OffnetPipeline:
         executing anything — what ``--resume`` reports before restarting."""
         return {
             snapshot: self._graph.probe(
-                self.options, self._snapshot_token(snapshot), self._cache
+                self.options, self.snapshot_token(snapshot), self._cache
             )
             for snapshot in self.select_snapshots(snapshots)
         }
@@ -393,7 +367,7 @@ class OffnetPipeline:
             registry = MetricsRegistry()
             self._graph.execute(
                 StageContext(pipeline=self, snapshot=snapshot, options=self.options),
-                self._snapshot_token(snapshot),
+                self.snapshot_token(snapshot),
                 registry,
                 cache=self._cache,
                 targets=targets,
@@ -470,10 +444,14 @@ class OffnetPipeline:
         if trim is not None:
             trim()
 
-    # -- internals ---------------------------------------------------------------
-
-    def _snapshot_token(self, snapshot: Snapshot) -> str:
+    def snapshot_token(self, snapshot: Snapshot) -> str:
+        """The content-addressed cache token for one snapshot's stage
+        artifacts — ``snapshot_fingerprint(source, corpus, snapshot)``.
+        The serve layer's delta ingestor compares these against an index's
+        recorded tokens to decide which snapshots actually changed."""
         return snapshot_fingerprint(self._source_token, self.options.corpus, snapshot)
+
+    # -- internals ---------------------------------------------------------------
 
     def _learn_rules(self) -> dict[str, tuple[HeaderRule, ...]] | None:
         options = self.options
@@ -612,7 +590,7 @@ class OffnetPipeline:
             StageContext(
                 pipeline=self, snapshot=snapshot, options=self.options, shard=shard
             ),
-            self._snapshot_token(snapshot),
+            self.snapshot_token(snapshot),
             registry,
             cache=self._cache,
             targets=TERMINAL_STAGES,
@@ -662,14 +640,16 @@ class OffnetPipeline:
             by_snapshot=by_snapshot,
             metrics=metrics,
             run_meta={
-                "options": self._options_meta(),
+                "options": self.options_meta(),
                 "executor": dict(executor_meta or {}),
             },
         )
 
-    def _options_meta(self) -> dict:
+    def options_meta(self) -> dict:
         """The methodology switches for the run report's ``options``
-        section.  ``jobs``, ``shard_size``, ``cache_dir`` and
+        section — also the options identity the serve layer's delta
+        ingestor mixes into index tokens (changed methodology must
+        invalidate indexed outcomes).  ``jobs``, ``shard_size``, ``cache_dir`` and
         ``quarantine_dir`` are
         deliberately absent: they are execution details (reported under
         ``executor`` / the cache counters / the ``ingest`` section), and

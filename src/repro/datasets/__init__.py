@@ -24,7 +24,7 @@ dataset.  This package gives the reproduction the same workflow:
   ``.rcc``, file size for JSONL).
 """
 
-from repro.datasets.export import export_dataset
+from repro.datasets.export import export_dataset, export_snapshot
 from repro.datasets.fileview import FileDataset
 from repro.datasets.formats import (
     CorpusFormat,
@@ -54,6 +54,7 @@ __all__ = [
     "ShardPlan",
     "detect_format",
     "export_dataset",
+    "export_snapshot",
     "format_names",
     "get_format",
     "merge_stores",

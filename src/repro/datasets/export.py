@@ -26,14 +26,15 @@ regardless.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Sequence
 
 from repro.datasets.formats import get_format
 from repro.scan.corpus import _cert_to_json
-from repro.timeline import Snapshot
+from repro.timeline import Snapshot, ordered_snapshots
 
-__all__ = ["export_dataset"]
+__all__ = ["export_dataset", "export_snapshot"]
 
 
 def export_dataset(
@@ -114,3 +115,59 @@ def export_dataset(
         json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
     )
     return directory
+
+
+def export_snapshot(
+    world,
+    directory: str | Path,
+    snapshot: Snapshot,
+    corpus: str = "rapid7",
+) -> Path:
+    """Append **one** snapshot to an already-exported dataset directory.
+
+    This is the "a new quarterly corpus landed" event the serve layer's
+    delta ingestor watches for: the corpus file and ip2as table are
+    written first, and the manifest is updated *last* (atomically, temp
+    file + rename), so a watcher that sees the new label in the manifest
+    can always read the files it names.  The corpus format and snapshot
+    ordering follow the existing manifest.  Returns the corpus file path.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if corpus not in manifest["corpora"]:
+        raise KeyError(
+            f"corpus {corpus!r} not in dataset; available: "
+            f"{sorted(manifest['corpora'])}"
+        )
+    codec = get_format(manifest.get("corpus_format", "jsonl"))
+
+    scan = world.scan(corpus, snapshot)
+    corpus_dir = directory / "corpora" / corpus
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{snapshot.label}{codec.suffix}"
+    codec.write(scan, path)
+
+    mapping = world.ip2as(snapshot)
+    lines = []
+    for prefix in mapping.prefixes():
+        origins = ",".join(str(a) for a in sorted(mapping.lookup(prefix.first)))
+        lines.append(f"{prefix}\t{origins}")
+    ip2as_dir = directory / "ip2as"
+    ip2as_dir.mkdir(exist_ok=True)
+    (ip2as_dir / f"{snapshot.label}.tsv").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+
+    labels = set(manifest["corpora"][corpus]) | {snapshot.label}
+    manifest["corpora"][corpus] = [s.label for s in ordered_snapshots(labels)]
+    stats = scan.store.stats()
+    manifest.setdefault("store", {}).setdefault(corpus, {})[snapshot.label] = {
+        "tls_rows": stats.tls_rows,
+        "http_rows": stats.http_rows,
+        "unique_chains": stats.unique_chains,
+    }
+    tmp = manifest_path.with_name(manifest_path.name + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, manifest_path)
+    return path

@@ -41,12 +41,43 @@ from repro.datasets.formats import corpus_candidates, probe_corpus_cost, read_co
 from repro.robustness import IngestPolicy
 from repro.scan.corpus import _cert_from_json
 from repro.scan.records import ScanSnapshot
-from repro.timeline import Snapshot
+from repro.timeline import Snapshot, ordered_snapshots
 from repro.topology.geography import country_by_code
 from repro.topology.organizations import Organization, OrganizationDataset
 from repro.x509.store import RootStore
 
 __all__ = ["FileDataset"]
+
+#: Per-file digest memo for :meth:`FileDataset.snapshot_fingerprint`,
+#: keyed on ``(resolved path, size, mtime_ns)`` so an edited file can
+#: never serve a stale digest.  Module-level (shared by the fresh
+#: ``FileDataset`` a watcher poll constructs) and bounded.
+_DIGEST_CACHE: OrderedDict[tuple[str, int, int], str] = OrderedDict()
+_DIGEST_CACHE_MAX = 4096
+
+
+def _file_digest(path: Path) -> str:
+    """SHA-256 of one file's bytes, memoised on its stat identity.
+    Missing files digest to ``"absent"`` — their absence is still part
+    of the snapshot's content identity."""
+    try:
+        stat = path.stat()
+    except FileNotFoundError:
+        return "absent"
+    key = (str(path.resolve()), stat.st_size, stat.st_mtime_ns)
+    cached = _DIGEST_CACHE.get(key)
+    if cached is not None:
+        _DIGEST_CACHE.move_to_end(key)
+        return cached
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    value = digest.hexdigest()
+    _DIGEST_CACHE[key] = value
+    while len(_DIGEST_CACHE) > _DIGEST_CACHE_MAX:
+        _DIGEST_CACHE.popitem(last=False)
+    return value
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,7 +123,7 @@ class FileDataset:
         self.manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
 
         self._corpora: dict[str, tuple[Snapshot, ...]] = {
-            corpus: tuple(sorted(Snapshot.parse(label) for label in labels))
+            corpus: ordered_snapshots(labels)
             for corpus, labels in self.manifest["corpora"].items()
         }
         if not self._corpora:
@@ -131,6 +162,39 @@ class FileDataset:
         document = json.dumps(self.manifest, sort_keys=True)
         digest = hashlib.sha256(document.encode("utf-8")).hexdigest()
         return f"dataset:{digest}"
+
+    def snapshot_fingerprint(self, name: str, snapshot: Snapshot) -> str:
+        """A content identity for **one** snapshot's inputs — the delta
+        detector behind ``repro serve``.
+
+        Unlike :meth:`fingerprint` (which hashes the whole manifest, so
+        *any* dataset change invalidates *every* snapshot), this digests
+        exactly the files one snapshot's inference reads: its corpus
+        file, its ip2as table, and the dataset-wide organization and
+        trust-anchor files.  Adding snapshot N+1 therefore leaves
+        snapshots 1..N's fingerprints untouched, which is what lets the
+        serve-layer ingestor skip them entirely.  Per-file digests are
+        memoised on ``(path, size, mtime_ns)``, so a watcher poll over an
+        unchanged dataset costs a handful of ``stat`` calls.
+        """
+        corpus_dir = self.directory / "corpora" / name
+        corpus_path = next(
+            (p for p in corpus_candidates(corpus_dir, snapshot.label) if p.exists()),
+            None,
+        )
+        if corpus_path is None:
+            raise FileNotFoundError(
+                f"no {name} corpus for {snapshot} under {corpus_dir}"
+            )
+        parts = {
+            "corpus": _file_digest(corpus_path),
+            "ip2as": _file_digest(self.directory / "ip2as" / f"{snapshot.label}.tsv"),
+            "organizations": _file_digest(self.directory / "organizations.tsv"),
+            "anchors": _file_digest(self.directory / "anchors.jsonl"),
+        }
+        document = json.dumps(parts, sort_keys=True)
+        digest = hashlib.sha256(document.encode("utf-8")).hexdigest()
+        return f"snapshot-content:{digest}"
 
     # -- loading ----------------------------------------------------------
 

@@ -7,8 +7,8 @@ snapshot as checksummed column blocks that load near zero-copy into a
 :class:`~repro.store.SnapshotStore`.  Both are registered here as
 :class:`CorpusFormat` codecs, and everything that touches corpus files —
 ``export``, :class:`~repro.datasets.FileDataset`, the fault-injection
-harness, the legacy :func:`~repro.scan.corpus.stream_snapshot` wrappers —
-resolves them through this registry instead of hardcoding a format.
+harness — resolves them through this registry instead of hardcoding a
+format.
 
 Reading is **autodetecting**: :func:`detect_format` sniffs the file's
 first bytes against every registered codec (the columnar format has PNG

@@ -36,7 +36,6 @@ along as ``ScanSnapshot.ingest``.
 from __future__ import annotations
 
 import json
-import warnings
 from pathlib import Path
 
 from repro.net.ipv4 import IPv4Address
@@ -46,7 +45,7 @@ from repro.timeline import Snapshot
 from repro.x509.certificate import Certificate, SubjectName
 from repro.x509.chain import CertificateChain
 
-__all__ = ["save_snapshot", "load_snapshot", "stream_snapshot"]
+__all__: list[str] = []
 
 _MAX_IPV4 = 2**32 - 1
 _MAX_PORT = 65535
@@ -436,54 +435,3 @@ def _stream_jsonl(
         sink.write(quarantine_path)
     return result
 
-
-# -- deprecated public surface ------------------------------------------------
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.scan.corpus.{old} is deprecated; use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def save_snapshot(snapshot: ScanSnapshot, path: str | Path) -> None:
-    """Deprecated: use :func:`repro.datasets.formats.write_corpus`.
-
-    Writes the snapshot in the JSONL format, exactly as before.
-    """
-    _deprecated("save_snapshot", "repro.datasets.formats.write_corpus")
-    from repro.datasets.formats import write_corpus
-
-    write_corpus(snapshot, path, format_name="jsonl")
-
-
-def stream_snapshot(
-    path: str | Path,
-    policy: IngestPolicy | None = None,
-    quarantine_path: str | Path | None = None,
-) -> ScanSnapshot:
-    """Deprecated: use :func:`repro.datasets.formats.read_corpus`.
-
-    Reads the snapshot through the format registry (autodetecting, so a
-    columnar file passed to legacy code keeps working), with identical
-    policy and quarantine semantics.
-    """
-    _deprecated("stream_snapshot", "repro.datasets.formats.read_corpus")
-    from repro.datasets.formats import read_corpus
-
-    return read_corpus(path, policy, quarantine_path)
-
-
-def load_snapshot(
-    path: str | Path,
-    policy: IngestPolicy | None = None,
-    quarantine_path: str | Path | None = None,
-) -> ScanSnapshot:
-    """Deprecated legacy name: use
-    :func:`repro.datasets.formats.read_corpus`."""
-    _deprecated("load_snapshot", "repro.datasets.formats.read_corpus")
-    from repro.datasets.formats import read_corpus
-
-    return read_corpus(path, policy, quarantine_path)

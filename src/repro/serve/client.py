@@ -1,0 +1,64 @@
+"""The ``repro query`` client: talk to a running serve daemon.
+
+Two helpers, both stdlib-only: :func:`server_url` discovers a daemon
+from its state directory (the daemon writes ``endpoint.json`` there at
+startup), and :func:`query_server` performs one GET and returns the
+parsed JSON body.  An HTTP error status still returns the body — the
+daemon puts the explanation under an ``"error"`` key — so callers can
+show the server's complaint instead of a bare exception.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from urllib.error import HTTPError
+from urllib.parse import urlencode
+from urllib.request import urlopen
+
+__all__ = ["server_url", "query_server"]
+
+
+def server_url(state_dir: str | Path) -> str:
+    """The base URL of the daemon serving ``state_dir``.
+
+    Reads the ``endpoint.json`` the daemon wrote when it bound its port;
+    raises ``FileNotFoundError`` with a pointed message when no daemon
+    has started there.
+    """
+    path = Path(state_dir) / "endpoint.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no endpoint.json under {state_dir} — is a daemon running "
+            "against this state dir? (repro serve --state-dir ...)"
+        ) from None
+    return payload["url"]
+
+
+def query_server(
+    url: str,
+    endpoint: str,
+    params: dict[str, str] | None = None,
+    timeout: float = 30.0,
+) -> dict:
+    """GET ``<url>/<endpoint>?<params>`` and return the parsed JSON body.
+
+    The daemon answers malformed queries with a JSON ``{"error": ...}``
+    body and a 4xx status; that body is returned rather than raised, so
+    the CLI can print the server's own message.
+    """
+    query = f"?{urlencode(params)}" if params else ""
+    target = f"{url.rstrip('/')}/{endpoint.lstrip('/')}{query}"
+    try:
+        with urlopen(target, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except HTTPError as error:
+        body = error.read().decode("utf-8")
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError:
+            raise RuntimeError(
+                f"server answered {error.code} with a non-JSON body: {body[:200]}"
+            ) from None

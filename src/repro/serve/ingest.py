@@ -1,0 +1,209 @@
+"""Delta ingestion: reconcile a durable footprint index with a dataset dir.
+
+One :meth:`DeltaIngestor.ingest_once` pass:
+
+1. re-reads the dataset manifest (a fresh
+   :class:`~repro.datasets.FileDataset` per pass, so newly-landed
+   snapshots are seen);
+2. computes each snapshot's **ingest token** — its content fingerprint
+   (:meth:`~repro.datasets.FileDataset.snapshot_fingerprint`, memoised
+   per file stat, so polling an unchanged directory is cheap) mixed with
+   the methodology options' identity
+   (:meth:`~repro.core.pipeline.OffnetPipeline.options_meta`);
+3. **skips** every snapshot whose token the index already holds — its
+   stage work is never invoked, which is the whole point;
+4. runs the pure per-snapshot phase
+   (:meth:`~repro.core.pipeline.OffnetPipeline.run_snapshot`) for the
+   new/changed ones, folding each outcome into the index, and removes
+   snapshots whose files vanished;
+5. commits once, atomically publishing the new view.
+
+A snapshot whose corpus refuses to parse under the configured policy
+(``on_error=strict`` meeting a dirty file) is recorded as *failed* and
+left out of the index — a daemon must keep serving the healthy timeline.
+Under ``lenient``/``repair`` the PR-5 quarantine machinery applies
+per-record inside ``run_snapshot`` instead, and the snapshot still lands.
+
+Everything books into a :class:`~repro.obs.metrics.MetricsRegistry`
+(shared with the daemon, guarded by its lock): ``serve_ingest_events``
+counters (``event=ingested|skipped|removed|failed``), the
+``serve_ingest_seconds`` histogram, and the ``serve_ingest_lag_seconds``
+/ ``serve_indexed_snapshots`` gauges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.footprint_index import DurableFootprintIndex, IndexView
+from repro.core.pipeline import OffnetPipeline, PipelineOptions
+from repro.datasets.fileview import FileDataset
+from repro.obs.metrics import MetricsRegistry
+from repro.robustness import CorpusParseError
+from repro.timeline import Snapshot
+
+__all__ = [
+    "INGEST_EVENTS",
+    "INGEST_SECONDS",
+    "INGEST_LAG",
+    "INDEXED_SNAPSHOTS",
+    "IngestReport",
+    "DeltaIngestor",
+]
+
+#: Counter: one increment per snapshot per pass, labelled
+#: ``event=ingested|skipped|removed|failed``.
+INGEST_EVENTS = "serve_ingest_events"
+#: Histogram: wall-clock seconds per ingest pass that changed anything.
+INGEST_SECONDS = "serve_ingest_seconds"
+#: Gauge: seconds from change detection to commit for the latest
+#: delta-carrying pass — the daemon's ingest lag.
+INGEST_LAG = "serve_ingest_lag_seconds"
+#: Gauge: snapshots currently committed in the index.
+INDEXED_SNAPSHOTS = "serve_indexed_snapshots"
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """What one :meth:`DeltaIngestor.ingest_once` pass did."""
+
+    ingested: tuple[Snapshot, ...]
+    skipped: tuple[Snapshot, ...]
+    removed: tuple[Snapshot, ...]
+    failed: tuple[Snapshot, ...]
+    #: Wall-clock seconds for the whole pass (fingerprinting included).
+    duration_seconds: float
+    #: Whether a commit republished the view this pass.
+    committed: bool
+    #: The per-pass registry: the folded snapshots' own pipeline metrics
+    #: (stage timings, funnel and stage-cache counters) plus this pass's
+    #: serve counters — what the delta-only property is asserted against.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the ``/status`` endpoint's ``last_ingest``)."""
+        return {
+            "ingested": [s.label for s in self.ingested],
+            "skipped": [s.label for s in self.skipped],
+            "removed": [s.label for s in self.removed],
+            "failed": [s.label for s in self.failed],
+            "duration_seconds": round(self.duration_seconds, 6),
+            "committed": self.committed,
+        }
+
+
+class DeltaIngestor:
+    """Keeps a :class:`~repro.core.footprint_index.DurableFootprintIndex`
+    in sync with a dataset directory, one delta pass at a time.
+
+    ``options`` are the batch pipeline's :class:`PipelineOptions` — the
+    ingestor runs the *same* per-snapshot phase the batch path does, so
+    an incrementally-built index is bit-identical to a batch run with
+    the same options.  ``registry``/``registry_lock`` let a daemon share
+    its metrics registry; standalone use gets a private pair.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        state_dir: str | Path,
+        options: PipelineOptions | None = None,
+        registry: MetricsRegistry | None = None,
+        registry_lock: threading.Lock | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.options = options or PipelineOptions()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = registry_lock if registry_lock is not None else threading.Lock()
+        Path(state_dir).mkdir(parents=True, exist_ok=True)
+        self.index = DurableFootprintIndex(state_dir, corpus=self.options.corpus)
+        #: The last pass's organization dataset — the daemon's country
+        #: slices read it (reference swap per pass, safe across threads).
+        self.organizations = None
+
+    def view(self) -> IndexView:
+        """The index's current committed view."""
+        return self.index.view()
+
+    def ingest_token(self, source: FileDataset, pipeline: OffnetPipeline, snapshot: Snapshot) -> str:
+        """The identity a snapshot is indexed under: content fingerprint
+        of its input files + the methodology options in force.  Matching
+        token ⇒ the indexed outcome is still exact ⇒ skip."""
+        document = json.dumps(
+            {
+                "content": source.snapshot_fingerprint(self.options.corpus, snapshot),
+                "options": pipeline.options_meta(),
+            },
+            sort_keys=True,
+        )
+        return "ingest:" + hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+    def ingest_once(self) -> IngestReport:
+        """One reconcile pass (see the module docstring for the steps)."""
+        started = time.perf_counter()
+        source = FileDataset(self.directory)
+        pipeline = OffnetPipeline(source, self.options)
+        self.organizations = source.topology.organizations
+        snapshots = pipeline.select_snapshots()
+        tokens = {s: self.ingest_token(source, pipeline, s) for s in snapshots}
+        known = self.index.tokens()
+
+        changed = tuple(s for s in snapshots if known.get(s) != tokens[s])
+        skipped = tuple(s for s in snapshots if known.get(s) == tokens[s])
+        stale = tuple(sorted(set(known) - set(snapshots)))
+
+        pass_metrics = MetricsRegistry()
+        ingested: list[Snapshot] = []
+        failed: list[Snapshot] = []
+        dirty = False
+        for snapshot in changed:
+            try:
+                outcome = pipeline.run_snapshot(snapshot)
+            except (CorpusParseError, FileNotFoundError):
+                failed.append(snapshot)
+                # A snapshot that used to index fine but now refuses to
+                # parse must stop being served from its stale outcome.
+                dirty |= self.index.remove(snapshot)
+                continue
+            self.index.fold(outcome, tokens[snapshot])
+            pass_metrics.merge(outcome.metrics)
+            ingested.append(snapshot)
+            dirty = True
+        for snapshot in stale:
+            dirty |= self.index.remove(snapshot)
+
+        committed = dirty
+        if committed:
+            self.index.commit()
+        duration = time.perf_counter() - started
+
+        for event, group in (
+            ("ingested", ingested),
+            ("skipped", skipped),
+            ("removed", stale),
+            ("failed", failed),
+        ):
+            if group:
+                pass_metrics.counter(INGEST_EVENTS, event=event).inc(len(group))
+        if committed:
+            pass_metrics.histogram(INGEST_SECONDS).observe(duration)
+        with self._lock:
+            self.registry.merge(pass_metrics)
+            if committed:
+                self.registry.gauge(INGEST_LAG).set(duration)
+            self.registry.gauge(INDEXED_SNAPSHOTS).set(len(self.index.snapshots))
+
+        return IngestReport(
+            ingested=tuple(ingested),
+            skipped=skipped,
+            removed=stale,
+            failed=tuple(failed),
+            duration_seconds=duration,
+            committed=committed,
+            metrics=pass_metrics,
+        )

@@ -12,10 +12,11 @@ and so on).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 __all__ = [
     "Snapshot",
+    "ordered_snapshots",
     "STUDY_SNAPSHOTS",
     "STUDY_START",
     "STUDY_END",
@@ -67,11 +68,24 @@ class Snapshot:
     @classmethod
     def parse(cls, label: str) -> "Snapshot":
         """Parse a ``YYYY-MM`` label back into a snapshot."""
-        year_text, _, month_text = label.partition("-")
+        year_text, sep, month_text = label.strip().partition("-")
+        if not sep or not year_text.isdigit() or not month_text.isdigit():
+            raise ValueError(f"snapshot label must look like YYYY-MM, got {label!r}")
         return cls(int(year_text), int(month_text))
 
     def __str__(self) -> str:
         return self.label
+
+
+def ordered_snapshots(labels: "Iterable[str]") -> tuple[Snapshot, ...]:
+    """Parse ``YYYY-MM`` labels into a sorted, deduplicated snapshot tuple.
+
+    This is the one place label strings become a timeline: the CLI, the
+    file-dataset manifest reader, and the serve watcher all order their
+    snapshots through it, so an incremental ingest can never disagree
+    with a batch run about what "the corpus's snapshots" means.
+    """
+    return tuple(sorted({Snapshot.parse(label) for label in labels}))
 
 
 def snapshot_range(start: Snapshot, end: Snapshot, step_months: int = 3) -> Iterator[Snapshot]:

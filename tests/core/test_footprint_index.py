@@ -1,0 +1,261 @@
+"""The persistent footprint index: adapter, durable store, and parity.
+
+The tentpole property: every analysis answer is **bit-identical** no
+matter which backend produced it —
+
+(a) the in-memory ``PipelineResult`` (the batch path, unchanged),
+(b) a ``DurableFootprintIndex`` built cold from the same outcomes in
+    snapshot order, and
+(c) a ``DurableFootprintIndex`` built *incrementally* with the outcomes
+    arriving in shuffled order, committing after every fold.
+
+Case (c) is the serve daemon's life: snapshots land whenever corpora are
+published, yet the §6.2 Netflix restoration is an ordered fold, so the
+index must recompute it over the whole timeline at commit rather than
+accumulate it in arrival order.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import build_table3
+from repro.analysis.growth import (
+    covid_slowdown,
+    ip_count_series,
+    quarterly_additions,
+    top4_effective_counts,
+    top4_growth,
+)
+from repro.analysis.overlap import (
+    newcomer_fractions,
+    persistence_distribution,
+    stable_host_distribution,
+    top4_multiplicity,
+    top4_share_of_all_hosts,
+)
+from repro.core import restore_netflix
+from repro.core.footprint import PipelineResult
+from repro.core.footprint_index import (
+    INDEX_FORMAT,
+    DurableFootprintIndex,
+    FootprintIndex,
+    IndexView,
+    ResultIndex,
+    index_of,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes(pipeline, pipeline_result):
+    """One pure per-snapshot outcome per snapshot (the fold inputs)."""
+    return [pipeline.run_snapshot(s) for s in pipeline_result.snapshots]
+
+
+@pytest.fixture(scope="module")
+def cold_index(tmp_path_factory, pipeline_result, outcomes):
+    """Backend (b): folded in snapshot order, committed once."""
+    index = DurableFootprintIndex(
+        tmp_path_factory.mktemp("cold"), corpus=pipeline_result.corpus
+    )
+    for number, outcome in enumerate(outcomes):
+        index.fold(outcome, f"token-{number}")
+    index.commit()
+    return index
+
+
+@pytest.fixture(scope="module")
+def shuffled_index(tmp_path_factory, pipeline_result, outcomes):
+    """Backend (c): shuffled arrival, a commit after every fold — the
+    daemon's incremental life, compressed."""
+    index = DurableFootprintIndex(
+        tmp_path_factory.mktemp("shuffled"), corpus=pipeline_result.corpus
+    )
+    arrival = list(enumerate(outcomes))
+    random.Random(20210831).shuffle(arrival)
+    for number, outcome in arrival:
+        index.fold(outcome, f"token-{number}")
+        index.commit()
+    return index
+
+
+@pytest.fixture(scope="module")
+def backends(pipeline_result, cold_index, shuffled_index):
+    """The three query backends plus a cold *reload* of the durable one."""
+    return {
+        "adapter": ResultIndex(pipeline_result),
+        "cold": cold_index,
+        "shuffled-incremental": shuffled_index,
+        "reloaded": DurableFootprintIndex(shuffled_index.state_dir),
+    }
+
+
+def assert_footprints_identical(result, index):
+    """Field-by-field equality of every footprint snapshot."""
+    assert index.corpus == result.corpus
+    assert index.snapshots == result.snapshots
+    for snapshot in result.snapshots:
+        assert index.at(snapshot) == result.at(snapshot), snapshot
+
+
+class TestThreeWayParity:
+    def test_timelines_and_footprints_match(self, pipeline_result, backends):
+        for name, backend in backends.items():
+            assert_footprints_identical(pipeline_result, backend)
+
+    def test_query_surface_matches(self, pipeline_result, backends):
+        last = pipeline_result.snapshots[-1]
+        first = pipeline_result.snapshots[0]
+        for backend in backends.values():
+            assert backend.hypergiants() == pipeline_result.hypergiants()
+            assert backend.hypergiants("candidates") == pipeline_result.hypergiants(
+                "candidates"
+            )
+            for hg in pipeline_result.hypergiants():
+                assert backend.series(hg) == pipeline_result.series(hg)
+                assert backend.effective_footprint(
+                    hg, last
+                ) == pipeline_result.effective_footprint(hg, last)
+                assert backend.diff(hg, first, last) == pipeline_result.diff(
+                    hg, first, last
+                )
+            for metric in ("with_expired", "with_expired_nontls"):
+                assert backend.series("netflix", metric) == pipeline_result.series(
+                    "netflix", metric
+                )
+
+    def test_every_ported_analysis_function_is_bit_identical(
+        self, pipeline_result, backends
+    ):
+        """The satellite property: analysis functions only see the
+        ``FootprintIndex`` surface, so each must answer identically on
+        all backends."""
+        last = pipeline_result.snapshots[-1]
+        functions = [
+            lambda r: [row.format() for row in build_table3(r)],
+            lambda r: restore_netflix(r),
+            lambda r: ip_count_series(r),
+            lambda r: top4_growth(r),
+            lambda r: top4_effective_counts(r, last),
+            lambda r: quarterly_additions(r, "google"),
+            lambda r: covid_slowdown(r, "google"),
+            lambda r: top4_multiplicity(r, last),
+            lambda r: top4_share_of_all_hosts(r, last),
+            lambda r: stable_host_distribution(r),
+            lambda r: newcomer_fractions(r),
+            lambda r: persistence_distribution(r, 0.5),
+        ]
+        for number, function in enumerate(functions):
+            baseline = function(pipeline_result)
+            for name, backend in backends.items():
+                assert function(backend) == baseline, (number, name)
+
+
+class TestAdapterAndCoercion:
+    def test_result_is_a_virtual_index(self, pipeline_result):
+        assert isinstance(pipeline_result, FootprintIndex)
+        assert index_of(pipeline_result) is pipeline_result
+
+    def test_adapter_delegates(self, pipeline_result):
+        adapter = ResultIndex(pipeline_result)
+        assert isinstance(adapter, FootprintIndex)
+        assert adapter.corpus == pipeline_result.corpus
+        assert adapter.at(pipeline_result.snapshots[0]) == pipeline_result.at(
+            pipeline_result.snapshots[0]
+        )
+
+    def test_index_of_rejects_non_indexes(self):
+        with pytest.raises(TypeError, match="FootprintIndex"):
+            index_of({"not": "an index"})
+
+
+class TestDurableMechanics:
+    def test_new_index_requires_a_corpus(self, tmp_path):
+        with pytest.raises(ValueError, match="corpus"):
+            DurableFootprintIndex(tmp_path / "empty")
+
+    def test_reload_rejects_corpus_mismatch(self, cold_index):
+        with pytest.raises(ValueError, match="corpus"):
+            DurableFootprintIndex(cold_index.state_dir, corpus="censys")
+
+    def test_tokens_survive_reload(self, cold_index, pipeline_result):
+        reloaded = DurableFootprintIndex(cold_index.state_dir)
+        assert reloaded.tokens() == cold_index.tokens()
+        assert reloaded.token(pipeline_result.snapshots[0]) == "token-0"
+        assert reloaded.token(None) is None
+
+    def test_view_is_immutable_across_commits(
+        self, tmp_path, pipeline_result, outcomes
+    ):
+        """A reader's grabbed view must not change under a later commit."""
+        index = DurableFootprintIndex(tmp_path / "idx", corpus=pipeline_result.corpus)
+        index.fold(outcomes[0], "t0")
+        index.commit()
+        before = index.view()
+        assert isinstance(before, IndexView)
+        timeline_before = before.snapshots
+        index.fold(outcomes[1], "t1")
+        index.commit()
+        assert before.snapshots == timeline_before
+        assert len(index.view().snapshots) == 2
+
+    def test_remove_drops_snapshot_and_payload(
+        self, tmp_path, pipeline_result, outcomes
+    ):
+        index = DurableFootprintIndex(tmp_path / "idx", corpus=pipeline_result.corpus)
+        index.fold(outcomes[0], "t0")
+        index.fold(outcomes[1], "t1")
+        index.commit()
+        victim = outcomes[0].footprint.snapshot
+        assert index.remove(victim) is True
+        assert index.remove(victim) is False
+        index.commit()
+        assert victim not in index.snapshots
+        reloaded = DurableFootprintIndex(index.state_dir)
+        assert victim not in reloaded.snapshots
+
+    def test_manifest_records_the_format_version(self, cold_index):
+        import json
+
+        manifest = json.loads(
+            (cold_index.state_dir / DurableFootprintIndex.MANIFEST).read_text()
+        )
+        assert manifest["format"] == INDEX_FORMAT
+
+    def test_restoration_is_recomputed_not_persisted(
+        self, tmp_path, pipeline_result, outcomes
+    ):
+        """``netflix_restored_ases`` never hits disk — it is an ordered
+        cross-snapshot fold, so a partially-grown index must recompute it
+        from scratch at every commit to stay order-independent."""
+        import json
+
+        index = DurableFootprintIndex(tmp_path / "idx", corpus=pipeline_result.corpus)
+        for number, outcome in enumerate(outcomes):
+            index.fold(outcome, f"t{number}")
+        index.commit()
+        for path in (index.state_dir / DurableFootprintIndex.SNAPSHOT_DIR).iterdir():
+            payload = json.loads(path.read_text())
+            assert "netflix_restored_ases" not in payload["footprint"]
+
+
+class TestAnalysisLayerDecoupling:
+    def test_no_analysis_module_imports_result_internals(self):
+        """The port's invariant: analysis code sees only the index
+        surface — no ``PipelineResult`` imports, no ``by_snapshot``
+        pokes, no ``repro.core.footprint`` imports at all."""
+        from pathlib import Path
+
+        import repro.analysis
+
+        package = Path(repro.analysis.__file__).parent
+        for path in sorted(package.glob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            assert "PipelineResult" not in text, path.name
+            assert "by_snapshot" not in text, path.name
+            assert "from repro.core.footprint import" not in text, path.name
+
+    def test_pipeline_result_still_reports(self, pipeline_result):
+        assert isinstance(pipeline_result, PipelineResult)
+        report = pipeline_result.report()
+        assert report["snapshots"]

@@ -204,15 +204,11 @@ class TestCachePlumbing:
             )
 
 
-class TestDeprecatedSurface:
-    """The pre-DataSource API still works but warns."""
+class TestDeprecatedSurfaceRemoved:
+    """The pre-DataSource shims are gone: ``source`` is the only spelling."""
 
-    def test_for_world_warns_and_still_builds(self, small_world):
-        with pytest.warns(DeprecationWarning, match="for_world is deprecated"):
-            pipeline = OffnetPipeline.for_world(small_world, jobs=2)
-        assert pipeline.options.jobs == 2
-
-    def test_world_property_warns_and_aliases_source(self, small_world):
+    def test_for_world_and_world_are_gone(self, small_world):
+        assert not hasattr(OffnetPipeline, "for_world")
         pipeline = OffnetPipeline(small_world)
-        with pytest.warns(DeprecationWarning, match="world is deprecated"):
-            assert pipeline.world is pipeline.source
+        assert not hasattr(pipeline, "world")
+        assert pipeline.source is small_world

@@ -306,19 +306,9 @@ class TestColumnarRobustness:
         assert "name_table" in CHAIN_SECTION_BLOCKS
 
 
-class TestDeprecatedEntryPoints:
-    def test_old_corpus_helpers_warn_and_delegate(self, both_formats, tmp_path):
-        from repro.scan.corpus import load_snapshot, save_snapshot, stream_snapshot
+class TestDeprecatedEntryPointsRemoved:
+    def test_old_corpus_helpers_are_gone(self):
+        import repro.scan.corpus as corpus_module
 
-        original, _, _ = both_formats
-        path = tmp_path / "legacy.jsonl"
-        with pytest.warns(DeprecationWarning):
-            save_snapshot(original, path)
-        with pytest.warns(DeprecationWarning):
-            loaded = load_snapshot(path)
-        assert loaded.snapshot == original.snapshot
-        with pytest.warns(DeprecationWarning):
-            streamed = stream_snapshot(path)
-        assert list(streamed.store.iter_tls_rows()) == list(
-            original.store.iter_tls_rows()
-        )
+        for name in ("save_snapshot", "load_snapshot", "stream_snapshot"):
+            assert not hasattr(corpus_module, name)

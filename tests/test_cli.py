@@ -43,6 +43,43 @@ class TestParser:
         )
         assert args.header_learning_snapshot == "2020-10"
 
+    def test_serve_requires_dir_and_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--dir", "ds"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--dir", "ds", "--state-dir", "state"]
+        )
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.poll_interval == pytest.approx(2.0)
+        assert not args.once
+        assert args.on_error == "strict"
+
+    def test_query_defaults_and_from_to_destinations(self):
+        args = build_parser().parse_args(["query", "--state-dir", "state"])
+        assert args.endpoint == "status"
+        assert args.url is None
+        args = build_parser().parse_args([
+            "query", "--url", "http://127.0.0.1:8713", "--endpoint", "diff",
+            "--hg", "google", "--from", "2019-10", "--to", "2021-01",
+        ])
+        assert args.from_snapshot == "2019-10"
+        assert args.to_snapshot == "2021-01"
+
+    def test_query_rejects_unknown_endpoint_and_by(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--state-dir", "s", "--endpoint", "bogus"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--state-dir", "s", "--endpoint", "slice", "--by", "cone"]
+            )
+
 
 @pytest.mark.parametrize(
     "argv",
@@ -97,3 +134,30 @@ def test_export_and_run_files(tmp_path, capsys):
 def test_run_with_jobs(capsys):
     assert main(["run", "--scale", "0.012", "--jobs", "2"]) == 0
     assert "google" in capsys.readouterr().out
+
+
+def test_serve_once_is_a_delta_pass(tmp_path, capsys):
+    directory, state = tmp_path / "ds", tmp_path / "state"
+    assert main([
+        "--scale", "0.012", "export", "--dir", str(directory),
+        "--snapshot", "2020-10", "--snapshot", "2021-04",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "serve", "--dir", str(directory), "--state-dir", str(state), "--once",
+    ]) == 0
+    assert "ingested 2" in capsys.readouterr().out
+    # The second pass finds the same content fingerprints and skips both.
+    assert main([
+        "serve", "--dir", str(directory), "--state-dir", str(state), "--once",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ingested 0" in out and "skipped 2 unchanged" in out
+
+
+def test_query_needs_an_address(tmp_path, capsys):
+    assert main(["query", "--endpoint", "status"]) == 2
+    assert "--url or --state-dir" in capsys.readouterr().out
+    # A state dir without a running daemon has no endpoint.json yet.
+    assert main(["query", "--state-dir", str(tmp_path / "state")]) == 1
+    assert "endpoint.json" in capsys.readouterr().out

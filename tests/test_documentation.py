@@ -152,6 +152,14 @@ class TestCliDocumentation:
             + "\n  ".join(missing)
         )
 
+    def test_serve_and_query_flags_are_under_the_contract(self):
+        """The serve/query subparsers must be reachable from the walk in
+        :func:`_option_strings` — otherwise the doc contract above would
+        silently stop covering the serve layer's flags."""
+        flags = _option_strings(build_parser())
+        assert {"--state-dir", "--poll-interval", "--once"} <= flags
+        assert {"--endpoint", "--from", "--to", "--by", "--asn"} <= flags
+
     @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
     def test_documented_commands_parse(self, path):
         failures = []
