@@ -1,8 +1,29 @@
-"""§8 "Hide-and-Seek" — how each evasion strategy blinds the methodology.
+"""§8 "Hide-and-Seek" — evasion strategies vs the confirmation signals.
 
 The paper sketches how a hypergiant could hide its off-nets; this bench
 implements each strategy for one HG (Facebook) in an otherwise identical
 world and measures the inferred footprint.
+
+Two suites live here:
+
+* :func:`test_hide_and_seek` — the paper's §8 strategies against the
+  header-only methodology (certificate candidates survive or die with
+  the certificate games; header anonymization kills confirmation).
+* :func:`test_signal_evasion_suite` — the *adversarial* strategies the
+  multi-signal confirm engine exists for: spoofed banners, stripped
+  HTTP, middlebox-rewritten headers and QUIC-only endpoints all blind
+  the header signal, but the TLS stack and certificate dNSNames still
+  identify hypergiant metal.  The suite runs every adversarial world
+  under the header-only baseline and under
+  ``--signals header,tls-stack,cert-names --confirm-policy require-2``,
+  checks both against the world's ground truth (zero false
+  confirmations allowed), and publishes the comparison as
+  ``perf_signals_summary.json`` (kind ``signals-evasion``) for the CI
+  gate (``tools/check_perf_gate.py --expect-signals``).
+* :func:`test_default_signal_parity_matrix` — the refactor's no-regression
+  bar: with default signals/policy the funnel + ingest report sections
+  stay bit-identical across jobs=1/2 × jsonl/rcc × cache off/cold/warm,
+  and the multi-signal configuration itself is executor-deterministic.
 
 Expected shape: *strip-organization* and *unique-domains* zero out the
 certificate candidates; *null-default-certificate* removes the servers from
@@ -11,9 +32,12 @@ confirmation — matching the paper's assessment that the method's core
 survives as long as HGs must prove their identity in certificates.
 """
 
-from benchmarks.conftest import BENCH_SEED, write_output
+import json
+
+from benchmarks.bench_pipeline_perf import write_summary
+from benchmarks.conftest import BENCH_SEED, OUTPUT_DIR, write_output
 from repro.analysis import render_table
-from repro.core import OffnetPipeline
+from repro.core import OffnetPipeline, PipelineOptions
 from repro.timeline import STUDY_SNAPSHOTS
 from repro.world import WorldConfig, build_world
 
@@ -28,15 +52,34 @@ STRATEGIES = (
     ("anonymize-headers",),
 )
 
+#: The header-blinding strategies the multi-signal engine must survive:
+#: every one leaves certificates (and therefore candidates) intact but
+#: makes the §4.5 header check useless.
+ADVERSARIAL_STRATEGIES = (
+    "spoof-headers",
+    "strip-headers",
+    "middlebox-rewrite",
+    "quic-only",
+)
+
+#: The multi-signal configuration the evasion gate exercises.
+MULTI_SIGNALS = ("header", "tls-stack", "cert-names")
+MULTI_POLICY = "require-2"
+
+
+def _evasion_world(strategies):
+    return build_world(
+        config=WorldConfig(
+            seed=BENCH_SEED,
+            scale=_SCALE,
+            evading_hypergiant="facebook" if strategies else "",
+            evasion_strategies=tuple(strategies),
+        )
+    )
+
 
 def _facebook_counts(strategies):
-    config = WorldConfig(
-        seed=BENCH_SEED,
-        scale=_SCALE,
-        evading_hypergiant="facebook" if strategies else "",
-        evasion_strategies=strategies,
-    )
-    world = build_world(config=config)
+    world = _evasion_world(strategies)
     result = OffnetPipeline(world).run(snapshots=(END,))
     return (
         result.as_count("facebook", END, "candidates"),
@@ -78,3 +121,186 @@ def test_hide_and_seek(benchmark):
     anon_candidates, anon_confirmed = by_label["anonymize-headers"]
     assert anon_candidates > base_candidates * 0.7  # certs still visible
     assert anon_confirmed == 0
+
+
+# -- the multi-signal evasion suite -----------------------------------------
+
+
+def _false_confirmations(result, world) -> int:
+    """Confirmed ASes with no ground-truth presence of that HG — across
+    every hypergiant in the run, not just the evader.
+
+    Ground truth is hardware deployment *plus* service presence:
+    Cloudflare's "off-nets" are customer back-ends by definition (§6.1),
+    so its deployment lives in :meth:`true_service_ases`, not
+    :meth:`true_offnet_ases`."""
+    footprint = result.at(END)
+    false_total = 0
+    for hypergiant, confirmed in footprint.confirmed_ases.items():
+        truth = world.true_offnet_ases(
+            hypergiant, END
+        ) | world.true_service_ases(hypergiant, END)
+        false_total += len(confirmed - truth)
+    return false_total
+
+
+def _evasion_cell(world, truth, options=None):
+    """One (world, pipeline-options) measurement for the suite."""
+    pipeline = OffnetPipeline(world, options) if options else OffnetPipeline(world)
+    result = pipeline.run(snapshots=(END,))
+    confirmed = result.footprint_ases("facebook", END, "confirmed")
+    return {
+        "confirmed": len(confirmed),
+        "recall": round(len(confirmed & truth) / len(truth), 4) if truth else 0.0,
+        "false_confirmations": _false_confirmations(result, world),
+    }
+
+
+def test_signal_evasion_suite():
+    """Adversarial worlds: the header-only baseline must be fooled, the
+    multi-signal path must not be, and neither may confirm an AS the
+    world's ground truth does not contain."""
+    multi_options = PipelineOptions(
+        signals=MULTI_SIGNALS, confirm_policy=MULTI_POLICY
+    )
+    scenarios: dict[str, dict] = {}
+    for strategy in ("",) + ADVERSARIAL_STRATEGIES:
+        label = strategy or "(no evasion)"
+        world = _evasion_world((strategy,) if strategy else ())
+        truth = world.true_offnet_ases("facebook", END)
+        scenarios[label] = {
+            "adversarial": bool(strategy),
+            "truth_ases": len(truth),
+            "baseline": _evasion_cell(world, truth),
+            "multi": _evasion_cell(world, truth, multi_options),
+        }
+        del world
+
+    rows = [
+        (
+            label,
+            cell["truth_ases"],
+            cell["baseline"]["confirmed"],
+            cell["multi"]["confirmed"],
+            f"{cell['baseline']['recall']:.0%}",
+            f"{cell['multi']['recall']:.0%}",
+        )
+        for label, cell in scenarios.items()
+    ]
+    write_output(
+        "signal_evasion",
+        render_table(
+            ["strategy", "true ASes", "header-only", "multi-signal",
+             "recall (hdr)", "recall (multi)"],
+            rows,
+            title="adversarial evasion — header-only vs "
+            f"{','.join(MULTI_SIGNALS)} under {MULTI_POLICY}",
+        ),
+    )
+    write_summary(
+        "perf_signals_summary",
+        {
+            "kind": "signals-evasion",
+            "signals": list(MULTI_SIGNALS),
+            "policy": MULTI_POLICY,
+            "scenarios": scenarios,
+        },
+    )
+
+    control = scenarios["(no evasion)"]
+    # No evasion: the multi-signal path must not lose genuine off-nets
+    # relative to the paper's header-only methodology.
+    assert control["multi"]["confirmed"] >= control["baseline"]["confirmed"]
+    assert control["baseline"]["confirmed"] > 5
+    for label, cell in scenarios.items():
+        # The hard floor everywhere: nothing may confirm outside ground
+        # truth, under either configuration.
+        assert cell["baseline"]["false_confirmations"] == 0, label
+        assert cell["multi"]["false_confirmations"] == 0, label
+        if not cell["adversarial"]:
+            continue
+        # Each adversarial strategy must blind the header-only baseline...
+        assert cell["baseline"]["confirmed"] < cell["truth_ases"], label
+        # ...while the multi-signal engine recovers (nearly) the control
+        # footprint: TLS stacks and certificate dNSNames are below the
+        # layer these strategies perturb.
+        assert cell["multi"]["confirmed"] > cell["baseline"]["confirmed"], label
+        assert (
+            cell["multi"]["confirmed"] >= control["multi"]["confirmed"] * 0.9
+        ), label
+
+
+def test_default_signal_parity_matrix(tmp_path):
+    """The refactor's no-regression bar: with default signals/policy the
+    funnel + ingest sections are bit-identical across executors, corpus
+    formats and cache states; the multi-signal configuration is held to
+    the same executor-parity bar (including its booked verdict counts)."""
+    from repro.datasets import FileDataset, export_dataset
+
+    world = build_world(seed=BENCH_SEED, scale=_SCALE)
+    jsonl_dir = tmp_path / "ds-jsonl"
+    columnar_dir = tmp_path / "ds-columnar"
+    export_dataset(world, jsonl_dir, corpus_format="jsonl")
+    export_dataset(world, columnar_dir, corpus_format="columnar")
+    del world
+
+    def funnel_ingest(directory, options):
+        report = OffnetPipeline(FileDataset(directory), options).run().report()
+        return report["funnel"], report["ingest"]
+
+    parity: dict[str, bool] = {}
+    reference = None
+    for label, options_for in (
+        ("jobs=1", lambda d: PipelineOptions(jobs=1)),
+        ("jobs=2", lambda d: PipelineOptions(jobs=2)),
+        ("cache=cold", lambda d: PipelineOptions(cache_dir=str(tmp_path / f"c-{d.name}"))),
+        ("cache=warm", lambda d: PipelineOptions(cache_dir=str(tmp_path / f"c-{d.name}"))),
+    ):
+        views = {
+            directory.name: funnel_ingest(directory, options_for(directory))
+            for directory in (jsonl_dir, columnar_dir)
+        }
+        if reference is None:
+            reference = views["ds-jsonl"]
+        parity[label] = (
+            views["ds-jsonl"] == views["ds-columnar"] == reference
+        )
+    assert all(parity.values()), f"default-config parity broke: {parity}"
+
+    # Multi-signal executor parity: funnel AND the signals section (the
+    # per-signal verdict counters folded at the merge barrier) must be
+    # identical between jobs=1 and jobs=2.
+    multi = PipelineOptions(
+        signals=MULTI_SIGNALS, confirm_policy=MULTI_POLICY, jobs=1
+    )
+    multi2 = PipelineOptions(
+        signals=MULTI_SIGNALS, confirm_policy=MULTI_POLICY, jobs=2
+    )
+    report1 = OffnetPipeline(FileDataset(jsonl_dir), multi).run().report()
+    report2 = OffnetPipeline(FileDataset(jsonl_dir), multi2).run().report()
+    signals_parity = (
+        report1["funnel"] == report2["funnel"]
+        and report1["signals"] == report2["signals"]
+    )
+    parity["signals-jobs=1/2"] = signals_parity
+    assert signals_parity, "multi-signal run diverged across executors"
+
+    # Fold the matrix into the tracked summary so the CI gate sees it.
+    summary_file = OUTPUT_DIR / "perf_signals_summary.json"
+    if summary_file.exists():
+        summary = json.loads(summary_file.read_text())
+    else:  # matrix ran before (or without) the evasion suite
+        summary = {
+            "kind": "signals-evasion",
+            "signals": list(MULTI_SIGNALS),
+            "policy": MULTI_POLICY,
+            "scenarios": {},
+        }
+    summary["parity"] = parity
+    write_summary("perf_signals_summary", summary)
+    write_output(
+        "signal_parity",
+        "default-signal parity matrix (funnel + ingest bit-identical):\n"
+        + "\n".join(f"  {label}: {'ok' if ok else 'DIVERGED'}"
+                    for label, ok in parity.items()),
+    )

@@ -13,9 +13,20 @@ Commands::
     python -m repro serve      --dir out/ --state-dir idx/      # query daemon
     python -m repro query      --state-dir idx/ --endpoint hypergiants
 
-``dump`` and ``export`` take ``--format {jsonl,columnar}`` to pick the
-corpus codec (:mod:`repro.datasets.formats`); readers autodetect the
-format from file content, so ``run --dir`` needs no flag either way.
+``dump`` and ``export`` take ``--format`` to pick the corpus codec; the
+accepted names come from the codec registry
+(:func:`repro.datasets.formats.format_names`), so a newly registered
+format shows up in ``--help`` without touching the CLI.  Readers
+autodetect the format from file content, so ``run --dir`` needs no flag
+either way.
+
+``run`` and ``serve`` take the §4.5 confirmation configuration:
+``--signals`` names the confirmation signals to run, in priority order,
+from the signal registry (:func:`repro.core.signals.signal_names`), and
+``--confirm-policy`` picks how their verdicts fold
+(``paper-default``/``require-<k>``/``priority`` —
+:mod:`repro.core.signals.policy`).  The defaults reproduce the paper's
+header-only confirmation bit for bit.
 
 Every world-backed command builds the same deterministic world from
 ``--seed``/``--scale``; ``run --dir`` drives the identical pipeline from an
@@ -69,6 +80,7 @@ from typing import Sequence
 from repro.analysis import build_table3, render_table
 from repro.analysis.coverage import country_coverage, worldwide_coverage
 from repro.core import OffnetPipeline, PipelineOptions, restore_netflix
+from repro.core.signals import policy_names, signal_names
 from repro.hypergiants.profiles import TOP4
 from repro.datasets.formats import format_names, get_format
 from repro.robustness import CorpusParseError
@@ -109,9 +121,32 @@ def _add_globals(parser: argparse.ArgumentParser, top_level: bool = False) -> No
     )
 
 
+def _add_confirm_arguments(parser: argparse.ArgumentParser) -> None:
+    """The §4.5 confirmation flags shared by ``run`` and ``serve``."""
+    parser.add_argument(
+        "--signals",
+        default=None,
+        metavar="A,B",
+        help="comma-separated confirmation signals for the §4.5 confirm "
+        f"stage, in priority order (registered: {', '.join(signal_names())}; "
+        "default: header — the paper's methodology); changing the set "
+        "re-keys the cached confirm artifacts",
+    )
+    parser.add_argument(
+        "--confirm-policy",
+        default=None,
+        metavar="POLICY",
+        help="how signal verdicts fold into a confirmation "
+        f"({', '.join(policy_names())}; default: paper-default — the "
+        "header signal decides, bit-identical to the pre-framework "
+        "behaviour)",
+    )
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser, dir_required: bool) -> None:
     """The shared ``run``/``run-files`` argument set."""
     _add_globals(parser)
+    _add_confirm_arguments(parser)
     parser.add_argument(
         "--dir",
         required=dir_required,
@@ -232,7 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         default="jsonl",
         choices=format_names(),
-        help="corpus codec to write (default: jsonl)",
+        help="corpus codec to write, from the format registry "
+        f"(registered: {', '.join(format_names())}; default: jsonl)",
     )
 
     export = sub.add_parser(
@@ -250,7 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         default="jsonl",
         choices=format_names(),
-        help="corpus codec for the exported snapshot files (default: jsonl)",
+        help="corpus codec for the exported snapshot files, from the "
+        f"format registry (registered: {', '.join(format_names())}; "
+        "default: jsonl)",
     )
 
     run_files = sub.add_parser(
@@ -264,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         "current, and answer HTTP queries",
     )
     _add_globals(serve)
+    _add_confirm_arguments(serve)
     serve.add_argument(
         "--dir", required=True, help="exported dataset directory to watch"
     )
@@ -385,6 +424,21 @@ def _world(args: argparse.Namespace):
     return build_world(config=WorldConfig(seed=args.seed, scale=args.scale))
 
 
+def _confirm_overrides(args: argparse.Namespace) -> dict:
+    """The §4.5 PipelineOptions overrides ``--signals``/``--confirm-policy``
+    asked for (empty when neither was given, keeping the dataclass
+    defaults in charge).  Validation stays in PipelineOptions, the single
+    authority on signal names and policy specs."""
+    overrides: dict = {}
+    if args.signals:
+        overrides["signals"] = tuple(
+            name.strip() for name in args.signals.split(",") if name.strip()
+        )
+    if args.confirm_policy:
+        overrides["confirm_policy"] = args.confirm_policy
+    return overrides
+
+
 def _dataset_context(directory: str, corpus: str | None):
     """Resolve a file dataset the way every file-backed command does:
     open it, pick the corpus (first manifest entry unless named), and
@@ -426,6 +480,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "cache_dir": args.cache_dir,
         "on_error": args.on_error,
         "quarantine_dir": args.quarantine_dir,
+        **_confirm_overrides(args),
     }
     if directory:
         source, corpus, fallback = _dataset_context(directory, args.corpus)
@@ -439,9 +494,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         learning = Snapshot.parse(args.header_learning_snapshot)
     else:
         learning = fallback
-    options = PipelineOptions(
-        corpus=corpus, header_learning_snapshot=learning, **overrides
-    )
+    try:
+        options = PipelineOptions(
+            corpus=corpus, header_learning_snapshot=learning, **overrides
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
     pipeline = OffnetPipeline(source, options)
     if args.stages:
         return _run_stages_only(pipeline, args.stages)
@@ -672,13 +731,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.header_learning_snapshot
         else fallback
     )
-    options = PipelineOptions(
-        corpus=corpus,
-        header_learning_snapshot=learning,
-        jobs=args.jobs,
-        on_error=args.on_error,
-        quarantine_dir=args.quarantine_dir,
-    )
+    try:
+        options = PipelineOptions(
+            corpus=corpus,
+            header_learning_snapshot=learning,
+            jobs=args.jobs,
+            on_error=args.on_error,
+            quarantine_dir=args.quarantine_dir,
+            **_confirm_overrides(args),
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
     daemon = ServeDaemon(
         args.dir,
         args.state_dir,

@@ -10,6 +10,15 @@ fingerprint, with two paper-specific refinements:
   the candidate HG *and* a third-party delivery CDN (Akamai, Cloudflare,
   ...), the edge CDN is taken to be the server operator and the candidate
   is rejected — unless the candidate *is* that CDN.
+
+Since the multi-signal refactor this module is a façade: the matching
+logic lives in :mod:`repro.core.signals.header` (the ``header`` signal),
+and :func:`confirm_candidates` runs the signal engine with the
+``paper-default`` combine policy over the header signal alone — the
+configuration that reproduces the original behaviour bit for bit.
+Callers that want more channels (TLS stacks, certificate corroboration)
+or a different fold use :func:`repro.core.signals.evaluate_candidates`
+directly, as the confirm stage does.
 """
 
 from __future__ import annotations
@@ -17,21 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.candidates import Candidate
-from repro.hypergiants.profiles import HeaderRule, STANDARD_HEADERS
+from repro.core.signals.engine import evaluate_candidates
+from repro.core.signals.header import EDGE_CDNS, HeaderSignal, is_default_nginx
+from repro.core.signals.policy import PaperDefaultPolicy
+from repro.hypergiants.profiles import HeaderRule
 from repro.obs.metrics import MetricsRegistry
-from repro.scan.records import HTTPRecord, ScanSnapshot
+from repro.scan.records import ScanSnapshot
 
 __all__ = ["EDGE_CDNS", "ConfirmedOffnet", "confirm_candidates", "is_default_nginx"]
-
-#: CDNs that operate edges on behalf of content owners (§7's conflict list).
-EDGE_CDNS: tuple[str, ...] = (
-    "akamai",
-    "cloudflare",
-    "fastly",
-    "verizon",
-    "cdnetworks",
-    "limelight",
-)
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,26 +43,15 @@ class ConfirmedOffnet:
     candidate: Candidate
     #: Which port(s) produced the match: "http", "https", or "both".
     matched_on: str
+    #: Structured per-port evidence from the header signal
+    #: (``https_rule`` / ``http_rule``): a ``both`` match that used
+    #: different rules on the two ports keeps both identities instead
+    #: of conflating them behind one ``matched_on`` label.
+    evidence: tuple[tuple[str, str], ...] = ()
 
-
-def is_default_nginx(headers: dict[str, str]) -> bool:
-    """A stock nginx response: ``Server: nginx`` and nothing non-standard."""
-    server = None
-    for name, value in headers.items():
-        lowered = name.lower()
-        if lowered == "server":
-            server = value
-        elif lowered not in STANDARD_HEADERS:
-            return False
-    return server is not None and server.lower().startswith("nginx")
-
-
-def _matches(rules: tuple[HeaderRule, ...], headers: dict[str, str]) -> bool:
-    return any(rule.matches_any(headers) for rule in rules)
-
-
-def _record_headers(record: HTTPRecord | None) -> dict[str, str] | None:
-    return None if record is None else record.header_dict()
+    def evidence_dict(self) -> dict[str, str]:
+        """The evidence pairs as a dict (keys are unique)."""
+        return dict(self.evidence)
 
 
 def confirm_candidates(
@@ -84,59 +75,25 @@ def confirm_candidates(
     ``confirm_passed_total{hg,mode,matched_on}`` survivors by which
     port(s) produced the match.
     """
-    if mode not in ("or", "and"):
-        raise ValueError(f"mode must be 'or' or 'and', not {mode!r}")
-    own_rules = rules.get(hypergiant, ())
-    confirmed: list[ConfirmedOffnet] = []
-    if registry is not None:
-        registry.counter("confirm_checked_total", hg=hypergiant, mode=mode).inc(
-            len(candidates)
+    decisions = evaluate_candidates(
+        hypergiant,
+        candidates,
+        scan,
+        rules,
+        signals=(HeaderSignal(),),
+        policy=PaperDefaultPolicy(),
+        mode=mode,
+        netflix_nginx_rule=netflix_nginx_rule,
+        edge_priority=edge_priority,
+        registry=registry,
+        book_signals=False,
+    )
+    return [
+        ConfirmedOffnet(
+            candidate=decision.candidate,
+            matched_on=decision.matched_on,
+            evidence=decision.verdicts[0].evidence,
         )
-    for candidate in candidates:
-        https_headers = _record_headers(scan.http_for(candidate.ip, 443))
-        http_headers = _record_headers(scan.http_for(candidate.ip, 80))
-
-        https_match = _port_match(
-            hypergiant, own_rules, https_headers, rules, netflix_nginx_rule, edge_priority
-        )
-        http_match = _port_match(
-            hypergiant, own_rules, http_headers, rules, netflix_nginx_rule, edge_priority
-        )
-
-        if mode == "or":
-            ok = https_match or http_match
-        else:
-            ok = https_match and http_match
-        if not ok:
-            continue
-        matched_on = "both" if (https_match and http_match) else (
-            "https" if https_match else "http"
-        )
-        if registry is not None:
-            registry.counter(
-                "confirm_passed_total", hg=hypergiant, mode=mode, matched_on=matched_on
-            ).inc()
-        confirmed.append(ConfirmedOffnet(candidate=candidate, matched_on=matched_on))
-    return confirmed
-
-
-def _port_match(
-    hypergiant: str,
-    own_rules: tuple[HeaderRule, ...],
-    headers: dict[str, str] | None,
-    all_rules: dict[str, tuple[HeaderRule, ...]],
-    netflix_nginx_rule: bool,
-    edge_priority: bool,
-) -> bool:
-    if headers is None:
-        return False
-    matched = _matches(own_rules, headers)
-    if not matched and netflix_nginx_rule and hypergiant == "netflix":
-        matched = is_default_nginx(headers)
-    if not matched:
-        return False
-    if edge_priority and hypergiant not in EDGE_CDNS:
-        for edge in EDGE_CDNS:
-            if _matches(all_rules.get(edge, ()), headers):
-                return False  # the edge CDN operates this box, not the HG
-    return True
+        for decision in decisions
+        if decision.confirmed
+    ]

@@ -46,6 +46,7 @@ from repro.core.confirm import confirm_candidates
 from repro.core.executor import SnapshotExecutor, make_executor
 from repro.core.footprint import FootprintSnapshot, PipelineResult, SnapshotOutcome
 from repro.core.header_fingerprint import learn_header_fingerprints
+from repro.core.signals import parse_policy, signal_names
 from repro.core.stages import (
     TERMINAL_STAGES,
     ArtifactCache,
@@ -110,6 +111,16 @@ class PipelineOptions:
     netflix_nginx_rule: bool = True
     #: The §7 edge-CDN conflict priority.
     edge_priority: bool = True
+    #: Which confirmation signals the §4.5 step runs (the CLI's
+    #: ``--signals``), in priority order, from the signal registry
+    #: (:func:`repro.core.signals.signal_names`).  The default runs the
+    #: header signal alone — the paper's methodology.
+    signals: tuple[str, ...] = ("header",)
+    #: How signal verdicts fold into a confirmation (the CLI's
+    #: ``--confirm-policy``): ``paper-default`` (header decides, the
+    #: original behaviour), ``require-<k>`` or ``priority`` — see
+    #: :mod:`repro.core.signals.policy`.
+    confirm_policy: str = "paper-default"
     #: §7 future work: merge the IPv6 research corpus and use dual-stack
     #: IP-to-AS lookups ("our inference approach is IP protocol-agnostic").
     include_ipv6: bool = False
@@ -155,6 +166,33 @@ class PipelineOptions:
         if self.shard_size is not None and self.shard_size < 1:
             raise ValueError(
                 f"PipelineOptions.shard_size must be >= 1, got {self.shard_size}"
+            )
+        if not isinstance(self.signals, tuple):
+            object.__setattr__(self, "signals", tuple(self.signals))
+        if not self.signals:
+            raise ValueError(
+                "PipelineOptions.signals must name at least one signal; "
+                f"registered: {', '.join(signal_names())}"
+            )
+        if len(set(self.signals)) != len(self.signals):
+            raise ValueError(
+                f"PipelineOptions.signals has duplicates: {self.signals}"
+            )
+        registered = set(signal_names())
+        for name in self.signals:
+            if name not in registered:
+                raise ValueError(
+                    f"unknown confirmation signal {name!r}; "
+                    f"registered: {', '.join(signal_names())}"
+                )
+        # Delegates policy-spec validation so the two surfaces cannot
+        # drift; paper-default folds on the header verdict, so it needs
+        # the header signal configured.
+        parse_policy(self.confirm_policy)
+        if self.confirm_policy == "paper-default" and "header" not in self.signals:
+            raise ValueError(
+                "confirm_policy='paper-default' folds on the header signal's "
+                f"verdict, but signals={self.signals} does not include it"
             )
         # Delegates mode validation (strict|lenient|repair) so the two
         # surfaces cannot drift.
@@ -666,6 +704,8 @@ class OffnetPipeline:
             "header_learning_snapshot": options.header_learning_snapshot.label,
             "netflix_nginx_rule": options.netflix_nginx_rule,
             "edge_priority": options.edge_priority,
+            "signals": list(options.signals),
+            "confirm_policy": options.confirm_policy,
             "include_ipv6": options.include_ipv6,
             "on_error": options.on_error,
         }

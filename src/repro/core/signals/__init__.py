@@ -1,0 +1,89 @@
+"""§4.5 confirmation as a pluggable multi-signal framework.
+
+The original confirmation step asked one question — "do this
+candidate's response headers match the hypergiant's fingerprint?" — and
+hard-wired its two paper refinements (the Netflix default-nginx
+acceptance, the §7 edge-CDN conflict priority) into the matcher.  That
+single channel is also the easiest one for an off-net operator to
+perturb: spoofed or stripped ``Server`` banners, middlebox header
+rewrites and QUIC-only endpoints all defeat a header-only confirmer
+without touching what the server *is*.
+
+This package generalises the step into independent **confirmation
+signals** combined by an explicit **policy**:
+
+* :class:`~repro.core.signals.base.ConfirmationSignal` — the protocol:
+  one candidate in, one :class:`~repro.core.signals.base.SignalVerdict`
+  out (``confirm`` / ``reject`` / ``abstain`` plus structured evidence);
+* :mod:`~repro.core.signals.registry` — named signal constructors
+  (``header``, ``tls-stack``, ``cert-names``) the CLI's ``--signals``
+  flag resolves against;
+* :class:`~repro.core.signals.policy.CombinePolicy` — how verdicts fold
+  into a confirmation: ``paper-default`` (the header signal decides,
+  bit-identical to the pre-framework behaviour), ``require-k`` (at
+  least *k* signals must confirm) and ``priority`` (first non-abstain
+  verdict wins, in ``--signals`` order);
+* :func:`~repro.core.signals.engine.evaluate_candidates` — the engine
+  the confirm stage runs: evaluates every signal per candidate, folds
+  the verdicts under the policy, and books both the historical funnel
+  counters and the per-signal observability counters.
+
+The framework exists for the adversarial bench
+(``benchmarks/bench_hide_and_seek.py``): evasion strategies that fool
+the header-only baseline must still be caught by a multi-signal
+configuration, with zero false confirmations against world ground
+truth.
+"""
+
+from repro.core.signals.base import (
+    ABSTAIN,
+    CONFIRM,
+    REJECT,
+    ConfirmationSignal,
+    SignalContext,
+    SignalVerdict,
+)
+from repro.core.signals.cert_names import CertNamesSignal
+from repro.core.signals.engine import SignalDecision, evaluate_candidates
+from repro.core.signals.header import EDGE_CDNS, HeaderSignal, is_default_nginx
+from repro.core.signals.policy import (
+    CombinePolicy,
+    PaperDefaultPolicy,
+    PriorityPolicy,
+    RequireKPolicy,
+    parse_policy,
+    policy_names,
+)
+from repro.core.signals.registry import (
+    build_signal,
+    build_signals,
+    register_signal,
+    signal_names,
+)
+from repro.core.signals.tls_stack import TlsStackSignal
+
+__all__ = [
+    "ABSTAIN",
+    "CONFIRM",
+    "EDGE_CDNS",
+    "REJECT",
+    "CertNamesSignal",
+    "CombinePolicy",
+    "ConfirmationSignal",
+    "HeaderSignal",
+    "PaperDefaultPolicy",
+    "PriorityPolicy",
+    "RequireKPolicy",
+    "SignalContext",
+    "SignalDecision",
+    "SignalVerdict",
+    "TlsStackSignal",
+    "build_signal",
+    "build_signals",
+    "evaluate_candidates",
+    "is_default_nginx",
+    "parse_policy",
+    "policy_names",
+    "register_signal",
+    "signal_names",
+]

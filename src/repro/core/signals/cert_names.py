@@ -1,0 +1,64 @@
+"""The cert-dNSName corroboration signal.
+
+Re-applies the §4.2 identity tests — a case-insensitive
+``Subject.Organization`` keyword match
+(:func:`repro.core.tls_fingerprint.organization_matches`) and the
+presence of authenticated dNSNames — to the candidate's own end-entity
+certificate.
+
+This signal is **corroboration, not discrimination**: every §4.3
+candidate already passed a certificate screen, and a hypergiant's
+*service* presences (§6.1: partner edges holding genuine HG
+certificates without HG hardware) present exactly the same certificate
+surface as real off-nets.  It therefore never rejects — a certificate
+that fails the re-check merely abstains — and its confirm vote is only
+meaningful under a ``require-k`` policy with ``k >= 2``, where it backs
+up an independent operational signal (headers, TLS stack) rather than
+deciding alone.  Under ``require-1`` it would simply restate candidacy
+and confirm service edges; configurations that include it alone are
+doing certificate-only inference (Figure 4's "certs only" variant) by
+another name.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import Candidate
+from repro.core.signals.base import ABSTAIN, CONFIRM, SignalContext, SignalVerdict
+from repro.core.tls_fingerprint import organization_matches
+
+__all__ = ["CertNamesSignal"]
+
+
+class CertNamesSignal:
+    """Certificate-identity corroboration (registry name ``cert-names``)."""
+
+    name = "cert-names"
+
+    def evaluate(
+        self, candidate: Candidate, context: SignalContext
+    ) -> SignalVerdict:
+        """Corroborate (or abstain); this signal never rejects."""
+        certificate = candidate.certificate
+        if candidate.expired_only:
+            return SignalVerdict(
+                self.name, ABSTAIN, (("reason", "expired-only"),)
+            )
+        if not organization_matches(
+            certificate.subject.organization, context.hypergiant
+        ):
+            # The candidate matched through a looser org scan or a
+            # shared certificate; nothing here to corroborate with.
+            return SignalVerdict(
+                self.name, ABSTAIN, (("reason", "org-mismatch"),)
+            )
+        names = certificate.dns_names
+        if not names:
+            return SignalVerdict(self.name, ABSTAIN, (("reason", "no-dnsnames"),))
+        return SignalVerdict(
+            self.name,
+            CONFIRM,
+            (
+                ("organization", certificate.subject.organization),
+                ("dnsname_count", str(len(names))),
+            ),
+        )

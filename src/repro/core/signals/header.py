@@ -1,0 +1,142 @@
+"""The header signal: §4.5's HTTP(S) fingerprint match, ported intact.
+
+This is the original confirmation logic — Table 4 rule matching with
+the Netflix default-nginx acceptance (§4.4) and the §7 edge-CDN
+conflict priority — re-expressed as a :class:`ConfirmationSignal`.
+Under the ``paper-default`` combine policy its verdicts reproduce the
+pre-framework confirmations bit for bit.
+
+What the port *adds* is per-port evidence: the verdict names which rule
+matched on each of HTTPS (443) and HTTP (80) separately
+(``https_rule`` / ``http_rule``), so a ``both`` match that used
+different rules on the two ports keeps both identities instead of
+collapsing them into one ``matched_on`` label.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import Candidate
+from repro.core.signals.base import (
+    ABSTAIN,
+    CONFIRM,
+    REJECT,
+    SignalContext,
+    SignalVerdict,
+)
+from repro.hypergiants.profiles import STANDARD_HEADERS, HeaderRule
+
+__all__ = ["EDGE_CDNS", "HeaderSignal", "is_default_nginx", "rule_label"]
+
+#: CDNs that operate edges on behalf of content owners (§7's conflict list).
+EDGE_CDNS: tuple[str, ...] = (
+    "akamai",
+    "cloudflare",
+    "fastly",
+    "verizon",
+    "cdnetworks",
+    "limelight",
+)
+
+
+def is_default_nginx(headers: dict[str, str]) -> bool:
+    """A stock nginx response: ``Server: nginx`` and nothing non-standard."""
+    server = None
+    for name, value in headers.items():
+        lowered = name.lower()
+        if lowered == "server":
+            server = value
+        elif lowered not in STANDARD_HEADERS:
+            return False
+    return server is not None and server.lower().startswith("nginx")
+
+
+def rule_label(rule: HeaderRule) -> str:
+    """A stable, human-auditable identity for one Table 4 rule."""
+    if rule.value is None:
+        return rule.name
+    return f"{rule.name}={rule.value}"
+
+
+def _matches(rules: tuple[HeaderRule, ...], headers: dict[str, str]) -> bool:
+    return any(rule.matches_any(headers) for rule in rules)
+
+
+class HeaderSignal:
+    """§4.5 header confirmation as a signal (registry name ``header``)."""
+
+    name = "header"
+
+    def evaluate(
+        self, candidate: Candidate, context: SignalContext
+    ) -> SignalVerdict:
+        """Judge the candidate's port-443 and port-80 header responses.
+
+        Confirms under the context's ``mode`` (``or``/``and``, Figure
+        4's variants); rejects when headers were captured but did not
+        match; abstains only when *neither* port produced headers at all
+        (a certificate-only corpus has no header channel to judge by).
+        """
+        scan = context.scan
+        https_match, https_label = self._port_match(
+            context, _headers_at(scan, candidate.ip, 443)
+        )
+        http_match, http_label = self._port_match(
+            context, _headers_at(scan, candidate.ip, 80)
+        )
+        https_ok = bool(https_match)
+        http_ok = bool(http_match)
+        if context.mode == "and":
+            ok = https_ok and http_ok
+        else:
+            ok = https_ok or http_ok
+        evidence = (("https_rule", https_label), ("http_rule", http_label))
+        if ok:
+            matched_on = (
+                "both" if (https_ok and http_ok) else ("https" if https_ok else "http")
+            )
+            return SignalVerdict(
+                self.name, CONFIRM, evidence + (("matched_on", matched_on),)
+            )
+        if https_match is None and http_match is None:
+            return SignalVerdict(self.name, ABSTAIN, evidence)
+        return SignalVerdict(self.name, REJECT, evidence)
+
+    @staticmethod
+    def _port_match(
+        context: SignalContext, headers: dict[str, str] | None
+    ) -> tuple[bool | None, str]:
+        """One port's verdict: ``(matched, rule label)``.
+
+        ``matched`` is ``None`` when the corpus captured no headers for
+        the port (distinct from a non-match: the channel was absent, not
+        contradictory).  The boolean outcomes replicate the original
+        ``confirm._port_match`` exactly; the label is the addition.
+        """
+        if headers is None:
+            return None, "no-headers"
+        hypergiant = context.hypergiant
+        matched_rule: str | None = None
+        for rule in context.rules.get(hypergiant, ()):
+            if rule.matches_any(headers):
+                matched_rule = rule_label(rule)
+                break
+        if (
+            matched_rule is None
+            and context.netflix_nginx_rule
+            and hypergiant == "netflix"
+            and is_default_nginx(headers)
+        ):
+            matched_rule = "default-nginx"
+        if matched_rule is None:
+            return False, "no-match"
+        if context.edge_priority and hypergiant not in EDGE_CDNS:
+            for edge in EDGE_CDNS:
+                if _matches(context.rules.get(edge, ()), headers):
+                    # The edge CDN operates this box, not the HG.
+                    return False, f"edge-conflict:{edge}"
+        return True, matched_rule
+
+
+def _headers_at(scan, ip: int, port: int) -> dict[str, str] | None:
+    record = scan.http_for(ip, port)
+    return None if record is None else record.header_dict()

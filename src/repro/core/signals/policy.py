@@ -1,0 +1,113 @@
+"""Combine policies: how signal verdicts fold into a confirmation.
+
+A policy sees the full verdict tuple for one candidate (one verdict per
+configured signal, in ``--signals`` order) and decides confirmed / not
+confirmed.  Three families exist:
+
+* ``paper-default`` — the header signal alone decides, exactly as the
+  pre-framework §4.5 step did; other configured signals still run and
+  book their verdicts (observability), but cannot change the outcome.
+  This is the default and keeps the funnel bit-identical to the
+  original implementation.
+* ``require-k`` (``require-1``, ``require-2``, ...) — confirmed when at
+  least *k* signals vote confirm.  Rejections do **not** veto: the
+  framework exists precisely because an adversary can poison one
+  channel (spoofed headers make the header signal reject), so a strong
+  independent confirmation must be able to outvote a poisoned channel.
+* ``priority`` — the first non-abstaining signal, in ``--signals``
+  order, decides.  Puts a cheap-but-spoofable channel behind a
+  harder-to-fake one (``--signals tls-stack,header``).
+"""
+
+from __future__ import annotations
+
+from repro.core.signals.base import CONFIRM, REJECT, SignalVerdict
+
+__all__ = [
+    "CombinePolicy",
+    "PaperDefaultPolicy",
+    "PriorityPolicy",
+    "RequireKPolicy",
+    "parse_policy",
+    "policy_names",
+]
+
+
+class CombinePolicy:
+    """Base class: a named fold from verdicts to confirmed/not."""
+
+    #: The spec string that parses back to this policy.
+    name: str = ""
+
+    def decide(self, verdicts: tuple[SignalVerdict, ...]) -> bool:
+        """Fold one candidate's verdicts into a confirmation decision."""
+        raise NotImplementedError
+
+
+class PaperDefaultPolicy(CombinePolicy):
+    """The header signal decides; everything else is observability."""
+
+    name = "paper-default"
+
+    def decide(self, verdicts: tuple[SignalVerdict, ...]) -> bool:
+        """Confirmed iff the ``header`` verdict is confirm."""
+        for verdict in verdicts:
+            if verdict.signal == "header":
+                return verdict.verdict == CONFIRM
+        return False
+
+
+class RequireKPolicy(CombinePolicy):
+    """Confirmed when at least ``k`` signals vote confirm."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"require-k needs k >= 1, got {k}")
+        self.k = k
+        self.name = f"require-{k}"
+
+    def decide(self, verdicts: tuple[SignalVerdict, ...]) -> bool:
+        """Count confirm votes against the threshold."""
+        confirms = sum(1 for v in verdicts if v.verdict == CONFIRM)
+        return confirms >= self.k
+
+
+class PriorityPolicy(CombinePolicy):
+    """First non-abstaining signal (in configured order) decides."""
+
+    name = "priority"
+
+    def decide(self, verdicts: tuple[SignalVerdict, ...]) -> bool:
+        """Walk the verdicts in order; abstentions pass the baton."""
+        for verdict in verdicts:
+            if verdict.verdict == CONFIRM:
+                return True
+            if verdict.verdict == REJECT:
+                return False
+        return False
+
+
+def policy_names() -> tuple[str, ...]:
+    """The accepted ``--confirm-policy`` spellings (``require-<k>`` for
+    any positive integer ``k``)."""
+    return ("paper-default", "require-<k>", "priority")
+
+
+def parse_policy(spec: str) -> CombinePolicy:
+    """A :class:`CombinePolicy` from its spec string.
+
+    Accepts ``paper-default``, ``priority``, and ``require-<k>`` for a
+    positive integer ``k`` (e.g. ``require-2``).
+    """
+    if spec == "paper-default":
+        return PaperDefaultPolicy()
+    if spec == "priority":
+        return PriorityPolicy()
+    if spec.startswith("require-"):
+        suffix = spec[len("require-") :]
+        if suffix.isdigit() and int(suffix) >= 1:
+            return RequireKPolicy(int(suffix))
+    raise ValueError(
+        f"unknown confirm policy {spec!r}; expected one of "
+        f"{', '.join(policy_names())}"
+    )

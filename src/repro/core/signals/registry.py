@@ -1,0 +1,59 @@
+"""The confirmation-signal registry.
+
+Signals are registered under stable names the CLI's ``--signals`` flag
+and :class:`~repro.core.pipeline.PipelineOptions.signals` resolve
+against.  Registration maps a name to a zero-argument factory (signals
+are stateless; a fresh instance per build keeps them trivially
+fork-safe), mirroring the corpus codec registry in
+:mod:`repro.datasets.formats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.signals.base import ConfirmationSignal
+from repro.core.signals.cert_names import CertNamesSignal
+from repro.core.signals.header import HeaderSignal
+from repro.core.signals.tls_stack import TlsStackSignal
+
+__all__ = ["build_signal", "build_signals", "register_signal", "signal_names"]
+
+_FACTORIES: dict[str, Callable[[], ConfirmationSignal]] = {}
+
+
+def register_signal(
+    name: str, factory: Callable[[], ConfirmationSignal]
+) -> None:
+    """Register a signal factory under ``name`` (last registration wins,
+    so tests can shadow a built-in with an instrumented double)."""
+    if not name:
+        raise ValueError("signal name must be non-empty")
+    _FACTORIES[name] = factory
+
+
+def signal_names() -> tuple[str, ...]:
+    """Every registered signal name, sorted — what ``--signals`` offers."""
+    return tuple(sorted(_FACTORIES))
+
+
+def build_signal(name: str) -> ConfirmationSignal:
+    """A fresh instance of the signal registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown confirmation signal {name!r}; "
+            f"registered: {', '.join(signal_names())}"
+        ) from None
+    return factory()
+
+
+def build_signals(names: tuple[str, ...]) -> tuple[ConfirmationSignal, ...]:
+    """Instances for ``names``, in the given (priority) order."""
+    return tuple(build_signal(name) for name in names)
+
+
+register_signal("header", HeaderSignal)
+register_signal("tls-stack", TlsStackSignal)
+register_signal("cert-names", CertNamesSignal)

@@ -1,0 +1,75 @@
+"""The TLS-stack signal: per-HG handshake features as confirmation.
+
+Hypergiants run distinctive, vertically-integrated TLS stacks — GFE,
+proxygen, CloudFront, Ghost — whose handshake surface (offered ALPN
+set, minimum negotiated protocol version, extension/cipher ordering
+class) is hard for an off-net operator to fake *and* hard for a
+header-rewriting middlebox to perturb, because it is produced below the
+HTTP layer.  The world model emits each hypergiant's expected triple
+from :data:`repro.hypergiants.profiles.STACK_PROFILES`, the scanners
+capture the observed triple per TLS row, and the corpus formats persist
+it (an optional ``stack`` field on JSONL ``tls`` records; the
+``stack_table``/``tls_stack`` blocks of ``.rcc`` files).
+
+Verdicts:
+
+* **abstain** when the hypergiant has no distinctive stack profile
+  (many HGs run stock nginx/Apache farms — a stock class must never
+  confirm), or when the corpus carries no stack observation for the IP
+  (pre-stack corpora, certificate-only scans);
+* **confirm** when the observed triple matches the profile under
+  :func:`repro.scan.handshake.stack_matches` (same ordering class, an
+  offered-ALPN subset — a QUIC-only endpoint still offers ``h3`` — and
+  at least the profiled version floor);
+* **reject** when a stack was observed and does not match: a different
+  implementation answered the handshake.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import Candidate
+from repro.core.signals.base import (
+    ABSTAIN,
+    CONFIRM,
+    REJECT,
+    SignalContext,
+    SignalVerdict,
+)
+from repro.hypergiants.profiles import stack_profile
+from repro.scan.handshake import UNKNOWN_STACK, stack_matches
+
+__all__ = ["TlsStackSignal"]
+
+
+class TlsStackSignal:
+    """Handshake-feature confirmation (registry name ``tls-stack``)."""
+
+    name = "tls-stack"
+
+    def evaluate(
+        self, candidate: Candidate, context: SignalContext
+    ) -> SignalVerdict:
+        """Compare the candidate IP's observed stack to the HG profile."""
+        expected = stack_profile(context.hypergiant)
+        if expected == UNKNOWN_STACK:
+            return SignalVerdict(
+                self.name,
+                ABSTAIN,
+                (("reason", "no-stack-profile"),),
+            )
+        observed = context.scan.stack_for(candidate.ip)
+        if observed == UNKNOWN_STACK:
+            return SignalVerdict(
+                self.name,
+                ABSTAIN,
+                (("reason", "no-observation"),),
+            )
+        evidence = (
+            ("observed_class", observed[2]),
+            ("observed_alpn", observed[0]),
+            ("observed_floor", observed[1]),
+            ("expected_class", expected[2]),
+        )
+        if stack_matches(observed, expected):
+            return SignalVerdict(self.name, CONFIRM, evidence)
+        return SignalVerdict(self.name, REJECT, evidence)

@@ -11,7 +11,7 @@ edges, typed artifacts, and per-stage option subsets:
            └──┬───────┘
               match ──┬── onnet             (§4.2 + org→HG matching)
                       └── candidates        (§4.3 + Cloudflare filter)
-    scan ─────────────────┬── confirm       (§4.5 header confirmation)
+    scan ─────────────────┬── confirm       (§4.5 signal confirmation)
                           └── netflix       (§6.2 per-snapshot inputs)
 
 Design rules the cache correctness rests on:
@@ -42,7 +42,7 @@ from typing import Mapping
 
 from repro.core.candidates import Candidate
 from repro.core.cloudflare import is_cloudflare_customer_cert
-from repro.core.confirm import confirm_candidates
+from repro.core.signals import build_signals, evaluate_candidates, parse_policy
 from repro.core.footprint import FootprintSnapshot, SnapshotOutcome
 from repro.core.stages.base import Stage, StageContext, StageGraph
 from repro.core.validation import ValidatedRecord, ValidationStats
@@ -60,14 +60,19 @@ __all__ = [
     "build_offnet_graph",
 ]
 
-#: The §4.4/§4.5 switches that determine the header rules in force and
-#: how they are applied — the option subset of both header-driven stages.
-_HEADER_OPTIONS = (
+#: The §4.4/§4.5 switches that determine the confirmation evidence in
+#: force and how it folds — the option subset of both confirm-driven
+#: stages.  ``signals`` and ``confirm_policy`` joined with the
+#: multi-signal framework so that changing either re-keys the cached
+#: confirm/netflix artifacts.
+_CONFIRM_OPTIONS = (
     "header_confirmation",
     "learn_headers",
     "header_learning_snapshot",
     "netflix_nginx_rule",
     "edge_priority",
+    "signals",
+    "confirm_policy",
 )
 
 #: The light stages the pipeline forces every run; their artifacts carry
@@ -369,6 +374,8 @@ def _run_confirm(
     label = ctx.snapshot.label
     result = ConfirmResult()
     rules = pipeline.header_rules() if options.header_confirmation else {}
+    signals = build_signals(options.signals)
+    policy = parse_policy(options.confirm_policy)
     for keyword in pipeline._keywords:
         found = candidates.by_hg[keyword]
         if not found:
@@ -376,20 +383,33 @@ def _run_confirm(
         result.candidate_ips[keyword] = frozenset(c.ip for c in found)
         result.candidate_ases[keyword] = _ases_of(found)
         if options.header_confirmation:
-            confirmed = confirm_candidates(
-                keyword, found, scan, rules,
-                mode="or",
-                netflix_nginx_rule=options.netflix_nginx_rule,
-                edge_priority=options.edge_priority,
-                registry=counters,
-            )
-            confirmed_and = confirm_candidates(
-                keyword, found, scan, rules,
-                mode="and",
-                netflix_nginx_rule=options.netflix_nginx_rule,
-                edge_priority=options.edge_priority,
-                registry=counters,
-            )
+            confirmed = [
+                d
+                for d in evaluate_candidates(
+                    keyword, found, scan, rules,
+                    signals=signals,
+                    policy=policy,
+                    mode="or",
+                    netflix_nginx_rule=options.netflix_nginx_rule,
+                    edge_priority=options.edge_priority,
+                    registry=counters,
+                )
+                if d.confirmed
+            ]
+            confirmed_and = [
+                d
+                for d in evaluate_candidates(
+                    keyword, found, scan, rules,
+                    signals=signals,
+                    policy=policy,
+                    mode="and",
+                    netflix_nginx_rule=options.netflix_nginx_rule,
+                    edge_priority=options.edge_priority,
+                    registry=counters,
+                    book_signals=False,
+                )
+                if d.confirmed
+            ]
             result.confirmed_ips[keyword] = frozenset(
                 c.candidate.ip for c in confirmed
             )
@@ -531,15 +551,17 @@ def build_offnet_graph() -> StageGraph:
             Stage(
                 name="confirm",
                 deps=("scan", "candidates"),
-                option_keys=_HEADER_OPTIONS,
+                option_keys=_CONFIRM_OPTIONS,
                 run=_run_confirm,
+                version="2",  # v2: multi-signal engine + signal counters
                 produces="ConfirmResult — §4.5 per-HG verdict sets",
             ),
             Stage(
                 name="netflix",
                 deps=("scan", "candidates"),
-                option_keys=_HEADER_OPTIONS,
+                option_keys=_CONFIRM_OPTIONS,
                 run=_run_netflix,
+                version="2",  # v2: option subset gained signals/confirm_policy
                 produces="NetflixResult — §6.2 restoration inputs",
             ),
         )

@@ -40,7 +40,16 @@ Blocks: ``meta``, ``org_table``, ``dns_table``, ``header_table``,
 ``chain_certs`` (flattened cert references), ``chain_cert_ends``,
 ``chain_org``, ``chain_dns``, ``tls_ip``, ``tls_chain``, ``http_ip``,
 ``http_port``, ``http_header`` as packed u32.  ``chain_cert_ends[i]`` is
-the end offset of chain *i*'s slice of ``chain_certs``.
+the end offset of chain *i*'s slice of ``chain_certs``.  Two optional
+blocks carry the per-row TLS stack features (§4.5's TLS-stack
+confirmation signal): ``stack_table`` is a self-versioned JSON document
+``{"version": 1, "stacks": [[alpn, floor, class], ...]}`` whose slot 0
+is always the unknown-stack sentinel, and ``tls_stack`` is one packed
+u32 table reference per TLS row.  Files written before the stack
+columns existed simply lack both blocks and load with every row
+unknown — no quarantine, no accounting change — and a damaged or
+incoherent stack block degrades the same way after booking the usual
+``corrupt_block``; stack damage never drops TLS rows.
 
 Robustness mirrors the JSONL taxonomy end-to-end
 (:data:`~repro.robustness.ERROR_CLASSES`): a truncated or
@@ -85,6 +94,7 @@ __all__ = [
     "ColumnarFormat",
     "MAGIC",
     "ROW_BLOCKS",
+    "STACK_BLOCKS",
     "TLS_BLOCKS",
     "VERSION",
 ]
@@ -144,6 +154,20 @@ CHAIN_SECTION_BLOCKS = (
 )
 #: Blocks the TLS row section needs (on top of the chain section).
 TLS_BLOCKS = ("tls_ip", "tls_chain")
+#: The optional TLS stack-feature blocks.  Deliberately *not* part of
+#: :data:`TLS_BLOCKS`: losing them degrades every row to the
+#: unknown-stack sentinel instead of dropping the TLS section, because
+#: pre-stack files lack them entirely and must keep loading bit-identical
+#: ingest accounting.
+STACK_BLOCKS = ("stack_table", "tls_stack")
+#: Version embedded in the ``stack_table`` JSON payload (independent of
+#: the file-level :data:`VERSION` so old readers skip unknown blocks and
+#: the stack schema can evolve without a whole-format bump).
+_STACK_TABLE_VERSION = 1
+#: The unknown-stack sentinel every stack table opens with (mirrors
+#: ``repro.scan.handshake.UNKNOWN_STACK``; restated because the datasets
+#: layer avoids importing scan internals beyond the record types).
+_UNKNOWN_STACK = ("", "", "")
 #: The packed-u32 row columns — their header-declared lengths are the
 #: ingest-cost signal :meth:`ColumnarFormat.probe_cost` sums, since row
 #: count (not side-table size) is what the pipeline's per-snapshot cost
@@ -268,6 +292,19 @@ class ColumnarFormat:
         for column_name in _U32_COLUMNS:
             values = array(_U32, getattr(store, column_name))
             blocks.append((column_name, _KIND_U32, values.tobytes()))
+        blocks.append(
+            (
+                "stack_table",
+                _KIND_JSON,
+                _dumps(
+                    {
+                        "version": _STACK_TABLE_VERSION,
+                        "stacks": [list(stack) for stack in store.stack_table],
+                    }
+                ),
+            )
+        )
+        blocks.append(("tls_stack", _KIND_U32, array(_U32, store.tls_stack).tobytes()))
 
         path = Path(path)
         with path.open("wb") as handle:
@@ -499,7 +536,7 @@ class _Reader:
         if chains is not None:
             tls = self._tls_columns(chains)
         else:
-            tls = ([], [])
+            tls = ([], [], None, None)
         http = self._http_columns()
 
         store = SnapshotStore.from_columns(
@@ -514,6 +551,8 @@ class _Reader:
             http_ip=http[1] if http else [],
             http_port=http[2] if http else [],
             http_header=http[3] if http else [],
+            stack_table=tls[2],
+            tls_stack=tls[3],
         )
         result = ScanSnapshot(scanner=scanner, snapshot=parsed, store=store)
         result.ingest = self.sink.report
@@ -831,19 +870,22 @@ class _Reader:
         )
         return 0
 
-    def _tls_columns(self, chains: _ChainSection) -> tuple[list[int], list[int]]:
+    def _tls_columns(self, chains: _ChainSection):
         """The TLS row columns, validated against the chain table.
 
         Bad rows drop individually: an index outside the original chain
         table is ``dangling_intern_ref``; a reference to a chain that was
         itself quarantined cascades as ``unknown_chain_ref`` (matching
-        the JSONL broken-chain semantics).
+        the JSONL broken-chain semantics).  Returns ``(tls_ip, tls_chain,
+        stack_table, tls_stack)`` with the stack columns filtered in sync
+        with any row drops, or ``(ips, chains, None, None)`` when the
+        file carries no (usable) stack blocks.
         """
         try:
             tls_ip = self._require("tls_ip")
             tls_chain = self._require("tls_chain")
         except _SectionDropped:
-            return [], []
+            return [], [], None, None
         if len(tls_ip) != len(tls_chain):
             block = self.blocks["tls_chain"]
             self._block_problem(
@@ -853,19 +895,23 @@ class _Reader:
                 f"{len(tls_ip)} ips vs {len(tls_chain)} chain refs",
                 "<tls section>",
             )
-            return [], []
+            return [], [], None, None
         rows = len(tls_chain)
+        stacks = self._stack_section(rows)
         remap = chains.remap
         n_kept = len(chains.kept)
         self.sink.saw(rows)
         if remap is None and (not rows or max(tls_chain) < n_kept):
             # Clean fast path: adopt the columns wholesale.
             self.sink.accepted(rows)
-            return list(tls_ip), list(tls_chain)
+            if stacks is None:
+                return list(tls_ip), list(tls_chain), None, None
+            return list(tls_ip), list(tls_chain), stacks[0], stacks[1]
         block = self.blocks["tls_chain"]
         original = len(remap) if remap is not None else n_kept
         out_ip: list[int] = []
         out_chain: list[int] = []
+        out_stack: list[int] | None = [] if stacks is not None else None
         for row in range(rows):
             reference = tls_chain[row]
             if reference >= original:
@@ -890,8 +936,75 @@ class _Reader:
                 continue
             out_ip.append(tls_ip[row])
             out_chain.append(mapped)
+            if out_stack is not None:
+                out_stack.append(stacks[1][row])
         self.sink.accepted(len(out_ip))
-        return out_ip, out_chain
+        if stacks is None:
+            return out_ip, out_chain, None, None
+        return out_ip, out_chain, stacks[0], out_stack
+
+    def _stack_section(self, rows: int):
+        """The optional TLS stack columns, or ``None`` for all-unknown.
+
+        Missing blocks (every pre-stack file) degrade silently; a block
+        that is present but incoherent — wrong document shape, a
+        non-triple entry, a missing sentinel, a row-count mismatch, a
+        table reference out of range — books one ``corrupt_block`` and
+        degrades the same way.  Stack problems never touch the TLS rows'
+        own seen/accepted accounting.
+        """
+        try:
+            payload = self._require("stack_table")
+            tls_stack = self._require("tls_stack")
+        except _SectionDropped:
+            return None
+
+        def drop(name: str, message: str):
+            block = self.blocks[name]
+            self._block_problem(
+                block.ordinal, block.offset, message, f"<block {name}>"
+            )
+            return None
+
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _STACK_TABLE_VERSION
+            or not isinstance(payload.get("stacks"), list)
+        ):
+            return drop(
+                "stack_table",
+                "stack_table is not a version-1 {version, stacks} document",
+            )
+        stack_table: list[tuple[str, str, str]] = []
+        for entry in payload["stacks"]:
+            if not (
+                isinstance(entry, list)
+                and len(entry) == 3
+                and all(isinstance(part, str) for part in entry)
+            ):
+                return drop(
+                    "stack_table",
+                    "stack_table entries are not [alpn, floor, class] "
+                    "string triples",
+                )
+            stack_table.append(tuple(entry))
+        if not stack_table or stack_table[0] != _UNKNOWN_STACK:
+            return drop(
+                "stack_table",
+                "stack_table does not open with the unknown-stack sentinel",
+            )
+        if len(tls_stack) != rows:
+            return drop(
+                "tls_stack",
+                f"tls_stack has {len(tls_stack)} entries for {rows} TLS rows",
+            )
+        if rows and max(tls_stack) >= len(stack_table):
+            return drop(
+                "tls_stack",
+                f"tls_stack references entries outside the "
+                f"{len(stack_table)}-entry stack table",
+            )
+        return stack_table, list(tls_stack)
 
     def _http_columns(self):
         """The HTTP row columns, validated against the header table.

@@ -196,7 +196,11 @@ def partition_store(store: SnapshotStore, pieces: int) -> list[SnapshotStore]:
     ):
         part = SnapshotStore()
         for row in range(tls_start, tls_end):
-            part.add_tls(store.tls_ip[row], store.chains[store.tls_chain[row]])
+            part.add_tls(
+                store.tls_ip[row],
+                store.chains[store.tls_chain[row]],
+                store.stack_table[store.tls_stack[row]],
+            )
         for row in range(http_start, http_end):
             part.add_http(
                 store.http_ip[row],

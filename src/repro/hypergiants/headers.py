@@ -84,6 +84,21 @@ class HeaderBook:
         step has no fingerprint to match (at the cost of harder debugging)."""
         return self._standard(server)
 
+    def spoofed_headers(self, server: SimulatedServer) -> Headers:
+        """Adversarial banner spoofing: the response impersonates an
+        unrelated stock product, so a header matcher sees a plausible but
+        wrong fleet — worse than anonymising, it actively misleads."""
+        banner = _BACKGROUND_SERVERS[int(server.salt * len(_BACKGROUND_SERVERS))]
+        return (("Server", banner),) + self._standard(server)
+
+    def middlebox_headers(
+        self, server: SimulatedServer, snapshot: Snapshot
+    ) -> Headers:
+        """An in-path middlebox rewrites the ``Server`` banner to its own
+        and strips the operator's debug headers — the response looks like
+        a bare nginx box regardless of what the origin actually sent."""
+        return (("Server", "nginx"),) + self._standard(server)
+
     def _fingerprint_headers(
         self, hg_key: str, server: SimulatedServer, snapshot: Snapshot
     ) -> Headers:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.scan.handshake import UNKNOWN_STACK, StackFeatures, stack_features
 from repro.timeline import Snapshot
 
 __all__ = [
@@ -26,8 +27,11 @@ __all__ = [
     "HypergiantProfile",
     "HYPERGIANTS",
     "HEADER_RULES",
+    "STACK_PROFILES",
+    "STOCK_STACKS",
     "TOP4",
     "profile",
+    "stack_profile",
     "STANDARD_HEADERS",
 ]
 
@@ -431,6 +435,52 @@ HYPERGIANTS: tuple[HypergiantProfile, ...] = (
 )
 
 _BY_KEY = {hg.key: hg for hg in HYPERGIANTS}
+
+#: Stock TLS stacks ordinary web servers run — the ordering classes the
+#: active-fingerprinting literature cannot attribute to any one operator.
+#: Background servers (and HGs running unmodified stock software) draw
+#: from this pool, so the TLS-stack signal has realistic noise to abstain
+#: on rather than a magic per-operator oracle.
+STOCK_STACKS: tuple[StackFeatures, ...] = (
+    stack_features(("http/1.1",), "1.0", "nginx"),
+    stack_features(("h2", "http/1.1"), "1.2", "nginx"),
+    stack_features(("http/1.1",), "1.0", "apache"),
+    stack_features(("h2", "http/1.1"), "1.2", "apache"),
+    stack_features(("http/1.1",), "1.2", "iis"),
+    stack_features(("http/1.1",), "1.0", "lighttpd"),
+    stack_features(("h2", "http/1.1"), "1.2", "openresty"),
+)
+
+#: Per-HG TLS stack features (arXiv:2206.13230): the handshake behaviour
+#: of each hypergiant's *proprietary* serving stack.  HGs absent from the
+#: table run stock software — their servers draw from
+#: :data:`STOCK_STACKS` and the TLS-stack signal abstains on them.
+STACK_PROFILES: dict[str, StackFeatures] = {
+    "google": stack_features(("h2", "h3", "http/1.1"), "1.2", "gfe"),
+    "facebook": stack_features(("h2", "h3", "http/1.1"), "1.2", "proxygen"),
+    "netflix": stack_features(("h2", "http/1.1"), "1.2", "oca-nginx"),
+    "akamai": stack_features(("h2", "h3", "http/1.1"), "1.2", "ghost"),
+    "cloudflare": stack_features(("h2", "h3", "http/1.1"), "1.3", "cf-nginx"),
+    "amazon": stack_features(("h2", "http/1.1"), "1.2", "cloudfront"),
+    "apple": stack_features(("h2", "http/1.1"), "1.2", "apple-ats"),
+    "microsoft": stack_features(("h2", "http/1.1"), "1.2", "msedge"),
+    "fastly": stack_features(("h2", "h3", "http/1.1"), "1.2", "fastly-h2o"),
+    "alibaba": stack_features(("h2", "http/1.1"), "1.2", "tengine"),
+    "verizon": stack_features(("h2", "http/1.1"), "1.2", "ecs"),
+    "cdnetworks": stack_features(("h2", "http/1.1"), "1.2", "pws"),
+    "limelight": stack_features(("h2", "http/1.1"), "1.2", "edgeprism"),
+    "twitter": stack_features(("h2", "http/1.1"), "1.2", "tsa"),
+    "incapsula": stack_features(("h2", "http/1.1"), "1.2", "incap"),
+}
+
+
+def stack_profile(key: str) -> StackFeatures:
+    """The TLS stack features a hypergiant's servers exhibit.
+
+    Returns :data:`~repro.scan.handshake.UNKNOWN_STACK` for HGs running
+    stock software — the signal layer treats that as "nothing to match".
+    """
+    return STACK_PROFILES.get(key, UNKNOWN_STACK)
 
 #: Table 4 as a key → rules mapping.
 HEADER_RULES: dict[str, tuple[HeaderRule, ...]] = {

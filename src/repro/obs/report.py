@@ -13,6 +13,10 @@ A run report is the pipeline's flight recorder, built from the merged
 * ``ingest`` — corpus ingestion robustness accounting: records seen /
   accepted / quarantined / repaired, with per-error-class breakdowns
   (all zero for clean corpuses and in-memory sources);
+* ``signals`` — the §4.5 multi-signal confirmation accounting: which
+  signals and combine policy were configured, per-signal confirm /
+  reject / abstain verdict totals, and the per-HG disagreement counts
+  (candidates where one signal confirmed while another rejected);
 * ``cache`` — the §4.1 cross-snapshot validation-cache counters;
 * ``stage_cache`` — the stage-artifact cache's hit/miss/store counters,
   total and per stage (the warm-run CI gate asserts a nonzero hit ratio
@@ -98,6 +102,7 @@ def build_report(result: Any) -> dict:
         "funnel": _funnel_section(registry, result.snapshots),
         "store": _store_section(registry),
         "ingest": _ingest_section(registry),
+        "signals": _signals_section(registry, run_meta.get("options", {})),
         "cache": _cache_section(registry),
         "stage_cache": _stage_cache_section(registry),
         "metrics": registry.to_dict(),
@@ -157,6 +162,40 @@ def _ingest_section(registry: MetricsRegistry) -> dict:
         "repaired": sum(repaired.values()),
         "quarantined_by_class": {k: quarantined[k] for k in sorted(quarantined)},
         "repaired_by_class": {k: repaired[k] for k in sorted(repaired)},
+    }
+
+
+def _signals_section(registry: MetricsRegistry, options: dict) -> dict:
+    """§4.5 multi-signal confirmation accounting, summed across snapshots.
+
+    The counters are booked by the confirm stage's signal engine
+    (:func:`repro.core.signals.evaluate_candidates`) on its primary
+    ``or`` pass only, so each candidate counts once per signal.  Like
+    ``store``/``ingest``, the section is deterministic (fragments replay
+    on cache hits and fold at the merge barrier) but not in
+    ``_REQUIRED_KEYS`` or the deterministic view, keeping pre-framework
+    baselines comparable — ``tools/check_report.py --expect-signals``
+    gates on it directly instead.
+    """
+    per_signal: dict[str, dict[str, int]] = {}
+    for labels, value in registry.counter_items("signal_verdicts_total"):
+        signal = labels.get("signal", "?")
+        verdict = labels.get("verdict", "?")
+        entry = per_signal.setdefault(
+            signal, {"confirm": 0, "reject": 0, "abstain": 0}
+        )
+        entry[verdict] = entry.get(verdict, 0) + value
+    disagreements = registry.counters_by_label(
+        "signal_disagreements_total", "hg"
+    )
+    return {
+        "configured": list(options.get("signals", [])),
+        "policy": options.get("confirm_policy", ""),
+        "verdicts": {signal: per_signal[signal] for signal in sorted(per_signal)},
+        "disagreements": sum(disagreements.values()),
+        "disagreements_by_hg": {
+            hg: disagreements[hg] for hg in sorted(disagreements)
+        },
     }
 
 

@@ -138,7 +138,7 @@ def _save_jsonl(snapshot: ScanSnapshot, path: str | Path) -> None:
             "snapshot": snapshot.snapshot.label,
         }
         handle.write(json.dumps(header) + "\n")
-        for ip, chain_index in store.iter_tls_rows():
+        for row, (ip, chain_index) in enumerate(store.iter_tls_rows()):
             chain = store.chains[chain_index]
             leaf_fp = chain.end_entity.fingerprint
             if chain_index not in emitted:
@@ -149,7 +149,14 @@ def _save_jsonl(snapshot: ScanSnapshot, path: str | Path) -> None:
                     "certs": [_cert_to_json(c) for c in chain.certificates],
                 }
                 handle.write(json.dumps(chain_payload) + "\n")
-            handle.write(json.dumps({"type": "tls", "ip": ip, "chain": leaf_fp}) + "\n")
+            record: dict = {"type": "tls", "ip": ip, "chain": leaf_fp}
+            stack_index = store.tls_stack[row]
+            if stack_index:
+                # Stack features ride on the TLS record itself (an optional
+                # field, not a new record type), so stack-less readers and
+                # the seen/accepted accounting are untouched.
+                record["stack"] = list(store.stack_table[stack_index])
+            handle.write(json.dumps(record) + "\n")
         for row in range(store.http_row_count):
             payload = {
                 "type": "http",
@@ -269,7 +276,20 @@ def _apply_tls(
         raise _RecordError(
             "unknown_chain_ref", f"tls row references unknown chain {reference!r}"
         ) from None
-    result.store.add_tls_row(ip, chain_index)
+    stack_payload = payload.get("stack")
+    stack_index = 0
+    if stack_payload is not None:
+        if (
+            not isinstance(stack_payload, list)
+            or len(stack_payload) != 3
+            or not all(isinstance(part, str) for part in stack_payload)
+        ):
+            raise _RecordError(
+                "schema_violation",
+                "tls record 'stack' must be a list of three strings",
+            )
+        stack_index = result.store.intern_stack(tuple(stack_payload))
+    result.store.add_tls_row(ip, chain_index, stack_index)
 
 
 def _apply_http(

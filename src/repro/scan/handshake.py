@@ -1,15 +1,72 @@
-"""TLS handshake helpers: SNI / dNSName matching.
+"""TLS handshake helpers: SNI / dNSName matching and stack features.
 
 Implements the wildcard semantics of RFC 6125 as far as the methodology
 needs them: a ``*.example.com`` dNSName covers exactly one additional label
 (``www.example.com`` but not ``a.b.example.com`` nor ``example.com``).
+
+Also defines the TLS *stack feature* triple the active-fingerprinting
+literature shows is stable per server implementation (arXiv:2206.13230):
+the advertised ALPN set, the lowest TLS version the stack negotiates, and
+an extension/cipher *ordering class* naming the implementation family.
+The triple is deliberately a plain tuple of strings so it interns cheaply
+in the columnar store and serialises as-is through every corpus codec.
 """
 
 from __future__ import annotations
 
 from repro.x509.certificate import Certificate
 
-__all__ = ["dns_name_matches", "certificate_covers_domain"]
+__all__ = [
+    "StackFeatures",
+    "UNKNOWN_STACK",
+    "dns_name_matches",
+    "certificate_covers_domain",
+    "stack_features",
+    "stack_matches",
+]
+
+#: ``(alpn_csv, version_floor, ordering_class)`` — the three handshake
+#: features a scanner can elicit without completing an application-layer
+#: exchange.  ``alpn_csv`` is the sorted comma-joined ALPN protocol set.
+StackFeatures = tuple[str, str, str]
+
+#: The sentinel for "no stack observed" — old corpora, QUIC-refusing
+#: scanners, and unscanned rows all degrade to it.
+UNKNOWN_STACK: StackFeatures = ("", "", "")
+
+
+def stack_features(
+    alpn: tuple[str, ...] | list[str],
+    version_floor: str,
+    ordering_class: str,
+) -> StackFeatures:
+    """Normalise raw handshake observations into a canonical triple.
+
+    The ALPN set is sorted and comma-joined so two scans of the same stack
+    always intern to the same table slot.
+    """
+    return (",".join(sorted(set(alpn))), version_floor, ordering_class)
+
+
+def stack_matches(observed: StackFeatures, expected: StackFeatures) -> bool:
+    """Does an observed stack triple match a hypergiant's expected stack?
+
+    The ordering class must match exactly (it names the implementation),
+    the observed ALPN set must be a subset of the expected one (a scanner
+    or a QUIC-only endpoint may elicit fewer protocols than the stack
+    supports), and the observed version floor must be at least the
+    expected one (stacks raise floors over time, never lower them).
+    Unknown observations never match.
+    """
+    if observed == UNKNOWN_STACK or expected == UNKNOWN_STACK:
+        return False
+    if observed[2] != expected[2]:
+        return False
+    observed_alpn = set(observed[0].split(",")) if observed[0] else set()
+    expected_alpn = set(expected[0].split(",")) if expected[0] else set()
+    if not observed_alpn or not observed_alpn <= expected_alpn:
+        return False
+    return observed[1] >= expected[1]
 
 
 def dns_name_matches(pattern: str, domain: str) -> bool:

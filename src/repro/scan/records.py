@@ -111,6 +111,11 @@ class ScanSnapshot:
         """The header record for an IP/port, if the scanner captured one."""
         return self.store.http_lookup(ip, port)
 
+    def stack_for(self, ip: int) -> tuple[str, str, str]:
+        """The TLS stack features captured for an IP — the unknown-stack
+        sentinel when the scanner (or corpus format) recorded none."""
+        return self.store.stack_for(ip)
+
     # -- O(1) aggregates (maintained by the store at ingest time) ----------
 
     @property

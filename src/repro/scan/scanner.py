@@ -149,6 +149,7 @@ class Scanner:
         result = ScanSnapshot(scanner=profile.name, snapshot=snapshot)
         store = result.store
         policy = world.policy
+        stack_of = getattr(policy, "stack_profile", None)
         index = snapshot.index
         for server in world.servers:
             if not server.alive_at(snapshot):
@@ -166,7 +167,11 @@ class Scanner:
             if policy.https_enabled(server, snapshot):
                 chain = policy.default_chain(server, snapshot)
                 if chain is not None:
-                    store.add_tls(server.ip, chain)
+                    store.add_tls(
+                        server.ip,
+                        chain,
+                        None if stack_of is None else stack_of(server, snapshot),
+                    )
                     if want_https_headers:
                         headers = policy.headers(server, snapshot, port=443)
                         if headers:

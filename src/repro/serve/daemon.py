@@ -18,7 +18,9 @@ A :class:`ServeDaemon` glues three stdlib pieces together:
 Endpoints (all GET, all JSON):
 
 ====================  =========================================================
-``/status``           daemon liveness: corpus, indexed snapshots, last ingest
+``/status``           daemon liveness: corpus, indexed snapshots, the §4.5
+                      confirmation configuration (signals + policy), last
+                      ingest
 ``/metrics``          the registry as JSON (counters, gauges, histograms)
 ``/hypergiants``      ranked hypergiants (``metric=confirmed|candidates``)
 ``/series``           per-snapshot AS counts for one HG (``hg=``, ``metric=``)
@@ -214,9 +216,12 @@ class ServeDaemon:
     def _status(self) -> dict:
         """The ``/status`` body."""
         view = self.ingestor.view()
+        options = self.ingestor.options
         return {
             "corpus": view.corpus,
             "snapshots": [s.label for s in view.snapshots],
+            "signals": list(options.signals),
+            "confirm_policy": options.confirm_policy,
             "last_ingest": self.last_ingest.to_dict() if self.last_ingest else None,
         }
 

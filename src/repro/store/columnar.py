@@ -35,6 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["SnapshotStore", "StoreStats"]
 
+#: Slot 0 of every stack table: "no TLS stack observed".  Mirrors
+#: :data:`repro.scan.handshake.UNKNOWN_STACK` (the store sits below the
+#: scan layer, so the sentinel is restated rather than imported).
+_UNKNOWN_STACK: tuple[str, str, str] = ("", "", "")
+
 
 @dataclass(frozen=True, slots=True)
 class StoreStats:
@@ -75,6 +80,8 @@ class SnapshotStore:
         "header_table",
         "tls_ip",
         "tls_chain",
+        "tls_stack",
+        "stack_table",
         "http_ip",
         "http_port",
         "http_header",
@@ -82,9 +89,11 @@ class SnapshotStore:
         "_org_index",
         "_dns_index",
         "_header_index",
+        "_stack_index",
         "_tls_ip_set",
         "_frozen_ips",
         "_http_by_key",
+        "_stack_by_ip",
     )
 
     def __init__(self) -> None:
@@ -100,9 +109,13 @@ class SnapshotStore:
         self.dns_table: list[tuple[str, ...]] = []
         #: Interned response-header tuples.
         self.header_table: list[tuple[tuple[str, str], ...]] = []
-        #: TLS rows as parallel columns.
+        #: TLS rows as parallel columns (``tls_stack`` refs
+        #: :attr:`stack_table`; slot 0 is the unknown-stack sentinel).
         self.tls_ip: list[int] = []
         self.tls_chain: list[int] = []
+        self.tls_stack: list[int] = []
+        #: Interned TLS stack-feature triples; slot 0 is always unknown.
+        self.stack_table: list[tuple[str, str, str]] = [_UNKNOWN_STACK]
         #: HTTP rows as parallel columns.
         self.http_ip: list[int] = []
         self.http_port: list[int] = []
@@ -111,9 +124,11 @@ class SnapshotStore:
         self._org_index: dict[str, int] = {}
         self._dns_index: dict[tuple[str, ...], int] = {}
         self._header_index: dict[tuple[tuple[str, str], ...], int] = {}
+        self._stack_index: dict[tuple[str, str, str], int] = {_UNKNOWN_STACK: 0}
         self._tls_ip_set: set[int] = set()
         self._frozen_ips: frozenset[int] | None = None
         self._http_by_key: dict[tuple[int, int], int] | None = None
+        self._stack_by_ip: dict[int, int] | None = None
 
     # -- bulk construction -------------------------------------------------
 
@@ -132,6 +147,8 @@ class SnapshotStore:
         http_ip: list[int],
         http_port: list[int],
         http_header: list[int],
+        stack_table: list[tuple[str, str, str]] | None = None,
+        tls_stack: list[int] | None = None,
     ) -> SnapshotStore:
         """Adopt pre-built columns wholesale (the binary-corpus load path).
 
@@ -156,6 +173,16 @@ class SnapshotStore:
         store.http_ip = http_ip
         store.http_port = http_port
         store.http_header = http_header
+        if stack_table is not None and tls_stack is not None:
+            # The reader guarantees slot 0 is the unknown sentinel.
+            store.stack_table = stack_table
+            store.tls_stack = tls_stack
+        else:
+            # Stack-less columns (old corpus files): every row unknown.
+            store.tls_stack = [0] * len(tls_ip)
+        store._stack_index = {
+            value: index for index, value in enumerate(store.stack_table)
+        }
         store._chain_index = {
             chain.end_entity.fingerprint: index for index, chain in enumerate(chains)
         }
@@ -215,20 +242,38 @@ class SnapshotStore:
         """The chain table index for an already-interned fingerprint."""
         return self._chain_index[fingerprint]
 
-    # -- ingestion ---------------------------------------------------------
-
-    def add_tls(self, ip: int, chain: CertificateChain) -> int:
-        """Append one TLS row, interning the chain; returns the chain index."""
-        index = self.intern_chain(chain)
-        self.add_tls_row(ip, index)
+    def intern_stack(self, stack: tuple[str, str, str]) -> int:
+        """The stack-feature triple's index in the stack table."""
+        index = self._stack_index.get(stack)
+        if index is None:
+            index = len(self.stack_table)
+            self._stack_index[stack] = index
+            self.stack_table.append(stack)
         return index
 
-    def add_tls_row(self, ip: int, chain_index: int) -> None:
-        """Append one TLS row referencing an already-interned chain."""
+    # -- ingestion ---------------------------------------------------------
+
+    def add_tls(
+        self,
+        ip: int,
+        chain: CertificateChain,
+        stack: tuple[str, str, str] | None = None,
+    ) -> int:
+        """Append one TLS row, interning the chain (and the optional stack
+        feature triple); returns the chain index."""
+        index = self.intern_chain(chain)
+        stack_index = 0 if stack is None else self.intern_stack(stack)
+        self.add_tls_row(ip, index, stack_index)
+        return index
+
+    def add_tls_row(self, ip: int, chain_index: int, stack_index: int = 0) -> None:
+        """Append one TLS row referencing already-interned chain/stack."""
         self.tls_ip.append(ip)
         self.tls_chain.append(chain_index)
+        self.tls_stack.append(stack_index)
         self._tls_ip_set.add(ip)
         self._frozen_ips = None
+        self._stack_by_ip = None
 
     def add_http(self, ip: int, port: int, headers: tuple[tuple[str, str], ...]) -> None:
         """Append one HTTP row, interning the header tuple."""
@@ -240,8 +285,14 @@ class SnapshotStore:
     def extend(self, other: "SnapshotStore") -> None:
         """Append every row of ``other``, re-interning into this store's
         tables (the IPv6 corpus-merge path)."""
-        for ip, chain_index in zip(other.tls_ip, other.tls_chain):
-            self.add_tls_row(ip, self.intern_chain(other.chains[chain_index]))
+        for ip, chain_index, stack_index in zip(
+            other.tls_ip, other.tls_chain, other.tls_stack
+        ):
+            self.add_tls_row(
+                ip,
+                self.intern_chain(other.chains[chain_index]),
+                self.intern_stack(other.stack_table[stack_index]),
+            )
         for ip, port, header_index in zip(
             other.http_ip, other.http_port, other.http_header
         ):
@@ -256,11 +307,15 @@ class SnapshotStore:
         self.dns_table.clear()
         self.tls_ip.clear()
         self.tls_chain.clear()
+        self.tls_stack.clear()
+        del self.stack_table[1:]
+        self._stack_index = {_UNKNOWN_STACK: 0}
         self._chain_index.clear()
         self._org_index.clear()
         self._dns_index.clear()
         self._tls_ip_set.clear()
         self._frozen_ips = None
+        self._stack_by_ip = None
 
     def reset_http(self) -> None:
         """Drop every HTTP row and the header table they intern."""
@@ -342,6 +397,18 @@ class SnapshotStore:
             }
         row = self._http_by_key.get((ip, port))
         return None if row is None else self.http_record(row)
+
+    def stack_for(self, ip: int) -> tuple[str, str, str]:
+        """The TLS stack features observed at ``ip`` (the unknown sentinel
+        when the IP was never scanned or the corpus predates stacks), via
+        a lazily built last-row-wins index — the same duplicate-key
+        semantics as :meth:`http_lookup`."""
+        if self._stack_by_ip is None:
+            self._stack_by_ip = {
+                ip_: stack_index
+                for ip_, stack_index in zip(self.tls_ip, self.tls_stack)
+            }
+        return self.stack_table[self._stack_by_ip.get(ip, 0)]
 
     def lowered_dns(self, chain_index: int) -> tuple[str, ...]:
         """The interned lowercased dNSName tuple for one unique chain."""

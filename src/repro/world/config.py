@@ -52,7 +52,11 @@ class WorldConfig:
     #: "null-default-certificate" (answer only to SNI),
     #: "strip-organization" (no Organization in the EE certificate),
     #: "anonymize-headers" (no debug headers),
-    #: "unique-domains" (per-deployment hostnames never served on-net).
+    #: "unique-domains" (per-deployment hostnames never served on-net),
+    #: "spoof-headers" (banner spoofed to an unrelated server product),
+    #: "strip-headers" (no HTTP service answers the scanner at all),
+    #: "middlebox-rewrite" (an in-path middlebox rewrites the banner),
+    #: "quic-only" (HTTP only over QUIC; TCP header probes see nothing).
     evasion_strategies: tuple[str, ...] = ()
 
     _KNOWN_EVASIONS = (
@@ -60,6 +64,10 @@ class WorldConfig:
         "strip-organization",
         "anonymize-headers",
         "unique-domains",
+        "spoof-headers",
+        "strip-headers",
+        "middlebox-rewrite",
+        "quic-only",
     )
 
     def __post_init__(self) -> None:

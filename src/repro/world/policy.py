@@ -16,8 +16,14 @@ from __future__ import annotations
 
 from repro.hypergiants.certs import CertificateBook
 from repro.hypergiants.headers import HeaderBook, Headers
-from repro.hypergiants.profiles import profile
-from repro.scan.handshake import certificate_covers_domain, dns_name_matches
+from repro.hypergiants.profiles import STOCK_STACKS, profile, stack_profile
+from repro.scan.handshake import (
+    UNKNOWN_STACK,
+    StackFeatures,
+    certificate_covers_domain,
+    dns_name_matches,
+    stack_features,
+)
 from repro.scan.server import ServerKind, SimulatedServer
 from repro.timeline import NETFLIX_HTTP_ERA, Snapshot
 from repro.x509.chain import CertificateChain
@@ -201,6 +207,47 @@ class ServingPolicy:
         """Response headers for a GET on ``port`` (None = no HTTP service)."""
         if port == 443 and not self.https_enabled(server, snapshot):
             return None
+        if self._evades(server, "strip-headers") or self._evades(server, "quic-only"):
+            # No TCP HTTP service at all: stripped endpoints refuse the
+            # GET, QUIC-only endpoints never listen on TCP 80/443.
+            return None
+        if self._evades(server, "spoof-headers"):
+            return self._headers.spoofed_headers(server)
+        if self._evades(server, "middlebox-rewrite"):
+            return self._headers.middlebox_headers(server, snapshot)
         if self._evades(server, "anonymize-headers"):
             return self._headers.anonymous_headers(server)  # §8 (4)
         return self._headers.headers_for(server, snapshot, port)
+
+    # -- TLS stack features --------------------------------------------------
+
+    def stack_profile(
+        self, server: SimulatedServer, snapshot: Snapshot
+    ) -> StackFeatures:
+        """The TLS stack features a handshake with the server elicits.
+
+        Hypergiant metal exhibits its operator's stack (an in-path
+        middlebox or header games cannot change how the TLS stack itself
+        negotiates); third-party edges exhibit the *edge* CDN's stack;
+        everything else draws a stock stack from the server's salt.  A
+        QUIC-only evader still completes a QUIC handshake, so its stack
+        stays observable — with an ALPN set collapsed to ``h3``.
+        """
+        kind = server.kind
+        if kind is ServerKind.HG_ONNET or kind is ServerKind.HG_OFFNET:
+            stack = stack_profile(server.hypergiant)
+            if stack == UNKNOWN_STACK:
+                return self._stock_stack(server)
+            if self._evades(server, "quic-only"):
+                return stack_features(("h3",), stack[1], stack[2])
+            return stack
+        if kind is ServerKind.HG_SERVICE:
+            edge = stack_profile(server.edge_hypergiant or "akamai")
+            return edge if edge != UNKNOWN_STACK else self._stock_stack(server)
+        if kind is ServerKind.CF_CUSTOMER:
+            return stack_profile("cloudflare")
+        return self._stock_stack(server)
+
+    @staticmethod
+    def _stock_stack(server: SimulatedServer) -> StackFeatures:
+        return STOCK_STACKS[int(server.salt * len(STOCK_STACKS)) % len(STOCK_STACKS)]

@@ -219,7 +219,9 @@ class World:
             if self.policy.https_enabled(server, snapshot):
                 chain = self.policy.default_chain(server, snapshot)
                 if chain is not None:
-                    store.add_tls(server.ip, chain)
+                    store.add_tls(
+                        server.ip, chain, self.policy.stack_profile(server, snapshot)
+                    )
                     headers = self.policy.headers(server, snapshot, port=443)
                     if headers:
                         store.add_http(server.ip, 443, headers)

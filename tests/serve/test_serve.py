@@ -92,6 +92,14 @@ class TestBaseline:
         assert status["corpus"] == "rapid7"
         assert status["snapshots"] == [s.label for s in dataset["baseline"]]
 
+    def test_status_reports_the_confirmation_configuration(self, daemon):
+        """Operators read the active ``--signals`` / ``--confirm-policy``
+        off ``/status`` — here the dataclass defaults."""
+        defaults = PipelineOptions()
+        status = query_server(daemon.url(), "status")
+        assert status["signals"] == list(defaults.signals)
+        assert status["confirm_policy"] == defaults.confirm_policy
+
     def test_server_url_discovery(self, daemon):
         assert server_url(daemon.state_dir) == daemon.url()
 

@@ -14,6 +14,7 @@ from tools.check_perf_gate import (
     build_parser,
     check_scaling_summary,
     check_serve_summary,
+    check_signals_summary,
     check_summary,
     main,
 )
@@ -209,6 +210,123 @@ class TestServeMode:
         assert problems == ["serve summary is missing required key 'qps'"]
 
 
+def _cell(confirmed, false_confirmations=0):
+    return {"confirmed": confirmed, "false_confirmations": false_confirmations}
+
+
+def make_signals_summary(
+    kind="signals-evasion",
+    parity_ok=True,
+    baseline_confirmed=0,
+    multi_confirmed=42,
+    false_confirmations=0,
+    control_confirmed=42,
+    adversarial=True,
+    control=True,
+):
+    scenarios = {}
+    if adversarial:
+        scenarios["strip-headers"] = {
+            "adversarial": True,
+            "truth_ases": 44,
+            "baseline": _cell(baseline_confirmed),
+            "multi": _cell(multi_confirmed, false_confirmations),
+        }
+    if control:
+        scenarios["(no evasion)"] = {
+            "adversarial": False,
+            "truth_ases": 44,
+            "baseline": _cell(control_confirmed),
+            "multi": _cell(control_confirmed),
+        }
+    return {
+        "kind": kind,
+        "cpu_count": 4,
+        "signals": ["header", "tls-stack", "cert-names"],
+        "policy": "require-2",
+        "scenarios": scenarios,
+        "parity": {"jobs=1": True, "cache=warm": parity_ok},
+    }
+
+
+class TestSignalsMode:
+    """The evasion-suite bars are all correctness bars: every one is
+    enforced unconditionally, even on single-core hosts."""
+
+    def test_clean_summary_passes(self):
+        assert check_signals_summary(make_signals_summary()) == []
+
+    def test_wrong_kind_is_rejected(self):
+        problems = check_signals_summary(make_signals_summary(kind="serve-load"))
+        assert len(problems) == 1
+        assert "signals-evasion" in problems[0]
+
+    def test_missing_required_keys_are_each_named(self):
+        summary = make_signals_summary()
+        del summary["policy"], summary["parity"]
+        problems = check_signals_summary(summary)
+        assert len(problems) == 2
+        assert any("'policy'" in p for p in problems)
+        assert any("'parity'" in p for p in problems)
+
+    def test_broken_parity_cell_fails(self):
+        problems = check_signals_summary(make_signals_summary(parity_ok=False))
+        assert any("parity broke" in p and "cache=warm" in p for p in problems)
+
+    def test_false_confirmations_fail_even_with_recall(self):
+        """Recall bought with ground-truth violations is a hard failure."""
+        problems = check_signals_summary(
+            make_signals_summary(multi_confirmed=44, false_confirmations=2)
+        )
+        assert any("outside world ground truth" in p for p in problems)
+
+    def test_unfooled_baseline_fails(self):
+        """An adversarial scenario the baseline still confirms through
+        exercises nothing — the bench world is broken."""
+        problems = check_signals_summary(
+            make_signals_summary(baseline_confirmed=44, multi_confirmed=44)
+        )
+        assert any("was not fooled" in p for p in problems)
+
+    def test_multi_must_out_confirm_the_fooled_baseline(self):
+        problems = check_signals_summary(
+            make_signals_summary(multi_confirmed=0)
+        )
+        assert any("did not out-confirm" in p for p in problems)
+
+    def test_multi_below_baseline_fails_anywhere(self):
+        summary = make_signals_summary()
+        summary["scenarios"]["(no evasion)"]["multi"] = _cell(10)
+        problems = check_signals_summary(summary)
+        assert any("multi-signal confirmed 10 < header-only" in p for p in problems)
+
+    def test_missing_adversarial_scenario_fails(self):
+        problems = check_signals_summary(make_signals_summary(adversarial=False))
+        assert any("no adversarial scenario" in p for p in problems)
+
+    def test_missing_control_scenario_fails(self):
+        problems = check_signals_summary(make_signals_summary(control=False))
+        assert any("no clean control" in p for p in problems)
+
+    def test_empty_control_fails(self):
+        problems = check_signals_summary(
+            make_signals_summary(control_confirmed=0)
+        )
+        assert any("confirmed nothing" in p for p in problems)
+
+    def test_missing_cell_keys_are_each_named(self):
+        summary = make_signals_summary()
+        del summary["scenarios"]["strip-headers"]["multi"]["false_confirmations"]
+        problems = check_signals_summary(summary)
+        assert any("multi.false_confirmations" in p for p in problems)
+
+    def test_no_scenarios_fails(self):
+        problems = check_signals_summary(
+            make_signals_summary(adversarial=False, control=False)
+        )
+        assert problems == ["summary records no evasion scenarios"]
+
+
 class TestMain:
     def _write(self, tmp_path, summary):
         path = tmp_path / "summary.json"
@@ -257,11 +375,27 @@ class TestMain:
         assert main([path, "--expect-serve"]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_signals_exit_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_signals_summary())
+        assert main([path, "--expect-signals"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "zero false confirmations" in out
+        assert "strip-headers 0→42" in out
+
+    def test_signals_exit_one(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, make_signals_summary(false_confirmations=3)
+        )
+        assert main([path, "--expect-signals"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
     def test_parser_defaults(self):
         args = build_parser().parse_args(["summary.json"])
         assert args.min_ingest_speedup == 5.0
         assert args.speedup_tolerance == 0.05
         assert not args.expect_parallel_speedup
         assert not args.expect_serve
+        assert not args.expect_signals
         assert args.max_p99_ms == 500.0
         assert args.min_qps == 50.0

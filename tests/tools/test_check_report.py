@@ -129,6 +129,65 @@ class TestFailPaths:
         assert compare_reports(make_report(), candidate)
 
 
+def signals_report(signals=("header", "tls-stack"), booked=None):
+    """A report whose confirm stage ran the named signals.
+
+    ``booked`` restricts which signals actually recorded verdicts;
+    by default every configured signal booked some.
+    """
+    report = make_report()
+    report["options"]["signals"] = list(signals)
+    report["options"]["confirm_policy"] = "paper-default"
+    report["signals"] = {
+        "verdicts": {
+            name: {"confirm": 5, "reject": 2, "abstain": 1}
+            for name in (signals if booked is None else booked)
+        },
+        "disagreements": {"google": 1},
+    }
+    return report
+
+
+class TestExpectSignals:
+    """``--expect-signals``: the CI gate proving the multi-signal
+    confirm engine actually consulted every configured signal."""
+
+    def test_booked_signals_pass(self):
+        assert compare_reports(
+            signals_report(), signals_report(), expect_signals=True
+        ) == []
+
+    def test_without_flag_signals_section_is_not_required(self):
+        assert compare_reports(make_report(), make_report()) == []
+
+    def test_no_configured_signals_fails(self):
+        problems = compare_reports(
+            signals_report(), make_report(), expect_signals=True
+        )
+        assert any("no configured signals" in p for p in problems)
+
+    def test_configured_but_silent_signal_fails(self):
+        candidate = signals_report(booked=("header",))
+        problems = compare_reports(
+            signals_report(), candidate, expect_signals=True
+        )
+        assert any(
+            "'tls-stack' is configured but booked no verdicts" in p
+            for p in problems
+        )
+        assert not any("'header'" in p for p in problems)
+
+    def test_zeroed_verdict_counts_fail(self):
+        candidate = signals_report()
+        candidate["signals"]["verdicts"]["tls-stack"] = {
+            "confirm": 0, "reject": 0, "abstain": 0
+        }
+        problems = compare_reports(
+            signals_report(), candidate, expect_signals=True
+        )
+        assert any("'tls-stack'" in p for p in problems)
+
+
 class TestMain:
     def _write(self, tmp_path, name, report):
         path = tmp_path / name
@@ -158,6 +217,20 @@ class TestMain:
         candidate = self._write(tmp_path, "b.json", make_report(scan_seconds=99.0))
         assert main([baseline, candidate, "--no-timing"]) == 0
         assert "timing skipped" in capsys.readouterr().out
+
+    def test_expect_signals_exit_zero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "a.json", signals_report())
+        candidate = self._write(tmp_path, "b.json", signals_report())
+        assert main([baseline, candidate, "--expect-signals"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_expect_signals_exit_one(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "a.json", signals_report())
+        candidate = self._write(
+            tmp_path, "b.json", signals_report(booked=("header",))
+        )
+        assert main([baseline, candidate, "--expect-signals"]) == 1
+        assert "FAIL" in capsys.readouterr().out
 
 
 class TestValidateReport:

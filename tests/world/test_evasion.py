@@ -90,3 +90,138 @@ class TestEvasionStrategies:
         world = evading_world("strip-organization")
         result = OffnetPipeline(world).run(snapshots=(END,))
         assert result.as_count("google", END, "confirmed") > 10
+
+
+MULTI_SIGNAL = PipelineOptions(
+    signals=("header", "tls-stack", "cert-names"),
+    confirm_policy="require-2",
+)
+
+
+def multi_signal_counts(world):
+    result = OffnetPipeline(world, MULTI_SIGNAL).run(snapshots=(END,))
+    return result.as_count("facebook", END, "confirmed"), result
+
+
+class TestAdversarialStrategies:
+    """The header-blinding strategies: each must fool the header-only
+    baseline outright while the certificate layer keeps the candidates
+    visible — the gap the multi-signal confirm engine exists to close."""
+
+    @pytest.mark.parametrize(
+        "strategy",
+        ["spoof-headers", "strip-headers", "middlebox-rewrite", "quic-only"],
+    )
+    def test_header_only_baseline_is_fooled(self, baseline, strategy):
+        candidates, confirmed, _, _ = facebook_counts(evading_world(strategy))
+        assert candidates > 10  # certificates still give them away
+        assert confirmed == 0  # ...but headers confirm nothing
+
+    @pytest.mark.parametrize(
+        "strategy",
+        ["spoof-headers", "strip-headers", "middlebox-rewrite", "quic-only"],
+    )
+    def test_multi_signal_catches_the_evader(self, baseline, strategy):
+        """TLS-stack + cert-names outvote the poisoned header channel
+        under require-2, without inventing false ASes: any attribution
+        noise (MOAS prefixes credited to a sibling origin) must already
+        be present in the clean-world header-only survey."""
+        from repro.validation.survey import survey_hypergiant
+
+        _, baseline_confirmed, baseline_result, clean_world = baseline
+        noise = survey_hypergiant(
+            baseline_result, clean_world, "facebook", END
+        ).false_ases
+        world = evading_world(strategy)
+        confirmed, result = multi_signal_counts(world)
+        assert confirmed > 0
+        assert confirmed >= baseline_confirmed * 0.8
+        report = survey_hypergiant(result, world, "facebook", END)
+        assert report.false_ases <= noise
+
+    def test_multi_signal_matches_baseline_on_clean_world(self, baseline):
+        """No evasion: the multi-signal path must not over-confirm."""
+        from repro.validation.survey import survey_hypergiant
+
+        _, header_confirmed, baseline_result, world = baseline
+        noise = survey_hypergiant(
+            baseline_result, world, "facebook", END
+        ).false_ases
+        confirmed, result = multi_signal_counts(world)
+        assert confirmed >= header_confirmed
+        assert (
+            survey_hypergiant(result, world, "facebook", END).false_ases <= noise
+        )
+
+
+class TestStackEmission:
+    """The world's TLS-stack surface: who exhibits which handshake."""
+
+    def test_offnet_metal_exhibits_the_operator_stack(self, baseline):
+        from repro.hypergiants.profiles import STACK_PROFILES
+        from repro.scan.server import ServerKind
+
+        _, _, _, world = baseline
+        offnets = [
+            s for s in world.servers_at(END)
+            if s.kind is ServerKind.HG_OFFNET and s.hypergiant == "facebook"
+        ]
+        assert offnets
+        for server in offnets[:20]:
+            assert world.policy.stack_profile(server, END) == STACK_PROFILES[
+                "facebook"
+            ]
+
+    def test_quic_only_collapses_alpn_to_h3(self):
+        from repro.scan.server import ServerKind
+
+        world = evading_world("quic-only")
+        evader = next(
+            s for s in world.servers_at(END)
+            if s.kind is ServerKind.HG_OFFNET and s.hypergiant == "facebook"
+        )
+        alpn, floor, klass = world.policy.stack_profile(evader, END)
+        assert alpn == "h3"
+        assert klass == "proxygen"
+        # ...and the TCP header probe sees nothing at all.
+        assert world.policy.headers(evader, END, port=443) is None
+
+    def test_service_edges_exhibit_the_edge_stack(self, baseline):
+        """§6.1 service presences run on the edge CDN's metal: their
+        handshake names the edge, which is what stops the TLS-stack
+        signal from confirming them as off-nets."""
+        from repro.hypergiants.profiles import STACK_PROFILES
+        from repro.scan.server import ServerKind
+
+        _, _, _, world = baseline
+        edges = [
+            s for s in world.servers_at(END) if s.kind is ServerKind.HG_SERVICE
+        ]
+        assert edges
+        for server in edges[:20]:
+            observed = world.policy.stack_profile(server, END)
+            assert observed != STACK_PROFILES.get(server.hypergiant)
+
+    def test_spoofed_banner_misleads_instead_of_hiding(self):
+        world = evading_world("spoof-headers")
+        from repro.scan.server import ServerKind
+
+        evader = next(
+            s for s in world.servers_at(END)
+            if s.kind is ServerKind.HG_OFFNET and s.hypergiant == "facebook"
+        )
+        headers = dict(world.policy.headers(evader, END, port=443))
+        assert "X-FB-Debug" not in headers
+        assert headers.get("Server", "")  # an actively wrong banner
+
+    def test_middlebox_rewrite_shows_bare_nginx(self):
+        from repro.scan.server import ServerKind
+
+        world = evading_world("middlebox-rewrite")
+        evader = next(
+            s for s in world.servers_at(END)
+            if s.kind is ServerKind.HG_OFFNET and s.hypergiant == "facebook"
+        )
+        headers = dict(world.policy.headers(evader, END, port=443))
+        assert headers.get("Server") == "nginx"
+        assert "X-FB-Debug" not in headers

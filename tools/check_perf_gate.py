@@ -1,6 +1,6 @@
 """CI gate over the tracked perf summaries.
 
-Three modes, selected by flag:
+Four modes, selected by flag:
 
 * **Columnar mode** (the default) consumes ``perf_columnar_summary.json``
   (published by
@@ -34,6 +34,18 @@ Three modes, selected by flag:
   host serializes the daemon against its clients, and the gate says so
   instead of failing on physics.
 
+* **Signals mode** (``--expect-signals``) consumes
+  ``perf_signals_summary.json`` (published by
+  ``benchmarks/bench_hide_and_seek.py``): the adversarial evasion suite
+  comparing the header-only baseline against the multi-signal confirm
+  engine.  Enforced unconditionally (every bar is a correctness bar, no
+  wall-clock involved): the parity matrix holds in every cell, zero
+  false confirmations against world ground truth under *either*
+  configuration in *every* scenario, the header-only baseline misses
+  off-nets in every adversarial scenario (the strategies exist to fool
+  it), and the multi-signal path out-confirms the baseline there while
+  at least matching it on the clean control world.
+
 Usage::
 
     python tools/check_perf_gate.py benchmarks/output/perf_columnar_summary.json
@@ -42,6 +54,8 @@ Usage::
         --expect-parallel-speedup
     python tools/check_perf_gate.py benchmarks/output/perf_serve_summary.json \
         --expect-serve
+    python tools/check_perf_gate.py benchmarks/output/perf_signals_summary.json \
+        --expect-signals
 
 Exit status: 0 when every bar holds, 1 otherwise.
 """
@@ -58,6 +72,7 @@ __all__ = [
     "check_summary",
     "check_scaling_summary",
     "check_serve_summary",
+    "check_signals_summary",
     "main",
 ]
 
@@ -74,6 +89,14 @@ REQUIRED_KEYS = (
 #: Keys a scaling summary must carry (``kind`` guards against pointing
 #: the scaling gate at the wrong summary file).
 SCALING_REQUIRED_KEYS = ("kind", "cpu_count", "jobs", "runs", "speedups", "parity")
+
+#: Keys a signals summary must carry for the signals gate to be
+#: meaningful (``kind`` guards against pointing the gate at the wrong
+#: summary file).
+SIGNALS_REQUIRED_KEYS = ("kind", "signals", "policy", "scenarios", "parity")
+
+#: Keys every evasion scenario's baseline/multi cells must carry.
+SIGNALS_CELL_KEYS = ("confirmed", "false_confirmations")
 
 #: Keys a serve summary must carry for the serve gate to be meaningful.
 SERVE_REQUIRED_KEYS = (
@@ -242,6 +265,92 @@ def check_serve_summary(
     return problems
 
 
+def check_signals_summary(summary: dict) -> list[str]:
+    """Every signals-mode gate violation, as human-readable strings.
+
+    Everything here is a correctness bar, so everything is enforced
+    unconditionally — there is no wall-clock measurement to downgrade
+    on single-core hosts.
+    """
+    problems = [
+        f"signals summary is missing required key {key!r}"
+        for key in SIGNALS_REQUIRED_KEYS
+        if key not in summary
+    ]
+    if problems:
+        return problems
+    if summary["kind"] != "signals-evasion":
+        return [
+            f"summary kind is {summary['kind']!r}, expected 'signals-evasion' "
+            "(is this perf_signals_summary.json?)"
+        ]
+    broken = [label for label, ok in summary["parity"].items() if not ok]
+    if broken:
+        problems.append(
+            "funnel/signal parity broke under: " + ", ".join(sorted(broken))
+        )
+    scenarios = summary["scenarios"]
+    if not scenarios:
+        problems.append("summary records no evasion scenarios")
+        return problems
+    adversarial_seen = control_seen = False
+    for label in sorted(scenarios):
+        cell = scenarios[label]
+        missing = [
+            f"scenario {label!r} is missing {side}.{key}"
+            for side in ("baseline", "multi")
+            for key in SIGNALS_CELL_KEYS
+            if key not in cell.get(side, {})
+        ]
+        if missing:
+            problems += missing
+            continue
+        baseline, multi = cell["baseline"], cell["multi"]
+        # The hard floor everywhere: ground truth is sacred under both
+        # configurations — a multi-signal engine that buys recall with
+        # false confirmations has failed.
+        for side_name, side in (("header-only", baseline), ("multi-signal", multi)):
+            if side["false_confirmations"]:
+                problems.append(
+                    f"scenario {label!r}: {side_name} confirmed "
+                    f"{side['false_confirmations']} AS(es) outside world "
+                    "ground truth"
+                )
+        if multi["confirmed"] < baseline["confirmed"]:
+            problems.append(
+                f"scenario {label!r}: multi-signal confirmed "
+                f"{multi['confirmed']} < header-only baseline "
+                f"{baseline['confirmed']}"
+            )
+        if cell.get("adversarial"):
+            adversarial_seen = True
+            truth = cell.get("truth_ases", 0)
+            if baseline["confirmed"] >= truth:
+                problems.append(
+                    f"scenario {label!r}: the header-only baseline was not "
+                    f"fooled (confirmed {baseline['confirmed']} of {truth} "
+                    "true ASes) — the scenario exercises nothing"
+                )
+            if multi["confirmed"] <= baseline["confirmed"]:
+                problems.append(
+                    f"scenario {label!r}: multi-signal ({multi['confirmed']}) "
+                    "did not out-confirm the fooled baseline "
+                    f"({baseline['confirmed']})"
+                )
+        else:
+            control_seen = True
+            if not baseline["confirmed"]:
+                problems.append(
+                    f"control scenario {label!r} confirmed nothing — the "
+                    "suite ran against an empty world"
+                )
+    if not adversarial_seen:
+        problems.append("summary records no adversarial scenario")
+    if not control_seen:
+        problems.append("summary records no clean control scenario")
+    return problems
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Enforce the tracked perf-summary bars in CI."
@@ -282,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
         "qps bars only when the summary records >= 2 CPU cores",
     )
     parser.add_argument(
+        "--expect-signals",
+        action="store_true",
+        help="signals mode: enforce the evasion-suite bars unconditionally "
+        "— parity in every cell, zero false confirmations against world "
+        "ground truth under both configurations, the header-only baseline "
+        "fooled by every adversarial scenario, and the multi-signal path "
+        "out-confirming it there",
+    )
+    parser.add_argument(
         "--max-p99-ms",
         type=float,
         default=500.0,
@@ -309,6 +427,29 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as error:
         print(f"FAIL: perf summary is not valid JSON: {error}")
         return 1
+
+    if args.expect_signals:
+        problems = check_signals_summary(summary)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        scenarios = summary["scenarios"]
+        adversarial = {
+            label: cell for label, cell in scenarios.items() if cell.get("adversarial")
+        }
+        fooled = ", ".join(
+            f"{label} {cell['baseline']['confirmed']}→{cell['multi']['confirmed']}"
+            for label, cell in sorted(adversarial.items())
+        )
+        print(
+            f"OK: {len(adversarial)} adversarial scenario(s) fooled the "
+            f"header-only baseline and were recovered by "
+            f"{'+'.join(summary['signals'])} under {summary['policy']} "
+            f"({fooled}); zero false confirmations anywhere; parity holds "
+            f"in {len(summary['parity'])} cells"
+        )
+        return 0
 
     if args.expect_serve:
         problems = check_serve_summary(summary, args.max_p99_ms, args.min_qps)

@@ -25,6 +25,12 @@ machines, or a warm-cache run whose skipped stages never book seconds).
 nonzero stage-artifact cache hit ratio (its ``stage_cache`` section) —
 the CI warm-cache job runs the pipeline twice against one ``--cache-dir``
 and gates the second report on exactly this.
+
+``--expect-signals`` additionally requires the candidate's ``signals``
+section to prove the multi-signal confirm engine actually ran: every
+signal configured in the report's options must have booked at least one
+verdict (confirm + reject + abstain > 0).  A signal that was configured
+but never consulted is a wiring bug, not a quiet no-op.
 """
 
 from __future__ import annotations
@@ -92,6 +98,7 @@ def compare_reports(
     min_stage_seconds: float = DEFAULT_MIN_SECONDS,
     check_timing: bool = True,
     expect_cache_hits: bool = False,
+    expect_signals: bool = False,
 ) -> list[str]:
     """Every reason the candidate fails the gate (empty = pass)."""
     problems = [f"baseline: {p}" for p in validate_report(baseline)]
@@ -138,6 +145,23 @@ def compare_reports(
                 f"hits={hits} hit_rate={hit_rate} — the warm run did not "
                 "reuse any artifacts"
             )
+
+    if expect_signals:
+        section = candidate.get("signals", {})
+        configured = candidate.get("options", {}).get("signals", [])
+        if not configured:
+            problems.append(
+                "expected signal verdicts but the candidate's options name "
+                "no configured signals"
+            )
+        verdicts = section.get("verdicts", {})
+        for signal in configured:
+            booked = sum(verdicts.get(signal, {}).values())
+            if not booked:
+                problems.append(
+                    f"signal {signal!r} is configured but booked no verdicts "
+                    "— the confirm stage never consulted it"
+                )
     return problems
 
 
@@ -179,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the candidate reports a nonzero stage-artifact "
         "cache hit ratio (the CI warm-cache gate)",
     )
+    parser.add_argument(
+        "--expect-signals",
+        action="store_true",
+        help="fail unless every signal configured in the candidate's "
+        "options booked at least one verdict in its signals section "
+        "(the CI signals gate)",
+    )
     return parser
 
 
@@ -195,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         min_stage_seconds=args.min_stage_seconds,
         check_timing=not args.no_timing,
         expect_cache_hits=args.expect_cache_hits,
+        expect_signals=args.expect_signals,
     )
     if problems:
         print(f"FAIL: {args.candidate} vs baseline {args.baseline}")
