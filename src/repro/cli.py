@@ -12,6 +12,9 @@ Commands::
     python -m repro export     --dir out/ --format columnar     # binary corpora
     python -m repro serve      --dir out/ --state-dir idx/      # query daemon
     python -m repro query      --state-dir idx/ --endpoint hypergiants
+    python -m repro scenario list                               # named worlds
+    python -m repro scenario run --name flash-crowd             # eventful run
+    python -m repro scenario assess --name skewed               # realism score
 
 ``dump`` and ``export`` take ``--format`` to pick the corpus codec; the
 accepted names come from the codec registry
@@ -64,6 +67,15 @@ File-backed runs also take the ingestion robustness flags
   additionally apply deterministic repairs;
 * ``--quarantine-dir DIR`` — persist quarantined records as JSONL, one
   file per corpus snapshot.
+
+``scenario`` drives the scenario engine (:mod:`repro.scenario`): ``list``
+and ``describe`` browse the named-scenario registry, ``run`` builds a
+named spec's world (mid-timeline events included) and runs the full
+pipeline over it, and ``assess`` scores the built world against the
+paper's distributions (the same scorer as ``tools/assess_realism.py``).
+Unlike the other subcommands, ``scenario`` resolves ``--seed``/``--scale``
+from the *spec* when the flags are not given after the verb — pass them
+after the verb (``repro scenario run --name toy --seed 11``) to override.
 
 ``serve`` keeps a persistent :mod:`repro.serve` footprint index in
 ``--state-dir`` in sync with ``--dir`` (only new or changed snapshots
@@ -362,6 +374,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write records quarantined during serve-side ingestion as "
         "JSONL under DIR (same layout as the batch run's)",
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="scenario engine: list/describe named worlds, run one through "
+        "the pipeline, or score its realism",
+    )
+    scenario.add_argument(
+        "verb",
+        choices=("list", "describe", "run", "assess"),
+        help="list the registry, describe one spec, run its world through "
+        "the pipeline, or score the built world against the paper's "
+        "distributions",
+    )
+    scenario.add_argument(
+        "--name",
+        default="paper-default",
+        help="scenario name from the registry (default: paper-default; "
+        "see `repro scenario list`)",
+    )
+    # Unlike the shared globals, None (not SUPPRESS) is deliberate here:
+    # "flag not given" must stay observable so the spec's own defaults
+    # decide — `scenario run --name toy` builds at the toy scale.
+    scenario.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="world seed (default: the scenario's own default)",
+    )
+    scenario.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="Internet scale factor (default: the scenario's own default)",
+    )
+    scenario.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the run verb (default 1; output is "
+        "identical for any N, events included)",
+    )
+    scenario.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus the run verb analyses (default: rapid7)",
+    )
+    scenario.add_argument(
+        "--report",
+        default=None,
+        metavar="OUT.json",
+        help="run verb: also write the versioned run report (its "
+        "`scenario` section carries the event schedule and suppression "
+        "counters)",
+    )
+    scenario.add_argument(
+        "--out",
+        default=None,
+        metavar="OUT.json",
+        help="assess verb: also write the repro.realism-report/1 JSON "
+        "(what CI's realism gate consumes)",
     )
 
     query = sub.add_parser(
@@ -778,6 +852,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """``scenario``: browse the registry, run a named world, or score it."""
+    from repro.scenario import assess_world, get_scenario, scenario_names
+
+    if args.verb == "list":
+        rows = [
+            (
+                spec.name,
+                spec.description,
+                len(spec.events) or "-",
+                spec.paper_ref or "-",
+            )
+            for spec in (get_scenario(name) for name in scenario_names())
+        ]
+        print(
+            render_table(
+                ["scenario", "description", "events", "paper"],
+                rows,
+                title="Registered scenarios (repro scenario describe --name X)",
+            )
+        )
+        return 0
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    if args.verb == "describe":
+        print(spec.describe())
+        return 0
+    world = spec.build(seed=args.seed, scale=args.scale)
+    if args.verb == "assess":
+        report = assess_world(world)
+        for metric in report["metrics"]:
+            low, high = metric["band"]
+            flag = "ok  " if metric["ok"] else "FLAG"
+            print(
+                f"{flag} {metric['name']:<24} {metric['value']:<8g} "
+                f"band [{low:g}, {high:g}]  ({metric['paper_ref']})"
+            )
+        verdict = "realistic" if report["realistic"] else "UNREALISTIC"
+        print(
+            f"{spec.name}: {verdict} — {report['passed']}/{report['total']} "
+            f"metrics inside their paper bands"
+        )
+        if args.out:
+            import json as _json
+            from pathlib import Path as _Path
+
+            path = _Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                _json.dumps(report, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote realism report to {path}")
+        return 0
+    # run
+    try:
+        options = PipelineOptions(
+            corpus=args.corpus or "rapid7", jobs=1 if args.jobs is None else args.jobs
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    result = OffnetPipeline(world, options).run()
+    rows = build_table3(result)
+    first, last = result.snapshots[0], result.snapshots[-1]
+    config = world.config
+    print(
+        render_table(
+            ["Hypergiant", f"{first} (certs)", "max [when]", f"{last} (certs)"],
+            [row.format() for row in rows],
+            title=f"Scenario '{spec.name}' footprints "
+            f"(seed={config.seed}, scale={config.scale})",
+        )
+    )
+    overlay = world.event_overlay
+    if overlay is not None:
+        print("\nscheduled events:")
+        for event in overlay.events:
+            print(f"  {event.describe()}")
+    if args.report:
+        from repro.obs.report import write_report
+
+        path = write_report(result.report(), args.report)
+        print(f"wrote run report to {path} (see its 'scenario' section)")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     """``query``: one GET against a running daemon, JSON to stdout."""
     import json as _json
@@ -820,6 +984,7 @@ _COMMANDS = {
     "run-files": _cmd_run,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "scenario": _cmd_scenario,
 }
 
 

@@ -672,6 +672,12 @@ class OffnetPipeline:
             by_snapshot[snapshot] = footprint
             metrics.merge(outcome.metrics)
         watch.lap("merge")
+        scenario = self._scenario_meta()
+        for event in scenario.get("events", ()):
+            # Book the schedule at the merge barrier: it is pure config,
+            # and the barrier runs once in the parent for every executor
+            # and cache state, so eventful runs stay bit-identical too.
+            metrics.counter("scenario_events_total", kind=event["kind"]).inc()
         return PipelineResult(
             corpus=self.options.corpus,
             snapshots=tuple(snapshots),
@@ -680,8 +686,15 @@ class OffnetPipeline:
             run_meta={
                 "options": self.options_meta(),
                 "executor": dict(executor_meta or {}),
+                "scenario": scenario,
             },
         )
+
+    def _scenario_meta(self) -> dict:
+        """The source's scenario identity (duck-typed: file datasets and
+        plain worlds without events report an empty schedule)."""
+        meta = getattr(self.source, "scenario_meta", None)
+        return meta() if callable(meta) else {}
 
     def options_meta(self) -> dict:
         """The methodology switches for the run report's ``options``

@@ -86,6 +86,7 @@ class CertificateBook:
         when: Snapshot,
         offnet: bool = False,
         shard: int = 0,
+        generation: int = 0,
     ) -> CertificateChain:
         """The chain a HG server of domain-group ``group`` presents at
         ``when``.
@@ -95,7 +96,10 @@ class CertificateBook:
         selects among operationally distinct certificates covering the same
         domain group — HG fleets split their population over several
         certificates (Figure 11's IP groups), and Facebook's sharding grew
-        over time.
+        over time.  ``generation`` counts scenario-event mass rotations: a
+        non-zero generation reissues the chain (same names, same validity
+        era, fresh serial and fingerprint) without disturbing the
+        generation-0 issuance stream the default world depends on.
         """
         hg = profile(hg_key)
         group = group % len(hg.domain_groups)
@@ -106,7 +110,7 @@ class CertificateBook:
             and NETFLIX_EXPIRED_ERA[0] <= when < NETFLIX_EXPIRED_ERA[1]
         ):
             return self._netflix_frozen_chain()
-        return self._issue_group_chain(hg, group, when, shard)
+        return self._issue_group_chain(hg, group, when, shard, generation)
 
     def _netflix_frozen_chain(self) -> CertificateChain:
         """The certificate Netflix off-nets kept serving after it expired:
@@ -132,20 +136,28 @@ class CertificateBook:
         return chain
 
     def _issue_group_chain(
-        self, hg: HypergiantProfile, group: int, when: Snapshot, shard: int = 0
+        self,
+        hg: HypergiantProfile,
+        group: int,
+        when: Snapshot,
+        shard: int = 0,
+        generation: int = 0,
     ) -> CertificateChain:
         not_before, not_after = self._era_window(hg, when)
-        key = ("hg", hg.key, group, shard, not_before.label, not_after.label)
+        key = ("hg", hg.key, group, shard, generation, not_before.label, not_after.label)
         chain = self._chain_cache.get(key)
         if chain is None:
             issuer = self._issuer_for(f"hg:{hg.key}:{group}")
             names = hg.domain_groups[group]
+            provenance = f"hg:{hg.key}:group{group}:shard{shard}"
+            if generation:
+                provenance += f":gen{generation}"
             leaf = issuer.issue(
                 subject=SubjectName(common_name=names[0], organization=hg.organization),
                 dns_names=names,
                 not_before=not_before,
                 not_after=not_after,
-                provenance=f"hg:{hg.key}:group{group}:shard{shard}",
+                provenance=provenance,
             )
             chain = build_chain(leaf, issuer)
             self._chain_cache[key] = chain

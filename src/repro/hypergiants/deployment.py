@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hypergiants.profiles import TOP4
 from repro.hypergiants.schedules import SCHEDULES, scaled_target
@@ -33,6 +34,9 @@ from repro.timeline import Snapshot
 from repro.topology.categories import ConeCategory
 from repro.topology.generator import GeneratedTopology
 from repro.topology.geography import Continent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world -> here)
+    from repro.world.events import ScenarioEvent
 
 __all__ = ["DeploymentEngine", "DeploymentPlan"]
 
@@ -120,10 +124,18 @@ class DeploymentPlan:
     snapshots: tuple[Snapshot, ...]
     deployed: dict[str, dict[Snapshot, frozenset[ASN]]] = field(default_factory=dict)
     service_present: dict[str, dict[Snapshot, frozenset[ASN]]] = field(default_factory=dict)
+    #: Scenario-event bookkeeping: ASes a cache-withdrawal event has taken
+    #: dark at a snapshot (disjoint from ``deployed`` there; the same ASes
+    #: return when the event window closes).  Empty for event-free worlds.
+    withdrawn: dict[str, dict[Snapshot, frozenset[ASN]]] = field(default_factory=dict)
 
     def deployed_at(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
         """ASes hosting the HG's hardware at ``snapshot``."""
         return self.deployed.get(hypergiant, {}).get(snapshot, frozenset())
+
+    def withdrawn_at(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
+        """ASes a scenario event has withdrawn from the HG at ``snapshot``."""
+        return self.withdrawn.get(hypergiant, {}).get(snapshot, frozenset())
 
     def service_present_at(self, hypergiant: str, snapshot: Snapshot) -> frozenset[ASN]:
         """Cert-only ASes for the HG at ``snapshot`` (disjoint from deployed)."""
@@ -154,6 +166,8 @@ class DeploymentEngine:
         scale: float,
         seed: int,
         excluded_ases: frozenset[ASN] = frozenset(),
+        events: tuple[ScenarioEvent, ...] = (),
+        roster: tuple[str, ...] = (),
     ) -> None:
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -161,6 +175,16 @@ class DeploymentEngine:
         self._scale = scale
         self._seed = seed
         self._excluded = excluded_ases
+        # Scenario-engine inputs: mid-timeline events modulate targets and
+        # withdraw hosts; a non-empty roster restricts which schedules run.
+        # Both default to "off", leaving the plan bit-identical to the
+        # pre-scenario engine.
+        self._events = tuple(events)
+        self._schedules = (
+            {hg: SCHEDULES[hg] for hg in SCHEDULES if hg in roster}
+            if roster
+            else dict(SCHEDULES)
+        )
         self._rng = random.Random(seed)
         # HGs deploy where the users are: an AS's user-population market
         # share multiplies its attractiveness, which is what makes a few
@@ -177,14 +201,14 @@ class DeploymentEngine:
         """Produce the full deployment plan over the topology's timeline."""
         topology = self._topology
         plan = DeploymentPlan(snapshots=topology.snapshots)
-        current: dict[str, set[ASN]] = {hg: set() for hg in SCHEDULES}
+        current: dict[str, set[ASN]] = {hg: set() for hg in self._schedules}
         service_order: dict[str, list[ASN]] = {}
 
         # Larger HGs pick first within each snapshot so smaller footprints
         # can follow them into the same ASes (the §6.6 symbiosis).
         ordered_hgs = sorted(
-            SCHEDULES,
-            key=lambda hg: max(v for _, v in SCHEDULES[hg].deployed_anchors),
+            self._schedules,
+            key=lambda hg: max(v for _, v in self._schedules[hg].deployed_anchors),
             reverse=True,
         )
 
@@ -195,8 +219,9 @@ class DeploymentEngine:
             overlap = self._overlap_counts(current)
 
             for hypergiant in ordered_hgs:
-                schedule = SCHEDULES[hypergiant]
+                schedule = self._schedules[hypergiant]
                 target = scaled_target(schedule.deployed_target(snapshot), self._scale)
+                target = self._event_target(hypergiant, snapshot, target)
                 hosts = current[hypergiant]
                 hosts &= alive  # an AS cannot host before it exists
                 if target > len(hosts):
@@ -221,12 +246,21 @@ class DeploymentEngine:
                         self._grow(
                             hypergiant, hosts, target, snapshot, alive, categories, overlap
                         )
-                plan.deployed.setdefault(hypergiant, {})[snapshot] = frozenset(hosts)
+                # A cache-withdrawal event takes a jitter-keyed subset dark:
+                # ``hosts`` keeps them (so restoration returns the *same*
+                # ASes and the grow path does not backfill), but the plan's
+                # ground truth excludes them while the window is open.
+                withdrawn = self._withdrawn(hypergiant, hosts, snapshot)
+                if withdrawn:
+                    plan.withdrawn.setdefault(hypergiant, {})[snapshot] = withdrawn
+                plan.deployed.setdefault(hypergiant, {})[snapshot] = (
+                    frozenset(hosts) - withdrawn
+                )
 
             # Cert-only ASes: drawn from a per-HG deterministic ordering,
             # preferring ASes that host *other* HGs' hardware (third-party
             # CDN edges) and never overlapping the HG's own deployment.
-            for hypergiant, schedule in SCHEDULES.items():
+            for hypergiant, schedule in self._schedules.items():
                 extra_target = scaled_target(
                     schedule.service_extra_target(snapshot), self._scale
                 )
@@ -246,6 +280,46 @@ class DeploymentEngine:
         return plan
 
     # -- internals ------------------------------------------------------------
+
+    def _event_target(self, hypergiant: str, snapshot: Snapshot, target: int) -> int:
+        """Apply active flash-crowd events to the schedule's target.
+
+        The multiplier compounds on the *scaled* target so toy worlds see
+        the same relative spike as large ones; when the window closes the
+        ordinary shrink path releases the surplus.
+        """
+        for event in self._events:
+            if (
+                event.kind == "flash-crowd"
+                and event.hypergiant == hypergiant
+                and event.active_at(snapshot)
+            ):
+                target = max(target + 1, round(target * event.magnitude))
+        return target
+
+    def _withdrawn(
+        self, hypergiant: str, hosts: set[ASN], snapshot: Snapshot
+    ) -> frozenset[ASN]:
+        """The jitter-keyed host subset active cache-withdrawals take dark.
+
+        Keying the subset on the engine's fixed per-(HG, AS) jitter — not
+        on a stream that advances — means every snapshot inside the window
+        withdraws the *same* ASes and the window's close restores exactly
+        them, mirroring the §6.2 Netflix restoration shape.
+        """
+        fraction = 0.0
+        for event in self._events:
+            if (
+                event.kind == "cache-withdrawal"
+                and event.hypergiant == hypergiant
+                and event.active_at(snapshot)
+            ):
+                fraction = max(fraction, event.magnitude)
+        if fraction <= 0.0 or not hosts:
+            return frozenset()
+        count = min(len(hosts), max(1, round(len(hosts) * fraction)))
+        ordered = sorted(hosts, key=lambda asn: (self._jitter(hypergiant, asn), asn))
+        return frozenset(ordered[:count])
 
     def _jitter(self, hypergiant: str, asn: ASN) -> float:
         """A fixed uniform(0,1) draw per (HG, AS), derived from the engine

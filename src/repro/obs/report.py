@@ -17,6 +17,11 @@ A run report is the pipeline's flight recorder, built from the merged
   signals and combine policy were configured, per-signal confirm /
   reject / abstain verdict totals, and the per-HG disagreement counts
   (candidates where one signal confirmed while another rejected);
+* ``scenario`` — the scenario engine's identity and effect: the named
+  spec the world came from, its mid-timeline event schedule (every event
+  with a one-line summary), and the suppression counters the scanners
+  booked while events were active (all blank/zero for file datasets and
+  event-free worlds);
 * ``cache`` — the §4.1 cross-snapshot validation-cache counters;
 * ``stage_cache`` — the stage-artifact cache's hit/miss/store counters,
   total and per stage (the warm-run CI gate asserts a nonzero hit ratio
@@ -103,6 +108,7 @@ def build_report(result: Any) -> dict:
         "store": _store_section(registry),
         "ingest": _ingest_section(registry),
         "signals": _signals_section(registry, run_meta.get("options", {})),
+        "scenario": _scenario_section(registry, run_meta.get("scenario", {})),
         "cache": _cache_section(registry),
         "stage_cache": _stage_cache_section(registry),
         "metrics": registry.to_dict(),
@@ -231,6 +237,35 @@ def _funnel_section(registry: MetricsRegistry, snapshots) -> dict:
         entry["hypergiants"] = {hg: hypergiants[hg] for hg in sorted(hypergiants)}
         funnel[label] = entry
     return funnel
+
+
+def _scenario_section(registry: MetricsRegistry, meta: dict) -> dict:
+    """Scenario-engine accounting: which spec built the world and what
+    its event schedule did to the corpuses.
+
+    ``meta`` is the source's :meth:`~repro.world.world.World.scenario_meta`
+    (empty for file datasets; a blank name for directly-built worlds).
+    The event schedule is also booked into the merged registry at the
+    merge barrier (``scenario_events_total{kind}``), and scans run with
+    an explicit registry additionally book per-server suppressions
+    (``scan_servers_total{outcome=withdrawn|scan_outage}``) — both are
+    echoed here.  Like ``store``/``ingest``/``signals``, the section is
+    not in ``_REQUIRED_KEYS`` and not in the deterministic view, so
+    event-free reports stay comparable with pre-scenario baselines.
+    """
+    outcomes = registry.counters_by_label("scan_servers_total", "outcome")
+    return {
+        "name": meta.get("name", ""),
+        "seed": meta.get("seed"),
+        "scale": meta.get("scale"),
+        "events": list(meta.get("events", ())),
+        "event_counts": registry.counters_by_label("scenario_events_total", "kind"),
+        "withdrawn_as_snapshots": meta.get("withdrawn_as_snapshots", 0),
+        "scan_suppressions": {
+            "withdrawn": outcomes.get("withdrawn", 0),
+            "scan_outage": outcomes.get("scan_outage", 0),
+        },
+    }
 
 
 def _cache_section(registry: MetricsRegistry) -> dict:

@@ -119,8 +119,10 @@ class Scanner:
         With a ``registry``, the sweep accounts for where coverage went:
         ``scan_servers_total{scanner, outcome}`` counts every live server
         as reached / excluded (complaint lists) / unresponsive (rate
-        limiting) / ipv6_only, and ``scan_records_total{scanner, kind}``
-        the TLS and HTTP records the corpus ends up with.
+        limiting) / ipv6_only — plus, in scenario worlds, withdrawn
+        (cache-withdrawal events) and scan_outage (regional blackouts) —
+        and ``scan_records_total{scanner, kind}`` the TLS and HTTP records
+        the corpus ends up with.
         """
         profile = self.profile
 
@@ -150,6 +152,9 @@ class Scanner:
         store = result.store
         policy = world.policy
         stack_of = getattr(policy, "stack_profile", None)
+        # Scenario worlds carry an event overlay; the default world carries
+        # none, so the per-server loop below pays nothing for it.
+        overlay = getattr(world, "event_overlay", None)
         index = snapshot.index
         for server in world.servers:
             if not server.alive_at(snapshot):
@@ -157,6 +162,13 @@ class Scanner:
             if server.ipv6_only:
                 count("ipv6_only")
                 continue  # IPv4-wide scans never reach IPv6-only hosts (§7)
+            if overlay is not None:
+                if overlay.scan_suppressed(profile.name, server.asn, snapshot):
+                    count("scan_outage")
+                    continue
+                if overlay.withdrawal_suppressed(server, snapshot):
+                    count("withdrawn")
+                    continue
             if excluded and (server.ip & ~0xFF) in excluded:
                 count("excluded")
                 continue

@@ -1,0 +1,34 @@
+"""The scenario engine: parameterised worlds, events, and realism scoring.
+
+Three pieces layered on :mod:`repro.world`:
+
+* :class:`~repro.scenario.spec.ScenarioSpec` — a named recipe bundling
+  every scenario knob of :class:`~repro.world.config.WorldConfig`;
+* the registry (:func:`get_scenario` / :func:`register_scenario` /
+  :func:`scenario_names`) with its built-in catalogue, mirroring the
+  signal and codec registries;
+* :func:`~repro.scenario.realism.assess_world` — the paper-anchored
+  realism scorer behind ``tools/assess_realism.py``.
+
+Event types themselves (:class:`~repro.world.events.ScenarioEvent`) live
+in the world layer so configs can embed them; they are re-exported here
+as the public surface.
+
+See ``docs/scenarios.md`` for the full guide.
+"""
+
+from repro.scenario.realism import REALISM_SCHEMA, assess_world
+from repro.scenario.registry import get_scenario, register_scenario, scenario_names
+from repro.scenario.spec import ScenarioSpec
+from repro.world.events import EVENT_KINDS, ScenarioEvent
+
+__all__ = [
+    "EVENT_KINDS",
+    "REALISM_SCHEMA",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "assess_world",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,153 @@
+"""The named-scenario registry and its built-in catalogue.
+
+Mirrors the confirmation-signal registry
+(:mod:`repro.core.signals.registry`) and the corpus codec registry
+(:mod:`repro.datasets.formats`): stable names map to specs, last
+registration wins (so tests can shadow a built-in), and the CLI's
+``repro scenario`` verbs resolve names here.
+
+The built-ins cover the catalogue ``docs/scenarios.md`` documents:
+
+* ``paper-default`` — the unmodified hand-shaped world (the identity
+  spec; byte-identical to ``build_world(seed, scale)``);
+* ``toy`` — a quarter-scale smoke world for fast experiments;
+* ``flash-crowd`` — a Google off-net demand spike (§6.1-style growth);
+* ``netflix-withdrawal`` — a full mid-timeline cache withdrawal and
+  restoration (the §6.2 episode, re-scheduled);
+* ``cert-rotation`` — Facebook mass-reissues its fleet (§4 name-keyed
+  funnel invariance under fingerprint churn);
+* ``regional-outage`` — Rapid7 loses South America for three quarters
+  (§4.1 vantage-point caveats);
+* ``skewed`` — a deliberately unrealistic cone census and regional mix,
+  the negative control for ``tools/assess_realism.py``.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import ScenarioSpec
+from repro.world.events import ScenarioEvent
+
+__all__ = ["get_scenario", "register_scenario", "scenario_names"]
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register ``spec`` under its name (last registration wins)."""
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Every registered scenario name, sorted — what ``--name`` offers."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The spec registered under ``name``."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-default",
+        description="the unmodified hand-shaped world every paper figure reproduces",
+        paper_ref="§3-§6 (the whole reproduction)",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="toy",
+        description="quarter-scale event-free world for fast smoke experiments",
+        scale=0.005,
+        paper_ref="(none - development aid)",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="Google off-net demand spikes 1.6x through 2018, then recedes",
+        events=(
+            ScenarioEvent(
+                kind="flash-crowd",
+                start="2018-01",
+                end="2019-01",
+                hypergiant="google",
+                magnitude=1.6,
+            ),
+        ),
+        paper_ref="§6.1 (Fig. 3 growth-curve dynamics)",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="netflix-withdrawal",
+        description="every Netflix off-net AS goes dark for a year, then returns",
+        events=(
+            ScenarioEvent(
+                kind="cache-withdrawal",
+                start="2016-04",
+                end="2017-04",
+                hypergiant="netflix",
+                magnitude=1.0,
+            ),
+        ),
+        paper_ref="§6.2 (the Netflix withdrawal episode, re-scheduled)",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cert-rotation",
+        description="Facebook mass-reissues its certificate fleet in 2019",
+        events=(
+            ScenarioEvent(
+                kind="cert-rotation",
+                start="2019-01",
+                hypergiant="facebook",
+            ),
+        ),
+        paper_ref="§4.1/§4.3 (dNSName-keyed inference under fingerprint churn)",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="regional-outage",
+        description="Rapid7 loses South America for three quarters",
+        events=(
+            ScenarioEvent(
+                kind="scan-outage",
+                start="2018-04",
+                end="2019-01",
+                region="South America",
+                scanner="rapid7",
+            ),
+        ),
+        paper_ref="§4.1 (vantage-point and corpus-coverage caveats)",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="skewed",
+        description="deliberately unrealistic cone census and regional mix "
+        "(the realism scorer's negative control)",
+        cone_shares=(
+            ("Small", 0.4),
+            ("Medium", 0.18),
+            ("Large", 0.04),
+            ("XLarge", 0.01),
+        ),
+        region_weights=(("Europe", 6.0), ("Asia", 0.2)),
+        paper_ref="§6.3/§6.4 (as the distributions it violates)",
+    )
+)

@@ -1,0 +1,116 @@
+"""The :class:`ScenarioSpec`: a named, parameterised world recipe.
+
+A spec bundles every scenario-engine knob of
+:class:`~repro.world.config.WorldConfig` — regional mix, cone census,
+hypergiant roster, mid-timeline events — together with defaults for seed
+and scale, under a stable name the CLI and the realism tooling resolve
+through the registry (:mod:`repro.scenario.registry`).
+
+The spec is a *recipe*, not a world: :meth:`ScenarioSpec.world_config`
+produces the WorldConfig (the single validation authority for every
+knob), and :meth:`ScenarioSpec.build` the deterministic world itself.
+Two builds of the same spec with the same seed/scale are bit-identical,
+and a spec with no knobs set reproduces the pre-scenario hand-shaped
+world exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.world.config import WorldConfig
+from repro.world.events import ScenarioEvent
+
+__all__ = ["ScenarioSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One named world recipe: generation knobs plus an event schedule.
+
+    All knob defaults are the identity — an empty spec builds the same
+    world as ``build_world(seed, scale)``.  Validation of knob *values*
+    lives in :class:`~repro.world.config.WorldConfig`; the spec only
+    validates its own identity fields.
+    """
+
+    #: Registry name (kebab-case, e.g. ``"flash-crowd"``).
+    name: str
+    #: One-line human summary for ``repro scenario list``.
+    description: str
+    #: Default world seed (overridable per build).
+    seed: int = 7
+    #: Default Internet scale factor (overridable per build).
+    scale: float = 0.02
+    #: Per-continent multipliers on the country sampling weights.
+    region_weights: tuple[tuple[str, float], ...] = ()
+    #: Cone-category share overrides (stubs absorb the remainder).
+    cone_shares: tuple[tuple[str, float], ...] = ()
+    #: Restrict deployment to these hypergiant keys (empty = all 13).
+    hypergiant_roster: tuple[str, ...] = ()
+    #: Mid-timeline events, in schedule order.
+    events: tuple[ScenarioEvent, ...] = field(default_factory=tuple)
+    #: Background (non-HG) server density multiplier.
+    background_density: float = 1.0
+    #: Fraction of background servers with §4.1-invalid certificates.
+    invalid_fraction: float = 0.45
+    #: Paper sections/figures this scenario exercises (documentation only).
+    paper_ref: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.description:
+            raise ValueError(f"scenario {self.name!r} needs a description")
+
+    def world_config(
+        self, seed: int | None = None, scale: float | None = None
+    ) -> WorldConfig:
+        """The WorldConfig this spec describes.
+
+        ``seed``/``scale`` override the spec's defaults when given
+        (``None`` — the CLI's "flag not passed" — keeps the spec's
+        values).  WorldConfig's own ``__post_init__`` validates every
+        knob, so a bad spec fails here, loudly, not at build time.
+        """
+        return WorldConfig(
+            seed=self.seed if seed is None else seed,
+            scale=self.scale if scale is None else scale,
+            background_density=self.background_density,
+            invalid_fraction=self.invalid_fraction,
+            region_weights=self.region_weights,
+            cone_shares=self.cone_shares,
+            hypergiant_roster=self.hypergiant_roster,
+            events=self.events,
+            scenario=self.name,
+        )
+
+    def build(self, seed: int | None = None, scale: float | None = None):
+        """Build the deterministic :class:`~repro.world.world.World`."""
+        from repro.world import build_world
+
+        return build_world(config=self.world_config(seed=seed, scale=scale))
+
+    def describe(self) -> str:
+        """A multi-line human description for ``repro scenario describe``."""
+        lines = [f"{self.name}: {self.description}"]
+        if self.paper_ref:
+            lines.append(f"  paper: {self.paper_ref}")
+        lines.append(f"  defaults: seed={self.seed} scale={self.scale}")
+        if self.region_weights:
+            pairs = ", ".join(f"{name} x{mult:g}" for name, mult in self.region_weights)
+            lines.append(f"  region weights: {pairs}")
+        if self.cone_shares:
+            pairs = ", ".join(f"{name}={share:g}" for name, share in self.cone_shares)
+            lines.append(f"  cone shares: {pairs} (stubs absorb the remainder)")
+        if self.hypergiant_roster:
+            lines.append(f"  roster: {', '.join(self.hypergiant_roster)}")
+        if self.background_density != 1.0:
+            lines.append(f"  background density: x{self.background_density:g}")
+        if self.invalid_fraction != 0.45:
+            lines.append(f"  invalid-cert fraction: {self.invalid_fraction:g}")
+        for event in self.events:
+            lines.append(f"  event: {event.describe()}")
+        if not self.events:
+            lines.append("  events: none")
+        return "\n".join(lines)

@@ -45,12 +45,29 @@ class TopologyConfig:
     eyeball_fraction: float = 0.6
     #: Fraction of eyeball ASes passing the APNIC ≥25% presence filter.
     population_pass_rate: float = 0.38
+    #: Scenario knob: ``(continent display name, multiplier)`` pairs scaling
+    #: the country sampling weights.  Empty leaves the Fig. 6 regional mix
+    #: untouched (and the RNG stream bit-identical to the default world).
+    region_weights: tuple[tuple[str, float], ...] = ()
+    #: Scenario knob: ``(category name, share)`` overrides for the §6.3
+    #: cone census (category names match :class:`ConeCategory` values,
+    #: stubs always absorb the remainder).  Empty keeps the paper shares.
+    category_shares: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_ases_start > self.n_ases_end:
             raise ValueError("n_ases_start must not exceed n_ases_end")
         if self.n_ases_end < 50:
             raise ValueError("need at least 50 ASes to build a plausible hierarchy")
+        for continent, multiplier in self.region_weights:
+            if multiplier <= 0:
+                raise ValueError(f"region weight for {continent!r} must be positive")
+        names = {category.value for category in ConeCategory}
+        for name, share in self.category_shares:
+            if name not in names:
+                raise ValueError(f"unknown cone category {name!r} in category_shares")
+            if not 0.0 <= share < 1.0:
+                raise ValueError(f"cone share for {name} out of range [0, 1): {share}")
 
 
 class PrefixAllocator:
@@ -190,7 +207,7 @@ def generate_topology(config: TopologyConfig) -> GeneratedTopology:
     """Build the full synthetic topology for the study timeline."""
     rng = random.Random(config.seed)
 
-    counts = _category_counts(config.n_ases_end)
+    counts = _category_counts(config.n_ases_end, config.category_shares)
     graph = ASRelationshipGraph()
     allocator = PrefixAllocator()
 
@@ -213,7 +230,7 @@ def generate_topology(config: TopologyConfig) -> GeneratedTopology:
 
     _wire_relationships(graph, members, rng)
 
-    countries = _assign_countries(members, rng)
+    countries = _assign_countries(members, rng, config.region_weights)
     births = _assign_births(config, members, rng)
     organizations = _build_organizations(members, countries, rng)
     prefixes = {
@@ -243,8 +260,20 @@ def generate_topology(config: TopologyConfig) -> GeneratedTopology:
     )
 
 
-def _category_counts(total: int) -> dict[ConeCategory, int]:
-    """Integer census per category, honouring the paper's shares."""
+def _category_counts(
+    total: int, overrides: tuple[tuple[str, float], ...] = ()
+) -> dict[ConeCategory, int]:
+    """Integer census per category, honouring the paper's shares.
+
+    ``overrides`` (from a scenario's cone-mix knob) replace individual
+    category shares; stubs always absorb the remainder, so skewing the
+    tail automatically de-skews the stubs — exactly how §6.3 frames the
+    census.  Pure arithmetic: no RNG is consumed either way.
+    """
+    shares = {category: INTERNET_CATEGORY_SHARES[category] for category in ConeCategory}
+    by_name = {category.value: category for category in ConeCategory}
+    for name, share in overrides:
+        shares[by_name[name]] = share
     counts: dict[ConeCategory, int] = {}
     remaining = total
     for category in (
@@ -253,9 +282,11 @@ def _category_counts(total: int) -> dict[ConeCategory, int]:
         ConeCategory.MEDIUM,
         ConeCategory.SMALL,
     ):
-        count = max(1, round(total * INTERNET_CATEGORY_SHARES[category]))
+        count = max(1, round(total * shares[category]))
         counts[category] = count
         remaining -= count
+    if remaining < 1:
+        raise ValueError("cone-share overrides leave no room for stub ASes")
     counts[ConeCategory.STUB] = remaining
     return counts
 
@@ -334,8 +365,18 @@ def _sample(rng: random.Random, pool: list[ASN], k: int) -> list[ASN]:
 def _assign_countries(
     members: dict[ConeCategory, list[ASN]],
     rng: random.Random,
+    region_weights: tuple[tuple[str, float], ...] = (),
 ) -> dict[ASN, Country]:
-    weights = [country.as_weight for country in COUNTRIES]
+    if region_weights:
+        multipliers = dict(region_weights)
+        weights = [
+            country.as_weight * multipliers.get(country.continent.value, 1.0)
+            for country in COUNTRIES
+        ]
+    else:
+        # No scenario skew: keep the exact float weights (and therefore the
+        # exact sampling stream) of the paper-anchored default world.
+        weights = [country.as_weight for country in COUNTRIES]
     countries: dict[ASN, Country] = {}
     for block in members.values():
         for asn in block:

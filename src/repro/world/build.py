@@ -142,6 +142,8 @@ def build_world_parts(config: WorldConfig) -> WorldParts:
             seed=config.seed,
             n_ases_start=config.n_ases_start,
             n_ases_end=config.n_ases_end,
+            region_weights=config.region_weights,
+            category_shares=config.cone_shares,
         )
     )
 
@@ -149,11 +151,16 @@ def build_world_parts(config: WorldConfig) -> WorldParts:
     cert_book = CertificateBook(issuers, seed=config.seed)
     header_book = HeaderBook(seed=config.seed)
 
-    hg_onnet_ases = _add_hypergiant_ases(topology, rng)
+    hg_onnet_ases = _add_hypergiant_ases(topology, rng, config.hypergiant_roster)
     excluded = frozenset(asn for ases in hg_onnet_ases.values() for asn in ases)
 
     plan = DeploymentEngine(
-        topology, scale=config.scale, seed=config.seed, excluded_ases=excluded
+        topology,
+        scale=config.scale,
+        seed=config.seed,
+        excluded_ases=excluded,
+        events=config.events,
+        roster=config.hypergiant_roster,
     ).run()
 
     allocator = _IPAllocator(topology)
@@ -220,12 +227,20 @@ def _select_ipv6_only_ases(config: WorldConfig, topology: GeneratedTopology) -> 
 
 
 def _add_hypergiant_ases(
-    topology: GeneratedTopology, rng: random.Random
+    topology: GeneratedTopology,
+    rng: random.Random,
+    roster: tuple[str, ...] = (),
 ) -> dict[str, frozenset[ASN]]:
-    """Register each HG's own ASes, named after its organisation (A.2)."""
+    """Register each HG's own ASes, named after its organisation (A.2).
+
+    A non-empty scenario ``roster`` keeps only those HGs in the world — the
+    rest get no on-net ASes (and hence no on-net servers either).
+    """
     next_asn = _HG_ASN_BASE
     result: dict[str, frozenset[ASN]] = {}
     for hg in HYPERGIANTS:
+        if roster and hg.key not in roster:
+            continue
         ases: list[ASN] = []
         for index in range(hg.on_net_as_count):
             asn = next_asn
@@ -282,6 +297,8 @@ def _build_onnet_servers(
     servers: list[SimulatedServer] = []
     majors = set(TOP4) | {"amazon", "microsoft", "cloudflare", "apple"}
     for hg in HYPERGIANTS:
+        if hg.key not in hg_onnet_ases:
+            continue  # outside the scenario roster: no on-net presence
         total = config.onnet_ips_per_hg if hg.key in majors else max(8, config.onnet_ips_per_hg // 3)
         ases = sorted(hg_onnet_ases[hg.key])
         for index in range(total):

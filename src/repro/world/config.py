@@ -10,7 +10,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.world.events import ScenarioEvent
+
 __all__ = ["WorldConfig"]
+
+#: Continent display names accepted by :attr:`WorldConfig.region_weights`
+#: (kept as literals to avoid importing the geography table here).
+_KNOWN_CONTINENTS = (
+    "Asia",
+    "Europe",
+    "South America",
+    "North America",
+    "Africa",
+    "Oceania",
+)
+
+#: Cone categories whose census share :attr:`WorldConfig.cone_shares` may
+#: override.  "Stub" is absent by design: stubs are always the remainder,
+#: mirroring how §6.3 reports the non-stub tail.
+_KNOWN_CONE_OVERRIDES = ("Small", "Medium", "Large", "XLarge")
 
 #: Paper-level AS census at the study's start and end (§6.3).
 PAPER_ASES_START = 45_000
@@ -58,6 +76,24 @@ class WorldConfig:
     #: "middlebox-rewrite" (an in-path middlebox rewrites the banner),
     #: "quic-only" (HTTP only over QUIC; TCP header probes see nothing).
     evasion_strategies: tuple[str, ...] = ()
+    #: Scenario-engine knob: per-continent multipliers on the country
+    #: sampling weights, as ``(("Asia", 3.0), ...)`` pairs.  Empty keeps
+    #: the paper-anchored Fig. 6 regional mix bit-identically.
+    region_weights: tuple[tuple[str, float], ...] = ()
+    #: Scenario-engine knob: overrides for the §6.3 cone-category census
+    #: shares, as ``(("Small", 0.4), ...)`` pairs; stubs always absorb the
+    #: remainder.  Empty keeps the paper shares bit-identically.
+    cone_shares: tuple[tuple[str, float], ...] = ()
+    #: Scenario-engine knob: restrict the deployed hypergiants to this
+    #: roster of schedule keys (empty = the full 13-HG cast).
+    hypergiant_roster: tuple[str, ...] = ()
+    #: Scenario-engine knob: mid-timeline events (flash crowds, cache
+    #: withdrawals, cert rotations, scan outages) applied between
+    #: snapshots.  Empty = the unmodified hand-shaped timeline.
+    events: tuple[ScenarioEvent, ...] = ()
+    #: Label of the named scenario this config came from ("" when built
+    #: directly); surfaced in run reports, never read by generation.
+    scenario: str = ""
 
     _KNOWN_EVASIONS = (
         "null-default-certificate",
@@ -87,6 +123,52 @@ class WorldConfig:
                 )
         if self.evasion_strategies and not self.evading_hypergiant:
             raise ValueError("evasion_strategies require an evading_hypergiant")
+        for continent, multiplier in self.region_weights:
+            if continent not in _KNOWN_CONTINENTS:
+                raise ValueError(
+                    f"unknown continent {continent!r} in region_weights; "
+                    f"choose from {_KNOWN_CONTINENTS}"
+                )
+            if multiplier <= 0:
+                raise ValueError(f"region weight for {continent} must be positive: {multiplier}")
+        total_override = 0.0
+        for category, share in self.cone_shares:
+            if category not in _KNOWN_CONE_OVERRIDES:
+                raise ValueError(
+                    f"cone_shares may only override {_KNOWN_CONE_OVERRIDES}; got {category!r} "
+                    "(stubs are always the remainder)"
+                )
+            if not 0.0 <= share < 1.0:
+                raise ValueError(f"cone share for {category} out of range [0, 1): {share}")
+            total_override += share
+        if total_override >= 1.0:
+            raise ValueError(f"cone_shares sum to {total_override:g}; must leave room for stubs")
+        if self.hypergiant_roster:
+            from repro.hypergiants.schedules import SCHEDULES
+
+            for key in self.hypergiant_roster:
+                if key not in SCHEDULES:
+                    raise ValueError(
+                        f"unknown hypergiant {key!r} in roster; "
+                        f"choose from {tuple(sorted(SCHEDULES))}"
+                    )
+        if self.events:
+            from repro.hypergiants.schedules import SCHEDULES
+
+            for event in self.events:
+                if not isinstance(event, ScenarioEvent):
+                    raise ValueError(f"events must be ScenarioEvent instances, got {event!r}")
+                if not event.hypergiant:
+                    continue
+                if event.hypergiant not in SCHEDULES:
+                    raise ValueError(
+                        f"event targets unknown hypergiant {event.hypergiant!r}; "
+                        f"choose from {tuple(sorted(SCHEDULES))}"
+                    )
+                if self.hypergiant_roster and event.hypergiant not in self.hypergiant_roster:
+                    raise ValueError(
+                        f"event targets {event.hypergiant!r} which is not in the roster"
+                    )
 
     @property
     def n_ases_start(self) -> int:

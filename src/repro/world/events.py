@@ -1,0 +1,235 @@
+"""Mid-timeline scenario events: the world mutating *between* snapshots.
+
+The hand-shaped world already carries longitudinal episodes baked into its
+schedules (the §6.2 Netflix withdrawal/restoration, the Akamai consolidation
+after 2018) and per-run noise (hijacks, route leaks, §8 evasion strategies).
+Scenario events add a fourth axis: *declarative* mutations that a
+:class:`~repro.scenario.spec.ScenarioSpec` can schedule anywhere on the
+timeline without editing schedule anchors.
+
+Four event kinds are supported (the ROADMAP item 1 catalogue):
+
+``flash-crowd``
+    A hypergiant's off-net deployment target is multiplied while the event
+    is active — a demand spike like the paper's COVID-era expansion (§6.1)
+    but at a chosen time and magnitude.  When the window closes the
+    deployment engine's ordinary shrink path releases the extra ASes.
+``cache-withdrawal``
+    A fraction of a hypergiant's deployed off-net ASes goes dark — the
+    generalisation of the §6.2 Netflix episode.  Withdrawn ASes leave the
+    plan's deployed set (so ground truth shrinks) and their servers stop
+    answering scans; when the window closes the *same* ASes return
+    (selection is keyed by the engine's per-(HG, AS) jitter, not by a
+    stream that drifts).
+``cert-rotation``
+    A mass certificate reissue: from the event's start every chain the
+    hypergiant serves is a new *generation* — same names, same validity
+    era, fresh serial/fingerprint — modelling fleet-wide rotation after a
+    key-compromise scare.  The §4 pipeline keys on dNSNames, so the funnel
+    holds while the unique-certificate census visibly steps.
+``scan-outage``
+    One scanner (or all of them) loses a region for the window — servers in
+    the continent vanish from that corpus only, modelling the vantage-point
+    outages §4.1 warns about.  Ground truth is untouched, so coverage
+    validation shows the dip.
+
+Events live here (in the world layer) rather than in ``repro.scenario`` so
+:class:`~repro.world.config.WorldConfig` can embed them without an import
+cycle; the scenario package re-exports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.timeline import STUDY_END, STUDY_START, Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hypergiants.deployment import DeploymentPlan
+    from repro.net.asn import ASN
+    from repro.scan.server import SimulatedServer
+    from repro.topology.generator import GeneratedTopology
+
+__all__ = ["EVENT_KINDS", "EventOverlay", "ScenarioEvent"]
+
+#: Every event kind the engine understands, in catalogue order.
+EVENT_KINDS = ("flash-crowd", "cache-withdrawal", "cert-rotation", "scan-outage")
+
+#: Scanner names a ``scan-outage`` may target ("" targets all of them).
+_KNOWN_SCANNERS = ("rapid7", "censys", "certigo")
+
+#: Continent display names a ``scan-outage`` region must use (kept as
+#: literals so this module needs no geography import at runtime).
+_KNOWN_REGIONS = (
+    "Asia",
+    "Europe",
+    "South America",
+    "North America",
+    "Africa",
+    "Oceania",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioEvent:
+    """One scheduled mutation of the world, active over ``[start, end)``.
+
+    Snapshots are carried as ``YYYY-MM`` labels (not :class:`Snapshot`)
+    so an event embeds losslessly in :meth:`WorldConfig fingerprints
+    <repro.world.world.World.fingerprint>` and JSON reports.
+    """
+
+    #: One of :data:`EVENT_KINDS`.
+    kind: str
+    #: First snapshot label (``YYYY-MM``) the event is active at.
+    start: str
+    #: First snapshot label the event is *no longer* active at
+    #: ("" = active through the study's end).
+    end: str = ""
+    #: Target hypergiant key (required for every kind except scan-outage).
+    hypergiant: str = ""
+    #: flash-crowd: deployment-target multiplier (> 1).
+    #: cache-withdrawal: fraction of deployed ASes withdrawn (0 < f <= 1).
+    magnitude: float = 1.0
+    #: scan-outage: continent display name (e.g. ``"South America"``).
+    region: str = ""
+    #: scan-outage: scanner name to black out ("" = every scanner).
+    scanner: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; choose from {EVENT_KINDS}")
+        start = Snapshot.parse(self.start)
+        if not STUDY_START <= start <= STUDY_END:
+            raise ValueError(f"event start {self.start} outside the study window")
+        if self.end:
+            if Snapshot.parse(self.end) <= start:
+                raise ValueError(f"event end {self.end} must be after start {self.start}")
+        if self.kind == "scan-outage":
+            if self.region not in _KNOWN_REGIONS:
+                raise ValueError(
+                    f"scan-outage region {self.region!r} must be one of {_KNOWN_REGIONS}"
+                )
+            if self.scanner and self.scanner not in _KNOWN_SCANNERS:
+                raise ValueError(
+                    f"scan-outage scanner {self.scanner!r} must be one of {_KNOWN_SCANNERS}"
+                )
+        else:
+            if not self.hypergiant:
+                raise ValueError(f"{self.kind} events require a hypergiant")
+        if self.kind == "flash-crowd" and self.magnitude <= 1.0:
+            raise ValueError(f"flash-crowd magnitude must exceed 1.0: {self.magnitude}")
+        if self.kind == "cache-withdrawal" and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError(
+                f"cache-withdrawal magnitude must be a fraction in (0, 1]: {self.magnitude}"
+            )
+
+    def active_at(self, snapshot: Snapshot) -> bool:
+        """True while ``snapshot`` falls inside ``[start, end)``."""
+        if snapshot < Snapshot.parse(self.start):
+            return False
+        return not self.end or snapshot < Snapshot.parse(self.end)
+
+    def describe(self) -> str:
+        """One human line for CLI listings and run reports."""
+        window = f"{self.start}..{self.end or 'end'}"
+        if self.kind == "flash-crowd":
+            return f"flash-crowd: {self.hypergiant} x{self.magnitude:g} over {window}"
+        if self.kind == "cache-withdrawal":
+            return (
+                f"cache-withdrawal: {self.magnitude:.0%} of {self.hypergiant} "
+                f"off-nets dark over {window}"
+            )
+        if self.kind == "cert-rotation":
+            return f"cert-rotation: {self.hypergiant} reissues its fleet at {self.start}"
+        scope = self.scanner or "all scanners"
+        return f"scan-outage: {scope} lose {self.region} over {window}"
+
+
+class EventOverlay:
+    """The per-world view of a scenario's events, answered per snapshot.
+
+    Built once by :class:`~repro.world.world.World` when the config carries
+    events (worlds without events carry no overlay at all, keeping the
+    default path byte-for-byte identical to the pre-scenario engine).  All
+    answers are pure functions of (events, topology, plan) — no RNG, so
+    the overlay can be consulted from any worker process in any order.
+    """
+
+    def __init__(
+        self,
+        events: tuple[ScenarioEvent, ...],
+        topology: GeneratedTopology,
+        plan: DeploymentPlan,
+    ) -> None:
+        self._events = tuple(events)
+        self._topology = topology
+        self._plan = plan
+
+    @property
+    def events(self) -> tuple[ScenarioEvent, ...]:
+        """The scheduled events, in spec order."""
+        return self._events
+
+    def active_at(self, snapshot: Snapshot) -> tuple[ScenarioEvent, ...]:
+        """Events whose window covers ``snapshot``, in spec order."""
+        return tuple(e for e in self._events if e.active_at(snapshot))
+
+    def withdrawal_suppressed(self, server: SimulatedServer, snapshot: Snapshot) -> bool:
+        """True when ``server`` is dark because its AS is withdrawn.
+
+        The deployment plan records withdrawn ASes per (HG, snapshot);
+        suppression applies to the HG's deployed footprint there —
+        off-net caches and (for Cloudflare-style HGs) customer back-ends.
+        """
+        hypergiant = server.hypergiant
+        if not hypergiant or server.kind.name not in ("HG_OFFNET", "CF_CUSTOMER"):
+            return False
+        return server.asn in self._plan.withdrawn_at(hypergiant, snapshot)
+
+    def scan_suppressed(self, scanner: str, asn: ASN, snapshot: Snapshot) -> bool:
+        """True when ``scanner`` cannot see ``asn`` at ``snapshot``."""
+        country = self._topology.countries.get(asn)
+        if country is None:
+            return False
+        for event in self._events:
+            if event.kind != "scan-outage" or not event.active_at(snapshot):
+                continue
+            if event.scanner and event.scanner != scanner:
+                continue
+            if country.continent.value == event.region:
+                return True
+        return False
+
+    def cert_generation(self, hypergiant: str, snapshot: Snapshot) -> int:
+        """How many mass rotations ``hypergiant`` has performed by now.
+
+        Generation 0 is the un-rotated fleet; each cert-rotation event
+        whose start has passed bumps it by one.  Rotation is one-way — a
+        reissued certificate does not un-issue when a window closes — so
+        only the start matters.
+        """
+        return sum(
+            1
+            for event in self._events
+            if event.kind == "cert-rotation"
+            and event.hypergiant == hypergiant
+            and snapshot >= Snapshot.parse(event.start)
+        )
+
+    def meta(self) -> list[dict]:
+        """JSON-ready event descriptions for the run report."""
+        return [
+            {
+                "kind": event.kind,
+                "start": event.start,
+                "end": event.end,
+                "hypergiant": event.hypergiant,
+                "magnitude": event.magnitude,
+                "region": event.region,
+                "scanner": event.scanner,
+                "summary": event.describe(),
+            }
+            for event in self._events
+        ]

@@ -26,6 +26,7 @@ from repro.scan.handshake import (
 )
 from repro.scan.server import ServerKind, SimulatedServer
 from repro.timeline import NETFLIX_HTTP_ERA, Snapshot
+from repro.world.events import EventOverlay
 from repro.x509.chain import CertificateChain
 
 __all__ = ["ServingPolicy", "NETFLIX_HTTP_ONLY_FRACTION", "AKAMAI_DELIVERY_CUSTOMERS"]
@@ -77,11 +78,16 @@ class ServingPolicy:
         header_book: HeaderBook,
         evading_hypergiant: str = "",
         evasion_strategies: tuple[str, ...] = (),
+        overlay: EventOverlay | None = None,
     ) -> None:
         self._certs = cert_book
         self._headers = header_book
         self._evader = evading_hypergiant
         self._evasions = frozenset(evasion_strategies)
+        # Scenario-event overlay: mass cert-rotation events bump the
+        # generation every hypergiant chain is issued under.  ``None``
+        # (event-free worlds) keeps all call sites on generation 0.
+        self._overlay = overlay
 
     def _evades(self, server: SimulatedServer, strategy: str) -> bool:
         return (
@@ -89,6 +95,12 @@ class ServingPolicy:
             and server.kind is ServerKind.HG_OFFNET
             and server.hypergiant == self._evader
         )
+
+    def _generation(self, hypergiant: str, snapshot: Snapshot) -> int:
+        """The cert-rotation generation for a HG's chains at ``snapshot``."""
+        if self._overlay is None:
+            return 0
+        return self._overlay.cert_generation(hypergiant, snapshot)
 
     # -- availability -----------------------------------------------------
 
@@ -126,7 +138,12 @@ class ServingPolicy:
                         server.domain_group - 200, snapshot
                     )
                 return book.cloudflare_bundle_chain(server.domain_group - 100, snapshot)
-            return book.hypergiant_chain(server.hypergiant, server.domain_group, snapshot)
+            return book.hypergiant_chain(
+                server.hypergiant,
+                server.domain_group,
+                snapshot,
+                generation=self._generation(server.hypergiant, snapshot),
+            )
         if kind is ServerKind.HG_OFFNET:
             if self._evades(server, "null-default-certificate"):
                 return None  # §8 (1): certificate only with first-party SNI
@@ -145,9 +162,15 @@ class ServingPolicy:
                 snapshot,
                 offnet=offnet_era_behaviour,
                 shard=_offnet_shard(server, snapshot),
+                generation=self._generation(server.hypergiant, snapshot),
             )
         if kind is ServerKind.HG_SERVICE:
-            return book.hypergiant_chain(server.hypergiant, 0, snapshot)
+            return book.hypergiant_chain(
+                server.hypergiant,
+                0,
+                snapshot,
+                generation=self._generation(server.hypergiant, snapshot),
+            )
         if kind is ServerKind.CF_CUSTOMER:
             if server.dedicated_cert:
                 return book.cloudflare_dedicated_chain(server.domain_group, snapshot)
@@ -185,6 +208,7 @@ class ServingPolicy:
                     return book.hypergiant_chain(
                         server.hypergiant, group, snapshot,
                         offnet=kind is ServerKind.HG_OFFNET,
+                        generation=self._generation(server.hypergiant, snapshot),
                     )
             if kind is ServerKind.HG_OFFNET and server.hypergiant == "akamai":
                 # Akamai delivers other HGs' content from the same caches.

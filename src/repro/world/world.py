@@ -29,6 +29,7 @@ from repro.scan.server import SimulatedServer
 from repro.timeline import Snapshot
 from repro.world.build import WorldParts, build_world_parts
 from repro.world.config import WorldConfig
+from repro.world.events import EventOverlay
 from repro.world.policy import ServingPolicy
 
 __all__ = ["World", "build_world"]
@@ -52,11 +53,20 @@ class World:
         self.root_store = parts.root_store
         self.cert_book = parts.cert_book
         self.header_book = parts.header_book
+        # Scenario events ride on an overlay consulted by the scanners and
+        # the serving policy; event-free worlds carry no overlay at all, so
+        # the default hot paths are untouched.
+        self.event_overlay: EventOverlay | None = (
+            EventOverlay(parts.config.events, parts.topology, parts.plan)
+            if parts.config.events
+            else None
+        )
         self.policy = ServingPolicy(
             parts.cert_book,
             parts.header_book,
             evading_hypergiant=parts.config.evading_hypergiant,
             evasion_strategies=parts.config.evasion_strategies,
+            overlay=self.event_overlay,
         )
         self.snapshots = parts.topology.snapshots
 
@@ -230,6 +240,29 @@ class World:
                 store.add_http(server.ip, 80, headers)
         self._ipv6_scan_cache[snapshot] = result
         return result
+
+    # -- scenario metadata -----------------------------------------------------
+
+    def scenario_meta(self) -> dict:
+        """The scenario identity of this world for the run report's
+        ``scenario`` section: the named spec it came from (if any) and its
+        event schedule.  Pure config — identical across executors and
+        cache states by construction."""
+        overlay = self.event_overlay
+        return {
+            "name": self.config.scenario,
+            "seed": self.config.seed,
+            "scale": self.config.scale,
+            "events": overlay.meta() if overlay is not None else [],
+            # Ground-truth effect of cache-withdrawal events: how many
+            # (AS, snapshot) cells the plan marked dark.  Pure plan
+            # arithmetic, so it needs no scan to have run.
+            "withdrawn_as_snapshots": sum(
+                len(ases)
+                for per_snapshot in self.plan.withdrawn.values()
+                for ases in per_snapshot.values()
+            ),
+        }
 
     # -- ground truth ----------------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""Scenario determinism: same spec + seed => bit-identical runs.
+
+Two contracts:
+
+* an *eventful* scenario is as deterministic as the default world —
+  the run report's deterministic view is byte-identical across serial,
+  parallel, and every cache state;
+* the identity spec (``paper-default``) reproduces the plain
+  ``build_world`` funnel bit-for-bit, so the scenario engine costs the
+  reproduction nothing when no knob is turned.
+"""
+
+import json
+
+import pytest
+
+from repro.core import NullCache, OffnetPipeline, PipelineOptions
+from repro.obs.report import deterministic_view
+from repro.scenario import ScenarioEvent, ScenarioSpec, get_scenario
+from repro.timeline import Snapshot
+from repro.world import build_world
+
+SCALE = 0.008
+
+#: One snapshot inside each event window, plus a quiet tail.
+SNAPSHOTS = (
+    Snapshot(2016, 7),
+    Snapshot(2018, 7),
+    Snapshot(2019, 10),
+    Snapshot(2020, 10),
+)
+
+#: Every event kind at once — the hardest determinism case.
+EVENTFUL = ScenarioSpec(
+    name="test-everything",
+    description="all four event kinds on one timeline",
+    scale=SCALE,
+    events=(
+        ScenarioEvent(kind="cache-withdrawal", start="2016-04", end="2017-04",
+                      hypergiant="netflix", magnitude=1.0),
+        ScenarioEvent(kind="flash-crowd", start="2018-01", end="2019-01",
+                      hypergiant="google", magnitude=1.6),
+        ScenarioEvent(kind="scan-outage", start="2018-04", end="2019-01",
+                      region="South America", scanner="rapid7"),
+        ScenarioEvent(kind="cert-rotation", start="2019-01",
+                      hypergiant="facebook"),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def eventful_world():
+    return EVENTFUL.build()
+
+
+def _view(world, options=None, cache=None):
+    result = OffnetPipeline(world, options or PipelineOptions(), cache=cache).run(
+        snapshots=SNAPSHOTS
+    )
+    return deterministic_view(result.report()), result
+
+
+class TestEventfulDeterminism:
+    def test_serial_parallel_and_cache_states_identical(
+        self, eventful_world, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        serial, _ = _view(eventful_world, cache=NullCache())
+        parallel, _ = _view(
+            eventful_world, PipelineOptions(jobs=2), cache=NullCache()
+        )
+        cold, _ = _view(eventful_world, PipelineOptions(cache_dir=cache_dir))
+        warm, _ = _view(eventful_world, PipelineOptions(cache_dir=cache_dir))
+
+        baseline = json.dumps(serial, sort_keys=True)
+        assert json.dumps(parallel, sort_keys=True) == baseline
+        assert json.dumps(cold, sort_keys=True) == baseline
+        assert json.dumps(warm, sort_keys=True) == baseline
+
+    def test_fresh_build_reproduces_the_world(self, eventful_world):
+        rebuilt = EVENTFUL.build()
+        assert rebuilt.fingerprint() == eventful_world.fingerprint()
+        for snapshot in SNAPSHOTS:
+            assert rebuilt.plan.deployed_at(
+                "google", snapshot
+            ) == eventful_world.plan.deployed_at("google", snapshot)
+            assert rebuilt.plan.withdrawn_at(
+                "netflix", snapshot
+            ) == eventful_world.plan.withdrawn_at("netflix", snapshot)
+
+    def test_report_books_the_schedule_outside_the_deterministic_view(
+        self, eventful_world
+    ):
+        view, result = _view(eventful_world, cache=NullCache())
+        report = result.report()
+        section = report["scenario"]
+        assert section["name"] == "test-everything"
+        assert [event["kind"] for event in section["events"]] == [
+            "cache-withdrawal", "flash-crowd", "scan-outage", "cert-rotation",
+        ]
+        assert section["event_counts"] == {
+            "cache-withdrawal": 1, "flash-crowd": 1,
+            "scan-outage": 1, "cert-rotation": 1,
+        }
+        assert section["withdrawn_as_snapshots"] > 0
+        # Non-deterministic envelope, like timings: comparisons across
+        # scenario/non-scenario runs must not trip on the section.
+        assert "scenario" not in view
+
+
+class TestIdentitySpecParity:
+    def test_paper_default_equals_plain_build_world(self):
+        """The acceptance criterion: the event-free default scenario
+        reproduces the pre-engine funnel bit-identically."""
+        plain, _ = _view(build_world(seed=7, scale=SCALE), cache=NullCache())
+        spec_world = get_scenario("paper-default").build(scale=SCALE)
+        via_spec, _ = _view(spec_world, cache=NullCache())
+        parallel, _ = _view(
+            spec_world, PipelineOptions(jobs=2), cache=NullCache()
+        )
+
+        baseline = json.dumps(plain, sort_keys=True)
+        assert json.dumps(via_spec, sort_keys=True) == baseline
+        assert json.dumps(parallel, sort_keys=True) == baseline
+
+    def test_event_free_worlds_report_an_empty_schedule(self):
+        world = get_scenario("toy").build(scale=SCALE)
+        _, result = _view(world, cache=NullCache())
+        section = result.report()["scenario"]
+        assert section["name"] == "toy"
+        assert section["events"] == []
+        assert section["event_counts"] == {}
+        assert section["withdrawn_as_snapshots"] == 0

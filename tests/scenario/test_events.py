@@ -1,0 +1,91 @@
+"""Validation and window semantics of ScenarioEvent and EventOverlay."""
+
+import pytest
+
+from repro.scenario import EVENT_KINDS, ScenarioEvent
+from repro.timeline import Snapshot
+
+
+class TestScenarioEventValidation:
+    def test_every_catalogued_kind_constructs(self):
+        events = [
+            ScenarioEvent(kind="flash-crowd", start="2018-01", hypergiant="google",
+                          magnitude=1.5),
+            ScenarioEvent(kind="cache-withdrawal", start="2018-01",
+                          hypergiant="netflix", magnitude=0.5),
+            ScenarioEvent(kind="cert-rotation", start="2018-01", hypergiant="facebook"),
+            ScenarioEvent(kind="scan-outage", start="2018-01", region="Asia"),
+        ]
+        assert [event.kind for event in events] == list(EVENT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            ScenarioEvent(kind="meteor-strike", start="2018-01", hypergiant="google")
+
+    def test_start_outside_study_window_rejected(self):
+        with pytest.raises(ValueError, match="outside the study window"):
+            ScenarioEvent(kind="cert-rotation", start="2012-01", hypergiant="google")
+
+    def test_end_must_follow_start(self):
+        with pytest.raises(ValueError, match="must be after start"):
+            ScenarioEvent(
+                kind="flash-crowd", start="2018-01", end="2018-01",
+                hypergiant="google", magnitude=2.0,
+            )
+
+    def test_hypergiant_required_for_hg_events(self):
+        with pytest.raises(ValueError, match="require a hypergiant"):
+            ScenarioEvent(kind="flash-crowd", start="2018-01", magnitude=2.0)
+
+    def test_flash_crowd_magnitude_must_exceed_one(self):
+        with pytest.raises(ValueError, match="must exceed 1.0"):
+            ScenarioEvent(
+                kind="flash-crowd", start="2018-01", hypergiant="google",
+                magnitude=1.0,
+            )
+
+    def test_withdrawal_fraction_must_be_in_unit_interval(self):
+        for magnitude in (0.0, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                ScenarioEvent(
+                    kind="cache-withdrawal", start="2018-01",
+                    hypergiant="netflix", magnitude=magnitude,
+                )
+
+    def test_scan_outage_region_and_scanner_validated(self):
+        with pytest.raises(ValueError, match="region"):
+            ScenarioEvent(kind="scan-outage", start="2018-01", region="Atlantis")
+        with pytest.raises(ValueError, match="scanner"):
+            ScenarioEvent(
+                kind="scan-outage", start="2018-01", region="Asia",
+                scanner="shodan",
+            )
+
+
+class TestEventWindows:
+    def test_half_open_window(self):
+        event = ScenarioEvent(
+            kind="scan-outage", start="2018-01", end="2019-01", region="Asia"
+        )
+        assert not event.active_at(Snapshot(2017, 10))
+        assert event.active_at(Snapshot(2018, 1))
+        assert event.active_at(Snapshot(2018, 10))
+        assert not event.active_at(Snapshot(2019, 1))
+
+    def test_open_ended_event_runs_to_study_end(self):
+        event = ScenarioEvent(
+            kind="cert-rotation", start="2019-01", hypergiant="facebook"
+        )
+        assert event.active_at(Snapshot(2021, 4))
+
+    def test_describe_is_one_line_per_event(self):
+        events = [
+            ScenarioEvent(kind="flash-crowd", start="2018-01", hypergiant="google",
+                          magnitude=1.6),
+            ScenarioEvent(kind="scan-outage", start="2018-01", region="Asia",
+                          scanner="rapid7"),
+        ]
+        for event in events:
+            text = event.describe()
+            assert "\n" not in text
+            assert event.start in text

@@ -1,0 +1,87 @@
+"""ScenarioSpec identity, override semantics, and the named registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario import ScenarioSpec, get_scenario, register_scenario, scenario_names
+from repro.world.config import WorldConfig
+
+
+class TestScenarioSpec:
+    def test_identity_fields_required(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="", description="anonymous")
+        with pytest.raises(ValueError, match="description"):
+            ScenarioSpec(name="undescribed", description="")
+
+    def test_world_config_uses_spec_defaults(self):
+        spec = ScenarioSpec(name="t", description="d", seed=11, scale=0.01)
+        config = spec.world_config()
+        assert (config.seed, config.scale) == (11, 0.01)
+        assert config.scenario == "t"
+
+    def test_world_config_overrides_win_over_defaults(self):
+        spec = ScenarioSpec(name="t", description="d", seed=11, scale=0.01)
+        config = spec.world_config(seed=3, scale=0.005)
+        assert (config.seed, config.scale) == (3, 0.005)
+
+    def test_identity_spec_matches_plain_config_except_label(self):
+        """An empty spec is the pre-scenario world: every WorldConfig field
+        except the scenario label must equal the plain default."""
+        spec_config = ScenarioSpec(name="t", description="d").world_config()
+        plain = WorldConfig()
+        for field in dataclasses.fields(WorldConfig):
+            if field.name == "scenario":
+                continue
+            assert getattr(spec_config, field.name) == getattr(plain, field.name), field.name
+
+    def test_bad_knobs_fail_at_config_time(self):
+        spec = ScenarioSpec(
+            name="t", description="d", region_weights=(("Atlantis", 2.0),)
+        )
+        with pytest.raises(ValueError, match="continent"):
+            spec.world_config()
+
+    def test_describe_covers_the_knobs(self):
+        spec = get_scenario("skewed")
+        text = spec.describe()
+        assert "skewed" in text
+        assert "cone shares" in text
+        assert "region weights" in text
+        assert get_scenario("paper-default").describe().endswith("events: none")
+
+
+class TestRegistry:
+    def test_builtin_catalogue_registered(self):
+        names = scenario_names()
+        assert names == tuple(sorted(names))
+        assert {
+            "paper-default",
+            "toy",
+            "flash-crowd",
+            "netflix-withdrawal",
+            "cert-rotation",
+            "regional-outage",
+            "skewed",
+        } <= set(names)
+
+    def test_unknown_name_lists_the_catalogue(self):
+        with pytest.raises(KeyError, match="paper-default"):
+            get_scenario("does-not-exist")
+
+    def test_last_registration_wins(self):
+        original = get_scenario("toy")
+        try:
+            shadow = register_scenario(
+                ScenarioSpec(name="toy", description="shadowed for the test")
+            )
+            assert get_scenario("toy") is shadow
+        finally:
+            register_scenario(original)
+        assert get_scenario("toy") is original
+
+    def test_every_builtin_produces_a_valid_config(self):
+        for name in scenario_names():
+            config = get_scenario(name).world_config()
+            assert config.scenario == name

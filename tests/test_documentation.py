@@ -24,7 +24,8 @@ import pytest
 
 import repro
 from repro.cli import build_parser
-from tools import check_docs, check_perf_gate, check_report, inject_faults
+from repro.scenario import scenario_names
+from tools import assess_realism, check_docs, check_perf_gate, check_report, inject_faults
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -38,6 +39,7 @@ TOOL_PARSERS = {
     "check_docs.py": check_docs.build_parser,
     "inject_faults.py": inject_faults.build_parser,
     "check_perf_gate.py": check_perf_gate.build_parser,
+    "assess_realism.py": assess_realism.build_parser,
 }
 
 
@@ -150,6 +152,29 @@ class TestCliDocumentation:
         assert not missing, (
             "CLI flags absent from README.md and docs/*.md:\n  "
             + "\n  ".join(missing)
+        )
+
+    def test_every_scenario_name_appears_in_the_docs(self):
+        """Every registered scenario must be documented: the registry is
+        the CLI's ``--scenario``/``--name`` vocabulary, so an undocumented
+        name is an undiscoverable feature."""
+        corpus = "\n".join(path.read_text() for path in DOC_FILES)
+        missing = sorted(name for name in scenario_names() if name not in corpus)
+        assert not missing, (
+            "registered scenarios absent from README.md and docs/*.md:\n  "
+            + "\n  ".join(missing)
+        )
+
+    def test_scenario_flags_are_under_the_contract(self):
+        """The scenario subparser must be reachable from the flag walk —
+        otherwise the doc contract above silently stops covering it."""
+        flags = _option_strings(build_parser())
+        assert {"--name", "--seed", "--scale", "--out"} <= flags
+        assert {"--scenario", "--strict"} <= _option_strings(
+            assess_realism.build_parser()
+        )
+        assert {"--expect-realism", "--expect-unrealistic"} <= _option_strings(
+            check_perf_gate.build_parser()
         )
 
     def test_serve_and_query_flags_are_under_the_contract(self):

@@ -1,0 +1,81 @@
+"""The docs link checker: anchors, directories, and fenced-code immunity."""
+
+from tools.check_docs import check_files, heading_anchors, main
+
+
+def _write(path, text):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestAnchors:
+    def test_github_slug_rules(self, tmp_path):
+        page = _write(
+            tmp_path / "page.md",
+            "# Top Level\n## With `code` and *emphasis*\n## Dup\n## Dup\n",
+        )
+        anchors = heading_anchors(page)
+        assert "top-level" in anchors
+        assert "with-code-and-emphasis" in anchors
+        assert {"dup", "dup-1"} <= anchors
+
+    def test_fenced_headings_are_not_anchors(self, tmp_path):
+        page = _write(tmp_path / "page.md", "```\n# not a heading\n```\n# Real\n")
+        assert heading_anchors(page) == {"real"}
+
+
+class TestCheckFiles:
+    def test_resolving_links_pass(self, tmp_path):
+        target = _write(tmp_path / "target.md", "# Section One\n")
+        source = _write(
+            tmp_path / "source.md",
+            "[file](target.md) [anchor](target.md#section-one) [self](#here)\n\n# Here\n",
+        )
+        assert check_files([source, target], root=tmp_path) == []
+
+    def test_broken_file_and_anchor_links_are_reported(self, tmp_path):
+        _write(tmp_path / "target.md", "# Section One\n")
+        source = _write(
+            tmp_path / "source.md",
+            "[gone](missing.md)\n[bad](target.md#no-such-heading)\n",
+        )
+        problems = check_files([source], root=tmp_path)
+        assert len(problems) == 2
+        assert any("broken link" in p for p in problems)
+        assert any("#no-such-heading" in p for p in problems)
+
+    def test_anchor_into_a_directory_is_flagged(self, tmp_path):
+        """The gap this PR closes: ``docs/#anchor`` used to pass silently
+        because the directory exists — but a directory has no headings."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        source = _write(
+            tmp_path / "source.md", "[ok](docs)\n[bad](docs#some-anchor)\n"
+        )
+        problems = check_files([source], root=tmp_path)
+        assert len(problems) == 1
+        assert "targets the directory" in problems[0]
+        assert "docs" in problems[0]
+
+    def test_directories_recurse_to_their_markdown(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        _write(docs / "inner.md", "[gone](also-missing.md)\n")
+        problems = check_files([docs], root=tmp_path)
+        assert len(problems) == 1
+        assert "also-missing.md" in problems[0]
+
+
+class TestMain:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path / "page.md", "# Fine\n[self](#fine)\n")
+        assert main(["page.md"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_lists_each_problem(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path / "page.md", "[gone](missing.md)\n")
+        assert main(["page.md"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "missing.md" in out

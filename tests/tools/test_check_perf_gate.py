@@ -12,6 +12,7 @@ import json
 
 from tools.check_perf_gate import (
     build_parser,
+    check_realism_summary,
     check_scaling_summary,
     check_serve_summary,
     check_signals_summary,
@@ -327,6 +328,97 @@ class TestSignalsMode:
         assert problems == ["summary records no evasion scenarios"]
 
 
+def _metric(name, value, band, ok):
+    return {
+        "name": name,
+        "value": value,
+        "expected": (band[0] + band[1]) / 2,
+        "band": list(band),
+        "ok": ok,
+        "paper_ref": "§6.3",
+    }
+
+
+def make_realism_report(flagged=0, schema="repro.realism-report/1", lie=False):
+    """A realism report with ``flagged`` of its three metrics out of band;
+    ``lie=True`` claims realistic despite the flags."""
+    metrics = [
+        _metric("stub_share", 0.85, (0.7, 0.93), True),
+        _metric("cone_mix_l1", 0.9 if flagged >= 1 else 0.02, (0.0, 0.15), flagged < 1),
+        _metric("region_mix_l1", 0.88 if flagged >= 2 else 0.11, (0.0, 0.18), flagged < 2),
+    ]
+    passed = sum(1 for metric in metrics if metric["ok"])
+    return {
+        "schema": schema,
+        "scenario": {"name": "paper-default", "seed": 7, "scale": 0.01, "events": []},
+        "metrics": metrics,
+        "passed": passed,
+        "total": len(metrics),
+        "score": round(passed / len(metrics), 4),
+        "realistic": True if lie else passed == len(metrics),
+    }
+
+
+class TestRealismMode:
+    def test_clean_report_passes(self):
+        assert check_realism_summary(make_realism_report()) == []
+
+    def test_missing_keys_are_each_named(self):
+        report = make_realism_report()
+        del report["score"], report["realistic"]
+        problems = check_realism_summary(report)
+        assert len(problems) == 2
+        assert any("'score'" in p for p in problems)
+        assert any("'realistic'" in p for p in problems)
+
+    def test_wrong_schema_is_rejected(self):
+        problems = check_realism_summary(
+            make_realism_report(schema="repro.run-report/1")
+        )
+        assert len(problems) == 1
+        assert "repro.realism-report/1" in problems[0]
+
+    def test_empty_metrics_fail(self):
+        report = make_realism_report()
+        report["metrics"] = []
+        assert check_realism_summary(report) == ["report scores no metrics at all"]
+
+    def test_metric_missing_keys_are_named(self):
+        report = make_realism_report()
+        del report["metrics"][0]["band"]
+        problems = check_realism_summary(report)
+        assert any("stub_share" in p and "'band'" in p for p in problems)
+
+    def test_inconsistent_arithmetic_fails(self):
+        report = make_realism_report()
+        report["passed"] = 99
+        problems = check_realism_summary(report)
+        assert any("arithmetic is inconsistent" in p for p in problems)
+
+    def test_flagged_metric_fails_the_default_gate(self):
+        problems = check_realism_summary(make_realism_report(flagged=1))
+        assert any("cone_mix_l1" in p and "outside its paper band" in p for p in problems)
+
+    def test_lying_verdict_is_called_out(self):
+        problems = check_realism_summary(make_realism_report(flagged=1, lie=True))
+        assert any("claims realistic=true" in p for p in problems)
+
+    def test_negative_control_must_be_flagged(self):
+        # The skewed world scoring realistic means the scorer is blind.
+        problems = check_realism_summary(
+            make_realism_report(), expect_unrealistic=True
+        )
+        assert any("cannot tell a skewed world" in p for p in problems)
+
+    def test_flagged_negative_control_passes(self):
+        assert (
+            check_realism_summary(
+                make_realism_report(flagged=2), expect_unrealistic=True
+            )
+            == []
+        )
+
+
 class TestMain:
     def _write(self, tmp_path, summary):
         path = tmp_path / "summary.json"
@@ -390,6 +482,28 @@ class TestMain:
         assert main([path, "--expect-signals"]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_realism_exit_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_realism_report())
+        assert main([path, "--expect-realism"]) == 0
+        assert "scored realistic" in capsys.readouterr().out
+
+    def test_realism_exit_one(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_realism_report(flagged=1))
+        assert main([path, "--expect-realism"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unrealistic_control_exit_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_realism_report(flagged=2))
+        assert main([path, "--expect-realism", "--expect-unrealistic"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged unrealistic as expected" in out
+        assert "cone_mix_l1" in out
+
+    def test_unrealistic_alone_is_rejected(self, tmp_path, capsys):
+        path = self._write(tmp_path, make_realism_report())
+        assert main([path, "--expect-unrealistic"]) == 1
+        assert "only modifies --expect-realism" in capsys.readouterr().out
+
     def test_parser_defaults(self):
         args = build_parser().parse_args(["summary.json"])
         assert args.min_ingest_speedup == 5.0
@@ -397,5 +511,7 @@ class TestMain:
         assert not args.expect_parallel_speedup
         assert not args.expect_serve
         assert not args.expect_signals
+        assert not args.expect_realism
+        assert not args.expect_unrealistic
         assert args.max_p99_ms == 500.0
         assert args.min_qps == 50.0

@@ -99,12 +99,21 @@ def _check_file(path: Path, root: Path) -> list[str]:
             problems.append(f"{where}: broken link {target!r} "
                             f"({destination} does not exist)")
             continue
-        if fragment and destination.is_file():
-            if fragment not in heading_anchors(destination):
-                problems.append(
-                    f"{where}: anchor #{fragment} not found in "
-                    f"{_relative(destination, root)}"
-                )
+        if not fragment:
+            continue
+        if destination.is_dir():
+            # A directory defines no headings; an anchored link into one
+            # can never resolve and used to slip through silently.
+            problems.append(
+                f"{where}: anchor #{fragment} targets the directory "
+                f"{_relative(destination, root)}, which has no headings"
+            )
+            continue
+        if fragment not in heading_anchors(destination):
+            problems.append(
+                f"{where}: anchor #{fragment} not found in "
+                f"{_relative(destination, root)}"
+            )
     return problems
 
 

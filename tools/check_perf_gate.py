@@ -1,6 +1,6 @@
 """CI gate over the tracked perf summaries.
 
-Four modes, selected by flag:
+Five modes, selected by flag:
 
 * **Columnar mode** (the default) consumes ``perf_columnar_summary.json``
   (published by
@@ -46,6 +46,16 @@ Four modes, selected by flag:
   it), and the multi-signal path out-confirms the baseline there while
   at least matching it on the clean control world.
 
+* **Realism mode** (``--expect-realism``) consumes a
+  ``repro.realism-report/1`` document (published by
+  ``tools/assess_realism.py``): the paper-anchored distribution scores of
+  a generated world.  The gate checks the report's structure (every
+  metric carries a value, a band, and a verdict bit) and then the
+  verdict itself: by default the world must be ``realistic`` (every
+  metric inside its band); with ``--expect-unrealistic`` the world must
+  instead be *flagged* — the negative control proving the scorer can
+  tell a skewed world from the paper's Internet.
+
 Usage::
 
     python tools/check_perf_gate.py benchmarks/output/perf_columnar_summary.json
@@ -56,6 +66,9 @@ Usage::
         --expect-serve
     python tools/check_perf_gate.py benchmarks/output/perf_signals_summary.json \
         --expect-signals
+    python tools/check_perf_gate.py realism_default.json --expect-realism
+    python tools/check_perf_gate.py realism_skewed.json \
+        --expect-realism --expect-unrealistic
 
 Exit status: 0 when every bar holds, 1 otherwise.
 """
@@ -70,6 +83,7 @@ from pathlib import Path
 __all__ = [
     "build_parser",
     "check_summary",
+    "check_realism_summary",
     "check_scaling_summary",
     "check_serve_summary",
     "check_signals_summary",
@@ -97,6 +111,24 @@ SIGNALS_REQUIRED_KEYS = ("kind", "signals", "policy", "scenarios", "parity")
 
 #: Keys every evasion scenario's baseline/multi cells must carry.
 SIGNALS_CELL_KEYS = ("confirmed", "false_confirmations")
+
+#: Keys a realism report must carry (``schema`` guards against pointing
+#: the realism gate at the wrong JSON document).
+REALISM_REQUIRED_KEYS = (
+    "schema",
+    "scenario",
+    "metrics",
+    "passed",
+    "total",
+    "score",
+    "realistic",
+)
+
+#: Keys every scored realism metric must carry.
+REALISM_METRIC_KEYS = ("name", "value", "expected", "band", "ok", "paper_ref")
+
+#: The realism-report schema this gate understands.
+REALISM_SCHEMA = "repro.realism-report/1"
 
 #: Keys a serve summary must carry for the serve gate to be meaningful.
 SERVE_REQUIRED_KEYS = (
@@ -351,6 +383,71 @@ def check_signals_summary(summary: dict) -> list[str]:
     return problems
 
 
+def check_realism_summary(
+    summary: dict, expect_unrealistic: bool = False
+) -> list[str]:
+    """Every realism-mode gate violation, as human-readable strings.
+
+    Structure is checked first (schema tag, per-metric keys, the
+    passed/total arithmetic), then the verdict: ``realistic`` must be
+    true by default, false — with at least one out-of-band metric to
+    point at — under ``expect_unrealistic``.
+    """
+    problems = [
+        f"realism report is missing required key {key!r}"
+        for key in REALISM_REQUIRED_KEYS
+        if key not in summary
+    ]
+    if problems:
+        return problems
+    if summary["schema"] != REALISM_SCHEMA:
+        return [
+            f"report schema is {summary['schema']!r}, expected "
+            f"{REALISM_SCHEMA!r} (is this an assess_realism.py report?)"
+        ]
+    metrics = summary["metrics"]
+    if not metrics:
+        return ["report scores no metrics at all"]
+    for metric in metrics:
+        missing = [key for key in REALISM_METRIC_KEYS if key not in metric]
+        if missing:
+            problems.append(
+                f"metric {metric.get('name', '?')!r} is missing "
+                + ", ".join(repr(key) for key in missing)
+            )
+    if problems:
+        return problems
+    passed = sum(1 for metric in metrics if metric["ok"])
+    if summary["passed"] != passed or summary["total"] != len(metrics):
+        problems.append(
+            f"report arithmetic is inconsistent: says {summary['passed']}/"
+            f"{summary['total']} but the metrics list holds {passed}/"
+            f"{len(metrics)} passes"
+        )
+    flagged = sorted(metric["name"] for metric in metrics if not metric["ok"])
+    if expect_unrealistic:
+        if summary["realistic"] or not flagged:
+            problems.append(
+                "the world was scored realistic, but this gate expects the "
+                "negative control to be flagged — the scorer cannot tell a "
+                "skewed world from the paper's Internet"
+            )
+    elif not summary["realistic"] or flagged:
+        for metric in metrics:
+            if not metric["ok"]:
+                low, high = metric["band"]
+                problems.append(
+                    f"metric {metric['name']} = {metric['value']} fell "
+                    f"outside its paper band [{low}, {high}] "
+                    f"({metric['paper_ref']})"
+                )
+        if summary["realistic"] and flagged:
+            problems.append(
+                "report claims realistic=true despite out-of-band metrics"
+            )
+    return problems
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Enforce the tracked perf-summary bars in CI."
@@ -400,6 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
         "out-confirming it there",
     )
     parser.add_argument(
+        "--expect-realism",
+        action="store_true",
+        help="realism mode: the summary is a repro.realism-report/1 from "
+        "tools/assess_realism.py; require every metric inside its "
+        "paper-anchored band (the world scored realistic)",
+    )
+    parser.add_argument(
+        "--expect-unrealistic",
+        action="store_true",
+        help="with --expect-realism: require the world to be *flagged* "
+        "instead — at least one metric outside its band — proving the "
+        "scorer discriminates (CI runs this against the skewed scenario)",
+    )
+    parser.add_argument(
         "--max-p99-ms",
         type=float,
         default=500.0,
@@ -427,6 +538,37 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as error:
         print(f"FAIL: perf summary is not valid JSON: {error}")
         return 1
+
+    if args.expect_unrealistic and not args.expect_realism:
+        print("FAIL: --expect-unrealistic only modifies --expect-realism")
+        return 1
+
+    if args.expect_realism:
+        problems = check_realism_summary(
+            summary, expect_unrealistic=args.expect_unrealistic
+        )
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        meta = summary["scenario"]
+        flagged = sorted(
+            metric["name"] for metric in summary["metrics"] if not metric["ok"]
+        )
+        if args.expect_unrealistic:
+            print(
+                f"OK: scenario {meta['name']!r} was flagged unrealistic as "
+                f"expected — {summary['passed']}/{summary['total']} metrics "
+                f"in band, flagged: {', '.join(flagged)}"
+            )
+        else:
+            print(
+                f"OK: scenario {meta['name']!r} scored realistic — "
+                f"{summary['passed']}/{summary['total']} metrics inside "
+                f"their paper bands (seed={meta['seed']}, "
+                f"scale={meta['scale']})"
+            )
+        return 0
 
     if args.expect_signals:
         problems = check_signals_summary(summary)
